@@ -1,0 +1,84 @@
+//! Criterion benchmarks that exercise one cell of every table and one point of
+//! each figure at reduced scale, so `cargo bench` tracks the cost of the
+//! simulation paths that regenerate the paper's results.
+//!
+//! The full-size artefacts are produced by the `tables`, `figure1` and
+//! `figure2_3` binaries; these benches use a smaller file / shorter interval
+//! so a bench run stays in seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wg_bench::{run_figure, run_table, TABLES};
+use wg_server::WritePolicy;
+use wg_workload::{system::run_cell, ExperimentConfig};
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    for spec in &TABLES {
+        group.bench_with_input(
+            BenchmarkId::new("table", spec.number),
+            spec,
+            |b, spec| {
+                // One representative column (7 biods) per policy rather than
+                // the whole sweep, at 1 MB.
+                b.iter(|| {
+                    let reduced = wg_bench::TableSpec {
+                        biods: &[7],
+                        ..*spec
+                    };
+                    run_table(&reduced, 1024 * 1024)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_cell");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("standard", WritePolicy::Standard),
+        ("gathering", WritePolicy::Gathering),
+        ("first_write_latency", WritePolicy::FirstWriteLatency),
+        ("dangerous", WritePolicy::DangerousAsync),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_cell(
+                    ExperimentConfig::new(wg_workload::NetworkKind::Fddi, 7, policy)
+                        .with_file_size(1024 * 1024),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for figure in [2u8, 3u8] {
+        group.bench_with_input(BenchmarkId::new("figure", figure), &figure, |b, &figure| {
+            b.iter(|| {
+                // One short measurement point per policy.
+                let mut base = if figure == 2 {
+                    wg_workload::SfsConfig::figure2(300.0, WritePolicy::Gathering)
+                } else {
+                    wg_workload::SfsConfig::figure3(300.0, WritePolicy::Gathering)
+                };
+                base.duration = wg_simcore::Duration::from_secs(2);
+                base.file_count = 30;
+                wg_workload::sfs::SfsSystem::new(base).run()
+            });
+        });
+    }
+    // And a tiny end-to-end sweep to keep the sweep code exercised.
+    group.bench_function("mini_sweep", |b| {
+        b.iter(|| run_figure(2, WritePolicy::Standard, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_policies, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Regenerate Tables 1–6 of the paper.
+//!
+//! ```text
+//! cargo run --release -p wg-bench --bin tables                # all six tables
+//! cargo run --release -p wg-bench --bin tables -- --table 3   # just Table 3
+//! cargo run --release -p wg-bench --bin tables -- --file-mb 2 # smaller copy
+//! cargo run --release -p wg-bench --bin tables -- --json      # machine readable
+//! ```
+
+use wg_bench::{run_table, table_spec, TABLES};
+
+struct Args {
+    table: Option<u8>,
+    file_mb: u64,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        table: None,
+        file_mb: 10,
+        json: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--table" => {
+                args.table = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .or_else(|| panic!("--table needs a number 1-6"));
+            }
+            "--file-mb" => {
+                args.file_mb = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--file-mb needs a number"));
+            }
+            "--json" => args.json = true,
+            other => panic!("unknown argument {other}; use --table N, --file-mb M, --json"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let file_size = args.file_mb * 1024 * 1024;
+    let specs: Vec<_> = match args.table {
+        Some(n) => vec![*table_spec(n).unwrap_or_else(|| panic!("the paper has tables 1-6, not {n}"))],
+        None => TABLES.to_vec(),
+    };
+    for spec in specs {
+        let output = run_table(&spec, file_size);
+        if args.json {
+            #[derive(serde::Serialize)]
+            struct Json<'a> {
+                table: u8,
+                caption: &'a str,
+                without: &'a [wg_workload::FileCopyResult],
+                with: &'a [wg_workload::FileCopyResult],
+            }
+            let j = Json {
+                table: spec.number,
+                caption: spec.caption,
+                without: &output.without,
+                with: &output.with,
+            };
+            println!("{}", serde_json::to_string_pretty(&j).expect("serializable"));
+        } else {
+            println!("{}", output.render());
+        }
+    }
+}

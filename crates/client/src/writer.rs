@@ -1,0 +1,712 @@
+//! The sequential / random file-writer client.
+
+use std::collections::HashMap;
+
+use wg_nfsproto::{FileHandle, NfsCall, NfsCallBody, NfsReply, WriteArgs, Xid};
+use wg_simcore::{Duration, SimRng, SimTime};
+
+/// In what order the client writes the file's blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Block 0, 1, 2, ... — the common file-transfer case the paper optimises.
+    Sequential,
+    /// A deterministic pseudo-random permutation of the blocks (§6.11: random
+    /// access gathers metadata just as well; data clustering is up to the
+    /// filesystem).
+    Random {
+        /// Seed for the permutation.
+        seed: u64,
+    },
+}
+
+/// Client configuration.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Number of biod write-behind daemons (0 models the single-threaded
+    /// "dumb PC" worst case of §6.10).
+    pub biods: usize,
+    /// Total bytes to write (the paper copies a 10 MB file).
+    pub file_size: u64,
+    /// Bytes per write request (8 KB, the NFS v2 maximum).
+    pub chunk_size: u64,
+    /// Client-side CPU time to produce one chunk and traverse the client NFS
+    /// code ("a reasonably quick single threaded client" spends little here).
+    pub generate_cost: Duration,
+    /// Initial retransmission timeout (the paper quotes 1.1 s).
+    pub initial_timeout: Duration,
+    /// Multiplier applied to the timeout after each retransmission.
+    pub backoff_factor: f64,
+    /// Give up after this many retransmissions of one request.
+    pub max_retransmits: u32,
+    /// Access pattern.
+    pub pattern: AccessPattern,
+    /// Base value for generated transaction ids (lets multiple clients share
+    /// a server without xid collisions).
+    pub xid_base: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            biods: 4,
+            file_size: 10 * 1024 * 1024,
+            chunk_size: 8192,
+            generate_cost: Duration::from_micros(300),
+            initial_timeout: Duration::from_millis(1100),
+            backoff_factor: 2.0,
+            max_retransmits: 10,
+            pattern: AccessPattern::Sequential,
+            xid_base: 0x0001_0000,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// The paper's 10 MB copy with a given number of biods.
+    pub fn ten_megabyte_copy(biods: usize) -> Self {
+        ClientConfig {
+            biods,
+            ..ClientConfig::default()
+        }
+    }
+}
+
+/// Inputs delivered to the client by the orchestrator.
+#[derive(Clone, Debug)]
+pub enum ClientInput {
+    /// Begin the transfer.
+    Start,
+    /// A reply arrived from the server.
+    Reply(NfsReply),
+    /// A timer requested via [`ClientAction::Wakeup`] fired.
+    Wakeup {
+        /// Token identifying the timer.
+        token: u64,
+    },
+}
+
+/// Outputs the orchestrator must act on.
+#[derive(Clone, Debug)]
+pub enum ClientAction {
+    /// Transmit a call to the server starting at the given time.
+    Send {
+        /// When the datagram is handed to the network.
+        at: SimTime,
+        /// The call to send.
+        call: NfsCall,
+    },
+    /// Schedule a [`ClientInput::Wakeup`].
+    Wakeup {
+        /// When to wake the client.
+        at: SimTime,
+        /// Token to echo back.
+        token: u64,
+    },
+    /// The transfer finished (all data written and acknowledged, i.e. the
+    /// `close(2)` returned).
+    Completed {
+        /// Completion time.
+        at: SimTime,
+    },
+}
+
+/// Measured results of one client run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientStats {
+    /// Bytes acknowledged by the server.
+    pub bytes_acked: u64,
+    /// Write requests sent, excluding retransmissions.
+    pub requests_sent: u64,
+    /// Retransmissions sent.
+    pub retransmissions: u64,
+    /// When the transfer started.
+    pub started_at: SimTime,
+    /// When the close completed.
+    pub completed_at: SimTime,
+    /// Total time the application process spent blocked waiting for a reply
+    /// (directly or in close).
+    pub blocked_time: Duration,
+}
+
+impl ClientStats {
+    /// Client write speed in KB/s, the first row of every table.
+    pub fn write_kb_per_sec(&self) -> f64 {
+        let elapsed = self.completed_at.since(self.started_at).as_secs_f64();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_acked as f64 / 1024.0 / elapsed
+    }
+}
+
+/// What a timer token means.
+#[derive(Clone, Copy, Debug)]
+enum TimerKind {
+    /// The application finished generating a chunk.
+    GenerateDone,
+    /// A retransmission timer for the given xid (and the attempt number it
+    /// was armed for, so stale timers can be ignored).
+    Retransmit { xid: Xid, attempt: u32 },
+}
+
+#[derive(Clone, Debug)]
+struct Outstanding {
+    offset: u64,
+    len: u64,
+    attempt: u32,
+    /// `true` if the application process itself is blocked on this request
+    /// (it could not be handed to a biod).
+    app_blocking: bool,
+    /// Index of the biod carrying it, if any.
+    biod: Option<usize>,
+    first_sent: SimTime,
+}
+
+/// Where the application process is in its run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AppState {
+    /// Not started yet.
+    Idle,
+    /// Generating the next chunk (a timer is pending).
+    Generating,
+    /// Blocked waiting for the reply to the request it sent itself.
+    BlockedOnRequest(Xid),
+    /// All chunks issued; waiting for outstanding replies (sync-on-close).
+    Closing,
+    /// Finished.
+    Done,
+}
+
+/// The file-writer client state machine.
+#[derive(Clone, Debug)]
+pub struct FileWriterClient {
+    config: ClientConfig,
+    handle: FileHandle,
+    /// Block indices still to be issued, in issue order (front = next).
+    remaining: Vec<u64>,
+    next_block_cursor: usize,
+    biod_busy: Vec<bool>,
+    outstanding: HashMap<Xid, Outstanding>,
+    app: AppState,
+    next_xid: u32,
+    timers: HashMap<u64, TimerKind>,
+    next_token: u64,
+    stats: ClientStats,
+    blocked_since: Option<SimTime>,
+}
+
+impl FileWriterClient {
+    /// Create a client that will write `config.file_size` bytes to the file
+    /// identified by `handle`.
+    pub fn new(config: ClientConfig, handle: FileHandle) -> Self {
+        let blocks = config.file_size.div_ceil(config.chunk_size);
+        let mut order: Vec<u64> = (0..blocks).collect();
+        if let AccessPattern::Random { seed } = config.pattern {
+            let mut rng = SimRng::seed_from(seed);
+            // Fisher-Yates shuffle.
+            for i in (1..order.len()).rev() {
+                let j = rng.next_below(i as u64 + 1) as usize;
+                order.swap(i, j);
+            }
+        }
+        FileWriterClient {
+            biod_busy: vec![false; config.biods],
+            remaining: order,
+            next_block_cursor: 0,
+            outstanding: HashMap::new(),
+            app: AppState::Idle,
+            next_xid: config.xid_base,
+            timers: HashMap::new(),
+            next_token: 0,
+            stats: ClientStats::default(),
+            blocked_since: None,
+            handle,
+            config,
+        }
+    }
+
+    /// Measured statistics (final once [`ClientAction::Completed`] has been
+    /// emitted).
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// `true` once the transfer (including sync-on-close) has finished.
+    pub fn is_done(&self) -> bool {
+        self.app == AppState::Done
+    }
+
+    /// The client's configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Process one input, producing actions for the orchestrator.
+    pub fn handle(&mut self, now: SimTime, input: ClientInput) -> Vec<ClientAction> {
+        let mut actions = Vec::new();
+        match input {
+            ClientInput::Start => {
+                self.stats.started_at = now;
+                self.start_generating(now, &mut actions);
+            }
+            ClientInput::Reply(reply) => self.on_reply(now, reply, &mut actions),
+            ClientInput::Wakeup { token } => {
+                if let Some(kind) = self.timers.remove(&token) {
+                    match kind {
+                        TimerKind::GenerateDone => self.on_chunk_ready(now, &mut actions),
+                        TimerKind::Retransmit { xid, attempt } => {
+                            self.on_retransmit_timer(now, xid, attempt, &mut actions)
+                        }
+                    }
+                }
+            }
+        }
+        actions
+    }
+
+    fn schedule(&mut self, at: SimTime, kind: TimerKind, actions: &mut Vec<ClientAction>) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.timers.insert(token, kind);
+        actions.push(ClientAction::Wakeup { at, token });
+    }
+
+    fn start_generating(&mut self, now: SimTime, actions: &mut Vec<ClientAction>) {
+        if self.next_block_cursor >= self.remaining.len() {
+            self.enter_close(now, actions);
+            return;
+        }
+        self.app = AppState::Generating;
+        self.schedule(now + self.config.generate_cost, TimerKind::GenerateDone, actions);
+    }
+
+    /// The application produced a chunk that must go to the wire.
+    fn on_chunk_ready(&mut self, now: SimTime, actions: &mut Vec<ClientAction>) {
+        let block = self.remaining[self.next_block_cursor];
+        self.next_block_cursor += 1;
+        let offset = block * self.config.chunk_size;
+        let len = self
+            .config
+            .chunk_size
+            .min(self.config.file_size - offset.min(self.config.file_size));
+        let xid = Xid(self.next_xid);
+        self.next_xid += 1;
+
+        // Hand off to an idle biod, or send it ourselves and block.
+        let idle_biod = self.biod_busy.iter().position(|b| !b);
+        let app_blocking = idle_biod.is_none();
+        if let Some(b) = idle_biod {
+            self.biod_busy[b] = true;
+        }
+        self.outstanding.insert(
+            xid,
+            Outstanding {
+                offset,
+                len,
+                attempt: 0,
+                app_blocking,
+                biod: idle_biod,
+                first_sent: now,
+            },
+        );
+        self.stats.requests_sent += 1;
+        self.send_write(now, xid, offset, len, 0, actions);
+
+        if app_blocking {
+            self.app = AppState::BlockedOnRequest(xid);
+            self.blocked_since = Some(now);
+        } else {
+            // Keep generating in parallel with the biod's request.
+            self.start_generating(now, actions);
+        }
+    }
+
+    fn send_write(
+        &mut self,
+        now: SimTime,
+        xid: Xid,
+        offset: u64,
+        len: u64,
+        attempt: u32,
+        actions: &mut Vec<ClientAction>,
+    ) {
+        // Deterministic, recognisable payload: the low byte of the block
+        // index, so end-to-end tests can verify data integrity at the server.
+        let fill = (offset / self.config.chunk_size) as u8;
+        let call = NfsCall::new(
+            xid,
+            NfsCallBody::Write(WriteArgs::new(self.handle, offset as u32, vec![fill; len as usize])),
+        );
+        actions.push(ClientAction::Send { at: now, call });
+        // Arm the retransmission timer for this attempt.
+        let mut timeout = self.config.initial_timeout.as_secs_f64();
+        for _ in 0..attempt {
+            timeout *= self.config.backoff_factor;
+        }
+        self.schedule(
+            now + Duration::from_secs_f64(timeout),
+            TimerKind::Retransmit { xid, attempt },
+            actions,
+        );
+    }
+
+    fn on_reply(&mut self, now: SimTime, reply: NfsReply, actions: &mut Vec<ClientAction>) {
+        let Some(out) = self.outstanding.remove(&reply.xid) else {
+            // A reply for something already answered (e.g. the reply to a
+            // retransmission we had given up on): ignore.
+            return;
+        };
+        self.stats.bytes_acked += out.len;
+        if let Some(b) = out.biod {
+            self.biod_busy[b] = false;
+        }
+        if out.app_blocking {
+            if let Some(since) = self.blocked_since.take() {
+                self.stats.blocked_time += now.since(since);
+            }
+        }
+        match self.app {
+            AppState::BlockedOnRequest(xid) if xid == reply.xid => {
+                // The application wakes up and keeps writing.
+                self.start_generating(now, actions);
+            }
+            AppState::Closing => {
+                if self.outstanding.is_empty() {
+                    self.finish(now, actions);
+                }
+            }
+            _ => {}
+        }
+        let _ = out.first_sent;
+    }
+
+    fn on_retransmit_timer(
+        &mut self,
+        now: SimTime,
+        xid: Xid,
+        attempt: u32,
+        actions: &mut Vec<ClientAction>,
+    ) {
+        let Some(out) = self.outstanding.get_mut(&xid) else {
+            return; // already answered
+        };
+        if out.attempt != attempt {
+            return; // stale timer from an earlier attempt
+        }
+        if out.attempt >= self.config.max_retransmits {
+            // Give up: in a real client this surfaces as a hard error or a
+            // "server not responding" console message.  Treat the data as
+            // unacknowledged and carry on so the run terminates.
+            let out = self.outstanding.remove(&xid).expect("present");
+            if let Some(b) = out.biod {
+                self.biod_busy[b] = false;
+            }
+            if self.app == AppState::BlockedOnRequest(xid) {
+                self.start_generating(now, actions);
+            } else if self.app == AppState::Closing && self.outstanding.is_empty() {
+                self.finish(now, actions);
+            }
+            return;
+        }
+        out.attempt += 1;
+        let (offset, len, attempt) = (out.offset, out.len, out.attempt);
+        self.stats.retransmissions += 1;
+        self.send_write(now, xid, offset, len, attempt, actions);
+    }
+
+    fn enter_close(&mut self, now: SimTime, actions: &mut Vec<ClientAction>) {
+        if self.outstanding.is_empty() {
+            self.finish(now, actions);
+        } else {
+            // sync-on-close: block until every outstanding write is answered.
+            self.app = AppState::Closing;
+            self.blocked_since = Some(now);
+        }
+    }
+
+    fn finish(&mut self, now: SimTime, actions: &mut Vec<ClientAction>) {
+        if let Some(since) = self.blocked_since.take() {
+            self.stats.blocked_time += now.since(since);
+        }
+        self.app = AppState::Done;
+        self.stats.completed_at = now;
+        actions.push(ClientAction::Completed { at: now });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_nfsproto::{Fattr, NfsReplyBody, StatusReply};
+
+    fn handle() -> FileHandle {
+        FileHandle::new(1, 10, 1)
+    }
+
+    fn ok_reply(xid: Xid) -> NfsReply {
+        NfsReply::new(xid, NfsReplyBody::Attr(StatusReply::Ok(Fattr::default())))
+    }
+
+    /// Drive a client against a perfect zero-latency server that answers each
+    /// write after `service` time.
+    fn run_against_ideal_server(mut client: FileWriterClient, service: Duration) -> ClientStats {
+        let mut queue = wg_simcore::EventQueue::new();
+        queue.schedule_at(SimTime::ZERO, ClientInput::Start);
+        let mut guard = 0u64;
+        while let Some((t, input)) = queue.pop() {
+            guard += 1;
+            assert!(guard < 2_000_000, "runaway client simulation");
+            for action in client.handle(t, input) {
+                match action {
+                    ClientAction::Send { at, call } => {
+                        queue.schedule_at(at + service, ClientInput::Reply(ok_reply(call.xid)));
+                    }
+                    ClientAction::Wakeup { at, token } => {
+                        queue.schedule_at(at, ClientInput::Wakeup { token });
+                    }
+                    ClientAction::Completed { .. } => {}
+                }
+            }
+            if client.is_done() {
+                break;
+            }
+        }
+        assert!(client.is_done());
+        client.stats()
+    }
+
+    #[test]
+    fn writes_whole_file_and_completes() {
+        let cfg = ClientConfig {
+            file_size: 256 * 1024,
+            biods: 4,
+            ..ClientConfig::default()
+        };
+        let client = FileWriterClient::new(cfg, handle());
+        let stats = run_against_ideal_server(client, Duration::from_millis(5));
+        assert_eq!(stats.bytes_acked, 256 * 1024);
+        assert_eq!(stats.requests_sent, 32);
+        assert_eq!(stats.retransmissions, 0);
+        assert!(stats.completed_at > stats.started_at);
+        assert!(stats.write_kb_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn zero_biods_fully_serialises_requests() {
+        let service = Duration::from_millis(10);
+        let cfg = ClientConfig {
+            file_size: 80 * 1024, // 10 chunks
+            biods: 0,
+            generate_cost: Duration::from_micros(100),
+            ..ClientConfig::default()
+        };
+        let stats = run_against_ideal_server(FileWriterClient::new(cfg, handle()), service);
+        // Each write waits for its own reply: at least 10 * 10 ms.
+        let elapsed = stats.completed_at.since(stats.started_at);
+        assert!(elapsed >= Duration::from_millis(100));
+        assert!(stats.blocked_time >= Duration::from_millis(95));
+    }
+
+    #[test]
+    fn more_biods_means_more_overlap_and_higher_throughput() {
+        let service = Duration::from_millis(10);
+        let make = |biods| {
+            let cfg = ClientConfig {
+                file_size: 400 * 1024,
+                biods,
+                generate_cost: Duration::from_micros(100),
+                ..ClientConfig::default()
+            };
+            run_against_ideal_server(FileWriterClient::new(cfg, handle()), service).write_kb_per_sec()
+        };
+        let none = make(0);
+        let four = make(4);
+        let fifteen = make(15);
+        assert!(four > none * 2.0, "0 biods {none:.0} KB/s vs 4 biods {four:.0} KB/s");
+        assert!(fifteen >= four, "4 biods {four:.0} vs 15 biods {fifteen:.0}");
+    }
+
+    #[test]
+    fn window_never_exceeds_biods_plus_one() {
+        let cfg = ClientConfig {
+            file_size: 800 * 1024,
+            biods: 3,
+            generate_cost: Duration::from_micros(50),
+            ..ClientConfig::default()
+        };
+        let mut client = FileWriterClient::new(cfg, handle());
+        let mut queue = wg_simcore::EventQueue::new();
+        queue.schedule_at(SimTime::ZERO, ClientInput::Start);
+        let mut in_flight = 0usize;
+        let mut max_in_flight = 0usize;
+        while let Some((t, input)) = queue.pop() {
+            // A reply being delivered takes one request out of flight.
+            if matches!(input, ClientInput::Reply(_)) {
+                in_flight = in_flight.saturating_sub(1);
+            }
+            for action in client.handle(t, input) {
+                match action {
+                    ClientAction::Send { at, call } => {
+                        in_flight += 1;
+                        max_in_flight = max_in_flight.max(in_flight);
+                        queue.schedule_at(
+                            at + Duration::from_millis(20),
+                            ClientInput::Reply(ok_reply(call.xid)),
+                        );
+                    }
+                    ClientAction::Wakeup { at, token } => {
+                        queue.schedule_at(at, ClientInput::Wakeup { token })
+                    }
+                    ClientAction::Completed { .. } => {}
+                }
+            }
+            if client.is_done() {
+                break;
+            }
+        }
+        assert!(client.is_done());
+        // 3 biods plus the blocked application process itself.
+        assert!(max_in_flight <= 4, "window grew to {max_in_flight}");
+    }
+
+    #[test]
+    fn random_pattern_covers_every_block_exactly_once() {
+        let cfg = ClientConfig {
+            file_size: 160 * 1024, // 20 blocks
+            biods: 4,
+            pattern: AccessPattern::Random { seed: 42 },
+            ..ClientConfig::default()
+        };
+        let mut client = FileWriterClient::new(cfg, handle());
+        let mut offsets = Vec::new();
+        let mut queue = wg_simcore::EventQueue::new();
+        queue.schedule_at(SimTime::ZERO, ClientInput::Start);
+        while let Some((t, input)) = queue.pop() {
+            for action in client.handle(t, input) {
+                match action {
+                    ClientAction::Send { at, call } => {
+                        if let NfsCallBody::Write(w) = &call.body {
+                            offsets.push(w.offset as u64);
+                        }
+                        queue.schedule_at(
+                            at + Duration::from_millis(1),
+                            ClientInput::Reply(ok_reply(call.xid)),
+                        );
+                    }
+                    ClientAction::Wakeup { at, token } => {
+                        queue.schedule_at(at, ClientInput::Wakeup { token })
+                    }
+                    ClientAction::Completed { .. } => {}
+                }
+            }
+            if client.is_done() {
+                break;
+            }
+        }
+        offsets.sort_unstable();
+        let expected: Vec<u64> = (0..20u64).map(|b| b * 8192).collect();
+        assert_eq!(offsets, expected);
+        // But the issue order was not sequential.
+        let cfg2 = ClientConfig {
+            file_size: 160 * 1024,
+            pattern: AccessPattern::Random { seed: 42 },
+            ..ClientConfig::default()
+        };
+        let c2 = FileWriterClient::new(cfg2, handle());
+        assert_ne!(c2.remaining, (0..20u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lost_requests_are_retransmitted_with_backoff() {
+        let cfg = ClientConfig {
+            file_size: 16 * 1024, // 2 chunks
+            biods: 0,
+            initial_timeout: Duration::from_millis(100),
+            backoff_factor: 2.0,
+            ..ClientConfig::default()
+        };
+        let mut client = FileWriterClient::new(cfg, handle());
+        let mut queue = wg_simcore::EventQueue::new();
+        queue.schedule_at(SimTime::ZERO, ClientInput::Start);
+        let mut sends: Vec<(SimTime, Xid)> = Vec::new();
+        while let Some((t, input)) = queue.pop() {
+            for action in client.handle(t, input) {
+                match action {
+                    ClientAction::Send { at, call } => {
+                        sends.push((at, call.xid));
+                        // Drop the first two transmissions of the first xid;
+                        // answer everything else promptly.
+                        let drops_for_this_xid =
+                            sends.iter().filter(|(_, x)| *x == call.xid).count();
+                        let is_first_xid = call.xid == sends[0].1;
+                        if !(is_first_xid && drops_for_this_xid <= 2) {
+                            queue.schedule_at(
+                                at + Duration::from_millis(5),
+                                ClientInput::Reply(ok_reply(call.xid)),
+                            );
+                        }
+                    }
+                    ClientAction::Wakeup { at, token } => {
+                        queue.schedule_at(at, ClientInput::Wakeup { token })
+                    }
+                    ClientAction::Completed { .. } => {}
+                }
+            }
+            if client.is_done() {
+                break;
+            }
+        }
+        assert!(client.is_done());
+        let stats = client.stats();
+        assert_eq!(stats.retransmissions, 2);
+        assert_eq!(stats.bytes_acked, 16 * 1024);
+        // Backoff: the second retransmission waited twice as long as the first.
+        let first_xid = sends[0].1;
+        let times: Vec<SimTime> = sends.iter().filter(|(_, x)| *x == first_xid).map(|(t, _)| *t).collect();
+        assert_eq!(times.len(), 3);
+        let gap1 = times[1].since(times[0]);
+        let gap2 = times[2].since(times[1]);
+        assert!(gap2 > gap1, "expected backoff: {gap1} then {gap2}");
+    }
+
+    #[test]
+    fn gives_up_after_max_retransmits() {
+        let cfg = ClientConfig {
+            file_size: 8 * 1024,
+            biods: 0,
+            initial_timeout: Duration::from_millis(10),
+            max_retransmits: 3,
+            ..ClientConfig::default()
+        };
+        let mut client = FileWriterClient::new(cfg, handle());
+        let mut queue = wg_simcore::EventQueue::new();
+        queue.schedule_at(SimTime::ZERO, ClientInput::Start);
+        // Never answer anything.
+        while let Some((t, input)) = queue.pop() {
+            for action in client.handle(t, input) {
+                if let ClientAction::Wakeup { at, token } = action {
+                    queue.schedule_at(at, ClientInput::Wakeup { token });
+                }
+            }
+            if client.is_done() {
+                break;
+            }
+        }
+        assert!(client.is_done());
+        let stats = client.stats();
+        assert_eq!(stats.retransmissions, 3);
+        assert_eq!(stats.bytes_acked, 0);
+    }
+
+    #[test]
+    fn empty_file_completes_immediately() {
+        let cfg = ClientConfig {
+            file_size: 0,
+            ..ClientConfig::default()
+        };
+        let mut client = FileWriterClient::new(cfg, handle());
+        let actions = client.handle(SimTime::ZERO, ClientInput::Start);
+        assert!(matches!(actions.as_slice(), [ClientAction::Completed { .. }]));
+        assert!(client.is_done());
+    }
+}

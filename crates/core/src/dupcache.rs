@@ -1,0 +1,173 @@
+//! The duplicate request cache.
+//!
+//! NFS clients retransmit requests they have not seen a reply for; a server
+//! that blindly re-executes a retransmitted non-idempotent request (CREATE,
+//! REMOVE, and — with gathering — WRITE whose reply is still pending) produces
+//! wrong answers or wasted work.  [JUSZ89] introduced the now-standard
+//! duplicate request cache: recently executed (xid, client) pairs are
+//! remembered together with their replies so a retransmission can be answered
+//! from the cache, and requests still *in progress* (for example a gathered
+//! write whose reply is deferred) are recognised and dropped rather than
+//! re-executed — the paper's §6.9 notes that being too hasty about discarding
+//! these is exactly how one orphans writes on the active write queue.
+
+use std::collections::{HashMap, VecDeque};
+
+use wg_nfsproto::{NfsReply, Xid};
+
+/// What the cache knows about a transaction id.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DupState {
+    /// Never seen: execute it.
+    New,
+    /// Currently being executed (or its reply is deferred on the active write
+    /// queue): drop the retransmission, the reply will go out when ready.
+    InProgress,
+    /// Completed: the cached reply can be resent without re-executing.
+    Done(Box<NfsReply>),
+}
+
+/// Key identifying a request: the client plus its transaction id.
+pub type DupKey = (u32, Xid);
+
+/// A bounded duplicate request cache.
+#[derive(Clone, Debug)]
+pub struct DuplicateRequestCache {
+    capacity: usize,
+    entries: HashMap<DupKey, DupState>,
+    order: VecDeque<DupKey>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DuplicateRequestCache {
+    /// Create a cache remembering up to `capacity` transactions.
+    pub fn new(capacity: usize) -> Self {
+        DuplicateRequestCache {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a request.  A miss registers nothing; callers that decide to
+    /// execute the request must call [`DuplicateRequestCache::start`].
+    pub fn lookup(&mut self, client: u32, xid: Xid) -> DupState {
+        match self.entries.get(&(client, xid)) {
+            Some(state) => {
+                self.hits += 1;
+                state.clone()
+            }
+            None => {
+                self.misses += 1;
+                DupState::New
+            }
+        }
+    }
+
+    /// Record that a request has begun executing (or has been queued with a
+    /// deferred reply).
+    pub fn start(&mut self, client: u32, xid: Xid) {
+        self.insert((client, xid), DupState::InProgress);
+    }
+
+    /// Record the reply sent for a request so retransmissions can be answered
+    /// from the cache.
+    pub fn complete(&mut self, client: u32, xid: Xid, reply: NfsReply) {
+        self.insert((client, xid), DupState::Done(Box::new(reply)));
+    }
+
+    fn insert(&mut self, key: DupKey, state: DupState) {
+        if !self.entries.contains_key(&key) {
+            self.order.push_back(key);
+            if self.order.len() > self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.entries.remove(&evicted);
+                }
+            }
+        }
+        self.entries.insert(key, state);
+    }
+
+    /// Number of cached transactions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookup hits (retransmissions recognised).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup misses (fresh requests).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_nfsproto::{NfsReplyBody, NfsStatus};
+
+    fn reply(xid: u32) -> NfsReply {
+        NfsReply::new(Xid(xid), NfsReplyBody::Status(NfsStatus::Ok))
+    }
+
+    #[test]
+    fn new_then_in_progress_then_done() {
+        let mut c = DuplicateRequestCache::new(16);
+        assert_eq!(c.lookup(1, Xid(100)), DupState::New);
+        c.start(1, Xid(100));
+        assert_eq!(c.lookup(1, Xid(100)), DupState::InProgress);
+        c.complete(1, Xid(100), reply(100));
+        match c.lookup(1, Xid(100)) {
+            DupState::Done(r) => assert_eq!(r.xid, Xid(100)),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn clients_do_not_collide() {
+        let mut c = DuplicateRequestCache::new(16);
+        c.start(1, Xid(5));
+        assert_eq!(c.lookup(2, Xid(5)), DupState::New);
+        assert_eq!(c.lookup(1, Xid(5)), DupState::InProgress);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut c = DuplicateRequestCache::new(3);
+        for i in 0..5u32 {
+            c.start(1, Xid(i));
+        }
+        assert_eq!(c.len(), 3);
+        // The two oldest were evicted and now look new again.
+        assert_eq!(c.lookup(1, Xid(0)), DupState::New);
+        assert_eq!(c.lookup(1, Xid(1)), DupState::New);
+        assert_eq!(c.lookup(1, Xid(4)), DupState::InProgress);
+    }
+
+    #[test]
+    fn updating_state_does_not_duplicate_order_entries() {
+        let mut c = DuplicateRequestCache::new(2);
+        c.start(1, Xid(1));
+        c.complete(1, Xid(1), reply(1));
+        c.start(1, Xid(2));
+        assert_eq!(c.len(), 2);
+        c.start(1, Xid(3));
+        // Xid(1) evicted (it was the oldest), 2 and 3 remain.
+        assert_eq!(c.lookup(1, Xid(1)), DupState::New);
+        assert!(matches!(c.lookup(1, Xid(2)), DupState::InProgress));
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,1295 @@
+//! The NFS server state machine.
+//!
+//! One [`NfsServer`] owns everything that lives on the server host: the
+//! filesystem, the storage stack, the CPU, the socket buffer, the nfsd pool,
+//! the duplicate request cache and the per-file gathering state.  The
+//! orchestrator feeds it arriving datagrams and timer wake-ups
+//! ([`ServerInput`]) and receives the replies to transmit plus the wake-ups to
+//! schedule ([`ServerAction`]).
+//!
+//! All storage and CPU latencies are resolved *eagerly*: when an nfsd starts a
+//! synchronous write at time `t`, the disk model immediately tells us when the
+//! transfers will complete, so the nfsd's busy period and the reply time are
+//! computed in one step and the only genuine asynchrony left is the
+//! procrastination timer of the gathering policy (and the nfsd-free wake-ups
+//! used to pull more work from the socket buffer).
+
+use std::collections::HashMap;
+
+use wg_disk::{BlockDevice, DeviceStats, Disk, DiskRequest, StripeSet};
+use wg_net::SocketBuffer;
+use wg_nfsproto::{
+    DirOpOk, NfsCall, NfsCallBody, NfsReply, NfsReplyBody, NfsStatus, ReadOk, StatfsOk,
+    StatusReply, WriteArgs, Xid,
+};
+use wg_nvram::{Presto, PrestoParams};
+use wg_simcore::{Cpu, Duration, SimTime, Trace, TraceKind};
+use wg_ufs::{FsyncFlags, InodeNumber, Ufs, WriteFlags};
+
+use crate::config::{ReplyOrder, ServerConfig, WritePolicy};
+use crate::dupcache::{DupState, DuplicateRequestCache};
+use crate::gather::{FileGather, GatherPhase, PendingWrite};
+use crate::handles::{attributes_to_fattr, fs_error_to_status, handle_for, ino_from_handle};
+use crate::stats::ServerStats;
+
+/// Identifies a client host (index into the orchestrator's client table).
+pub type ClientId = u32;
+
+/// Inputs delivered to the server by the orchestrator.
+#[derive(Clone, Debug)]
+pub enum ServerInput {
+    /// A datagram carrying one NFS call arrived at the server's NFS socket.
+    Datagram {
+        /// Which client sent it.
+        client: ClientId,
+        /// The decoded call.
+        call: NfsCall,
+        /// Its size on the wire (socket-buffer accounting).
+        wire_size: usize,
+        /// How many link-layer fragments it arrived in (per-fragment
+        /// reassembly CPU cost).
+        fragments: u32,
+    },
+    /// A timer previously requested via [`ServerAction::Wakeup`] fired.
+    Wakeup {
+        /// The token identifying what to continue.
+        token: u64,
+    },
+}
+
+/// Outputs the orchestrator must act on.
+#[derive(Clone, Debug)]
+pub enum ServerAction {
+    /// Schedule a [`ServerInput::Wakeup`] with this token at the given time.
+    Wakeup {
+        /// When to wake the server.
+        at: SimTime,
+        /// Token to echo back.
+        token: u64,
+    },
+    /// Transmit a reply to a client, starting at the given time.
+    Reply {
+        /// Time the reply is handed to the network.
+        at: SimTime,
+        /// Destination client.
+        client: ClientId,
+        /// The reply message.
+        reply: NfsReply,
+    },
+}
+
+/// What a wake-up token means.
+#[derive(Clone, Copy, Debug)]
+enum WakeReason {
+    /// An nfsd became free; pull more work from the socket buffer.
+    NfsdFree,
+    /// A gathering nfsd's procrastination interval (or first-write latency
+    /// window) expired for the given file.
+    GatherContinue { nfsd: usize, ino: InodeNumber },
+}
+
+/// A request sitting in the socket buffer.
+#[derive(Clone, Debug)]
+struct Incoming {
+    client: ClientId,
+    call: NfsCall,
+    fragments: u32,
+    arrived: SimTime,
+}
+
+/// Per-nfsd bookkeeping.
+#[derive(Clone, Copy, Debug)]
+struct Nfsd {
+    free_at: SimTime,
+}
+
+/// The NFS server.
+pub struct NfsServer {
+    config: ServerConfig,
+    fs: Ufs,
+    device: Box<dyn BlockDevice>,
+    accelerated: bool,
+    cpu: Cpu,
+    sockbuf: SocketBuffer<Incoming>,
+    nfsds: Vec<Nfsd>,
+    gathers: HashMap<InodeNumber, FileGather>,
+    vnode_locks: HashMap<InodeNumber, SimTime>,
+    dupcache: DuplicateRequestCache,
+    wake_reasons: HashMap<u64, WakeReason>,
+    next_token: u64,
+    stats: ServerStats,
+    trace: Trace,
+}
+
+impl NfsServer {
+    /// Build a server (filesystem, storage stack, nfsd pool) from a
+    /// configuration.
+    pub fn new(config: ServerConfig) -> Self {
+        let device: Box<dyn BlockDevice> = match (config.storage.spindles, config.storage.prestoserve) {
+            (1, false) => Box::new(Disk::rz26()),
+            (1, true) => Box::new(Presto::new(PrestoParams::default(), Disk::rz26())),
+            (n, false) => Box::new(StripeSet::new(n, wg_disk::DiskParams::rz26(), 64 * 1024)),
+            (n, true) => Box::new(Presto::new(
+                PrestoParams::default(),
+                StripeSet::new(n, wg_disk::DiskParams::rz26(), 64 * 1024),
+            )),
+        };
+        let accelerated = config.storage.prestoserve;
+        let nfsds = vec![Nfsd { free_at: SimTime::ZERO }; config.nfsds.max(1)];
+        NfsServer {
+            sockbuf: SocketBuffer::with_capacity(config.socket_buffer_bytes),
+            dupcache: DuplicateRequestCache::new(config.dupcache_entries),
+            cpu: Cpu::with_speed(config.cpu_speed),
+            fs: Ufs::with_defaults(1),
+            device,
+            accelerated,
+            nfsds,
+            gathers: HashMap::new(),
+            vnode_locks: HashMap::new(),
+            wake_reasons: HashMap::new(),
+            next_token: 0,
+            stats: ServerStats::new(),
+            trace: Trace::disabled(),
+            config,
+        }
+    }
+
+    /// Enable event tracing (used by the Figure 1 harness and the
+    /// `timeline_trace` example).
+    pub fn enable_trace(&mut self) {
+        self.trace = Trace::enabled();
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The server's filesystem (exports, test setup, read-back verification).
+    pub fn fs(&self) -> &Ufs {
+        &self.fs
+    }
+
+    /// Mutable access to the filesystem for experiment setup (pre-creating
+    /// files outside the measured window).
+    pub fn fs_mut(&mut self) -> &mut Ufs {
+        &mut self.fs
+    }
+
+    /// The root directory's file handle, which clients obtain out of band (via
+    /// the MOUNT protocol in real deployments).
+    pub fn root_handle(&self) -> wg_nfsproto::FileHandle {
+        handle_for(&self.fs, self.fs.root()).expect("root always exists")
+    }
+
+    /// Mint a handle for an inode created through [`NfsServer::fs_mut`].
+    pub fn handle_for_ino(&self, ino: InodeNumber) -> Option<wg_nfsproto::FileHandle> {
+        handle_for(&self.fs, ino).ok()
+    }
+
+    /// Server-side statistics.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Storage-device statistics (the "server disk" rows of the tables).
+    pub fn device_stats(&self) -> DeviceStats {
+        self.device.stats()
+    }
+
+    /// CPU utilisation percentage over an observed span.
+    pub fn cpu_utilization_percent(&self, observed: Duration) -> f64 {
+        self.cpu.utilization_percent(observed)
+    }
+
+    /// Clear measurement state (device stats, CPU busy time, server stats)
+    /// without touching filesystem contents.  Called by the harness between
+    /// the warm-up/setup phase and the measured phase.
+    pub fn reset_measurement(&mut self) {
+        self.device.reset_stats();
+        self.cpu = Cpu::with_speed(self.config.cpu_speed);
+        self.stats = ServerStats::new();
+    }
+
+    /// The number of datagrams dropped because the socket buffer was full.
+    pub fn socket_drops(&self) -> u64 {
+        self.sockbuf.dropped()
+    }
+
+    /// Bytes of dirty, un-committed data currently in server memory.  For the
+    /// policies that honour the NFS stable-storage rule this is transient
+    /// (non-zero only while writes are in flight); for
+    /// [`WritePolicy::DangerousAsync`] it grows without bound — which is what
+    /// the crash-consistency tests assert.
+    pub fn uncommitted_bytes(&self) -> u64 {
+        self.fs.dirty_bytes()
+    }
+
+    /// The configuration the server was built with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    /// Process one input, producing actions for the orchestrator.
+    pub fn handle(&mut self, now: SimTime, input: ServerInput) -> Vec<ServerAction> {
+        let mut actions = Vec::new();
+        match input {
+            ServerInput::Datagram {
+                client,
+                call,
+                wire_size,
+                fragments,
+            } => {
+                self.on_datagram(now, client, call, wire_size, fragments, &mut actions);
+            }
+            ServerInput::Wakeup { token } => {
+                if let Some(reason) = self.wake_reasons.remove(&token) {
+                    match reason {
+                        WakeReason::NfsdFree => self.dispatch(now, &mut actions),
+                        WakeReason::GatherContinue { nfsd, ino } => {
+                            self.continue_gather(now, nfsd, ino, &mut actions);
+                        }
+                    }
+                }
+            }
+        }
+        actions
+    }
+
+    fn on_datagram(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        call: NfsCall,
+        wire_size: usize,
+        fragments: u32,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        self.trace.record(
+            now,
+            TraceKind::RequestArrived,
+            call.xid.0 as u64,
+            format!("{:?} ({} bytes)", call.body.procedure(), wire_size),
+        );
+        // Duplicate request handling happens before queueing, as the real
+        // server does it in the dispatch path: drop in-progress duplicates,
+        // answer completed ones from the cache.
+        match self.dupcache.lookup(client, call.xid) {
+            DupState::InProgress => {
+                self.stats.duplicate_requests += 1;
+                return;
+            }
+            DupState::Done(reply) => {
+                self.stats.duplicate_requests += 1;
+                let at = self.cpu.run(now, self.config.costs.reply_send);
+                actions.push(ServerAction::Reply {
+                    at,
+                    client,
+                    reply: *reply,
+                });
+                return;
+            }
+            DupState::New => {}
+        }
+        let incoming = Incoming {
+            client,
+            call,
+            fragments,
+            arrived: now,
+        };
+        if !self.sockbuf.offer(wire_size, incoming) {
+            self.stats.socket_drops += 1;
+            self.trace.record(now, TraceKind::RequestDropped, 0, "socket buffer full");
+            return;
+        }
+        self.dispatch(now, actions);
+    }
+
+    /// Assign queued requests to idle nfsds.
+    fn dispatch(&mut self, now: SimTime, actions: &mut Vec<ServerAction>) {
+        loop {
+            if self.sockbuf.is_empty() {
+                return;
+            }
+            let Some(nfsd) = self.find_idle_nfsd(now) else {
+                return;
+            };
+            let Some(incoming) = self.sockbuf.take() else {
+                return;
+            };
+            self.process_request(now, nfsd, incoming, actions);
+        }
+    }
+
+    fn find_idle_nfsd(&self, now: SimTime) -> Option<usize> {
+        self.nfsds
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.free_at <= now)
+            .map(|(i, _)| i)
+            .next()
+    }
+
+    fn schedule_wakeup(&mut self, at: SimTime, reason: WakeReason, actions: &mut Vec<ServerAction>) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.wake_reasons.insert(token, reason);
+        actions.push(ServerAction::Wakeup { at, token });
+    }
+
+    /// Mark an nfsd busy until `until` and arrange for the dispatcher to run
+    /// when it frees up.
+    fn occupy_nfsd(&mut self, nfsd: usize, until: SimTime, actions: &mut Vec<ServerAction>) {
+        self.nfsds[nfsd].free_at = until;
+        self.schedule_wakeup(until, WakeReason::NfsdFree, actions);
+    }
+
+    fn vnode_free(&self, ino: InodeNumber) -> SimTime {
+        self.vnode_locks.get(&ino).copied().unwrap_or(SimTime::ZERO)
+    }
+
+    fn process_request(
+        &mut self,
+        now: SimTime,
+        nfsd: usize,
+        incoming: Incoming,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        let Incoming {
+            client,
+            call,
+            fragments,
+            arrived,
+        } = incoming;
+        self.dupcache.start(client, call.xid);
+        self.trace.record(
+            now,
+            TraceKind::NfsdStart,
+            nfsd as u64,
+            format!("xid {} {:?}", call.xid.0, call.body.procedure()),
+        );
+        // Per-fragment reassembly plus RPC dispatch.
+        let cost = self.config.costs.packet_reassembly.saturating_mul(fragments as u64)
+            + self.config.costs.rpc_dispatch;
+        let t = self.cpu.run(now, cost);
+        let xid = call.xid;
+        match call.body {
+            NfsCallBody::Write(args) => {
+                self.handle_write(t, nfsd, client, xid, arrived, args, actions);
+            }
+            other => {
+                self.handle_simple(t, nfsd, client, xid, arrived, other, actions);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Non-write operations
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_simple(
+        &mut self,
+        t: SimTime,
+        nfsd: usize,
+        client: ClientId,
+        xid: Xid,
+        arrived: SimTime,
+        body: NfsCallBody,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        let now_nanos = t.as_nanos();
+        let light = self.config.costs.lightweight_op;
+        let mut done = self.cpu.run(t, light);
+        let reply_body = match body {
+            NfsCallBody::Null => NfsReplyBody::Null,
+            NfsCallBody::Getattr(a) => {
+                NfsReplyBody::Attr(self.attr_reply(&a.file))
+            }
+            NfsCallBody::Statfs(_a) => NfsReplyBody::Statfs(StatusReply::Ok(StatfsOk {
+                tsize: 8192,
+                bsize: 8192,
+                blocks: self.fs.total_block_count() as u32,
+                bfree: self.fs.free_block_count() as u32,
+                bavail: self.fs.free_block_count() as u32,
+            })),
+            NfsCallBody::Lookup(a) => match ino_from_handle(&self.fs, &a.dir)
+                .and_then(|dir| self.fs.lookup(dir, &a.name))
+            {
+                Ok(ino) => match (handle_for(&self.fs, ino), self.fs.getattr(ino)) {
+                    (Ok(fh), Ok(attrs)) => NfsReplyBody::DirOp(StatusReply::Ok(DirOpOk {
+                        file: fh,
+                        attributes: attributes_to_fattr(self.fs.fsid(), &attrs),
+                    })),
+                    _ => NfsReplyBody::DirOp(StatusReply::Err(NfsStatus::Io)),
+                },
+                Err(e) => NfsReplyBody::DirOp(StatusReply::Err(fs_error_to_status(e))),
+            },
+            NfsCallBody::Readdir(a) => match ino_from_handle(&self.fs, &a.dir)
+                .and_then(|dir| self.fs.readdir(dir))
+            {
+                Ok(names) => NfsReplyBody::Readdir(StatusReply::Ok(names)),
+                Err(e) => NfsReplyBody::Readdir(StatusReply::Err(fs_error_to_status(e))),
+            },
+            NfsCallBody::Setattr(a) => match ino_from_handle(&self.fs, &a.file).and_then(|ino| {
+                let size = if a.attributes.size == u32::MAX {
+                    None
+                } else {
+                    Some(a.attributes.size as u64)
+                };
+                let mode = if a.attributes.mode == u32::MAX {
+                    None
+                } else {
+                    Some(a.attributes.mode)
+                };
+                self.fs.setattr(ino, mode, size, now_nanos)
+            }) {
+                Ok((attrs, plan)) => {
+                    done = self.run_io_plan(done, plan.data.iter().chain(plan.metadata.iter()));
+                    NfsReplyBody::Attr(StatusReply::Ok(attributes_to_fattr(self.fs.fsid(), &attrs)))
+                }
+                Err(e) => NfsReplyBody::Attr(StatusReply::Err(fs_error_to_status(e))),
+            },
+            NfsCallBody::Create(a) => {
+                let mode = if a.attributes.mode == u32::MAX { 0o644 } else { a.attributes.mode };
+                match ino_from_handle(&self.fs, &a.where_.dir)
+                    .and_then(|dir| self.fs.create(dir, &a.where_.name, mode, now_nanos))
+                {
+                    Ok(ino) => {
+                        // A create changes the directory and the new inode; both
+                        // metadata updates must be stable before the reply.
+                        let dir_ino = ino_from_handle(&self.fs, &a.where_.dir).expect("checked");
+                        let mut plan = self.fs.fsync(dir_ino, FsyncFlags::MetadataOnly).unwrap_or_default();
+                        if let Ok(p) = self.fs.fsync(ino, FsyncFlags::MetadataOnly) {
+                            plan.extend(p);
+                        }
+                        done = self.run_io_plan(done, plan.data.iter().chain(plan.metadata.iter()));
+                        match (handle_for(&self.fs, ino), self.fs.getattr(ino)) {
+                            (Ok(fh), Ok(attrs)) => NfsReplyBody::DirOp(StatusReply::Ok(DirOpOk {
+                                file: fh,
+                                attributes: attributes_to_fattr(self.fs.fsid(), &attrs),
+                            })),
+                            _ => NfsReplyBody::DirOp(StatusReply::Err(NfsStatus::Io)),
+                        }
+                    }
+                    Err(e) => NfsReplyBody::DirOp(StatusReply::Err(fs_error_to_status(e))),
+                }
+            }
+            NfsCallBody::Remove(a) => match ino_from_handle(&self.fs, &a.dir)
+                .and_then(|dir| self.fs.remove(dir, &a.name, now_nanos).map(|()| dir))
+            {
+                Ok(dir) => {
+                    let plan = self.fs.fsync(dir, FsyncFlags::MetadataOnly).unwrap_or_default();
+                    done = self.run_io_plan(done, plan.data.iter().chain(plan.metadata.iter()));
+                    NfsReplyBody::Status(NfsStatus::Ok)
+                }
+                Err(e) => NfsReplyBody::Status(fs_error_to_status(e)),
+            },
+            NfsCallBody::Read(a) => match ino_from_handle(&self.fs, &a.file)
+                .and_then(|ino| self.fs.read(ino, a.offset as u64, a.count as u64).map(|r| (ino, r)))
+            {
+                Ok((ino, outcome)) => {
+                    // Charge the buffer-cache copy and any disk reads for
+                    // missed blocks.
+                    let copy = Duration::from_nanos(
+                        self.config.costs.copy_per_byte.as_nanos() * outcome.data.len() as u64,
+                    );
+                    done = self.cpu.run(done, copy);
+                    done = self.run_io_plan(done, outcome.misses.iter());
+                    let attrs = self.fs.getattr(ino).expect("inode is live");
+                    NfsReplyBody::Read(StatusReply::Ok(ReadOk {
+                        attributes: attributes_to_fattr(self.fs.fsid(), &attrs),
+                        data: outcome.data,
+                    }))
+                }
+                Err(e) => NfsReplyBody::Read(StatusReply::Err(fs_error_to_status(e))),
+            },
+            NfsCallBody::Write(_) => unreachable!("writes are handled by handle_write"),
+        };
+        self.stats.other_ops_completed.record(0);
+        let reply_at = self.finish_reply(done, client, xid, arrived, reply_body, actions);
+        self.occupy_nfsd(nfsd, reply_at, actions);
+    }
+
+    fn attr_reply(&mut self, fh: &wg_nfsproto::FileHandle) -> StatusReply<wg_nfsproto::Fattr> {
+        match ino_from_handle(&self.fs, fh).and_then(|ino| self.fs.getattr(ino)) {
+            Ok(attrs) => StatusReply::Ok(attributes_to_fattr(self.fs.fsid(), &attrs)),
+            Err(e) => StatusReply::Err(fs_error_to_status(e)),
+        }
+    }
+
+    /// Submit a sequence of device requests, charging the driver setup and
+    /// interrupt handling to the CPU.  Returns the time everything is stable.
+    ///
+    /// These costs are accounted with [`Cpu::run_overlapped`] rather than the
+    /// serialising [`Cpu::run`]: the transfers complete at simulated times in
+    /// the *future* relative to the event being processed, and letting them
+    /// reserve the serial CPU ahead of time would head-of-line block requests
+    /// that in reality would have been dispatched in between.  Utilisation
+    /// accounting is unaffected.
+    fn run_io_plan<'a>(&mut self, start: SimTime, reqs: impl Iterator<Item = &'a DiskRequest>) -> SimTime {
+        let mut done = start;
+        for req in reqs {
+            // Accelerated filesystems pay the Presto driver entry plus the
+            // CPU copy of the payload into NVRAM; plain disks only pay the
+            // driver setup (the data moves by DMA).
+            let trip = if self.accelerated {
+                self.config.costs.driver_trip
+                    + self.config.costs.presto_trip
+                    + Duration::from_nanos(self.config.costs.copy_per_byte.as_nanos() * req.len)
+            } else {
+                self.config.costs.driver_trip
+            };
+            let submit_at = self.cpu.run_overlapped(done, trip);
+            let io_done = self.device.submit(submit_at, *req);
+            done = self.cpu.run_overlapped(io_done, self.config.costs.interrupt);
+            let kind = if req.kind == wg_disk::IoKind::Write { "write" } else { "read" };
+            self.trace.record(
+                submit_at,
+                if req.len > 8192 || kind == "write" { TraceKind::DataToDisk } else { TraceKind::DataToDisk },
+                req.len,
+                format!("{kind} {} bytes @ {}", req.len, req.addr),
+            );
+        }
+        done
+    }
+
+    /// Build the reply, charge the send cost, record statistics and hand the
+    /// reply to the orchestrator.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_reply(
+        &mut self,
+        done: SimTime,
+        client: ClientId,
+        xid: Xid,
+        arrived: SimTime,
+        body: NfsReplyBody,
+        actions: &mut Vec<ServerAction>,
+    ) -> SimTime {
+        // Reply construction usually happens right after an I/O completion,
+        // i.e. in this event's future; account the cost without reserving the
+        // serial CPU ahead of other requests (see `run_io_plan`).
+        let at = self.cpu.run_overlapped(done, self.config.costs.reply_send);
+        let reply = NfsReply::new(xid, body);
+        self.dupcache.complete(client, xid, reply.clone());
+        self.stats.replies_sent += 1;
+        self.stats.residence.record(at.since(arrived));
+        self.trace.record(at, TraceKind::ReplySent, xid.0 as u64, "");
+        actions.push(ServerAction::Reply { at, client, reply });
+        at
+    }
+
+    // ------------------------------------------------------------------
+    // The write path
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_write(
+        &mut self,
+        t: SimTime,
+        nfsd: usize,
+        client: ClientId,
+        xid: Xid,
+        arrived: SimTime,
+        args: WriteArgs,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        let ino = match ino_from_handle(&self.fs, &args.file) {
+            Ok(ino) => ino,
+            Err(e) => {
+                let reply_at = self.finish_reply(
+                    t,
+                    client,
+                    xid,
+                    arrived,
+                    NfsReplyBody::Attr(StatusReply::Err(fs_error_to_status(e))),
+                    actions,
+                );
+                self.occupy_nfsd(nfsd, reply_at, actions);
+                return;
+            }
+        };
+        match self.config.policy {
+            WritePolicy::Standard => {
+                self.standard_write(t, nfsd, client, xid, arrived, ino, &args, actions)
+            }
+            WritePolicy::DangerousAsync => {
+                self.dangerous_write(t, nfsd, client, xid, arrived, ino, &args, actions)
+            }
+            WritePolicy::Gathering | WritePolicy::FirstWriteLatency => {
+                self.gathering_write(t, nfsd, client, xid, arrived, ino, &args, actions)
+            }
+        }
+    }
+
+    fn write_copy_cost(&self, len: usize) -> Duration {
+        self.config.costs.ufs_trip
+            + Duration::from_nanos(self.config.costs.copy_per_byte.as_nanos() * len as u64)
+    }
+
+    /// The baseline path: commit data and metadata synchronously under the
+    /// vnode lock, then reply.
+    #[allow(clippy::too_many_arguments)]
+    fn standard_write(
+        &mut self,
+        t: SimTime,
+        nfsd: usize,
+        client: ClientId,
+        xid: Xid,
+        arrived: SimTime,
+        ino: InodeNumber,
+        args: &WriteArgs,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        let lock_at = t.max(self.vnode_free(ino));
+        let t1 = self.cpu.run(lock_at, self.write_copy_cost(args.data.len()));
+        let outcome = self
+            .fs
+            .write(ino, args.offset as u64, &args.data, WriteFlags::Sync, t1.as_nanos());
+        match outcome {
+            Ok(out) => {
+                let done = self.run_io_plan(t1, out.io.data.iter().chain(out.io.metadata.iter()));
+                if !out.io.metadata.is_empty() {
+                    self.trace.record(done, TraceKind::MetadataToDisk, ino, "inode/indirect");
+                    self.stats.metadata_flushes += 1;
+                }
+                self.vnode_locks.insert(ino, done);
+                let body = NfsReplyBody::Attr(self.attr_reply(&args.file));
+                self.stats.writes_completed.record(args.data.len() as u64);
+                self.stats.write_residence.record(done.since(arrived));
+                let reply_at = self.finish_reply(done, client, xid, arrived, body, actions);
+                self.occupy_nfsd(nfsd, reply_at, actions);
+            }
+            Err(e) => {
+                let reply_at = self.finish_reply(
+                    t1,
+                    client,
+                    xid,
+                    arrived,
+                    NfsReplyBody::Attr(StatusReply::Err(fs_error_to_status(e))),
+                    actions,
+                );
+                self.occupy_nfsd(nfsd, reply_at, actions);
+            }
+        }
+    }
+
+    /// "Dangerous mode": reply as soon as the data is in volatile memory.
+    #[allow(clippy::too_many_arguments)]
+    fn dangerous_write(
+        &mut self,
+        t: SimTime,
+        nfsd: usize,
+        client: ClientId,
+        xid: Xid,
+        arrived: SimTime,
+        ino: InodeNumber,
+        args: &WriteArgs,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        let t1 = self.cpu.run(t, self.write_copy_cost(args.data.len()));
+        let body = match self.fs.write(
+            ino,
+            args.offset as u64,
+            &args.data,
+            WriteFlags::DelayData,
+            t1.as_nanos(),
+        ) {
+            Ok(_) => {
+                self.stats.writes_completed.record(args.data.len() as u64);
+                self.stats.write_residence.record(t1.since(arrived));
+                NfsReplyBody::Attr(self.attr_reply(&args.file))
+            }
+            Err(e) => NfsReplyBody::Attr(StatusReply::Err(fs_error_to_status(e))),
+        };
+        let reply_at = self.finish_reply(t1, client, xid, arrived, body, actions);
+        self.occupy_nfsd(nfsd, reply_at, actions);
+    }
+
+    /// The gathering path (§6.8), also used — with the latency window replaced
+    /// by the first write's own data transfer — for the [SIVA93] comparison
+    /// policy.
+    #[allow(clippy::too_many_arguments)]
+    fn gathering_write(
+        &mut self,
+        t: SimTime,
+        nfsd: usize,
+        client: ClientId,
+        xid: Xid,
+        arrived: SimTime,
+        ino: InodeNumber,
+        args: &WriteArgs,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        // Hand off the data to UFS.  Accelerated filesystems take the data
+        // synchronously (it lands in NVRAM); plain disks keep it delayed in
+        // the cache so the later flush can cluster it.
+        let flags = if self.accelerated {
+            WriteFlags::SyncDataOnly
+        } else {
+            WriteFlags::DelayData
+        };
+        let lock_at = t.max(self.vnode_free(ino));
+        let cost = self.write_copy_cost(args.data.len()) + self.config.costs.gather_bookkeeping;
+        let t1 = self.cpu.run(lock_at, cost);
+        let outcome = self
+            .fs
+            .write(ino, args.offset as u64, &args.data, flags, t1.as_nanos());
+        let out = match outcome {
+            Ok(out) => out,
+            Err(e) => {
+                let reply_at = self.finish_reply(
+                    t1,
+                    client,
+                    xid,
+                    arrived,
+                    NfsReplyBody::Attr(StatusReply::Err(fs_error_to_status(e))),
+                    actions,
+                );
+                self.occupy_nfsd(nfsd, reply_at, actions);
+                return;
+            }
+        };
+        // For the accelerated path the data goes to NVRAM right now.
+        let mut t2 = if out.io.data.is_empty() {
+            t1
+        } else {
+            self.run_io_plan(t1, out.io.data.iter())
+        };
+        self.vnode_locks.insert(ino, t2);
+
+        // Queue this write's descriptor.
+        let gather = self.gathers.entry(ino).or_insert_with(FileGather::new);
+        gather.push(PendingWrite {
+            client,
+            xid,
+            offset: args.offset as u64,
+            len: args.data.len() as u64,
+            arrived,
+        });
+        self.stats.writes_completed.record(args.data.len() as u64);
+
+        // Can we leave the metadata update to somebody else?
+        if self.gathers[&ino].can_join() {
+            self.stats.writes_gathered += 1;
+            self.trace.record(t2, TraceKind::ReplyDeferred, xid.0 as u64, "joined existing gather");
+            self.occupy_nfsd(nfsd, t2, actions);
+            return;
+        }
+        if self.config.mbuf_hunter {
+            t2 = self.cpu.run(t2, self.config.costs.mbuf_hunt);
+            if self.socket_buffer_has_write_for(ino) {
+                self.stats.writes_gathered += 1;
+                self.trace.record(t2, TraceKind::ReplyDeferred, xid.0 as u64, "mbuf hunter found follow-on write");
+                self.occupy_nfsd(nfsd, t2, actions);
+                return;
+            }
+        }
+
+        // Nobody to hand off to: take responsibility.
+        self.gathers
+            .get_mut(&ino)
+            .expect("gather entry exists")
+            .responsible = Some((nfsd, GatherPhase::Procrastinating));
+
+        match self.config.policy {
+            WritePolicy::FirstWriteLatency => {
+                // [SIVA93]: flush this write's own data immediately; its disk
+                // time is the window in which other writes may arrive.
+                let own_plan = self
+                    .fs
+                    .sync_data(ino, args.offset as u64, args.offset as u64 + args.data.len() as u64)
+                    .unwrap_or_default();
+                let window_end = self.run_io_plan(t2, own_plan.data.iter());
+                self.trace.record(t2, TraceKind::Procrastinate, nfsd as u64, "first-write latency window");
+                self.nfsds[nfsd].free_at = window_end;
+                self.schedule_wakeup(window_end, WakeReason::GatherContinue { nfsd, ino }, actions);
+            }
+            _ => {
+                // The paper's procrastination: sleep for a transport-dependent
+                // interval hoping company arrives.
+                let wake_at = t2 + self.config.procrastination;
+                self.trace.record(
+                    t2,
+                    TraceKind::Procrastinate,
+                    nfsd as u64,
+                    format!("{} procrastination", self.config.procrastination),
+                );
+                self.nfsds[nfsd].free_at = wake_at;
+                self.schedule_wakeup(wake_at, WakeReason::GatherContinue { nfsd, ino }, actions);
+            }
+        }
+    }
+
+    fn socket_buffer_has_write_for(&self, ino: InodeNumber) -> bool {
+        self.sockbuf.scan().any(|inc| match &inc.call.body {
+            NfsCallBody::Write(w) => {
+                ino_from_handle(&self.fs, &w.file).map(|i| i == ino).unwrap_or(false)
+            }
+            _ => false,
+        })
+    }
+
+    /// The responsible nfsd's continuation: its procrastination (or
+    /// first-write latency window) ended; decide whether to hand off once more
+    /// or to become the metadata writer.
+    fn continue_gather(
+        &mut self,
+        now: SimTime,
+        nfsd: usize,
+        ino: InodeNumber,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        let Some(gather) = self.gathers.get(&ino) else {
+            self.nfsds[nfsd].free_at = now;
+            self.dispatch(now, actions);
+            return;
+        };
+        // Did company arrive while we slept?
+        if gather.pending_count() > 1 {
+            self.stats.procrastination_hits += 1;
+        } else {
+            self.stats.procrastination_misses += 1;
+        }
+        // One more chance to hand off: if the socket buffer already holds a
+        // follow-on write for this file, the nfsd that will serve it can do
+        // the flush and cover our batch too.
+        if self.config.mbuf_hunter && self.socket_buffer_has_write_for(ino) {
+            if let Some(g) = self.gathers.get_mut(&ino) {
+                g.responsible = None;
+            }
+            self.nfsds[nfsd].free_at = now;
+            self.dispatch(now, actions);
+            return;
+        }
+        self.flush_gathered(now, nfsd, ino, actions);
+    }
+
+    /// Become the metadata writer: flush gathered data, flush metadata once,
+    /// send every pending reply.
+    fn flush_gathered(
+        &mut self,
+        now: SimTime,
+        nfsd: usize,
+        ino: InodeNumber,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        let Some(gather) = self.gathers.get_mut(&ino) else {
+            return;
+        };
+        let (mut batch, from, to) = gather.take_batch(nfsd);
+        if batch.is_empty() {
+            gather.finish(nfsd);
+            self.nfsds[nfsd].free_at = now;
+            self.dispatch(now, actions);
+            return;
+        }
+        // VOP_SYNCDATA with the gathered range as a hint, then VOP_FSYNC for
+        // the metadata.  Both are skipped naturally when the data already went
+        // to NVRAM (sync_data finds nothing dirty).
+        let t1 = self.cpu.run(now, self.config.costs.ufs_trip);
+        let data_plan = self.fs.sync_data(ino, from, to).unwrap_or_default();
+        let meta_plan = self.fs.fsync(ino, FsyncFlags::MetadataOnly).unwrap_or_default();
+        let mut done = self.run_io_plan(t1, data_plan.data.iter());
+        if !meta_plan.metadata.is_empty() {
+            done = self.run_io_plan(done, meta_plan.metadata.iter());
+            self.trace.record(done, TraceKind::MetadataToDisk, ino, "gathered metadata flush");
+        }
+        self.stats.record_batch(batch.len());
+
+        // Send the pending replies.  FIFO is arrival order (the order they
+        // were pushed); LIFO reverses it.
+        if self.config.reply_order == ReplyOrder::Lifo {
+            batch.reverse();
+        }
+        let fattr = self
+            .fs
+            .getattr(ino)
+            .map(|attrs| attributes_to_fattr(self.fs.fsid(), &attrs));
+        for w in batch {
+            let body = match &fattr {
+                Ok(f) => NfsReplyBody::Attr(StatusReply::Ok(*f)),
+                Err(e) => NfsReplyBody::Attr(StatusReply::Err(fs_error_to_status(*e))),
+            };
+            self.stats.write_residence.record(done.since(w.arrived));
+            done = self.finish_reply(done, w.client, w.xid, w.arrived, body, actions);
+        }
+        if let Some(g) = self.gathers.get_mut(&ino) {
+            g.finish(nfsd);
+        }
+        self.occupy_nfsd(nfsd, done, actions);
+    }
+
+    /// Force any still-deferred state out to stable storage (used at the end
+    /// of an experiment and by tests).  Returns the time everything is stable.
+    pub fn quiesce(&mut self, now: SimTime, actions: &mut Vec<ServerAction>) -> SimTime {
+        let inos: Vec<InodeNumber> = self.gathers.keys().copied().collect();
+        let mut done = now;
+        for ino in inos {
+            if self
+                .gathers
+                .get(&ino)
+                .map(|g| g.pending_count() > 0)
+                .unwrap_or(false)
+            {
+                self.flush_gathered(now, 0, ino, actions);
+                done = done.max(self.nfsds[0].free_at);
+            }
+        }
+        done.max(self.device.free_at())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_nfsproto::{NfsCall, WriteArgs};
+
+    fn write_call(server: &NfsServer, ino: InodeNumber, xid: u32, offset: u64, len: usize) -> NfsCall {
+        let fh = server.handle_for_ino(ino).unwrap();
+        NfsCall::new(Xid(xid), NfsCallBody::Write(WriteArgs::new(fh, offset as u32, vec![7u8; len])))
+    }
+
+    fn datagram(call: NfsCall) -> ServerInput {
+        let wire = call.wire_size();
+        ServerInput::Datagram {
+            client: 1,
+            call,
+            wire_size: wire,
+            fragments: 6,
+        }
+    }
+
+    /// Drive the server until it has no outstanding wake-ups, collecting
+    /// replies.  Inputs are injected at the given times.
+    fn run_to_completion(
+        server: &mut NfsServer,
+        mut inputs: Vec<(SimTime, ServerInput)>,
+    ) -> Vec<(SimTime, NfsReply)> {
+        let mut queue = wg_simcore::EventQueue::new();
+        inputs.sort_by_key(|(t, _)| *t);
+        for (t, input) in inputs {
+            queue.schedule_at(t, input);
+        }
+        let mut replies = Vec::new();
+        while let Some((t, input)) = queue.pop() {
+            for action in server.handle(t, input) {
+                match action {
+                    ServerAction::Wakeup { at, token } => {
+                        queue.schedule_at(at, ServerInput::Wakeup { token });
+                    }
+                    ServerAction::Reply { at, reply, .. } => replies.push((at, reply)),
+                }
+            }
+        }
+        replies
+    }
+
+    fn make_server(policy: WritePolicy) -> (NfsServer, InodeNumber) {
+        let mut cfg = ServerConfig::standard();
+        cfg.policy = policy;
+        let mut server = NfsServer::new(cfg);
+        let root = server.fs().root();
+        let ino = server.fs_mut().create(root, "target", 0o644, 0).unwrap();
+        (server, ino)
+    }
+
+    #[test]
+    fn standard_write_replies_after_data_and_metadata_are_stable() {
+        let (mut server, ino) = make_server(WritePolicy::Standard);
+        let call = write_call(&server, ino, 1, 0, 8192);
+        let replies = run_to_completion(&mut server, vec![(SimTime::ZERO, datagram(call))]);
+        assert_eq!(replies.len(), 1);
+        let (at, reply) = &replies[0];
+        assert!(reply.body.is_ok());
+        // Data + inode seek on an RZ26: the reply cannot be earlier than ~15 ms.
+        assert!(*at > SimTime::from_millis(10), "reply at {at:?}");
+        // Nothing dirty remains: the stable-storage contract held.
+        assert_eq!(server.uncommitted_bytes(), 0);
+        assert_eq!(server.device_stats().transfers.events(), 2);
+    }
+
+    #[test]
+    fn gathering_batches_writes_and_reduces_disk_transactions() {
+        let (mut server, ino) = make_server(WritePolicy::Gathering);
+        // Eight 8 KB writes arriving 1 ms apart (well within the 8 ms
+        // procrastination window).
+        let inputs: Vec<_> = (0..8u64)
+            .map(|i| {
+                let call = write_call(&server, ino, 100 + i as u32, i * 8192, 8192);
+                (SimTime::from_millis(i), datagram(call))
+            })
+            .collect();
+        let replies = run_to_completion(&mut server, inputs);
+        assert_eq!(replies.len(), 8);
+        assert!(replies.iter().all(|(_, r)| r.body.is_ok()));
+        // All replies carry the same mtime (single metadata update).
+        let mtimes: Vec<_> = replies
+            .iter()
+            .map(|(_, r)| match &r.body {
+                NfsReplyBody::Attr(StatusReply::Ok(f)) => f.mtime,
+                other => panic!("unexpected body {other:?}"),
+            })
+            .collect();
+        assert!(mtimes.windows(2).all(|w| w[0] == w[1]));
+        // The whole burst cost far fewer disk transactions than 8 standard
+        // writes (which would be ~16): one clustered data write, an inode and
+        // an indirect block at most.
+        let transfers = server.device_stats().transfers.events();
+        assert!(transfers <= 4, "got {transfers} transfers");
+        assert_eq!(server.stats().writes_gathered, 7);
+        assert!(server.stats().mean_batch_size() >= 7.9);
+        assert_eq!(server.uncommitted_bytes(), 0);
+    }
+
+    #[test]
+    fn gathering_replies_are_fifo_by_default() {
+        let (mut server, ino) = make_server(WritePolicy::Gathering);
+        let inputs: Vec<_> = (0..5u64)
+            .map(|i| {
+                let call = write_call(&server, ino, 200 + i as u32, i * 8192, 8192);
+                (SimTime::from_millis(i), datagram(call))
+            })
+            .collect();
+        let replies = run_to_completion(&mut server, inputs);
+        let xids: Vec<u32> = replies.iter().map(|(_, r)| r.xid.0).collect();
+        assert_eq!(xids, vec![200, 201, 202, 203, 204]);
+        // And reply times never decrease.
+        assert!(replies.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn lifo_order_reverses_the_batch() {
+        let mut cfg = ServerConfig::gathering();
+        cfg.reply_order = ReplyOrder::Lifo;
+        let mut server = NfsServer::new(cfg);
+        let root = server.fs().root();
+        let ino = server.fs_mut().create(root, "t", 0o644, 0).unwrap();
+        let inputs: Vec<_> = (0..4u64)
+            .map(|i| {
+                let call = write_call(&server, ino, 300 + i as u32, i * 8192, 8192);
+                (SimTime::from_millis(i), datagram(call))
+            })
+            .collect();
+        let replies = run_to_completion(&mut server, inputs);
+        let xids: Vec<u32> = replies.iter().map(|(_, r)| r.xid.0).collect();
+        assert_eq!(xids, vec![303, 302, 301, 300]);
+    }
+
+    #[test]
+    fn lone_write_pays_the_procrastination_penalty_but_still_commits() {
+        let (mut server, ino) = make_server(WritePolicy::Gathering);
+        let call = write_call(&server, ino, 1, 0, 8192);
+        let replies = run_to_completion(&mut server, vec![(SimTime::ZERO, datagram(call))]);
+        assert_eq!(replies.len(), 1);
+        // The reply waited for the 8 ms procrastination plus the flush.
+        assert!(replies[0].0 > SimTime::from_millis(8 + 10));
+        assert_eq!(server.stats().procrastination_misses, 1);
+        assert_eq!(server.stats().procrastination_hits, 0);
+        assert_eq!(server.uncommitted_bytes(), 0);
+    }
+
+    #[test]
+    fn standard_writes_to_same_file_serialise_on_the_vnode_lock() {
+        let (mut server, ino) = make_server(WritePolicy::Standard);
+        let inputs: Vec<_> = (0..4u64)
+            .map(|i| {
+                let call = write_call(&server, ino, 400 + i as u32, i * 8192, 8192);
+                (SimTime::ZERO, datagram(call))
+            })
+            .collect();
+        let replies = run_to_completion(&mut server, inputs);
+        assert_eq!(replies.len(), 4);
+        let last = replies.iter().map(|(t, _)| *t).max().unwrap();
+        // Four writes, each needing two disk transactions of ~10-17 ms,
+        // serialised: the last reply lands far beyond a single write's time.
+        assert!(last > SimTime::from_millis(60), "last reply {last:?}");
+        assert_eq!(server.device_stats().transfers.events(), 8);
+    }
+
+    #[test]
+    fn dangerous_mode_replies_fast_but_leaves_uncommitted_data() {
+        let (mut server, ino) = make_server(WritePolicy::DangerousAsync);
+        let call = write_call(&server, ino, 1, 0, 8192);
+        let replies = run_to_completion(&mut server, vec![(SimTime::ZERO, datagram(call))]);
+        assert_eq!(replies.len(), 1);
+        assert!(replies[0].0 < SimTime::from_millis(2));
+        // The crash-recovery contract is violated: dirty bytes linger with no
+        // disk transactions issued.
+        assert_eq!(server.uncommitted_bytes(), 8192);
+        assert_eq!(server.device_stats().transfers.events(), 0);
+    }
+
+    #[test]
+    fn first_write_latency_policy_gathers_followers() {
+        let (mut server, ino) = make_server(WritePolicy::FirstWriteLatency);
+        let inputs: Vec<_> = (0..4u64)
+            .map(|i| {
+                let call = write_call(&server, ino, 500 + i as u32, i * 8192, 8192);
+                (SimTime::from_millis(i), datagram(call))
+            })
+            .collect();
+        let replies = run_to_completion(&mut server, inputs);
+        assert_eq!(replies.len(), 4);
+        // The first write went to disk alone (8 KB), later arrivals were
+        // gathered during that window.
+        assert!(server.stats().writes_gathered >= 2);
+        assert_eq!(server.uncommitted_bytes(), 0);
+    }
+
+    #[test]
+    fn duplicate_write_is_not_reexecuted() {
+        let (mut server, ino) = make_server(WritePolicy::Gathering);
+        let call = write_call(&server, ino, 42, 0, 8192);
+        let dup = call.clone();
+        let replies = run_to_completion(
+            &mut server,
+            vec![
+                (SimTime::ZERO, datagram(call)),
+                // Retransmission arrives while the original is still gathered.
+                (SimTime::from_millis(2), datagram(dup.clone())),
+                // And again long after the reply went out.
+                (SimTime::from_millis(200), datagram(dup)),
+            ],
+        );
+        // Original reply + replay of the cached reply; the in-progress
+        // duplicate was dropped silently.
+        assert_eq!(replies.len(), 2);
+        assert_eq!(server.stats().duplicate_requests, 2);
+        // The file contains the data exactly once.
+        assert_eq!(server.fs().dirty_bytes(), 0);
+        let mut fs = server.fs().clone();
+        let read = fs.read(ino, 0, 8192).unwrap();
+        assert_eq!(read.data, vec![7u8; 8192]);
+    }
+
+    #[test]
+    fn stale_handle_write_gets_a_stale_error() {
+        let (mut server, ino) = make_server(WritePolicy::Gathering);
+        let call = write_call(&server, ino, 9, 0, 1024);
+        let root = server.fs().root();
+        server.fs_mut().remove(root, "target", 5).unwrap();
+        let replies = run_to_completion(&mut server, vec![(SimTime::ZERO, datagram(call))]);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].1.body.status(), NfsStatus::Stale);
+    }
+
+    #[test]
+    fn non_write_operations_are_served() {
+        let (mut server, ino) = make_server(WritePolicy::Gathering);
+        let fh = server.handle_for_ino(ino).unwrap();
+        let root_fh = server.root_handle();
+        let calls = vec![
+            NfsCall::new(Xid(1), NfsCallBody::Getattr(wg_nfsproto::GetattrArgs { file: fh })),
+            NfsCall::new(
+                Xid(2),
+                NfsCallBody::Lookup(wg_nfsproto::DirOpArgs {
+                    dir: root_fh,
+                    name: "target".into(),
+                }),
+            ),
+            NfsCall::new(
+                Xid(3),
+                NfsCallBody::Create(wg_nfsproto::CreateArgs {
+                    where_: wg_nfsproto::DirOpArgs {
+                        dir: root_fh,
+                        name: "new-file".into(),
+                    },
+                    attributes: wg_nfsproto::Sattr::with_mode(0o600),
+                }),
+            ),
+            NfsCall::new(
+                Xid(4),
+                NfsCallBody::Read(wg_nfsproto::ReadArgs {
+                    file: fh,
+                    offset: 0,
+                    count: 4096,
+                    totalcount: 0,
+                }),
+            ),
+            NfsCall::new(Xid(5), NfsCallBody::Readdir(wg_nfsproto::ReaddirArgs {
+                dir: root_fh,
+                cookie: 0,
+                count: 4096,
+            })),
+            NfsCall::new(Xid(6), NfsCallBody::Statfs(wg_nfsproto::GetattrArgs { file: root_fh })),
+            NfsCall::new(
+                Xid(7),
+                NfsCallBody::Remove(wg_nfsproto::DirOpArgs {
+                    dir: root_fh,
+                    name: "new-file".into(),
+                }),
+            ),
+            NfsCall::new(Xid(8), NfsCallBody::Null),
+        ];
+        let inputs: Vec<_> = calls
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (SimTime::from_millis(i as u64 * 30), datagram(c)))
+            .collect();
+        let replies = run_to_completion(&mut server, inputs);
+        assert_eq!(replies.len(), 8);
+        assert!(replies.iter().all(|(_, r)| r.body.is_ok()), "{replies:#?}");
+        assert_eq!(server.stats().other_ops_completed.events(), 8);
+    }
+
+    #[test]
+    fn socket_buffer_overflow_drops_requests() {
+        let mut cfg = ServerConfig::gathering();
+        cfg.socket_buffer_bytes = 20_000; // room for ~2 8 KB writes
+        cfg.nfsds = 1;
+        let mut server = NfsServer::new(cfg);
+        let root = server.fs().root();
+        let ino = server.fs_mut().create(root, "t", 0o644, 0).unwrap();
+        // Ten writes all arriving at t=0: the single nfsd is busy with the
+        // first while the rest overflow the tiny socket buffer.
+        let inputs: Vec<_> = (0..10u64)
+            .map(|i| {
+                let call = write_call(&server, ino, 600 + i as u32, i * 8192, 8192);
+                (SimTime::ZERO, datagram(call))
+            })
+            .collect();
+        let replies = run_to_completion(&mut server, inputs);
+        assert!(server.socket_drops() > 0);
+        assert!(replies.len() < 10);
+    }
+
+    #[test]
+    fn quiesce_flushes_orphaned_batches() {
+        let (mut server, ino) = make_server(WritePolicy::DangerousAsync);
+        let call = write_call(&server, ino, 1, 0, 8192);
+        run_to_completion(&mut server, vec![(SimTime::ZERO, datagram(call))]);
+        assert!(server.uncommitted_bytes() > 0);
+        // Dangerous mode never flushes on its own; quiesce only drains the
+        // gathering queues, so dirty bytes remain: exactly the data a crash
+        // would lose.
+        let mut actions = Vec::new();
+        server.quiesce(SimTime::from_secs(1), &mut actions);
+        assert!(server.uncommitted_bytes() > 0);
+    }
+
+    #[test]
+    fn presto_gathering_cuts_metadata_work() {
+        let mut cfg = ServerConfig::gathering().with_presto(true);
+        cfg.procrastination = Duration::from_millis(5);
+        let mut server = NfsServer::new(cfg);
+        let root = server.fs().root();
+        let ino = server.fs_mut().create(root, "p", 0o644, 0).unwrap();
+        let inputs: Vec<_> = (0..8u64)
+            .map(|i| {
+                let call = write_call(&server, ino, 700 + i as u32, i * 8192, 8192);
+                (SimTime::from_millis(i / 2), datagram(call))
+            })
+            .collect();
+        let replies = run_to_completion(&mut server, inputs);
+        assert_eq!(replies.len(), 8);
+        // With NVRAM the data writes complete quickly and the metadata was
+        // amortised across the batch.
+        assert!(server.stats().metadata_flushes <= 2);
+        assert_eq!(server.uncommitted_bytes(), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! The block-device interface and its statistics.
+
+use wg_simcore::{Counter, Duration, SimTime, Utilization};
+
+/// Whether an I/O transfers data to or from the medium.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum IoKind {
+    /// A read from the medium.
+    Read,
+    /// A write to the medium.
+    Write,
+}
+
+/// One request submitted to a block device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DiskRequest {
+    /// Starting byte address on the device.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Read or write.
+    pub kind: IoKind,
+}
+
+impl DiskRequest {
+    /// A write request.
+    pub fn write(addr: u64, len: u64) -> Self {
+        DiskRequest {
+            addr,
+            len,
+            kind: IoKind::Write,
+        }
+    }
+
+    /// A read request.
+    pub fn read(addr: u64, len: u64) -> Self {
+        DiskRequest {
+            addr,
+            len,
+            kind: IoKind::Read,
+        }
+    }
+}
+
+/// Throughput and utilisation statistics for a block device.
+///
+/// `transfers` counts *device transactions* — the quantity in the
+/// "server disk (trans/sec)" rows of Tables 1–6.  For a stripe set, each
+/// member-disk transfer counts as one transaction, matching how the paper
+/// reports "server disks (trans/sec)" for the 3-drive configuration.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct DeviceStats {
+    /// Completed transfers (events) and bytes moved.
+    pub transfers: Counter,
+    /// Accumulated medium busy time.
+    pub busy: Utilization,
+}
+
+impl DeviceStats {
+    /// Create zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed transfer.
+    pub fn record_transfer(&mut self, bytes: u64, service: Duration) {
+        self.transfers.record(bytes);
+        self.busy.add_busy(service);
+    }
+
+    /// Merge the statistics of another device (used by the stripe driver).
+    pub fn merge(&mut self, other: &DeviceStats) {
+        self.transfers = rebuild_counter(
+            self.transfers.events() + other.transfers.events(),
+            self.transfers.bytes() + other.transfers.bytes(),
+        );
+        self.busy.add_busy(other.busy.busy_time());
+    }
+
+    /// Disk throughput in KB/s over an observed span.
+    pub fn kb_per_sec(&self, observed: Duration) -> f64 {
+        self.transfers.kb_per_sec(observed)
+    }
+
+    /// Disk transactions per second over an observed span.
+    pub fn transfers_per_sec(&self, observed: Duration) -> f64 {
+        self.transfers.events_per_sec(observed)
+    }
+
+    /// Medium utilisation percentage over an observed span.
+    pub fn utilization_percent(&self, observed: Duration) -> f64 {
+        self.busy.percent(observed)
+    }
+}
+
+/// Rebuild a [`Counter`] from explicit totals: one event carries all the
+/// bytes, the rest carry zero, so both totals are exact.
+fn rebuild_counter(events: u64, bytes: u64) -> Counter {
+    let mut c = Counter::new();
+    if events == 0 {
+        return c;
+    }
+    c.record(bytes);
+    for _ in 1..events {
+        c.tick();
+    }
+    c
+}
+
+/// The interface the filesystem and NVRAM layers use to drive storage.
+///
+/// Implementations are passive service-time models: [`BlockDevice::submit`]
+/// returns the simulated completion time of the request, assuming the device
+/// serves requests in FIFO order.
+pub trait BlockDevice {
+    /// Submit a request at simulated time `now`; returns its completion time.
+    fn submit(&mut self, now: SimTime, req: DiskRequest) -> SimTime;
+
+    /// Aggregate statistics since construction (or the last reset).
+    fn stats(&self) -> DeviceStats;
+
+    /// Clear accumulated statistics (used between experiment phases so that
+    /// file-creation setup I/O does not pollute the measured copy phase).
+    fn reset_stats(&mut self);
+
+    /// The time at which the device becomes idle given everything submitted
+    /// so far.
+    fn free_at(&self) -> SimTime;
+
+    /// A short human-readable description (e.g. `"RZ26"`, `"3 x RZ26 stripe"`).
+    fn describe(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_constructors() {
+        let w = DiskRequest::write(4096, 8192);
+        assert_eq!(w.kind, IoKind::Write);
+        assert_eq!(w.addr, 4096);
+        assert_eq!(w.len, 8192);
+        let r = DiskRequest::read(0, 512);
+        assert_eq!(r.kind, IoKind::Read);
+    }
+
+    #[test]
+    fn stats_rates() {
+        let mut s = DeviceStats::new();
+        s.record_transfer(8192, Duration::from_millis(10));
+        s.record_transfer(8192, Duration::from_millis(10));
+        let one_sec = Duration::from_secs(1);
+        assert!((s.kb_per_sec(one_sec) - 16.0).abs() < 1e-9);
+        assert!((s.transfers_per_sec(one_sec) - 2.0).abs() < 1e-9);
+        assert!((s.utilization_percent(one_sec) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_merge_preserves_totals() {
+        let mut a = DeviceStats::new();
+        a.record_transfer(1000, Duration::from_millis(1));
+        a.record_transfer(2000, Duration::from_millis(2));
+        let mut b = DeviceStats::new();
+        b.record_transfer(3000, Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.transfers.events(), 3);
+        assert_eq!(a.transfers.bytes(), 6000);
+        assert_eq!(a.busy.busy_time(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = DeviceStats::new();
+        a.record_transfer(500, Duration::from_millis(5));
+        a.merge(&DeviceStats::new());
+        assert_eq!(a.transfers.events(), 1);
+        assert_eq!(a.transfers.bytes(), 500);
+    }
+}

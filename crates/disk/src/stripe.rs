@@ -1,0 +1,216 @@
+//! The striping driver.
+//!
+//! Tables 5 and 6 of the paper use "a stripe set of three RZ26 disks"
+//! (provided by a disk striping driver in ULTRIX).  [`StripeSet`] reproduces
+//! that: the logical byte address space is split into fixed-size stripe units
+//! distributed round-robin over the member disks, a logical request is split
+//! at stripe-unit boundaries, and the logical completion time is the latest
+//! completion among the pieces.
+
+use crate::device::{BlockDevice, DeviceStats, DiskRequest};
+use crate::model::{Disk, DiskParams};
+use wg_simcore::SimTime;
+
+/// A round-robin striping driver over identical member disks.
+#[derive(Clone, Debug)]
+pub struct StripeSet {
+    disks: Vec<Disk>,
+    stripe_unit: u64,
+}
+
+impl StripeSet {
+    /// Build a stripe set of `n` disks with the given parameters and stripe
+    /// unit (bytes).  Panics if `n` is zero or the stripe unit is zero.
+    pub fn new(n: usize, params: DiskParams, stripe_unit: u64) -> Self {
+        assert!(n > 0, "stripe set needs at least one disk");
+        assert!(stripe_unit > 0, "stripe unit must be non-zero");
+        StripeSet {
+            disks: (0..n).map(|_| Disk::new(params.clone())).collect(),
+            stripe_unit,
+        }
+    }
+
+    /// The 3 × RZ26 stripe set used in Tables 5 and 6, with a 64 KB stripe
+    /// unit matching the UFS cluster size.
+    pub fn three_rz26() -> Self {
+        StripeSet::new(3, DiskParams::rz26(), 64 * 1024)
+    }
+
+    /// Number of member disks.
+    pub fn width(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// The stripe unit in bytes.
+    pub fn stripe_unit(&self) -> u64 {
+        self.stripe_unit
+    }
+
+    /// Split a logical request into per-disk physical pieces.
+    ///
+    /// Returns `(disk_index, physical_request)` pairs in logical address
+    /// order.  Exposed for unit tests.
+    pub fn split(&self, req: DiskRequest) -> Vec<(usize, DiskRequest)> {
+        let mut pieces = Vec::new();
+        let n = self.disks.len() as u64;
+        let mut addr = req.addr;
+        let end = req.addr + req.len;
+        while addr < end {
+            let stripe_index = addr / self.stripe_unit;
+            let within = addr % self.stripe_unit;
+            let take = (self.stripe_unit - within).min(end - addr);
+            let disk_index = (stripe_index % n) as usize;
+            // Physical address: which stripe row this is on the member disk,
+            // plus the offset within the unit.
+            let row = stripe_index / n;
+            let phys_addr = row * self.stripe_unit + within;
+            pieces.push((
+                disk_index,
+                DiskRequest {
+                    addr: phys_addr,
+                    len: take,
+                    kind: req.kind,
+                },
+            ));
+            addr += take;
+        }
+        pieces
+    }
+}
+
+impl BlockDevice for StripeSet {
+    fn submit(&mut self, now: SimTime, req: DiskRequest) -> SimTime {
+        let mut done = now;
+        for (disk_index, piece) in self.split(req) {
+            let piece_done = self.disks[disk_index].submit(now, piece);
+            done = done.max(piece_done);
+        }
+        done
+    }
+
+    fn stats(&self) -> DeviceStats {
+        let mut total = DeviceStats::new();
+        for d in &self.disks {
+            total.merge(&d.stats());
+        }
+        total
+    }
+
+    fn reset_stats(&mut self) {
+        for d in &mut self.disks {
+            d.reset_stats();
+        }
+    }
+
+    fn free_at(&self) -> SimTime {
+        self.disks
+            .iter()
+            .map(|d| d.free_at())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{} x {} stripe ({}K unit)",
+            self.disks.len(),
+            self.disks[0].describe(),
+            self.stripe_unit / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_simcore::Duration;
+
+    #[test]
+    fn split_respects_stripe_boundaries() {
+        let set = StripeSet::new(3, DiskParams::rz26(), 64 * 1024);
+        // A 128 KB request starting half-way into stripe unit 0.
+        let pieces = set.split(DiskRequest::write(32 * 1024, 128 * 1024));
+        assert_eq!(pieces.len(), 3);
+        let total: u64 = pieces.iter().map(|(_, p)| p.len).sum();
+        assert_eq!(total, 128 * 1024);
+        // First piece fills the rest of unit 0 on disk 0.
+        assert_eq!(pieces[0].0, 0);
+        assert_eq!(pieces[0].1.len, 32 * 1024);
+        // Second piece is the whole of unit 1 on disk 1.
+        assert_eq!(pieces[1].0, 1);
+        assert_eq!(pieces[1].1.len, 64 * 1024);
+        // Third piece is the first half of unit 2 on disk 2.
+        assert_eq!(pieces[2].0, 2);
+        assert_eq!(pieces[2].1.len, 32 * 1024);
+    }
+
+    #[test]
+    fn small_request_touches_one_disk() {
+        let set = StripeSet::three_rz26();
+        let pieces = set.split(DiskRequest::write(8192, 8192));
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].0, 0);
+    }
+
+    #[test]
+    fn round_robin_distribution() {
+        let set = StripeSet::new(3, DiskParams::rz26(), 64 * 1024);
+        let mut seen = Vec::new();
+        for unit in 0..6u64 {
+            let pieces = set.split(DiskRequest::write(unit * 64 * 1024, 1024));
+            seen.push(pieces[0].0);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn striping_beats_single_disk_for_large_sequential_io() {
+        let mut single = Disk::rz26();
+        let mut striped = StripeSet::three_rz26();
+        let total = 4 * 1024 * 1024u64;
+        let chunk = 192 * 1024u64; // spans all three disks each time
+        let mut now_single = SimTime::ZERO;
+        let mut now_striped = SimTime::ZERO;
+        let mut addr = 0;
+        while addr < total {
+            now_single = single.submit(now_single, DiskRequest::write(addr, chunk));
+            now_striped = striped.submit(now_striped, DiskRequest::write(addr, chunk));
+            addr += chunk;
+        }
+        assert!(
+            now_striped.as_secs_f64() < now_single.as_secs_f64() * 0.6,
+            "striping gave {:.3}s vs single {:.3}s",
+            now_striped.as_secs_f64(),
+            now_single.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn stats_aggregate_member_transactions() {
+        let mut set = StripeSet::three_rz26();
+        set.submit(SimTime::ZERO, DiskRequest::write(0, 192 * 1024));
+        let stats = set.stats();
+        // One logical request, three member transactions.
+        assert_eq!(stats.transfers.events(), 3);
+        assert_eq!(stats.transfers.bytes(), 192 * 1024);
+        assert!(stats.busy.busy_time() > Duration::ZERO);
+        set.reset_stats();
+        assert_eq!(set.stats().transfers.events(), 0);
+    }
+
+    #[test]
+    fn describe_mentions_width_and_unit() {
+        let set = StripeSet::three_rz26();
+        assert_eq!(set.width(), 3);
+        assert_eq!(set.stripe_unit(), 64 * 1024);
+        let d = set.describe();
+        assert!(d.contains("3 x RZ26"));
+        assert!(d.contains("64K"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disk")]
+    fn zero_width_panics() {
+        let _ = StripeSet::new(0, DiskParams::rz26(), 64 * 1024);
+    }
+}

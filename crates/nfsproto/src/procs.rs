@@ -1,0 +1,588 @@
+//! NFS v2 procedure numbers and their argument/result structures.
+//!
+//! The write-gathering experiments exercise WRITE heavily, but the SPEC SFS
+//! (LADDIS) workload of Figures 2–3 mixes in LOOKUP, GETATTR, READ, READDIR
+//! and the other procedures, so the full v2 procedure table is represented
+//! here and the structures used by the workload all have real XDR encodings.
+
+use crate::attr::Sattr;
+use crate::handle::FileHandle;
+use crate::{Fattr, NfsStatus};
+use wg_xdr::{XdrDecode, XdrDecoder, XdrEncode, XdrEncoder, XdrError};
+
+/// The NFS version 2 procedure numbers (RFC 1094 §2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ProcNumber {
+    /// Do nothing (used for pinging).
+    Null,
+    /// Get file attributes.
+    Getattr,
+    /// Set file attributes.
+    Setattr,
+    /// Obsolete root procedure.
+    Root,
+    /// Look up a file name in a directory.
+    Lookup,
+    /// Read a symbolic link.
+    Readlink,
+    /// Read from a file.
+    Read,
+    /// Obsolete write-to-cache procedure.
+    Writecache,
+    /// Write to a file — the operation this whole repository is about.
+    Write,
+    /// Create a file.
+    Create,
+    /// Remove a file.
+    Remove,
+    /// Rename a file.
+    Rename,
+    /// Create a hard link.
+    Link,
+    /// Create a symbolic link.
+    Symlink,
+    /// Create a directory.
+    Mkdir,
+    /// Remove a directory.
+    Rmdir,
+    /// Read entries from a directory.
+    Readdir,
+    /// Get filesystem statistics.
+    Statfs,
+}
+
+impl ProcNumber {
+    /// The wire procedure number.
+    pub fn number(self) -> u32 {
+        match self {
+            ProcNumber::Null => 0,
+            ProcNumber::Getattr => 1,
+            ProcNumber::Setattr => 2,
+            ProcNumber::Root => 3,
+            ProcNumber::Lookup => 4,
+            ProcNumber::Readlink => 5,
+            ProcNumber::Read => 6,
+            ProcNumber::Writecache => 7,
+            ProcNumber::Write => 8,
+            ProcNumber::Create => 9,
+            ProcNumber::Remove => 10,
+            ProcNumber::Rename => 11,
+            ProcNumber::Link => 12,
+            ProcNumber::Symlink => 13,
+            ProcNumber::Mkdir => 14,
+            ProcNumber::Rmdir => 15,
+            ProcNumber::Readdir => 16,
+            ProcNumber::Statfs => 17,
+        }
+    }
+
+    /// Parse a wire procedure number.
+    pub fn from_number(n: u32) -> Result<Self, XdrError> {
+        Ok(match n {
+            0 => ProcNumber::Null,
+            1 => ProcNumber::Getattr,
+            2 => ProcNumber::Setattr,
+            3 => ProcNumber::Root,
+            4 => ProcNumber::Lookup,
+            5 => ProcNumber::Readlink,
+            6 => ProcNumber::Read,
+            7 => ProcNumber::Writecache,
+            8 => ProcNumber::Write,
+            9 => ProcNumber::Create,
+            10 => ProcNumber::Remove,
+            11 => ProcNumber::Rename,
+            12 => ProcNumber::Link,
+            13 => ProcNumber::Symlink,
+            14 => ProcNumber::Mkdir,
+            15 => ProcNumber::Rmdir,
+            16 => ProcNumber::Readdir,
+            17 => ProcNumber::Statfs,
+            other => {
+                return Err(XdrError::InvalidEnum {
+                    type_name: "ProcNumber",
+                    value: other,
+                })
+            }
+        })
+    }
+}
+
+/// Arguments of GETATTR: just the file handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GetattrArgs {
+    /// Target file.
+    pub file: FileHandle,
+}
+
+impl XdrEncode for GetattrArgs {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.file.encode(enc);
+    }
+}
+
+impl XdrDecode for GetattrArgs {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(GetattrArgs {
+            file: FileHandle::decode(dec)?,
+        })
+    }
+}
+
+/// Arguments of SETATTR.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SetattrArgs {
+    /// Target file.
+    pub file: FileHandle,
+    /// Attributes to change.
+    pub attributes: Sattr,
+}
+
+impl XdrEncode for SetattrArgs {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.file.encode(enc);
+        self.attributes.encode(enc);
+    }
+}
+
+impl XdrDecode for SetattrArgs {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(SetattrArgs {
+            file: FileHandle::decode(dec)?,
+            attributes: Sattr::decode(dec)?,
+        })
+    }
+}
+
+/// Arguments naming an entry within a directory (LOOKUP, and the directory
+/// halves of CREATE/REMOVE/MKDIR/RMDIR).
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DirOpArgs {
+    /// The directory file handle.
+    pub dir: FileHandle,
+    /// The entry name.
+    pub name: String,
+}
+
+impl XdrEncode for DirOpArgs {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.dir.encode(enc);
+        enc.put_string(&self.name);
+    }
+}
+
+impl XdrDecode for DirOpArgs {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(DirOpArgs {
+            dir: FileHandle::decode(dec)?,
+            name: dec.get_string()?,
+        })
+    }
+}
+
+/// Arguments of LOOKUP (alias of [`DirOpArgs`], kept as its own name for
+/// call-site clarity).
+pub type LookupArgs = DirOpArgs;
+
+/// Arguments of REMOVE / RMDIR (alias of [`DirOpArgs`]).
+pub type RemoveArgs = DirOpArgs;
+
+/// The successful result of LOOKUP and CREATE: the new handle plus its
+/// attributes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DirOpOk {
+    /// Handle of the found or created file.
+    pub file: FileHandle,
+    /// Its attributes.
+    pub attributes: Fattr,
+}
+
+impl XdrEncode for DirOpOk {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.file.encode(enc);
+        self.attributes.encode(enc);
+    }
+}
+
+impl XdrDecode for DirOpOk {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(DirOpOk {
+            file: FileHandle::decode(dec)?,
+            attributes: Fattr::decode(dec)?,
+        })
+    }
+}
+
+/// Arguments of READ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ReadArgs {
+    /// Target file.
+    pub file: FileHandle,
+    /// Byte offset to read from.
+    pub offset: u32,
+    /// Number of bytes to read (at most [`crate::NFS_MAXDATA`]).
+    pub count: u32,
+    /// Hint field present in the v2 protocol but unused by servers.
+    pub totalcount: u32,
+}
+
+impl XdrEncode for ReadArgs {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.file.encode(enc);
+        enc.put_u32(self.offset);
+        enc.put_u32(self.count);
+        enc.put_u32(self.totalcount);
+    }
+}
+
+impl XdrDecode for ReadArgs {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(ReadArgs {
+            file: FileHandle::decode(dec)?,
+            offset: dec.get_u32()?,
+            count: dec.get_u32()?,
+            totalcount: dec.get_u32()?,
+        })
+    }
+}
+
+/// The successful result of READ: post-read attributes and the data.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ReadOk {
+    /// File attributes after the read.
+    pub attributes: Fattr,
+    /// The bytes read.
+    pub data: Vec<u8>,
+}
+
+impl XdrEncode for ReadOk {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.attributes.encode(enc);
+        enc.put_opaque(&self.data);
+    }
+}
+
+impl XdrDecode for ReadOk {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(ReadOk {
+            attributes: Fattr::decode(dec)?,
+            data: dec.get_opaque()?,
+        })
+    }
+}
+
+/// Arguments of WRITE — the request at the heart of the paper.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WriteArgs {
+    /// Target file.
+    pub file: FileHandle,
+    /// Obsolete field kept for wire compatibility ("beginoffset").
+    pub beginoffset: u32,
+    /// Byte offset at which to write.
+    pub offset: u32,
+    /// Obsolete field kept for wire compatibility ("totalcount").
+    pub totalcount: u32,
+    /// The data to write (at most [`crate::NFS_MAXDATA`] bytes).
+    pub data: Vec<u8>,
+}
+
+impl WriteArgs {
+    /// Convenience constructor for the common case.
+    pub fn new(file: FileHandle, offset: u32, data: Vec<u8>) -> Self {
+        WriteArgs {
+            file,
+            beginoffset: 0,
+            offset,
+            totalcount: data.len() as u32,
+            data,
+        }
+    }
+
+    /// Number of data bytes carried.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if this write carries no data.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl XdrEncode for WriteArgs {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.file.encode(enc);
+        enc.put_u32(self.beginoffset);
+        enc.put_u32(self.offset);
+        enc.put_u32(self.totalcount);
+        enc.put_opaque(&self.data);
+    }
+}
+
+impl XdrDecode for WriteArgs {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(WriteArgs {
+            file: FileHandle::decode(dec)?,
+            beginoffset: dec.get_u32()?,
+            offset: dec.get_u32()?,
+            totalcount: dec.get_u32()?,
+            data: dec.get_opaque()?,
+        })
+    }
+}
+
+/// Arguments of CREATE / MKDIR.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CreateArgs {
+    /// Directory and name to create in.
+    pub where_: DirOpArgs,
+    /// Initial attributes.
+    pub attributes: Sattr,
+}
+
+impl XdrEncode for CreateArgs {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.where_.encode(enc);
+        self.attributes.encode(enc);
+    }
+}
+
+impl XdrDecode for CreateArgs {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(CreateArgs {
+            where_: DirOpArgs::decode(dec)?,
+            attributes: Sattr::decode(dec)?,
+        })
+    }
+}
+
+/// Arguments of READDIR.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ReaddirArgs {
+    /// Directory to list.
+    pub dir: FileHandle,
+    /// Opaque resume cookie (0 to start).
+    pub cookie: u32,
+    /// Maximum reply size the client will accept.
+    pub count: u32,
+}
+
+impl XdrEncode for ReaddirArgs {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.dir.encode(enc);
+        enc.put_u32(self.cookie);
+        enc.put_u32(self.count);
+    }
+}
+
+impl XdrDecode for ReaddirArgs {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(ReaddirArgs {
+            dir: FileHandle::decode(dec)?,
+            cookie: dec.get_u32()?,
+            count: dec.get_u32()?,
+        })
+    }
+}
+
+/// The successful result of STATFS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StatfsOk {
+    /// Optimal transfer size.
+    pub tsize: u32,
+    /// Filesystem block size.
+    pub bsize: u32,
+    /// Total blocks.
+    pub blocks: u32,
+    /// Free blocks.
+    pub bfree: u32,
+    /// Blocks available to non-superusers.
+    pub bavail: u32,
+}
+
+impl XdrEncode for StatfsOk {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(self.tsize);
+        enc.put_u32(self.bsize);
+        enc.put_u32(self.blocks);
+        enc.put_u32(self.bfree);
+        enc.put_u32(self.bavail);
+    }
+}
+
+impl XdrDecode for StatfsOk {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(StatfsOk {
+            tsize: dec.get_u32()?,
+            bsize: dec.get_u32()?,
+            blocks: dec.get_u32()?,
+            bfree: dec.get_u32()?,
+            bavail: dec.get_u32()?,
+        })
+    }
+}
+
+/// A generic "status or value" reply body used by GETATTR/SETATTR/WRITE
+/// (attrstat), LOOKUP/CREATE (diropres), READ (readres) and STATFS.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum StatusReply<T> {
+    /// The operation succeeded and produced `T`.
+    Ok(T),
+    /// The operation failed with the given status.
+    Err(NfsStatus),
+}
+
+impl<T> StatusReply<T> {
+    /// `true` if the reply is a success.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, StatusReply::Ok(_))
+    }
+
+    /// The status code carried by the reply.
+    pub fn status(&self) -> NfsStatus {
+        match self {
+            StatusReply::Ok(_) => NfsStatus::Ok,
+            StatusReply::Err(s) => *s,
+        }
+    }
+}
+
+impl<T: XdrEncode> XdrEncode for StatusReply<T> {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        match self {
+            StatusReply::Ok(v) => {
+                NfsStatus::Ok.encode(enc);
+                v.encode(enc);
+            }
+            StatusReply::Err(s) => s.encode(enc),
+        }
+    }
+}
+
+impl<T: XdrDecode> XdrDecode for StatusReply<T> {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        let status = NfsStatus::decode(dec)?;
+        if status.is_ok() {
+            Ok(StatusReply::Ok(T::decode(dec)?))
+        } else {
+            Ok(StatusReply::Err(status))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_xdr::{from_bytes, to_bytes};
+
+    fn fh() -> FileHandle {
+        FileHandle::new(1, 42, 7)
+    }
+
+    #[test]
+    fn proc_numbers_roundtrip() {
+        for n in 0..=17u32 {
+            let p = ProcNumber::from_number(n).unwrap();
+            assert_eq!(p.number(), n);
+        }
+        assert!(ProcNumber::from_number(18).is_err());
+        assert_eq!(ProcNumber::Write.number(), 8);
+    }
+
+    #[test]
+    fn write_args_roundtrip() {
+        let args = WriteArgs::new(fh(), 24576, vec![0xAB; 8192]);
+        assert_eq!(args.len(), 8192);
+        assert!(!args.is_empty());
+        let bytes = to_bytes(&args);
+        // handle (32) + 3 u32 (12) + length prefix (4) + data (8192).
+        assert_eq!(bytes.len(), 32 + 12 + 4 + 8192);
+        let back: WriteArgs = from_bytes(&bytes).unwrap();
+        assert_eq!(back, args);
+    }
+
+    #[test]
+    fn read_args_and_result_roundtrip() {
+        let args = ReadArgs {
+            file: fh(),
+            offset: 8192,
+            count: 8192,
+            totalcount: 0,
+        };
+        let back: ReadArgs = from_bytes(&to_bytes(&args)).unwrap();
+        assert_eq!(back, args);
+
+        let ok = ReadOk {
+            attributes: Fattr::default(),
+            data: vec![1, 2, 3, 4, 5],
+        };
+        let back: ReadOk = from_bytes(&to_bytes(&ok)).unwrap();
+        assert_eq!(back, ok);
+    }
+
+    #[test]
+    fn dirop_and_create_roundtrip() {
+        let lookup = DirOpArgs {
+            dir: fh(),
+            name: "data.out".to_string(),
+        };
+        let back: DirOpArgs = from_bytes(&to_bytes(&lookup)).unwrap();
+        assert_eq!(back, lookup);
+
+        let create = CreateArgs {
+            where_: lookup.clone(),
+            attributes: Sattr::with_mode(0o644),
+        };
+        let back: CreateArgs = from_bytes(&to_bytes(&create)).unwrap();
+        assert_eq!(back, create);
+
+        let ok = DirOpOk {
+            file: fh(),
+            attributes: Fattr::default(),
+        };
+        let back: DirOpOk = from_bytes(&to_bytes(&ok)).unwrap();
+        assert_eq!(back, ok);
+    }
+
+    #[test]
+    fn getattr_setattr_readdir_statfs_roundtrip() {
+        let g = GetattrArgs { file: fh() };
+        assert_eq!(from_bytes::<GetattrArgs>(&to_bytes(&g)).unwrap(), g);
+
+        let s = SetattrArgs {
+            file: fh(),
+            attributes: Sattr::with_mode(0o600),
+        };
+        assert_eq!(from_bytes::<SetattrArgs>(&to_bytes(&s)).unwrap(), s);
+
+        let rd = ReaddirArgs {
+            dir: fh(),
+            cookie: 0,
+            count: 4096,
+        };
+        assert_eq!(from_bytes::<ReaddirArgs>(&to_bytes(&rd)).unwrap(), rd);
+
+        let sf = StatfsOk {
+            tsize: 8192,
+            bsize: 8192,
+            blocks: 100_000,
+            bfree: 60_000,
+            bavail: 55_000,
+        };
+        assert_eq!(from_bytes::<StatfsOk>(&to_bytes(&sf)).unwrap(), sf);
+    }
+
+    #[test]
+    fn status_reply_both_arms_roundtrip() {
+        let ok: StatusReply<Fattr> = StatusReply::Ok(Fattr::default());
+        assert!(ok.is_ok());
+        assert_eq!(ok.status(), NfsStatus::Ok);
+        let back: StatusReply<Fattr> = from_bytes(&to_bytes(&ok)).unwrap();
+        assert_eq!(back, ok);
+
+        let err: StatusReply<Fattr> = StatusReply::Err(NfsStatus::NoSpc);
+        assert!(!err.is_ok());
+        assert_eq!(err.status(), NfsStatus::NoSpc);
+        let back: StatusReply<Fattr> = from_bytes(&to_bytes(&err)).unwrap();
+        assert_eq!(back, err);
+    }
+}

@@ -1,0 +1,139 @@
+//! A single shared processor resource.
+//!
+//! The paper's tables report *server CPU utilisation*; the gathering result on
+//! Prestoserve configurations (Tables 2, 4, 6) is a CPU-efficiency result, so
+//! the CPU must be modelled as a real contended resource rather than a free
+//! cost annotation.
+//!
+//! [`Cpu`] is a non-preemptive serial resource: a caller that wants `cost`
+//! seconds of processing starting no earlier than `ready` gets the interval
+//! `[max(ready, busy_until), max(ready, busy_until) + cost)`, and the busy time
+//! is accumulated for utilisation reporting.  This matches how nfsd processing
+//! steps occupy a 1993-era single-CPU server.  Multi-CPU servers can be
+//! approximated by constructing the [`Cpu`] with a speedup factor.
+
+use crate::stats::Utilization;
+use crate::time::{Duration, SimTime};
+
+/// A serially shared processor with busy-time accounting.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    busy_until: SimTime,
+    util: Utilization,
+    /// Processing costs are divided by this factor; `1.0` models a single
+    /// processor identical to the cost-table reference machine.
+    speed_factor: f64,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cpu {
+    /// A unit-speed processor.
+    pub fn new() -> Self {
+        Cpu {
+            busy_until: SimTime::ZERO,
+            util: Utilization::new(),
+            speed_factor: 1.0,
+        }
+    }
+
+    /// A processor `factor`× faster than the reference cost table.
+    ///
+    /// Panics if `factor` is not strictly positive and finite.
+    pub fn with_speed(factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "invalid CPU speed factor");
+        Cpu {
+            busy_until: SimTime::ZERO,
+            util: Utilization::new(),
+            speed_factor: factor,
+        }
+    }
+
+    /// Run a processing step of length `cost` (at reference speed) that cannot
+    /// begin before `ready`.  Returns the completion time.
+    pub fn run(&mut self, ready: SimTime, cost: Duration) -> SimTime {
+        let scaled = Duration::from_secs_f64(cost.as_secs_f64() / self.speed_factor);
+        let start = ready.max(self.busy_until);
+        let end = start + scaled;
+        self.busy_until = end;
+        self.util.add_busy(scaled);
+        end
+    }
+
+    /// Account CPU work without serialising on the processor (used for costs
+    /// that overlap with other work in reality, such as DMA completion
+    /// handling spread across many devices).  Returns `ready + cost` scaled.
+    pub fn run_overlapped(&mut self, ready: SimTime, cost: Duration) -> SimTime {
+        let scaled = Duration::from_secs_f64(cost.as_secs_f64() / self.speed_factor);
+        self.util.add_busy(scaled);
+        ready + scaled
+    }
+
+    /// The earliest time at which a new processing step could start.
+    pub fn free_at(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total accumulated busy time.
+    pub fn busy_time(&self) -> Duration {
+        self.util.busy_time()
+    }
+
+    /// Utilisation percentage over an observed span.
+    pub fn utilization_percent(&self, observed: Duration) -> f64 {
+        self.util.percent(observed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialises_back_to_back_work() {
+        let mut cpu = Cpu::new();
+        let t1 = cpu.run(SimTime::ZERO, Duration::from_millis(2));
+        assert_eq!(t1, SimTime::from_millis(2));
+        // Second request arrives at 1 ms but must wait until 2 ms.
+        let t2 = cpu.run(SimTime::from_millis(1), Duration::from_millis(3));
+        assert_eq!(t2, SimTime::from_millis(5));
+        assert_eq!(cpu.free_at(), SimTime::from_millis(5));
+        assert_eq!(cpu.busy_time(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn idle_gaps_do_not_count_as_busy() {
+        let mut cpu = Cpu::new();
+        cpu.run(SimTime::ZERO, Duration::from_millis(1));
+        cpu.run(SimTime::from_millis(9), Duration::from_millis(1));
+        assert_eq!(cpu.busy_time(), Duration::from_millis(2));
+        assert!((cpu.utilization_percent(Duration::from_millis(10)) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_factor_scales_cost() {
+        let mut fast = Cpu::with_speed(2.0);
+        let end = fast.run(SimTime::ZERO, Duration::from_millis(4));
+        assert_eq!(end, SimTime::from_millis(2));
+        assert_eq!(fast.busy_time(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn overlapped_work_does_not_push_busy_until() {
+        let mut cpu = Cpu::new();
+        let end = cpu.run_overlapped(SimTime::from_millis(5), Duration::from_millis(1));
+        assert_eq!(end, SimTime::from_millis(6));
+        assert_eq!(cpu.free_at(), SimTime::ZERO);
+        assert_eq!(cpu.busy_time(), Duration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CPU speed factor")]
+    fn zero_speed_panics() {
+        let _ = Cpu::with_speed(0.0);
+    }
+}

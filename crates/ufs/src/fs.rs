@@ -1,0 +1,1018 @@
+//! The filesystem proper: allocation, namespace, buffer cache and the
+//! vnode operations.
+
+use std::collections::HashMap;
+
+use wg_disk::DiskRequest;
+
+use crate::cluster::cluster_requests;
+use crate::error::FsError;
+use crate::inode::{CachedBlock, FileKind, Inode, InodeNumber};
+use crate::params::FsParams;
+use crate::vnode::{FsyncFlags, IoPlan, ReadOutcome, WriteFlags, WriteOutcome};
+
+/// Maximum file-name length accepted (the NFS v2 limit).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// The inode number of the root directory (2, as in FFS).
+pub const ROOT_INO: InodeNumber = 2;
+
+/// A snapshot of an inode's externally visible attributes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FileAttributes {
+    /// Inode number.
+    pub ino: InodeNumber,
+    /// Generation (for stale-handle detection).
+    pub generation: u32,
+    /// File or directory.
+    pub kind: FileKind,
+    /// Size in bytes.
+    pub size: u64,
+    /// Mode bits.
+    pub mode: u32,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+    /// Link count.
+    pub nlink: u32,
+    /// 512-byte sectors occupied.
+    pub sectors: u64,
+    /// Modification time (simulation nanoseconds).
+    pub mtime_nanos: u64,
+    /// Access time (simulation nanoseconds).
+    pub atime_nanos: u64,
+    /// Change time (simulation nanoseconds).
+    pub ctime_nanos: u64,
+}
+
+/// Cumulative operation counters, used by the server to charge CPU costs per
+/// filesystem trip and by tests to verify call patterns.
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+pub struct UfsCounters {
+    /// `VOP_WRITE` calls.
+    pub writes: u64,
+    /// `VOP_READ` calls.
+    pub reads: u64,
+    /// `VOP_FSYNC` calls.
+    pub fsyncs: u64,
+    /// `VOP_SYNCDATA` calls.
+    pub syncdatas: u64,
+    /// Namespace operations (create/lookup/remove/mkdir/readdir/setattr).
+    pub namespace_ops: u64,
+}
+
+/// A UFS-like filesystem instance.
+#[derive(Clone, Debug)]
+pub struct Ufs {
+    params: FsParams,
+    fsid: u32,
+    inodes: HashMap<InodeNumber, Inode>,
+    next_ino: InodeNumber,
+    generation_counter: u32,
+    /// Next unallocated offset within the data region, in bytes.
+    alloc_cursor: u64,
+    /// Physical addresses of freed blocks available for reuse.
+    free_blocks: Vec<u64>,
+    counters: UfsCounters,
+}
+
+impl Ufs {
+    /// Create a filesystem with the given geometry; the root directory exists
+    /// as inode [`ROOT_INO`].
+    pub fn new(fsid: u32, params: FsParams) -> Self {
+        let mut fs = Ufs {
+            params,
+            fsid,
+            inodes: HashMap::new(),
+            next_ino: ROOT_INO + 1,
+            generation_counter: 1,
+            alloc_cursor: 0,
+            free_blocks: Vec::new(),
+            counters: UfsCounters::default(),
+        };
+        let root = Inode::new(ROOT_INO, 1, FileKind::Directory, 0o755, 0);
+        fs.inodes.insert(ROOT_INO, root);
+        fs
+    }
+
+    /// A filesystem with default geometry.
+    pub fn with_defaults(fsid: u32) -> Self {
+        Ufs::new(fsid, FsParams::default())
+    }
+
+    /// The filesystem id used in file handles and attributes.
+    pub fn fsid(&self) -> u32 {
+        self.fsid
+    }
+
+    /// The geometry/policy parameters.
+    pub fn params(&self) -> &FsParams {
+        &self.params
+    }
+
+    /// The root directory inode number.
+    pub fn root(&self) -> InodeNumber {
+        ROOT_INO
+    }
+
+    /// Operation counters.
+    pub fn counters(&self) -> UfsCounters {
+        self.counters
+    }
+
+    /// Free data blocks remaining (approximate, for STATFS).
+    pub fn free_block_count(&self) -> u64 {
+        let used = self.alloc_cursor / self.params.block_size - self.free_blocks.len() as u64;
+        (self.params.data_capacity / self.params.block_size).saturating_sub(used)
+    }
+
+    /// Total data blocks in the filesystem (for STATFS).
+    pub fn total_block_count(&self) -> u64 {
+        self.params.data_capacity / self.params.block_size
+    }
+
+    fn inode(&self, ino: InodeNumber) -> Result<&Inode, FsError> {
+        self.inodes.get(&ino).ok_or(FsError::StaleInode)
+    }
+
+    fn inode_mut(&mut self, ino: InodeNumber) -> Result<&mut Inode, FsError> {
+        self.inodes.get_mut(&ino).ok_or(FsError::StaleInode)
+    }
+
+    /// The generation number of a live inode (stale-handle checks compare
+    /// against the generation packed in the client's file handle).
+    pub fn generation_of(&self, ino: InodeNumber) -> Result<u32, FsError> {
+        Ok(self.inode(ino)?.generation)
+    }
+
+    fn allocate_block(&mut self) -> Result<u64, FsError> {
+        if let Some(addr) = self.free_blocks.pop() {
+            return Ok(addr);
+        }
+        if self.alloc_cursor + self.params.block_size > self.params.data_capacity {
+            return Err(FsError::NoSpace);
+        }
+        let addr = self.params.data_region_start + self.alloc_cursor;
+        self.alloc_cursor += self.params.block_size;
+        Ok(addr)
+    }
+
+    // ------------------------------------------------------------------
+    // Namespace operations
+    // ------------------------------------------------------------------
+
+    /// Look up `name` in directory `dir`.
+    pub fn lookup(&mut self, dir: InodeNumber, name: &str) -> Result<InodeNumber, FsError> {
+        self.counters.namespace_ops += 1;
+        let d = self.inode(dir)?;
+        if d.kind != FileKind::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        d.entries.get(name).copied().ok_or(FsError::NotFound)
+    }
+
+    /// Create a regular file.  Returns the new inode number.
+    pub fn create(
+        &mut self,
+        dir: InodeNumber,
+        name: &str,
+        mode: u32,
+        now_nanos: u64,
+    ) -> Result<InodeNumber, FsError> {
+        self.create_node(dir, name, mode, FileKind::Regular, now_nanos)
+    }
+
+    /// Create a directory.  Returns the new inode number.
+    pub fn mkdir(
+        &mut self,
+        dir: InodeNumber,
+        name: &str,
+        mode: u32,
+        now_nanos: u64,
+    ) -> Result<InodeNumber, FsError> {
+        self.create_node(dir, name, mode, FileKind::Directory, now_nanos)
+    }
+
+    fn create_node(
+        &mut self,
+        dir: InodeNumber,
+        name: &str,
+        mode: u32,
+        kind: FileKind,
+        now_nanos: u64,
+    ) -> Result<InodeNumber, FsError> {
+        self.counters.namespace_ops += 1;
+        if name.is_empty() || name.len() > MAX_NAME_LEN {
+            return Err(FsError::NameTooLong);
+        }
+        {
+            let d = self.inode(dir)?;
+            if d.kind != FileKind::Directory {
+                return Err(FsError::NotADirectory);
+            }
+            if d.entries.contains_key(name) {
+                return Err(FsError::Exists);
+            }
+        }
+        let ino = self.next_ino;
+        self.next_ino += 1;
+        self.generation_counter += 1;
+        let generation = self.generation_counter;
+        let node = Inode::new(ino, generation, kind, mode, now_nanos);
+        self.inodes.insert(ino, node);
+        let d = self.inode_mut(dir)?;
+        d.entries.insert(name.to_string(), ino);
+        d.mtime_nanos = now_nanos;
+        d.inode_dirty = true;
+        d.mtime_only_dirty = false;
+        Ok(ino)
+    }
+
+    /// Remove a file or an empty directory.  The freed inode's blocks return
+    /// to the allocator and later handles to it become stale.
+    pub fn remove(&mut self, dir: InodeNumber, name: &str, now_nanos: u64) -> Result<(), FsError> {
+        self.counters.namespace_ops += 1;
+        let target = {
+            let d = self.inode(dir)?;
+            if d.kind != FileKind::Directory {
+                return Err(FsError::NotADirectory);
+            }
+            *d.entries.get(name).ok_or(FsError::NotFound)?
+        };
+        {
+            let t = self.inode(target)?;
+            if t.kind == FileKind::Directory && !t.entries.is_empty() {
+                return Err(FsError::NotEmpty);
+            }
+        }
+        // Free the target's blocks.
+        if let Some(t) = self.inodes.remove(&target) {
+            for addr in t.direct.iter().flatten() {
+                self.free_blocks.push(*addr);
+            }
+            for addr in t.indirect_map.values() {
+                self.free_blocks.push(*addr);
+            }
+            if let Some(addr) = t.indirect {
+                self.free_blocks.push(addr);
+            }
+        }
+        let d = self.inode_mut(dir)?;
+        d.entries.remove(name);
+        d.mtime_nanos = now_nanos;
+        d.inode_dirty = true;
+        d.mtime_only_dirty = false;
+        Ok(())
+    }
+
+    /// List the names in a directory.
+    pub fn readdir(&mut self, dir: InodeNumber) -> Result<Vec<String>, FsError> {
+        self.counters.namespace_ops += 1;
+        let d = self.inode(dir)?;
+        if d.kind != FileKind::Directory {
+            return Err(FsError::NotADirectory);
+        }
+        Ok(d.entries.keys().cloned().collect())
+    }
+
+    /// Attributes of an inode.
+    pub fn getattr(&self, ino: InodeNumber) -> Result<FileAttributes, FsError> {
+        let n = self.inode(ino)?;
+        Ok(FileAttributes {
+            ino: n.ino,
+            generation: n.generation,
+            kind: n.kind,
+            size: n.size,
+            mode: n.mode,
+            uid: n.uid,
+            gid: n.gid,
+            nlink: n.nlink,
+            sectors: n.sectors(),
+            mtime_nanos: n.mtime_nanos,
+            atime_nanos: n.atime_nanos,
+            ctime_nanos: n.ctime_nanos,
+        })
+    }
+
+    /// Change attributes: mode and/or truncation to a new size.  Returns the
+    /// new attributes plus the metadata I/O needed to make the change stable.
+    pub fn setattr(
+        &mut self,
+        ino: InodeNumber,
+        new_mode: Option<u32>,
+        new_size: Option<u64>,
+        now_nanos: u64,
+    ) -> Result<(FileAttributes, IoPlan), FsError> {
+        self.counters.namespace_ops += 1;
+        let params_block = self.params.block_size;
+        let max_lbn = Inode::max_lbn(&self.params);
+        let mut freed: Vec<u64> = Vec::new();
+        {
+            let n = self.inode_mut(ino)?;
+            if let Some(mode) = new_mode {
+                n.mode = mode;
+                n.inode_dirty = true;
+                n.mtime_only_dirty = false;
+            }
+            if let Some(size) = new_size {
+                if size < n.size {
+                    // Truncate: drop blocks wholly beyond the new size.
+                    let keep_blocks = size.div_ceil(params_block);
+                    let drop_from = keep_blocks;
+                    for lbn in drop_from..=max_lbn {
+                        if let Some(addr) = n.block_addr(lbn) {
+                            freed.push(addr);
+                            if (lbn as usize) < crate::inode::NDADDR {
+                                n.direct[lbn as usize] = None;
+                            } else {
+                                n.indirect_map.remove(&lbn);
+                                n.indirect_dirty = true;
+                            }
+                            n.blocks.remove(&lbn);
+                        }
+                    }
+                }
+                n.size = size;
+                n.inode_dirty = true;
+                n.mtime_only_dirty = false;
+                n.mtime_nanos = now_nanos;
+            }
+            n.ctime_nanos = now_nanos;
+        }
+        self.free_blocks.extend(freed);
+        let plan = self.fsync(ino, FsyncFlags::MetadataOnly)?;
+        Ok((self.getattr(ino)?, plan))
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    /// `VOP_WRITE`: copy `data` into the file at `offset`, allocating blocks
+    /// as needed, and return the I/O the chosen flags require.
+    pub fn write(
+        &mut self,
+        ino: InodeNumber,
+        offset: u64,
+        data: &[u8],
+        flags: WriteFlags,
+        now_nanos: u64,
+    ) -> Result<WriteOutcome, FsError> {
+        self.counters.writes += 1;
+        let block_size = self.params.block_size;
+        let max_lbn = Inode::max_lbn(&self.params);
+
+        // Validate and plan allocations first (so ENOSPC leaves no partial
+        // allocation behind for the common whole-block case).
+        {
+            let n = self.inode(ino)?;
+            if n.kind != FileKind::Regular {
+                return Err(FsError::IsADirectory);
+            }
+            if data.is_empty() {
+                return Ok(WriteOutcome {
+                    io: IoPlan::empty(),
+                    new_size: n.size,
+                    mtime_only: true,
+                    allocated: false,
+                });
+            }
+            let last_lbn = (offset + data.len() as u64 - 1) / block_size;
+            if last_lbn > max_lbn {
+                return Err(FsError::FileTooLarge);
+            }
+        }
+
+        let first_lbn = offset / block_size;
+        let last_lbn = (offset + data.len() as u64 - 1) / block_size;
+
+        let mut allocated = false;
+        let mut touched: Vec<(u64, u64)> = Vec::new(); // (phys, len) extents of this write
+
+        // Allocate the indirect block first if this write is the first to
+        // need it.
+        let needs_indirect = Inode::needs_indirect(last_lbn);
+        if needs_indirect && self.inode(ino)?.indirect.is_none() {
+            let addr = self.allocate_block()?;
+            let n = self.inode_mut(ino)?;
+            n.indirect = Some(addr);
+            n.indirect_dirty = true;
+            allocated = true;
+        }
+
+        for lbn in first_lbn..=last_lbn {
+            // Ensure the block is mapped.
+            let phys = match self.inode(ino)?.block_addr(lbn) {
+                Some(p) => p,
+                None => {
+                    let p = self.allocate_block()?;
+                    let n = self.inode_mut(ino)?;
+                    if n.map_block(lbn, p) {
+                        n.indirect_dirty = true;
+                    }
+                    allocated = true;
+                    p
+                }
+            };
+
+            // Copy the relevant byte range into the cached block.
+            let block_start = lbn * block_size;
+            let from = offset.max(block_start);
+            let to = (offset + data.len() as u64).min(block_start + block_size);
+            let src_from = (from - offset) as usize;
+            let src_to = (to - offset) as usize;
+            let dst_from = (from - block_start) as usize;
+            let dst_to = (to - block_start) as usize;
+
+            let n = self.inode_mut(ino)?;
+            let block = n.blocks.entry(lbn).or_insert_with(|| CachedBlock {
+                phys,
+                data: vec![0u8; block_size as usize],
+                dirty: false,
+            });
+            block.phys = phys;
+            block.data[dst_from..dst_to].copy_from_slice(&data[src_from..src_to]);
+            block.dirty = true;
+            touched.push((phys, (to - from).max(0)));
+        }
+
+        // Update size and times.
+        let (new_size, mtime_only) = {
+            let n = self.inode_mut(ino)?;
+            let end = offset + data.len() as u64;
+            let grew = end > n.size;
+            if grew {
+                n.size = end;
+            }
+            n.mtime_nanos = now_nanos;
+            n.ctime_nanos = now_nanos;
+            let structural_change = allocated || grew;
+            if structural_change {
+                n.inode_dirty = true;
+                n.mtime_only_dirty = false;
+            } else if !n.inode_dirty {
+                // Only the timestamps changed; the reference port flushes this
+                // asynchronously (§4.4).
+                n.inode_dirty = true;
+                n.mtime_only_dirty = true;
+            }
+            (n.size, !structural_change)
+        };
+
+        // Build the I/O plan the flags require.
+        let io = match flags {
+            WriteFlags::DelayData => IoPlan::empty(),
+            WriteFlags::SyncDataOnly => {
+                let data_reqs = self.flush_extents(ino, first_lbn, last_lbn)?;
+                IoPlan {
+                    data: data_reqs,
+                    metadata: Vec::new(),
+                }
+            }
+            WriteFlags::Sync => {
+                let data_reqs = self.flush_extents(ino, first_lbn, last_lbn)?;
+                let metadata = if self.inode(ino)?.has_dirty_metadata() {
+                    self.metadata_requests(ino, true)?
+                } else {
+                    Vec::new()
+                };
+                IoPlan {
+                    data: data_reqs,
+                    metadata,
+                }
+            }
+        };
+
+        let _ = touched;
+        Ok(WriteOutcome {
+            io,
+            new_size,
+            mtime_only,
+            allocated,
+        })
+    }
+
+    /// Mark the blocks in `[first_lbn, last_lbn]` clean and return the
+    /// clustered write requests covering the ones that were dirty.
+    fn flush_extents(
+        &mut self,
+        ino: InodeNumber,
+        first_lbn: u64,
+        last_lbn: u64,
+    ) -> Result<Vec<DiskRequest>, FsError> {
+        let block_size = self.params.block_size;
+        let cluster = self.params.cluster_size;
+        let n = self.inode_mut(ino)?;
+        let mut extents = Vec::new();
+        for lbn in first_lbn..=last_lbn {
+            if let Some(block) = n.blocks.get_mut(&lbn) {
+                if block.dirty {
+                    block.dirty = false;
+                    extents.push((block.phys, block_size));
+                }
+            }
+        }
+        Ok(cluster_requests(extents, cluster))
+    }
+
+    /// `VOP_SYNCDATA`: flush all dirty data blocks whose byte range intersects
+    /// `[from, to)`, clustered into large transfers.  The paper's gathering
+    /// server calls this with beginning/ending offsets as hints once it
+    /// becomes the metadata writer.
+    pub fn sync_data(&mut self, ino: InodeNumber, from: u64, to: u64) -> Result<IoPlan, FsError> {
+        self.counters.syncdatas += 1;
+        let block_size = self.params.block_size;
+        let cluster = self.params.cluster_size;
+        let n = self.inode_mut(ino)?;
+        let mut extents = Vec::new();
+        for (lbn, block) in n.blocks.iter_mut() {
+            let start = lbn * block_size;
+            let end = start + block_size;
+            if block.dirty && start < to && end > from {
+                block.dirty = false;
+                extents.push((block.phys, block_size));
+            }
+        }
+        Ok(IoPlan {
+            data: cluster_requests(extents, cluster),
+            metadata: Vec::new(),
+        })
+    }
+
+    /// `VOP_FSYNC`: flush metadata (and, for [`FsyncFlags::All`], any dirty
+    /// data) of the file.
+    pub fn fsync(&mut self, ino: InodeNumber, flags: FsyncFlags) -> Result<IoPlan, FsError> {
+        self.counters.fsyncs += 1;
+        let mut plan = IoPlan::empty();
+        if flags == FsyncFlags::All {
+            let size = self.inode(ino)?.size;
+            let data_plan = self.sync_data(ino, 0, size.max(1))?;
+            plan.extend(data_plan);
+            // sync_data counts itself; do not double count the fsync wrapper.
+            self.counters.syncdatas -= 1;
+        }
+        let metadata = self.metadata_requests(ino, true)?;
+        plan.metadata.extend(metadata);
+        Ok(plan)
+    }
+
+    /// The metadata writes currently needed for `ino`: the block holding the
+    /// inode (if the inode is dirty) and the indirect block (if dirty).  When
+    /// `clear` is set the dirty flags are reset, modelling the writes being
+    /// issued.
+    fn metadata_requests(
+        &mut self,
+        ino: InodeNumber,
+        clear: bool,
+    ) -> Result<Vec<DiskRequest>, FsError> {
+        let inode_block_addr = self.params.inode_block_addr(ino);
+        let block_size = self.params.block_size;
+        let n = self.inode_mut(ino)?;
+        let mut reqs = Vec::new();
+        if n.inode_dirty {
+            reqs.push(DiskRequest::write(inode_block_addr, block_size));
+        }
+        if n.indirect_dirty {
+            if let Some(addr) = n.indirect {
+                reqs.push(DiskRequest::write(addr, block_size));
+            }
+        }
+        if clear {
+            n.inode_dirty = false;
+            n.mtime_only_dirty = false;
+            n.indirect_dirty = false;
+        }
+        Ok(reqs)
+    }
+
+    /// The metadata writes that would be needed right now, without clearing
+    /// dirty state (used by tests and by the server's async-mtime path).
+    pub fn pending_metadata(&mut self, ino: InodeNumber) -> Result<Vec<DiskRequest>, FsError> {
+        self.metadata_requests(ino, false)
+    }
+
+    /// `VOP_READ`: read up to `len` bytes at `offset`.
+    pub fn read(&mut self, ino: InodeNumber, offset: u64, len: u64) -> Result<ReadOutcome, FsError> {
+        self.counters.reads += 1;
+        let block_size = self.params.block_size;
+        let n = self.inode_mut(ino)?;
+        if n.kind != FileKind::Regular {
+            return Err(FsError::IsADirectory);
+        }
+        if offset >= n.size {
+            return Ok(ReadOutcome {
+                data: Vec::new(),
+                misses: Vec::new(),
+            });
+        }
+        let end = (offset + len).min(n.size);
+        let mut out = vec![0u8; (end - offset) as usize];
+        let mut misses = Vec::new();
+        let first_lbn = offset / block_size;
+        let last_lbn = (end - 1) / block_size;
+        for lbn in first_lbn..=last_lbn {
+            let block_start = lbn * block_size;
+            let from = offset.max(block_start);
+            let to = end.min(block_start + block_size);
+            let dst_from = (from - offset) as usize;
+            let dst_to = (to - offset) as usize;
+            if let Some(block) = n.blocks.get(&lbn) {
+                let src_from = (from - block_start) as usize;
+                let src_to = (to - block_start) as usize;
+                out[dst_from..dst_to].copy_from_slice(&block.data[src_from..src_to]);
+            } else if let Some(phys) = n.block_addr(lbn) {
+                // Mapped on disk but not cached: a real server would read it;
+                // report the miss so the caller charges disk latency.  The
+                // returned bytes for such blocks are zeros (the simulation only
+                // materialises contents for blocks written through the cache).
+                misses.push(DiskRequest::read(phys, block_size));
+            }
+            // Unmapped blocks are holes: zeros, no I/O.
+        }
+        n.atime_nanos = n.atime_nanos.max(0);
+        Ok(ReadOutcome { data: out, misses })
+    }
+
+    /// Create a file of `size` bytes whose blocks are allocated on disk but
+    /// not resident in the cache.  Used to pre-populate filesystems for
+    /// read-heavy workloads (SPEC SFS-style) so that reads actually miss.
+    pub fn create_prefilled(
+        &mut self,
+        dir: InodeNumber,
+        name: &str,
+        size: u64,
+        now_nanos: u64,
+    ) -> Result<InodeNumber, FsError> {
+        let ino = self.create(dir, name, 0o644, now_nanos)?;
+        let block_size = self.params.block_size;
+        let blocks = size.div_ceil(block_size);
+        if blocks > 0 && blocks - 1 > Inode::max_lbn(&self.params) {
+            return Err(FsError::FileTooLarge);
+        }
+        if Inode::needs_indirect(blocks.saturating_sub(1)) && blocks > 0 {
+            let addr = self.allocate_block()?;
+            let n = self.inode_mut(ino)?;
+            n.indirect = Some(addr);
+        }
+        for lbn in 0..blocks {
+            let p = self.allocate_block()?;
+            let n = self.inode_mut(ino)?;
+            n.map_block(lbn, p);
+        }
+        let n = self.inode_mut(ino)?;
+        n.size = size;
+        n.inode_dirty = false;
+        n.indirect_dirty = false;
+        n.mtime_only_dirty = false;
+        Ok(ino)
+    }
+
+    /// Total bytes of dirty cached data across all files (used by tests and
+    /// by the crash-consistency checks).
+    pub fn dirty_bytes(&self) -> u64 {
+        self.inodes
+            .values()
+            .map(|n| n.blocks.values().filter(|b| b.dirty).count() as u64 * self.params.block_size)
+            .sum()
+    }
+
+    /// `true` if the inode has any dirty data or metadata.
+    pub fn is_dirty(&self, ino: InodeNumber) -> Result<bool, FsError> {
+        let n = self.inode(ino)?;
+        Ok(n.inode_dirty || n.indirect_dirty || n.blocks.values().any(|b| b.dirty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BS: u64 = 8192;
+
+    fn fs() -> Ufs {
+        Ufs::with_defaults(1)
+    }
+
+    #[test]
+    fn create_lookup_remove_cycle() {
+        let mut u = fs();
+        let root = u.root();
+        let f = u.create(root, "a.dat", 0o644, 10).unwrap();
+        assert_eq!(u.lookup(root, "a.dat").unwrap(), f);
+        assert_eq!(u.create(root, "a.dat", 0o644, 10), Err(FsError::Exists));
+        assert_eq!(u.lookup(root, "missing"), Err(FsError::NotFound));
+        u.remove(root, "a.dat", 20).unwrap();
+        assert_eq!(u.lookup(root, "a.dat"), Err(FsError::NotFound));
+        assert_eq!(u.getattr(f), Err(FsError::StaleInode));
+    }
+
+    #[test]
+    fn generations_differ_across_reuse() {
+        let mut u = fs();
+        let root = u.root();
+        let a = u.create(root, "a", 0o644, 0).unwrap();
+        let gen_a = u.generation_of(a).unwrap();
+        u.remove(root, "a", 1).unwrap();
+        let b = u.create(root, "b", 0o644, 2).unwrap();
+        let gen_b = u.generation_of(b).unwrap();
+        assert_ne!(gen_a, gen_b);
+    }
+
+    #[test]
+    fn first_write_to_new_file_needs_data_and_inode_io() {
+        let mut u = fs();
+        let root = u.root();
+        let f = u.create(root, "f", 0o644, 0).unwrap();
+        let out = u
+            .write(f, 0, &vec![7u8; BS as usize], WriteFlags::Sync, 100)
+            .unwrap();
+        assert!(out.allocated);
+        assert!(!out.mtime_only);
+        assert_eq!(out.new_size, BS);
+        assert_eq!(out.io.data.len(), 1);
+        // The inode block write (no indirect block needed yet).
+        assert_eq!(out.io.metadata.len(), 1);
+        assert_eq!(out.io.metadata[0].len, BS);
+    }
+
+    #[test]
+    fn overwrite_of_allocated_block_is_mtime_only() {
+        let mut u = fs();
+        let root = u.root();
+        let f = u.create(root, "f", 0o644, 0).unwrap();
+        u.write(f, 0, &vec![1u8; BS as usize], WriteFlags::Sync, 100)
+            .unwrap();
+        let out = u
+            .write(f, 0, &vec![2u8; BS as usize], WriteFlags::Sync, 200)
+            .unwrap();
+        assert!(out.mtime_only);
+        assert!(!out.allocated);
+        assert_eq!(out.io.data.len(), 1);
+        // §4.4: the inode update for a pure mtime change is asynchronous.
+        assert!(out.io.metadata.is_empty());
+    }
+
+    #[test]
+    fn sequential_file_write_uses_indirect_blocks_after_96k() {
+        let mut u = fs();
+        let root = u.root();
+        let f = u.create(root, "big", 0o644, 0).unwrap();
+        // Write 13 blocks; block 12 needs the indirect block.
+        for i in 0..13u64 {
+            let out = u
+                .write(f, i * BS, &vec![i as u8; BS as usize], WriteFlags::Sync, i)
+                .unwrap();
+            if i == 12 {
+                // Metadata now includes the inode block and the indirect block.
+                assert_eq!(out.io.metadata.len(), 2);
+            }
+        }
+        let attrs = u.getattr(f).unwrap();
+        assert_eq!(attrs.size, 13 * BS);
+    }
+
+    #[test]
+    fn delayed_writes_issue_no_io_until_syncdata() {
+        let mut u = fs();
+        let root = u.root();
+        let f = u.create(root, "g", 0o644, 0).unwrap();
+        for i in 0..8u64 {
+            let out = u
+                .write(f, i * BS, &vec![3u8; BS as usize], WriteFlags::DelayData, i)
+                .unwrap();
+            assert!(out.io.is_empty());
+        }
+        assert!(u.is_dirty(f).unwrap());
+        assert_eq!(u.dirty_bytes(), 8 * BS);
+        let plan = u.sync_data(f, 0, 8 * BS).unwrap();
+        // Eight contiguous dirty blocks cluster into one 64 KB transfer.
+        assert_eq!(plan.data.len(), 1);
+        assert_eq!(plan.data[0].len, 64 * 1024);
+        assert_eq!(u.dirty_bytes(), 0);
+        // Metadata is still dirty until fsync.
+        let meta = u.fsync(f, FsyncFlags::MetadataOnly).unwrap();
+        assert_eq!(meta.metadata.len(), 1);
+        assert!(!u.is_dirty(f).unwrap());
+    }
+
+    #[test]
+    fn gathering_reduces_transactions_three_to_one() {
+        // The paper's core claim in miniature: N writes via the standard path
+        // cost ~2 transactions each (data + inode, +indirect occasionally),
+        // while the same N writes delayed and flushed once cost N/8 data
+        // transfers + 1-2 metadata writes.
+        let n_blocks = 16u64;
+
+        let mut standard = fs();
+        let root = standard.root();
+        let f = standard.create(root, "std", 0o644, 0).unwrap();
+        let mut standard_ops = 0usize;
+        for i in 0..n_blocks {
+            let out = standard
+                .write(f, i * BS, &vec![0u8; BS as usize], WriteFlags::Sync, i)
+                .unwrap();
+            standard_ops += out.io.transactions();
+        }
+
+        let mut gathered = fs();
+        let root = gathered.root();
+        let g = gathered.create(root, "gth", 0o644, 0).unwrap();
+        for i in 0..n_blocks {
+            gathered
+                .write(g, i * BS, &vec![0u8; BS as usize], WriteFlags::DelayData, i)
+                .unwrap();
+        }
+        let mut gathered_ops = gathered.sync_data(g, 0, n_blocks * BS).unwrap().transactions();
+        gathered_ops += gathered.fsync(g, FsyncFlags::MetadataOnly).unwrap().transactions();
+
+        assert!(standard_ops >= (2 * n_blocks) as usize, "standard {standard_ops}");
+        // 128 KB of data clusters into 3 transfers (the indirect block breaks
+        // physical contiguity once at block 12) plus inode + indirect metadata.
+        assert!(gathered_ops <= 5, "gathered {gathered_ops}");
+        assert!(gathered_ops * 6 <= standard_ops, "gathered {gathered_ops} vs standard {standard_ops}");
+    }
+
+    #[test]
+    fn sync_dataonly_leaves_metadata_dirty() {
+        let mut u = fs();
+        let root = u.root();
+        let f = u.create(root, "p", 0o644, 0).unwrap();
+        let out = u
+            .write(f, 0, &vec![9u8; BS as usize], WriteFlags::SyncDataOnly, 5)
+            .unwrap();
+        assert_eq!(out.io.data.len(), 1);
+        assert!(out.io.metadata.is_empty());
+        assert!(!u.pending_metadata(f).unwrap().is_empty());
+        let meta = u.fsync(f, FsyncFlags::MetadataOnly).unwrap();
+        assert_eq!(meta.metadata.len(), 1);
+        assert!(u.pending_metadata(f).unwrap().is_empty());
+    }
+
+    #[test]
+    fn read_returns_written_bytes() {
+        let mut u = fs();
+        let root = u.root();
+        let f = u.create(root, "r", 0o644, 0).unwrap();
+        let payload: Vec<u8> = (0..BS as usize * 2).map(|i| (i % 251) as u8).collect();
+        u.write(f, 0, &payload, WriteFlags::DelayData, 1).unwrap();
+        let got = u.read(f, 0, payload.len() as u64).unwrap();
+        assert_eq!(got.data, payload);
+        assert!(got.misses.is_empty());
+        // Partial read across a block boundary.
+        let got = u.read(f, BS - 100, 200).unwrap();
+        assert_eq!(got.data, payload[(BS - 100) as usize..(BS + 100) as usize]);
+        // Read past EOF.
+        let got = u.read(f, payload.len() as u64 + 5, 100).unwrap();
+        assert!(got.data.is_empty());
+    }
+
+    #[test]
+    fn unaligned_writes_roundtrip() {
+        let mut u = fs();
+        let root = u.root();
+        let f = u.create(root, "u", 0o644, 0).unwrap();
+        u.write(f, 100, b"hello", WriteFlags::Sync, 1).unwrap();
+        u.write(f, BS - 2, b"spanning", WriteFlags::Sync, 2).unwrap();
+        let got = u.read(f, 100, 5).unwrap();
+        assert_eq!(got.data, b"hello");
+        let got = u.read(f, BS - 2, 8).unwrap();
+        assert_eq!(got.data, b"spanning");
+        assert_eq!(u.getattr(f).unwrap().size, BS - 2 + 8);
+    }
+
+    #[test]
+    fn prefilled_files_produce_read_misses() {
+        let mut u = fs();
+        let root = u.root();
+        let f = u.create_prefilled(root, "cold", 64 * 1024, 0).unwrap();
+        assert_eq!(u.getattr(f).unwrap().size, 64 * 1024);
+        assert!(!u.is_dirty(f).unwrap());
+        let got = u.read(f, 0, 8192).unwrap();
+        assert_eq!(got.misses.len(), 1);
+        assert_eq!(got.data.len(), 8192);
+    }
+
+    #[test]
+    fn enospc_is_reported() {
+        let mut u = Ufs::new(1, FsParams::tiny_for_tests());
+        let root = u.root();
+        let f = u.create(root, "fill", 0o644, 0).unwrap();
+        let mut hit_enospc = false;
+        for i in 0..100u64 {
+            match u.write(f, i * BS, &vec![0u8; BS as usize], WriteFlags::Sync, i) {
+                Ok(_) => {}
+                Err(FsError::NoSpace) => {
+                    hit_enospc = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(hit_enospc);
+    }
+
+    #[test]
+    fn file_too_large_is_reported() {
+        let mut u = fs();
+        let root = u.root();
+        let f = u.create(root, "huge", 0o644, 0).unwrap();
+        let too_far = (Inode::max_lbn(u.params()) + 1) * BS;
+        assert!(matches!(
+            u.write(f, too_far, &[1u8; 1], WriteFlags::Sync, 0),
+            Err(FsError::FileTooLarge)
+        ));
+    }
+
+    #[test]
+    fn directories_reject_data_ops_and_track_entries() {
+        let mut u = fs();
+        let root = u.root();
+        let d = u.mkdir(root, "dir", 0o755, 0).unwrap();
+        assert!(matches!(
+            u.write(d, 0, b"x", WriteFlags::Sync, 0),
+            Err(FsError::IsADirectory)
+        ));
+        assert!(matches!(u.read(d, 0, 10), Err(FsError::IsADirectory)));
+        u.create(d, "inner", 0o644, 1).unwrap();
+        assert_eq!(u.readdir(d).unwrap(), vec!["inner".to_string()]);
+        assert_eq!(u.remove(root, "dir", 2), Err(FsError::NotEmpty));
+        u.remove(d, "inner", 3).unwrap();
+        u.remove(root, "dir", 4).unwrap();
+    }
+
+    #[test]
+    fn setattr_truncate_frees_blocks_and_reports_metadata_io() {
+        let mut u = fs();
+        let root = u.root();
+        let f = u.create(root, "t", 0o644, 0).unwrap();
+        for i in 0..4u64 {
+            u.write(f, i * BS, &vec![1u8; BS as usize], WriteFlags::Sync, i)
+                .unwrap();
+        }
+        let free_before = u.free_block_count();
+        let (attrs, plan) = u.setattr(f, Some(0o600), Some(BS), 100).unwrap();
+        assert_eq!(attrs.size, BS);
+        assert_eq!(attrs.mode, 0o600);
+        assert!(!plan.metadata.is_empty());
+        assert!(u.free_block_count() > free_before);
+        // Reading past the new size returns nothing.
+        assert!(u.read(f, BS, 100).unwrap().data.is_empty());
+    }
+
+    #[test]
+    fn statfs_counters_and_op_counters() {
+        let mut u = fs();
+        let root = u.root();
+        assert!(u.total_block_count() > 0);
+        let before_free = u.free_block_count();
+        let f = u.create(root, "c", 0o644, 0).unwrap();
+        u.write(f, 0, &vec![0u8; BS as usize], WriteFlags::Sync, 1).unwrap();
+        assert_eq!(u.free_block_count(), before_free - 1);
+        let c = u.counters();
+        assert_eq!(c.writes, 1);
+        assert!(c.namespace_ops >= 1);
+        assert_eq!(u.fsid(), 1);
+        assert_eq!(u.root(), ROOT_INO);
+    }
+
+    #[test]
+    fn stale_inode_errors_everywhere() {
+        let mut u = fs();
+        assert_eq!(u.getattr(999), Err(FsError::StaleInode));
+        assert!(matches!(u.read(999, 0, 1), Err(FsError::StaleInode)));
+        assert!(matches!(
+            u.write(999, 0, b"x", WriteFlags::Sync, 0),
+            Err(FsError::StaleInode)
+        ));
+        assert_eq!(u.sync_data(999, 0, 1), Err(FsError::StaleInode));
+        assert_eq!(u.fsync(999, FsyncFlags::All), Err(FsError::StaleInode));
+        assert_eq!(u.lookup(999, "x"), Err(FsError::StaleInode));
+        assert_eq!(u.readdir(999), Err(FsError::StaleInode));
+    }
+
+    #[test]
+    fn fsync_all_flushes_data_and_metadata() {
+        let mut u = fs();
+        let root = u.root();
+        let f = u.create(root, "fa", 0o644, 0).unwrap();
+        for i in 0..4u64 {
+            u.write(f, i * BS, &vec![5u8; BS as usize], WriteFlags::DelayData, i)
+                .unwrap();
+        }
+        let plan = u.fsync(f, FsyncFlags::All).unwrap();
+        assert_eq!(plan.data.len(), 1); // one 32 KB clustered transfer
+        assert_eq!(plan.data[0].len, 4 * BS);
+        assert_eq!(plan.metadata.len(), 1);
+        assert!(!u.is_dirty(f).unwrap());
+    }
+
+    #[test]
+    fn name_length_limit_enforced() {
+        let mut u = fs();
+        let root = u.root();
+        let long = "x".repeat(MAX_NAME_LEN + 1);
+        assert_eq!(u.create(root, &long, 0o644, 0), Err(FsError::NameTooLong));
+        assert_eq!(u.create(root, "", 0o644, 0), Err(FsError::NameTooLong));
+    }
+}

@@ -1,0 +1,251 @@
+//! In-memory inodes.
+//!
+//! The quantities that matter to the paper are which *disk blocks* a write
+//! dirties: the data block itself, the block holding the inode, and possibly
+//! an indirect block.  [`Inode`] therefore tracks the FFS block map (12 direct
+//! pointers plus one single-indirect block) together with dirty flags for the
+//! inode and the indirect block, which is exactly the metadata a
+//! `VOP_FSYNC(FWRITE_METADATA)` must flush.
+
+use crate::params::FsParams;
+use std::collections::BTreeMap;
+
+/// Number of direct block pointers in an FFS inode.
+pub const NDADDR: usize = 12;
+
+/// An inode number.
+pub type InodeNumber = u64;
+
+/// Whether an inode is a regular file or a directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FileKind {
+    /// A regular file.
+    Regular,
+    /// A directory.
+    Directory,
+}
+
+/// One cached file block: its physical disk address, its contents, and
+/// whether it is dirty (written but not yet flushed to the disk).
+#[derive(Clone, Debug)]
+pub struct CachedBlock {
+    /// Physical byte address of the block on the device.
+    pub phys: u64,
+    /// Block contents (always exactly one filesystem block long).
+    pub data: Vec<u8>,
+    /// `true` if the cached contents have not been written to the device.
+    pub dirty: bool,
+}
+
+/// An in-memory inode with its block map and cached blocks.
+#[derive(Clone, Debug)]
+pub struct Inode {
+    /// The inode number.
+    pub ino: InodeNumber,
+    /// Generation number; bumped each time the inode is reused so old file
+    /// handles become stale.
+    pub generation: u32,
+    /// Regular file or directory.
+    pub kind: FileKind,
+    /// File size in bytes.
+    pub size: u64,
+    /// Permission bits.
+    pub mode: u32,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+    /// Link count.
+    pub nlink: u32,
+    /// Last-modification time in simulation nanoseconds.
+    pub mtime_nanos: u64,
+    /// Last-access time in simulation nanoseconds.
+    pub atime_nanos: u64,
+    /// Inode-change time in simulation nanoseconds.
+    pub ctime_nanos: u64,
+    /// Direct block pointers (physical addresses).
+    pub direct: [Option<u64>; NDADDR],
+    /// Physical address of the single indirect block, if allocated.
+    pub indirect: Option<u64>,
+    /// Pointers held by the indirect block (logical index -> physical
+    /// address), kept sparse.
+    pub indirect_map: BTreeMap<u64, u64>,
+    /// Directory entries (name -> inode), present only for directories.
+    pub entries: BTreeMap<String, InodeNumber>,
+    /// Cached data blocks keyed by logical block index.
+    pub blocks: BTreeMap<u64, CachedBlock>,
+    /// `true` if the on-disk inode no longer matches this in-memory copy
+    /// (size, block pointers or times changed).
+    pub inode_dirty: bool,
+    /// `true` if only the modification time differs from the on-disk inode —
+    /// the case the reference port flushes asynchronously (§4.4).
+    pub mtime_only_dirty: bool,
+    /// `true` if the indirect block contents changed and must be rewritten.
+    pub indirect_dirty: bool,
+}
+
+impl Inode {
+    /// Create a fresh inode.
+    pub fn new(ino: InodeNumber, generation: u32, kind: FileKind, mode: u32, now_nanos: u64) -> Self {
+        Inode {
+            ino,
+            generation,
+            kind,
+            size: 0,
+            mode,
+            uid: 0,
+            gid: 0,
+            nlink: 1,
+            mtime_nanos: now_nanos,
+            atime_nanos: now_nanos,
+            ctime_nanos: now_nanos,
+            direct: [None; NDADDR],
+            indirect: None,
+            indirect_map: BTreeMap::new(),
+            entries: BTreeMap::new(),
+            blocks: BTreeMap::new(),
+            inode_dirty: true,
+            mtime_only_dirty: false,
+            indirect_dirty: false,
+        }
+    }
+
+    /// Look up the physical address of logical block `lbn`, if mapped.
+    pub fn block_addr(&self, lbn: u64) -> Option<u64> {
+        if (lbn as usize) < NDADDR {
+            self.direct[lbn as usize]
+        } else {
+            self.indirect_map.get(&lbn).copied()
+        }
+    }
+
+    /// Record a mapping from logical block `lbn` to physical address `phys`,
+    /// returning `true` if the mapping lives in the indirect block (and thus
+    /// dirties it) rather than in the inode proper.
+    pub fn map_block(&mut self, lbn: u64, phys: u64) -> bool {
+        if (lbn as usize) < NDADDR {
+            self.direct[lbn as usize] = Some(phys);
+            false
+        } else {
+            self.indirect_map.insert(lbn, phys);
+            true
+        }
+    }
+
+    /// Whether a logical block index requires the indirect block.
+    pub fn needs_indirect(lbn: u64) -> bool {
+        lbn as usize >= NDADDR
+    }
+
+    /// The highest logical block index representable with a single indirect
+    /// block under the given geometry.
+    pub fn max_lbn(params: &FsParams) -> u64 {
+        NDADDR as u64 + params.pointers_per_block() - 1
+    }
+
+    /// Number of 512-byte sectors the file occupies (the `blocks` field of
+    /// NFS attributes).
+    pub fn sectors(&self) -> u64 {
+        let mapped = self
+            .direct
+            .iter()
+            .filter(|b| b.is_some())
+            .count() as u64
+            + self.indirect_map.len() as u64
+            + u64::from(self.indirect.is_some());
+        mapped * 16 // 8 KB block = 16 sectors
+    }
+
+    /// Iterate over the logical indices of dirty cached blocks, in order.
+    pub fn dirty_block_indices(&self) -> Vec<u64> {
+        self.blocks
+            .iter()
+            .filter(|(_, b)| b.dirty)
+            .map(|(lbn, _)| *lbn)
+            .collect()
+    }
+
+    /// `true` if any metadata (inode or indirect block) is dirty beyond a
+    /// bare mtime update.
+    pub fn has_dirty_metadata(&self) -> bool {
+        (self.inode_dirty && !self.mtime_only_dirty) || self.indirect_dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_and_indirect_mapping() {
+        let mut ino = Inode::new(5, 1, FileKind::Regular, 0o644, 0);
+        assert_eq!(ino.block_addr(0), None);
+        assert!(!ino.map_block(0, 64 * 1024 * 1024));
+        assert_eq!(ino.block_addr(0), Some(64 * 1024 * 1024));
+        // Block 12 is the first indirect-mapped block.
+        assert!(Inode::needs_indirect(12));
+        assert!(!Inode::needs_indirect(11));
+        assert!(ino.map_block(12, 65 * 1024 * 1024));
+        assert_eq!(ino.block_addr(12), Some(65 * 1024 * 1024));
+    }
+
+    #[test]
+    fn max_file_size_with_single_indirect() {
+        let p = FsParams::default();
+        // 12 direct + 2048 indirect pointers of 8 KB blocks ≈ 16.1 MB.
+        assert_eq!(Inode::max_lbn(&p), 12 + 2048 - 1);
+        let max_bytes = (Inode::max_lbn(&p) + 1) * p.block_size;
+        assert!(max_bytes > 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn sectors_counts_mapped_blocks_and_indirect() {
+        let mut ino = Inode::new(7, 1, FileKind::Regular, 0o644, 0);
+        assert_eq!(ino.sectors(), 0);
+        ino.map_block(0, 1000);
+        ino.map_block(1, 2000);
+        assert_eq!(ino.sectors(), 32);
+        ino.indirect = Some(3000);
+        ino.map_block(12, 4000);
+        assert_eq!(ino.sectors(), 64);
+    }
+
+    #[test]
+    fn dirty_tracking_helpers() {
+        let mut ino = Inode::new(9, 1, FileKind::Regular, 0o644, 0);
+        assert!(ino.has_dirty_metadata()); // freshly created inode is dirty
+        ino.inode_dirty = false;
+        assert!(!ino.has_dirty_metadata());
+        ino.inode_dirty = true;
+        ino.mtime_only_dirty = true;
+        assert!(!ino.has_dirty_metadata()); // mtime-only changes may be async
+        ino.indirect_dirty = true;
+        assert!(ino.has_dirty_metadata());
+
+        ino.blocks.insert(
+            3,
+            CachedBlock {
+                phys: 100,
+                data: vec![0; 8192],
+                dirty: true,
+            },
+        );
+        ino.blocks.insert(
+            1,
+            CachedBlock {
+                phys: 200,
+                data: vec![0; 8192],
+                dirty: false,
+            },
+        );
+        assert_eq!(ino.dirty_block_indices(), vec![3]);
+    }
+
+    #[test]
+    fn new_directory_has_empty_entries() {
+        let d = Inode::new(2, 1, FileKind::Directory, 0o755, 42);
+        assert_eq!(d.kind, FileKind::Directory);
+        assert!(d.entries.is_empty());
+        assert_eq!(d.mtime_nanos, 42);
+    }
+}

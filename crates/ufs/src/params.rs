@@ -1,0 +1,111 @@
+//! Filesystem geometry and policy parameters.
+
+/// Geometry and policy of one filesystem instance.
+///
+/// The defaults match the configuration the paper's experiments assume: 8 KB
+/// blocks, clustering of contiguous writes into transfers of up to 64 KB, an
+/// inode region separated from the data region so metadata updates pay a seek.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct FsParams {
+    /// Filesystem block size in bytes (the unit of allocation and of client
+    /// writes; NFS v2 clients emit one write per 8 KB block).
+    pub block_size: u64,
+    /// Largest clustered transfer the filesystem will build (the McVoy/Kleiman
+    /// extension; 64 KB in the paper).
+    pub cluster_size: u64,
+    /// Usable capacity of the data region in bytes.
+    pub data_capacity: u64,
+    /// Disk byte address where the inode region starts.
+    pub inode_region_start: u64,
+    /// Disk byte address where the data region starts.
+    pub data_region_start: u64,
+    /// Bytes each on-disk inode occupies (128 in FFS).
+    pub inode_size: u64,
+}
+
+impl Default for FsParams {
+    fn default() -> Self {
+        FsParams {
+            block_size: 8192,
+            cluster_size: 64 * 1024,
+            // Leave room for ~900 MB of data on the 1.05 GB RZ26.
+            data_capacity: 900 * 1024 * 1024,
+            inode_region_start: 16 * 1024 * 1024,
+            data_region_start: 64 * 1024 * 1024,
+            inode_size: 128,
+        }
+    }
+}
+
+impl FsParams {
+    /// Number of inodes that share one filesystem block (and therefore one
+    /// inode-block disk write).
+    pub fn inodes_per_block(&self) -> u64 {
+        self.block_size / self.inode_size
+    }
+
+    /// Number of block pointers an indirect block holds (4-byte pointers).
+    pub fn pointers_per_block(&self) -> u64 {
+        self.block_size / 4
+    }
+
+    /// The disk address of the block containing inode `ino`.
+    pub fn inode_block_addr(&self, ino: u64) -> u64 {
+        self.inode_region_start + (ino / self.inodes_per_block()) * self.block_size
+    }
+
+    /// Number of whole blocks needed to hold `bytes` bytes.
+    pub fn blocks_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.block_size)
+    }
+
+    /// A small-geometry configuration used by tests that want to hit ENOSPC
+    /// and indirect-block boundaries quickly.
+    pub fn tiny_for_tests() -> Self {
+        FsParams {
+            block_size: 8192,
+            cluster_size: 64 * 1024,
+            data_capacity: 8192 * 64, // 64 data blocks
+            inode_region_start: 1 * 1024 * 1024,
+            data_region_start: 2 * 1024 * 1024,
+            inode_size: 128,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let p = FsParams::default();
+        assert_eq!(p.inodes_per_block(), 64);
+        assert_eq!(p.pointers_per_block(), 2048);
+        assert_eq!(p.blocks_for(0), 0);
+        assert_eq!(p.blocks_for(1), 1);
+        assert_eq!(p.blocks_for(8192), 1);
+        assert_eq!(p.blocks_for(8193), 2);
+        assert_eq!(p.blocks_for(10 * 1024 * 1024), 1280);
+    }
+
+    #[test]
+    fn inode_blocks_are_shared_between_adjacent_inodes() {
+        let p = FsParams::default();
+        assert_eq!(p.inode_block_addr(0), p.inode_block_addr(63));
+        assert_ne!(p.inode_block_addr(63), p.inode_block_addr(64));
+        assert_eq!(
+            p.inode_block_addr(64) - p.inode_block_addr(0),
+            p.block_size
+        );
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let p = FsParams::default();
+        assert!(p.inode_region_start < p.data_region_start);
+        let t = FsParams::tiny_for_tests();
+        assert!(t.inode_region_start < t.data_region_start);
+        assert_eq!(t.data_capacity / t.block_size, 64);
+    }
+}

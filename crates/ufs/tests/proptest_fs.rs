@@ -1,0 +1,130 @@
+//! Property-based tests for the filesystem: data integrity and transaction
+//! accounting invariants that the write-gathering result relies on.
+
+use proptest::prelude::*;
+use wg_ufs::{FsyncFlags, Ufs, WriteFlags};
+
+const BS: u64 = 8192;
+
+/// A reference model: the file is just a growable byte vector.
+fn apply_reference(reference: &mut Vec<u8>, offset: u64, data: &[u8]) {
+    let end = offset as usize + data.len();
+    if reference.len() < end {
+        reference.resize(end, 0);
+    }
+    reference[offset as usize..end].copy_from_slice(data);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever sequence of writes is applied, reading the file back returns
+    /// exactly what a plain byte-vector model says it should contain.
+    #[test]
+    fn write_read_matches_reference_model(
+        ops in proptest::collection::vec(
+            (0u64..200u64, 1usize..3000usize, any::<u8>(), any::<bool>()),
+            1..25,
+        )
+    ) {
+        let mut fs = Ufs::with_defaults(1);
+        let root = fs.root();
+        let ino = fs.create(root, "file", 0o644, 0).unwrap();
+        let mut reference: Vec<u8> = Vec::new();
+
+        for (i, (off_blocks, len, fill, delayed)) in ops.iter().enumerate() {
+            // Keep offsets within the single-indirect limit.
+            let offset = (off_blocks % 100) * 1024;
+            let data = vec![*fill; *len];
+            let flags = if *delayed { WriteFlags::DelayData } else { WriteFlags::Sync };
+            fs.write(ino, offset, &data, flags, i as u64).unwrap();
+            apply_reference(&mut reference, offset, &data);
+        }
+
+        let attrs = fs.getattr(ino).unwrap();
+        prop_assert_eq!(attrs.size, reference.len() as u64);
+        let read = fs.read(ino, 0, reference.len() as u64).unwrap();
+        prop_assert_eq!(read.data, reference);
+    }
+
+    /// After fsync(All), no dirty state remains and a second fsync issues no
+    /// further I/O (flush is idempotent).
+    #[test]
+    fn fsync_is_idempotent(
+        writes in proptest::collection::vec((0u64..64u64, any::<u8>()), 1..20)
+    ) {
+        let mut fs = Ufs::with_defaults(1);
+        let root = fs.root();
+        let ino = fs.create(root, "file", 0o644, 0).unwrap();
+        for (i, (block, fill)) in writes.iter().enumerate() {
+            fs.write(ino, block * BS, &vec![*fill; BS as usize], WriteFlags::DelayData, i as u64)
+                .unwrap();
+        }
+        let first = fs.fsync(ino, FsyncFlags::All).unwrap();
+        prop_assert!(!first.is_empty());
+        prop_assert!(!fs.is_dirty(ino).unwrap());
+        let second = fs.fsync(ino, FsyncFlags::All).unwrap();
+        prop_assert!(second.is_empty(), "second fsync still issued {} transactions", second.transactions());
+    }
+
+    /// The delayed-then-flush path never issues more data transactions than
+    /// the per-write synchronous path, and both write identical bytes.
+    #[test]
+    fn gathering_never_issues_more_transactions(
+        blocks in proptest::collection::vec(0u64..80u64, 1..30)
+    ) {
+        let mut sync_fs = Ufs::with_defaults(1);
+        let root = sync_fs.root();
+        let a = sync_fs.create(root, "a", 0o644, 0).unwrap();
+        let mut sync_ops = 0usize;
+        for (i, b) in blocks.iter().enumerate() {
+            let out = sync_fs
+                .write(a, b * BS, &vec![1u8; BS as usize], WriteFlags::Sync, i as u64)
+                .unwrap();
+            sync_ops += out.io.transactions();
+        }
+
+        let mut delay_fs = Ufs::with_defaults(1);
+        let root = delay_fs.root();
+        let b_ino = delay_fs.create(root, "b", 0o644, 0).unwrap();
+        for (i, b) in blocks.iter().enumerate() {
+            delay_fs
+                .write(b_ino, b * BS, &vec![1u8; BS as usize], WriteFlags::DelayData, i as u64)
+                .unwrap();
+        }
+        let mut delay_ops = delay_fs.sync_data(b_ino, 0, u64::MAX).unwrap().transactions();
+        delay_ops += delay_fs.fsync(b_ino, FsyncFlags::MetadataOnly).unwrap().transactions();
+
+        prop_assert!(delay_ops <= sync_ops, "delayed {delay_ops} > sync {sync_ops}");
+
+        let size = sync_fs.getattr(a).unwrap().size;
+        prop_assert_eq!(size, delay_fs.getattr(b_ino).unwrap().size);
+        let left = sync_fs.read(a, 0, size).unwrap().data;
+        let right = delay_fs.read(b_ino, 0, size).unwrap().data;
+        prop_assert_eq!(left, right);
+    }
+
+    /// Clustered flush transfers never exceed the configured cluster size and
+    /// cover exactly the dirty bytes.
+    #[test]
+    fn clustered_transfers_respect_cluster_size(
+        start in 0u64..50u64,
+        count in 1u64..40u64,
+    ) {
+        let mut fs = Ufs::with_defaults(1);
+        let root = fs.root();
+        let ino = fs.create(root, "file", 0o644, 0).unwrap();
+        for i in 0..count {
+            fs.write(ino, (start + i) * BS, &vec![7u8; BS as usize], WriteFlags::DelayData, i)
+                .unwrap();
+        }
+        let plan = fs.sync_data(ino, 0, u64::MAX).unwrap();
+        let cluster = fs.params().cluster_size;
+        for req in &plan.data {
+            prop_assert!(req.len <= cluster);
+            prop_assert!(req.len % BS == 0);
+        }
+        let total: u64 = plan.data.iter().map(|r| r.len).sum();
+        prop_assert_eq!(total, count * BS);
+    }
+}

@@ -1,0 +1,27 @@
+//! # wg-workload — experiment orchestration and load generation
+//!
+//! This crate assembles complete client ⇄ network ⇄ server systems out of the
+//! component models and runs the experiments of the paper's evaluation:
+//!
+//! * [`system`] — the single-client 10 MB file-copy system behind Tables 1–6
+//!   and Figure 1: a [`wg_client::FileWriterClient`], a shared
+//!   [`wg_net::Medium`] (Ethernet or FDDI) and a [`wg_server::NfsServer`]
+//!   wired together through one deterministic event loop.
+//! * [`sfs`] — a SPEC SFS 1.0 (LADDIS)-like mixed-operation load generator
+//!   and the throughput/latency sweep behind Figures 2 and 3.
+//! * [`results`] — the result records the benchmark harness prints, shaped
+//!   like the rows of the paper's tables.
+//!
+//! Everything is deterministic: the same configuration and seed produce the
+//! same numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod results;
+pub mod sfs;
+pub mod system;
+
+pub use results::{FileCopyResult, SfsPoint, TableRow};
+pub use sfs::{SfsConfig, SfsMix, SfsSweep};
+pub use system::{ExperimentConfig, FileCopySystem, NetworkKind};

@@ -1,0 +1,100 @@
+//! Result records shaped like the paper's tables and figures.
+
+/// One cell-set of Tables 1–6: the four quantities the paper reports for a
+/// given (network, storage, policy, biod-count) configuration.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct FileCopyResult {
+    /// Number of client biods.
+    pub biods: usize,
+    /// "client write speed (KB/sec.)"
+    pub client_write_kb_per_sec: f64,
+    /// "server cpu util. (%)"
+    pub server_cpu_percent: f64,
+    /// "server disk (KB/sec)"
+    pub disk_kb_per_sec: f64,
+    /// "server disk (trans/sec)"
+    pub disk_trans_per_sec: f64,
+    /// Wall-clock seconds of simulated time the copy took.
+    pub elapsed_secs: f64,
+    /// Mean number of writes covered by one metadata flush (1.0 for the
+    /// standard server).
+    pub mean_batch_size: f64,
+    /// Client retransmissions observed (should be 0 on a private network).
+    pub retransmissions: u64,
+}
+
+/// A row of one of the paper's tables: the same configuration swept across
+/// biod counts, with and without gathering.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TableRow {
+    /// Row label, e.g. "client write speed (KB/sec.)".
+    pub label: String,
+    /// One value per biod-count column.
+    pub values: Vec<f64>,
+}
+
+impl TableRow {
+    /// Render the row in the paper's fixed-width style.
+    pub fn render(&self) -> String {
+        let mut out = format!("{:<34}", self.label);
+        for v in &self.values {
+            out.push_str(&format!("{:>8.0}", v));
+        }
+        out
+    }
+}
+
+/// One point of Figure 2 or Figure 3: offered load vs achieved throughput and
+/// average latency.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct SfsPoint {
+    /// Offered load in NFS operations per second.
+    pub offered_ops_per_sec: f64,
+    /// Achieved throughput in operations per second.
+    pub achieved_ops_per_sec: f64,
+    /// Average response time in milliseconds.
+    pub avg_latency_ms: f64,
+    /// Server CPU utilisation percentage at this load.
+    pub server_cpu_percent: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_row_renders_fixed_width() {
+        let row = TableRow {
+            label: "client write speed (KB/sec.)".into(),
+            values: vec![165.0, 194.0, 201.0],
+        };
+        let s = row.render();
+        assert!(s.starts_with("client write speed"));
+        assert!(s.contains("165"));
+        assert!(s.contains("201"));
+        assert_eq!(s.len(), 34 + 3 * 8);
+    }
+
+    #[test]
+    fn results_serialize() {
+        let r = FileCopyResult {
+            biods: 7,
+            client_write_kb_per_sec: 493.0,
+            server_cpu_percent: 16.0,
+            disk_kb_per_sec: 610.0,
+            disk_trans_per_sec: 24.0,
+            elapsed_secs: 20.0,
+            mean_batch_size: 6.5,
+            retransmissions: 0,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"biods\":7"));
+        let p = SfsPoint {
+            offered_ops_per_sec: 500.0,
+            achieved_ops_per_sec: 480.0,
+            avg_latency_ms: 12.0,
+            server_cpu_percent: 55.0,
+        };
+        assert!(serde_json::to_string(&p).unwrap().contains("480"));
+    }
+}

@@ -1,0 +1,567 @@
+//! A SPEC SFS 1.0 (LADDIS)-like mixed-operation load generator.
+//!
+//! Figures 2 and 3 of the paper plot NFS throughput (SPECnfs ops/sec) against
+//! average response time for a DEC 3800 server with and without write
+//! gathering, driven by the SPEC SFS 1.0 benchmark.  SFS itself is a large
+//! proprietary harness; what matters for the reproduction is its *shape*:
+//!
+//! * a fixed operation mix in which writes are a small (≈15 %) but expensive
+//!   fraction ([WITT93]),
+//! * an offered load swept upward until the server saturates,
+//! * the reported curve of achieved ops/sec vs average latency.
+//!
+//! [`SfsSystem`] generates a Poisson stream of operations drawn from the
+//! LADDIS mix against a pre-populated filesystem, and [`SfsSweep`] runs the
+//! load sweep that regenerates the figures.
+
+use std::collections::HashMap;
+
+use wg_net::medium::Direction;
+use wg_net::{Medium, TransmitOutcome};
+use wg_nfsproto::{
+    CreateArgs, DirOpArgs, FileHandle, GetattrArgs, NfsCall, NfsCallBody, NfsReply, ReadArgs,
+    ReaddirArgs, Sattr, WriteArgs, Xid,
+};
+use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, WritePolicy};
+use wg_simcore::{Duration, EventQueue, LatencyStat, SimRng, SimTime};
+
+use crate::results::SfsPoint;
+use crate::system::NetworkKind;
+
+/// The operation mix, as percentages that sum to 100.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct SfsMix {
+    /// LOOKUP share.
+    pub lookup: f64,
+    /// READ share.
+    pub read: f64,
+    /// WRITE share (the paper quotes 15 %).
+    pub write: f64,
+    /// GETATTR share.
+    pub getattr: f64,
+    /// READDIR share.
+    pub readdir: f64,
+    /// CREATE share.
+    pub create: f64,
+    /// REMOVE share.
+    pub remove: f64,
+    /// SETATTR share.
+    pub setattr: f64,
+    /// STATFS share.
+    pub statfs: f64,
+}
+
+impl SfsMix {
+    /// The LADDIS / SPEC SFS 1.0 mix (writes at 15 %).
+    pub fn laddis() -> Self {
+        SfsMix {
+            lookup: 34.0,
+            read: 22.0,
+            write: 15.0,
+            getattr: 13.0,
+            readdir: 7.0,
+            create: 3.0,
+            remove: 3.0,
+            setattr: 2.0,
+            statfs: 1.0,
+        }
+    }
+
+    fn weights(&self) -> [f64; 9] {
+        [
+            self.lookup,
+            self.read,
+            self.write,
+            self.getattr,
+            self.readdir,
+            self.create,
+            self.remove,
+            self.setattr,
+            self.statfs,
+        ]
+    }
+}
+
+/// Configuration of one SFS-style measurement point.
+#[derive(Clone, Debug)]
+pub struct SfsConfig {
+    /// Network medium (the paper's SFS runs use FDDI).
+    pub network: NetworkKind,
+    /// Server write policy.
+    pub policy: WritePolicy,
+    /// Prestoserve acceleration (Figure 3).
+    pub prestoserve: bool,
+    /// Server spindles (the Figure 2/3 server has a large disk farm; several
+    /// spindles keep the disk from being the first bottleneck).
+    pub spindles: usize,
+    /// Number of nfsds (32 in the figures' configuration).
+    pub nfsds: usize,
+    /// Offered load in operations per second.
+    pub offered_ops_per_sec: f64,
+    /// Measured interval of simulated time.
+    pub duration: Duration,
+    /// Number of files pre-created in the exported filesystem.
+    pub file_count: usize,
+    /// Size of each pre-created file.
+    pub file_size: u64,
+    /// Operation mix.
+    pub mix: SfsMix,
+    /// Number of consecutive sequential 8 KB writes issued when a write is
+    /// drawn from the mix.  LADDIS writes whole files in sequential chunks,
+    /// which is the burstiness write gathering exploits; each write in the
+    /// burst still counts as one NFS operation so the mix percentages hold.
+    pub write_burst: usize,
+    /// RNG seed (runs are deterministic per seed).
+    pub seed: u64,
+}
+
+impl SfsConfig {
+    /// A Figure 2-style configuration at a given offered load.
+    pub fn figure2(offered_ops_per_sec: f64, policy: WritePolicy) -> Self {
+        SfsConfig {
+            network: NetworkKind::Fddi,
+            policy,
+            prestoserve: false,
+            // The Figure 2/3 server is a DEC 3800 with "20 DISKS, 5 SCSI
+            // BUSES"; six spindles keeps the disk farm from being the first
+            // bottleneck without simulating all twenty.
+            spindles: 6,
+            nfsds: 32,
+            offered_ops_per_sec,
+            duration: Duration::from_secs(20),
+            file_count: 200,
+            file_size: 128 * 1024,
+            mix: SfsMix::laddis(),
+            write_burst: 8,
+            seed: 1993,
+        }
+    }
+
+    /// A Figure 3-style configuration (Prestoserve in front of the disks).
+    pub fn figure3(offered_ops_per_sec: f64, policy: WritePolicy) -> Self {
+        SfsConfig {
+            prestoserve: true,
+            ..SfsConfig::figure2(offered_ops_per_sec, policy)
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpKind {
+    Lookup,
+    Read,
+    Write,
+    Getattr,
+    Readdir,
+    Create,
+    Remove,
+    Setattr,
+    Statfs,
+}
+
+const OP_KINDS: [OpKind; 9] = [
+    OpKind::Lookup,
+    OpKind::Read,
+    OpKind::Write,
+    OpKind::Getattr,
+    OpKind::Readdir,
+    OpKind::Create,
+    OpKind::Remove,
+    OpKind::Setattr,
+    OpKind::Statfs,
+];
+
+enum Ev {
+    NextArrival,
+    Server(ServerInput),
+    Reply(NfsReply),
+}
+
+/// One SFS-style measurement run.
+pub struct SfsSystem {
+    config: SfsConfig,
+    server: NfsServer,
+    medium: Medium,
+    queue: EventQueue<Ev>,
+    rng: SimRng,
+    root_handle: FileHandle,
+    files: Vec<(String, FileHandle, u64)>,
+    /// Files the write bursts append to, with their current append offset.
+    /// LADDIS writes create and grow files, so every write allocates new
+    /// blocks and dirties metadata — the case write gathering amortises.
+    write_files: Vec<(FileHandle, u64)>,
+    outstanding: HashMap<Xid, (SimTime, OpKind)>,
+    latency: LatencyStat,
+    issued: u64,
+    completed: u64,
+    next_xid: u32,
+    created_names: Vec<String>,
+    create_counter: u64,
+    /// Remaining bodies of an in-progress write burst; drained one per
+    /// arrival before a new operation is drawn from the mix.
+    burst_queue: Vec<NfsCallBody>,
+}
+
+impl SfsSystem {
+    /// Build the system and pre-populate the exported filesystem.
+    pub fn new(config: SfsConfig) -> Self {
+        let medium_params = config.network.params();
+        let mut server_config = ServerConfig {
+            policy: config.policy,
+            nfsds: config.nfsds,
+            // The DEC 3800 of Figures 2/3 is a faster machine than the cost
+            // table's reference; reflect that so the curves reach a few
+            // hundred ops/sec before CPU saturation.
+            cpu_speed: 1.6,
+            ..ServerConfig::standard()
+        };
+        server_config.storage.prestoserve = config.prestoserve;
+        server_config.storage.spindles = config.spindles;
+        server_config.procrastination = medium_params.procrastination;
+        let mut server = NfsServer::new(server_config);
+
+        let root = server.fs().root();
+        let mut files = Vec::with_capacity(config.file_count);
+        for i in 0..config.file_count {
+            let name = format!("sfs_file_{i:04}");
+            let ino = server
+                .fs_mut()
+                .create_prefilled(root, &name, config.file_size, 0)
+                .expect("pre-population fits the data region");
+            let handle = server.handle_for_ino(ino).expect("live inode");
+            files.push((name, handle, config.file_size));
+        }
+        let mut write_files = Vec::new();
+        for i in 0..32 {
+            let name = format!("sfs_write_{i:03}");
+            let ino = server
+                .fs_mut()
+                .create(root, &name, 0o644, 0)
+                .expect("fresh namespace");
+            write_files.push((server.handle_for_ino(ino).expect("live inode"), 0u64));
+        }
+        let root_handle = server.root_handle();
+        SfsSystem {
+            medium: Medium::new(medium_params),
+            queue: EventQueue::new(),
+            rng: SimRng::seed_from(config.seed),
+            outstanding: HashMap::new(),
+            latency: LatencyStat::new(),
+            issued: 0,
+            completed: 0,
+            next_xid: 0x2000_0000,
+            created_names: Vec::new(),
+            create_counter: 0,
+            burst_queue: Vec::new(),
+            write_files,
+            root_handle,
+            files,
+            server,
+            config,
+        }
+    }
+
+    fn pick_file(&mut self) -> (String, FileHandle, u64) {
+        let idx = self.rng.next_below(self.files.len() as u64) as usize;
+        self.files[idx].clone()
+    }
+
+    fn next_call(&mut self) -> NfsCall {
+        // Drain an in-progress write burst first: LADDIS writes whole files
+        // in consecutive 8 KB chunks, so write operations arrive in bursts.
+        if let Some(body) = self.burst_queue.pop() {
+            let xid = Xid(self.next_xid);
+            self.next_xid += 1;
+            self.outstanding.insert(xid, (SimTime::ZERO, OpKind::Write));
+            return NfsCall::new(xid, body);
+        }
+        // Scale the write weight down by the burst length so that writes stay
+        // at their configured share of *operations* even though each burst
+        // start expands into `write_burst` of them.
+        let burst = self.config.write_burst.max(1);
+        let mut weights = self.config.mix.weights();
+        weights[2] /= burst as f64;
+        let kind = OP_KINDS[self.rng.pick_weighted(&weights)];
+        let xid = Xid(self.next_xid);
+        self.next_xid += 1;
+        let chunk = 8192u64;
+        let body = match kind {
+            OpKind::Lookup => {
+                let (name, _, _) = self.pick_file();
+                NfsCallBody::Lookup(DirOpArgs {
+                    dir: self.root_handle,
+                    name,
+                })
+            }
+            OpKind::Read => {
+                let (_, fh, size) = self.pick_file();
+                let blocks = (size / chunk).max(1);
+                let offset = self.rng.next_below(blocks) * chunk;
+                NfsCallBody::Read(ReadArgs {
+                    file: fh,
+                    offset: offset as u32,
+                    count: chunk as u32,
+                    totalcount: 0,
+                })
+            }
+            OpKind::Write => {
+                // Start a burst of sequential appending writes to one of the
+                // scratch files: every chunk allocates fresh blocks, as the
+                // file-writing phases of LADDIS do.
+                let idx = self.rng.next_below(self.write_files.len() as u64) as usize;
+                let (fh, start) = self.write_files[idx];
+                let burst_len = burst as u64;
+                self.write_files[idx].1 = start + burst_len * chunk;
+                // Queue the follow-on chunks in reverse so popping yields
+                // ascending offsets.
+                for i in (1..burst_len).rev() {
+                    let offset = start + i * chunk;
+                    let fill = (offset / chunk) as u8;
+                    self.burst_queue.push(NfsCallBody::Write(WriteArgs::new(
+                        fh,
+                        offset as u32,
+                        vec![fill; chunk as usize],
+                    )));
+                }
+                let fill = (start / chunk) as u8;
+                NfsCallBody::Write(WriteArgs::new(fh, start as u32, vec![fill; chunk as usize]))
+            }
+            OpKind::Getattr => {
+                let (_, fh, _) = self.pick_file();
+                NfsCallBody::Getattr(GetattrArgs { file: fh })
+            }
+            OpKind::Readdir => NfsCallBody::Readdir(ReaddirArgs {
+                dir: self.root_handle,
+                cookie: 0,
+                count: 4096,
+            }),
+            OpKind::Create => {
+                self.create_counter += 1;
+                let name = format!("sfs_scratch_{}", self.create_counter);
+                self.created_names.push(name.clone());
+                NfsCallBody::Create(CreateArgs {
+                    where_: DirOpArgs {
+                        dir: self.root_handle,
+                        name,
+                    },
+                    attributes: Sattr::with_mode(0o644),
+                })
+            }
+            OpKind::Remove => {
+                if let Some(name) = self.created_names.pop() {
+                    NfsCallBody::Remove(DirOpArgs {
+                        dir: self.root_handle,
+                        name,
+                    })
+                } else {
+                    // Nothing of ours to remove yet: fall back to a getattr so
+                    // the offered load is preserved.
+                    let (_, fh, _) = self.pick_file();
+                    NfsCallBody::Getattr(GetattrArgs { file: fh })
+                }
+            }
+            OpKind::Setattr => {
+                let (_, fh, _) = self.pick_file();
+                NfsCallBody::Setattr(wg_nfsproto::SetattrArgs {
+                    file: fh,
+                    attributes: Sattr::with_mode(0o644),
+                })
+            }
+            OpKind::Statfs => NfsCallBody::Statfs(GetattrArgs {
+                file: self.root_handle,
+            }),
+        };
+        let call = NfsCall::new(xid, body);
+        self.outstanding.insert(xid, (SimTime::ZERO, kind));
+        call
+    }
+
+    /// Run the measurement and produce one figure point.
+    pub fn run(&mut self) -> SfsPoint {
+        let mean_gap = 1.0 / self.config.offered_ops_per_sec.max(1e-9);
+        self.queue.schedule_at(
+            SimTime::ZERO + Duration::from_secs_f64(self.rng.exponential(mean_gap)),
+            Ev::NextArrival,
+        );
+        let end = SimTime::ZERO + self.config.duration;
+        let mut safety = 0u64;
+        while let Some((t, ev)) = self.queue.pop() {
+            safety += 1;
+            assert!(safety < 100_000_000, "runaway SFS simulation");
+            match ev {
+                Ev::NextArrival => {
+                    if t < end {
+                        let call = self.next_call();
+                        if let Some((sent, _)) = self.outstanding.get_mut(&call.xid) {
+                            *sent = t;
+                        }
+                        self.issued += 1;
+                        let size = call.wire_size();
+                        let fragments = self.medium.params().fragments_for(size);
+                        if let TransmitOutcome::Delivered { arrives_at } =
+                            self.medium.transmit(t, size, Direction::ToServer)
+                        {
+                            self.queue.schedule_at(
+                                arrives_at,
+                                Ev::Server(ServerInput::Datagram {
+                                    client: 0,
+                                    call,
+                                    wire_size: size,
+                                    fragments,
+                                }),
+                            );
+                        }
+                        let gap = Duration::from_secs_f64(self.rng.exponential(mean_gap));
+                        self.queue.schedule_at(t + gap, Ev::NextArrival);
+                    }
+                }
+                Ev::Server(input) => {
+                    let actions = self.server.handle(t, input);
+                    for action in actions {
+                        match action {
+                            ServerAction::Wakeup { at, token } => {
+                                self.queue
+                                    .schedule_at(at, Ev::Server(ServerInput::Wakeup { token }));
+                            }
+                            ServerAction::Reply { at, reply, .. } => {
+                                let size = reply.wire_size();
+                                if let TransmitOutcome::Delivered { arrives_at } =
+                                    self.medium.transmit(at, size, Direction::ToClient)
+                                {
+                                    self.queue.schedule_at(arrives_at, Ev::Reply(reply));
+                                }
+                            }
+                        }
+                    }
+                }
+                Ev::Reply(reply) => {
+                    if let Some((sent, _kind)) = self.outstanding.remove(&reply.xid) {
+                        self.latency.record(t.since(sent));
+                        self.completed += 1;
+                    }
+                }
+            }
+        }
+        let measured = self.config.duration;
+        SfsPoint {
+            offered_ops_per_sec: self.config.offered_ops_per_sec,
+            achieved_ops_per_sec: self.completed as f64 / measured.as_secs_f64(),
+            avg_latency_ms: self.latency.mean().as_millis_f64(),
+            server_cpu_percent: self.server.cpu_utilization_percent(measured),
+        }
+    }
+
+    /// The server, for post-run inspection.
+    pub fn server(&self) -> &NfsServer {
+        &self.server
+    }
+
+    /// Operations issued and completed.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.issued, self.completed)
+    }
+}
+
+/// A load sweep producing the curve of Figure 2 or Figure 3.
+#[derive(Clone, Debug)]
+pub struct SfsSweep {
+    /// Base configuration; the offered load is overridden per point.
+    pub base: SfsConfig,
+}
+
+impl SfsSweep {
+    /// Create a sweep from a base configuration.
+    pub fn new(base: SfsConfig) -> Self {
+        SfsSweep { base }
+    }
+
+    /// Run the sweep at the given offered loads.
+    pub fn run(&self, loads: &[f64]) -> Vec<SfsPoint> {
+        loads
+            .iter()
+            .map(|&load| {
+                let mut cfg = self.base.clone();
+                cfg.offered_ops_per_sec = load;
+                SfsSystem::new(cfg).run()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(load: f64, policy: WritePolicy) -> SfsConfig {
+        SfsConfig {
+            duration: Duration::from_secs(4),
+            file_count: 30,
+            file_size: 64 * 1024,
+            ..SfsConfig::figure2(load, policy)
+        }
+    }
+
+    #[test]
+    fn mix_weights_sum_to_100() {
+        let total: f64 = SfsMix::laddis().weights().iter().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert!((SfsMix::laddis().write - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn light_load_is_served_with_low_latency() {
+        let mut system = SfsSystem::new(quick_config(100.0, WritePolicy::Gathering));
+        let point = system.run();
+        let (issued, completed) = system.counts();
+        assert!(issued > 300, "issued {issued}");
+        // Nearly everything issued completes at light load.
+        assert!(completed as f64 >= issued as f64 * 0.95);
+        assert!(point.achieved_ops_per_sec > 80.0);
+        assert!(point.avg_latency_ms < 50.0, "latency {}", point.avg_latency_ms);
+        assert!(point.server_cpu_percent < 60.0);
+    }
+
+    #[test]
+    fn saturation_caps_achieved_throughput() {
+        let low = SfsSystem::new(quick_config(150.0, WritePolicy::Standard)).run();
+        let high = SfsSystem::new(quick_config(3000.0, WritePolicy::Standard)).run();
+        // Offered load went up 20x; achieved throughput cannot follow and
+        // latency climbs.
+        assert!(high.achieved_ops_per_sec < 3000.0 * 0.9);
+        assert!(high.avg_latency_ms > low.avg_latency_ms);
+    }
+
+    #[test]
+    fn gathering_improves_capacity_or_latency_at_heavy_load() {
+        let load = 900.0;
+        let without = SfsSystem::new(quick_config(load, WritePolicy::Standard)).run();
+        let with = SfsSystem::new(quick_config(load, WritePolicy::Gathering)).run();
+        // Figure 2's shape: at the same heavy offered load the gathering
+        // server either completes more operations or answers them faster (in
+        // practice both).
+        let better_throughput = with.achieved_ops_per_sec >= without.achieved_ops_per_sec * 0.98;
+        let better_latency = with.avg_latency_ms <= without.avg_latency_ms;
+        assert!(
+            better_throughput || better_latency,
+            "with: {with:?}\nwithout: {without:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_offered_load_until_saturation() {
+        let sweep = SfsSweep::new(quick_config(0.0, WritePolicy::Gathering));
+        let points = sweep.run(&[100.0, 300.0, 600.0]);
+        assert_eq!(points.len(), 3);
+        assert!(points[1].achieved_ops_per_sec > points[0].achieved_ops_per_sec);
+        // Latency is non-decreasing with load.
+        assert!(points[2].avg_latency_ms >= points[0].avg_latency_ms * 0.8);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let a = SfsSystem::new(quick_config(200.0, WritePolicy::Gathering)).run();
+        let b = SfsSystem::new(quick_config(200.0, WritePolicy::Gathering)).run();
+        assert_eq!(a.achieved_ops_per_sec, b.achieved_ops_per_sec);
+        assert_eq!(a.avg_latency_ms, b.avg_latency_ms);
+    }
+}

