@@ -3,8 +3,13 @@
 //! server's per-request processing.  These are the hot paths of the
 //! simulation; tracking them keeps the table-regeneration harness fast enough
 //! to iterate on.
+//!
+//! Criterion is unavailable offline, so this is a plain `harness = false`
+//! bench: each case runs a fixed number of iterations around a
+//! `std::time::Instant` and prints the mean per-iteration time.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
+
 use wg_disk::{BlockDevice, Disk, DiskRequest, StripeSet};
 use wg_nfsproto::{FileHandle, NfsCall, NfsCallBody, WriteArgs, Xid};
 use wg_nvram::Presto;
@@ -12,140 +17,144 @@ use wg_server::{NfsServer, ServerConfig, ServerInput, WritePolicy};
 use wg_simcore::SimTime;
 use wg_ufs::{FsyncFlags, Ufs, WriteFlags};
 
-fn bench_xdr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("xdr");
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    // One warm-up iteration, then the measured batch.
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{name:<44} {per_iter:>12.2?}/iter  ({iters} iters)");
+}
+
+fn bench_xdr() {
     let call = NfsCall::new(
         Xid(1),
-        NfsCallBody::Write(WriteArgs::new(FileHandle::new(1, 10, 1), 0, vec![7u8; 8192])),
+        NfsCallBody::Write(WriteArgs::new(
+            FileHandle::new(1, 10, 1),
+            0,
+            vec![7u8; 8192],
+        )),
     );
-    group.throughput(Throughput::Bytes(8192));
-    group.bench_function("encode_8k_write", |b| b.iter(|| call.to_wire()));
+    bench("xdr/encode_8k_write", 2000, || call.to_wire());
     let wire = call.to_wire();
-    group.bench_function("decode_8k_write", |b| b.iter(|| NfsCall::from_wire(&wire).unwrap()));
-    group.finish();
+    bench("xdr/decode_8k_write", 2000, || {
+        NfsCall::from_wire(&wire).unwrap()
+    });
 }
 
-fn bench_ufs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ufs");
-    group.bench_function("delayed_write_plus_clustered_flush_1mb", |b| {
-        b.iter(|| {
-            let mut fs = Ufs::with_defaults(1);
-            let root = fs.root();
-            let ino = fs.create(root, "f", 0o644, 0).unwrap();
-            for i in 0..128u64 {
-                fs.write(ino, i * 8192, &[1u8; 8192], WriteFlags::DelayData, i).unwrap();
-            }
-            let plan = fs.fsync(ino, FsyncFlags::All).unwrap();
-            assert!(plan.transactions() < 32);
-            plan.transactions()
-        });
+fn bench_ufs() {
+    bench("ufs/delayed_write_plus_clustered_flush_1mb", 200, || {
+        let mut fs = Ufs::with_defaults(1);
+        let root = fs.root();
+        let ino = fs.create(root, "f", 0o644, 0).unwrap();
+        for i in 0..128u64 {
+            fs.write(ino, i * 8192, &[1u8; 8192], WriteFlags::DelayData, i)
+                .unwrap();
+        }
+        let plan = fs.fsync(ino, FsyncFlags::All).unwrap();
+        assert!(plan.transactions() < 32);
+        plan.transactions()
     });
-    group.bench_function("synchronous_writes_1mb", |b| {
-        b.iter(|| {
-            let mut fs = Ufs::with_defaults(1);
-            let root = fs.root();
-            let ino = fs.create(root, "f", 0o644, 0).unwrap();
-            let mut ops = 0;
-            for i in 0..128u64 {
-                ops += fs
-                    .write(ino, i * 8192, &[1u8; 8192], WriteFlags::Sync, i)
-                    .unwrap()
-                    .io
-                    .transactions();
-            }
-            ops
-        });
+    bench("ufs/synchronous_writes_1mb", 200, || {
+        let mut fs = Ufs::with_defaults(1);
+        let root = fs.root();
+        let ino = fs.create(root, "f", 0o644, 0).unwrap();
+        let mut ops = 0;
+        for i in 0..128u64 {
+            ops += fs
+                .write(ino, i * 8192, &[1u8; 8192], WriteFlags::Sync, i)
+                .unwrap()
+                .io
+                .transactions();
+        }
+        ops
     });
-    group.finish();
 }
 
-fn bench_devices(c: &mut Criterion) {
-    let mut group = c.benchmark_group("devices");
-    group.bench_function("rz26_random_8k_writes", |b| {
-        b.iter(|| {
-            let mut disk = Disk::rz26();
-            let mut now = SimTime::ZERO;
-            for i in 0..256u64 {
-                now = disk.submit(now, DiskRequest::write((i * 7919 * 8192) % 900_000_000, 8192));
-            }
-            now
-        });
+fn bench_devices() {
+    bench("devices/rz26_random_8k_writes", 500, || {
+        let mut disk = Disk::rz26();
+        let mut now = SimTime::ZERO;
+        for i in 0..256u64 {
+            now = disk.submit(
+                now,
+                DiskRequest::write((i * 7919 * 8192) % 900_000_000, 8192),
+            );
+        }
+        now
     });
-    group.bench_function("stripe_sequential_64k_writes", |b| {
-        b.iter(|| {
-            let mut set = StripeSet::three_rz26();
-            let mut now = SimTime::ZERO;
-            for i in 0..256u64 {
-                now = set.submit(now, DiskRequest::write(i * 65536, 65536));
-            }
-            now
-        });
+    bench("devices/stripe_sequential_64k_writes", 500, || {
+        let mut set = StripeSet::three_rz26();
+        let mut now = SimTime::ZERO;
+        for i in 0..256u64 {
+            now = set.submit(now, DiskRequest::write(i * 65536, 65536));
+        }
+        now
     });
-    group.bench_function("presto_accepts_8k_writes", |b| {
-        b.iter(|| {
-            let mut p = Presto::with_defaults(Disk::rz26());
-            let mut now = SimTime::ZERO;
-            for i in 0..256u64 {
-                now = p.submit(now, DiskRequest::write(i * 8192, 8192));
-            }
-            now
-        });
+    bench("devices/presto_accepts_8k_writes", 500, || {
+        let mut p = Presto::with_defaults(Disk::rz26());
+        let mut now = SimTime::ZERO;
+        for i in 0..256u64 {
+            now = p.submit(now, DiskRequest::write(i * 8192, 8192));
+        }
+        now
     });
-    group.finish();
 }
 
-fn bench_server(c: &mut Criterion) {
-    let mut group = c.benchmark_group("server");
+fn bench_server() {
     for (name, policy) in [
-        ("standard_write_path", WritePolicy::Standard),
-        ("gathering_write_path", WritePolicy::Gathering),
+        ("server/standard_write_path", WritePolicy::Standard),
+        ("server/gathering_write_path", WritePolicy::Gathering),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut cfg = ServerConfig::standard();
-                cfg.policy = policy;
-                let mut server = NfsServer::new(cfg);
-                let root = server.fs().root();
-                let ino = server.fs_mut().create(root, "t", 0o644, 0).unwrap();
-                let fh = server.handle_for_ino(ino).unwrap();
-                let mut queue = wg_simcore::EventQueue::new();
-                for i in 0..64u64 {
-                    let call = NfsCall::new(
-                        Xid(i as u32),
-                        NfsCallBody::Write(WriteArgs::new(fh, (i * 8192) as u32, vec![1u8; 8192])),
-                    );
-                    let size = call.wire_size();
-                    // Spaced widely enough that the slow (standard) policy
-                    // never overruns the socket buffer: the benchmark measures
-                    // per-request processing cost, not overload behaviour.
-                    queue.schedule_at(
-                        SimTime::from_micros(i * 2_000),
-                        ServerInput::Datagram {
-                            client: 0,
-                            call,
-                            wire_size: size,
-                            fragments: 2,
-                        },
-                    );
-                }
-                let mut replies = 0usize;
-                while let Some((t, input)) = queue.pop() {
-                    for action in server.handle(t, input) {
-                        match action {
-                            wg_server::ServerAction::Wakeup { at, token } => {
-                                queue.schedule_at(at, ServerInput::Wakeup { token });
-                            }
-                            wg_server::ServerAction::Reply { .. } => replies += 1,
+        bench(name, 100, || {
+            let mut cfg = ServerConfig::standard();
+            cfg.policy = policy;
+            let mut server = NfsServer::new(cfg);
+            let root = server.fs().root();
+            let ino = server.fs_mut().create(root, "t", 0o644, 0).unwrap();
+            let fh = server.handle_for_ino(ino).unwrap();
+            let mut queue = wg_simcore::EventQueue::new();
+            for i in 0..64u64 {
+                let call = NfsCall::new(
+                    Xid(i as u32),
+                    NfsCallBody::Write(WriteArgs::new(fh, (i * 8192) as u32, vec![1u8; 8192])),
+                );
+                let size = call.wire_size();
+                // Spaced widely enough that the slow (standard) policy never
+                // overruns the socket buffer: the benchmark measures
+                // per-request processing cost, not overload behaviour.
+                queue.schedule_at(
+                    SimTime::from_micros(i * 2_000),
+                    ServerInput::Datagram {
+                        client: 0,
+                        call,
+                        wire_size: size,
+                        fragments: 2,
+                    },
+                );
+            }
+            let mut replies = 0usize;
+            while let Some((t, input)) = queue.pop() {
+                for action in server.handle(t, input) {
+                    match action {
+                        wg_server::ServerAction::Wakeup { at, token } => {
+                            queue.schedule_at(at, ServerInput::Wakeup { token });
                         }
+                        wg_server::ServerAction::Reply { .. } => replies += 1,
                     }
                 }
-                assert!(replies >= 32, "server answered only {replies} of 64 writes");
-                replies
-            });
+            }
+            assert!(replies >= 32, "server answered only {replies} of 64 writes");
+            replies
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_xdr, bench_ufs, bench_devices, bench_server);
-criterion_main!(benches);
+fn main() {
+    bench_xdr();
+    bench_ufs();
+    bench_devices();
+    bench_server();
+}

@@ -1,84 +1,83 @@
-//! Criterion benchmarks that exercise one cell of every table and one point of
-//! each figure at reduced scale, so `cargo bench` tracks the cost of the
+//! Benchmarks that exercise one cell of every table and one point of each
+//! figure at reduced scale, so `cargo bench` tracks the cost of the
 //! simulation paths that regenerate the paper's results.
 //!
 //! The full-size artefacts are produced by the `tables`, `figure1` and
 //! `figure2_3` binaries; these benches use a smaller file / shorter interval
-//! so a bench run stays in seconds.
+//! so a bench run stays in seconds.  Criterion is unavailable offline, so the
+//! timing loop is a plain `std::time::Instant` harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use wg_bench::{run_figure, run_table, TABLES};
 use wg_server::WritePolicy;
 use wg_workload::{system::run_cell, ExperimentConfig};
 
-fn bench_tables(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tables");
-    group.sample_size(10);
-    for spec in &TABLES {
-        group.bench_with_input(
-            BenchmarkId::new("table", spec.number),
-            spec,
-            |b, spec| {
-                // One representative column (7 biods) per policy rather than
-                // the whole sweep, at 1 MB.
-                b.iter(|| {
-                    let reduced = wg_bench::TableSpec {
-                        biods: &[7],
-                        ..*spec
-                    };
-                    run_table(&reduced, 1024 * 1024)
-                });
-            },
-        );
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
     }
-    group.finish();
+    let per_iter = start.elapsed() / iters;
+    println!("{name:<44} {per_iter:>12.2?}/iter  ({iters} iters)");
 }
 
-fn bench_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("policy_cell");
-    group.sample_size(10);
-    for (name, policy) in [
-        ("standard", WritePolicy::Standard),
-        ("gathering", WritePolicy::Gathering),
-        ("first_write_latency", WritePolicy::FirstWriteLatency),
-        ("dangerous", WritePolicy::DangerousAsync),
-    ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                run_cell(
-                    ExperimentConfig::new(wg_workload::NetworkKind::Fddi, 7, policy)
-                        .with_file_size(1024 * 1024),
-                )
-            });
+fn bench_tables() {
+    for spec in &TABLES {
+        bench(&format!("tables/table_{}", spec.number), 5, || {
+            // One representative column (7 biods) per policy rather than the
+            // whole sweep, at 1 MB.
+            let reduced = wg_bench::TableSpec {
+                biods: &[7],
+                ..*spec
+            };
+            run_table(&reduced, 1024 * 1024)
         });
     }
-    group.finish();
 }
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
+fn bench_policies() {
+    for (name, policy) in [
+        ("policy_cell/standard", WritePolicy::Standard),
+        ("policy_cell/gathering", WritePolicy::Gathering),
+        (
+            "policy_cell/first_write_latency",
+            WritePolicy::FirstWriteLatency,
+        ),
+        ("policy_cell/dangerous", WritePolicy::DangerousAsync),
+    ] {
+        bench(name, 10, || {
+            run_cell(
+                ExperimentConfig::new(wg_workload::NetworkKind::Fddi, 7, policy)
+                    .with_file_size(1024 * 1024),
+            )
+        });
+    }
+}
+
+fn bench_figures() {
     for figure in [2u8, 3u8] {
-        group.bench_with_input(BenchmarkId::new("figure", figure), &figure, |b, &figure| {
-            b.iter(|| {
-                // One short measurement point per policy.
-                let mut base = if figure == 2 {
-                    wg_workload::SfsConfig::figure2(300.0, WritePolicy::Gathering)
-                } else {
-                    wg_workload::SfsConfig::figure3(300.0, WritePolicy::Gathering)
-                };
-                base.duration = wg_simcore::Duration::from_secs(2);
-                base.file_count = 30;
-                wg_workload::sfs::SfsSystem::new(base).run()
-            });
+        bench(&format!("figures/figure_{figure}"), 3, || {
+            // One short measurement point per policy.
+            let mut base = if figure == 2 {
+                wg_workload::SfsConfig::figure2(300.0, WritePolicy::Gathering)
+            } else {
+                wg_workload::SfsConfig::figure3(300.0, WritePolicy::Gathering)
+            };
+            base.duration = wg_simcore::Duration::from_secs(2);
+            base.file_count = 30;
+            wg_workload::sfs::SfsSystem::new(base).run()
         });
     }
     // And a tiny end-to-end sweep to keep the sweep code exercised.
-    group.bench_function("mini_sweep", |b| {
-        b.iter(|| run_figure(2, WritePolicy::Standard, 1));
+    bench("figures/mini_sweep", 3, || {
+        run_figure(2, WritePolicy::Standard, 1)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_tables, bench_policies, bench_figures);
-criterion_main!(benches);
+fn main() {
+    bench_tables();
+    bench_policies();
+    bench_figures();
+}

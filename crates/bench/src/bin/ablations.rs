@@ -64,7 +64,8 @@ fn main() {
     );
     for ms in [0u64, 1, 2, 5, 8, 12, 20] {
         let r = run_customized(
-            ExperimentConfig::new(NetworkKind::Fddi, biods, WritePolicy::Gathering).with_file_size(file),
+            ExperimentConfig::new(NetworkKind::Fddi, biods, WritePolicy::Gathering)
+                .with_file_size(file),
             |cfg| cfg.procrastination = Duration::from_millis(ms),
         );
         println!(
@@ -80,7 +81,8 @@ fn main() {
     println!("\n== Reply ordering (FDDI, {biods} biods, gathering): §6.7 ==");
     for order in [ReplyOrder::Fifo, ReplyOrder::Lifo] {
         let r = run_customized(
-            ExperimentConfig::new(NetworkKind::Fddi, biods, WritePolicy::Gathering).with_file_size(file),
+            ExperimentConfig::new(NetworkKind::Fddi, biods, WritePolicy::Gathering)
+                .with_file_size(file),
             |cfg| cfg.reply_order = order,
         );
         println!(
@@ -101,7 +103,11 @@ fn main() {
         );
         println!(
             "{:<26} {:>14.0} KB/s at {:>5.1}% CPU, mean batch {:.1}",
-            if hunter { "mbuf hunter on" } else { "mbuf hunter off" },
+            if hunter {
+                "mbuf hunter on"
+            } else {
+                "mbuf hunter off"
+            },
             r.client_write_kb_per_sec,
             r.server_cpu_percent,
             r.mean_batch_size

@@ -36,7 +36,10 @@ fn main() {
             .iter()
             .map(|p| p.achieved_ops_per_sec)
             .fold(0.0f64, f64::max);
-        let cap_with = with.iter().map(|p| p.achieved_ops_per_sec).fold(0.0f64, f64::max);
+        let cap_with = with
+            .iter()
+            .map(|p| p.achieved_ops_per_sec)
+            .fold(0.0f64, f64::max);
         let lat_without: f64 =
             without.iter().map(|p| p.avg_latency_ms).sum::<f64>() / without.len() as f64;
         let lat_with: f64 = with.iter().map(|p| p.avg_latency_ms).sum::<f64>() / with.len() as f64;

@@ -47,26 +47,25 @@ fn main() {
     let args = parse_args();
     let file_size = args.file_mb * 1024 * 1024;
     let specs: Vec<_> = match args.table {
-        Some(n) => vec![*table_spec(n).unwrap_or_else(|| panic!("the paper has tables 1-6, not {n}"))],
+        Some(n) => {
+            vec![*table_spec(n).unwrap_or_else(|| panic!("the paper has tables 1-6, not {n}"))]
+        }
         None => TABLES.to_vec(),
     };
     for spec in specs {
         let output = run_table(&spec, file_size);
         if args.json {
-            #[derive(serde::Serialize)]
-            struct Json<'a> {
-                table: u8,
-                caption: &'a str,
-                without: &'a [wg_workload::FileCopyResult],
-                with: &'a [wg_workload::FileCopyResult],
-            }
-            let j = Json {
-                table: spec.number,
-                caption: spec.caption,
-                without: &output.without,
-                with: &output.with,
+            use wg_workload::results::json;
+            let cells = |results: &[wg_workload::FileCopyResult]| {
+                json::array(&results.iter().map(|r| r.to_json()).collect::<Vec<_>>())
             };
-            println!("{}", serde_json::to_string_pretty(&j).expect("serializable"));
+            let j = json::object(&[
+                ("table", spec.number.to_string()),
+                ("caption", json::string(spec.caption)),
+                ("without", cells(&output.without)),
+                ("with", cells(&output.with)),
+            ]);
+            println!("{j}");
         } else {
             println!("{}", output.render());
         }

@@ -115,13 +115,19 @@ impl TableOutput {
     /// Render the table in the paper's layout.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("Table {}. {}\n", self.spec.number, self.spec.caption));
+        out.push_str(&format!(
+            "Table {}. {}\n",
+            self.spec.number, self.spec.caption
+        ));
         out.push_str(&format!("{:<34}", "# of Client Biods"));
         for b in self.spec.biods {
             out.push_str(&format!("{:>8}", b));
         }
         out.push('\n');
-        for (title, results) in [("Without Write Gathering", &self.without), ("With Write Gathering", &self.with)] {
+        for (title, results) in [
+            ("Without Write Gathering", &self.without),
+            ("With Write Gathering", &self.with),
+        ] {
             out.push_str(title);
             out.push('\n');
             for row in rows_for(results) {
@@ -200,7 +206,11 @@ pub fn render_figure(figure: u8, without: &[SfsPoint], with: &[SfsPoint]) -> Str
     let mut out = String::new();
     out.push_str(&format!(
         "Figure {figure}. SPEC SFS 1.0-style throughput vs latency ({})\n",
-        if figure == 2 { "no Prestoserve" } else { "Prestoserve" }
+        if figure == 2 {
+            "no Prestoserve"
+        } else {
+            "Prestoserve"
+        }
     ));
     out.push_str(&format!(
         "{:>10} | {:>22} | {:>22}\n",

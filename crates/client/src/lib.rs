@@ -21,4 +21,6 @@
 
 pub mod writer;
 
-pub use writer::{AccessPattern, ClientAction, ClientConfig, ClientInput, ClientStats, FileWriterClient};
+pub use writer::{
+    AccessPattern, ClientAction, ClientConfig, ClientInput, ClientStats, FileWriterClient,
+};

@@ -244,24 +244,38 @@ impl FileWriterClient {
     /// Process one input, producing actions for the orchestrator.
     pub fn handle(&mut self, now: SimTime, input: ClientInput) -> Vec<ClientAction> {
         let mut actions = Vec::new();
+        self.handle_into(now, input, &mut actions);
+        actions
+    }
+
+    /// Process one input, appending actions to a caller-owned buffer.
+    ///
+    /// Orchestrators driving millions of events reuse one scratch vector
+    /// across the whole run instead of allocating a fresh `Vec` per event —
+    /// see `FileCopySystem::run`.
+    pub fn handle_into(
+        &mut self,
+        now: SimTime,
+        input: ClientInput,
+        actions: &mut Vec<ClientAction>,
+    ) {
         match input {
             ClientInput::Start => {
                 self.stats.started_at = now;
-                self.start_generating(now, &mut actions);
+                self.start_generating(now, actions);
             }
-            ClientInput::Reply(reply) => self.on_reply(now, reply, &mut actions),
+            ClientInput::Reply(reply) => self.on_reply(now, reply, actions),
             ClientInput::Wakeup { token } => {
                 if let Some(kind) = self.timers.remove(&token) {
                     match kind {
-                        TimerKind::GenerateDone => self.on_chunk_ready(now, &mut actions),
+                        TimerKind::GenerateDone => self.on_chunk_ready(now, actions),
                         TimerKind::Retransmit { xid, attempt } => {
-                            self.on_retransmit_timer(now, xid, attempt, &mut actions)
+                            self.on_retransmit_timer(now, xid, attempt, actions)
                         }
                     }
                 }
             }
         }
-        actions
     }
 
     fn schedule(&mut self, at: SimTime, kind: TimerKind, actions: &mut Vec<ClientAction>) {
@@ -277,7 +291,11 @@ impl FileWriterClient {
             return;
         }
         self.app = AppState::Generating;
-        self.schedule(now + self.config.generate_cost, TimerKind::GenerateDone, actions);
+        self.schedule(
+            now + self.config.generate_cost,
+            TimerKind::GenerateDone,
+            actions,
+        );
     }
 
     /// The application produced a chunk that must go to the wire.
@@ -332,10 +350,17 @@ impl FileWriterClient {
     ) {
         // Deterministic, recognisable payload: the low byte of the block
         // index, so end-to-end tests can verify data integrity at the server.
+        // Carried as a fill pattern — no payload bytes are allocated anywhere
+        // on the simulated datapath.
         let fill = (offset / self.config.chunk_size) as u8;
         let call = NfsCall::new(
             xid,
-            NfsCallBody::Write(WriteArgs::new(self.handle, offset as u32, vec![fill; len as usize])),
+            NfsCallBody::Write(WriteArgs::fill(
+                self.handle,
+                offset as u32,
+                fill,
+                len as u32,
+            )),
         );
         actions.push(ClientAction::Send { at: now, call });
         // Arm the retransmission timer for this attempt.
@@ -370,10 +395,8 @@ impl FileWriterClient {
                 // The application wakes up and keeps writing.
                 self.start_generating(now, actions);
             }
-            AppState::Closing => {
-                if self.outstanding.is_empty() {
-                    self.finish(now, actions);
-                }
+            AppState::Closing if self.outstanding.is_empty() => {
+                self.finish(now, actions);
             }
             _ => {}
         }
@@ -517,13 +540,20 @@ mod tests {
                 generate_cost: Duration::from_micros(100),
                 ..ClientConfig::default()
             };
-            run_against_ideal_server(FileWriterClient::new(cfg, handle()), service).write_kb_per_sec()
+            run_against_ideal_server(FileWriterClient::new(cfg, handle()), service)
+                .write_kb_per_sec()
         };
         let none = make(0);
         let four = make(4);
         let fifteen = make(15);
-        assert!(four > none * 2.0, "0 biods {none:.0} KB/s vs 4 biods {four:.0} KB/s");
-        assert!(fifteen >= four, "4 biods {four:.0} vs 15 biods {fifteen:.0}");
+        assert!(
+            four > none * 2.0,
+            "0 biods {none:.0} KB/s vs 4 biods {four:.0} KB/s"
+        );
+        assert!(
+            fifteen >= four,
+            "4 biods {four:.0} vs 15 biods {fifteen:.0}"
+        );
     }
 
     #[test]
@@ -662,7 +692,11 @@ mod tests {
         assert_eq!(stats.bytes_acked, 16 * 1024);
         // Backoff: the second retransmission waited twice as long as the first.
         let first_xid = sends[0].1;
-        let times: Vec<SimTime> = sends.iter().filter(|(_, x)| *x == first_xid).map(|(t, _)| *t).collect();
+        let times: Vec<SimTime> = sends
+            .iter()
+            .filter(|(_, x)| *x == first_xid)
+            .map(|(t, _)| *t)
+            .collect();
         assert_eq!(times.len(), 3);
         let gap1 = times[1].since(times[0]);
         let gap2 = times[2].since(times[1]);
@@ -706,7 +740,10 @@ mod tests {
         };
         let mut client = FileWriterClient::new(cfg, handle());
         let actions = client.handle(SimTime::ZERO, ClientInput::Start);
-        assert!(matches!(actions.as_slice(), [ClientAction::Completed { .. }]));
+        assert!(matches!(
+            actions.as_slice(),
+            [ClientAction::Completed { .. }]
+        ));
         assert!(client.is_done());
     }
 }

@@ -12,10 +12,16 @@
 //! these is exactly how one orphans writes on the active write queue.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use wg_nfsproto::{NfsReply, Xid};
 
 /// What the cache knows about a transaction id.
+///
+/// Completed replies are held (and handed back) behind an [`Arc`], so
+/// answering a retransmission from the cache never copies the reply body —
+/// for a cached READ reply that used to mean cloning the whole data payload
+/// on every lookup hit.
 #[derive(Clone, Debug, PartialEq)]
 pub enum DupState {
     /// Never seen: execute it.
@@ -24,7 +30,7 @@ pub enum DupState {
     /// queue): drop the retransmission, the reply will go out when ready.
     InProgress,
     /// Completed: the cached reply can be resent without re-executing.
-    Done(Box<NfsReply>),
+    Done(Arc<NfsReply>),
 }
 
 /// Key identifying a request: the client plus its transaction id.
@@ -54,6 +60,8 @@ impl DuplicateRequestCache {
 
     /// Look up a request.  A miss registers nothing; callers that decide to
     /// execute the request must call [`DuplicateRequestCache::start`].
+    ///
+    /// A `Done` hit is a reference-count bump, not a reply copy.
     pub fn lookup(&mut self, client: u32, xid: Xid) -> DupState {
         match self.entries.get(&(client, xid)) {
             Some(state) => {
@@ -75,8 +83,8 @@ impl DuplicateRequestCache {
 
     /// Record the reply sent for a request so retransmissions can be answered
     /// from the cache.
-    pub fn complete(&mut self, client: u32, xid: Xid, reply: NfsReply) {
-        self.insert((client, xid), DupState::Done(Box::new(reply)));
+    pub fn complete(&mut self, client: u32, xid: Xid, reply: Arc<NfsReply>) {
+        self.insert((client, xid), DupState::Done(reply));
     }
 
     fn insert(&mut self, key: DupKey, state: DupState) {
@@ -117,8 +125,8 @@ mod tests {
     use super::*;
     use wg_nfsproto::{NfsReplyBody, NfsStatus};
 
-    fn reply(xid: u32) -> NfsReply {
-        NfsReply::new(Xid(xid), NfsReplyBody::Status(NfsStatus::Ok))
+    fn reply(xid: u32) -> Arc<NfsReply> {
+        Arc::new(NfsReply::new(Xid(xid), NfsReplyBody::Status(NfsStatus::Ok)))
     }
 
     #[test]
@@ -134,6 +142,21 @@ mod tests {
         }
         assert_eq!(c.hits(), 2);
         assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn done_hits_share_the_cached_reply() {
+        let mut c = DuplicateRequestCache::new(4);
+        let cached = reply(7);
+        c.complete(1, Xid(7), Arc::clone(&cached));
+        let (DupState::Done(a), DupState::Done(b)) = (c.lookup(1, Xid(7)), c.lookup(1, Xid(7)))
+        else {
+            panic!("expected Done hits");
+        };
+        // Both hits alias the one cached allocation: replaying a
+        // retransmission answer is copy-free.
+        assert!(Arc::ptr_eq(&a, &cached));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

@@ -83,7 +83,11 @@ impl FileGather {
     /// `(from, to)` range hint, and marking the responsible nfsd as flushing.
     pub fn take_batch(&mut self, nfsd: usize) -> (Vec<PendingWrite>, u64, u64) {
         self.responsible = Some((nfsd, GatherPhase::Flushing));
-        let from = if self.pending.is_empty() { 0 } else { self.min_offset };
+        let from = if self.pending.is_empty() {
+            0
+        } else {
+            self.min_offset
+        };
         let to = self.max_offset;
         self.min_offset = u64::MAX;
         self.max_offset = 0;

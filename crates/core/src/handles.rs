@@ -108,12 +108,18 @@ mod tests {
         assert_eq!(fs_error_to_status(FsError::StaleInode), NfsStatus::Stale);
         assert_eq!(fs_error_to_status(FsError::NotFound), NfsStatus::NoEnt);
         assert_eq!(fs_error_to_status(FsError::Exists), NfsStatus::Exist);
-        assert_eq!(fs_error_to_status(FsError::NotADirectory), NfsStatus::NotDir);
+        assert_eq!(
+            fs_error_to_status(FsError::NotADirectory),
+            NfsStatus::NotDir
+        );
         assert_eq!(fs_error_to_status(FsError::IsADirectory), NfsStatus::IsDir);
         assert_eq!(fs_error_to_status(FsError::NoSpace), NfsStatus::NoSpc);
         assert_eq!(fs_error_to_status(FsError::FileTooLarge), NfsStatus::FBig);
         assert_eq!(fs_error_to_status(FsError::NotEmpty), NfsStatus::NotEmpty);
-        assert_eq!(fs_error_to_status(FsError::NameTooLong), NfsStatus::NameTooLong);
+        assert_eq!(
+            fs_error_to_status(FsError::NameTooLong),
+            NfsStatus::NameTooLong
+        );
     }
 
     #[test]
@@ -121,8 +127,14 @@ mod tests {
         let mut fs = Ufs::with_defaults(3);
         let root = fs.root();
         let ino = fs.create(root, "f", 0o640, 0).unwrap();
-        fs.write(ino, 0, &vec![0u8; 16384], wg_ufs::WriteFlags::Sync, 5_000_000_000)
-            .unwrap();
+        fs.write(
+            ino,
+            0,
+            &vec![0u8; 16384],
+            wg_ufs::WriteFlags::Sync,
+            5_000_000_000,
+        )
+        .unwrap();
         let attrs = fs.getattr(ino).unwrap();
         let fattr = attributes_to_fattr(fs.fsid(), &attrs);
         assert_eq!(fattr.size, 16384);

@@ -15,16 +15,29 @@
 //! used to pull more work from the socket buffer).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use wg_disk::{BlockDevice, DeviceStats, Disk, DiskRequest, StripeSet};
 use wg_net::SocketBuffer;
 use wg_nfsproto::{
-    DirOpOk, NfsCall, NfsCallBody, NfsReply, NfsReplyBody, NfsStatus, ReadOk, StatfsOk,
+    DirOpOk, NfsCall, NfsCallBody, NfsReply, NfsReplyBody, NfsStatus, Payload, ReadOk, StatfsOk,
     StatusReply, WriteArgs, Xid,
 };
 use wg_nvram::{Presto, PrestoParams};
 use wg_simcore::{Cpu, Duration, SimTime, Trace, TraceKind};
-use wg_ufs::{FsyncFlags, InodeNumber, Ufs, WriteFlags};
+use wg_ufs::{FsyncFlags, InodeNumber, Ufs, WriteFlags, WriteSource};
+
+/// View a request payload as a filesystem write source without materialising
+/// fill patterns — the hand-off that keeps the whole datapath zero-copy.
+fn write_source(payload: &Payload) -> WriteSource<'_> {
+    match payload.as_fill() {
+        Some((byte, len)) => WriteSource::Fill {
+            byte,
+            len: len as u64,
+        },
+        None => WriteSource::Bytes(payload.as_bytes().expect("non-fill payload has bytes")),
+    }
+}
 
 use crate::config::{ReplyOrder, ServerConfig, WritePolicy};
 use crate::dupcache::{DupState, DuplicateRequestCache};
@@ -125,17 +138,23 @@ impl NfsServer {
     /// Build a server (filesystem, storage stack, nfsd pool) from a
     /// configuration.
     pub fn new(config: ServerConfig) -> Self {
-        let device: Box<dyn BlockDevice> = match (config.storage.spindles, config.storage.prestoserve) {
-            (1, false) => Box::new(Disk::rz26()),
-            (1, true) => Box::new(Presto::new(PrestoParams::default(), Disk::rz26())),
-            (n, false) => Box::new(StripeSet::new(n, wg_disk::DiskParams::rz26(), 64 * 1024)),
-            (n, true) => Box::new(Presto::new(
-                PrestoParams::default(),
-                StripeSet::new(n, wg_disk::DiskParams::rz26(), 64 * 1024),
-            )),
-        };
+        let device: Box<dyn BlockDevice> =
+            match (config.storage.spindles, config.storage.prestoserve) {
+                (1, false) => Box::new(Disk::rz26()),
+                (1, true) => Box::new(Presto::new(PrestoParams::default(), Disk::rz26())),
+                (n, false) => Box::new(StripeSet::new(n, wg_disk::DiskParams::rz26(), 64 * 1024)),
+                (n, true) => Box::new(Presto::new(
+                    PrestoParams::default(),
+                    StripeSet::new(n, wg_disk::DiskParams::rz26(), 64 * 1024),
+                )),
+            };
         let accelerated = config.storage.prestoserve;
-        let nfsds = vec![Nfsd { free_at: SimTime::ZERO }; config.nfsds.max(1)];
+        let nfsds = vec![
+            Nfsd {
+                free_at: SimTime::ZERO
+            };
+            config.nfsds.max(1)
+        ];
         NfsServer {
             sockbuf: SocketBuffer::with_capacity(config.socket_buffer_bytes),
             dupcache: DuplicateRequestCache::new(config.dupcache_entries),
@@ -237,6 +256,21 @@ impl NfsServer {
     /// Process one input, producing actions for the orchestrator.
     pub fn handle(&mut self, now: SimTime, input: ServerInput) -> Vec<ServerAction> {
         let mut actions = Vec::new();
+        self.handle_into(now, input, &mut actions);
+        actions
+    }
+
+    /// Process one input, appending actions to a caller-owned buffer.
+    ///
+    /// Orchestrators driving millions of events reuse one scratch vector
+    /// across the whole run instead of allocating a fresh `Vec` per event —
+    /// see `FileCopySystem::run`.
+    pub fn handle_into(
+        &mut self,
+        now: SimTime,
+        input: ServerInput,
+        actions: &mut Vec<ServerAction>,
+    ) {
         match input {
             ServerInput::Datagram {
                 client,
@@ -244,20 +278,19 @@ impl NfsServer {
                 wire_size,
                 fragments,
             } => {
-                self.on_datagram(now, client, call, wire_size, fragments, &mut actions);
+                self.on_datagram(now, client, call, wire_size, fragments, actions);
             }
             ServerInput::Wakeup { token } => {
                 if let Some(reason) = self.wake_reasons.remove(&token) {
                     match reason {
-                        WakeReason::NfsdFree => self.dispatch(now, &mut actions),
+                        WakeReason::NfsdFree => self.dispatch(now, actions),
                         WakeReason::GatherContinue { nfsd, ino } => {
-                            self.continue_gather(now, nfsd, ino, &mut actions);
+                            self.continue_gather(now, nfsd, ino, actions);
                         }
                     }
                 }
             }
         }
-        actions
     }
 
     fn on_datagram(
@@ -269,12 +302,16 @@ impl NfsServer {
         fragments: u32,
         actions: &mut Vec<ServerAction>,
     ) {
-        self.trace.record(
-            now,
-            TraceKind::RequestArrived,
-            call.xid.0 as u64,
-            format!("{:?} ({} bytes)", call.body.procedure(), wire_size),
-        );
+        // The detail strings are only built when tracing is on: the hot loop
+        // must not pay a `format!` allocation per datagram.
+        if self.trace.is_enabled() {
+            self.trace.record(
+                now,
+                TraceKind::RequestArrived,
+                call.xid.0 as u64,
+                format!("{:?} ({} bytes)", call.body.procedure(), wire_size),
+            );
+        }
         // Duplicate request handling happens before queueing, as the real
         // server does it in the dispatch path: drop in-progress duplicates,
         // answer completed ones from the cache.
@@ -286,10 +323,12 @@ impl NfsServer {
             DupState::Done(reply) => {
                 self.stats.duplicate_requests += 1;
                 let at = self.cpu.run(now, self.config.costs.reply_send);
+                // The cached reply is shared; cloning it re-uses the payload
+                // allocation (if any) rather than copying it.
                 actions.push(ServerAction::Reply {
                     at,
                     client,
-                    reply: *reply,
+                    reply: (*reply).clone(),
                 });
                 return;
             }
@@ -303,7 +342,8 @@ impl NfsServer {
         };
         if !self.sockbuf.offer(wire_size, incoming) {
             self.stats.socket_drops += 1;
-            self.trace.record(now, TraceKind::RequestDropped, 0, "socket buffer full");
+            self.trace
+                .record(now, TraceKind::RequestDropped, 0, "socket buffer full");
             return;
         }
         self.dispatch(now, actions);
@@ -334,7 +374,12 @@ impl NfsServer {
             .next()
     }
 
-    fn schedule_wakeup(&mut self, at: SimTime, reason: WakeReason, actions: &mut Vec<ServerAction>) {
+    fn schedule_wakeup(
+        &mut self,
+        at: SimTime,
+        reason: WakeReason,
+        actions: &mut Vec<ServerAction>,
+    ) {
         let token = self.next_token;
         self.next_token += 1;
         self.wake_reasons.insert(token, reason);
@@ -366,14 +411,20 @@ impl NfsServer {
             arrived,
         } = incoming;
         self.dupcache.start(client, call.xid);
-        self.trace.record(
-            now,
-            TraceKind::NfsdStart,
-            nfsd as u64,
-            format!("xid {} {:?}", call.xid.0, call.body.procedure()),
-        );
+        if self.trace.is_enabled() {
+            self.trace.record(
+                now,
+                TraceKind::NfsdStart,
+                nfsd as u64,
+                format!("xid {} {:?}", call.xid.0, call.body.procedure()),
+            );
+        }
         // Per-fragment reassembly plus RPC dispatch.
-        let cost = self.config.costs.packet_reassembly.saturating_mul(fragments as u64)
+        let cost = self
+            .config
+            .costs
+            .packet_reassembly
+            .saturating_mul(fragments as u64)
             + self.config.costs.rpc_dispatch;
         let t = self.cpu.run(now, cost);
         let xid = call.xid;
@@ -407,9 +458,7 @@ impl NfsServer {
         let mut done = self.cpu.run(t, light);
         let reply_body = match body {
             NfsCallBody::Null => NfsReplyBody::Null,
-            NfsCallBody::Getattr(a) => {
-                NfsReplyBody::Attr(self.attr_reply(&a.file))
-            }
+            NfsCallBody::Getattr(a) => NfsReplyBody::Attr(self.attr_reply(&a.file)),
             NfsCallBody::Statfs(_a) => NfsReplyBody::Statfs(StatusReply::Ok(StatfsOk {
                 tsize: 8192,
                 bsize: 8192,
@@ -429,12 +478,12 @@ impl NfsServer {
                 },
                 Err(e) => NfsReplyBody::DirOp(StatusReply::Err(fs_error_to_status(e))),
             },
-            NfsCallBody::Readdir(a) => match ino_from_handle(&self.fs, &a.dir)
-                .and_then(|dir| self.fs.readdir(dir))
-            {
-                Ok(names) => NfsReplyBody::Readdir(StatusReply::Ok(names)),
-                Err(e) => NfsReplyBody::Readdir(StatusReply::Err(fs_error_to_status(e))),
-            },
+            NfsCallBody::Readdir(a) => {
+                match ino_from_handle(&self.fs, &a.dir).and_then(|dir| self.fs.readdir(dir)) {
+                    Ok(names) => NfsReplyBody::Readdir(StatusReply::Ok(std::sync::Arc::new(names))),
+                    Err(e) => NfsReplyBody::Readdir(StatusReply::Err(fs_error_to_status(e))),
+                }
+            }
             NfsCallBody::Setattr(a) => match ino_from_handle(&self.fs, &a.file).and_then(|ino| {
                 let size = if a.attributes.size == u32::MAX {
                     None
@@ -455,7 +504,11 @@ impl NfsServer {
                 Err(e) => NfsReplyBody::Attr(StatusReply::Err(fs_error_to_status(e))),
             },
             NfsCallBody::Create(a) => {
-                let mode = if a.attributes.mode == u32::MAX { 0o644 } else { a.attributes.mode };
+                let mode = if a.attributes.mode == u32::MAX {
+                    0o644
+                } else {
+                    a.attributes.mode
+                };
                 match ino_from_handle(&self.fs, &a.where_.dir)
                     .and_then(|dir| self.fs.create(dir, &a.where_.name, mode, now_nanos))
                 {
@@ -463,7 +516,10 @@ impl NfsServer {
                         // A create changes the directory and the new inode; both
                         // metadata updates must be stable before the reply.
                         let dir_ino = ino_from_handle(&self.fs, &a.where_.dir).expect("checked");
-                        let mut plan = self.fs.fsync(dir_ino, FsyncFlags::MetadataOnly).unwrap_or_default();
+                        let mut plan = self
+                            .fs
+                            .fsync(dir_ino, FsyncFlags::MetadataOnly)
+                            .unwrap_or_default();
                         if let Ok(p) = self.fs.fsync(ino, FsyncFlags::MetadataOnly) {
                             plan.extend(p);
                         }
@@ -483,15 +539,20 @@ impl NfsServer {
                 .and_then(|dir| self.fs.remove(dir, &a.name, now_nanos).map(|()| dir))
             {
                 Ok(dir) => {
-                    let plan = self.fs.fsync(dir, FsyncFlags::MetadataOnly).unwrap_or_default();
+                    let plan = self
+                        .fs
+                        .fsync(dir, FsyncFlags::MetadataOnly)
+                        .unwrap_or_default();
                     done = self.run_io_plan(done, plan.data.iter().chain(plan.metadata.iter()));
                     NfsReplyBody::Status(NfsStatus::Ok)
                 }
                 Err(e) => NfsReplyBody::Status(fs_error_to_status(e)),
             },
-            NfsCallBody::Read(a) => match ino_from_handle(&self.fs, &a.file)
-                .and_then(|ino| self.fs.read(ino, a.offset as u64, a.count as u64).map(|r| (ino, r)))
-            {
+            NfsCallBody::Read(a) => match ino_from_handle(&self.fs, &a.file).and_then(|ino| {
+                self.fs
+                    .read(ino, a.offset as u64, a.count as u64)
+                    .map(|r| (ino, r))
+            }) {
                 Ok((ino, outcome)) => {
                     // Charge the buffer-cache copy and any disk reads for
                     // missed blocks.
@@ -503,7 +564,7 @@ impl NfsServer {
                     let attrs = self.fs.getattr(ino).expect("inode is live");
                     NfsReplyBody::Read(StatusReply::Ok(ReadOk {
                         attributes: attributes_to_fattr(self.fs.fsid(), &attrs),
-                        data: outcome.data,
+                        data: outcome.data.into(),
                     }))
                 }
                 Err(e) => NfsReplyBody::Read(StatusReply::Err(fs_error_to_status(e))),
@@ -531,7 +592,11 @@ impl NfsServer {
     /// reserve the serial CPU ahead of time would head-of-line block requests
     /// that in reality would have been dispatched in between.  Utilisation
     /// accounting is unaffected.
-    fn run_io_plan<'a>(&mut self, start: SimTime, reqs: impl Iterator<Item = &'a DiskRequest>) -> SimTime {
+    fn run_io_plan<'a>(
+        &mut self,
+        start: SimTime,
+        reqs: impl Iterator<Item = &'a DiskRequest>,
+    ) -> SimTime {
         let mut done = start;
         for req in reqs {
             // Accelerated filesystems pay the Presto driver entry plus the
@@ -546,14 +611,22 @@ impl NfsServer {
             };
             let submit_at = self.cpu.run_overlapped(done, trip);
             let io_done = self.device.submit(submit_at, *req);
-            done = self.cpu.run_overlapped(io_done, self.config.costs.interrupt);
-            let kind = if req.kind == wg_disk::IoKind::Write { "write" } else { "read" };
-            self.trace.record(
-                submit_at,
-                if req.len > 8192 || kind == "write" { TraceKind::DataToDisk } else { TraceKind::DataToDisk },
-                req.len,
-                format!("{kind} {} bytes @ {}", req.len, req.addr),
-            );
+            done = self
+                .cpu
+                .run_overlapped(io_done, self.config.costs.interrupt);
+            if self.trace.is_enabled() {
+                let kind = if req.kind == wg_disk::IoKind::Write {
+                    "write"
+                } else {
+                    "read"
+                };
+                self.trace.record(
+                    submit_at,
+                    TraceKind::DataToDisk,
+                    req.len,
+                    format!("{kind} {} bytes @ {}", req.len, req.addr),
+                );
+            }
         }
         done
     }
@@ -575,10 +648,13 @@ impl NfsServer {
         // serial CPU ahead of other requests (see `run_io_plan`).
         let at = self.cpu.run_overlapped(done, self.config.costs.reply_send);
         let reply = NfsReply::new(xid, body);
-        self.dupcache.complete(client, xid, reply.clone());
+        // Cloning the reply for the cache shares the payload (Payload is
+        // either a pattern or an Arc), so this is cheap even for READ data.
+        self.dupcache.complete(client, xid, Arc::new(reply.clone()));
         self.stats.replies_sent += 1;
         self.stats.residence.record(at.since(arrived));
-        self.trace.record(at, TraceKind::ReplySent, xid.0 as u64, "");
+        self.trace
+            .record(at, TraceKind::ReplySent, xid.0 as u64, "");
         actions.push(ServerAction::Reply { at, client, reply });
         at
     }
@@ -647,14 +723,19 @@ impl NfsServer {
     ) {
         let lock_at = t.max(self.vnode_free(ino));
         let t1 = self.cpu.run(lock_at, self.write_copy_cost(args.data.len()));
-        let outcome = self
-            .fs
-            .write(ino, args.offset as u64, &args.data, WriteFlags::Sync, t1.as_nanos());
+        let outcome = self.fs.write(
+            ino,
+            args.offset as u64,
+            write_source(&args.data),
+            WriteFlags::Sync,
+            t1.as_nanos(),
+        );
         match outcome {
             Ok(out) => {
                 let done = self.run_io_plan(t1, out.io.data.iter().chain(out.io.metadata.iter()));
                 if !out.io.metadata.is_empty() {
-                    self.trace.record(done, TraceKind::MetadataToDisk, ino, "inode/indirect");
+                    self.trace
+                        .record(done, TraceKind::MetadataToDisk, ino, "inode/indirect");
                     self.stats.metadata_flushes += 1;
                 }
                 self.vnode_locks.insert(ino, done);
@@ -695,7 +776,7 @@ impl NfsServer {
         let body = match self.fs.write(
             ino,
             args.offset as u64,
-            &args.data,
+            write_source(&args.data),
             WriteFlags::DelayData,
             t1.as_nanos(),
         ) {
@@ -736,9 +817,13 @@ impl NfsServer {
         let lock_at = t.max(self.vnode_free(ino));
         let cost = self.write_copy_cost(args.data.len()) + self.config.costs.gather_bookkeeping;
         let t1 = self.cpu.run(lock_at, cost);
-        let outcome = self
-            .fs
-            .write(ino, args.offset as u64, &args.data, flags, t1.as_nanos());
+        let outcome = self.fs.write(
+            ino,
+            args.offset as u64,
+            write_source(&args.data),
+            flags,
+            t1.as_nanos(),
+        );
         let out = match outcome {
             Ok(out) => out,
             Err(e) => {
@@ -763,7 +848,7 @@ impl NfsServer {
         self.vnode_locks.insert(ino, t2);
 
         // Queue this write's descriptor.
-        let gather = self.gathers.entry(ino).or_insert_with(FileGather::new);
+        let gather = self.gathers.entry(ino).or_default();
         gather.push(PendingWrite {
             client,
             xid,
@@ -776,7 +861,12 @@ impl NfsServer {
         // Can we leave the metadata update to somebody else?
         if self.gathers[&ino].can_join() {
             self.stats.writes_gathered += 1;
-            self.trace.record(t2, TraceKind::ReplyDeferred, xid.0 as u64, "joined existing gather");
+            self.trace.record(
+                t2,
+                TraceKind::ReplyDeferred,
+                xid.0 as u64,
+                "joined existing gather",
+            );
             self.occupy_nfsd(nfsd, t2, actions);
             return;
         }
@@ -784,7 +874,12 @@ impl NfsServer {
             t2 = self.cpu.run(t2, self.config.costs.mbuf_hunt);
             if self.socket_buffer_has_write_for(ino) {
                 self.stats.writes_gathered += 1;
-                self.trace.record(t2, TraceKind::ReplyDeferred, xid.0 as u64, "mbuf hunter found follow-on write");
+                self.trace.record(
+                    t2,
+                    TraceKind::ReplyDeferred,
+                    xid.0 as u64,
+                    "mbuf hunter found follow-on write",
+                );
                 self.occupy_nfsd(nfsd, t2, actions);
                 return;
             }
@@ -802,23 +897,38 @@ impl NfsServer {
                 // time is the window in which other writes may arrive.
                 let own_plan = self
                     .fs
-                    .sync_data(ino, args.offset as u64, args.offset as u64 + args.data.len() as u64)
+                    .sync_data(
+                        ino,
+                        args.offset as u64,
+                        args.offset as u64 + args.data.len() as u64,
+                    )
                     .unwrap_or_default();
                 let window_end = self.run_io_plan(t2, own_plan.data.iter());
-                self.trace.record(t2, TraceKind::Procrastinate, nfsd as u64, "first-write latency window");
+                self.trace.record(
+                    t2,
+                    TraceKind::Procrastinate,
+                    nfsd as u64,
+                    "first-write latency window",
+                );
                 self.nfsds[nfsd].free_at = window_end;
-                self.schedule_wakeup(window_end, WakeReason::GatherContinue { nfsd, ino }, actions);
+                self.schedule_wakeup(
+                    window_end,
+                    WakeReason::GatherContinue { nfsd, ino },
+                    actions,
+                );
             }
             _ => {
                 // The paper's procrastination: sleep for a transport-dependent
                 // interval hoping company arrives.
                 let wake_at = t2 + self.config.procrastination;
-                self.trace.record(
-                    t2,
-                    TraceKind::Procrastinate,
-                    nfsd as u64,
-                    format!("{} procrastination", self.config.procrastination),
-                );
+                if self.trace.is_enabled() {
+                    self.trace.record(
+                        t2,
+                        TraceKind::Procrastinate,
+                        nfsd as u64,
+                        format!("{} procrastination", self.config.procrastination),
+                    );
+                }
                 self.nfsds[nfsd].free_at = wake_at;
                 self.schedule_wakeup(wake_at, WakeReason::GatherContinue { nfsd, ino }, actions);
             }
@@ -827,9 +937,9 @@ impl NfsServer {
 
     fn socket_buffer_has_write_for(&self, ino: InodeNumber) -> bool {
         self.sockbuf.scan().any(|inc| match &inc.call.body {
-            NfsCallBody::Write(w) => {
-                ino_from_handle(&self.fs, &w.file).map(|i| i == ino).unwrap_or(false)
-            }
+            NfsCallBody::Write(w) => ino_from_handle(&self.fs, &w.file)
+                .map(|i| i == ino)
+                .unwrap_or(false),
             _ => false,
         })
     }
@@ -893,11 +1003,19 @@ impl NfsServer {
         // to NVRAM (sync_data finds nothing dirty).
         let t1 = self.cpu.run(now, self.config.costs.ufs_trip);
         let data_plan = self.fs.sync_data(ino, from, to).unwrap_or_default();
-        let meta_plan = self.fs.fsync(ino, FsyncFlags::MetadataOnly).unwrap_or_default();
+        let meta_plan = self
+            .fs
+            .fsync(ino, FsyncFlags::MetadataOnly)
+            .unwrap_or_default();
         let mut done = self.run_io_plan(t1, data_plan.data.iter());
         if !meta_plan.metadata.is_empty() {
             done = self.run_io_plan(done, meta_plan.metadata.iter());
-            self.trace.record(done, TraceKind::MetadataToDisk, ino, "gathered metadata flush");
+            self.trace.record(
+                done,
+                TraceKind::MetadataToDisk,
+                ino,
+                "gathered metadata flush",
+            );
         }
         self.stats.record_batch(batch.len());
 
@@ -949,9 +1067,18 @@ mod tests {
     use super::*;
     use wg_nfsproto::{NfsCall, WriteArgs};
 
-    fn write_call(server: &NfsServer, ino: InodeNumber, xid: u32, offset: u64, len: usize) -> NfsCall {
+    fn write_call(
+        server: &NfsServer,
+        ino: InodeNumber,
+        xid: u32,
+        offset: u64,
+        len: usize,
+    ) -> NfsCall {
         let fh = server.handle_for_ino(ino).unwrap();
-        NfsCall::new(Xid(xid), NfsCallBody::Write(WriteArgs::new(fh, offset as u32, vec![7u8; len])))
+        NfsCall::new(
+            Xid(xid),
+            NfsCallBody::Write(WriteArgs::new(fh, offset as u32, vec![7u8; len])),
+        )
     }
 
     fn datagram(call: NfsCall) -> ServerInput {
@@ -1184,7 +1311,10 @@ mod tests {
         let fh = server.handle_for_ino(ino).unwrap();
         let root_fh = server.root_handle();
         let calls = vec![
-            NfsCall::new(Xid(1), NfsCallBody::Getattr(wg_nfsproto::GetattrArgs { file: fh })),
+            NfsCall::new(
+                Xid(1),
+                NfsCallBody::Getattr(wg_nfsproto::GetattrArgs { file: fh }),
+            ),
             NfsCall::new(
                 Xid(2),
                 NfsCallBody::Lookup(wg_nfsproto::DirOpArgs {
@@ -1211,12 +1341,18 @@ mod tests {
                     totalcount: 0,
                 }),
             ),
-            NfsCall::new(Xid(5), NfsCallBody::Readdir(wg_nfsproto::ReaddirArgs {
-                dir: root_fh,
-                cookie: 0,
-                count: 4096,
-            })),
-            NfsCall::new(Xid(6), NfsCallBody::Statfs(wg_nfsproto::GetattrArgs { file: root_fh })),
+            NfsCall::new(
+                Xid(5),
+                NfsCallBody::Readdir(wg_nfsproto::ReaddirArgs {
+                    dir: root_fh,
+                    cookie: 0,
+                    count: 4096,
+                }),
+            ),
+            NfsCall::new(
+                Xid(6),
+                NfsCallBody::Statfs(wg_nfsproto::GetattrArgs { file: root_fh }),
+            ),
             NfsCall::new(
                 Xid(7),
                 NfsCallBody::Remove(wg_nfsproto::DirOpArgs {

@@ -175,7 +175,10 @@ mod tests {
         assert!(sequential < random);
         assert_eq!(first, sequential);
         // A sequential 8 KB transfer is only overhead + media time: well under 6 ms.
-        assert!(sequential < Duration::from_millis(6), "sequential {sequential}");
+        assert!(
+            sequential < Duration::from_millis(6),
+            "sequential {sequential}"
+        );
         // A random 8 KB write costs seek + rotation: comfortably over 10 ms.
         assert!(random > Duration::from_millis(10), "random {random}");
     }

@@ -74,7 +74,8 @@ impl MediumParams {
         let fragments = self.fragments_for(bytes) as u64;
         let wire_bytes = bytes as u64 + fragments * self.header_bytes as u64;
         let bits = wire_bytes as f64 * 8.0;
-        Duration::from_secs_f64(bits / self.bits_per_sec) + self.per_packet_gap.saturating_mul(fragments)
+        Duration::from_secs_f64(bits / self.bits_per_sec)
+            + self.per_packet_gap.saturating_mul(fragments)
     }
 }
 
@@ -222,7 +223,10 @@ mod tests {
         // = 6.84 ms, plus 6 * 50 us of gaps = 7.14 ms.
         let eth = MediumParams::ethernet();
         let t = eth.serialisation_time(8300);
-        assert!(t > Duration::from_millis(6) && t < Duration::from_millis(8), "{t}");
+        assert!(
+            t > Duration::from_millis(6) && t < Duration::from_millis(8),
+            "{t}"
+        );
         // And well under 1 ms on FDDI.
         let fddi = MediumParams::fddi();
         assert!(fddi.serialisation_time(8300) < Duration::from_millis(1));
@@ -234,7 +238,10 @@ mod tests {
         let a = m.transmit(SimTime::ZERO, 8300, Direction::ToServer);
         let b = m.transmit(SimTime::ZERO, 8300, Direction::ToServer);
         let (ta, tb) = match (a, b) {
-            (TransmitOutcome::Delivered { arrives_at: ta }, TransmitOutcome::Delivered { arrives_at: tb }) => (ta, tb),
+            (
+                TransmitOutcome::Delivered { arrives_at: ta },
+                TransmitOutcome::Delivered { arrives_at: tb },
+            ) => (ta, tb),
             _ => panic!("no loss expected"),
         };
         assert!(tb > ta);
@@ -264,9 +271,18 @@ mod tests {
 
     #[test]
     fn procrastination_intervals_match_the_paper() {
-        assert_eq!(MediumParams::ethernet().procrastination, Duration::from_millis(8));
-        assert_eq!(MediumParams::fddi().procrastination, Duration::from_millis(5));
-        assert_eq!(Medium::new(MediumParams::fddi()).procrastination(), Duration::from_millis(5));
+        assert_eq!(
+            MediumParams::ethernet().procrastination,
+            Duration::from_millis(8)
+        );
+        assert_eq!(
+            MediumParams::fddi().procrastination,
+            Duration::from_millis(5)
+        );
+        assert_eq!(
+            Medium::new(MediumParams::fddi()).procrastination(),
+            Duration::from_millis(5)
+        );
     }
 
     #[test]

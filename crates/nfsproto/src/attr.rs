@@ -171,7 +171,19 @@ impl XdrDecode for FileType {
 }
 
 /// An NFS v2 timestamp: seconds and microseconds.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone,
+    Copy,
+    Debug,
+    Default,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct Timeval {
     /// Whole seconds.
     pub seconds: u32,
@@ -440,7 +452,10 @@ mod tests {
             size: 81920,
             blocks: 160,
             fileid: 77,
-            mtime: Timeval { seconds: 12, useconds: 34 },
+            mtime: Timeval {
+                seconds: 12,
+                useconds: 34,
+            },
             ..Fattr::default()
         };
         let bytes = to_bytes(&attr);

@@ -48,7 +48,12 @@ impl FileHandle {
 
     /// The inode generation encoded in the handle.
     pub fn generation(&self) -> u32 {
-        u32::from_be_bytes([self.bytes[12], self.bytes[13], self.bytes[14], self.bytes[15]])
+        u32::from_be_bytes([
+            self.bytes[12],
+            self.bytes[13],
+            self.bytes[14],
+            self.bytes[15],
+        ])
     }
 
     /// The raw 32 bytes.

@@ -26,12 +26,14 @@
 pub mod attr;
 pub mod handle;
 pub mod message;
+pub mod payload;
 pub mod procs;
 pub mod rpc;
 
 pub use attr::{Fattr, FileType, NfsStatus, Sattr, Timeval};
 pub use handle::FileHandle;
 pub use message::{NfsCall, NfsCallBody, NfsReply, NfsReplyBody, WireMessage};
+pub use payload::Payload;
 pub use procs::{
     CreateArgs, DirOpArgs, DirOpOk, GetattrArgs, LookupArgs, ProcNumber, ReadArgs, ReadOk,
     ReaddirArgs, RemoveArgs, SetattrArgs, StatfsOk, StatusReply, WriteArgs,

@@ -9,13 +9,67 @@
 //! faithful: an 8 KB write really occupies a little more than 8 KB on the
 //! wire once RPC and NFS headers are added.
 
-use crate::attr::{Fattr, NfsStatus};
+use std::sync::OnceLock;
+
+use crate::attr::{Fattr, NfsStatus, Sattr};
 use crate::procs::{
     CreateArgs, DirOpArgs, DirOpOk, GetattrArgs, ProcNumber, ReadArgs, ReadOk, ReaddirArgs,
     SetattrArgs, StatfsOk, StatusReply, WriteArgs,
 };
 use crate::rpc::{RpcCallHeader, RpcReplyHeader, Xid};
+use crate::NFS_FHSIZE;
 use wg_xdr::{XdrDecode, XdrDecoder, XdrEncode, XdrEncoder, XdrError};
+
+/// Wire size of an XDR variable-length opaque (or string) of `len` bytes:
+/// the length word plus the data padded to a 4-byte boundary.
+fn opaque_wire_size(len: usize) -> usize {
+    4 + len.div_ceil(4) * 4
+}
+
+/// Wire size of the RPC call header (fixed: the AUTH_UNIX credential the
+/// simulation uses has a constant machine name and no auxiliary gids).
+/// Computed once by encoding a representative header, so the arithmetic can
+/// never drift from the real encoder.
+fn call_header_wire_size() -> usize {
+    static SIZE: OnceLock<usize> = OnceLock::new();
+    *SIZE.get_or_init(|| {
+        let mut enc = XdrEncoder::new();
+        RpcCallHeader::nfs_call(Xid(0), 0).encode(&mut enc);
+        enc.len()
+    })
+}
+
+/// Wire size of the accepted RPC reply header (fixed), computed like
+/// [`call_header_wire_size`].
+fn reply_header_wire_size() -> usize {
+    static SIZE: OnceLock<usize> = OnceLock::new();
+    *SIZE.get_or_init(|| {
+        let mut enc = XdrEncoder::new();
+        RpcReplyHeader::accepted(Xid(0)).encode(&mut enc);
+        enc.len()
+    })
+}
+
+/// Wire size of a full attribute block (fixed at 68 bytes per RFC 1094, but
+/// derived from the encoder so the two can never disagree).
+fn fattr_wire_size() -> usize {
+    static SIZE: OnceLock<usize> = OnceLock::new();
+    *SIZE.get_or_init(|| {
+        let mut enc = XdrEncoder::new();
+        Fattr::default().encode(&mut enc);
+        enc.len()
+    })
+}
+
+/// Wire size of a settable-attribute block (fixed at 32 bytes).
+fn sattr_wire_size() -> usize {
+    static SIZE: OnceLock<usize> = OnceLock::new();
+    *SIZE.get_or_init(|| {
+        let mut enc = XdrEncoder::new();
+        Sattr::default().encode(&mut enc);
+        enc.len()
+    })
+}
 
 /// The typed body of an NFS call.
 #[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -69,6 +123,29 @@ impl NfsCallBody {
             NfsCallBody::Write(a) => a.encode(enc),
             NfsCallBody::Create(a) => a.encode(enc),
             NfsCallBody::Readdir(a) => a.encode(enc),
+        }
+    }
+
+    /// Encoded size of the procedure arguments, computed arithmetically.
+    ///
+    /// The simulation's hot loop needs wire sizes for network serialisation
+    /// and socket-buffer accounting on every message; materialising the full
+    /// encoding (8 KB+ per write) just to measure it was the single largest
+    /// allocation source in the simulator.  [`NfsCall::wire_size`] asserts
+    /// equality with the real encoder in tests.
+    fn args_wire_size(&self) -> usize {
+        const FH: usize = NFS_FHSIZE; // file handles are fixed-size opaques
+        match self {
+            NfsCallBody::Null => 0,
+            NfsCallBody::Getattr(_) | NfsCallBody::Statfs(_) => FH,
+            NfsCallBody::Setattr(_) => FH + sattr_wire_size(),
+            NfsCallBody::Lookup(a) | NfsCallBody::Remove(a) => FH + opaque_wire_size(a.name.len()),
+            NfsCallBody::Read(_) => FH + 12,
+            NfsCallBody::Write(a) => FH + 12 + a.data.xdr_size(),
+            NfsCallBody::Create(a) => {
+                FH + opaque_wire_size(a.where_.name.len()) + sattr_wire_size()
+            }
+            NfsCallBody::Readdir(_) => FH + 8,
         }
     }
 
@@ -135,8 +212,12 @@ impl NfsCall {
     }
 
     /// The size of this call on the wire, in bytes.
+    ///
+    /// Pure arithmetic — nothing is encoded and nothing is allocated.  The
+    /// `wire_sizes_match_real_encodings` test pins this against
+    /// [`NfsCall::to_wire`] for every procedure.
     pub fn wire_size(&self) -> usize {
-        self.to_wire().len()
+        call_header_wire_size() + self.body.args_wire_size()
     }
 }
 
@@ -155,7 +236,9 @@ pub enum NfsReplyBody {
     Status(NfsStatus),
     /// READDIR reply: names only (entries are summarised as a name list in
     /// this reproduction; cookies and eof handling live in the server model).
-    Readdir(StatusReply<Vec<String>>),
+    /// The list is shared so caching or replaying the reply never clones the
+    /// names.
+    Readdir(StatusReply<std::sync::Arc<Vec<String>>>),
     /// STATFS reply.
     Statfs(StatusReply<StatfsOk>),
 }
@@ -188,6 +271,32 @@ impl NfsReplyBody {
             NfsReplyBody::Status(_) => 4,
             NfsReplyBody::Readdir(_) => 5,
             NfsReplyBody::Statfs(_) => 6,
+        }
+    }
+
+    /// Encoded size of the reply results (excluding header and body tag),
+    /// computed arithmetically — see [`NfsCallBody::args_wire_size`].
+    fn results_wire_size(&self) -> usize {
+        // Every status-discriminated reply starts with the 4-byte status word.
+        match self {
+            NfsReplyBody::Null => 0,
+            NfsReplyBody::Attr(StatusReply::Ok(_)) => 4 + fattr_wire_size(),
+            NfsReplyBody::DirOp(StatusReply::Ok(_)) => 4 + NFS_FHSIZE + fattr_wire_size(),
+            NfsReplyBody::Read(StatusReply::Ok(r)) => 4 + fattr_wire_size() + r.data.xdr_size(),
+            NfsReplyBody::Readdir(StatusReply::Ok(names)) => {
+                4 + 4
+                    + names
+                        .iter()
+                        .map(|n| opaque_wire_size(n.len()))
+                        .sum::<usize>()
+            }
+            NfsReplyBody::Statfs(StatusReply::Ok(_)) => 4 + 20,
+            NfsReplyBody::Attr(StatusReply::Err(_))
+            | NfsReplyBody::DirOp(StatusReply::Err(_))
+            | NfsReplyBody::Read(StatusReply::Err(_))
+            | NfsReplyBody::Readdir(StatusReply::Err(_))
+            | NfsReplyBody::Statfs(StatusReply::Err(_))
+            | NfsReplyBody::Status(_) => 4,
         }
     }
 }
@@ -262,8 +371,11 @@ impl NfsReply {
     }
 
     /// The size of this reply on the wire, in bytes.
+    ///
+    /// Pure arithmetic — nothing is encoded and nothing is allocated (the
+    /// body tag word is included).
     pub fn wire_size(&self) -> usize {
-        self.to_wire().len()
+        reply_header_wire_size() + 4 + self.body.results_wire_size()
     }
 }
 
@@ -369,11 +481,13 @@ mod tests {
             NfsReplyBody::DirOp(StatusReply::Err(NfsStatus::NoEnt)),
             NfsReplyBody::Read(StatusReply::Ok(ReadOk {
                 attributes: Fattr::default(),
-                data: vec![9; 100],
+                data: vec![9; 100].into(),
             })),
             NfsReplyBody::Status(NfsStatus::Ok),
             NfsReplyBody::Status(NfsStatus::Stale),
-            NfsReplyBody::Readdir(StatusReply::Ok(vec!["a".to_string(), "b".to_string()])),
+            NfsReplyBody::Readdir(StatusReply::Ok(
+                vec!["a".to_string(), "b".to_string()].into(),
+            )),
             NfsReplyBody::Statfs(StatusReply::Ok(StatfsOk {
                 tsize: 8192,
                 bsize: 8192,
@@ -386,6 +500,102 @@ mod tests {
             let reply = NfsReply::new(Xid(i as u32), body);
             let back = NfsReply::from_wire(&reply.to_wire()).unwrap();
             assert_eq!(back, reply);
+        }
+    }
+
+    /// The arithmetic `wire_size` must agree with the real encoder for every
+    /// call and reply shape the simulation produces, including names and
+    /// payloads whose lengths exercise XDR padding.
+    #[test]
+    fn wire_sizes_match_real_encodings() {
+        use crate::payload::Payload;
+        let calls = vec![
+            NfsCallBody::Null,
+            NfsCallBody::Getattr(GetattrArgs { file: fh() }),
+            NfsCallBody::Statfs(GetattrArgs { file: fh() }),
+            NfsCallBody::Setattr(SetattrArgs {
+                file: fh(),
+                attributes: crate::Sattr::with_mode(0o644),
+            }),
+            NfsCallBody::Lookup(DirOpArgs {
+                dir: fh(),
+                name: "a".into(),
+            }),
+            NfsCallBody::Lookup(DirOpArgs {
+                dir: fh(),
+                name: "abcd".into(),
+            }),
+            NfsCallBody::Remove(DirOpArgs {
+                dir: fh(),
+                name: "abcde".into(),
+            }),
+            NfsCallBody::Read(ReadArgs {
+                file: fh(),
+                offset: 0,
+                count: 8192,
+                totalcount: 0,
+            }),
+            NfsCallBody::Write(WriteArgs::new(fh(), 0, Payload::fill(7, NFS_MAXDATA))),
+            NfsCallBody::Write(WriteArgs::new(fh(), 0, vec![1, 2, 3])),
+            NfsCallBody::Write(WriteArgs::new(fh(), 0, Vec::new())),
+            NfsCallBody::Create(CreateArgs {
+                where_: DirOpArgs {
+                    dir: fh(),
+                    name: "scratch_01".into(),
+                },
+                attributes: crate::Sattr::with_mode(0o600),
+            }),
+            NfsCallBody::Readdir(ReaddirArgs {
+                dir: fh(),
+                cookie: 0,
+                count: 4096,
+            }),
+        ];
+        for body in calls {
+            let call = NfsCall::new(Xid(9), body);
+            assert_eq!(
+                call.wire_size(),
+                call.to_wire().len(),
+                "{:?}",
+                call.body.procedure()
+            );
+        }
+
+        let replies = vec![
+            NfsReplyBody::Null,
+            NfsReplyBody::Attr(StatusReply::Ok(Fattr::default())),
+            NfsReplyBody::Attr(StatusReply::Err(NfsStatus::NoSpc)),
+            NfsReplyBody::DirOp(StatusReply::Ok(DirOpOk {
+                file: fh(),
+                attributes: Fattr::default(),
+            })),
+            NfsReplyBody::DirOp(StatusReply::Err(NfsStatus::NoEnt)),
+            NfsReplyBody::Read(StatusReply::Ok(ReadOk {
+                attributes: Fattr::default(),
+                data: crate::Payload::fill(9, 100),
+            })),
+            NfsReplyBody::Read(StatusReply::Ok(ReadOk {
+                attributes: Fattr::default(),
+                data: vec![1, 2, 3, 4, 5].into(),
+            })),
+            NfsReplyBody::Read(StatusReply::Err(NfsStatus::Io)),
+            NfsReplyBody::Status(NfsStatus::Stale),
+            NfsReplyBody::Readdir(StatusReply::Ok(
+                vec!["a".to_string(), "file_with_longer_name".to_string()].into(),
+            )),
+            NfsReplyBody::Readdir(StatusReply::Err(NfsStatus::NotDir)),
+            NfsReplyBody::Statfs(StatusReply::Ok(StatfsOk {
+                tsize: 8192,
+                bsize: 8192,
+                blocks: 1,
+                bfree: 1,
+                bavail: 1,
+            })),
+            NfsReplyBody::Statfs(StatusReply::Err(NfsStatus::Io)),
+        ];
+        for body in replies {
+            let reply = NfsReply::new(Xid(9), body);
+            assert_eq!(reply.wire_size(), reply.to_wire().len(), "{:?}", reply.body);
         }
     }
 

@@ -1,0 +1,290 @@
+//! Zero-copy write/read payloads.
+//!
+//! Every simulated 8 KB WRITE used to materialise a fresh `Vec<u8>`, clone it
+//! into the socket-buffer entry and the duplicate request cache, and copy it
+//! again into the filesystem's block cache — the reproduction of a paper
+//! about cheap writes was itself write-path-bound.  [`Payload`] replaces the
+//! raw byte vector with a shared, pattern-aware representation:
+//!
+//! * [`Payload::Fill`] describes the synthetic workload case — `len` copies
+//!   of one byte — in 8 bytes, with `Clone` a register copy and no backing
+//!   allocation at all;
+//! * [`Payload::Shared`] carries real bytes behind an [`Arc`], so cloning a
+//!   call or reply (socket buffer, duplicate request cache, retransmission
+//!   replay) bumps a reference count instead of copying kilobytes.
+//!
+//! Equality is *logical* (a `Fill` equals a `Shared` with the same bytes), so
+//! protocol round-trip tests are unaffected by which representation a value
+//! happens to use.  The [`materialize`](Payload::materialize) probe counts
+//! every time a `Fill` is expanded into real bytes; the zero-copy regression
+//! test asserts the count stays at zero across an entire simulated file copy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use wg_xdr::{XdrDecoder, XdrEncoder, XdrError};
+
+/// Number of times a [`Payload::Fill`] has been expanded into a real byte
+/// buffer since process start (see [`materialize_count`]).
+static MATERIALIZED: AtomicU64 = AtomicU64::new(0);
+
+/// Global count of fill-payload materialisations.
+///
+/// The zero-copy datapath test snapshots this counter, runs a simulated file
+/// copy whose writes are all `Fill` payloads, and asserts the count did not
+/// move: no per-write payload bytes were allocated anywhere in the client,
+/// network, server, cache or filesystem path.
+pub fn materialize_count() -> u64 {
+    MATERIALIZED.load(Ordering::Relaxed)
+}
+
+/// The data carried by a WRITE request or a READ reply.
+#[derive(Clone)]
+pub enum Payload {
+    /// `len` repetitions of `byte`, never materialised unless explicitly
+    /// asked for.  This is what synthetic workloads send.
+    Fill {
+        /// The repeated byte value.
+        byte: u8,
+        /// Number of repetitions.
+        len: u32,
+    },
+    /// Real bytes, shared by reference count.
+    Shared(Arc<[u8]>),
+}
+
+impl Payload {
+    /// An empty payload.
+    pub fn empty() -> Self {
+        Payload::Fill { byte: 0, len: 0 }
+    }
+
+    /// A payload of `len` copies of `byte` (no allocation).
+    pub fn fill(byte: u8, len: u32) -> Self {
+        Payload::Fill { byte, len }
+    }
+
+    /// Wrap real bytes.  If the bytes are one repeated value the compact
+    /// [`Payload::Fill`] form is chosen, which keeps payloads decoded from
+    /// the wire as cheap as the ones the workload generators build directly.
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        match bytes.split_first() {
+            None => Payload::empty(),
+            Some((first, rest)) if rest.iter().all(|b| b == first) => Payload::Fill {
+                byte: *first,
+                len: bytes.len() as u32,
+            },
+            _ => Payload::Shared(bytes.into()),
+        }
+    }
+
+    /// Number of data bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Fill { len, .. } => *len as usize,
+            Payload::Shared(bytes) => bytes.len(),
+        }
+    }
+
+    /// `true` if the payload carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The backing slice, if the payload is already materialised.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Payload::Fill { .. } => None,
+            Payload::Shared(bytes) => Some(bytes),
+        }
+    }
+
+    /// The fill pattern, if the payload is a `Fill`.
+    pub fn as_fill(&self) -> Option<(u8, u32)> {
+        match self {
+            Payload::Fill { byte, len } => Some((*byte, *len)),
+            Payload::Shared(_) => None,
+        }
+    }
+
+    /// Expand to a concrete byte buffer.
+    ///
+    /// For `Shared` payloads this is a reference-count bump.  For `Fill`
+    /// payloads it allocates — and increments the probe counter behind
+    /// [`materialize_count`], which is how the zero-copy test catches hot
+    /// paths that fell back to real bytes.
+    pub fn materialize(&self) -> Arc<[u8]> {
+        match self {
+            Payload::Fill { byte, len } => {
+                MATERIALIZED.fetch_add(1, Ordering::Relaxed);
+                vec![*byte; *len as usize].into()
+            }
+            Payload::Shared(bytes) => Arc::clone(bytes),
+        }
+    }
+
+    /// Size of this payload as an XDR variable-length opaque: the 4-byte
+    /// length prefix plus the data padded to a 4-byte boundary.  Pure
+    /// arithmetic — no encoding happens.
+    pub fn xdr_size(&self) -> usize {
+        4 + self.len().div_ceil(4) * 4
+    }
+
+    /// Append the payload as XDR variable-length opaque data.
+    pub fn encode(&self, enc: &mut XdrEncoder) {
+        match self {
+            Payload::Fill { byte, len } => enc.put_opaque_fill(*byte, *len as usize),
+            Payload::Shared(bytes) => enc.put_opaque(bytes),
+        }
+    }
+
+    /// Read a payload from XDR variable-length opaque data.
+    pub fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(Payload::from_vec(dec.get_opaque()?))
+    }
+
+    /// Iterate the payload's bytes without materialising it (test helper and
+    /// slow-path consumer).
+    pub fn iter_bytes(&self) -> impl Iterator<Item = u8> + '_ {
+        let (fill, slice): (Option<(u8, u32)>, &[u8]) = match self {
+            Payload::Fill { byte, len } => (Some((*byte, *len)), &[]),
+            Payload::Shared(bytes) => (None, bytes),
+        };
+        let fill_iter = fill
+            .into_iter()
+            .flat_map(|(byte, len)| std::iter::repeat_n(byte, len as usize));
+        fill_iter.chain(slice.iter().copied())
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Payload::Fill { byte, len } => write!(f, "Payload::Fill({byte:#04x} x {len})"),
+            Payload::Shared(bytes) => write!(f, "Payload::Shared({} bytes)", bytes.len()),
+        }
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Payload::Fill { byte: a, len: la }, Payload::Fill { byte: b, len: lb }) => {
+                la == lb && (*la == 0 || a == b)
+            }
+            (Payload::Shared(a), Payload::Shared(b)) => a == b,
+            (Payload::Fill { byte, len }, Payload::Shared(s))
+            | (Payload::Shared(s), Payload::Fill { byte, len }) => {
+                s.len() == *len as usize && s.iter().all(|x| x == byte)
+            }
+        }
+    }
+}
+
+impl Eq for Payload {}
+
+impl From<Vec<u8>> for Payload {
+    fn from(bytes: Vec<u8>) -> Self {
+        Payload::from_vec(bytes)
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(bytes: &[u8]) -> Self {
+        Payload::from_vec(bytes.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wg_xdr::XdrDecoder;
+
+    #[test]
+    fn fill_and_shared_compare_logically() {
+        let fill = Payload::fill(7, 4);
+        let shared = Payload::Shared(vec![7u8; 4].into());
+        assert_eq!(fill, shared);
+        assert_eq!(shared, fill);
+        assert_ne!(fill, Payload::fill(8, 4));
+        assert_ne!(fill, Payload::fill(7, 5));
+        assert_ne!(shared, Payload::Shared(vec![7u8, 7, 7, 8].into()));
+        // Empty payloads are equal regardless of the fill byte.
+        assert_eq!(Payload::fill(1, 0), Payload::fill(2, 0));
+        assert_eq!(Payload::empty(), Payload::Shared(Vec::new().into()));
+    }
+
+    #[test]
+    fn from_vec_detects_uniform_bytes() {
+        assert_eq!(Payload::from_vec(vec![5; 100]).as_fill(), Some((5, 100)));
+        assert!(Payload::from_vec(vec![1, 2]).as_fill().is_none());
+        assert_eq!(Payload::from_vec(Vec::new()).len(), 0);
+    }
+
+    #[test]
+    fn len_and_xdr_size() {
+        assert_eq!(Payload::fill(0, 8192).len(), 8192);
+        assert_eq!(Payload::fill(0, 8192).xdr_size(), 4 + 8192);
+        assert_eq!(Payload::fill(0, 5).xdr_size(), 4 + 8); // padded
+        assert_eq!(Payload::empty().xdr_size(), 4);
+        assert!(Payload::empty().is_empty());
+        assert!(!Payload::fill(1, 1).is_empty());
+        let shared = Payload::Shared(vec![1, 2, 3].into());
+        assert_eq!(shared.len(), 3);
+        assert_eq!(shared.xdr_size(), 4 + 4);
+    }
+
+    #[test]
+    fn xdr_roundtrip_both_representations() {
+        for payload in [
+            Payload::fill(0xAB, 8192),
+            Payload::fill(0, 0),
+            Payload::fill(9, 5),
+            Payload::Shared(vec![1, 2, 3, 4, 5, 6, 7].into()),
+        ] {
+            let mut enc = XdrEncoder::new();
+            payload.encode(&mut enc);
+            let bytes = enc.into_bytes();
+            assert_eq!(bytes.len(), payload.xdr_size(), "{payload:?}");
+            let mut dec = XdrDecoder::new(&bytes);
+            let back = Payload::decode(&mut dec).unwrap();
+            assert_eq!(back, payload, "{payload:?}");
+            assert_eq!(dec.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn materialize_counts_fill_expansions_only() {
+        let before = materialize_count();
+        let shared = Payload::Shared(vec![3u8; 16].into());
+        let bytes = shared.materialize();
+        assert_eq!(&bytes[..], &[3u8; 16]);
+        assert_eq!(
+            materialize_count(),
+            before,
+            "Shared materialise must not count"
+        );
+        let fill = Payload::fill(4, 8);
+        let bytes = fill.materialize();
+        assert_eq!(&bytes[..], &[4u8; 8]);
+        assert!(materialize_count() > before, "Fill materialise must count");
+    }
+
+    #[test]
+    fn iter_bytes_matches_materialize() {
+        for payload in [Payload::fill(6, 10), Payload::Shared(vec![1, 2, 3].into())] {
+            let collected: Vec<u8> = payload.iter_bytes().collect();
+            assert_eq!(&collected[..], &payload.materialize()[..]);
+        }
+    }
+
+    #[test]
+    fn clone_is_shallow_for_shared() {
+        let payload = Payload::Shared(vec![1u8; 1024].into());
+        let clone = payload.clone();
+        let (Payload::Shared(a), Payload::Shared(b)) = (&payload, &clone) else {
+            panic!("expected shared payloads");
+        };
+        assert!(Arc::ptr_eq(a, b), "clone must share the allocation");
+    }
+}

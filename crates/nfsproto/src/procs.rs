@@ -7,6 +7,7 @@
 
 use crate::attr::Sattr;
 use crate::handle::FileHandle;
+use crate::payload::Payload;
 use crate::{Fattr, NfsStatus};
 use wg_xdr::{XdrDecode, XdrDecoder, XdrEncode, XdrEncoder, XdrError};
 
@@ -250,14 +251,14 @@ impl XdrDecode for ReadArgs {
 pub struct ReadOk {
     /// File attributes after the read.
     pub attributes: Fattr,
-    /// The bytes read.
-    pub data: Vec<u8>,
+    /// The bytes read (shared, so caching and replaying the reply is cheap).
+    pub data: Payload,
 }
 
 impl XdrEncode for ReadOk {
     fn encode(&self, enc: &mut XdrEncoder) {
         self.attributes.encode(enc);
-        enc.put_opaque(&self.data);
+        self.data.encode(enc);
     }
 }
 
@@ -265,7 +266,7 @@ impl XdrDecode for ReadOk {
     fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
         Ok(ReadOk {
             attributes: Fattr::decode(dec)?,
-            data: dec.get_opaque()?,
+            data: Payload::decode(dec)?,
         })
     }
 }
@@ -281,13 +282,15 @@ pub struct WriteArgs {
     pub offset: u32,
     /// Obsolete field kept for wire compatibility ("totalcount").
     pub totalcount: u32,
-    /// The data to write (at most [`crate::NFS_MAXDATA`] bytes).
-    pub data: Vec<u8>,
+    /// The data to write (at most [`crate::NFS_MAXDATA`] bytes), carried
+    /// without per-copy allocation (see [`Payload`]).
+    pub data: Payload,
 }
 
 impl WriteArgs {
     /// Convenience constructor for the common case.
-    pub fn new(file: FileHandle, offset: u32, data: Vec<u8>) -> Self {
+    pub fn new(file: FileHandle, offset: u32, data: impl Into<Payload>) -> Self {
+        let data = data.into();
         WriteArgs {
             file,
             beginoffset: 0,
@@ -295,6 +298,12 @@ impl WriteArgs {
             totalcount: data.len() as u32,
             data,
         }
+    }
+
+    /// A write of `len` repetitions of `byte` — the synthetic-workload case,
+    /// allocation-free end to end.
+    pub fn fill(file: FileHandle, offset: u32, byte: u8, len: u32) -> Self {
+        WriteArgs::new(file, offset, Payload::fill(byte, len))
     }
 
     /// Number of data bytes carried.
@@ -314,7 +323,7 @@ impl XdrEncode for WriteArgs {
         enc.put_u32(self.beginoffset);
         enc.put_u32(self.offset);
         enc.put_u32(self.totalcount);
-        enc.put_opaque(&self.data);
+        self.data.encode(enc);
     }
 }
 
@@ -325,7 +334,7 @@ impl XdrDecode for WriteArgs {
             beginoffset: dec.get_u32()?,
             offset: dec.get_u32()?,
             totalcount: dec.get_u32()?,
-            data: dec.get_opaque()?,
+            data: Payload::decode(dec)?,
         })
     }
 }
@@ -513,7 +522,7 @@ mod tests {
 
         let ok = ReadOk {
             attributes: Fattr::default(),
-            data: vec![1, 2, 3, 4, 5],
+            data: vec![1, 2, 3, 4, 5].into(),
         };
         let back: ReadOk = from_bytes(&to_bytes(&ok)).unwrap();
         assert_eq!(back, ok);

@@ -11,7 +11,9 @@ use wg_xdr::{XdrDecode, XdrDecoder, XdrEncode, XdrEncoder, XdrError};
 ///
 /// A retransmission of a request reuses the xid of the original, which is how
 /// the server recognises duplicates.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Xid(pub u32);
 
 impl XdrEncode for Xid {

@@ -225,7 +225,9 @@ impl<D: BlockDevice> Presto<D> {
                 self.dirty.insert(addr + take, len - take);
             }
             self.dirty_bytes -= take;
-            let done = self.disk.submit(now.max(self.disk.free_at()), DiskRequest::write(addr, take));
+            let done = self
+                .disk
+                .submit(now.max(self.disk.free_at()), DiskRequest::write(addr, take));
             self.inflight_bytes += take;
             // Keep completion order sorted (disk is FIFO so completions are
             // already non-decreasing).
@@ -317,7 +319,11 @@ impl<D: BlockDevice> BlockDevice for Presto<D> {
 
         // Opportunistically drain whole-transfer-sized runs; smaller runs wait
         // for more company (or for a flush / space pressure).
-        if self.dirty.values().any(|&l| l >= self.params.drain_transfer) {
+        if self
+            .dirty
+            .values()
+            .any(|&l| l >= self.params.drain_transfer)
+        {
             self.pump(done);
         }
         done
@@ -435,7 +441,10 @@ mod tests {
         let flush_done = p.flush_all(now);
         assert!(flush_done >= now);
         let disk_writes = p.underlying().stats().transfers.events();
-        assert!(disk_writes <= 3, "inode block hit the disk {disk_writes} times");
+        assert!(
+            disk_writes <= 3,
+            "inode block hit the disk {disk_writes} times"
+        );
         assert!(p.absorbed_bytes() >= 190 * 8192);
         assert_eq!(p.accepted_stats().transfers.events(), 200);
     }
@@ -480,7 +489,11 @@ mod tests {
         let disk_stats = p.underlying().stats();
         // 2 MB drained with 128 KB transfers -> roughly 16 disk transactions,
         // far fewer than the 256 8 KB writes accepted.
-        assert!(disk_stats.transfers.events() <= 20, "transfers {}", disk_stats.transfers.events());
+        assert!(
+            disk_stats.transfers.events() <= 20,
+            "transfers {}",
+            disk_stats.transfers.events()
+        );
         assert_eq!(disk_stats.transfers.bytes(), 2 * 1024 * 1024);
         assert_eq!(p.accepted_stats().transfers.events(), 256);
     }
@@ -488,7 +501,10 @@ mod tests {
     #[test]
     fn flush_all_on_clean_cache_is_a_noop() {
         let mut p = presto();
-        assert_eq!(p.flush_all(SimTime::from_millis(3)), SimTime::from_millis(3));
+        assert_eq!(
+            p.flush_all(SimTime::from_millis(3)),
+            SimTime::from_millis(3)
+        );
     }
 
     #[test]
@@ -510,7 +526,11 @@ mod tests {
         let mut now = SimTime::ZERO;
         // Alternate between two regions so runs keep breaking.
         for i in 0..64u64 {
-            let addr = if i % 2 == 0 { i * 8192 } else { 500_000_000 + i * 8192 };
+            let addr = if i % 2 == 0 {
+                i * 8192
+            } else {
+                500_000_000 + i * 8192
+            };
             now = p.submit(now, DiskRequest::write(addr, 8192));
         }
         let done = p.flush_all(now);

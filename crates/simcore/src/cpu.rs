@@ -45,7 +45,10 @@ impl Cpu {
     ///
     /// Panics if `factor` is not strictly positive and finite.
     pub fn with_speed(factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "invalid CPU speed factor");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "invalid CPU speed factor"
+        );
         Cpu {
             busy_until: SimTime::ZERO,
             util: Utilization::new(),

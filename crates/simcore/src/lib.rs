@@ -48,7 +48,10 @@ mod tests {
     fn reexports_are_usable() {
         let mut q: EventQueue<u32> = EventQueue::new();
         q.schedule_at(SimTime::ZERO, 1);
-        assert_eq!(q.pop().map(|(_, e)| e), Some((SimTime::ZERO, 1)).map(|(_, e)| e));
+        assert_eq!(
+            q.pop().map(|(_, e)| e),
+            Some((SimTime::ZERO, 1)).map(|(_, e)| e)
+        );
         let _ = Cpu::new();
         let _ = SimRng::seed_from(42);
     }

@@ -81,7 +81,11 @@ impl<E> EventQueue<E> {
     /// clamped to `now` so time never goes backwards, and the clamp is visible
     /// in debug builds via a debug assertion.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;

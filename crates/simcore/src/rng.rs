@@ -4,10 +4,7 @@
 //! so all stochastic behaviour (SFS operation mix draws, Poisson inter-arrival
 //! times, packet-loss injection, file selection) goes through [`SimRng`], a
 //! small xoshiro256**-based generator seeded explicitly by the experiment
-//! harness.  The `rand` crate is still used by workload code through the
-//! `RngCore` adapter so that distribution helpers remain available.
-
-use rand::RngCore;
+//! harness.
 
 /// A deterministic pseudo-random number generator (xoshiro256**).
 ///
@@ -114,30 +111,19 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        (SimRng::next_u64(self) >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        SimRng::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+impl SimRng {
+    /// Fill `dest` with pseudo-random bytes (used by the randomized test
+    /// drivers that replaced the external property-testing dependency).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
-            chunk.copy_from_slice(&SimRng::next_u64(self).to_le_bytes());
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
         }
         let rem = chunks.into_remainder();
         if !rem.is_empty() {
-            let bytes = SimRng::next_u64(self).to_le_bytes();
+            let bytes = self.next_u64().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

@@ -13,11 +13,15 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 
 /// An absolute instant on the simulated clock, in nanoseconds from run start.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, in nanoseconds.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Duration(u64);
 
 impl SimTime {
@@ -313,8 +317,14 @@ mod tests {
     #[test]
     fn saturating_ops() {
         assert_eq!(SimTime::ZERO - SimTime::from_millis(1), Duration::ZERO);
-        assert_eq!(Duration::from_millis(1).saturating_sub(Duration::from_millis(2)), Duration::ZERO);
-        assert_eq!(SimTime::MAX.saturating_add(Duration::from_millis(1)), SimTime::MAX);
+        assert_eq!(
+            Duration::from_millis(1).saturating_sub(Duration::from_millis(2)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            SimTime::MAX.saturating_add(Duration::from_millis(1)),
+            SimTime::MAX
+        );
         assert_eq!(Duration::MAX.saturating_mul(2), Duration::MAX);
     }
 

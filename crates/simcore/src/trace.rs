@@ -88,7 +88,13 @@ impl Trace {
     }
 
     /// Record an event (no-op when disabled).
-    pub fn record(&mut self, at: SimTime, kind: TraceKind, subject: u64, detail: impl Into<String>) {
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        kind: TraceKind,
+        subject: u64,
+        detail: impl Into<String>,
+    ) {
         if self.enabled {
             self.events.push(TraceEvent {
                 at,
@@ -145,15 +151,28 @@ mod tests {
     #[test]
     fn enabled_trace_keeps_order_and_counts() {
         let mut t = Trace::enabled();
-        t.record(SimTime::from_millis(1), TraceKind::RequestArrived, 1, "8K write");
+        t.record(
+            SimTime::from_millis(1),
+            TraceKind::RequestArrived,
+            1,
+            "8K write",
+        );
         t.record(SimTime::from_millis(2), TraceKind::DataToDisk, 1, "8K");
-        t.record(SimTime::from_millis(3), TraceKind::MetadataToDisk, 1, "inode");
+        t.record(
+            SimTime::from_millis(3),
+            TraceKind::MetadataToDisk,
+            1,
+            "inode",
+        );
         t.record(SimTime::from_millis(4), TraceKind::ReplySent, 1, "");
         assert_eq!(t.events().len(), 4);
         assert_eq!(t.count_of(TraceKind::DataToDisk), 1);
         assert_eq!(t.count_of(TraceKind::Retransmit), 0);
         assert_eq!(
-            t.events_of(TraceKind::RequestArrived).next().unwrap().detail,
+            t.events_of(TraceKind::RequestArrived)
+                .next()
+                .unwrap()
+                .detail,
             "8K write"
         );
     }

@@ -7,9 +7,9 @@ use wg_disk::DiskRequest;
 
 use crate::cluster::cluster_requests;
 use crate::error::FsError;
-use crate::inode::{CachedBlock, FileKind, Inode, InodeNumber};
+use crate::inode::{BlockData, CachedBlock, FileKind, Inode, InodeNumber};
 use crate::params::FsParams;
-use crate::vnode::{FsyncFlags, IoPlan, ReadOutcome, WriteFlags, WriteOutcome};
+use crate::vnode::{FsyncFlags, IoPlan, ReadOutcome, WriteFlags, WriteOutcome, WriteSource};
 
 /// Maximum file-name length accepted (the NFS v2 limit).
 pub const MAX_NAME_LEN: usize = 255;
@@ -349,19 +349,27 @@ impl Ufs {
     // Data path
     // ------------------------------------------------------------------
 
-    /// `VOP_WRITE`: copy `data` into the file at `offset`, allocating blocks
-    /// as needed, and return the I/O the chosen flags require.
-    pub fn write(
+    /// `VOP_WRITE`: copy the source bytes into the file at `offset`,
+    /// allocating blocks as needed, and return the I/O the chosen flags
+    /// require.
+    ///
+    /// The source is anything convertible to a [`WriteSource`]: a byte slice,
+    /// or a fill pattern ([`WriteSource::Fill`]) which is stored per block
+    /// without materialising payload bytes — the zero-copy path the simulated
+    /// file-copy workloads take for every whole-block write.
+    pub fn write<'a>(
         &mut self,
         ino: InodeNumber,
         offset: u64,
-        data: &[u8],
+        data: impl Into<WriteSource<'a>>,
         flags: WriteFlags,
         now_nanos: u64,
     ) -> Result<WriteOutcome, FsError> {
+        let source = data.into();
         self.counters.writes += 1;
         let block_size = self.params.block_size;
         let max_lbn = Inode::max_lbn(&self.params);
+        let data_len = source.len() as u64;
 
         // Validate and plan allocations first (so ENOSPC leaves no partial
         // allocation behind for the common whole-block case).
@@ -370,7 +378,7 @@ impl Ufs {
             if n.kind != FileKind::Regular {
                 return Err(FsError::IsADirectory);
             }
-            if data.is_empty() {
+            if source.is_empty() {
                 return Ok(WriteOutcome {
                     io: IoPlan::empty(),
                     new_size: n.size,
@@ -378,17 +386,16 @@ impl Ufs {
                     allocated: false,
                 });
             }
-            let last_lbn = (offset + data.len() as u64 - 1) / block_size;
+            let last_lbn = (offset + data_len - 1) / block_size;
             if last_lbn > max_lbn {
                 return Err(FsError::FileTooLarge);
             }
         }
 
         let first_lbn = offset / block_size;
-        let last_lbn = (offset + data.len() as u64 - 1) / block_size;
+        let last_lbn = (offset + data_len - 1) / block_size;
 
         let mut allocated = false;
-        let mut touched: Vec<(u64, u64)> = Vec::new(); // (phys, len) extents of this write
 
         // Allocate the indirect block first if this write is the first to
         // need it.
@@ -419,28 +426,57 @@ impl Ufs {
             // Copy the relevant byte range into the cached block.
             let block_start = lbn * block_size;
             let from = offset.max(block_start);
-            let to = (offset + data.len() as u64).min(block_start + block_size);
+            let to = (offset + data_len).min(block_start + block_size);
             let src_from = (from - offset) as usize;
             let src_to = (to - offset) as usize;
             let dst_from = (from - block_start) as usize;
             let dst_to = (to - block_start) as usize;
+            let whole_block = dst_from == 0 && dst_to == block_size as usize;
 
             let n = self.inode_mut(ino)?;
-            let block = n.blocks.entry(lbn).or_insert_with(|| CachedBlock {
-                phys,
-                data: vec![0u8; block_size as usize],
-                dirty: false,
-            });
-            block.phys = phys;
-            block.data[dst_from..dst_to].copy_from_slice(&data[src_from..src_to]);
-            block.dirty = true;
-            touched.push((phys, (to - from).max(0)));
+            match (source, whole_block) {
+                (WriteSource::Fill { byte, .. }, true) => {
+                    // A fill pattern covering the whole block: store the
+                    // pattern itself — no allocation, no copy.
+                    match n.blocks.entry(lbn) {
+                        std::collections::btree_map::Entry::Occupied(mut e) => {
+                            let block = e.get_mut();
+                            block.phys = phys;
+                            block.data = BlockData::Fill(byte);
+                            block.dirty = true;
+                        }
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            e.insert(CachedBlock {
+                                phys,
+                                data: BlockData::Fill(byte),
+                                dirty: true,
+                            });
+                        }
+                    }
+                }
+                _ => {
+                    let block = n.blocks.entry(lbn).or_insert_with(|| CachedBlock {
+                        phys,
+                        data: BlockData::Fill(0),
+                        dirty: false,
+                    });
+                    block.phys = phys;
+                    let bytes = block.data.make_bytes(block_size as usize);
+                    match source {
+                        WriteSource::Bytes(src) => {
+                            bytes[dst_from..dst_to].copy_from_slice(&src[src_from..src_to])
+                        }
+                        WriteSource::Fill { byte, .. } => bytes[dst_from..dst_to].fill(byte),
+                    }
+                    block.dirty = true;
+                }
+            }
         }
 
         // Update size and times.
         let (new_size, mtime_only) = {
             let n = self.inode_mut(ino)?;
-            let end = offset + data.len() as u64;
+            let end = offset + data_len;
             let grew = end > n.size;
             if grew {
                 n.size = end;
@@ -484,7 +520,6 @@ impl Ufs {
             }
         };
 
-        let _ = touched;
         Ok(WriteOutcome {
             io,
             new_size,
@@ -593,7 +628,12 @@ impl Ufs {
     }
 
     /// `VOP_READ`: read up to `len` bytes at `offset`.
-    pub fn read(&mut self, ino: InodeNumber, offset: u64, len: u64) -> Result<ReadOutcome, FsError> {
+    pub fn read(
+        &mut self,
+        ino: InodeNumber,
+        offset: u64,
+        len: u64,
+    ) -> Result<ReadOutcome, FsError> {
         self.counters.reads += 1;
         let block_size = self.params.block_size;
         let n = self.inode_mut(ino)?;
@@ -619,8 +659,7 @@ impl Ufs {
             let dst_to = (to - offset) as usize;
             if let Some(block) = n.blocks.get(&lbn) {
                 let src_from = (from - block_start) as usize;
-                let src_to = (to - block_start) as usize;
-                out[dst_from..dst_to].copy_from_slice(&block.data[src_from..src_to]);
+                block.data.copy_range(src_from, &mut out[dst_from..dst_to]);
             } else if let Some(phys) = n.block_addr(lbn) {
                 // Mapped on disk but not cached: a real server would read it;
                 // report the miss so the caller charges disk latency.  The
@@ -630,7 +669,6 @@ impl Ufs {
             }
             // Unmapped blocks are holes: zeros, no I/O.
         }
-        n.atime_nanos = n.atime_nanos.max(0);
         Ok(ReadOutcome { data: out, misses })
     }
 
@@ -823,14 +861,26 @@ mod tests {
                 .write(g, i * BS, &vec![0u8; BS as usize], WriteFlags::DelayData, i)
                 .unwrap();
         }
-        let mut gathered_ops = gathered.sync_data(g, 0, n_blocks * BS).unwrap().transactions();
-        gathered_ops += gathered.fsync(g, FsyncFlags::MetadataOnly).unwrap().transactions();
+        let mut gathered_ops = gathered
+            .sync_data(g, 0, n_blocks * BS)
+            .unwrap()
+            .transactions();
+        gathered_ops += gathered
+            .fsync(g, FsyncFlags::MetadataOnly)
+            .unwrap()
+            .transactions();
 
-        assert!(standard_ops >= (2 * n_blocks) as usize, "standard {standard_ops}");
+        assert!(
+            standard_ops >= (2 * n_blocks) as usize,
+            "standard {standard_ops}"
+        );
         // 128 KB of data clusters into 3 transfers (the indirect block breaks
         // physical contiguity once at block 12) plus inode + indirect metadata.
         assert!(gathered_ops <= 5, "gathered {gathered_ops}");
-        assert!(gathered_ops * 6 <= standard_ops, "gathered {gathered_ops} vs standard {standard_ops}");
+        assert!(
+            gathered_ops * 6 <= standard_ops,
+            "gathered {gathered_ops} vs standard {standard_ops}"
+        );
     }
 
     #[test]
@@ -873,7 +923,8 @@ mod tests {
         let root = u.root();
         let f = u.create(root, "u", 0o644, 0).unwrap();
         u.write(f, 100, b"hello", WriteFlags::Sync, 1).unwrap();
-        u.write(f, BS - 2, b"spanning", WriteFlags::Sync, 2).unwrap();
+        u.write(f, BS - 2, b"spanning", WriteFlags::Sync, 2)
+            .unwrap();
         let got = u.read(f, 100, 5).unwrap();
         assert_eq!(got.data, b"hello");
         let got = u.read(f, BS - 2, 8).unwrap();
@@ -967,7 +1018,8 @@ mod tests {
         assert!(u.total_block_count() > 0);
         let before_free = u.free_block_count();
         let f = u.create(root, "c", 0o644, 0).unwrap();
-        u.write(f, 0, &vec![0u8; BS as usize], WriteFlags::Sync, 1).unwrap();
+        u.write(f, 0, &vec![0u8; BS as usize], WriteFlags::Sync, 1)
+            .unwrap();
         assert_eq!(u.free_block_count(), before_free - 1);
         let c = u.counters();
         assert_eq!(c.writes, 1);

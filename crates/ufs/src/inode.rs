@@ -25,14 +25,49 @@ pub enum FileKind {
     Directory,
 }
 
+/// Contents of one cached file block.
+///
+/// The zero-copy write datapath stores whole-block fill-pattern writes (the
+/// synthetic-workload case) as a single byte instead of materialising an 8 KB
+/// buffer per block; reads and partial overwrites expand the pattern lazily.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlockData {
+    /// Every byte of the block has this value (no backing allocation).
+    Fill(u8),
+    /// Materialised contents, always exactly one filesystem block long.
+    Bytes(Box<[u8]>),
+}
+
+impl BlockData {
+    /// Copy `out.len()` bytes starting at `from` into `out`.
+    pub fn copy_range(&self, from: usize, out: &mut [u8]) {
+        match self {
+            BlockData::Fill(byte) => out.fill(*byte),
+            BlockData::Bytes(bytes) => out.copy_from_slice(&bytes[from..from + out.len()]),
+        }
+    }
+
+    /// Mutable access to materialised contents, expanding a fill pattern into
+    /// a real `block_size`-byte buffer first if needed.
+    pub fn make_bytes(&mut self, block_size: usize) -> &mut [u8] {
+        if let BlockData::Fill(byte) = *self {
+            *self = BlockData::Bytes(vec![byte; block_size].into_boxed_slice());
+        }
+        match self {
+            BlockData::Bytes(bytes) => bytes,
+            BlockData::Fill(_) => unreachable!("just materialised"),
+        }
+    }
+}
+
 /// One cached file block: its physical disk address, its contents, and
 /// whether it is dirty (written but not yet flushed to the disk).
 #[derive(Clone, Debug)]
 pub struct CachedBlock {
     /// Physical byte address of the block on the device.
     pub phys: u64,
-    /// Block contents (always exactly one filesystem block long).
-    pub data: Vec<u8>,
+    /// Block contents.
+    pub data: BlockData,
     /// `true` if the cached contents have not been written to the device.
     pub dirty: bool,
 }
@@ -86,7 +121,13 @@ pub struct Inode {
 
 impl Inode {
     /// Create a fresh inode.
-    pub fn new(ino: InodeNumber, generation: u32, kind: FileKind, mode: u32, now_nanos: u64) -> Self {
+    pub fn new(
+        ino: InodeNumber,
+        generation: u32,
+        kind: FileKind,
+        mode: u32,
+        now_nanos: u64,
+    ) -> Self {
         Inode {
             ino,
             generation,
@@ -146,11 +187,7 @@ impl Inode {
     /// Number of 512-byte sectors the file occupies (the `blocks` field of
     /// NFS attributes).
     pub fn sectors(&self) -> u64 {
-        let mapped = self
-            .direct
-            .iter()
-            .filter(|b| b.is_some())
-            .count() as u64
+        let mapped = self.direct.iter().filter(|b| b.is_some()).count() as u64
             + self.indirect_map.len() as u64
             + u64::from(self.indirect.is_some());
         mapped * 16 // 8 KB block = 16 sectors
@@ -226,7 +263,7 @@ mod tests {
             3,
             CachedBlock {
                 phys: 100,
-                data: vec![0; 8192],
+                data: BlockData::Fill(0),
                 dirty: true,
             },
         );
@@ -234,11 +271,27 @@ mod tests {
             1,
             CachedBlock {
                 phys: 200,
-                data: vec![0; 8192],
+                data: BlockData::Bytes(vec![0; 8192].into_boxed_slice()),
                 dirty: false,
             },
         );
         assert_eq!(ino.dirty_block_indices(), vec![3]);
+    }
+
+    #[test]
+    fn block_data_fill_materialises_lazily() {
+        let mut data = BlockData::Fill(7);
+        let mut out = [0u8; 4];
+        data.copy_range(100, &mut out);
+        assert_eq!(out, [7u8; 4]);
+        // Still a fill: copy_range must not materialise.
+        assert_eq!(data, BlockData::Fill(7));
+        let bytes = data.make_bytes(8192);
+        assert_eq!(bytes.len(), 8192);
+        bytes[0] = 1;
+        let mut out = [0u8; 2];
+        data.copy_range(0, &mut out);
+        assert_eq!(out, [1, 7]);
     }
 
     #[test]

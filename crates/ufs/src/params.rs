@@ -66,7 +66,7 @@ impl FsParams {
             block_size: 8192,
             cluster_size: 64 * 1024,
             data_capacity: 8192 * 64, // 64 data blocks
-            inode_region_start: 1 * 1024 * 1024,
+            inode_region_start: 1024 * 1024,
             data_region_start: 2 * 1024 * 1024,
             inode_size: 128,
         }
@@ -94,10 +94,7 @@ mod tests {
         let p = FsParams::default();
         assert_eq!(p.inode_block_addr(0), p.inode_block_addr(63));
         assert_ne!(p.inode_block_addr(63), p.inode_block_addr(64));
-        assert_eq!(
-            p.inode_block_addr(64) - p.inode_block_addr(0),
-            p.block_size
-        );
+        assert_eq!(p.inode_block_addr(64) - p.inode_block_addr(0), p.block_size);
     }
 
     #[test]

@@ -78,6 +78,59 @@ impl IoPlan {
     }
 }
 
+/// The data handed to `VOP_WRITE`, without forcing the caller to materialise
+/// synthetic payloads.
+///
+/// The NFS server converts a `wg_nfsproto` payload into a `WriteSource`; the
+/// filesystem stores whole-block fill writes as
+/// [`BlockData::Fill`](crate::inode::BlockData::Fill) so the hot path of a
+/// simulated file copy allocates no payload bytes at all.
+#[derive(Clone, Copy, Debug)]
+pub enum WriteSource<'a> {
+    /// Real bytes to copy into the cache.
+    Bytes(&'a [u8]),
+    /// `len` repetitions of `byte`.
+    Fill {
+        /// The repeated byte value.
+        byte: u8,
+        /// Number of repetitions.
+        len: u64,
+    },
+}
+
+impl WriteSource<'_> {
+    /// Number of bytes the write carries.
+    pub fn len(&self) -> usize {
+        match self {
+            WriteSource::Bytes(b) => b.len(),
+            WriteSource::Fill { len, .. } => *len as usize,
+        }
+    }
+
+    /// `true` if the write carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<'a> From<&'a [u8]> for WriteSource<'a> {
+    fn from(bytes: &'a [u8]) -> Self {
+        WriteSource::Bytes(bytes)
+    }
+}
+
+impl<'a> From<&'a Vec<u8>> for WriteSource<'a> {
+    fn from(bytes: &'a Vec<u8>) -> Self {
+        WriteSource::Bytes(bytes)
+    }
+}
+
+impl<'a, const N: usize> From<&'a [u8; N]> for WriteSource<'a> {
+    fn from(bytes: &'a [u8; N]) -> Self {
+        WriteSource::Bytes(bytes)
+    }
+}
+
 /// The result of a `VOP_WRITE`.
 #[derive(Clone, Debug)]
 pub struct WriteOutcome {

@@ -58,6 +58,87 @@ pub struct SfsPoint {
     pub server_cpu_percent: f64,
 }
 
+/// Minimal hand-rolled JSON emission for the result records.
+///
+/// The build environment has no network access, so the real `serde_json`
+/// cannot be pulled in; the harness binaries instead assemble their machine
+/// readable output from these helpers.
+pub mod json {
+    use super::{FileCopyResult, SfsPoint};
+
+    /// Format an `f64` the way JSON expects (no NaN/inf; stable shortest-ish
+    /// representation is fine for harness output).
+    pub fn number(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// Render a JSON string literal with the escaping RFC 8259 requires
+    /// (quote, backslash, and control characters).
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Render a JSON object from pre-rendered `(key, value)` pairs.
+    pub fn object(fields: &[(&str, String)]) -> String {
+        let body: Vec<String> = fields.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// Render a JSON array from pre-rendered values.
+    pub fn array(values: &[String]) -> String {
+        format!("[{}]", values.join(","))
+    }
+
+    impl FileCopyResult {
+        /// The record as a JSON object string.
+        pub fn to_json(&self) -> String {
+            object(&[
+                ("biods", self.biods.to_string()),
+                (
+                    "client_write_kb_per_sec",
+                    number(self.client_write_kb_per_sec),
+                ),
+                ("server_cpu_percent", number(self.server_cpu_percent)),
+                ("disk_kb_per_sec", number(self.disk_kb_per_sec)),
+                ("disk_trans_per_sec", number(self.disk_trans_per_sec)),
+                ("elapsed_secs", number(self.elapsed_secs)),
+                ("mean_batch_size", number(self.mean_batch_size)),
+                ("retransmissions", self.retransmissions.to_string()),
+            ])
+        }
+    }
+
+    impl SfsPoint {
+        /// The record as a JSON object string.
+        pub fn to_json(&self) -> String {
+            object(&[
+                ("offered_ops_per_sec", number(self.offered_ops_per_sec)),
+                ("achieved_ops_per_sec", number(self.achieved_ops_per_sec)),
+                ("avg_latency_ms", number(self.avg_latency_ms)),
+                ("server_cpu_percent", number(self.server_cpu_percent)),
+            ])
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,7 +168,7 @@ mod tests {
             mean_batch_size: 6.5,
             retransmissions: 0,
         };
-        let json = serde_json::to_string(&r).unwrap();
+        let json = r.to_json();
         assert!(json.contains("\"biods\":7"));
         let p = SfsPoint {
             offered_ops_per_sec: 500.0,
@@ -95,6 +176,10 @@ mod tests {
             avg_latency_ms: 12.0,
             server_cpu_percent: 55.0,
         };
-        assert!(serde_json::to_string(&p).unwrap().contains("480"));
+        assert!(p.to_json().contains("480"));
+        // String escaping covers quotes, backslashes and control characters.
+        assert_eq!(json::string("plain"), "\"plain\"");
+        assert_eq!(json::string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json::string("\u{1}"), "\"\\u0001\"");
     }
 }

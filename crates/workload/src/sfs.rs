@@ -194,6 +194,7 @@ pub struct SfsSystem {
     latency: LatencyStat,
     issued: u64,
     completed: u64,
+    events_processed: u64,
     next_xid: u32,
     created_names: Vec<String>,
     create_counter: u64,
@@ -249,6 +250,7 @@ impl SfsSystem {
             latency: LatencyStat::new(),
             issued: 0,
             completed: 0,
+            events_processed: 0,
             next_xid: 0x2000_0000,
             created_names: Vec::new(),
             create_counter: 0,
@@ -317,14 +319,15 @@ impl SfsSystem {
                 for i in (1..burst_len).rev() {
                     let offset = start + i * chunk;
                     let fill = (offset / chunk) as u8;
-                    self.burst_queue.push(NfsCallBody::Write(WriteArgs::new(
+                    self.burst_queue.push(NfsCallBody::Write(WriteArgs::fill(
                         fh,
                         offset as u32,
-                        vec![fill; chunk as usize],
+                        fill,
+                        chunk as u32,
                     )));
                 }
                 let fill = (start / chunk) as u8;
-                NfsCallBody::Write(WriteArgs::new(fh, start as u32, vec![fill; chunk as usize]))
+                NfsCallBody::Write(WriteArgs::fill(fh, start as u32, fill, chunk as u32))
             }
             OpKind::Getattr => {
                 let (_, fh, _) = self.pick_file();
@@ -378,16 +381,22 @@ impl SfsSystem {
 
     /// Run the measurement and produce one figure point.
     pub fn run(&mut self) -> SfsPoint {
+        self.events_processed = 0;
         let mean_gap = 1.0 / self.config.offered_ops_per_sec.max(1e-9);
         self.queue.schedule_at(
             SimTime::ZERO + Duration::from_secs_f64(self.rng.exponential(mean_gap)),
             Ev::NextArrival,
         );
         let end = SimTime::ZERO + self.config.duration;
-        let mut safety = 0u64;
+        // Scratch buffer reused across every server event (see
+        // `FileCopySystem::run` for the same pattern on the copy loop).
+        let mut server_actions: Vec<ServerAction> = Vec::new();
         while let Some((t, ev)) = self.queue.pop() {
-            safety += 1;
-            assert!(safety < 100_000_000, "runaway SFS simulation");
+            self.events_processed += 1;
+            assert!(
+                self.events_processed < 100_000_000,
+                "runaway SFS simulation"
+            );
             match ev {
                 Ev::NextArrival => {
                     if t < end {
@@ -416,8 +425,8 @@ impl SfsSystem {
                     }
                 }
                 Ev::Server(input) => {
-                    let actions = self.server.handle(t, input);
-                    for action in actions {
+                    self.server.handle_into(t, input, &mut server_actions);
+                    for action in server_actions.drain(..) {
                         match action {
                             ServerAction::Wakeup { at, token } => {
                                 self.queue
@@ -459,6 +468,16 @@ impl SfsSystem {
     /// Operations issued and completed.
     pub fn counts(&self) -> (u64, u64) {
         (self.issued, self.completed)
+    }
+
+    /// Number of events processed by the most recent [`SfsSystem::run`].
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Total events ever scheduled on the system's event queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.queue.scheduled_total()
     }
 }
 
@@ -517,7 +536,11 @@ mod tests {
         // Nearly everything issued completes at light load.
         assert!(completed as f64 >= issued as f64 * 0.95);
         assert!(point.achieved_ops_per_sec > 80.0);
-        assert!(point.avg_latency_ms < 50.0, "latency {}", point.avg_latency_ms);
+        assert!(
+            point.avg_latency_ms < 50.0,
+            "latency {}",
+            point.avg_latency_ms
+        );
         assert!(point.server_cpu_percent < 60.0);
     }
 

@@ -104,6 +104,7 @@ pub struct FileCopySystem {
     queue: EventQueue<Ev>,
     completed_at: Option<SimTime>,
     started_at: SimTime,
+    events_processed: u64,
 }
 
 impl FileCopySystem {
@@ -155,47 +156,73 @@ impl FileCopySystem {
             queue: EventQueue::new(),
             completed_at: None,
             started_at: SimTime::ZERO,
+            events_processed: 0,
             client,
             server,
             config,
         }
     }
 
+    /// Number of events processed by the most recent [`FileCopySystem::run`].
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Total events ever scheduled on the system's event queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.queue.scheduled_total()
+    }
+
+    /// Upper bound on events one copy may process before the run is declared
+    /// runaway.  A 10 MB copy needs ~13 k events, so this is four orders of
+    /// magnitude of headroom; hitting it means the system is re-scheduling
+    /// work without making progress (e.g. a retransmission storm that never
+    /// converges), not that the experiment is merely large.
+    const MAX_EVENTS: u64 = 50_000_000;
+
     /// Run the copy to completion and return the table-cell result.
+    ///
+    /// The loop drains the queue fully: after the client completes, the only
+    /// remaining events are bounded housekeeping wake-ups (nfsd-free timers,
+    /// gather continuations), and letting them run keeps the server's final
+    /// statistics consistent.  Action buffers are allocated once and reused
+    /// for every event, so the steady-state loop performs no per-event
+    /// allocation.
     pub fn run(&mut self) -> FileCopyResult {
-        self.queue.schedule_at(SimTime::ZERO, Ev::Client(ClientInput::Start));
-        let mut safety = 0u64;
+        self.events_processed = 0;
+        self.queue
+            .schedule_at(SimTime::ZERO, Ev::Client(ClientInput::Start));
+        let mut client_actions: Vec<ClientAction> = Vec::new();
+        let mut server_actions: Vec<ServerAction> = Vec::new();
         while let Some((t, ev)) = self.queue.pop() {
-            safety += 1;
-            assert!(
-                safety < 50_000_000,
-                "runaway simulation: {} events without completion",
-                safety
-            );
+            self.events_processed += 1;
+            if self.events_processed >= Self::MAX_EVENTS {
+                panic!(
+                    "runaway simulation: {} events without draining \
+                     (simulated time {t:?}, client done: {}, {} events still queued, \
+                     {} scheduled in total)",
+                    self.events_processed,
+                    self.completed_at.is_some(),
+                    self.queue.len(),
+                    self.queue.scheduled_total(),
+                );
+            }
             match ev {
                 Ev::Client(input) => {
-                    let actions = self.client.handle(t, input);
-                    self.apply_client_actions(actions);
+                    self.client.handle_into(t, input, &mut client_actions);
+                    self.apply_client_actions(&mut client_actions);
                 }
                 Ev::Server(input) => {
-                    let actions = self.server.handle(t, input);
-                    self.apply_server_actions(actions);
+                    self.server.handle_into(t, input, &mut server_actions);
+                    self.apply_server_actions(&mut server_actions);
                 }
-            }
-            if self.completed_at.is_some() && self.queue.is_empty() {
-                break;
-            }
-            if self.completed_at.is_some() {
-                // Once the client is done the only remaining events are
-                // housekeeping wake-ups; let them drain (they are bounded).
-                continue;
             }
         }
         self.result()
     }
 
-    fn apply_client_actions(&mut self, actions: Vec<ClientAction>) {
-        for action in actions {
+    fn apply_client_actions(&mut self, actions: &mut Vec<ClientAction>) {
+        for action in actions.drain(..) {
             match action {
                 ClientAction::Send { at, call } => {
                     let size = call.wire_size();
@@ -216,7 +243,8 @@ impl FileCopySystem {
                     }
                 }
                 ClientAction::Wakeup { at, token } => {
-                    self.queue.schedule_at(at, Ev::Client(ClientInput::Wakeup { token }));
+                    self.queue
+                        .schedule_at(at, Ev::Client(ClientInput::Wakeup { token }));
                 }
                 ClientAction::Completed { at } => {
                     self.completed_at = Some(at);
@@ -225,11 +253,12 @@ impl FileCopySystem {
         }
     }
 
-    fn apply_server_actions(&mut self, actions: Vec<ServerAction>) {
-        for action in actions {
+    fn apply_server_actions(&mut self, actions: &mut Vec<ServerAction>) {
+        for action in actions.drain(..) {
             match action {
                 ServerAction::Wakeup { at, token } => {
-                    self.queue.schedule_at(at, Ev::Server(ServerInput::Wakeup { token }));
+                    self.queue
+                        .schedule_at(at, Ev::Server(ServerInput::Wakeup { token }));
                 }
                 ServerAction::Reply { at, reply, .. } => {
                     let size = reply.wire_size();
@@ -248,7 +277,11 @@ impl FileCopySystem {
     fn result(&self) -> FileCopyResult {
         let completed = self.completed_at.unwrap_or(self.queue.now());
         let elapsed = completed.since(self.started_at);
-        let elapsed = if elapsed.is_zero() { Duration::from_nanos(1) } else { elapsed };
+        let elapsed = if elapsed.is_zero() {
+            Duration::from_nanos(1)
+        } else {
+            elapsed
+        };
         let device = self.server.device_stats();
         FileCopyResult {
             biods: self.config.biods,
@@ -294,7 +327,12 @@ mod tests {
 
     const SMALL: u64 = 1024 * 1024; // 1 MB keeps unit tests quick
 
-    fn run(network: NetworkKind, biods: usize, policy: WritePolicy, presto: bool) -> FileCopyResult {
+    fn run(
+        network: NetworkKind,
+        biods: usize,
+        policy: WritePolicy,
+        presto: bool,
+    ) -> FileCopyResult {
         run_cell(
             ExperimentConfig::new(network, biods, policy)
                 .with_presto(presto)
@@ -305,7 +343,8 @@ mod tests {
     #[test]
     fn copy_completes_and_data_is_intact() {
         let mut system = FileCopySystem::new(
-            ExperimentConfig::new(NetworkKind::Fddi, 4, WritePolicy::Gathering).with_file_size(SMALL),
+            ExperimentConfig::new(NetworkKind::Fddi, 4, WritePolicy::Gathering)
+                .with_file_size(SMALL),
         );
         let result = system.run();
         assert!(result.client_write_kb_per_sec > 0.0);

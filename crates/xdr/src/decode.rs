@@ -146,7 +146,10 @@ mod tests {
         let mut d = XdrDecoder::new(&[0, 0]);
         assert!(matches!(
             d.get_u32(),
-            Err(XdrError::UnexpectedEof { wanted: 4, available: 2 })
+            Err(XdrError::UnexpectedEof {
+                wanted: 4,
+                available: 2
+            })
         ));
     }
 
@@ -166,7 +169,10 @@ mod tests {
         e.put_u32(0);
         let bytes = e.into_bytes();
         let mut d = XdrDecoder::new(&bytes);
-        assert!(matches!(d.get_opaque(), Err(XdrError::LengthTooLarge { claimed: 1000, .. })));
+        assert!(matches!(
+            d.get_opaque(),
+            Err(XdrError::LengthTooLarge { claimed: 1000, .. })
+        ));
     }
 
     #[test]

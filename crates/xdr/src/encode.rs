@@ -18,7 +18,9 @@ impl XdrEncoder {
     /// Create an encoder with pre-allocated capacity (useful for 8 KB write
     /// payloads).
     pub fn with_capacity(cap: usize) -> Self {
-        XdrEncoder { buf: Vec::with_capacity(cap) }
+        XdrEncoder {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Bytes written so far.
@@ -80,6 +82,15 @@ impl XdrEncoder {
         self.put_opaque_fixed(data);
     }
 
+    /// Append variable-length opaque data consisting of `len` repetitions of
+    /// one byte, without the caller having to materialise a buffer (the
+    /// zero-copy write path encodes fill payloads this way).
+    pub fn put_opaque_fill(&mut self, byte: u8, len: usize) {
+        self.put_u32(len as u32);
+        self.buf.resize(self.buf.len() + len, byte);
+        self.pad_to_boundary(len);
+    }
+
     /// Append a string (variable-length opaque holding UTF-8 bytes).
     pub fn put_string(&mut self, s: &str) {
         self.put_opaque(s.as_bytes());
@@ -110,7 +121,10 @@ mod tests {
         assert_eq!(e.as_bytes(), &[1, 2, 3, 4, 5, 6, 7, 8]);
         let mut e = XdrEncoder::new();
         e.put_i64(-2);
-        assert_eq!(e.as_bytes(), &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xfe]);
+        assert_eq!(
+            e.as_bytes(),
+            &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xfe]
+        );
     }
 
     #[test]
@@ -143,6 +157,17 @@ mod tests {
             e.as_bytes(),
             &[0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, b'o', b'k', 0, 0]
         );
+    }
+
+    #[test]
+    fn opaque_fill_matches_materialised_encoding() {
+        for len in [0usize, 1, 3, 4, 5, 8192] {
+            let mut fill = XdrEncoder::new();
+            fill.put_opaque_fill(0xAB, len);
+            let mut plain = XdrEncoder::new();
+            plain.put_opaque(&vec![0xAB; len]);
+            assert_eq!(fill.as_bytes(), plain.as_bytes(), "len {len}");
+        }
     }
 
     #[test]

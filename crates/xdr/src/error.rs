@@ -43,13 +43,19 @@ impl fmt::Display for XdrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             XdrError::UnexpectedEof { wanted, available } => {
-                write!(f, "unexpected end of XDR stream: wanted {wanted} bytes, {available} available")
+                write!(
+                    f,
+                    "unexpected end of XDR stream: wanted {wanted} bytes, {available} available"
+                )
             }
             XdrError::InvalidBool(v) => write!(f, "invalid XDR boolean value {v}"),
             XdrError::InvalidUtf8 => write!(f, "XDR string is not valid UTF-8"),
             XdrError::NonZeroPadding => write!(f, "non-zero bytes in XDR padding"),
             XdrError::LengthTooLarge { claimed, remaining } => {
-                write!(f, "XDR length {claimed} exceeds remaining stream size {remaining}")
+                write!(
+                    f,
+                    "XDR length {claimed} exceeds remaining stream size {remaining}"
+                )
             }
             XdrError::InvalidEnum { type_name, value } => {
                 write!(f, "invalid discriminant {value} for XDR enum {type_name}")
@@ -67,14 +73,25 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = XdrError::UnexpectedEof { wanted: 8, available: 3 };
+        let e = XdrError::UnexpectedEof {
+            wanted: 8,
+            available: 3,
+        };
         assert!(e.to_string().contains("wanted 8"));
         assert!(XdrError::InvalidBool(7).to_string().contains('7'));
-        assert!(XdrError::InvalidEnum { type_name: "NfsStatus", value: 42 }
-            .to_string()
-            .contains("NfsStatus"));
+        assert!(XdrError::InvalidEnum {
+            type_name: "NfsStatus",
+            value: 42
+        }
+        .to_string()
+        .contains("NfsStatus"));
         assert!(XdrError::TrailingBytes(4).to_string().contains('4'));
-        assert!(XdrError::LengthTooLarge { claimed: 10, remaining: 2 }.to_string().contains("10"));
+        assert!(XdrError::LengthTooLarge {
+            claimed: 10,
+            remaining: 2
+        }
+        .to_string()
+        .contains("10"));
         assert!(XdrError::NonZeroPadding.to_string().contains("padding"));
         assert!(XdrError::InvalidUtf8.to_string().contains("UTF-8"));
     }

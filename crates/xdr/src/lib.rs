@@ -136,13 +136,28 @@ impl<T: XdrDecode> XdrDecode for Vec<T> {
         // Guard against absurd lengths from corrupted input: each element
         // consumes at least 4 bytes of the remaining stream.
         if n > dec.remaining() / 4 + 1 {
-            return Err(XdrError::LengthTooLarge { claimed: n, remaining: dec.remaining() });
+            return Err(XdrError::LengthTooLarge {
+                claimed: n,
+                remaining: dec.remaining(),
+            });
         }
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(T::decode(dec)?);
         }
         Ok(out)
+    }
+}
+
+impl<T: XdrEncode> XdrEncode for std::sync::Arc<T> {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        (**self).encode(enc);
+    }
+}
+
+impl<T: XdrDecode> XdrDecode for std::sync::Arc<T> {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(std::sync::Arc::new(T::decode(dec)?))
     }
 }
 

@@ -17,10 +17,22 @@ fn main() {
     let result = system.run();
 
     println!("write gathering quickstart (2 MB copy, FDDI, 4 biods)");
-    println!("  client write speed : {:>8.0} KB/s", result.client_write_kb_per_sec);
-    println!("  server CPU         : {:>8.1} %", result.server_cpu_percent);
-    println!("  disk throughput    : {:>8.0} KB/s", result.disk_kb_per_sec);
-    println!("  disk transactions  : {:>8.1} /s", result.disk_trans_per_sec);
+    println!(
+        "  client write speed : {:>8.0} KB/s",
+        result.client_write_kb_per_sec
+    );
+    println!(
+        "  server CPU         : {:>8.1} %",
+        result.server_cpu_percent
+    );
+    println!(
+        "  disk throughput    : {:>8.0} KB/s",
+        result.disk_kb_per_sec
+    );
+    println!(
+        "  disk transactions  : {:>8.1} /s",
+        result.disk_trans_per_sec
+    );
     println!("  writes per flush   : {:>8.1}", result.mean_batch_size);
     println!("  elapsed (simulated): {:>8.2} s", result.elapsed_secs);
 

@@ -118,7 +118,10 @@ fn no_reply_precedes_its_stable_storage_commit() {
                 seen_commit = true;
             }
             TraceKind::ReplySent => {
-                assert!(seen_commit, "a reply was sent before any data was committed");
+                assert!(
+                    seen_commit,
+                    "a reply was sent before any data was committed"
+                );
                 assert!(
                     event.at >= last_commit,
                     "reply at {:?} precedes the latest commit at {:?}",
@@ -179,5 +182,8 @@ fn gathered_replies_share_one_mtime() {
         }
     }
     assert_eq!(mtimes.len(), 8);
-    assert!(mtimes.windows(2).all(|w| w[0] == w[1]), "mtimes differ: {mtimes:?}");
+    assert!(
+        mtimes.windows(2).all(|w| w[0] == w[1]),
+        "mtimes differ: {mtimes:?}"
+    );
 }

@@ -1,0 +1,40 @@
+//! Golden-output test: the rendered Table 1 (at a reduced file size) must be
+//! byte-identical to the checked-in snapshot.
+//!
+//! The zero-copy write datapath is a pure wall-clock optimisation; it must
+//! not perturb a single simulated number.  This test pins every rendered cell
+//! of a full Table 1 sweep (both policies, all five biod columns) so any
+//! accidental behaviour change in the payload representation, the wire-size
+//! accounting or the event loop shows up as a diff against the snapshot
+//! captured before the refactor.
+//!
+//! To regenerate after an *intentional* simulation change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --release -p wg-apps --test golden_tables
+//! ```
+
+use wg_bench::{run_table, table_spec};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/table1_1mb.txt"
+);
+const FILE_SIZE: u64 = 1024 * 1024;
+
+#[test]
+fn table1_reduced_render_matches_golden() {
+    let spec = table_spec(1).expect("table 1 exists");
+    let rendered = run_table(spec, FILE_SIZE).render();
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden snapshot");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden snapshot missing; run with GOLDEN_REGEN=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "Table 1 render drifted from the golden snapshot; if the simulation \
+         change is intentional, regenerate with GOLDEN_REGEN=1"
+    );
+}

@@ -3,7 +3,6 @@
 //! rejected without panics, and the duplicate request cache interacts
 //! correctly with retransmitted wire messages.
 
-use proptest::prelude::*;
 use wg_nfsproto::{
     CreateArgs, DirOpArgs, Fattr, FileHandle, GetattrArgs, NfsCall, NfsCallBody, NfsReply,
     NfsReplyBody, NfsStatus, ReadArgs, ReadOk, Sattr, SetattrArgs, StatusReply, WireMessage,
@@ -61,16 +60,22 @@ fn a_full_conversation_round_trips_over_the_wire() {
 
     let replies = vec![
         NfsReply::new(Xid(1), NfsReplyBody::Null),
-        NfsReply::new(Xid(3), NfsReplyBody::Attr(StatusReply::Ok(Fattr::default()))),
+        NfsReply::new(
+            Xid(3),
+            NfsReplyBody::Attr(StatusReply::Ok(Fattr::default())),
+        ),
         NfsReply::new(
             Xid(4),
             NfsReplyBody::Read(StatusReply::Ok(ReadOk {
                 attributes: Fattr::default(),
-                data: vec![0xAA; 8192],
+                data: vec![0xAA; 8192].into(),
             })),
         ),
         NfsReply::new(Xid(9), NfsReplyBody::Status(NfsStatus::Stale)),
-        NfsReply::new(Xid(10), NfsReplyBody::Attr(StatusReply::Err(NfsStatus::NoSpc))),
+        NfsReply::new(
+            Xid(10),
+            NfsReplyBody::Attr(StatusReply::Err(NfsStatus::NoSpc)),
+        ),
     ];
     for reply in replies {
         let parsed = NfsReply::from_wire(&reply.to_wire()).expect("valid reply");
@@ -113,25 +118,29 @@ fn retransmitted_wire_messages_are_recognised_by_the_dup_cache() {
     assert_eq!(cache.lookup(1, retrans.xid), DupState::InProgress);
     // After completion the cached reply is replayed, byte-identical on the
     // wire.
-    let reply = NfsReply::new(parsed.xid, NfsReplyBody::Attr(StatusReply::Ok(Fattr::default())));
-    cache.complete(1, parsed.xid, reply.clone());
+    let reply = NfsReply::new(
+        parsed.xid,
+        NfsReplyBody::Attr(StatusReply::Ok(Fattr::default())),
+    );
+    cache.complete(1, parsed.xid, std::sync::Arc::new(reply.clone()));
     match cache.lookup(1, retrans.xid) {
         DupState::Done(cached) => assert_eq!(cached.to_wire(), reply.to_wire()),
         other => panic!("expected Done, got {other:?}"),
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Arbitrary byte strings never panic the parsers and are (almost always)
-    /// rejected; flipping bytes of a valid message never panics either.
-    #[test]
-    fn malformed_wire_input_is_rejected_safely(
-        garbage in proptest::collection::vec(any::<u8>(), 0..600),
-        flip_at in 0usize..100,
-        flip_to in any::<u8>(),
-    ) {
+/// Arbitrary byte strings never panic the parsers and are (almost always)
+/// rejected; flipping bytes of a valid message never panics either.
+///
+/// A deterministic seeded driver replaces the original `proptest` strategy
+/// (the build environment is offline); the property checked is unchanged.
+#[test]
+fn malformed_wire_input_is_rejected_safely() {
+    let mut rng = wg_simcore::SimRng::seed_from(0xBAD_F00D);
+    for _ in 0..128 {
+        let len = rng.next_below(600) as usize;
+        let mut garbage = vec![0u8; len];
+        rng.fill_bytes(&mut garbage);
         let msg = WireMessage { bytes: garbage };
         let _ = NfsCall::from_wire(&msg);
         let _ = NfsReply::from_wire(&msg);
@@ -141,21 +150,28 @@ proptest! {
             NfsCallBody::Write(WriteArgs::new(fh(1), 0, vec![3; 64])),
         );
         let mut wire = call.to_wire();
-        let idx = flip_at % wire.bytes.len();
-        wire.bytes[idx] = flip_to;
+        let idx = (rng.next_below(100) as usize) % wire.bytes.len();
+        wire.bytes[idx] = rng.next_below(256) as u8;
         // Must not panic; may or may not decode depending on which byte moved.
         let _ = NfsCall::from_wire(&wire);
     }
+}
 
-    /// Round-tripping write calls preserves offset and payload exactly.
-    #[test]
-    fn write_calls_roundtrip(
-        offset in 0u32..16_000_000u32,
-        xid in any::<u32>(),
-        data in proptest::collection::vec(any::<u8>(), 1..(NFS_MAXDATA as usize)),
-    ) {
-        let call = NfsCall::new(Xid(xid), NfsCallBody::Write(WriteArgs::new(fh(7), offset, data)));
+/// Round-tripping write calls preserves offset and payload exactly.
+#[test]
+fn write_calls_roundtrip() {
+    let mut rng = wg_simcore::SimRng::seed_from(0xC0FFEE);
+    for _ in 0..128 {
+        let offset = rng.next_below(16_000_000) as u32;
+        let xid = rng.next_u64() as u32;
+        let len = 1 + rng.next_below(NFS_MAXDATA as u64 - 1) as usize;
+        let mut data = vec![0u8; len];
+        rng.fill_bytes(&mut data);
+        let call = NfsCall::new(
+            Xid(xid),
+            NfsCallBody::Write(WriteArgs::new(fh(7), offset, data)),
+        );
         let back = NfsCall::from_wire(&call.to_wire()).unwrap();
-        prop_assert_eq!(back, call);
+        assert_eq!(back, call);
     }
 }

@@ -27,7 +27,10 @@ fn run_lossy(
     server_cfg.policy = policy;
     let mut server = NfsServer::new(server_cfg);
     let root = server.fs().root();
-    let ino = server.fs_mut().create(root, "lossy-target", 0o644, 0).unwrap();
+    let ino = server
+        .fs_mut()
+        .create(root, "lossy-target", 0o644, 0)
+        .unwrap();
     let handle = server.handle_for_ino(ino).unwrap();
 
     let client_cfg = ClientConfig {
@@ -108,8 +111,15 @@ fn lossy_network_is_survived_by_retransmission() {
         assert!(client.is_done());
         assert!(dropped > 0, "the loss injector never fired");
         let stats = client.stats();
-        assert!(stats.retransmissions > 0, "{policy:?}: no retransmissions despite loss");
-        assert_eq!(stats.bytes_acked, 256 * 1024, "{policy:?}: data went missing");
+        assert!(
+            stats.retransmissions > 0,
+            "{policy:?}: no retransmissions despite loss"
+        );
+        assert_eq!(
+            stats.bytes_acked,
+            256 * 1024,
+            "{policy:?}: data went missing"
+        );
         // The file is complete and correct on the server despite duplicates
         // and losses.
         let mut fs = server.fs().clone();
@@ -118,7 +128,10 @@ fn lossy_network_is_survived_by_retransmission() {
         assert_eq!(fs.getattr(ino).unwrap().size, 256 * 1024);
         for block in 0..(256 / 8) as u64 {
             let data = fs.read(ino, block * 8192, 8192).unwrap().data;
-            assert!(data.iter().all(|&b| b == block as u8), "block {block} corrupt");
+            assert!(
+                data.iter().all(|&b| b == block as u8),
+                "block {block} corrupt"
+            );
         }
         assert_eq!(server.uncommitted_bytes(), 0);
     }
@@ -137,9 +150,21 @@ fn duplicate_requests_from_retransmission_are_absorbed() {
     // server executed: replies may exceed the block count only because cached
     // replies were replayed to late retransmissions, never because a write was
     // executed twice.
-    assert_eq!(server.fs().clone().getattr(
-        server.fs().clone().lookup(server.fs().root(), "lossy-target").unwrap()
-    ).unwrap().size, 128 * 1024);
+    assert_eq!(
+        server
+            .fs()
+            .clone()
+            .getattr(
+                server
+                    .fs()
+                    .clone()
+                    .lookup(server.fs().root(), "lossy-target")
+                    .unwrap()
+            )
+            .unwrap()
+            .size,
+        128 * 1024
+    );
     assert!(replies >= 16, "at least one reply per block");
     let _ = dupes;
 }
@@ -216,7 +241,10 @@ fn tiny_socket_buffer_forces_drops_and_recovery() {
         }
     }
     assert!(client.is_done());
-    assert!(server.socket_drops() > 0, "the tiny buffer never overflowed");
+    assert!(
+        server.socket_drops() > 0,
+        "the tiny buffer never overflowed"
+    );
     assert!(client.stats().retransmissions > 0);
     assert_eq!(client.stats().bytes_acked, 256 * 1024);
     assert_eq!(server.uncommitted_bytes(), 0);

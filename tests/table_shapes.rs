@@ -10,7 +10,13 @@ use wg_workload::{system::run_cell, ExperimentConfig, FileCopyResult, NetworkKin
 
 const FILE: u64 = 2 * 1024 * 1024;
 
-fn cell(network: NetworkKind, biods: usize, policy: WritePolicy, presto: bool, spindles: usize) -> FileCopyResult {
+fn cell(
+    network: NetworkKind,
+    biods: usize,
+    policy: WritePolicy,
+    presto: bool,
+    spindles: usize,
+) -> FileCopyResult {
     run_cell(
         ExperimentConfig::new(network, biods, policy)
             .with_presto(presto)
@@ -95,7 +101,10 @@ fn presto_gathering_saves_cpu_per_byte() {
     let without = cell(NetworkKind::Ethernet, 7, WritePolicy::Standard, true, 1);
     let with = cell(NetworkKind::Ethernet, 7, WritePolicy::Gathering, true, 1);
     assert!(
-        without.client_write_kb_per_sec > cell(NetworkKind::Ethernet, 7, WritePolicy::Standard, false, 1).client_write_kb_per_sec * 2.0,
+        without.client_write_kb_per_sec
+            > cell(NetworkKind::Ethernet, 7, WritePolicy::Standard, false, 1)
+                .client_write_kb_per_sec
+                * 2.0,
         "Prestoserve should transform the baseline"
     );
     let cpu_per_kb_without = without.server_cpu_percent / without.client_write_kb_per_sec;

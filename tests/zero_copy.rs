@@ -1,0 +1,67 @@
+//! Zero-copy datapath probes.
+//!
+//! The client's synthetic writes are fill-pattern [`wg_nfsproto::Payload`]s.
+//! If any stage of the datapath — client send, socket buffer, duplicate
+//! request cache, gathering queue, UFS block cache — falls back to real
+//! bytes, it must call `Payload::materialize`, which bumps a global counter.
+//! These tests pin the counter at zero across whole simulated runs, which is
+//! the "no per-write payload byte allocation" guarantee of the zero-copy
+//! refactor.
+//!
+//! Each probe lives in this dedicated integration binary so no unrelated
+//! test in the same process can touch the counter concurrently.
+
+use wg_nfsproto::payload::materialize_count;
+use wg_server::WritePolicy;
+use wg_workload::{ExperimentConfig, FileCopySystem, NetworkKind};
+
+#[test]
+fn file_copy_never_materializes_fill_payloads() {
+    let before = materialize_count();
+    // Every policy exercises a different server path (sync commit, delayed
+    // data + gathered flush, first-write latency window, async): none may
+    // expand a fill payload into bytes.
+    for policy in [
+        WritePolicy::Standard,
+        WritePolicy::Gathering,
+        WritePolicy::FirstWriteLatency,
+        WritePolicy::DangerousAsync,
+    ] {
+        let mut system = FileCopySystem::new(
+            ExperimentConfig::new(NetworkKind::Fddi, 15, policy).with_file_size(1024 * 1024),
+        );
+        let result = system.run();
+        assert!(
+            result.client_write_kb_per_sec > 0.0,
+            "{policy:?} produced no throughput"
+        );
+    }
+    assert_eq!(
+        materialize_count(),
+        before,
+        "a fill payload was materialised somewhere on the write datapath"
+    );
+}
+
+#[test]
+fn fill_payload_data_still_lands_in_the_filesystem() {
+    // Zero materialisation must not mean zero data: the fill patterns have to
+    // be readable back out of the UFS block cache, byte for byte.
+    let before = materialize_count();
+    let mut system = FileCopySystem::new(
+        ExperimentConfig::new(NetworkKind::Fddi, 4, WritePolicy::Gathering)
+            .with_file_size(256 * 1024),
+    );
+    system.run();
+    assert_eq!(materialize_count(), before);
+    let mut fs = system.server().fs().clone();
+    let root = fs.root();
+    let ino = fs.lookup(root, "copy-target").unwrap();
+    for block in [0u64, 7, 31] {
+        let data = fs.read(ino, block * 8192, 8192).unwrap().data;
+        assert!(
+            data.iter().all(|&b| b == block as u8),
+            "block {block} corrupted"
+        );
+    }
+}

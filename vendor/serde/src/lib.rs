@@ -1,0 +1,17 @@
+//! Offline stub of `serde`.
+//!
+//! See `vendor/serde_derive` for why this exists.  [`Serialize`] and
+//! [`Deserialize`] are blanket-implemented marker traits so that generic
+//! bounds written against the real serde keep compiling; the derive macros
+//! are re-exported no-ops.  Nothing here can actually serialize a value —
+//! JSON emission in this workspace is hand-rolled where it is needed.
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

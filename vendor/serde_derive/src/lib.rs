@@ -1,0 +1,23 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The container this repository builds in has no access to crates.io, so the
+//! real `serde` cannot be vendored.  The simulation only ever *annotates*
+//! types with `#[derive(serde::Serialize, serde::Deserialize)]`; the handful
+//! of places that actually emit JSON do so by hand (see
+//! `wg_workload::results::json`).  These derive macros therefore expand to
+//! nothing: the annotation stays source-compatible with the real serde, and
+//! swapping the stub for the real crate later is a one-line Cargo.toml change.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
