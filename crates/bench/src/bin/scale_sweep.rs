@@ -1,0 +1,149 @@
+//! Multi-client scale-out sweep: clients × per-client file size, up to a
+//! 1 GB aggregate, against one shared server and medium.
+//!
+//! Each cell runs a [`wg_workload::MultiClientSystem`], verifies the data
+//! landed correctly (every block carries its writer's salted fill byte), and
+//! records wall-clock plus the simulated aggregate/fairness numbers.  The
+//! results are merged into `BENCH_writepath.json` under the `"scale"` key so
+//! the perf trajectory file carries the multi-client story alongside the
+//! single-client cells.
+//!
+//! ```text
+//! cargo run --release -p wg-bench --bin scale_sweep              # full sweep
+//! cargo run --release -p wg-bench --bin scale_sweep -- --smoke   # CI: 2 clients, small files
+//! cargo run --release -p wg-bench --bin scale_sweep -- --out other.json
+//! ```
+
+use std::time::Instant;
+
+use wg_bench::report::upsert_object;
+use wg_server::WritePolicy;
+use wg_workload::results::json;
+use wg_workload::{MultiClientConfig, MultiClientSystem, NetworkKind};
+
+/// One timed sweep cell.
+struct ScaleCell {
+    clients: usize,
+    mb_per_client: u64,
+    wall_ms: f64,
+    events_processed: u64,
+    sim_aggregate_kb_per_sec: f64,
+    sim_fairness: f64,
+    sim_elapsed_secs: f64,
+}
+
+impl ScaleCell {
+    fn name(&self) -> String {
+        format!("c{}_mb{}", self.clients, self.mb_per_client)
+    }
+
+    fn to_json(&self) -> (String, String) {
+        (
+            self.name(),
+            json::object(&[
+                ("clients", self.clients.to_string()),
+                ("mb_per_client", self.mb_per_client.to_string()),
+                ("wall_ms", json::number(self.wall_ms)),
+                ("events_processed", self.events_processed.to_string()),
+                (
+                    "sim_aggregate_kb_per_sec",
+                    json::number(self.sim_aggregate_kb_per_sec),
+                ),
+                ("sim_fairness", json::number(self.sim_fairness)),
+                ("sim_elapsed_secs", json::number(self.sim_elapsed_secs)),
+            ]),
+        )
+    }
+}
+
+fn run_cell(clients: usize, mb_per_client: u64) -> ScaleCell {
+    let start = Instant::now();
+    let mut system = MultiClientSystem::new(
+        MultiClientConfig::new(NetworkKind::Fddi, clients, 4, WritePolicy::Gathering)
+            .with_bytes_per_client(mb_per_client * 1024 * 1024),
+    );
+    let result = system.run();
+    let wall = start.elapsed();
+    assert!(
+        result.completed,
+        "{clients}x{mb_per_client}MB cell did not complete"
+    );
+    system
+        .verify_on_disk()
+        .expect("multi-client data integrity check failed");
+    ScaleCell {
+        clients,
+        mb_per_client,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events_processed: system.events_processed(),
+        sim_aggregate_kb_per_sec: result.aggregate_kb_per_sec,
+        sim_fairness: result.fairness,
+        sim_elapsed_secs: result.elapsed_secs,
+    }
+}
+
+fn parse_list(s: &str) -> Vec<u64> {
+    s.split(',')
+        .map(|v| v.trim().parse().expect("comma-separated numbers"))
+        .collect()
+}
+
+fn main() {
+    let mut out_path = "BENCH_writepath.json".to_string();
+    let mut clients: Vec<u64> = vec![1, 2, 4];
+    let mut mb_per_client: Vec<u64> = vec![64, 256];
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => out_path = iter.next().expect("--out needs a path"),
+            "--smoke" => {
+                clients = vec![2];
+                mb_per_client = vec![1];
+            }
+            "--clients" => {
+                clients = parse_list(&iter.next().expect("--clients needs a list"));
+            }
+            "--mb-per-client" => {
+                mb_per_client = parse_list(&iter.next().expect("--mb-per-client needs a list"));
+            }
+            other => panic!(
+                "unknown argument {other}; use --smoke, --out PATH, \
+                 --clients A,B,C, --mb-per-client A,B,C"
+            ),
+        }
+    }
+
+    let mut cells = Vec::new();
+    for &c in &clients {
+        for &mb in &mb_per_client {
+            let aggregate_mb = c * mb;
+            if aggregate_mb > 1024 {
+                println!("skipping {c} clients x {mb} MB ({aggregate_mb} MB aggregate > 1 GB cap)");
+                continue;
+            }
+            let cell = run_cell(c as usize, mb);
+            println!(
+                "{:<12} {:>9.1} ms wall   {:>9} events   sim {:>8.0} KB/s aggregate   \
+                 fairness {:.3}   {:>7.1} sim-secs",
+                cell.name(),
+                cell.wall_ms,
+                cell.events_processed,
+                cell.sim_aggregate_kb_per_sec,
+                cell.sim_fairness,
+                cell.sim_elapsed_secs,
+            );
+            cells.push(cell);
+        }
+    }
+
+    let fields: Vec<(String, String)> = cells.iter().map(|c| c.to_json()).collect();
+    let borrowed: Vec<(&str, String)> = fields
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.clone()))
+        .collect();
+    let scale = json::object(&borrowed);
+    let previous = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let report = upsert_object(&previous, "scale", &scale);
+    std::fs::write(&out_path, report).expect("write report");
+    println!("wrote {out_path}");
+}

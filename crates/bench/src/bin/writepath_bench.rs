@@ -17,6 +17,7 @@
 
 use std::time::Instant;
 
+use wg_bench::report::extract_object;
 use wg_server::WritePolicy;
 use wg_workload::results::json;
 use wg_workload::sfs::SfsSystem;
@@ -116,31 +117,6 @@ fn cells_json(cells: &[CellMeasurement]) -> String {
     json::object(&fields)
 }
 
-/// Extract the `"baseline"` object (including its braces) from a previously
-/// written report, if present.  Hand-rolled because the build environment has
-/// no JSON parsing dependency; the file format is produced solely by this
-/// binary, so a brace-matching scan is reliable.
-fn extract_baseline(text: &str) -> Option<String> {
-    let key = "\"baseline\":";
-    let at = text.find(key)? + key.len();
-    let rest = &text[at..];
-    let open = rest.find('{')?;
-    let mut depth = 0usize;
-    for (i, b) in rest.bytes().enumerate().skip(open) {
-        match b {
-            b'{' => depth += 1,
-            b'}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(rest[open..=i].to_string());
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
 /// Pull `"wall_ms":<number>` for a named cell out of a baseline object.
 fn baseline_wall_ms(baseline: &str, cell: &str) -> Option<f64> {
     let at = baseline.find(&format!("\"{cell}\":"))?;
@@ -181,16 +157,23 @@ fn main() {
         );
     }
 
+    let previous = std::fs::read_to_string(&out_path).unwrap_or_default();
+    // The `scale_sweep` binary merges its results into the same file; carry
+    // them across a rewrite.
+    let scale = extract_object(&previous, "scale");
     let report = if record_baseline {
-        json::object(&[
+        let mut fields = vec![
             ("bench", "\"writepath\"".to_string()),
             ("file_mb", file_mb.to_string()),
             ("sfs_secs", sfs_secs.to_string()),
             ("baseline", cells_json(&cells)),
-        ])
+        ];
+        if let Some(scale) = scale {
+            fields.push(("scale", scale));
+        }
+        json::object(&fields)
     } else {
-        let previous = std::fs::read_to_string(&out_path).unwrap_or_default();
-        let baseline = extract_baseline(&previous)
+        let baseline = extract_object(&previous, "baseline")
             .expect("no baseline in the report; run with --record-baseline first");
         let speedups: Vec<(&str, String)> = cells
             .iter()
@@ -202,14 +185,18 @@ fn main() {
         for (name, speedup) in &speedups {
             println!("{name:<20} speedup vs baseline: {speedup}x");
         }
-        json::object(&[
+        let mut fields = vec![
             ("bench", "\"writepath\"".to_string()),
             ("file_mb", file_mb.to_string()),
             ("sfs_secs", sfs_secs.to_string()),
             ("baseline", baseline),
             ("current", cells_json(&cells)),
             ("speedup", json::object(&speedups)),
-        ])
+        ];
+        if let Some(scale) = scale {
+            fields.push(("scale", scale));
+        }
+        json::object(&fields)
     };
     std::fs::write(&out_path, format!("{report}\n")).expect("write report");
     println!("wrote {out_path}");

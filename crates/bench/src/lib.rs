@@ -233,6 +233,91 @@ pub fn render_figure(figure: u8, without: &[SfsPoint], with: &[SfsPoint]) -> Str
     out
 }
 
+/// Helpers for the hand-rolled JSON trajectory report (`BENCH_writepath.json`).
+///
+/// The build environment has no JSON-parsing dependency, and the file is
+/// written only by the bench binaries (`writepath_bench`, `scale_sweep`), so
+/// a brace-matching scan over their own output is reliable.  Both binaries
+/// share these helpers: one scanner, not two drifting copies.
+pub mod report {
+    /// Extract a top-level `"key":{...}` object (including its braces), if
+    /// present.
+    pub fn extract_object(text: &str, key: &str) -> Option<String> {
+        let marker = format!("\"{key}\":");
+        let at = text.find(&marker)? + marker.len();
+        let rest = &text[at..];
+        let open = rest.find('{')?;
+        let mut depth = 0usize;
+        for (i, b) in rest.bytes().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(rest[open..=i].to_string());
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Replace (or insert) a top-level `"key":{...}` object in a report,
+    /// returning the new text (newline-terminated).  An empty `text` becomes
+    /// a fresh single-key object.
+    pub fn upsert_object(text: &str, key: &str, value: &str) -> String {
+        let trimmed = text.trim_end();
+        if trimmed.is_empty() {
+            return format!("{{\"{key}\":{value}}}\n");
+        }
+        let marker = format!("\"{key}\":");
+        if let Some(at) = trimmed.find(&marker) {
+            let start = at + marker.len();
+            let rest = &trimmed[start..];
+            let existing = extract_object(trimmed, key).expect("key holds an object");
+            let open = rest.find('{').expect("key holds an object");
+            format!(
+                "{}{}{}\n",
+                &trimmed[..start],
+                value,
+                &rest[open + existing.len()..]
+            )
+        } else {
+            let end = trimmed.rfind('}').expect("report is a JSON object");
+            let body = trimmed[..end].trim_end();
+            let sep = if body.ends_with('{') { "" } else { "," };
+            format!("{body}{sep}\"{key}\":{value}}}\n")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn extract_finds_nested_objects() {
+            let text = r#"{"a":{"x":{"y":1}},"b":{"z":2}}"#;
+            assert_eq!(extract_object(text, "a"), Some(r#"{"x":{"y":1}}"#.into()));
+            assert_eq!(extract_object(text, "b"), Some(r#"{"z":2}"#.into()));
+            assert_eq!(extract_object(text, "c"), None);
+        }
+
+        #[test]
+        fn upsert_replaces_and_inserts() {
+            let fresh = upsert_object("", "scale", "{\"k\":1}");
+            assert_eq!(fresh, "{\"scale\":{\"k\":1}}\n");
+            let inserted = upsert_object("{\"a\":{\"x\":1}}", "scale", "{\"k\":2}");
+            assert_eq!(inserted, "{\"a\":{\"x\":1},\"scale\":{\"k\":2}}\n");
+            let replaced = upsert_object(&inserted, "scale", "{\"k\":3}");
+            assert_eq!(replaced, "{\"a\":{\"x\":1},\"scale\":{\"k\":3}}\n");
+            // Keys after the replaced one survive.
+            let middle = upsert_object("{\"scale\":{\"k\":4},\"z\":{\"w\":5}}", "scale", "{}");
+            assert_eq!(middle, "{\"scale\":{},\"z\":{\"w\":5}}\n");
+        }
+    }
+}
+
 /// Reference values transcribed from the paper, used by the harness to print
 /// a paper-vs-measured comparison and by the `table_shapes` integration test
 /// to check that the qualitative shape holds.

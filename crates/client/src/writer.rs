@@ -43,6 +43,11 @@ pub struct ClientConfig {
     /// Base value for generated transaction ids (lets multiple clients share
     /// a server without xid collisions).
     pub xid_base: u32,
+    /// Added (wrapping) to the per-block fill byte of every write payload.
+    /// Multi-client runs give each client a distinct salt so integrity checks
+    /// can tell whose data landed in a block; 0 preserves the single-client
+    /// pattern (block index modulo 256).
+    pub fill_salt: u8,
 }
 
 impl Default for ClientConfig {
@@ -57,6 +62,7 @@ impl Default for ClientConfig {
             max_retransmits: 10,
             pattern: AccessPattern::Sequential,
             xid_base: 0x0001_0000,
+            fill_salt: 0,
         }
     }
 }
@@ -349,10 +355,10 @@ impl FileWriterClient {
         actions: &mut Vec<ClientAction>,
     ) {
         // Deterministic, recognisable payload: the low byte of the block
-        // index, so end-to-end tests can verify data integrity at the server.
-        // Carried as a fill pattern — no payload bytes are allocated anywhere
-        // on the simulated datapath.
-        let fill = (offset / self.config.chunk_size) as u8;
+        // index (salted per client in multi-client runs), so end-to-end tests
+        // can verify data integrity at the server.  Carried as a fill pattern
+        // — no payload bytes are allocated anywhere on the simulated datapath.
+        let fill = ((offset / self.config.chunk_size) as u8).wrapping_add(self.config.fill_salt);
         let call = NfsCall::new(
             xid,
             NfsCallBody::Write(WriteArgs::fill(

@@ -160,6 +160,11 @@ pub struct ServerConfig {
     pub cpu_speed: f64,
     /// Duplicate request cache capacity (entries).
     pub dupcache_entries: usize,
+    /// Usable capacity of the exported filesystem's data region, in bytes.
+    /// Defaults to the single-RZ26 geometry; multi-client GB-scale sweeps
+    /// raise it so aggregate working sets beyond one spindle's worth fit
+    /// (addresses past the physical capacity simply pay full-stroke seeks).
+    pub data_capacity: u64,
 }
 
 impl ServerConfig {
@@ -178,6 +183,7 @@ impl ServerConfig {
             costs: CostParams::default(),
             cpu_speed: 1.0,
             dupcache_entries: 512,
+            data_capacity: wg_ufs::FsParams::default().data_capacity,
         }
     }
 

@@ -155,11 +155,15 @@ impl NfsServer {
             };
             config.nfsds.max(1)
         ];
+        let fs_params = wg_ufs::FsParams {
+            data_capacity: config.data_capacity,
+            ..wg_ufs::FsParams::default()
+        };
         NfsServer {
             sockbuf: SocketBuffer::with_capacity(config.socket_buffer_bytes),
             dupcache: DuplicateRequestCache::new(config.dupcache_entries),
             cpu: Cpu::with_speed(config.cpu_speed),
-            fs: Ufs::with_defaults(1),
+            fs: Ufs::new(1, fs_params),
             device,
             accelerated,
             nfsds,
@@ -479,8 +483,10 @@ impl NfsServer {
                 Err(e) => NfsReplyBody::DirOp(StatusReply::Err(fs_error_to_status(e))),
             },
             NfsCallBody::Readdir(a) => {
+                // The filesystem memoises the listing behind an Arc; the reply
+                // (and any cached replay of it) shares that allocation.
                 match ino_from_handle(&self.fs, &a.dir).and_then(|dir| self.fs.readdir(dir)) {
-                    Ok(names) => NfsReplyBody::Readdir(StatusReply::Ok(std::sync::Arc::new(names))),
+                    Ok(names) => NfsReplyBody::Readdir(StatusReply::Ok(names)),
                     Err(e) => NfsReplyBody::Readdir(StatusReply::Err(fs_error_to_status(e))),
                 }
             }
@@ -554,17 +560,20 @@ impl NfsServer {
                     .map(|r| (ino, r))
             }) {
                 Ok((ino, outcome)) => {
-                    // Charge the buffer-cache copy and any disk reads for
-                    // missed blocks.
+                    // Charge the buffer-cache copy (the simulated uiomove —
+                    // the real kernel copies even though the simulator no
+                    // longer does) and any disk reads for missed blocks.
                     let copy = Duration::from_nanos(
-                        self.config.costs.copy_per_byte.as_nanos() * outcome.data.len() as u64,
+                        self.config.costs.copy_per_byte.as_nanos() * outcome.len() as u64,
                     );
                     done = self.cpu.run(done, copy);
                     done = self.run_io_plan(done, outcome.misses.iter());
                     let attrs = self.fs.getattr(ino).expect("inode is live");
+                    // The payload rides the reply as-is: a fill pattern or a
+                    // refcounted view of the buffer cache, never a fresh copy.
                     NfsReplyBody::Read(StatusReply::Ok(ReadOk {
                         attributes: attributes_to_fattr(self.fs.fsid(), &attrs),
-                        data: outcome.data.into(),
+                        data: outcome.data,
                     }))
                 }
                 Err(e) => NfsReplyBody::Read(StatusReply::Err(fs_error_to_status(e))),
@@ -1291,7 +1300,7 @@ mod tests {
         assert_eq!(server.fs().dirty_bytes(), 0);
         let mut fs = server.fs().clone();
         let read = fs.read(ino, 0, 8192).unwrap();
-        assert_eq!(read.data, vec![7u8; 8192]);
+        assert_eq!(read.to_vec(), vec![7u8; 8192]);
     }
 
     #[test]

@@ -123,6 +123,24 @@ impl Payload {
         }
     }
 
+    /// Append the payload's bytes to a caller-owned buffer.
+    ///
+    /// Expanding a `Fill` counts toward [`materialize_count`] exactly like
+    /// [`Payload::materialize`]: this is the honest flattening primitive the
+    /// read path's cold coalescing uses, so the zero-copy probe still catches
+    /// a hot path that degenerates into byte copies.
+    pub fn append_to(&self, out: &mut Vec<u8>) {
+        match self {
+            Payload::Fill { byte, len } => {
+                if *len > 0 {
+                    MATERIALIZED.fetch_add(1, Ordering::Relaxed);
+                }
+                out.resize(out.len() + *len as usize, *byte);
+            }
+            Payload::Shared(bytes) => out.extend_from_slice(bytes),
+        }
+    }
+
     /// Size of this payload as an XDR variable-length opaque: the 4-byte
     /// length prefix plus the data padded to a 4-byte boundary.  Pure
     /// arithmetic — no encoding happens.
@@ -268,6 +286,24 @@ mod tests {
         let bytes = fill.materialize();
         assert_eq!(&bytes[..], &[4u8; 8]);
         assert!(materialize_count() > before, "Fill materialise must count");
+    }
+
+    #[test]
+    fn append_to_counts_like_materialize() {
+        let mut out = Vec::new();
+        let before = materialize_count();
+        Payload::Shared(vec![1u8, 2, 3].into()).append_to(&mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(materialize_count(), before, "Shared append must not count");
+        Payload::fill(9, 0).append_to(&mut out);
+        assert_eq!(
+            materialize_count(),
+            before,
+            "empty Fill append must not count"
+        );
+        Payload::fill(7, 4).append_to(&mut out);
+        assert_eq!(out, vec![1, 2, 3, 7, 7, 7, 7]);
+        assert!(materialize_count() > before, "Fill append must count");
     }
 
     #[test]

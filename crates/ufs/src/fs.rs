@@ -2,6 +2,7 @@
 //! vnode operations.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use wg_disk::DiskRequest;
 
@@ -9,7 +10,9 @@ use crate::cluster::cluster_requests;
 use crate::error::FsError;
 use crate::inode::{BlockData, CachedBlock, FileKind, Inode, InodeNumber};
 use crate::params::FsParams;
-use crate::vnode::{FsyncFlags, IoPlan, ReadOutcome, WriteFlags, WriteOutcome, WriteSource};
+use crate::vnode::{
+    FsyncFlags, IoPlan, ReadAccumulator, ReadOutcome, WriteFlags, WriteOutcome, WriteSource,
+};
 
 /// Maximum file-name length accepted (the NFS v2 limit).
 pub const MAX_NAME_LEN: usize = 255;
@@ -223,6 +226,7 @@ impl Ufs {
         self.inodes.insert(ino, node);
         let d = self.inode_mut(dir)?;
         d.entries.insert(name.to_string(), ino);
+        d.listing = None;
         d.mtime_nanos = now_nanos;
         d.inode_dirty = true;
         d.mtime_only_dirty = false;
@@ -260,6 +264,7 @@ impl Ufs {
         }
         let d = self.inode_mut(dir)?;
         d.entries.remove(name);
+        d.listing = None;
         d.mtime_nanos = now_nanos;
         d.inode_dirty = true;
         d.mtime_only_dirty = false;
@@ -267,13 +272,24 @@ impl Ufs {
     }
 
     /// List the names in a directory.
-    pub fn readdir(&mut self, dir: InodeNumber) -> Result<Vec<String>, FsError> {
+    ///
+    /// The listing is memoised per directory and shared by reference count:
+    /// repeated READDIRs of an unchanged directory (the common SFS-mix case)
+    /// return the same `Arc` instead of cloning every name, and the proto
+    /// layer's READDIR reply carries it onward without another copy.  Any
+    /// entry change invalidates the cache.
+    pub fn readdir(&mut self, dir: InodeNumber) -> Result<Arc<Vec<String>>, FsError> {
         self.counters.namespace_ops += 1;
-        let d = self.inode(dir)?;
+        let d = self.inode_mut(dir)?;
         if d.kind != FileKind::Directory {
             return Err(FsError::NotADirectory);
         }
-        Ok(d.entries.keys().cloned().collect())
+        if let Some(listing) = &d.listing {
+            return Ok(Arc::clone(listing));
+        }
+        let listing = Arc::new(d.entries.keys().cloned().collect::<Vec<String>>());
+        d.listing = Some(Arc::clone(&listing));
+        Ok(listing)
     }
 
     /// Attributes of an inode.
@@ -628,6 +644,12 @@ impl Ufs {
     }
 
     /// `VOP_READ`: read up to `len` bytes at `offset`.
+    ///
+    /// The result carries a zero-copy [`wg_nfsproto::Payload`] instead of a
+    /// freshly filled buffer: fill-pattern blocks come back as the pattern,
+    /// materialised blocks as refcounted views of the cache, holes and
+    /// uncached blocks as a zero fill (see [`ReadOutcome`]).  Block-aligned
+    /// reads — every READ the simulated workloads issue — allocate nothing.
     pub fn read(
         &mut self,
         ino: InodeNumber,
@@ -636,18 +658,15 @@ impl Ufs {
     ) -> Result<ReadOutcome, FsError> {
         self.counters.reads += 1;
         let block_size = self.params.block_size;
-        let n = self.inode_mut(ino)?;
+        let n = self.inode(ino)?;
         if n.kind != FileKind::Regular {
             return Err(FsError::IsADirectory);
         }
         if offset >= n.size {
-            return Ok(ReadOutcome {
-                data: Vec::new(),
-                misses: Vec::new(),
-            });
+            return Ok(ReadOutcome::empty());
         }
         let end = (offset + len).min(n.size);
-        let mut out = vec![0u8; (end - offset) as usize];
+        let mut acc = ReadAccumulator::new();
         let mut misses = Vec::new();
         let first_lbn = offset / block_size;
         let last_lbn = (end - 1) / block_size;
@@ -655,21 +674,30 @@ impl Ufs {
             let block_start = lbn * block_size;
             let from = offset.max(block_start);
             let to = end.min(block_start + block_size);
-            let dst_from = (from - offset) as usize;
-            let dst_to = (to - offset) as usize;
+            let seg_len = to - from;
             if let Some(block) = n.blocks.get(&lbn) {
-                let src_from = (from - block_start) as usize;
-                block.data.copy_range(src_from, &mut out[dst_from..dst_to]);
+                match &block.data {
+                    BlockData::Fill(byte) => acc.push_fill(*byte, seg_len),
+                    BlockData::Bytes(buf) => {
+                        acc.push_shared(buf, (from - block_start) as usize, seg_len as usize)
+                    }
+                }
             } else if let Some(phys) = n.block_addr(lbn) {
                 // Mapped on disk but not cached: a real server would read it;
                 // report the miss so the caller charges disk latency.  The
                 // returned bytes for such blocks are zeros (the simulation only
                 // materialises contents for blocks written through the cache).
                 misses.push(DiskRequest::read(phys, block_size));
+                acc.push_fill(0, seg_len);
+            } else {
+                // Unmapped blocks are holes: zeros, no I/O.
+                acc.push_fill(0, seg_len);
             }
-            // Unmapped blocks are holes: zeros, no I/O.
         }
-        Ok(ReadOutcome { data: out, misses })
+        Ok(ReadOutcome {
+            data: acc.finish(),
+            misses,
+        })
     }
 
     /// Create a file of `size` bytes whose blocks are allocated on disk but
@@ -907,14 +935,54 @@ mod tests {
         let payload: Vec<u8> = (0..BS as usize * 2).map(|i| (i % 251) as u8).collect();
         u.write(f, 0, &payload, WriteFlags::DelayData, 1).unwrap();
         let got = u.read(f, 0, payload.len() as u64).unwrap();
-        assert_eq!(got.data, payload);
+        assert_eq!(got.to_vec(), payload);
         assert!(got.misses.is_empty());
         // Partial read across a block boundary.
         let got = u.read(f, BS - 100, 200).unwrap();
-        assert_eq!(got.data, payload[(BS - 100) as usize..(BS + 100) as usize]);
+        assert_eq!(
+            got.to_vec(),
+            payload[(BS - 100) as usize..(BS + 100) as usize]
+        );
         // Read past EOF.
         let got = u.read(f, payload.len() as u64 + 5, 100).unwrap();
-        assert!(got.data.is_empty());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn aligned_reads_share_the_cache_instead_of_copying() {
+        let mut u = fs();
+        let root = u.root();
+        let f = u.create(root, "z", 0o644, 0).unwrap();
+        // A fill-pattern block reads back as the pattern itself.
+        u.write(
+            f,
+            0,
+            WriteSource::Fill { byte: 5, len: BS },
+            WriteFlags::DelayData,
+            1,
+        )
+        .unwrap();
+        let got = u.read(f, 0, BS).unwrap();
+        assert_eq!(got.data, wg_nfsproto::Payload::fill(5, BS as u32));
+        assert!(matches!(got.data, wg_nfsproto::Payload::Fill { .. }));
+        // A materialised block reads back as a refcounted view of the cache.
+        let real: Vec<u8> = (0..BS).map(|i| (i % 251) as u8).collect();
+        u.write(f, BS, &real, WriteFlags::DelayData, 2).unwrap();
+        let got = u.read(f, BS, BS).unwrap();
+        match &got.data {
+            wg_nfsproto::Payload::Shared(out) => {
+                let n = u.inodes.get(&f).unwrap();
+                let cached = n.blocks.get(&1).unwrap().data.shared_bytes().unwrap();
+                assert!(Arc::ptr_eq(out, cached), "aligned read copied the block");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Overwriting the block does not disturb the outstanding view.
+        let snapshot = got.data.clone();
+        u.write(f, BS, &vec![0u8; BS as usize], WriteFlags::DelayData, 3)
+            .unwrap();
+        assert_eq!(snapshot.materialize()[..], real[..]);
+        assert_eq!(u.read(f, BS, BS).unwrap().to_vec(), vec![0u8; BS as usize]);
     }
 
     #[test]
@@ -926,9 +994,9 @@ mod tests {
         u.write(f, BS - 2, b"spanning", WriteFlags::Sync, 2)
             .unwrap();
         let got = u.read(f, 100, 5).unwrap();
-        assert_eq!(got.data, b"hello");
+        assert_eq!(got.to_vec(), b"hello");
         let got = u.read(f, BS - 2, 8).unwrap();
-        assert_eq!(got.data, b"spanning");
+        assert_eq!(got.to_vec(), b"spanning");
         assert_eq!(u.getattr(f).unwrap().size, BS - 2 + 8);
     }
 
@@ -941,7 +1009,7 @@ mod tests {
         assert!(!u.is_dirty(f).unwrap());
         let got = u.read(f, 0, 8192).unwrap();
         assert_eq!(got.misses.len(), 1);
-        assert_eq!(got.data.len(), 8192);
+        assert_eq!(got.len(), 8192);
     }
 
     #[test]
@@ -986,10 +1054,33 @@ mod tests {
         ));
         assert!(matches!(u.read(d, 0, 10), Err(FsError::IsADirectory)));
         u.create(d, "inner", 0o644, 1).unwrap();
-        assert_eq!(u.readdir(d).unwrap(), vec!["inner".to_string()]);
+        assert_eq!(*u.readdir(d).unwrap(), vec!["inner".to_string()]);
         assert_eq!(u.remove(root, "dir", 2), Err(FsError::NotEmpty));
         u.remove(d, "inner", 3).unwrap();
         u.remove(root, "dir", 4).unwrap();
+    }
+
+    #[test]
+    fn readdir_shares_the_listing_until_the_directory_changes() {
+        let mut u = fs();
+        let root = u.root();
+        u.create(root, "a", 0o644, 0).unwrap();
+        let first = u.readdir(root).unwrap();
+        let second = u.readdir(root).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "unchanged directory must share one listing"
+        );
+        u.create(root, "b", 0o644, 1).unwrap();
+        let third = u.readdir(root).unwrap();
+        assert!(!Arc::ptr_eq(&second, &third), "create must invalidate");
+        assert_eq!(*third, vec!["a".to_string(), "b".to_string()]);
+        // The old Arc still holds the snapshot the earlier reply carried.
+        assert_eq!(*second, vec!["a".to_string()]);
+        u.remove(root, "a", 2).unwrap();
+        let fourth = u.readdir(root).unwrap();
+        assert!(!Arc::ptr_eq(&third, &fourth), "remove must invalidate");
+        assert_eq!(*fourth, vec!["b".to_string()]);
     }
 
     #[test]
@@ -1008,7 +1099,7 @@ mod tests {
         assert!(!plan.metadata.is_empty());
         assert!(u.free_block_count() > free_before);
         // Reading past the new size returns nothing.
-        assert!(u.read(f, BS, 100).unwrap().data.is_empty());
+        assert!(u.read(f, BS, 100).unwrap().is_empty());
     }
 
     #[test]

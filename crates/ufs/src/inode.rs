@@ -9,6 +9,7 @@
 
 use crate::params::FsParams;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Number of direct block pointers in an FFS inode.
 pub const NDADDR: usize = 12;
@@ -30,12 +31,19 @@ pub enum FileKind {
 /// The zero-copy write datapath stores whole-block fill-pattern writes (the
 /// synthetic-workload case) as a single byte instead of materialising an 8 KB
 /// buffer per block; reads and partial overwrites expand the pattern lazily.
+///
+/// Materialised contents sit behind an [`Arc`] so the read datapath can hand
+/// out refcounted views of a block ([`BlockData::shared_bytes`]) instead of
+/// copying it into a fresh buffer per READ.  Writes that land on a block
+/// whose bytes are still shared with an outstanding reply un-share it first
+/// (copy-on-write in [`BlockData::make_bytes`]), so readers always keep the
+/// snapshot they were given.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BlockData {
     /// Every byte of the block has this value (no backing allocation).
     Fill(u8),
     /// Materialised contents, always exactly one filesystem block long.
-    Bytes(Box<[u8]>),
+    Bytes(Arc<[u8]>),
 }
 
 impl BlockData {
@@ -47,14 +55,36 @@ impl BlockData {
         }
     }
 
+    /// A refcounted view of materialised contents, if the block has any.
+    /// Cloning the returned [`Arc`] is how a READ shares the block without
+    /// copying it.
+    pub fn shared_bytes(&self) -> Option<&Arc<[u8]>> {
+        match self {
+            BlockData::Fill(_) => None,
+            BlockData::Bytes(bytes) => Some(bytes),
+        }
+    }
+
     /// Mutable access to materialised contents, expanding a fill pattern into
     /// a real `block_size`-byte buffer first if needed.
+    ///
+    /// If the bytes are currently shared with a reader (refcount > 1), the
+    /// block is un-shared by copying it once — the copy-on-write half of the
+    /// zero-copy read contract.
     pub fn make_bytes(&mut self, block_size: usize) -> &mut [u8] {
-        if let BlockData::Fill(byte) = *self {
-            *self = BlockData::Bytes(vec![byte; block_size].into_boxed_slice());
+        match self {
+            BlockData::Fill(byte) => {
+                *self = BlockData::Bytes(vec![*byte; block_size].into());
+            }
+            BlockData::Bytes(bytes) => {
+                if Arc::get_mut(bytes).is_none() {
+                    let unshared: Arc<[u8]> = Arc::from(&bytes[..]);
+                    *self = BlockData::Bytes(unshared);
+                }
+            }
         }
         match self {
-            BlockData::Bytes(bytes) => bytes,
+            BlockData::Bytes(bytes) => Arc::get_mut(bytes).expect("uniquely owned"),
             BlockData::Fill(_) => unreachable!("just materialised"),
         }
     }
@@ -107,6 +137,10 @@ pub struct Inode {
     pub indirect_map: BTreeMap<u64, u64>,
     /// Directory entries (name -> inode), present only for directories.
     pub entries: BTreeMap<String, InodeNumber>,
+    /// Memoised READDIR listing, shared with every reply that carries it and
+    /// invalidated whenever `entries` changes.  `None` until the first
+    /// readdir after a change.
+    pub listing: Option<Arc<Vec<String>>>,
     /// Cached data blocks keyed by logical block index.
     pub blocks: BTreeMap<u64, CachedBlock>,
     /// `true` if the on-disk inode no longer matches this in-memory copy
@@ -144,6 +178,7 @@ impl Inode {
             indirect: None,
             indirect_map: BTreeMap::new(),
             entries: BTreeMap::new(),
+            listing: None,
             blocks: BTreeMap::new(),
             inode_dirty: true,
             mtime_only_dirty: false,
@@ -271,7 +306,7 @@ mod tests {
             1,
             CachedBlock {
                 phys: 200,
-                data: BlockData::Bytes(vec![0; 8192].into_boxed_slice()),
+                data: BlockData::Bytes(vec![0; 8192].into()),
                 dirty: false,
             },
         );
@@ -292,6 +327,35 @@ mod tests {
         let mut out = [0u8; 2];
         data.copy_range(0, &mut out);
         assert_eq!(out, [1, 7]);
+    }
+
+    #[test]
+    fn make_bytes_unshares_a_block_held_by_a_reader() {
+        let mut data = BlockData::Bytes(vec![5u8; 16].into());
+        // A reader takes a refcounted view of the block.
+        let reader = Arc::clone(data.shared_bytes().expect("materialised"));
+        // A writer then mutates the block: the reader's snapshot must survive.
+        let bytes = data.make_bytes(16);
+        bytes[0] = 9;
+        assert_eq!(reader[0], 5, "reader's shared view was mutated in place");
+        match &data {
+            BlockData::Bytes(now) => {
+                assert!(!Arc::ptr_eq(now, &reader), "write did not un-share");
+                assert_eq!(now[0], 9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // With no outstanding reader the next write mutates in place.
+        let before = match &data {
+            BlockData::Bytes(arc) => Arc::as_ptr(arc),
+            _ => unreachable!(),
+        };
+        data.make_bytes(16)[1] = 8;
+        match &data {
+            BlockData::Bytes(now) => assert_eq!(Arc::as_ptr(now), before),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(BlockData::Fill(3).shared_bytes().is_none());
     }
 
     #[test]

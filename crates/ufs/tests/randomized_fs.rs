@@ -49,7 +49,7 @@ fn write_read_matches_reference_model() {
         let attrs = fs.getattr(ino).unwrap();
         assert_eq!(attrs.size, reference.len() as u64, "seed {seed}");
         let read = fs.read(ino, 0, reference.len() as u64).unwrap();
-        assert_eq!(read.data, reference, "seed {seed}");
+        assert_eq!(read.to_vec(), reference, "seed {seed}");
     }
 }
 
@@ -143,8 +143,8 @@ fn gathering_never_issues_more_transactions() {
 
         let size = sync_fs.getattr(a).unwrap().size;
         assert_eq!(size, delay_fs.getattr(b_ino).unwrap().size, "seed {seed}");
-        let left = sync_fs.read(a, 0, size).unwrap().data;
-        let right = delay_fs.read(b_ino, 0, size).unwrap().data;
+        let left = sync_fs.read(a, 0, size).unwrap().to_vec();
+        let right = delay_fs.read(b_ino, 0, size).unwrap().to_vec();
         assert_eq!(left, right, "seed {seed}");
     }
 }

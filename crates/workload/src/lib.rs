@@ -7,6 +7,9 @@
 //!   and Figure 1: a [`wg_client::FileWriterClient`], a shared
 //!   [`wg_net::Medium`] (Ethernet or FDDI) and a [`wg_server::NfsServer`]
 //!   wired together through one deterministic event loop.
+//! * [`multi`] — the N-client scale-out system reproducing the paper's
+//!   "several clients" remarks: independent salted write streams sharing one
+//!   medium and server, with per-client, aggregate and fairness results.
 //! * [`sfs`] — a SPEC SFS 1.0 (LADDIS)-like mixed-operation load generator
 //!   and the throughput/latency sweep behind Figures 2 and 3.
 //! * [`results`] — the result records the benchmark harness prints, shaped
@@ -18,10 +21,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod multi;
 pub mod results;
 pub mod sfs;
 pub mod system;
 
-pub use results::{FileCopyResult, SfsPoint, TableRow};
+pub use multi::{MultiClientConfig, MultiClientSystem};
+pub use results::{FileCopyResult, MultiClientResult, SfsPoint, TableRow};
 pub use sfs::{SfsConfig, SfsMix, SfsSweep};
 pub use system::{ExperimentConfig, FileCopySystem, NetworkKind};

@@ -1,0 +1,579 @@
+//! The multi-client scale-out system.
+//!
+//! The paper remarks (§6) that write gathering pays off even more with
+//! "several clients", because independent write streams give the server more
+//! company to gather per metadata flush — but its tables only measure one
+//! client.  [`MultiClientSystem`] runs N [`FileWriterClient`]s against one
+//! shared [`Medium`] and one [`NfsServer`], each client copying its own byte
+//! budget into its own files, and reports per-client plus aggregate
+//! [`FileCopyResult`]s and a fairness readout ([`MultiClientResult`]).
+//!
+//! The `client` field of [`ServerInput::Datagram`] — plumbed through the
+//! server and duplicate request cache since the beginning but always 0 in the
+//! single-client system — finally carries real client ids here, and replies
+//! are routed back by the id the server echoes in [`ServerAction::Reply`].
+//!
+//! GB-scale budgets do not fit one UFS file (12 direct + 2048 indirect 8 KB
+//! blocks ≈ 16 MB), so each client writes a chain of segment files of at most
+//! [`MultiClientConfig::file_limit`] bytes, rolling to the next segment when
+//! the previous one's `close(2)` returns — the shape of a real bulk copy of
+//! many files.  Segments reuse the single-client state machine unchanged;
+//! only the xid base moves per segment so the server's duplicate request
+//! cache never confuses two generations of requests.
+//!
+//! Everything rides the zero-copy datapath: payloads are fill patterns salted
+//! per client (see [`wg_client::ClientConfig::fill_salt`]), so a million-op
+//! multi-client run allocates no payload bytes and [`verify_on_disk`]
+//! (`MultiClientSystem::verify_on_disk`) can attribute every landed block to
+//! the client that wrote it.
+
+use std::collections::VecDeque;
+
+use wg_client::{ClientAction, ClientConfig, ClientInput, FileWriterClient};
+use wg_net::medium::Direction;
+use wg_net::{Medium, TransmitOutcome};
+use wg_nfsproto::FileHandle;
+use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, WritePolicy};
+use wg_simcore::{Duration, EventQueue, SimTime};
+
+use crate::results::{FileCopyResult, MultiClientResult};
+use crate::system::NetworkKind;
+
+/// Configuration of one multi-client scale-out run.
+#[derive(Clone, Debug)]
+pub struct MultiClientConfig {
+    /// Network medium shared by every client.
+    pub network: NetworkKind,
+    /// Number of concurrent clients.
+    pub clients: usize,
+    /// Biods per client.
+    pub biods: usize,
+    /// Server write policy.
+    pub policy: WritePolicy,
+    /// Prestoserve acceleration on the server.
+    pub prestoserve: bool,
+    /// Number of server disk spindles.
+    pub spindles: usize,
+    /// Number of server nfsds.  More clients need more nfsds: each file being
+    /// gathered can hold one nfsd in its procrastination window.
+    pub nfsds: usize,
+    /// Bytes each client writes in total.
+    pub bytes_per_client: u64,
+    /// Largest single file a client writes before rolling to the next segment
+    /// (must fit UFS's single-indirect limit of ≈16 MB).
+    pub file_limit: u64,
+}
+
+/// Stride between the xid bases of consecutive segments of one client, and
+/// (×128) between clients.  A segment of [`MultiClientConfig::file_limit`]
+/// bytes uses `file_limit / 8192` xids, far below the stride.
+const XID_SEGMENT_STRIDE: u32 = 0x0002_0000;
+
+/// Maximum segments per client before xid bases of adjacent clients collide.
+const MAX_SEGMENTS: u64 = 128;
+
+impl MultiClientConfig {
+    /// A scale-out run with the paper's client parameters (10 MB per client,
+    /// 8 MB segment files) and an nfsd pool sized to the client count.
+    pub fn new(network: NetworkKind, clients: usize, biods: usize, policy: WritePolicy) -> Self {
+        MultiClientConfig {
+            network,
+            clients: clients.max(1),
+            biods,
+            policy,
+            prestoserve: false,
+            spindles: 1,
+            nfsds: 8.max(4 * clients),
+            bytes_per_client: 10 * 1024 * 1024,
+            file_limit: 8 * 1024 * 1024,
+        }
+    }
+
+    /// Set the per-client byte budget.
+    pub fn with_bytes_per_client(mut self, bytes: u64) -> Self {
+        self.bytes_per_client = bytes;
+        self
+    }
+
+    /// Set the per-segment file size cap.
+    pub fn with_file_limit(mut self, bytes: u64) -> Self {
+        self.file_limit = bytes;
+        self
+    }
+
+    /// Enable Prestoserve.
+    pub fn with_presto(mut self, on: bool) -> Self {
+        self.prestoserve = on;
+        self
+    }
+
+    /// Use a stripe set of `n` disks.
+    pub fn with_spindles(mut self, n: usize) -> Self {
+        self.spindles = n;
+        self
+    }
+
+    /// Set the nfsd pool size.
+    pub fn with_nfsds(mut self, n: usize) -> Self {
+        self.nfsds = n;
+        self
+    }
+
+    /// The fill-byte salt of a client, distinct per client id (odd multiplier
+    /// so the mapping is a bijection modulo 256).
+    pub fn fill_salt(client: usize) -> u8 {
+        (client as u8).wrapping_mul(61).wrapping_add(17)
+    }
+
+    fn xid_base(client: usize, segment: usize) -> u32 {
+        (client as u32 + 1) * (XID_SEGMENT_STRIDE * MAX_SEGMENTS as u32)
+            + segment as u32 * XID_SEGMENT_STRIDE
+    }
+
+    /// The (name, size) segment layout of one client's byte budget.
+    fn layout(&self, client: usize) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        let mut remaining = self.bytes_per_client;
+        let mut segment = 0usize;
+        while remaining > 0 {
+            let size = remaining.min(self.file_limit);
+            out.push((format!("mc{client:03}_seg{segment:03}"), size));
+            remaining -= size;
+            segment += 1;
+        }
+        out
+    }
+}
+
+/// Events flowing through the combined system.
+enum Ev {
+    Client(usize, ClientInput),
+    Server(ServerInput),
+}
+
+/// Per-client bookkeeping: the live writer plus the accumulated stats of the
+/// segments it already finished.
+struct ClientSlot {
+    writer: FileWriterClient,
+    /// Segments not yet started: front = next.
+    pending: VecDeque<(FileHandle, u64)>,
+    /// Index of the segment the live writer is on.
+    segment: usize,
+    /// Acked bytes of *finished* segments; the live writer's are folded in on
+    /// its `Completed` action (see [`ClientSlot::bytes_acked`]).
+    finished_bytes_acked: u64,
+    finished_retransmissions: u64,
+    completed_at: Option<SimTime>,
+}
+
+impl ClientSlot {
+    /// Total acknowledged bytes, including the live writer's.  An incomplete
+    /// client (stalled mid-segment) must still report what it did transfer —
+    /// that partial count is exactly what diagnosing a dead multi-client cell
+    /// needs.
+    fn bytes_acked(&self) -> u64 {
+        let live = if self.completed_at.is_some() {
+            // The final segment's stats were folded in on completion; the
+            // writer still holds them, so don't count them twice.
+            0
+        } else {
+            self.writer.stats().bytes_acked
+        };
+        self.finished_bytes_acked + live
+    }
+
+    /// Total retransmissions, including the live writer's.
+    fn retransmissions(&self) -> u64 {
+        let live = if self.completed_at.is_some() {
+            0
+        } else {
+            self.writer.stats().retransmissions
+        };
+        self.finished_retransmissions + live
+    }
+}
+
+/// The assembled N-client system.
+pub struct MultiClientSystem {
+    config: MultiClientConfig,
+    slots: Vec<ClientSlot>,
+    layouts: Vec<Vec<(String, u64)>>,
+    server: NfsServer,
+    medium: Medium,
+    queue: EventQueue<Ev>,
+    started_at: SimTime,
+    events_processed: u64,
+}
+
+impl MultiClientSystem {
+    /// Upper bound on events per run, scaled with the aggregate byte budget
+    /// (a 10 MB copy needs ~13 k events; this allows ~400× that per 10 MB).
+    fn max_events(&self) -> u64 {
+        let aggregate_mb =
+            (self.config.clients as u64 * self.config.bytes_per_client) / (1024 * 1024);
+        5_000_000 * aggregate_mb.max(1)
+    }
+
+    /// Build the system: the server exports one fresh filesystem holding
+    /// every client's segment files, created outside the measured window.
+    pub fn new(config: MultiClientConfig) -> Self {
+        assert!(
+            config.bytes_per_client.div_ceil(config.file_limit.max(1)) <= MAX_SEGMENTS,
+            "byte budget needs more than {MAX_SEGMENTS} segments; raise file_limit"
+        );
+        assert!(
+            config.clients <= 128,
+            "more than 128 clients exhausts the per-client xid space"
+        );
+        let medium_params = config.network.params();
+        let mut server_config = ServerConfig {
+            policy: config.policy,
+            nfsds: config.nfsds,
+            ..ServerConfig::standard()
+        };
+        server_config.storage.prestoserve = config.prestoserve;
+        server_config.storage.spindles = config.spindles;
+        server_config.procrastination = medium_params.procrastination;
+        // GB-scale aggregates must fit the data region; keep the default
+        // geometry unless the sweep actually needs more.
+        let aggregate = config.clients as u64 * config.bytes_per_client;
+        server_config.data_capacity = server_config.data_capacity.max(aggregate + aggregate / 4);
+        let mut server = NfsServer::new(server_config);
+
+        let root = server.fs().root();
+        let mut slots = Vec::with_capacity(config.clients);
+        let mut layouts = Vec::with_capacity(config.clients);
+        for client in 0..config.clients {
+            let layout = config.layout(client);
+            let mut pending: VecDeque<(FileHandle, u64)> = layout
+                .iter()
+                .map(|(name, size)| {
+                    let ino = server
+                        .fs_mut()
+                        .create(root, name, 0o644, 0)
+                        .expect("fresh namespace");
+                    (server.handle_for_ino(ino).expect("live inode"), *size)
+                })
+                .collect();
+            let (handle, size) = pending.pop_front().unwrap_or((
+                // A zero-byte budget still gets a writer so the slot completes
+                // immediately through the normal path.
+                server.root_handle(),
+                0,
+            ));
+            let writer =
+                FileWriterClient::new(Self::client_config(&config, client, 0, size), handle);
+            slots.push(ClientSlot {
+                writer,
+                pending,
+                segment: 0,
+                finished_bytes_acked: 0,
+                finished_retransmissions: 0,
+                completed_at: None,
+            });
+            layouts.push(layout);
+        }
+        MultiClientSystem {
+            medium: Medium::new(medium_params),
+            queue: EventQueue::new(),
+            started_at: SimTime::ZERO,
+            events_processed: 0,
+            slots,
+            layouts,
+            server,
+            config,
+        }
+    }
+
+    fn client_config(
+        config: &MultiClientConfig,
+        client: usize,
+        segment: usize,
+        file_size: u64,
+    ) -> ClientConfig {
+        ClientConfig {
+            biods: config.biods,
+            file_size,
+            xid_base: MultiClientConfig::xid_base(client, segment),
+            fill_salt: MultiClientConfig::fill_salt(client),
+            ..ClientConfig::default()
+        }
+    }
+
+    /// Run every client to completion and return the scale-out result.
+    pub fn run(&mut self) -> MultiClientResult {
+        self.events_processed = 0;
+        for client in 0..self.slots.len() {
+            self.queue
+                .schedule_at(SimTime::ZERO, Ev::Client(client, ClientInput::Start));
+        }
+        let max_events = self.max_events();
+        let mut client_actions: Vec<ClientAction> = Vec::new();
+        let mut server_actions: Vec<ServerAction> = Vec::new();
+        while let Some((t, ev)) = self.queue.pop() {
+            self.events_processed += 1;
+            assert!(
+                self.events_processed < max_events,
+                "runaway multi-client simulation at {t:?}"
+            );
+            match ev {
+                Ev::Client(client, input) => {
+                    self.slots[client]
+                        .writer
+                        .handle_into(t, input, &mut client_actions);
+                    self.apply_client_actions(client, &mut client_actions);
+                }
+                Ev::Server(input) => {
+                    self.server.handle_into(t, input, &mut server_actions);
+                    self.apply_server_actions(&mut server_actions);
+                }
+            }
+        }
+        self.result()
+    }
+
+    fn apply_client_actions(&mut self, client: usize, actions: &mut Vec<ClientAction>) {
+        for action in actions.drain(..) {
+            match action {
+                ClientAction::Send { at, call } => {
+                    let size = call.wire_size();
+                    let fragments = self.medium.params().fragments_for(size);
+                    match self.medium.transmit(at, size, Direction::ToServer) {
+                        TransmitOutcome::Delivered { arrives_at } => {
+                            self.queue.schedule_at(
+                                arrives_at,
+                                Ev::Server(ServerInput::Datagram {
+                                    client: client as u32,
+                                    call,
+                                    wire_size: size,
+                                    fragments,
+                                }),
+                            );
+                        }
+                        TransmitOutcome::Lost => {}
+                    }
+                }
+                ClientAction::Wakeup { at, token } => {
+                    self.queue
+                        .schedule_at(at, Ev::Client(client, ClientInput::Wakeup { token }));
+                }
+                ClientAction::Completed { at } => {
+                    let slot = &mut self.slots[client];
+                    let stats = slot.writer.stats();
+                    slot.finished_bytes_acked += stats.bytes_acked;
+                    slot.finished_retransmissions += stats.retransmissions;
+                    if let Some((handle, size)) = slot.pending.pop_front() {
+                        // Roll to the next segment file: a fresh writer with
+                        // the next xid generation, started at this close's
+                        // return time.
+                        slot.segment += 1;
+                        slot.writer = FileWriterClient::new(
+                            Self::client_config(&self.config, client, slot.segment, size),
+                            handle,
+                        );
+                        self.queue
+                            .schedule_at(at, Ev::Client(client, ClientInput::Start));
+                    } else {
+                        slot.completed_at = Some(at);
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_server_actions(&mut self, actions: &mut Vec<ServerAction>) {
+        for action in actions.drain(..) {
+            match action {
+                ServerAction::Wakeup { at, token } => {
+                    self.queue
+                        .schedule_at(at, Ev::Server(ServerInput::Wakeup { token }));
+                }
+                ServerAction::Reply { at, client, reply } => {
+                    let size = reply.wire_size();
+                    match self.medium.transmit(at, size, Direction::ToClient) {
+                        TransmitOutcome::Delivered { arrives_at } => {
+                            self.queue.schedule_at(
+                                arrives_at,
+                                Ev::Client(client as usize, ClientInput::Reply(reply)),
+                            );
+                        }
+                        TransmitOutcome::Lost => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn result(&self) -> MultiClientResult {
+        let last_completion = self
+            .slots
+            .iter()
+            .filter_map(|s| s.completed_at)
+            .max()
+            .unwrap_or(self.queue.now());
+        let elapsed = last_completion.since(self.started_at);
+        let elapsed = if elapsed.is_zero() {
+            Duration::from_nanos(1)
+        } else {
+            elapsed
+        };
+        let device = self.server.device_stats();
+        let all_completed = self.slots.iter().all(|s| s.completed_at.is_some());
+        debug_assert!(all_completed, "a client never finished its byte budget");
+        let clients: Vec<FileCopyResult> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                let completed = slot.completed_at.is_some();
+                let client_elapsed = slot
+                    .completed_at
+                    .unwrap_or(self.queue.now())
+                    .since(self.started_at)
+                    .as_secs_f64()
+                    .max(1e-9);
+                FileCopyResult {
+                    biods: self.config.biods,
+                    client_write_kb_per_sec: slot.bytes_acked() as f64 / 1024.0 / client_elapsed,
+                    // Server-side quantities are shared; report them over the
+                    // whole run so the per-client rows stay comparable.
+                    server_cpu_percent: self.server.cpu_utilization_percent(elapsed),
+                    disk_kb_per_sec: device.kb_per_sec(elapsed),
+                    disk_trans_per_sec: device.transfers_per_sec(elapsed),
+                    elapsed_secs: client_elapsed,
+                    mean_batch_size: self.server.stats().mean_batch_size(),
+                    retransmissions: slot.retransmissions(),
+                    completed,
+                }
+            })
+            .collect();
+        let total_bytes_acked: u64 = self.slots.iter().map(|s| s.bytes_acked()).sum();
+        let rates: Vec<f64> = clients.iter().map(|c| c.client_write_kb_per_sec).collect();
+        MultiClientResult {
+            aggregate_kb_per_sec: total_bytes_acked as f64 / 1024.0 / elapsed.as_secs_f64(),
+            total_bytes_acked,
+            elapsed_secs: elapsed.as_secs_f64(),
+            fairness: MultiClientResult::jain_fairness(&rates),
+            min_client_kb_per_sec: rates.iter().copied().fold(f64::INFINITY, f64::min),
+            max_client_kb_per_sec: rates.iter().copied().fold(0.0, f64::max),
+            completed: all_completed,
+            clients,
+        }
+    }
+
+    /// Check every client's data on the server: each segment file must exist
+    /// at its full size and every block must carry that client's salted fill
+    /// byte.  Catches cross-client bleed, lost writes and mis-routed replies.
+    /// Assumes a loss-free run (every write acknowledged).
+    pub fn verify_on_disk(&self) -> Result<(), String> {
+        let mut fs = self.server.fs().clone();
+        let root = fs.root();
+        let block = fs.params().block_size;
+        for (client, layout) in self.layouts.iter().enumerate() {
+            let salt = MultiClientConfig::fill_salt(client);
+            for (name, size) in layout {
+                let ino = fs
+                    .lookup(root, name)
+                    .map_err(|e| format!("client {client}: {name} missing: {e}"))?;
+                let attrs = fs
+                    .getattr(ino)
+                    .map_err(|e| format!("client {client}: {name} getattr: {e}"))?;
+                if attrs.size != *size {
+                    return Err(format!(
+                        "client {client}: {name} is {} bytes, expected {size}",
+                        attrs.size
+                    ));
+                }
+                for lbn in 0..size.div_ceil(block) {
+                    let offset = lbn * block;
+                    let want = (lbn as u8).wrapping_add(salt);
+                    let got = fs
+                        .read(ino, offset, block)
+                        .map_err(|e| format!("client {client}: {name} read: {e}"))?;
+                    if got.data.iter_bytes().any(|b| b != want) {
+                        return Err(format!(
+                            "client {client}: {name} block {lbn} does not carry \
+                             fill byte {want:#04x} (cross-client bleed or lost write)"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The server, for post-run inspection.
+    pub fn server(&self) -> &NfsServer {
+        &self.server
+    }
+
+    /// Number of events processed by the most recent run.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The configuration the system was built with.
+    pub fn config(&self) -> &MultiClientConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn layout_splits_budgets_at_the_file_limit() {
+        let cfg = MultiClientConfig::new(NetworkKind::Fddi, 2, 4, WritePolicy::Gathering)
+            .with_bytes_per_client(20 * MB)
+            .with_file_limit(8 * MB);
+        let layout = cfg.layout(1);
+        assert_eq!(layout.len(), 3);
+        assert_eq!(layout[0].1, 8 * MB);
+        assert_eq!(layout[2].1, 4 * MB);
+        assert!(layout[0].0.starts_with("mc001_"));
+        // Distinct clients get distinct salts and xid spaces.
+        assert_ne!(
+            MultiClientConfig::fill_salt(0),
+            MultiClientConfig::fill_salt(1)
+        );
+        assert!(MultiClientConfig::xid_base(1, 0) > MultiClientConfig::xid_base(0, 127));
+    }
+
+    #[test]
+    fn two_clients_complete_and_verify() {
+        let mut system = MultiClientSystem::new(
+            MultiClientConfig::new(NetworkKind::Fddi, 2, 4, WritePolicy::Gathering)
+                .with_bytes_per_client(MB)
+                .with_file_limit(512 * 1024),
+        );
+        let result = system.run();
+        assert!(result.completed);
+        assert_eq!(result.total_bytes_acked, 2 * MB);
+        assert_eq!(result.clients.len(), 2);
+        assert!(result.fairness > 0.8, "fairness {}", result.fairness);
+        assert!(result.aggregate_kb_per_sec > 0.0);
+        system.verify_on_disk().expect("per-client data intact");
+        assert_eq!(system.server().uncommitted_bytes(), 0);
+    }
+
+    #[test]
+    fn single_client_cell_matches_the_single_client_system_shape() {
+        let mut system = MultiClientSystem::new(
+            MultiClientConfig::new(NetworkKind::Fddi, 1, 15, WritePolicy::Gathering)
+                .with_bytes_per_client(MB),
+        );
+        let result = system.run();
+        assert!(result.completed);
+        assert_eq!(result.clients.len(), 1);
+        let lone = &result.clients[0];
+        assert!(lone.completed);
+        assert_eq!(lone.retransmissions, 0);
+        assert!((result.fairness - 1.0).abs() < 1e-12);
+        assert!(
+            (result.aggregate_kb_per_sec - lone.client_write_kb_per_sec).abs()
+                < lone.client_write_kb_per_sec * 1e-6
+        );
+    }
+}

@@ -21,6 +21,11 @@ pub struct FileCopyResult {
     pub mean_batch_size: f64,
     /// Client retransmissions observed (should be 0 on a private network).
     pub retransmissions: u64,
+    /// `true` if the copy ran to completion (the client's close returned).
+    /// An incomplete run reports elapsed time up to the moment the event
+    /// queue drained, which must never be mistaken for a slow-but-finished
+    /// cell — multi-client sweeps check this flag per client.
+    pub completed: bool,
 }
 
 /// A row of one of the paper's tables: the same configuration swept across
@@ -44,6 +49,46 @@ impl TableRow {
     }
 }
 
+/// The outcome of one multi-client scale-out run: per-client cells plus the
+/// aggregate and fairness view the paper's "several clients" remarks call for.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct MultiClientResult {
+    /// One result per client, in client-id order.
+    pub clients: Vec<FileCopyResult>,
+    /// Combined client throughput: total acknowledged bytes over the span
+    /// from start to the last client's completion.
+    pub aggregate_kb_per_sec: f64,
+    /// Total bytes acknowledged across all clients.
+    pub total_bytes_acked: u64,
+    /// Simulated seconds from start to the last completion.
+    pub elapsed_secs: f64,
+    /// Jain's fairness index over per-client throughput: 1.0 when every
+    /// client got an equal share, approaching 1/n when one client starved
+    /// the rest.
+    pub fairness: f64,
+    /// Slowest single client's throughput (KB/s).
+    pub min_client_kb_per_sec: f64,
+    /// Fastest single client's throughput (KB/s).
+    pub max_client_kb_per_sec: f64,
+    /// `true` only if every client ran to completion.
+    pub completed: bool,
+}
+
+impl MultiClientResult {
+    /// Jain's fairness index of a throughput vector.
+    pub fn jain_fairness(rates: &[f64]) -> f64 {
+        if rates.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = rates.iter().sum();
+        let sum_sq: f64 = rates.iter().map(|r| r * r).sum();
+        if sum_sq <= 0.0 {
+            return 1.0;
+        }
+        sum * sum / (rates.len() as f64 * sum_sq)
+    }
+}
+
 /// One point of Figure 2 or Figure 3: offered load vs achieved throughput and
 /// average latency.
 #[derive(Clone, Copy, Debug, serde::Serialize)]
@@ -64,7 +109,7 @@ pub struct SfsPoint {
 /// cannot be pulled in; the harness binaries instead assemble their machine
 /// readable output from these helpers.
 pub mod json {
-    use super::{FileCopyResult, SfsPoint};
+    use super::{FileCopyResult, MultiClientResult, SfsPoint};
 
     /// Format an `f64` the way JSON expects (no NaN/inf; stable shortest-ish
     /// representation is fine for harness output).
@@ -122,6 +167,24 @@ pub mod json {
                 ("elapsed_secs", number(self.elapsed_secs)),
                 ("mean_batch_size", number(self.mean_batch_size)),
                 ("retransmissions", self.retransmissions.to_string()),
+                ("completed", self.completed.to_string()),
+            ])
+        }
+    }
+
+    impl MultiClientResult {
+        /// The record as a JSON object string.
+        pub fn to_json(&self) -> String {
+            let clients: Vec<String> = self.clients.iter().map(|c| c.to_json()).collect();
+            object(&[
+                ("clients", array(&clients)),
+                ("aggregate_kb_per_sec", number(self.aggregate_kb_per_sec)),
+                ("total_bytes_acked", self.total_bytes_acked.to_string()),
+                ("elapsed_secs", number(self.elapsed_secs)),
+                ("fairness", number(self.fairness)),
+                ("min_client_kb_per_sec", number(self.min_client_kb_per_sec)),
+                ("max_client_kb_per_sec", number(self.max_client_kb_per_sec)),
+                ("completed", self.completed.to_string()),
             ])
         }
     }
@@ -167,9 +230,11 @@ mod tests {
             elapsed_secs: 20.0,
             mean_batch_size: 6.5,
             retransmissions: 0,
+            completed: true,
         };
         let json = r.to_json();
         assert!(json.contains("\"biods\":7"));
+        assert!(json.contains("\"completed\":true"));
         let p = SfsPoint {
             offered_ops_per_sec: 500.0,
             achieved_ops_per_sec: 480.0,
@@ -177,9 +242,35 @@ mod tests {
             server_cpu_percent: 55.0,
         };
         assert!(p.to_json().contains("480"));
+        let m = MultiClientResult {
+            clients: vec![r],
+            aggregate_kb_per_sec: 493.0,
+            total_bytes_acked: 10 * 1024 * 1024,
+            elapsed_secs: 20.0,
+            fairness: 1.0,
+            min_client_kb_per_sec: 493.0,
+            max_client_kb_per_sec: 493.0,
+            completed: true,
+        };
+        let mj = m.to_json();
+        assert!(mj.contains("\"fairness\":1"));
+        assert!(mj.contains("\"clients\":[{"));
         // String escaping covers quotes, backslashes and control characters.
         assert_eq!(json::string("plain"), "\"plain\"");
         assert_eq!(json::string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(json::string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn jain_fairness_index() {
+        assert_eq!(MultiClientResult::jain_fairness(&[]), 1.0);
+        assert_eq!(MultiClientResult::jain_fairness(&[0.0, 0.0]), 1.0);
+        let equal = MultiClientResult::jain_fairness(&[100.0, 100.0, 100.0, 100.0]);
+        assert!((equal - 1.0).abs() < 1e-12);
+        // One client hogging everything tends toward 1/n.
+        let starved = MultiClientResult::jain_fairness(&[400.0, 0.0, 0.0, 0.0]);
+        assert!((starved - 0.25).abs() < 1e-12);
+        let uneven = MultiClientResult::jain_fairness(&[300.0, 100.0]);
+        assert!(uneven > 0.5 && uneven < 1.0);
     }
 }

@@ -275,8 +275,19 @@ impl FileCopySystem {
     }
 
     fn result(&self) -> FileCopyResult {
-        let completed = self.completed_at.unwrap_or(self.queue.now());
-        let elapsed = completed.since(self.started_at);
+        let completed = self.completed_at.is_some();
+        // A drained event queue with the client still unfinished means the
+        // simulation lost work (a dropped wake-up, an orphaned write): surface
+        // it immediately in debug builds, and flag it in the result so sweeps
+        // can't mistake a dead cell for a slow one.
+        debug_assert!(
+            completed,
+            "file copy did not complete: {} bytes acked of {}",
+            self.client.stats().bytes_acked,
+            self.config.file_size
+        );
+        let completed_at = self.completed_at.unwrap_or(self.queue.now());
+        let elapsed = completed_at.since(self.started_at);
         let elapsed = if elapsed.is_zero() {
             Duration::from_nanos(1)
         } else {
@@ -292,6 +303,7 @@ impl FileCopySystem {
             elapsed_secs: elapsed.as_secs_f64(),
             mean_batch_size: self.server.stats().mean_batch_size(),
             retransmissions: self.client.stats().retransmissions,
+            completed,
         }
     }
 
@@ -348,6 +360,7 @@ mod tests {
         );
         let result = system.run();
         assert!(result.client_write_kb_per_sec > 0.0);
+        assert!(result.completed);
         assert_eq!(result.retransmissions, 0);
         // Every byte the client acknowledged is present and committed.
         assert_eq!(system.client().stats().bytes_acked, SMALL);
@@ -357,7 +370,7 @@ mod tests {
         let ino = fs.lookup(root, "copy-target").unwrap();
         assert_eq!(fs.getattr(ino).unwrap().size, SMALL);
         // Spot-check the block fill pattern written by the client.
-        let block7 = fs.read(ino, 7 * 8192, 8192).unwrap().data;
+        let block7 = fs.read(ino, 7 * 8192, 8192).unwrap().to_vec();
         assert!(block7.iter().all(|&b| b == 7));
     }
 

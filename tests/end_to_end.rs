@@ -48,7 +48,7 @@ fn every_configuration_completes_and_preserves_data() {
                     let ino = fs.lookup(root, "copy-target").unwrap();
                     assert_eq!(fs.getattr(ino).unwrap().size, FILE);
                     for block in [0u64, 1, 63, 127] {
-                        let data = fs.read(ino, block * 8192, 8192).unwrap().data;
+                        let data = fs.read(ino, block * 8192, 8192).unwrap().to_vec();
                         assert!(
                             data.iter().all(|&b| b == block as u8),
                             "block {block} corrupted under {policy:?}"

@@ -127,7 +127,7 @@ fn lossy_network_is_survived_by_retransmission() {
         let ino = fs.lookup(root, "lossy-target").unwrap();
         assert_eq!(fs.getattr(ino).unwrap().size, 256 * 1024);
         for block in 0..(256 / 8) as u64 {
-            let data = fs.read(ino, block * 8192, 8192).unwrap().data;
+            let data = fs.read(ino, block * 8192, 8192).unwrap().to_vec();
             assert!(
                 data.iter().all(|&b| b == block as u8),
                 "block {block} corrupt"
