@@ -1,22 +1,25 @@
-//! Multi-client scale-out sweep: clients × per-client file size, up to a
-//! 1 GB aggregate, against one shared server and medium.
+//! Multi-client scale-out sweep: clients × per-client file size — and, since
+//! the sharded-server PR, a shard-count axis — up to a 1 GB aggregate.
 //!
 //! Each cell runs a [`wg_workload::MultiClientSystem`], verifies the data
-//! landed correctly (every block carries its writer's salted fill byte), and
-//! records wall-clock plus the simulated aggregate/fairness numbers.  The
-//! results are merged into `BENCH_writepath.json` under the `"scale"` key so
-//! the perf trajectory file carries the multi-client story alongside the
-//! single-client cells.
+//! landed correctly (every block carries its writer's salted fill byte),
+//! asserts that no `InProgress` duplicate-cache entry was ever evicted (the
+//! §6.9 orphaned-write hazard), and records wall-clock plus the simulated
+//! aggregate/fairness numbers.  The results are merged into
+//! `BENCH_writepath.json` under the `"scale"` key — cell by cell, so sharded
+//! cells sit alongside the earlier shared-medium cells instead of replacing
+//! them.
 //!
 //! ```text
-//! cargo run --release -p wg-bench --bin scale_sweep              # full sweep
-//! cargo run --release -p wg-bench --bin scale_sweep -- --smoke   # CI: 2 clients, small files
+//! cargo run --release -p wg-bench --bin scale_sweep                 # full sweep
+//! cargo run --release -p wg-bench --bin scale_sweep -- --smoke      # CI: 2 clients, small files
+//! cargo run --release -p wg-bench --bin scale_sweep -- --shards 4 --cores 4 --lans
 //! cargo run --release -p wg-bench --bin scale_sweep -- --out other.json
 //! ```
 
 use std::time::Instant;
 
-use wg_bench::report::upsert_object;
+use wg_bench::report::{extract_object, upsert_object};
 use wg_server::WritePolicy;
 use wg_workload::results::json;
 use wg_workload::{MultiClientConfig, MultiClientSystem, NetworkKind};
@@ -25,16 +28,34 @@ use wg_workload::{MultiClientConfig, MultiClientSystem, NetworkKind};
 struct ScaleCell {
     clients: usize,
     mb_per_client: u64,
+    shards: usize,
+    cores: usize,
+    lans: bool,
     wall_ms: f64,
     events_processed: u64,
     sim_aggregate_kb_per_sec: f64,
     sim_fairness: f64,
     sim_elapsed_secs: f64,
+    evicted_in_progress: u64,
 }
 
 impl ScaleCell {
+    /// Cell key: the default configuration (1 shard, 1 core, shared medium)
+    /// keeps the PR 2 names (`c4_mb256`) so trajectories line up; every
+    /// non-default axis is part of the key (`_s4`, `_cr4`, `_lan`) so sweeps
+    /// over different topologies never overwrite each other's cells.
     fn name(&self) -> String {
-        format!("c{}_mb{}", self.clients, self.mb_per_client)
+        let mut name = format!("c{}_mb{}", self.clients, self.mb_per_client);
+        if self.shards > 1 {
+            name.push_str(&format!("_s{}", self.shards));
+        }
+        if self.cores > 1 {
+            name.push_str(&format!("_cr{}", self.cores));
+        }
+        if self.lans {
+            name.push_str("_lan");
+        }
+        name
     }
 
     fn to_json(&self) -> (String, String) {
@@ -43,6 +64,9 @@ impl ScaleCell {
             json::object(&[
                 ("clients", self.clients.to_string()),
                 ("mb_per_client", self.mb_per_client.to_string()),
+                ("shards", self.shards.to_string()),
+                ("cores", self.cores.to_string()),
+                ("per_client_lans", self.lans.to_string()),
                 ("wall_ms", json::number(self.wall_ms)),
                 ("events_processed", self.events_processed.to_string()),
                 (
@@ -51,16 +75,26 @@ impl ScaleCell {
                 ),
                 ("sim_fairness", json::number(self.sim_fairness)),
                 ("sim_elapsed_secs", json::number(self.sim_elapsed_secs)),
+                ("evicted_in_progress", self.evicted_in_progress.to_string()),
             ]),
         )
     }
 }
 
-fn run_cell(clients: usize, mb_per_client: u64) -> ScaleCell {
+struct SweepAxes {
+    shards: usize,
+    cores: usize,
+    lans: bool,
+}
+
+fn run_cell(clients: usize, mb_per_client: u64, axes: &SweepAxes) -> ScaleCell {
     let start = Instant::now();
     let mut system = MultiClientSystem::new(
         MultiClientConfig::new(NetworkKind::Fddi, clients, 4, WritePolicy::Gathering)
-            .with_bytes_per_client(mb_per_client * 1024 * 1024),
+            .with_bytes_per_client(mb_per_client * 1024 * 1024)
+            .with_shards(axes.shards)
+            .with_cores(axes.cores)
+            .with_per_client_lans(axes.lans),
     );
     let result = system.run();
     let wall = start.elapsed();
@@ -71,14 +105,24 @@ fn run_cell(clients: usize, mb_per_client: u64) -> ScaleCell {
     system
         .verify_on_disk()
         .expect("multi-client data integrity check failed");
+    let evicted = system.server().dupcache_evicted_in_progress();
+    assert_eq!(
+        evicted, 0,
+        "dupcache evicted an InProgress entry: a deferred gathered-write \
+         reply could have been orphaned (§6.9)"
+    );
     ScaleCell {
         clients,
         mb_per_client,
+        shards: axes.shards,
+        cores: axes.cores,
+        lans: axes.lans,
         wall_ms: wall.as_secs_f64() * 1e3,
         events_processed: system.events_processed(),
         sim_aggregate_kb_per_sec: result.aggregate_kb_per_sec,
         sim_fairness: result.fairness,
         sim_elapsed_secs: result.elapsed_secs,
+        evicted_in_progress: evicted,
     }
 }
 
@@ -92,6 +136,11 @@ fn main() {
     let mut out_path = "BENCH_writepath.json".to_string();
     let mut clients: Vec<u64> = vec![1, 2, 4];
     let mut mb_per_client: Vec<u64> = vec![64, 256];
+    let mut axes = SweepAxes {
+        shards: 1,
+        cores: 1,
+        lans: false,
+    };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -106,9 +155,25 @@ fn main() {
             "--mb-per-client" => {
                 mb_per_client = parse_list(&iter.next().expect("--mb-per-client needs a list"));
             }
+            "--shards" => {
+                axes.shards = iter
+                    .next()
+                    .expect("--shards needs a count")
+                    .parse()
+                    .expect("--shards needs a number");
+            }
+            "--cores" => {
+                axes.cores = iter
+                    .next()
+                    .expect("--cores needs a count")
+                    .parse()
+                    .expect("--cores needs a number");
+            }
+            "--lans" => axes.lans = true,
             other => panic!(
                 "unknown argument {other}; use --smoke, --out PATH, \
-                 --clients A,B,C, --mb-per-client A,B,C"
+                 --clients A,B,C, --mb-per-client A,B,C, --shards N, \
+                 --cores N, --lans"
             ),
         }
     }
@@ -121,9 +186,9 @@ fn main() {
                 println!("skipping {c} clients x {mb} MB ({aggregate_mb} MB aggregate > 1 GB cap)");
                 continue;
             }
-            let cell = run_cell(c as usize, mb);
+            let cell = run_cell(c as usize, mb, &axes);
             println!(
-                "{:<12} {:>9.1} ms wall   {:>9} events   sim {:>8.0} KB/s aggregate   \
+                "{:<16} {:>9.1} ms wall   {:>9} events   sim {:>8.0} KB/s aggregate   \
                  fairness {:.3}   {:>7.1} sim-secs",
                 cell.name(),
                 cell.wall_ms,
@@ -136,13 +201,15 @@ fn main() {
         }
     }
 
-    let fields: Vec<(String, String)> = cells.iter().map(|c| c.to_json()).collect();
-    let borrowed: Vec<(&str, String)> = fields
-        .iter()
-        .map(|(k, v)| (k.as_str(), v.clone()))
-        .collect();
-    let scale = json::object(&borrowed);
+    // Merge cell-by-cell into the existing "scale" object so cells from
+    // earlier sweeps (other shard counts, other client axes) are preserved.
     let previous = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let mut scale = extract_object(&previous, "scale").unwrap_or_else(|| "{}".to_string());
+    for cell in &cells {
+        let (name, value) = cell.to_json();
+        scale = upsert_object(&scale, &name, &value);
+        scale = scale.trim_end().to_string();
+    }
     let report = upsert_object(&previous, "scale", &scale);
     std::fs::write(&out_path, report).expect("write report");
     println!("wrote {out_path}");

@@ -22,8 +22,7 @@
 
 use wg_server::WritePolicy;
 use wg_workload::{
-    system::run_cell, ExperimentConfig, FileCopyResult, NetworkKind, SfsConfig, SfsPoint, SfsSweep,
-    TableRow,
+    ExperimentConfig, FileCopyResult, NetworkKind, SfsConfig, SfsPoint, SfsSweep, TableRow,
 };
 
 /// Which table of the paper a configuration corresponds to.
@@ -164,16 +163,30 @@ pub fn rows_for(results: &[FileCopyResult]) -> Vec<TableRow> {
 /// Run every cell of a table.  `file_size` lets callers trade fidelity for
 /// runtime (the paper uses 10 MB; the Criterion benches use less).
 pub fn run_table(spec: &TableSpec, file_size: u64) -> TableOutput {
+    run_table_with(spec, file_size, |_| {})
+}
+
+/// Run every cell of a table with a final hook over each cell's derived
+/// [`wg_server::ServerConfig`].  The golden-parity tests use this to pin an
+/// *explicit* `shards = 1, cores = 1` server to the paper's snapshot, and the
+/// ablation harness to vary knobs the tables do not sweep.
+pub fn run_table_with(
+    spec: &TableSpec,
+    file_size: u64,
+    customize: impl Fn(&mut wg_server::ServerConfig),
+) -> TableOutput {
     let run_policy = |policy: WritePolicy| -> Vec<FileCopyResult> {
         spec.biods
             .iter()
             .map(|&biods| {
-                run_cell(
+                wg_workload::FileCopySystem::new_customized(
                     ExperimentConfig::new(spec.network, biods, policy)
                         .with_presto(spec.prestoserve)
                         .with_spindles(spec.spindles)
                         .with_file_size(file_size),
+                    |sc| customize(sc),
                 )
+                .run()
             })
             .collect()
     };

@@ -165,6 +165,17 @@ pub struct ServerConfig {
     /// raise it so aggregate working sets beyond one spindle's worth fit
     /// (addresses past the physical capacity simply pay full-stroke seeks).
     pub data_capacity: u64,
+    /// Number of request-path shards.  Each shard owns its own incoming
+    /// socket queue, nfsd sub-pool and duplicate-request-cache partition;
+    /// requests are routed by `inode % shards`, so per-file state (vnode
+    /// locks, gather batches) never crosses a shard boundary.  `1` (the
+    /// default) reproduces the paper's monolithic dispatch exactly.
+    pub shards: usize,
+    /// Number of CPU cores.  `1` (the default) is bit-identical to the
+    /// paper's serial CPU; more cores let independent shards' processing
+    /// steps overlap while utilisation is reported as an aggregate over the
+    /// whole pool.
+    pub cores: usize,
 }
 
 impl ServerConfig {
@@ -184,6 +195,8 @@ impl ServerConfig {
             cpu_speed: 1.0,
             dupcache_entries: 512,
             data_capacity: wg_ufs::FsParams::default().data_capacity,
+            shards: 1,
+            cores: 1,
         }
     }
 
@@ -219,6 +232,18 @@ impl ServerConfig {
         self.nfsds = n;
         self
     }
+
+    /// Shard the request path `n` ways (see [`ServerConfig::shards`]).
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Give the server `n` CPU cores (see [`ServerConfig::cores`]).
+    pub fn with_cores(mut self, n: usize) -> Self {
+        self.cores = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +258,9 @@ mod tests {
         assert_eq!(std.reply_order, ReplyOrder::Fifo);
         assert_eq!(std.socket_buffer_bytes, 256 * 1024);
         assert_eq!(std.max_procrastinations, 1);
+        // The paper's machine: one dispatch queue, one CPU.
+        assert_eq!(std.shards, 1);
+        assert_eq!(std.cores, 1);
         let g = ServerConfig::gathering();
         assert_eq!(g.policy, WritePolicy::Gathering);
     }
@@ -243,10 +271,14 @@ mod tests {
             .with_presto(true)
             .with_spindles(3)
             .with_nfsds(32)
+            .with_shards(4)
+            .with_cores(2)
             .with_procrastination(Duration::from_millis(5));
         assert!(cfg.storage.prestoserve);
         assert_eq!(cfg.storage.spindles, 3);
         assert_eq!(cfg.nfsds, 32);
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.cores, 2);
         assert_eq!(cfg.procrastination, Duration::from_millis(5));
     }
 

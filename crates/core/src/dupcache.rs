@@ -37,6 +37,16 @@ pub enum DupState {
 pub type DupKey = (u32, Xid);
 
 /// A bounded duplicate request cache.
+///
+/// Eviction is FIFO over `Done` (and stale) entries only: an `InProgress`
+/// entry is the *only* record that a gathered write's reply is still deferred
+/// on the active write queue, so evicting one under capacity pressure would
+/// let the client's retransmission re-execute as `New` — the §6.9 hazard that
+/// re-runs the write and orphans the deferred reply.  `InProgress` keys are
+/// rotated to the back of the eviction order instead; only if *every* cached
+/// entry is in progress (a pathologically undersized cache) is one forcibly
+/// evicted, and [`DuplicateRequestCache::evicted_in_progress`] counts exactly
+/// those forced evictions so tests and the CI bench smoke can assert zero.
 #[derive(Clone, Debug)]
 pub struct DuplicateRequestCache {
     capacity: usize,
@@ -44,6 +54,7 @@ pub struct DuplicateRequestCache {
     order: VecDeque<DupKey>,
     hits: u64,
     misses: u64,
+    evicted_in_progress: u64,
 }
 
 impl DuplicateRequestCache {
@@ -55,6 +66,7 @@ impl DuplicateRequestCache {
             order: VecDeque::new(),
             hits: 0,
             misses: 0,
+            evicted_in_progress: 0,
         }
     }
 
@@ -88,15 +100,41 @@ impl DuplicateRequestCache {
     }
 
     fn insert(&mut self, key: DupKey, state: DupState) {
-        if !self.entries.contains_key(&key) {
+        let fresh = !self.entries.contains_key(&key);
+        // Insert before evicting so the new entry's own state takes part in
+        // the InProgress-protection scan below (a fresh `start` must never be
+        // the entry chosen for eviction).
+        self.entries.insert(key, state);
+        if fresh {
             self.order.push_back(key);
             if self.order.len() > self.capacity {
-                if let Some(evicted) = self.order.pop_front() {
-                    self.entries.remove(&evicted);
-                }
+                self.evict_one();
             }
         }
-        self.entries.insert(key, state);
+    }
+
+    /// Evict one entry, preferring the oldest that is not `InProgress`.
+    /// In-progress keys encountered on the way are rotated to the back of the
+    /// order (they become the "newest" candidates, mirroring how the real
+    /// cache refreshes entries it must keep).  If every entry is in progress
+    /// the front one is evicted anyway — the cache cannot grow — and the
+    /// forced eviction is counted.
+    fn evict_one(&mut self) {
+        for _ in 0..self.order.len() {
+            let Some(front) = self.order.pop_front() else {
+                return;
+            };
+            if matches!(self.entries.get(&front), Some(DupState::InProgress)) {
+                self.order.push_back(front);
+            } else {
+                self.entries.remove(&front);
+                return;
+            }
+        }
+        if let Some(front) = self.order.pop_front() {
+            self.entries.remove(&front);
+            self.evicted_in_progress += 1;
+        }
     }
 
     /// Number of cached transactions.
@@ -117,6 +155,14 @@ impl DuplicateRequestCache {
     /// Lookup misses (fresh requests).
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Number of `InProgress` entries evicted because the entire cache was in
+    /// progress at once.  Any non-zero value means a deferred reply could be
+    /// orphaned by a retransmission; tests and the CI bench smoke assert this
+    /// stays zero.
+    pub fn evicted_in_progress(&self) -> u64 {
+        self.evicted_in_progress
     }
 }
 
@@ -168,16 +214,72 @@ mod tests {
     }
 
     #[test]
-    fn capacity_evicts_oldest() {
+    fn capacity_evicts_oldest_done_entries() {
+        let mut c = DuplicateRequestCache::new(3);
+        for i in 0..5u32 {
+            c.start(1, Xid(i));
+            c.complete(1, Xid(i), reply(i));
+        }
+        assert_eq!(c.len(), 3);
+        // The two oldest completed entries were evicted and now look new.
+        assert_eq!(c.lookup(1, Xid(0)), DupState::New);
+        assert_eq!(c.lookup(1, Xid(1)), DupState::New);
+        assert!(matches!(c.lookup(1, Xid(4)), DupState::Done(_)));
+        assert_eq!(c.evicted_in_progress(), 0);
+    }
+
+    #[test]
+    fn in_progress_entries_survive_capacity_pressure() {
+        // The §6.9 regression: a gathered write's InProgress entry must outlive
+        // a flood of completed transactions that overflows the cache.
+        let mut c = DuplicateRequestCache::new(3);
+        c.start(1, Xid(100)); // the deferred gathered write
+        for i in 0..10u32 {
+            c.start(1, Xid(i));
+            c.complete(1, Xid(i), reply(i));
+        }
+        // Done entries churned through every slot, but the retransmission of
+        // the pending write is still recognised — it is not re-executed.
+        assert_eq!(c.lookup(1, Xid(100)), DupState::InProgress);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.evicted_in_progress(), 0);
+        // Once the deferred reply goes out the entry becomes ordinary Done
+        // prey and can be evicted by later traffic.
+        c.complete(1, Xid(100), reply(100));
+        for i in 20..24u32 {
+            c.start(1, Xid(i));
+            c.complete(1, Xid(i), reply(i));
+        }
+        assert_eq!(c.lookup(1, Xid(100)), DupState::New);
+        assert_eq!(c.evicted_in_progress(), 0);
+    }
+
+    #[test]
+    fn all_in_progress_cache_forces_eviction_and_counts_it() {
         let mut c = DuplicateRequestCache::new(3);
         for i in 0..5u32 {
             c.start(1, Xid(i));
         }
         assert_eq!(c.len(), 3);
-        // The two oldest were evicted and now look new again.
+        // Nothing evictable existed, so the oldest in-progress entries were
+        // forced out — and the hazard is visible on the counter.
+        assert_eq!(c.evicted_in_progress(), 2);
         assert_eq!(c.lookup(1, Xid(0)), DupState::New);
-        assert_eq!(c.lookup(1, Xid(1)), DupState::New);
         assert_eq!(c.lookup(1, Xid(4)), DupState::InProgress);
+    }
+
+    #[test]
+    fn fresh_start_is_never_its_own_eviction_victim() {
+        // Overflowing insert of an InProgress key while every resident entry
+        // is Done: the newcomer must stay, the oldest Done must go.
+        let mut c = DuplicateRequestCache::new(2);
+        c.complete(1, Xid(1), reply(1));
+        c.complete(1, Xid(2), reply(2));
+        c.start(1, Xid(3));
+        assert_eq!(c.lookup(1, Xid(3)), DupState::InProgress);
+        assert_eq!(c.lookup(1, Xid(1)), DupState::New);
+        assert!(matches!(c.lookup(1, Xid(2)), DupState::Done(_)));
+        assert_eq!(c.evicted_in_progress(), 0);
     }
 
     #[test]

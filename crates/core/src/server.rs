@@ -1,11 +1,23 @@
 //! The NFS server state machine.
 //!
 //! One [`NfsServer`] owns everything that lives on the server host: the
-//! filesystem, the storage stack, the CPU, the socket buffer, the nfsd pool,
-//! the duplicate request cache and the per-file gathering state.  The
-//! orchestrator feeds it arriving datagrams and timer wake-ups
-//! ([`ServerInput`]) and receives the replies to transmit plus the wake-ups to
-//! schedule ([`ServerAction`]).
+//! filesystem, the storage stack, the CPU pool, the sharded request path and
+//! the per-file gathering state.  The orchestrator feeds it arriving
+//! datagrams and timer wake-ups ([`ServerInput`]) and receives the replies to
+//! transmit plus the wake-ups to schedule ([`ServerAction`]).
+//!
+//! ## Sharding
+//!
+//! The request path is split into [`ServerConfig::shards`] independent
+//! shards.  Each shard owns its own incoming socket queue, its own sub-pool
+//! of nfsds and its own duplicate-request-cache partition; an arriving call
+//! is routed to the shard of the inode its file handle names (`ino %
+//! shards`), so everything keyed by inode — the vnode-lock map, the per-file
+//! gather table, the socket-buffer scans of the mbuf hunter — stays local to
+//! one shard.  The filesystem, the storage device and the CPU pool
+//! ([`wg_simcore::MultiCpu`]) remain shared, as they are on a real multi-core
+//! host.  With `shards = 1` and `cores = 1` the dispatch is byte-identical to
+//! the paper's monolithic single-CPU server.
 //!
 //! All storage and CPU latencies are resolved *eagerly*: when an nfsd starts a
 //! synchronous write at time `t`, the disk model immediately tells us when the
@@ -24,7 +36,7 @@ use wg_nfsproto::{
     StatusReply, WriteArgs, Xid,
 };
 use wg_nvram::{Presto, PrestoParams};
-use wg_simcore::{Cpu, Duration, SimTime, Trace, TraceKind};
+use wg_simcore::{Duration, MultiCpu, SimTime, Trace, TraceKind};
 use wg_ufs::{FsyncFlags, InodeNumber, Ufs, WriteFlags, WriteSource};
 
 /// View a request payload as a filesystem write source without materialising
@@ -37,6 +49,11 @@ fn write_source(payload: &Payload) -> WriteSource<'_> {
         },
         None => WriteSource::Bytes(payload.as_bytes().expect("non-fill payload has bytes")),
     }
+}
+
+/// Clamp a 64-bit block count into a 32-bit protocol field.
+fn saturate_u32(v: u64) -> u32 {
+    v.min(u32::MAX as u64) as u32
 }
 
 use crate::config::{ReplyOrder, ServerConfig, WritePolicy};
@@ -94,8 +111,9 @@ pub enum ServerAction {
 /// What a wake-up token means.
 #[derive(Clone, Copy, Debug)]
 enum WakeReason {
-    /// An nfsd became free; pull more work from the socket buffer.
-    NfsdFree,
+    /// An nfsd of the given shard became free; pull more work from that
+    /// shard's socket queue.
+    NfsdFree { shard: usize },
     /// A gathering nfsd's procrastination interval (or first-write latency
     /// window) expired for the given file.
     GatherContinue { nfsd: usize, ino: InodeNumber },
@@ -114,6 +132,16 @@ struct Incoming {
 #[derive(Clone, Copy, Debug)]
 struct Nfsd {
     free_at: SimTime,
+    /// The shard whose queue this nfsd serves.
+    shard: usize,
+}
+
+/// One shard of the request path: its own incoming queue and its own
+/// duplicate-request-cache partition.  (Its nfsd sub-pool is the set of
+/// [`Nfsd`]s whose `shard` field names it.)
+struct Shard {
+    sockbuf: SocketBuffer<Incoming>,
+    dupcache: DuplicateRequestCache,
 }
 
 /// The NFS server.
@@ -122,12 +150,11 @@ pub struct NfsServer {
     fs: Ufs,
     device: Box<dyn BlockDevice>,
     accelerated: bool,
-    cpu: Cpu,
-    sockbuf: SocketBuffer<Incoming>,
+    cpu: MultiCpu,
+    shards: Vec<Shard>,
     nfsds: Vec<Nfsd>,
     gathers: HashMap<InodeNumber, FileGather>,
     vnode_locks: HashMap<InodeNumber, SimTime>,
-    dupcache: DuplicateRequestCache,
     wake_reasons: HashMap<u64, WakeReason>,
     next_token: u64,
     stats: ServerStats,
@@ -149,23 +176,37 @@ impl NfsServer {
                 )),
             };
         let accelerated = config.storage.prestoserve;
-        let nfsds = vec![
-            Nfsd {
-                free_at: SimTime::ZERO
-            };
-            config.nfsds.max(1)
-        ];
+        let shard_count = config.shards.max(1);
+        // Every shard needs at least one nfsd; round-robin assignment keeps
+        // the sub-pools balanced and, at shards = 1, reproduces the original
+        // single pool (all nfsds on shard 0, lowest index preferred).
+        let nfsd_count = config.nfsds.max(1).max(shard_count);
+        let nfsds: Vec<Nfsd> = (0..nfsd_count)
+            .map(|i| Nfsd {
+                free_at: SimTime::ZERO,
+                shard: i % shard_count,
+            })
+            .collect();
+        // The dupcache partitions split the configured entry budget; each
+        // shard keeps its own incoming queue at the full socket-buffer size
+        // (a real sharded server binds one receive queue per shard).
+        let dup_entries = config.dupcache_entries.max(1).div_ceil(shard_count);
+        let shards: Vec<Shard> = (0..shard_count)
+            .map(|_| Shard {
+                sockbuf: SocketBuffer::with_capacity(config.socket_buffer_bytes),
+                dupcache: DuplicateRequestCache::new(dup_entries),
+            })
+            .collect();
         let fs_params = wg_ufs::FsParams {
             data_capacity: config.data_capacity,
             ..wg_ufs::FsParams::default()
         };
         NfsServer {
-            sockbuf: SocketBuffer::with_capacity(config.socket_buffer_bytes),
-            dupcache: DuplicateRequestCache::new(config.dupcache_entries),
-            cpu: Cpu::with_speed(config.cpu_speed),
+            cpu: MultiCpu::with_speed(config.cores.max(1), config.cpu_speed),
             fs: Ufs::new(1, fs_params),
             device,
             accelerated,
+            shards,
             nfsds,
             gathers: HashMap::new(),
             vnode_locks: HashMap::new(),
@@ -230,13 +271,30 @@ impl NfsServer {
     /// the warm-up/setup phase and the measured phase.
     pub fn reset_measurement(&mut self) {
         self.device.reset_stats();
-        self.cpu = Cpu::with_speed(self.config.cpu_speed);
+        self.cpu = MultiCpu::with_speed(self.config.cores.max(1), self.config.cpu_speed);
         self.stats = ServerStats::new();
     }
 
-    /// The number of datagrams dropped because the socket buffer was full.
+    /// The number of datagrams dropped because a shard's socket buffer was
+    /// full, summed over all shards.
     pub fn socket_drops(&self) -> u64 {
-        self.sockbuf.dropped()
+        self.shards.iter().map(|s| s.sockbuf.dropped()).sum()
+    }
+
+    /// Number of request-path shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `InProgress` duplicate-cache entries forcibly evicted under capacity
+    /// pressure, summed over every shard's partition.  Non-zero means a
+    /// deferred gathered-write reply could have been orphaned (§6.9); tests
+    /// and the CI bench smoke assert this stays zero.
+    pub fn dupcache_evicted_in_progress(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.dupcache.evicted_in_progress())
+            .sum()
     }
 
     /// Bytes of dirty, un-committed data currently in server memory.  For the
@@ -287,7 +345,7 @@ impl NfsServer {
             ServerInput::Wakeup { token } => {
                 if let Some(reason) = self.wake_reasons.remove(&token) {
                     match reason {
-                        WakeReason::NfsdFree => self.dispatch(now, actions),
+                        WakeReason::NfsdFree { shard } => self.dispatch(now, shard, actions),
                         WakeReason::GatherContinue { nfsd, ino } => {
                             self.continue_gather(now, nfsd, ino, actions);
                         }
@@ -295,6 +353,29 @@ impl NfsServer {
                 }
             }
         }
+    }
+
+    /// The shard owning an inode's request state.
+    fn shard_of_ino(&self, ino: InodeNumber) -> usize {
+        (ino % self.shards.len() as u64) as usize
+    }
+
+    /// Route a call to a shard by the inode its file handle names.  The raw
+    /// handle bytes are used (no staleness check), so a retransmission always
+    /// lands on the same shard — and therefore the same dupcache partition —
+    /// as the original, even if the file has since been removed.
+    fn shard_of_call(&self, call: &NfsCall) -> usize {
+        let handle = match &call.body {
+            NfsCallBody::Write(a) => &a.file,
+            NfsCallBody::Read(a) => &a.file,
+            NfsCallBody::Getattr(a) | NfsCallBody::Statfs(a) => &a.file,
+            NfsCallBody::Setattr(a) => &a.file,
+            NfsCallBody::Lookup(a) | NfsCallBody::Remove(a) => &a.dir,
+            NfsCallBody::Readdir(a) => &a.dir,
+            NfsCallBody::Create(a) => &a.where_.dir,
+            NfsCallBody::Null => return 0,
+        };
+        self.shard_of_ino(handle.inode())
     }
 
     fn on_datagram(
@@ -316,10 +397,11 @@ impl NfsServer {
                 format!("{:?} ({} bytes)", call.body.procedure(), wire_size),
             );
         }
+        let shard = self.shard_of_call(&call);
         // Duplicate request handling happens before queueing, as the real
         // server does it in the dispatch path: drop in-progress duplicates,
         // answer completed ones from the cache.
-        match self.dupcache.lookup(client, call.xid) {
+        match self.shards[shard].dupcache.lookup(client, call.xid) {
             DupState::InProgress => {
                 self.stats.duplicate_requests += 1;
                 return;
@@ -344,36 +426,36 @@ impl NfsServer {
             fragments,
             arrived: now,
         };
-        if !self.sockbuf.offer(wire_size, incoming) {
+        if !self.shards[shard].sockbuf.offer(wire_size, incoming) {
             self.stats.socket_drops += 1;
             self.trace
                 .record(now, TraceKind::RequestDropped, 0, "socket buffer full");
             return;
         }
-        self.dispatch(now, actions);
+        self.dispatch(now, shard, actions);
     }
 
-    /// Assign queued requests to idle nfsds.
-    fn dispatch(&mut self, now: SimTime, actions: &mut Vec<ServerAction>) {
+    /// Assign one shard's queued requests to its idle nfsds.
+    fn dispatch(&mut self, now: SimTime, shard: usize, actions: &mut Vec<ServerAction>) {
         loop {
-            if self.sockbuf.is_empty() {
+            if self.shards[shard].sockbuf.is_empty() {
                 return;
             }
-            let Some(nfsd) = self.find_idle_nfsd(now) else {
+            let Some(nfsd) = self.find_idle_nfsd(shard, now) else {
                 return;
             };
-            let Some(incoming) = self.sockbuf.take() else {
+            let Some(incoming) = self.shards[shard].sockbuf.take() else {
                 return;
             };
             self.process_request(now, nfsd, incoming, actions);
         }
     }
 
-    fn find_idle_nfsd(&self, now: SimTime) -> Option<usize> {
+    fn find_idle_nfsd(&self, shard: usize, now: SimTime) -> Option<usize> {
         self.nfsds
             .iter()
             .enumerate()
-            .filter(|(_, d)| d.free_at <= now)
+            .filter(|(_, d)| d.shard == shard && d.free_at <= now)
             .map(|(i, _)| i)
             .next()
     }
@@ -390,11 +472,12 @@ impl NfsServer {
         actions.push(ServerAction::Wakeup { at, token });
     }
 
-    /// Mark an nfsd busy until `until` and arrange for the dispatcher to run
-    /// when it frees up.
+    /// Mark an nfsd busy until `until` and arrange for its shard's dispatcher
+    /// to run when it frees up.
     fn occupy_nfsd(&mut self, nfsd: usize, until: SimTime, actions: &mut Vec<ServerAction>) {
         self.nfsds[nfsd].free_at = until;
-        self.schedule_wakeup(until, WakeReason::NfsdFree, actions);
+        let shard = self.nfsds[nfsd].shard;
+        self.schedule_wakeup(until, WakeReason::NfsdFree { shard }, actions);
     }
 
     fn vnode_free(&self, ino: InodeNumber) -> SimTime {
@@ -414,7 +497,8 @@ impl NfsServer {
             fragments,
             arrived,
         } = incoming;
-        self.dupcache.start(client, call.xid);
+        let shard = self.nfsds[nfsd].shard;
+        self.shards[shard].dupcache.start(client, call.xid);
         if self.trace.is_enabled() {
             self.trace.record(
                 now,
@@ -463,12 +547,15 @@ impl NfsServer {
         let reply_body = match body {
             NfsCallBody::Null => NfsReplyBody::Null,
             NfsCallBody::Getattr(a) => NfsReplyBody::Attr(self.attr_reply(&a.file)),
+            // The v2 statfs fields are 32-bit; a large configured
+            // `data_capacity` overflows them, so the counts saturate instead
+            // of wrapping (a wrapped `blocks` reads as a nearly empty disk).
             NfsCallBody::Statfs(_a) => NfsReplyBody::Statfs(StatusReply::Ok(StatfsOk {
                 tsize: 8192,
                 bsize: 8192,
-                blocks: self.fs.total_block_count() as u32,
-                bfree: self.fs.free_block_count() as u32,
-                bavail: self.fs.free_block_count() as u32,
+                blocks: saturate_u32(self.fs.total_block_count()),
+                bfree: saturate_u32(self.fs.free_block_count()),
+                bavail: saturate_u32(self.fs.free_block_count()),
             })),
             NfsCallBody::Lookup(a) => match ino_from_handle(&self.fs, &a.dir)
                 .and_then(|dir| self.fs.lookup(dir, &a.name))
@@ -581,7 +668,7 @@ impl NfsServer {
             NfsCallBody::Write(_) => unreachable!("writes are handled by handle_write"),
         };
         self.stats.other_ops_completed.record(0);
-        let reply_at = self.finish_reply(done, client, xid, arrived, reply_body, actions);
+        let reply_at = self.finish_reply(done, nfsd, client, xid, arrived, reply_body, actions);
         self.occupy_nfsd(nfsd, reply_at, actions);
     }
 
@@ -641,11 +728,14 @@ impl NfsServer {
     }
 
     /// Build the reply, charge the send cost, record statistics and hand the
-    /// reply to the orchestrator.
+    /// reply to the orchestrator.  The `nfsd` names the thread completing the
+    /// request; its shard's dupcache partition — the one that routed the call
+    /// — records the reply.
     #[allow(clippy::too_many_arguments)]
     fn finish_reply(
         &mut self,
         done: SimTime,
+        nfsd: usize,
         client: ClientId,
         xid: Xid,
         arrived: SimTime,
@@ -659,7 +749,10 @@ impl NfsServer {
         let reply = NfsReply::new(xid, body);
         // Cloning the reply for the cache shares the payload (Payload is
         // either a pattern or an Arc), so this is cheap even for READ data.
-        self.dupcache.complete(client, xid, Arc::new(reply.clone()));
+        let shard = self.nfsds[nfsd].shard;
+        self.shards[shard]
+            .dupcache
+            .complete(client, xid, Arc::new(reply.clone()));
         self.stats.replies_sent += 1;
         self.stats.residence.record(at.since(arrived));
         self.trace
@@ -688,6 +781,7 @@ impl NfsServer {
             Err(e) => {
                 let reply_at = self.finish_reply(
                     t,
+                    nfsd,
                     client,
                     xid,
                     arrived,
@@ -751,12 +845,13 @@ impl NfsServer {
                 let body = NfsReplyBody::Attr(self.attr_reply(&args.file));
                 self.stats.writes_completed.record(args.data.len() as u64);
                 self.stats.write_residence.record(done.since(arrived));
-                let reply_at = self.finish_reply(done, client, xid, arrived, body, actions);
+                let reply_at = self.finish_reply(done, nfsd, client, xid, arrived, body, actions);
                 self.occupy_nfsd(nfsd, reply_at, actions);
             }
             Err(e) => {
                 let reply_at = self.finish_reply(
                     t1,
+                    nfsd,
                     client,
                     xid,
                     arrived,
@@ -796,7 +891,7 @@ impl NfsServer {
             }
             Err(e) => NfsReplyBody::Attr(StatusReply::Err(fs_error_to_status(e))),
         };
-        let reply_at = self.finish_reply(t1, client, xid, arrived, body, actions);
+        let reply_at = self.finish_reply(t1, nfsd, client, xid, arrived, body, actions);
         self.occupy_nfsd(nfsd, reply_at, actions);
     }
 
@@ -838,6 +933,7 @@ impl NfsServer {
             Err(e) => {
                 let reply_at = self.finish_reply(
                     t1,
+                    nfsd,
                     client,
                     xid,
                     arrived,
@@ -945,12 +1041,18 @@ impl NfsServer {
     }
 
     fn socket_buffer_has_write_for(&self, ino: InodeNumber) -> bool {
-        self.sockbuf.scan().any(|inc| match &inc.call.body {
-            NfsCallBody::Write(w) => ino_from_handle(&self.fs, &w.file)
-                .map(|i| i == ino)
-                .unwrap_or(false),
-            _ => false,
-        })
+        // All writes to this inode were routed to its shard, so one shard's
+        // queue is the only place a follow-on write can be waiting.
+        let shard = self.shard_of_ino(ino);
+        self.shards[shard]
+            .sockbuf
+            .scan()
+            .any(|inc| match &inc.call.body {
+                NfsCallBody::Write(w) => ino_from_handle(&self.fs, &w.file)
+                    .map(|i| i == ino)
+                    .unwrap_or(false),
+                _ => false,
+            })
     }
 
     /// The responsible nfsd's continuation: its procrastination (or
@@ -965,7 +1067,8 @@ impl NfsServer {
     ) {
         let Some(gather) = self.gathers.get(&ino) else {
             self.nfsds[nfsd].free_at = now;
-            self.dispatch(now, actions);
+            let shard = self.nfsds[nfsd].shard;
+            self.dispatch(now, shard, actions);
             return;
         };
         // Did company arrive while we slept?
@@ -982,7 +1085,8 @@ impl NfsServer {
                 g.responsible = None;
             }
             self.nfsds[nfsd].free_at = now;
-            self.dispatch(now, actions);
+            let shard = self.nfsds[nfsd].shard;
+            self.dispatch(now, shard, actions);
             return;
         }
         self.flush_gathered(now, nfsd, ino, actions);
@@ -1004,7 +1108,8 @@ impl NfsServer {
         if batch.is_empty() {
             gather.finish(nfsd);
             self.nfsds[nfsd].free_at = now;
-            self.dispatch(now, actions);
+            let shard = self.nfsds[nfsd].shard;
+            self.dispatch(now, shard, actions);
             return;
         }
         // VOP_SYNCDATA with the gathered range as a hint, then VOP_FSYNC for
@@ -1043,7 +1148,7 @@ impl NfsServer {
                 Err(e) => NfsReplyBody::Attr(StatusReply::Err(fs_error_to_status(*e))),
             };
             self.stats.write_residence.record(done.since(w.arrived));
-            done = self.finish_reply(done, w.client, w.xid, w.arrived, body, actions);
+            done = self.finish_reply(done, nfsd, w.client, w.xid, w.arrived, body, actions);
         }
         if let Some(g) = self.gathers.get_mut(&ino) {
             g.finish(nfsd);
@@ -1063,8 +1168,16 @@ impl NfsServer {
                 .map(|g| g.pending_count() > 0)
                 .unwrap_or(false)
             {
-                self.flush_gathered(now, 0, ino, actions);
-                done = done.max(self.nfsds[0].free_at);
+                // Flush on the owning shard's first nfsd (shard 0's nfsd 0 in
+                // the unsharded configuration, exactly as before).
+                let shard = self.shard_of_ino(ino);
+                let nfsd = self
+                    .nfsds
+                    .iter()
+                    .position(|d| d.shard == shard)
+                    .expect("every shard has an nfsd");
+                self.flush_gathered(now, nfsd, ino, actions);
+                done = done.max(self.nfsds[nfsd].free_at);
             }
         }
         done.max(self.device.free_at())
@@ -1301,6 +1414,135 @@ mod tests {
         let mut fs = server.fs().clone();
         let read = fs.read(ino, 0, 8192).unwrap();
         assert_eq!(read.to_vec(), vec![7u8; 8192]);
+    }
+
+    #[test]
+    fn pending_gathered_write_survives_dupcache_overflow() {
+        // The §6.9 regression: a gathered WRITE's reply is deferred; while the
+        // responsible nfsd procrastinates, unrelated traffic overflows a tiny
+        // duplicate request cache.  The write's InProgress entry must survive
+        // the churn so its retransmission is dropped, not re-executed.
+        let mut cfg = ServerConfig::gathering();
+        cfg.dupcache_entries = 4;
+        let mut server = NfsServer::new(cfg);
+        let root = server.fs().root();
+        let ino = server.fs_mut().create(root, "target", 0o644, 0).unwrap();
+        let fh = server.handle_for_ino(ino).unwrap();
+        let write = write_call(&server, ino, 42, 0, 8192);
+        let mut inputs = vec![(SimTime::ZERO, datagram(write.clone()))];
+        // Ten lightweight requests churn through the 4-entry cache well inside
+        // the 8 ms procrastination window.
+        for i in 0..10u64 {
+            let getattr = NfsCall::new(
+                Xid(1000 + i as u32),
+                NfsCallBody::Getattr(wg_nfsproto::GetattrArgs { file: fh }),
+            );
+            inputs.push((SimTime::from_micros(1000 + i * 100), datagram(getattr)));
+        }
+        // The retransmission arrives while the original is still gathered.
+        inputs.push((SimTime::from_millis(5), datagram(write)));
+        let replies = run_to_completion(&mut server, inputs);
+        // One reply per getattr, exactly one for the write: the
+        // retransmission was recognised as in progress and dropped.
+        assert_eq!(replies.len(), 11);
+        assert_eq!(
+            replies.iter().filter(|(_, r)| r.xid == Xid(42)).count(),
+            1,
+            "the retransmitted gathered write was re-executed"
+        );
+        assert_eq!(server.stats().duplicate_requests, 1);
+        assert_eq!(server.dupcache_evicted_in_progress(), 0);
+        assert_eq!(server.uncommitted_bytes(), 0);
+    }
+
+    #[test]
+    fn statfs_block_counts_saturate_instead_of_wrapping() {
+        // ~35 TB of configured capacity: the true block count exceeds u32 and
+        // used to wrap to a tiny number through the `as u32` casts.
+        let mut cfg = ServerConfig::standard();
+        cfg.data_capacity = (u32::MAX as u64 + 1_000) * 8192;
+        let mut server = NfsServer::new(cfg);
+        let root_fh = server.root_handle();
+        let call = NfsCall::new(
+            Xid(1),
+            NfsCallBody::Statfs(wg_nfsproto::GetattrArgs { file: root_fh }),
+        );
+        let replies = run_to_completion(&mut server, vec![(SimTime::ZERO, datagram(call))]);
+        assert_eq!(replies.len(), 1);
+        match &replies[0].1.body {
+            NfsReplyBody::Statfs(StatusReply::Ok(s)) => {
+                assert_eq!(s.blocks, u32::MAX);
+                assert_eq!(s.bfree, u32::MAX);
+                assert_eq!(s.bavail, u32::MAX);
+            }
+            other => panic!("unexpected statfs reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_server_serves_independent_files_and_keeps_integrity() {
+        let mut cfg = ServerConfig::gathering().with_shards(4).with_cores(2);
+        cfg.nfsds = 8;
+        let mut server = NfsServer::new(cfg);
+        assert_eq!(server.shard_count(), 4);
+        let root = server.fs().root();
+        // Eight files spread across the shards, five writes each.
+        let inos: Vec<InodeNumber> = (0..8)
+            .map(|i| {
+                server
+                    .fs_mut()
+                    .create(root, &format!("f{i}"), 0o644, 0)
+                    .unwrap()
+            })
+            .collect();
+        let mut inputs = Vec::new();
+        let mut xid = 100u32;
+        for (fi, &ino) in inos.iter().enumerate() {
+            for w in 0..5u64 {
+                let call = write_call(&server, ino, xid, w * 8192, 8192);
+                xid += 1;
+                inputs.push((SimTime::from_millis(fi as u64 + w), datagram(call)));
+            }
+        }
+        let replies = run_to_completion(&mut server, inputs);
+        assert_eq!(replies.len(), 40);
+        assert!(replies.iter().all(|(_, r)| r.body.is_ok()));
+        assert_eq!(server.uncommitted_bytes(), 0);
+        assert_eq!(server.dupcache_evicted_in_progress(), 0);
+        // Every file holds its five blocks of fill data.
+        let mut fs = server.fs().clone();
+        for &ino in &inos {
+            assert_eq!(fs.getattr(ino).unwrap().size, 5 * 8192);
+            let read = fs.read(ino, 0, 8192).unwrap();
+            assert!(read.to_vec().iter().all(|&b| b == 7));
+        }
+        // Gathering still worked per shard.
+        assert!(server.stats().writes_gathered > 0);
+    }
+
+    #[test]
+    fn sharded_duplicate_write_is_not_reexecuted() {
+        // The duplicate-recognition contract holds when the dupcache is
+        // partitioned: original and retransmission route to the same shard.
+        let mut cfg = ServerConfig::gathering().with_shards(3);
+        cfg.nfsds = 6;
+        let mut server = NfsServer::new(cfg);
+        let root = server.fs().root();
+        let ino = server.fs_mut().create(root, "t", 0o644, 0).unwrap();
+        let call = write_call(&server, ino, 7, 0, 8192);
+        let dup = call.clone();
+        let replies = run_to_completion(
+            &mut server,
+            vec![
+                (SimTime::ZERO, datagram(call)),
+                (SimTime::from_millis(2), datagram(dup.clone())),
+                (SimTime::from_millis(200), datagram(dup)),
+            ],
+        );
+        assert_eq!(replies.len(), 2);
+        assert_eq!(server.stats().duplicate_requests, 2);
+        let mut fs = server.fs().clone();
+        assert_eq!(fs.read(ino, 0, 8192).unwrap().to_vec(), vec![7u8; 8192]);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! A single shared processor resource.
+//! Shared processor resources.
 //!
 //! The paper's tables report *server CPU utilisation*; the gathering result on
 //! Prestoserve configurations (Tables 2, 4, 6) is a CPU-efficiency result, so
@@ -9,8 +9,13 @@
 //! seconds of processing starting no earlier than `ready` gets the interval
 //! `[max(ready, busy_until), max(ready, busy_until) + cost)`, and the busy time
 //! is accumulated for utilisation reporting.  This matches how nfsd processing
-//! steps occupy a 1993-era single-CPU server.  Multi-CPU servers can be
-//! approximated by constructing the [`Cpu`] with a speedup factor.
+//! steps occupy a 1993-era single-CPU server.
+//!
+//! [`MultiCpu`] generalises the same contract to N cores: each processing step
+//! runs to completion on whichever core can start it earliest, and utilisation
+//! is reported as aggregate busy time over `cores × observed`.  A one-core
+//! [`MultiCpu`] performs exactly the arithmetic of [`Cpu`], so single-CPU
+//! configurations are bit-identical whichever type models them.
 
 use crate::stats::Utilization;
 use crate::time::{Duration, SimTime};
@@ -92,6 +97,95 @@ impl Cpu {
     }
 }
 
+/// A pool of identical cores with aggregate busy-time accounting.
+///
+/// Each processing step is non-preemptive and runs on the core that can start
+/// it earliest (lowest index on ties, so runs stay deterministic).  With one
+/// core the arithmetic — start time, completion time, accumulated busy time,
+/// utilisation — is bit-identical to [`Cpu`], which is what lets the sharded
+/// server keep the paper's single-CPU numbers unchanged at `cores = 1`.
+#[derive(Clone, Debug)]
+pub struct MultiCpu {
+    /// Per-core `busy_until` times.
+    cores: Vec<SimTime>,
+    util: Utilization,
+    speed_factor: f64,
+}
+
+impl MultiCpu {
+    /// A pool of `cores` unit-speed cores (at least one).
+    pub fn new(cores: usize) -> Self {
+        Self::with_speed(cores, 1.0)
+    }
+
+    /// A pool of `cores` cores, each `factor`× faster than the reference cost
+    /// table.
+    ///
+    /// Panics if `factor` is not strictly positive and finite.
+    pub fn with_speed(cores: usize, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "invalid CPU speed factor"
+        );
+        MultiCpu {
+            cores: vec![SimTime::ZERO; cores.max(1)],
+            util: Utilization::new(),
+            speed_factor: factor,
+        }
+    }
+
+    /// Number of cores in the pool.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Run a processing step of length `cost` (at reference speed) that cannot
+    /// begin before `ready`, on the core that can start it earliest.  Returns
+    /// the completion time.
+    pub fn run(&mut self, ready: SimTime, cost: Duration) -> SimTime {
+        let scaled = Duration::from_secs_f64(cost.as_secs_f64() / self.speed_factor);
+        let idx = self
+            .cores
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .map(|(i, _)| i)
+            .expect("at least one core");
+        let start = ready.max(self.cores[idx]);
+        let end = start + scaled;
+        self.cores[idx] = end;
+        self.util.add_busy(scaled);
+        end
+    }
+
+    /// Account CPU work without serialising on any core (see
+    /// [`Cpu::run_overlapped`]).  Returns `ready + cost` scaled.
+    pub fn run_overlapped(&mut self, ready: SimTime, cost: Duration) -> SimTime {
+        let scaled = Duration::from_secs_f64(cost.as_secs_f64() / self.speed_factor);
+        self.util.add_busy(scaled);
+        ready + scaled
+    }
+
+    /// The earliest time at which a new processing step could start on some
+    /// core.
+    pub fn free_at(&self) -> SimTime {
+        self.cores.iter().copied().min().expect("at least one core")
+    }
+
+    /// Total accumulated busy time across all cores.
+    pub fn busy_time(&self) -> Duration {
+        self.util.busy_time()
+    }
+
+    /// Aggregate utilisation percentage over an observed span: busy time
+    /// divided by `cores × observed`, so a fully loaded 4-core pool reads
+    /// 100 %, not 400 %.
+    pub fn utilization_percent(&self, observed: Duration) -> f64 {
+        self.util
+            .percent(observed.saturating_mul(self.cores.len() as u64))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +232,69 @@ mod tests {
     #[should_panic(expected = "invalid CPU speed factor")]
     fn zero_speed_panics() {
         let _ = Cpu::with_speed(0.0);
+    }
+
+    #[test]
+    fn one_core_multicpu_matches_cpu_exactly() {
+        let mut serial = Cpu::with_speed(1.3);
+        let mut multi = MultiCpu::with_speed(1, 1.3);
+        // An irregular schedule: arrivals both before and after the busy edge.
+        let steps = [
+            (0u64, 1700u64),
+            (500, 2300),
+            (9000, 400),
+            (9100, 800),
+            (9100, 50),
+        ];
+        for (ready_us, cost_us) in steps {
+            let a = serial.run(
+                SimTime::from_micros(ready_us),
+                Duration::from_micros(cost_us),
+            );
+            let b = multi.run(
+                SimTime::from_micros(ready_us),
+                Duration::from_micros(cost_us),
+            );
+            assert_eq!(a, b);
+        }
+        assert_eq!(serial.free_at(), multi.free_at());
+        assert_eq!(serial.busy_time(), multi.busy_time());
+        let span = Duration::from_millis(20);
+        assert_eq!(
+            serial.utilization_percent(span).to_bits(),
+            multi.utilization_percent(span).to_bits()
+        );
+    }
+
+    #[test]
+    fn extra_cores_run_steps_in_parallel() {
+        let mut multi = MultiCpu::new(2);
+        let t1 = multi.run(SimTime::ZERO, Duration::from_millis(4));
+        let t2 = multi.run(SimTime::ZERO, Duration::from_millis(4));
+        // Both steps start immediately on distinct cores.
+        assert_eq!(t1, SimTime::from_millis(4));
+        assert_eq!(t2, SimTime::from_millis(4));
+        // A third step waits for the earliest core.
+        let t3 = multi.run(SimTime::ZERO, Duration::from_millis(1));
+        assert_eq!(t3, SimTime::from_millis(5));
+        assert_eq!(multi.busy_time(), Duration::from_millis(9));
+        assert_eq!(multi.cores(), 2);
+    }
+
+    #[test]
+    fn multicore_utilisation_is_aggregate() {
+        let mut multi = MultiCpu::new(4);
+        // One core busy for the whole 10 ms span: 25 % of the pool.
+        multi.run(SimTime::ZERO, Duration::from_millis(10));
+        let pct = multi.utilization_percent(Duration::from_millis(10));
+        assert!((pct - 25.0).abs() < 1e-9, "pct {pct}");
+    }
+
+    #[test]
+    fn zero_cores_is_clamped_to_one() {
+        let mut multi = MultiCpu::new(0);
+        assert_eq!(multi.cores(), 1);
+        let t = multi.run(SimTime::ZERO, Duration::from_millis(1));
+        assert_eq!(t, SimTime::from_millis(1));
     }
 }

@@ -6,8 +6,9 @@
 //! * [`SimTime`] / [`Duration`] — a nanosecond-resolution virtual clock,
 //! * [`EventQueue`] — a deterministic future-event list (ties broken by
 //!   insertion order, so identical inputs always produce identical runs),
-//! * [`Cpu`] — a single shared processor resource with busy-time accounting,
-//!   used to model server (and client) CPU utilisation,
+//! * [`Cpu`] / [`MultiCpu`] — shared processor resources with busy-time
+//!   accounting, used to model server (and client) CPU utilisation; a one-core
+//!   [`MultiCpu`] is bit-identical to [`Cpu`],
 //! * [`stats`] — counters, time-weighted utilisation trackers and latency
 //!   histograms used by every table in the paper,
 //! * [`trace`] — an event trace recorder used to regenerate Figure 1,
@@ -33,7 +34,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use cpu::Cpu;
+pub use cpu::{Cpu, MultiCpu};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Counter, LatencyStat, Utilization};

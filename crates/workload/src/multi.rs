@@ -62,6 +62,15 @@ pub struct MultiClientConfig {
     /// Largest single file a client writes before rolling to the next segment
     /// (must fit UFS's single-indirect limit of ≈16 MB).
     pub file_limit: u64,
+    /// Number of server request-path shards (see
+    /// [`wg_server::ServerConfig::shards`]).  `1` is the monolithic server.
+    pub shards: usize,
+    /// Number of server CPU cores (see [`wg_server::ServerConfig::cores`]).
+    pub cores: usize,
+    /// Give every client its own network segment (one LAN per client, all
+    /// feeding the one server) instead of contending on a single shared
+    /// medium — the paper's private-segment topology scaled out.
+    pub per_client_lans: bool,
 }
 
 /// Stride between the xid bases of consecutive segments of one client, and
@@ -86,6 +95,9 @@ impl MultiClientConfig {
             nfsds: 8.max(4 * clients),
             bytes_per_client: 10 * 1024 * 1024,
             file_limit: 8 * 1024 * 1024,
+            shards: 1,
+            cores: 1,
+            per_client_lans: false,
         }
     }
 
@@ -116,6 +128,24 @@ impl MultiClientConfig {
     /// Set the nfsd pool size.
     pub fn with_nfsds(mut self, n: usize) -> Self {
         self.nfsds = n;
+        self
+    }
+
+    /// Shard the server's request path `n` ways.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Give the server `n` CPU cores.
+    pub fn with_cores(mut self, n: usize) -> Self {
+        self.cores = n;
+        self
+    }
+
+    /// Give every client its own network segment.
+    pub fn with_per_client_lans(mut self, on: bool) -> Self {
+        self.per_client_lans = on;
         self
     }
 
@@ -199,7 +229,9 @@ pub struct MultiClientSystem {
     slots: Vec<ClientSlot>,
     layouts: Vec<Vec<(String, u64)>>,
     server: NfsServer,
-    medium: Medium,
+    /// One shared segment, or one segment per client when
+    /// [`MultiClientConfig::per_client_lans`] is set.
+    media: Vec<Medium>,
     queue: EventQueue<Ev>,
     started_at: SimTime,
     events_processed: u64,
@@ -234,6 +266,8 @@ impl MultiClientSystem {
         server_config.storage.prestoserve = config.prestoserve;
         server_config.storage.spindles = config.spindles;
         server_config.procrastination = medium_params.procrastination;
+        server_config.shards = config.shards.max(1);
+        server_config.cores = config.cores.max(1);
         // GB-scale aggregates must fit the data region; keep the default
         // geometry unless the sweep actually needs more.
         let aggregate = config.clients as u64 * config.bytes_per_client;
@@ -273,8 +307,16 @@ impl MultiClientSystem {
             });
             layouts.push(layout);
         }
+        let segment_count = if config.per_client_lans {
+            config.clients
+        } else {
+            1
+        };
+        let media = (0..segment_count)
+            .map(|_| Medium::new(medium_params.clone()))
+            .collect();
         MultiClientSystem {
-            medium: Medium::new(medium_params),
+            media,
             queue: EventQueue::new(),
             started_at: SimTime::ZERO,
             events_processed: 0,
@@ -282,6 +324,15 @@ impl MultiClientSystem {
             layouts,
             server,
             config,
+        }
+    }
+
+    /// The network segment a client transmits and receives on.
+    fn medium_index(&self, client: usize) -> usize {
+        if self.media.len() > 1 {
+            client
+        } else {
+            0
         }
     }
 
@@ -337,8 +388,10 @@ impl MultiClientSystem {
             match action {
                 ClientAction::Send { at, call } => {
                     let size = call.wire_size();
-                    let fragments = self.medium.params().fragments_for(size);
-                    match self.medium.transmit(at, size, Direction::ToServer) {
+                    let idx = self.medium_index(client);
+                    let medium = &mut self.media[idx];
+                    let fragments = medium.params().fragments_for(size);
+                    match medium.transmit(at, size, Direction::ToServer) {
                         TransmitOutcome::Delivered { arrives_at } => {
                             self.queue.schedule_at(
                                 arrives_at,
@@ -390,7 +443,8 @@ impl MultiClientSystem {
                 }
                 ServerAction::Reply { at, client, reply } => {
                     let size = reply.wire_size();
-                    match self.medium.transmit(at, size, Direction::ToClient) {
+                    let idx = self.medium_index(client as usize);
+                    match self.media[idx].transmit(at, size, Direction::ToClient) {
                         TransmitOutcome::Delivered { arrives_at } => {
                             self.queue.schedule_at(
                                 arrives_at,
@@ -556,6 +610,53 @@ mod tests {
         assert!(result.aggregate_kb_per_sec > 0.0);
         system.verify_on_disk().expect("per-client data intact");
         assert_eq!(system.server().uncommitted_bytes(), 0);
+    }
+
+    #[test]
+    fn sharded_server_with_per_client_lans_completes_and_verifies() {
+        let mut system = MultiClientSystem::new(
+            MultiClientConfig::new(NetworkKind::Fddi, 3, 4, WritePolicy::Gathering)
+                .with_bytes_per_client(MB)
+                .with_file_limit(512 * 1024)
+                .with_shards(3)
+                .with_cores(2)
+                .with_per_client_lans(true),
+        );
+        assert_eq!(system.server().shard_count(), 3);
+        let result = system.run();
+        assert!(result.completed);
+        assert_eq!(result.total_bytes_acked, 3 * MB);
+        system.verify_on_disk().expect("per-client data intact");
+        assert_eq!(system.server().uncommitted_bytes(), 0);
+        assert_eq!(system.server().dupcache_evicted_in_progress(), 0);
+        // Independent segments: no client retransmits, fairness stays high.
+        assert!(result.clients.iter().all(|c| c.retransmissions == 0));
+        assert!(result.fairness > 0.9, "fairness {}", result.fairness);
+    }
+
+    #[test]
+    fn per_client_lans_do_not_slow_the_aggregate() {
+        let run = |lans: bool, shards: usize, cores: usize| {
+            MultiClientSystem::new(
+                MultiClientConfig::new(NetworkKind::Fddi, 4, 4, WritePolicy::Gathering)
+                    .with_bytes_per_client(MB)
+                    .with_shards(shards)
+                    .with_cores(cores)
+                    .with_per_client_lans(lans),
+            )
+            .run()
+        };
+        let shared = run(false, 1, 1);
+        let sharded = run(true, 4, 4);
+        assert!(shared.completed && sharded.completed);
+        // Removing wire contention and CPU serialisation must not lose
+        // throughput (the shared disk remains the floor).
+        assert!(
+            sharded.aggregate_kb_per_sec > shared.aggregate_kb_per_sec * 0.95,
+            "sharded {:.0} KB/s vs shared {:.0} KB/s",
+            sharded.aggregate_kb_per_sec,
+            shared.aggregate_kb_per_sec
+        );
     }
 
     #[test]

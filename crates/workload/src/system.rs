@@ -45,6 +45,10 @@ pub struct ExperimentConfig {
     pub file_size: u64,
     /// Number of server nfsds (8 in the paper's file-copy experiments).
     pub nfsds: usize,
+    /// Server request-path shards (1 = the paper's monolithic dispatch).
+    pub shards: usize,
+    /// Server CPU cores (1 = the paper's serial CPU).
+    pub cores: usize,
     /// Record a Figure-1 style event trace on the server.
     pub trace: bool,
 }
@@ -60,6 +64,8 @@ impl ExperimentConfig {
             spindles: 1,
             file_size: 10 * 1024 * 1024,
             nfsds: 8,
+            shards: 1,
+            cores: 1,
             trace: false,
         }
     }
@@ -85,6 +91,18 @@ impl ExperimentConfig {
     /// Record a server event trace.
     pub fn with_trace(mut self, on: bool) -> Self {
         self.trace = on;
+        self
+    }
+
+    /// Shard the server's request path `n` ways.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Give the server `n` CPU cores.
+    pub fn with_cores(mut self, n: usize) -> Self {
+        self.cores = n;
         self
     }
 }
@@ -131,6 +149,8 @@ impl FileCopySystem {
         server_config.storage.prestoserve = config.prestoserve;
         server_config.storage.spindles = config.spindles;
         server_config.procrastination = medium_params.procrastination;
+        server_config.shards = config.shards;
+        server_config.cores = config.cores;
         customize(&mut server_config);
         let mut server = NfsServer::new(server_config);
         if config.trace {

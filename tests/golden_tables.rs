@@ -14,7 +14,7 @@
 //! GOLDEN_REGEN=1 cargo test --release -p wg-apps --test golden_tables
 //! ```
 
-use wg_bench::{run_table, table_spec};
+use wg_bench::{run_table, run_table_with, table_spec};
 
 const GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
@@ -36,5 +36,26 @@ fn table1_reduced_render_matches_golden() {
         rendered, golden,
         "Table 1 render drifted from the golden snapshot; if the simulation \
          change is intentional, regenerate with GOLDEN_REGEN=1"
+    );
+}
+
+#[test]
+fn sharded_server_at_one_shard_one_core_matches_golden_exactly() {
+    // The sharded request path and the multi-core CPU model must collapse to
+    // the paper's machine when explicitly configured down to one shard and
+    // one core: every rendered cell of Table 1 stays byte-identical to the
+    // golden snapshot, so the sharding refactor cannot have moved a single
+    // simulated number.
+    let spec = table_spec(1).expect("table 1 exists");
+    let rendered = run_table_with(spec, FILE_SIZE, |server_config| {
+        server_config.shards = 1;
+        server_config.cores = 1;
+    })
+    .render();
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden snapshot missing; run with GOLDEN_REGEN=1 to create it");
+    assert_eq!(
+        rendered, golden,
+        "a shards=1, cores=1 server no longer reproduces the paper's numbers"
     );
 }
