@@ -1,26 +1,36 @@
-//! Multi-client scale-out sweep: clients × per-client file size — and, since
-//! the sharded-server PR, a shard-count axis — up to a 1 GB aggregate.
+//! Multi-client scale-out sweep: clients × per-client file size — plus, since
+//! the sharded-server and pipelined-storage PRs, shard-count, core-count,
+//! spindle-count and I/O-overlap axes — up to a 1 GB aggregate.
 //!
 //! Each cell runs a [`wg_workload::MultiClientSystem`], verifies the data
 //! landed correctly (every block carries its writer's salted fill byte),
 //! asserts that no `InProgress` duplicate-cache entry was ever evicted (the
-//! §6.9 orphaned-write hazard), and records wall-clock plus the simulated
-//! aggregate/fairness numbers.  The results are merged into
-//! `BENCH_writepath.json` under the `"scale"` key — cell by cell, so sharded
-//! cells sit alongside the earlier shared-medium cells instead of replacing
-//! them.
+//! §6.9 orphaned-write hazard), asserts the zero-copy datapath never
+//! materialised a payload, and records wall-clock plus the simulated
+//! aggregate/fairness numbers and a per-spindle busy/queue-depth breakdown.
+//! Cells running `--overlap` are raced against their serial twin (the same
+//! configuration with the serial driver) and must never be slower — and, on
+//! a striped device, must beat it outright: the one check a dead overlap
+//! knob cannot pass.  The results are merged into `BENCH_writepath.json`
+//! under the
+//! `"scale"` key — cell by cell, so new-axis cells sit alongside the earlier
+//! cells instead of replacing them.
 //!
 //! ```text
 //! cargo run --release -p wg-bench --bin scale_sweep                 # full sweep
 //! cargo run --release -p wg-bench --bin scale_sweep -- --smoke      # CI: 2 clients, small files
 //! cargo run --release -p wg-bench --bin scale_sweep -- --shards 4 --cores 4 --lans
+//! cargo run --release -p wg-bench --bin scale_sweep -- --spindles 3 --overlap
 //! cargo run --release -p wg-bench --bin scale_sweep -- --out other.json
 //! ```
 
 use std::time::Instant;
 
 use wg_bench::report::{extract_object, upsert_object};
+use wg_disk::SpindleStats;
+use wg_nfsproto::payload::materialize_count;
 use wg_server::WritePolicy;
+use wg_simcore::Duration;
 use wg_workload::results::json;
 use wg_workload::{MultiClientConfig, MultiClientSystem, NetworkKind};
 
@@ -30,6 +40,8 @@ struct ScaleCell {
     mb_per_client: u64,
     shards: usize,
     cores: usize,
+    spindles: usize,
+    overlap: bool,
     lans: bool,
     wall_ms: f64,
     events_processed: u64,
@@ -37,13 +49,21 @@ struct ScaleCell {
     sim_fairness: f64,
     sim_elapsed_secs: f64,
     evicted_in_progress: u64,
+    materializations: u64,
+    /// Aggregate throughput of the identical configuration with the serial
+    /// driver, run alongside every `--overlap` cell: the proof the pipeline
+    /// actually overlaps (`None` for serial cells).
+    serial_twin_kb_per_sec: Option<f64>,
+    /// Per-spindle breakdown over the simulated elapsed span.
+    spindles_detail: Vec<SpindleStats>,
 }
 
 impl ScaleCell {
-    /// Cell key: the default configuration (1 shard, 1 core, shared medium)
-    /// keeps the PR 2 names (`c4_mb256`) so trajectories line up; every
-    /// non-default axis is part of the key (`_s4`, `_cr4`, `_lan`) so sweeps
-    /// over different topologies never overwrite each other's cells.
+    /// Cell key: the default configuration (1 shard, 1 core, 1 spindle,
+    /// serial driver, shared medium) keeps the PR 2 names (`c4_mb256`) so
+    /// trajectories line up; every non-default axis is part of the key
+    /// (`_s4`, `_cr4`, `_sp3`, `_ov`, `_lan`) so sweeps over different
+    /// topologies never overwrite each other's cells.
     fn name(&self) -> String {
         let mut name = format!("c{}_mb{}", self.clients, self.mb_per_client);
         if self.shards > 1 {
@@ -52,13 +72,44 @@ impl ScaleCell {
         if self.cores > 1 {
             name.push_str(&format!("_cr{}", self.cores));
         }
+        if self.spindles > 1 {
+            name.push_str(&format!("_sp{}", self.spindles));
+        }
+        if self.overlap {
+            name.push_str("_ov");
+        }
         if self.lans {
             name.push_str("_lan");
         }
         name
     }
 
+    /// Aggregate spindle busy seconds and the busiest single spindle's.
+    fn busy_split(&self) -> (f64, f64) {
+        let busys: Vec<f64> = self
+            .spindles_detail
+            .iter()
+            .map(|s| s.stats.busy.busy_time().as_secs_f64())
+            .collect();
+        let total: f64 = busys.iter().sum();
+        let max = busys.iter().copied().fold(0.0, f64::max);
+        (total, max)
+    }
+
     fn to_json(&self) -> (String, String) {
+        let observed = Duration::from_secs_f64(self.sim_elapsed_secs.max(1e-9));
+        let spindle_objs: Vec<String> = self
+            .spindles_detail
+            .iter()
+            .map(|s| {
+                json::object(&[
+                    ("busy_percent", json::number(s.busy_percent(observed))),
+                    ("transfers", s.stats.transfers.events().to_string()),
+                    ("bytes", s.stats.transfers.bytes().to_string()),
+                    ("max_queue_depth", s.max_queue_depth.to_string()),
+                ])
+            })
+            .collect();
         (
             self.name(),
             json::object(&[
@@ -66,6 +117,8 @@ impl ScaleCell {
                 ("mb_per_client", self.mb_per_client.to_string()),
                 ("shards", self.shards.to_string()),
                 ("cores", self.cores.to_string()),
+                ("spindles", self.spindles.to_string()),
+                ("io_overlap", self.overlap.to_string()),
                 ("per_client_lans", self.lans.to_string()),
                 ("wall_ms", json::number(self.wall_ms)),
                 ("events_processed", self.events_processed.to_string()),
@@ -76,6 +129,14 @@ impl ScaleCell {
                 ("sim_fairness", json::number(self.sim_fairness)),
                 ("sim_elapsed_secs", json::number(self.sim_elapsed_secs)),
                 ("evicted_in_progress", self.evicted_in_progress.to_string()),
+                ("materializations", self.materializations.to_string()),
+                (
+                    "serial_twin_kb_per_sec",
+                    self.serial_twin_kb_per_sec
+                        .map(json::number)
+                        .unwrap_or_else(|| "null".to_string()),
+                ),
+                ("spindle_breakdown", json::array(&spindle_objs)),
             ]),
         )
     }
@@ -84,18 +145,39 @@ impl ScaleCell {
 struct SweepAxes {
     shards: usize,
     cores: usize,
+    spindles: usize,
+    overlap: bool,
     lans: bool,
 }
 
 fn run_cell(clients: usize, mb_per_client: u64, axes: &SweepAxes) -> ScaleCell {
+    let build = |overlap: bool| {
+        MultiClientSystem::new(
+            MultiClientConfig::new(NetworkKind::Fddi, clients, 4, WritePolicy::Gathering)
+                .with_bytes_per_client(mb_per_client * 1024 * 1024)
+                .with_shards(axes.shards)
+                .with_cores(axes.cores)
+                .with_spindles(axes.spindles)
+                .with_io_overlap(overlap)
+                .with_per_client_lans(axes.lans),
+        )
+    };
+    // An `--overlap` cell is raced against its serial twin: a fully serial
+    // run also keeps every spindle of a stripe set busy, so only the
+    // aggregate-throughput comparison proves the pipeline is actually
+    // overlapping (see the assertion below).
+    let serial_twin_kb_per_sec = axes.overlap.then(|| {
+        let mut twin = build(false);
+        let twin_result = twin.run();
+        assert!(
+            twin_result.completed,
+            "{clients}x{mb_per_client}MB serial twin did not complete"
+        );
+        twin_result.aggregate_kb_per_sec
+    });
     let start = Instant::now();
-    let mut system = MultiClientSystem::new(
-        MultiClientConfig::new(NetworkKind::Fddi, clients, 4, WritePolicy::Gathering)
-            .with_bytes_per_client(mb_per_client * 1024 * 1024)
-            .with_shards(axes.shards)
-            .with_cores(axes.cores)
-            .with_per_client_lans(axes.lans),
-    );
+    let materialized_before = materialize_count();
+    let mut system = build(axes.overlap);
     let result = system.run();
     let wall = start.elapsed();
     assert!(
@@ -111,11 +193,18 @@ fn run_cell(clients: usize, mb_per_client: u64, axes: &SweepAxes) -> ScaleCell {
         "dupcache evicted an InProgress entry: a deferred gathered-write \
          reply could have been orphaned (§6.9)"
     );
-    ScaleCell {
+    let materializations = materialize_count() - materialized_before;
+    assert_eq!(
+        materializations, 0,
+        "the zero-copy datapath materialised a payload"
+    );
+    let cell = ScaleCell {
         clients,
         mb_per_client,
         shards: axes.shards,
         cores: axes.cores,
+        spindles: axes.spindles,
+        overlap: axes.overlap,
         lans: axes.lans,
         wall_ms: wall.as_secs_f64() * 1e3,
         events_processed: system.events_processed(),
@@ -123,7 +212,30 @@ fn run_cell(clients: usize, mb_per_client: u64, axes: &SweepAxes) -> ScaleCell {
         sim_fairness: result.fairness,
         sim_elapsed_secs: result.elapsed_secs,
         evicted_in_progress: evicted,
+        materializations,
+        serial_twin_kb_per_sec,
+        spindles_detail: system.server().spindle_stats(),
+    };
+    if let Some(serial) = serial_twin_kb_per_sec {
+        // Pipelining must never lose throughput, and on a striped device it
+        // must win outright — a dead io_overlap knob fails this even though
+        // stripe pieces would still spread busy time over every member.
+        if axes.spindles > 1 {
+            assert!(
+                cell.sim_aggregate_kb_per_sec > serial,
+                "pipelining lost its win: overlap {:.1} KB/s vs serial twin {serial:.1} KB/s",
+                cell.sim_aggregate_kb_per_sec
+            );
+        } else {
+            assert!(
+                cell.sim_aggregate_kb_per_sec >= serial * 0.999,
+                "pipelining slowed a single-spindle run: overlap {:.1} KB/s \
+                 vs serial twin {serial:.1} KB/s",
+                cell.sim_aggregate_kb_per_sec
+            );
+        }
     }
+    cell
 }
 
 fn parse_list(s: &str) -> Vec<u64> {
@@ -139,6 +251,8 @@ fn main() {
     let mut axes = SweepAxes {
         shards: 1,
         cores: 1,
+        spindles: 1,
+        overlap: false,
         lans: false,
     };
     let mut iter = std::env::args().skip(1);
@@ -169,11 +283,19 @@ fn main() {
                     .parse()
                     .expect("--cores needs a number");
             }
+            "--spindles" => {
+                axes.spindles = iter
+                    .next()
+                    .expect("--spindles needs a count")
+                    .parse()
+                    .expect("--spindles needs a number");
+            }
+            "--overlap" => axes.overlap = true,
             "--lans" => axes.lans = true,
             other => panic!(
                 "unknown argument {other}; use --smoke, --out PATH, \
                  --clients A,B,C, --mb-per-client A,B,C, --shards N, \
-                 --cores N, --lans"
+                 --cores N, --spindles N, --overlap, --lans"
             ),
         }
     }
@@ -187,15 +309,18 @@ fn main() {
                 continue;
             }
             let cell = run_cell(c as usize, mb, &axes);
+            let (total_busy, max_busy) = cell.busy_split();
             println!(
-                "{:<16} {:>9.1} ms wall   {:>9} events   sim {:>8.0} KB/s aggregate   \
-                 fairness {:.3}   {:>7.1} sim-secs",
+                "{:<22} {:>9.1} ms wall   {:>9} events   sim {:>8.0} KB/s aggregate   \
+                 fairness {:.3}   {:>7.1} sim-secs   spindle busy {:.1}s/{:.1}s",
                 cell.name(),
                 cell.wall_ms,
                 cell.events_processed,
                 cell.sim_aggregate_kb_per_sec,
                 cell.sim_fairness,
                 cell.sim_elapsed_secs,
+                max_busy,
+                total_busy,
             );
             cells.push(cell);
         }

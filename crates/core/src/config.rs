@@ -176,6 +176,17 @@ pub struct ServerConfig {
     /// steps overlap while utilisation is reported as an aggregate over the
     /// whole pool.
     pub cores: usize,
+    /// Pipelined storage-stack execution.  With the knob off (the default)
+    /// an I/O plan runs exactly as the paper's driver did: each transfer's
+    /// driver setup, device service and completion interrupt chain on the
+    /// previous transfer's completion.  With it on, the CPU pays the driver
+    /// (and Presto) trips back-to-back to *enqueue* every transfer of the
+    /// plan onto its spindle's own queue, then reaps completions (one
+    /// interrupt per transfer, coalesced back-to-back when several land
+    /// close together) as they arrive — so transfers of one plan, and plans
+    /// of different shards, overlap on independent spindles of a stripe set.
+    /// `false` is bit-identical to the pre-pipeline server.
+    pub io_overlap: bool,
 }
 
 impl ServerConfig {
@@ -197,6 +208,7 @@ impl ServerConfig {
             data_capacity: wg_ufs::FsParams::default().data_capacity,
             shards: 1,
             cores: 1,
+            io_overlap: false,
         }
     }
 
@@ -244,6 +256,13 @@ impl ServerConfig {
         self.cores = n;
         self
     }
+
+    /// Enable or disable pipelined storage-stack execution (see
+    /// [`ServerConfig::io_overlap`]).
+    pub fn with_io_overlap(mut self, on: bool) -> Self {
+        self.io_overlap = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -258,9 +277,10 @@ mod tests {
         assert_eq!(std.reply_order, ReplyOrder::Fifo);
         assert_eq!(std.socket_buffer_bytes, 256 * 1024);
         assert_eq!(std.max_procrastinations, 1);
-        // The paper's machine: one dispatch queue, one CPU.
+        // The paper's machine: one dispatch queue, one CPU, serial driver.
         assert_eq!(std.shards, 1);
         assert_eq!(std.cores, 1);
+        assert!(!std.io_overlap);
         let g = ServerConfig::gathering();
         assert_eq!(g.policy, WritePolicy::Gathering);
     }
@@ -273,12 +293,14 @@ mod tests {
             .with_nfsds(32)
             .with_shards(4)
             .with_cores(2)
+            .with_io_overlap(true)
             .with_procrastination(Duration::from_millis(5));
         assert!(cfg.storage.prestoserve);
         assert_eq!(cfg.storage.spindles, 3);
         assert_eq!(cfg.nfsds, 32);
         assert_eq!(cfg.shards, 4);
         assert_eq!(cfg.cores, 2);
+        assert!(cfg.io_overlap);
         assert_eq!(cfg.procrastination, Duration::from_millis(5));
     }
 

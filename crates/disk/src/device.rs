@@ -69,8 +69,9 @@ impl DeviceStats {
     }
 
     /// Merge the statistics of another device (used by the stripe driver).
+    /// O(1): totals are combined directly, never replayed event by event.
     pub fn merge(&mut self, other: &DeviceStats) {
-        self.transfers = rebuild_counter(
+        self.transfers = Counter::from_totals(
             self.transfers.events() + other.transfers.events(),
             self.transfers.bytes() + other.transfers.bytes(),
         );
@@ -93,18 +94,27 @@ impl DeviceStats {
     }
 }
 
-/// Rebuild a [`Counter`] from explicit totals: one event carries all the
-/// bytes, the rest carry zero, so both totals are exact.
-fn rebuild_counter(events: u64, bytes: u64) -> Counter {
-    let mut c = Counter::new();
-    if events == 0 {
-        return c;
+/// Per-spindle breakdown of a device's activity, for stripe sets and sweeps
+/// that need to see whether transfers actually overlapped across members.
+///
+/// A single [`crate::Disk`] reports one entry; a [`crate::StripeSet`] reports
+/// one per member in member order; an accelerator reports its underlying
+/// device's breakdown.
+#[derive(Clone, Debug, Default, serde::Serialize)]
+pub struct SpindleStats {
+    /// Transfers and busy time of this spindle alone.
+    pub stats: DeviceStats,
+    /// Deepest FIFO queue this spindle ever held (requests enqueued but not
+    /// yet completed, including the one in service) since the last stats
+    /// reset.
+    pub max_queue_depth: u64,
+}
+
+impl SpindleStats {
+    /// Spindle busy percentage over an observed span.
+    pub fn busy_percent(&self, observed: Duration) -> f64 {
+        self.stats.utilization_percent(observed)
     }
-    c.record(bytes);
-    for _ in 1..events {
-        c.tick();
-    }
-    c
 }
 
 /// The interface the filesystem and NVRAM layers use to drive storage.
@@ -112,12 +122,49 @@ fn rebuild_counter(events: u64, bytes: u64) -> Counter {
 /// Implementations are passive service-time models: [`BlockDevice::submit`]
 /// returns the simulated completion time of the request, assuming the device
 /// serves requests in FIFO order.
+///
+/// ## Queued submission
+///
+/// [`BlockDevice::submit_at`] is the *queued* entry point of the pipelined
+/// storage stack: the request is enqueued at `now` on the FIFO queue of the
+/// spindle that owns its address (for a stripe set, each piece joins its own
+/// member's queue) and the returned completion time reflects only that
+/// queue's service clock.  Pieces of *different* logical requests therefore
+/// interleave per spindle instead of chaining on a set-wide [`free_at`]
+/// (`BlockDevice::free_at`).  Callers that want the old serial behaviour
+/// simply submit each request at the previous one's completion time — which
+/// is exactly what the non-overlapped server I/O loop does.
 pub trait BlockDevice {
     /// Submit a request at simulated time `now`; returns its completion time.
     fn submit(&mut self, now: SimTime, req: DiskRequest) -> SimTime;
 
+    /// Queued submission: enqueue the request at `now` on the owning
+    /// spindle's FIFO queue and return its completion time.  The default
+    /// forwards to [`BlockDevice::submit`], which already has queued
+    /// semantics for the single-spindle and stripe models.
+    fn submit_at(&mut self, now: SimTime, req: DiskRequest) -> SimTime {
+        self.submit(now, req)
+    }
+
+    /// Enqueue a batch of requests, all at the same instant `now`, returning
+    /// each request's completion time in submission order.  Pieces of
+    /// distinct requests interleave per spindle.
+    fn submit_batch(&mut self, now: SimTime, reqs: &[DiskRequest]) -> Vec<SimTime> {
+        reqs.iter().map(|&r| self.submit_at(now, r)).collect()
+    }
+
     /// Aggregate statistics since construction (or the last reset).
     fn stats(&self) -> DeviceStats;
+
+    /// Per-spindle breakdown of the same statistics (one entry per member
+    /// spindle, in member order).  The default reports the aggregate as a
+    /// single spindle with no queue-depth information.
+    fn spindle_stats(&self) -> Vec<SpindleStats> {
+        vec![SpindleStats {
+            stats: self.stats(),
+            max_queue_depth: 0,
+        }]
+    }
 
     /// Clear accumulated statistics (used between experiment phases so that
     /// file-creation setup I/O does not pollute the measured copy phase).
@@ -176,5 +223,26 @@ mod tests {
         a.merge(&DeviceStats::new());
         assert_eq!(a.transfers.events(), 1);
         assert_eq!(a.transfers.bytes(), 500);
+    }
+
+    #[test]
+    fn merge_stays_exact_at_transfer_counts_that_would_choke_a_replay() {
+        // A billion-transfer history must merge instantly: the old
+        // implementation replayed one synthetic event per transfer.
+        let mut a = DeviceStats::new();
+        a.transfers = Counter::from_totals(1_000_000_000, 8_192_000_000_000);
+        let mut b = DeviceStats::new();
+        b.transfers = Counter::from_totals(500_000_000, 4_096_000_000_000);
+        a.merge(&b);
+        assert_eq!(a.transfers.events(), 1_500_000_000);
+        assert_eq!(a.transfers.bytes(), 12_288_000_000_000);
+    }
+
+    #[test]
+    fn spindle_stats_percent_and_default() {
+        let mut s = SpindleStats::default();
+        s.stats.record_transfer(8192, Duration::from_millis(100));
+        assert!((s.busy_percent(Duration::from_secs(1)) - 10.0).abs() < 1e-9);
+        assert_eq!(s.max_queue_depth, 0);
     }
 }

@@ -14,7 +14,10 @@
 //!   section (3 × RZ26 in Tables 5 and 6),
 //! * [`BlockDevice`] — the object-safe interface the filesystem and NVRAM
 //!   layers drive, with uniform [`DeviceStats`] (KB/s and transactions/s, the
-//!   two disk columns in every table).
+//!   two disk columns in every table), queued submission
+//!   ([`BlockDevice::submit_at`] / [`BlockDevice::submit_batch`]) so pieces
+//!   of different logical requests interleave per spindle, and a
+//!   per-spindle [`SpindleStats`] breakdown for overlap observability.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +26,6 @@ pub mod device;
 pub mod model;
 pub mod stripe;
 
-pub use device::{BlockDevice, DeviceStats, DiskRequest, IoKind};
+pub use device::{BlockDevice, DeviceStats, DiskRequest, IoKind, SpindleStats};
 pub use model::{Disk, DiskParams};
 pub use stripe::StripeSet;

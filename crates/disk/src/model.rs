@@ -1,6 +1,8 @@
 //! The single-spindle disk model.
 
-use crate::device::{BlockDevice, DeviceStats, DiskRequest};
+use std::collections::VecDeque;
+
+use crate::device::{BlockDevice, DeviceStats, DiskRequest, SpindleStats};
 use wg_simcore::{Duration, SimTime};
 
 /// Mechanical and interface parameters of a disk drive.
@@ -74,6 +76,13 @@ pub struct Disk {
     head_pos: u64,
     busy_until: SimTime,
     stats: DeviceStats,
+    /// Completion times of enqueued requests not yet known to be finished:
+    /// the spindle's FIFO queue, drained lazily as submissions observe later
+    /// `now` values.  Only used for queue-depth observability — service
+    /// times are entirely determined by `busy_until` and `head_pos`.
+    queue: VecDeque<SimTime>,
+    /// Deepest the queue ever got since the last stats reset.
+    max_queue_depth: u64,
 }
 
 impl Disk {
@@ -84,6 +93,8 @@ impl Disk {
             head_pos: 0,
             busy_until: SimTime::ZERO,
             stats: DeviceStats::new(),
+            queue: VecDeque::new(),
+            max_queue_depth: 0,
         }
     }
 
@@ -130,6 +141,22 @@ impl Disk {
     }
 }
 
+impl Disk {
+    /// The number of requests enqueued but not yet completed at `now`
+    /// (including any in service).  Drains finished entries from the queue.
+    pub fn queue_depth_at(&mut self, now: SimTime) -> u64 {
+        while self.queue.front().is_some_and(|&done| done <= now) {
+            self.queue.pop_front();
+        }
+        self.queue.len() as u64
+    }
+
+    /// Deepest the FIFO queue ever got since the last stats reset.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.max_queue_depth
+    }
+}
+
 impl BlockDevice for Disk {
     fn submit(&mut self, now: SimTime, req: DiskRequest) -> SimTime {
         let service = self.service_time(req);
@@ -138,6 +165,9 @@ impl BlockDevice for Disk {
         self.busy_until = done;
         self.head_pos = req.addr + req.len;
         self.stats.record_transfer(req.len, service);
+        self.queue_depth_at(now);
+        self.queue.push_back(done);
+        self.max_queue_depth = self.max_queue_depth.max(self.queue.len() as u64);
         done
     }
 
@@ -145,8 +175,16 @@ impl BlockDevice for Disk {
         self.stats.clone()
     }
 
+    fn spindle_stats(&self) -> Vec<SpindleStats> {
+        vec![SpindleStats {
+            stats: self.stats.clone(),
+            max_queue_depth: self.max_queue_depth,
+        }]
+    }
+
     fn reset_stats(&mut self) {
         self.stats = DeviceStats::new();
+        self.max_queue_depth = 0;
     }
 
     fn free_at(&self) -> SimTime {
@@ -254,6 +292,47 @@ mod tests {
             kind: IoKind::Write,
         });
         assert!(slow_t > fast_t);
+    }
+
+    #[test]
+    fn queue_depth_tracks_outstanding_requests() {
+        let mut disk = Disk::rz26();
+        assert_eq!(disk.queue_depth_at(SimTime::ZERO), 0);
+        // Three requests enqueued at the same instant stack up FIFO.
+        let d1 = disk.submit(SimTime::ZERO, DiskRequest::write(100_000_000, 8192));
+        disk.submit(SimTime::ZERO, DiskRequest::write(300_000_000, 8192));
+        let d3 = disk.submit(SimTime::ZERO, DiskRequest::write(500_000_000, 8192));
+        assert_eq!(disk.max_queue_depth(), 3);
+        assert_eq!(disk.queue_depth_at(SimTime::ZERO), 3);
+        // After the first completes, two remain; after the last, none.
+        assert_eq!(disk.queue_depth_at(d1), 2);
+        assert_eq!(disk.queue_depth_at(d3), 0);
+        let spindles = disk.spindle_stats();
+        assert_eq!(spindles.len(), 1);
+        assert_eq!(spindles[0].max_queue_depth, 3);
+        assert_eq!(spindles[0].stats.transfers.events(), 3);
+        disk.reset_stats();
+        assert_eq!(disk.max_queue_depth(), 0);
+    }
+
+    #[test]
+    fn submit_at_and_batch_have_queued_fifo_semantics() {
+        // For a single spindle, queued submission is exactly `submit`.
+        let mut chained = Disk::rz26();
+        let mut batched = Disk::rz26();
+        let reqs = [
+            DiskRequest::write(100_000_000, 8192),
+            DiskRequest::write(300_000_000, 8192),
+            DiskRequest::write(500_000_000, 8192),
+        ];
+        let mut serial = Vec::new();
+        for &r in &reqs {
+            serial.push(chained.submit(SimTime::ZERO, r));
+        }
+        let batch = batched.submit_batch(SimTime::ZERO, &reqs);
+        assert_eq!(serial, batch);
+        // FIFO: completions are monotone in submission order.
+        assert!(batch.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

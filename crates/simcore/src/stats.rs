@@ -25,6 +25,15 @@ impl Counter {
         Self::default()
     }
 
+    /// Build a counter directly from totals already accumulated elsewhere.
+    ///
+    /// Aggregators that combine many counters (the stripe driver merging its
+    /// member disks' statistics) use this to stay O(1) per merge instead of
+    /// replaying one synthetic event per recorded transfer.
+    pub fn from_totals(events: u64, bytes: u64) -> Self {
+        Counter { events, bytes }
+    }
+
     /// Record one event carrying `bytes` bytes.
     pub fn record(&mut self, bytes: u64) {
         self.events += 1;
@@ -189,6 +198,20 @@ impl LatencyStat {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counter_from_totals_matches_replayed_events() {
+        let mut replayed = Counter::new();
+        replayed.record(1000);
+        replayed.record(2000);
+        replayed.tick();
+        let direct = Counter::from_totals(3, 3000);
+        assert_eq!(direct.events(), replayed.events());
+        assert_eq!(direct.bytes(), replayed.bytes());
+        let empty = Counter::from_totals(0, 0);
+        assert_eq!(empty.events(), 0);
+        assert_eq!(empty.bytes(), 0);
+    }
 
     #[test]
     fn counter_rates() {

@@ -71,15 +71,15 @@ pub struct MultiClientConfig {
     /// feeding the one server) instead of contending on a single shared
     /// medium — the paper's private-segment topology scaled out.
     pub per_client_lans: bool,
+    /// Pipelined storage-stack execution on the server (see
+    /// [`wg_server::ServerConfig::io_overlap`]).
+    pub io_overlap: bool,
 }
 
-/// Stride between the xid bases of consecutive segments of one client, and
-/// (×128) between clients.  A segment of [`MultiClientConfig::file_limit`]
-/// bytes uses `file_limit / 8192` xids, far below the stride.
-const XID_SEGMENT_STRIDE: u32 = 0x0002_0000;
-
-/// Maximum segments per client before xid bases of adjacent clients collide.
-const MAX_SEGMENTS: u64 = 128;
+/// Minimum headroom a segment's xid window keeps beyond the writes the
+/// segment actually issues (file creation, close-time attribute traffic and
+/// a safety margin for future per-segment requests).
+const XID_SEGMENT_SLACK: u32 = 64;
 
 impl MultiClientConfig {
     /// A scale-out run with the paper's client parameters (10 MB per client,
@@ -98,6 +98,7 @@ impl MultiClientConfig {
             shards: 1,
             cores: 1,
             per_client_lans: false,
+            io_overlap: false,
         }
     }
 
@@ -149,15 +150,49 @@ impl MultiClientConfig {
         self
     }
 
+    /// Enable pipelined storage-stack execution on the server.
+    pub fn with_io_overlap(mut self, on: bool) -> Self {
+        self.io_overlap = on;
+        self
+    }
+
     /// The fill-byte salt of a client, distinct per client id (odd multiplier
     /// so the mapping is a bijection modulo 256).
     pub fn fill_salt(client: usize) -> u8 {
         (client as u8).wrapping_mul(61).wrapping_add(17)
     }
 
-    fn xid_base(client: usize, segment: usize) -> u32 {
-        (client as u32 + 1) * (XID_SEGMENT_STRIDE * MAX_SEGMENTS as u32)
-            + segment as u32 * XID_SEGMENT_STRIDE
+    /// Segments each client's byte budget splits into.
+    fn segments_per_client(&self) -> u64 {
+        self.bytes_per_client
+            .div_ceil(self.file_limit.max(1))
+            .max(1)
+    }
+
+    /// The xid-space partition: the full 32-bit space is split evenly across
+    /// the configured client count, and each client's window is split evenly
+    /// across its segments.  (Duplicate detection is keyed by `(client,
+    /// xid)`, so cross-client collisions would even be harmless — the even
+    /// split simply keeps every request globally unique and debuggable.)
+    /// Returns `(client_stride, segment_stride)`.
+    fn xid_strides(&self) -> (u32, u32) {
+        let client_stride = u32::MAX / self.clients.max(1) as u32;
+        // Divide in u64: a segment count beyond u32 must collapse the stride
+        // to 1 (and fail the constructor's window-width assert), not wrap
+        // into another client's window.
+        let segment_stride = (client_stride as u64 / self.segments_per_client()).max(1) as u32;
+        (client_stride, segment_stride)
+    }
+
+    /// Xids a single segment can consume: one per 8 KB write, plus slack for
+    /// the surrounding per-segment requests.
+    fn xids_per_segment(&self) -> u64 {
+        self.file_limit.max(1).div_ceil(8192) + XID_SEGMENT_SLACK as u64
+    }
+
+    fn xid_base(&self, client: usize, segment: usize) -> u32 {
+        let (client_stride, segment_stride) = self.xid_strides();
+        (client as u32).wrapping_mul(client_stride) + (segment as u32).wrapping_mul(segment_stride)
     }
 
     /// The (name, size) segment layout of one client's byte budget.
@@ -249,13 +284,18 @@ impl MultiClientSystem {
     /// Build the system: the server exports one fresh filesystem holding
     /// every client's segment files, created outside the measured window.
     pub fn new(config: MultiClientConfig) -> Self {
+        // The 32-bit xid space is partitioned clients × segments; the run is
+        // only valid if each segment's window covers the requests it issues.
+        let (_, segment_stride) = config.xid_strides();
         assert!(
-            config.bytes_per_client.div_ceil(config.file_limit.max(1)) <= MAX_SEGMENTS,
-            "byte budget needs more than {MAX_SEGMENTS} segments; raise file_limit"
-        );
-        assert!(
-            config.clients <= 128,
-            "more than 128 clients exhausts the per-client xid space"
+            segment_stride as u64 >= config.xids_per_segment(),
+            "xid space too small: {} clients x {} segments leaves a {}-xid \
+             window per segment but one segment can use {}; raise file_limit \
+             or lower the client count",
+            config.clients,
+            config.segments_per_client(),
+            segment_stride,
+            config.xids_per_segment()
         );
         let medium_params = config.network.params();
         let mut server_config = ServerConfig {
@@ -268,6 +308,7 @@ impl MultiClientSystem {
         server_config.procrastination = medium_params.procrastination;
         server_config.shards = config.shards.max(1);
         server_config.cores = config.cores.max(1);
+        server_config.io_overlap = config.io_overlap;
         // GB-scale aggregates must fit the data region; keep the default
         // geometry unless the sweep actually needs more.
         let aggregate = config.clients as u64 * config.bytes_per_client;
@@ -345,7 +386,7 @@ impl MultiClientSystem {
         ClientConfig {
             biods: config.biods,
             file_size,
-            xid_base: MultiClientConfig::xid_base(client, segment),
+            xid_base: config.xid_base(client, segment),
             fill_salt: MultiClientConfig::fill_salt(client),
             ..ClientConfig::default()
         }
@@ -592,7 +633,94 @@ mod tests {
             MultiClientConfig::fill_salt(0),
             MultiClientConfig::fill_salt(1)
         );
-        assert!(MultiClientConfig::xid_base(1, 0) > MultiClientConfig::xid_base(0, 127));
+        let last_segment = cfg.segments_per_client() as usize - 1;
+        assert!(cfg.xid_base(1, 0) > cfg.xid_base(0, last_segment));
+    }
+
+    #[test]
+    fn xid_partitioning_scales_past_128_clients() {
+        // 256 clients split the 32-bit xid space without overlap: every
+        // segment window is disjoint and wide enough for its writes.
+        let cfg = MultiClientConfig::new(NetworkKind::Fddi, 256, 2, WritePolicy::Gathering)
+            .with_bytes_per_client(256 * 1024)
+            .with_file_limit(128 * 1024);
+        let (client_stride, segment_stride) = cfg.xid_strides();
+        assert!(segment_stride as u64 >= cfg.xids_per_segment());
+        assert!(client_stride as u64 * 256 <= u32::MAX as u64 + 1);
+        let mut bases: Vec<u32> = (0..256)
+            .flat_map(|c| (0..cfg.segments_per_client() as usize).map(move |s| (c, s)))
+            .map(|(c, s)| cfg.xid_base(c, s))
+            .collect();
+        let total = bases.len();
+        bases.sort_unstable();
+        bases.dedup();
+        assert_eq!(bases.len(), total, "xid bases collide");
+        // Consecutive windows never overlap the xids a segment can use.
+        assert!(bases
+            .windows(2)
+            .all(|w| (w[1] - w[0]) as u64 >= cfg.xids_per_segment()));
+    }
+
+    #[test]
+    #[should_panic(expected = "xid space too small")]
+    fn oversized_segment_count_is_rejected_not_wrapped() {
+        // ~4.9 billion 8 KB segments: more segments than u32 can index.  The
+        // stride math must collapse to a too-narrow window and trip the
+        // constructor assert, never truncate and wrap xid windows silently.
+        let cfg = MultiClientConfig::new(NetworkKind::Fddi, 2, 4, WritePolicy::Gathering)
+            .with_bytes_per_client(40_000_000_000_000)
+            .with_file_limit(8192);
+        let _ = MultiClientSystem::new(cfg);
+    }
+
+    #[test]
+    fn two_hundred_fifty_six_clients_run_to_completion() {
+        // ROADMAP "client-count scaling past 128": a 256-client run finishes
+        // and every client's data survives the fan-in.
+        let mut system = MultiClientSystem::new(
+            MultiClientConfig::new(NetworkKind::Fddi, 256, 1, WritePolicy::Gathering)
+                .with_bytes_per_client(32 * 1024)
+                .with_shards(4)
+                .with_cores(4)
+                .with_io_overlap(true)
+                .with_spindles(3),
+        );
+        let result = system.run();
+        assert!(result.completed);
+        assert_eq!(result.clients.len(), 256);
+        assert_eq!(result.total_bytes_acked, 256 * 32 * 1024);
+        system.verify_on_disk().expect("per-client data intact");
+        assert_eq!(system.server().dupcache_evicted_in_progress(), 0);
+        assert_eq!(system.server().uncommitted_bytes(), 0);
+    }
+
+    #[test]
+    fn overlapped_multi_client_run_is_not_slower_and_stays_intact() {
+        let run = |overlap: bool| {
+            let mut system = MultiClientSystem::new(
+                MultiClientConfig::new(NetworkKind::Fddi, 4, 4, WritePolicy::Gathering)
+                    .with_bytes_per_client(2 * MB)
+                    .with_shards(4)
+                    .with_spindles(3)
+                    .with_io_overlap(overlap),
+            );
+            let result = system.run();
+            assert!(result.completed);
+            system.verify_on_disk().expect("per-client data intact");
+            assert_eq!(system.server().dupcache_evicted_in_progress(), 0);
+            result
+        };
+        let serial = run(false);
+        let overlapped = run(true);
+        // Same acknowledged work either way; the pipelined stack never loses
+        // throughput on the striped device.
+        assert_eq!(serial.total_bytes_acked, overlapped.total_bytes_acked);
+        assert!(
+            overlapped.aggregate_kb_per_sec >= serial.aggregate_kb_per_sec * 0.999,
+            "overlap {:.0} KB/s vs serial {:.0} KB/s",
+            overlapped.aggregate_kb_per_sec,
+            serial.aggregate_kb_per_sec
+        );
     }
 
     #[test]

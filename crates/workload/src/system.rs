@@ -49,6 +49,10 @@ pub struct ExperimentConfig {
     pub shards: usize,
     /// Server CPU cores (1 = the paper's serial CPU).
     pub cores: usize,
+    /// Pipelined storage-stack execution (see
+    /// [`wg_server::ServerConfig::io_overlap`]).  `false` is the paper's
+    /// serial driver.
+    pub io_overlap: bool,
     /// Record a Figure-1 style event trace on the server.
     pub trace: bool,
 }
@@ -66,6 +70,7 @@ impl ExperimentConfig {
             nfsds: 8,
             shards: 1,
             cores: 1,
+            io_overlap: false,
             trace: false,
         }
     }
@@ -103,6 +108,12 @@ impl ExperimentConfig {
     /// Give the server `n` CPU cores.
     pub fn with_cores(mut self, n: usize) -> Self {
         self.cores = n;
+        self
+    }
+
+    /// Enable pipelined storage-stack execution on the server.
+    pub fn with_io_overlap(mut self, on: bool) -> Self {
+        self.io_overlap = on;
         self
     }
 }
@@ -151,6 +162,7 @@ impl FileCopySystem {
         server_config.procrastination = medium_params.procrastination;
         server_config.shards = config.shards;
         server_config.cores = config.cores;
+        server_config.io_overlap = config.io_overlap;
         customize(&mut server_config);
         let mut server = NfsServer::new(server_config);
         if config.trace {
@@ -458,6 +470,38 @@ mod tests {
             cpu_per_kb_with < cpu_per_kb_without,
             "cpu/KB with {cpu_per_kb_with:.5} vs without {cpu_per_kb_without:.5}"
         );
+    }
+
+    #[test]
+    fn overlapped_stripe_copy_is_never_slower_and_lands_the_same_file() {
+        let run = |overlap: bool| {
+            let mut system = FileCopySystem::new(
+                ExperimentConfig::new(NetworkKind::Fddi, 8, WritePolicy::Gathering)
+                    .with_spindles(3)
+                    .with_io_overlap(overlap)
+                    .with_file_size(SMALL),
+            );
+            let result = system.run();
+            assert!(result.completed);
+            let device = system.server().device_stats();
+            (result, device.transfers.bytes(), system)
+        };
+        let (serial, serial_bytes, _s1) = run(false);
+        let (overlapped, ov_bytes, system) = run(true);
+        // Same bytes reach the platters; the copy never slows down.
+        assert_eq!(serial_bytes, ov_bytes);
+        assert!(
+            overlapped.elapsed_secs <= serial.elapsed_secs * 1.0001,
+            "overlap {:.4}s vs serial {:.4}s",
+            overlapped.elapsed_secs,
+            serial.elapsed_secs
+        );
+        // And the file is intact.
+        let mut fs = system.server().fs().clone();
+        let root = fs.root();
+        let ino = fs.lookup(root, "copy-target").unwrap();
+        assert_eq!(fs.getattr(ino).unwrap().size, SMALL);
+        assert_eq!(system.server().uncommitted_bytes(), 0);
     }
 
     #[test]

@@ -40,22 +40,25 @@ fn table1_reduced_render_matches_golden() {
 }
 
 #[test]
-fn sharded_server_at_one_shard_one_core_matches_golden_exactly() {
-    // The sharded request path and the multi-core CPU model must collapse to
-    // the paper's machine when explicitly configured down to one shard and
-    // one core: every rendered cell of Table 1 stays byte-identical to the
-    // golden snapshot, so the sharding refactor cannot have moved a single
-    // simulated number.
+fn explicitly_serial_server_matches_golden_exactly() {
+    // The sharded request path, the multi-core CPU model and the pipelined
+    // storage stack must all collapse to the paper's machine when explicitly
+    // configured down to one shard, one core and the serial driver: every
+    // rendered cell of Table 1 stays byte-identical to the golden snapshot,
+    // so neither the sharding nor the I/O-overlap refactor can have moved a
+    // single simulated number.
     let spec = table_spec(1).expect("table 1 exists");
     let rendered = run_table_with(spec, FILE_SIZE, |server_config| {
         server_config.shards = 1;
         server_config.cores = 1;
+        server_config.io_overlap = false;
     })
     .render();
     let golden = std::fs::read_to_string(GOLDEN_PATH)
         .expect("golden snapshot missing; run with GOLDEN_REGEN=1 to create it");
     assert_eq!(
         rendered, golden,
-        "a shards=1, cores=1 server no longer reproduces the paper's numbers"
+        "a shards=1, cores=1, io_overlap=off server no longer reproduces \
+         the paper's numbers"
     );
 }
