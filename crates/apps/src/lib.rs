@@ -8,7 +8,8 @@
 //! * the repository-level integration tests in `tests/` that exercise the
 //!   whole stack — client, network, server, filesystem and storage — together
 //!   (`end_to_end`, `crash_consistency`, `table_shapes`, `protocol_roundtrip`,
-//!   `retransmission`).
+//!   `retransmission`, `multi_client`, `sfs_scale`, `io_overlap`,
+//!   `zero_copy`, `golden_tables`).
 //!
 //! See the workspace README for a guided tour.
 

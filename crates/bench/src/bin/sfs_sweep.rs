@@ -1,0 +1,368 @@
+//! SFS scale-out sweep: the Figure 2 throughput/latency curve measured twice
+//! — once with the original single-generator harness against the paper's
+//! monolithic server (the `"baseline"` curve) and once with N generator
+//! streams over per-client LANs through the sharded, multi-core, pipelined
+//! server (the `"current"` curve).
+//!
+//! Every point is checked for a clean run: zero `InProgress` duplicate-cache
+//! evictions (the §6.9 orphaned-write hazard) and zero payload
+//! materialisations (the zero-copy datapath).  In a full (non-`--smoke`) run
+//! the sweep also asserts the headline results:
+//!
+//! * **knee shift** — the scaled configuration's peak achieved ops/sec beats
+//!   the single-client baseline's by ≥ 1.3× at equal-or-lower average
+//!   latency, and
+//! * **parallel sweep** — running the independent load points on a worker
+//!   pool is ≥ 2× faster in wall-clock than the serial runner, with
+//!   bit-identical output points.
+//!
+//! Results are merged into `BENCH_writepath.json` under the `"sfs_scale"`
+//! key (the other bench binaries preserve it when they rewrite the file).
+//!
+//! ```text
+//! cargo run --release -p wg-bench --bin sfs_sweep                   # full sweep
+//! cargo run --release -p wg-bench --bin sfs_sweep -- --smoke --clients 4 --shards 4 --spindles 6 --overlap
+//! cargo run --release -p wg-bench --bin sfs_sweep -- --clients 8 --lans --threads 8
+//! cargo run --release -p wg-bench --bin sfs_sweep -- --out other.json
+//! ```
+
+use std::time::Instant;
+
+use wg_bench::report::upsert_object;
+use wg_server::WritePolicy;
+use wg_workload::results::json;
+use wg_workload::{SfsConfig, SfsRunStats, SfsSweep};
+
+/// Offered loads of the full sweep: the figure range plus enough headroom to
+/// find the scaled configuration's knee.
+const FULL_LOADS: [f64; 15] = [
+    200.0, 400.0, 600.0, 800.0, 1000.0, 1200.0, 1400.0, 1600.0, 1800.0, 2000.0, 2400.0, 2800.0,
+    3200.0, 4000.0, 4800.0,
+];
+
+/// One measured curve: per-point stats plus the sweep's wall clocks.
+struct Curve {
+    config: SfsConfig,
+    stats: Vec<SfsRunStats>,
+    serial_wall_ms: f64,
+    parallel_wall_ms: f64,
+    threads: usize,
+}
+
+impl Curve {
+    /// The peak point: highest achieved ops/sec over the curve.
+    fn peak(&self) -> &SfsRunStats {
+        self.stats
+            .iter()
+            .max_by(|a, b| {
+                a.point
+                    .achieved_ops_per_sec
+                    .total_cmp(&b.point.achieved_ops_per_sec)
+            })
+            .expect("curve has points")
+    }
+
+    fn parallel_speedup(&self) -> f64 {
+        self.serial_wall_ms / self.parallel_wall_ms.max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        let points: Vec<String> = self.stats.iter().map(|s| s.to_json()).collect();
+        let peak = self.peak();
+        json::object(&[
+            ("clients", self.config.clients.to_string()),
+            ("shards", self.config.shards.to_string()),
+            ("cores", self.config.cores.to_string()),
+            ("spindles", self.config.spindles.to_string()),
+            ("io_overlap", self.config.io_overlap.to_string()),
+            ("per_client_lans", self.config.per_client_lans.to_string()),
+            ("inode_groups", self.config.inode_groups.to_string()),
+            ("read_caching", self.config.read_caching.to_string()),
+            (
+                "duration_secs",
+                json::number(self.config.duration.as_secs_f64()),
+            ),
+            (
+                "peak_achieved_ops_per_sec",
+                json::number(peak.point.achieved_ops_per_sec),
+            ),
+            (
+                "peak_avg_latency_ms",
+                json::number(peak.point.avg_latency_ms),
+            ),
+            ("serial_wall_ms", json::number(self.serial_wall_ms)),
+            ("parallel_wall_ms", json::number(self.parallel_wall_ms)),
+            ("threads", self.threads.to_string()),
+            ("host_parallelism", host_parallelism().to_string()),
+            ("parallel_speedup", json::number(self.parallel_speedup())),
+            ("points", json::array(&points)),
+        ])
+    }
+}
+
+/// CPUs the host actually offers the process (1 when unknown).
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run one curve: a timed serial pass collecting health counters, then a
+/// timed parallel pass that must reproduce the points bit-identically.
+fn run_curve(label: &str, config: SfsConfig, loads: &[f64], threads: usize) -> Curve {
+    let sweep = SfsSweep::new(config.clone());
+    let serial_start = Instant::now();
+    let stats = sweep.run_stats(loads);
+    let serial_wall_ms = serial_start.elapsed().as_secs_f64() * 1e3;
+    let parallel_start = Instant::now();
+    let parallel = sweep.run_parallel(loads, threads);
+    let parallel_wall_ms = parallel_start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(parallel.len(), stats.len());
+    for (serial, parallel) in stats.iter().zip(parallel.iter()) {
+        assert!(
+            serial.point.achieved_ops_per_sec == parallel.achieved_ops_per_sec
+                && serial.point.avg_latency_ms == parallel.avg_latency_ms
+                && serial.point.server_cpu_percent == parallel.server_cpu_percent,
+            "{label}: parallel sweep diverged from serial at offered {} ops/s",
+            serial.point.offered_ops_per_sec
+        );
+    }
+    for s in &stats {
+        assert_eq!(
+            s.evicted_in_progress, 0,
+            "{label} @ {} ops/s: dupcache evicted an InProgress entry: a \
+             deferred gathered-write reply could have been orphaned (§6.9)",
+            s.point.offered_ops_per_sec
+        );
+        assert_eq!(
+            s.materializations, 0,
+            "{label} @ {} ops/s: the zero-copy datapath materialised a payload",
+            s.point.offered_ops_per_sec
+        );
+        println!(
+            "{label:<9} offered {:>6.0}  achieved {:>7.1} ops/s  latency {:>9.2} ms  \
+             cpu {:>5.1}%  fairness {:.3}  mints {}",
+            s.point.offered_ops_per_sec,
+            s.point.achieved_ops_per_sec,
+            s.point.avg_latency_ms,
+            s.point.server_cpu_percent,
+            s.fairness,
+            s.name_mints,
+        );
+    }
+    println!(
+        "{label:<9} sweep wall: serial {serial_wall_ms:.1} ms, parallel {parallel_wall_ms:.1} ms \
+         on {threads} threads ({:.2}x)",
+        serial_wall_ms / parallel_wall_ms.max(1e-9)
+    );
+    Curve {
+        config,
+        stats,
+        serial_wall_ms,
+        parallel_wall_ms,
+        threads,
+    }
+}
+
+fn parse_list(s: &str) -> Vec<f64> {
+    s.split(',')
+        .map(|v| v.trim().parse().expect("comma-separated numbers"))
+        .collect()
+}
+
+fn main() {
+    let mut out_path = "BENCH_writepath.json".to_string();
+    // Flag defaults come from the one canonical definition of the scaled
+    // stack (`SfsConfig::scaled`, also what tests/sfs_scale.rs measures) so
+    // the recorded "current" curve cannot drift from it.
+    let scaled_defaults = SfsConfig::scaled(0.0, WritePolicy::Gathering, 4);
+    let mut clients = scaled_defaults.clients;
+    let mut shards = scaled_defaults.shards;
+    let mut cores = scaled_defaults.cores;
+    let mut spindles = scaled_defaults.spindles;
+    let mut overlap = scaled_defaults.io_overlap;
+    let mut lans = scaled_defaults.per_client_lans;
+    let mut inode_groups = scaled_defaults.inode_groups;
+    let mut read_caching = scaled_defaults.read_caching;
+    let mut threads = 4usize;
+    let mut secs: Option<u64> = None;
+    let mut loads: Option<Vec<f64>> = None;
+    let mut smoke = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => out_path = iter.next().expect("--out needs a path"),
+            "--smoke" => smoke = true,
+            "--clients" => {
+                clients = iter
+                    .next()
+                    .expect("--clients needs a count")
+                    .parse()
+                    .expect("--clients needs a number");
+            }
+            "--shards" => {
+                shards = iter
+                    .next()
+                    .expect("--shards needs a count")
+                    .parse()
+                    .expect("--shards needs a number");
+            }
+            "--cores" => {
+                cores = iter
+                    .next()
+                    .expect("--cores needs a count")
+                    .parse()
+                    .expect("--cores needs a number");
+            }
+            "--spindles" => {
+                spindles = iter
+                    .next()
+                    .expect("--spindles needs a count")
+                    .parse()
+                    .expect("--spindles needs a number");
+            }
+            "--inode-groups" => {
+                inode_groups = iter
+                    .next()
+                    .expect("--inode-groups needs a count")
+                    .parse()
+                    .expect("--inode-groups needs a number");
+            }
+            "--threads" => {
+                threads = iter
+                    .next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("--threads needs a number");
+            }
+            "--secs" => {
+                secs = Some(
+                    iter.next()
+                        .expect("--secs needs a count")
+                        .parse()
+                        .expect("--secs needs a number"),
+                );
+            }
+            "--loads" => {
+                loads = Some(parse_list(&iter.next().expect("--loads needs a list")));
+            }
+            // The scaled topology is the default; the bare flags exist so CI
+            // invocations can spell the configuration out, and the --no-*
+            // forms give ablations a way to switch pieces off.
+            "--overlap" => overlap = true,
+            "--no-overlap" => overlap = false,
+            "--lans" => lans = true,
+            "--no-lans" => lans = false,
+            "--read-caching" => read_caching = true,
+            "--no-read-caching" => read_caching = false,
+            other => panic!(
+                "unknown argument {other}; use --smoke, --out PATH, --clients N, \
+                 --shards N, --cores N, --spindles N, --inode-groups N, \
+                 --threads N, --secs N, --loads A,B,C, \
+                 --overlap/--no-overlap, --lans/--no-lans, \
+                 --read-caching/--no-read-caching"
+            ),
+        }
+    }
+
+    // Smoke shortens the sweep, but an explicit --secs/--loads always wins
+    // regardless of where it sits on the command line.
+    let secs = secs.unwrap_or(if smoke { 3 } else { 20 });
+    let loads = loads.unwrap_or_else(|| {
+        if smoke {
+            vec![300.0, 900.0]
+        } else {
+            FULL_LOADS.to_vec()
+        }
+    });
+    let duration = wg_simcore::Duration::from_secs(secs);
+    let mut baseline_config = SfsConfig::figure2(0.0, WritePolicy::Gathering);
+    baseline_config.duration = duration;
+    let mut current_config = SfsConfig::scaled(0.0, WritePolicy::Gathering, clients)
+        .with_shards(shards)
+        .with_cores(cores)
+        .with_spindles(spindles)
+        .with_io_overlap(overlap)
+        .with_per_client_lans(lans)
+        .with_inode_groups(inode_groups)
+        .with_read_caching(read_caching);
+    current_config.duration = duration;
+
+    let baseline = run_curve("baseline", baseline_config, &loads, threads);
+    let current = run_curve("current", current_config, &loads, threads);
+
+    let base_peak = baseline.peak();
+    let cur_peak = current.peak();
+    let peak_ratio =
+        cur_peak.point.achieved_ops_per_sec / base_peak.point.achieved_ops_per_sec.max(1e-9);
+    println!(
+        "knee shift: baseline peak {:.1} ops/s @ {:.1} ms -> current peak {:.1} ops/s @ {:.1} ms \
+         ({peak_ratio:.2}x)",
+        base_peak.point.achieved_ops_per_sec,
+        base_peak.point.avg_latency_ms,
+        cur_peak.point.achieved_ops_per_sec,
+        cur_peak.point.avg_latency_ms,
+    );
+    if !smoke {
+        // The headline asserts only make sense at full duration and span.
+        assert!(
+            peak_ratio >= 1.3,
+            "the scaled configuration's knee did not shift: {peak_ratio:.2}x < 1.3x"
+        );
+        assert!(
+            cur_peak.point.avg_latency_ms <= base_peak.point.avg_latency_ms,
+            "the scaled peak pays more latency than the baseline knee: {:.1} ms > {:.1} ms",
+            cur_peak.point.avg_latency_ms,
+            base_peak.point.avg_latency_ms
+        );
+        // The bit-identity of parallel vs serial points is asserted in every
+        // run (see `run_curve`); the wall-clock win can only exist where the
+        // host actually has cores to run the workers on.
+        let host = host_parallelism();
+        if loads.len() >= 8 && threads >= 4 && host >= 4 {
+            let speedup = current.parallel_speedup();
+            assert!(
+                speedup >= 2.0,
+                "parallel sweep speedup {speedup:.2}x < 2x on {threads} threads \
+                 over {} points",
+                loads.len()
+            );
+        } else if host < 4 {
+            println!(
+                "note: host offers {host} CPU(s); recording the parallel wall \
+                 clock without asserting the >=2x speedup"
+            );
+        }
+    }
+
+    let sfs_scale = json::object(&[
+        ("baseline", baseline.to_json()),
+        ("current", current.to_json()),
+        (
+            "knee_shift",
+            json::object(&[
+                (
+                    "baseline_peak_ops_per_sec",
+                    json::number(base_peak.point.achieved_ops_per_sec),
+                ),
+                (
+                    "current_peak_ops_per_sec",
+                    json::number(cur_peak.point.achieved_ops_per_sec),
+                ),
+                ("peak_ratio", json::number(peak_ratio)),
+                (
+                    "baseline_peak_latency_ms",
+                    json::number(base_peak.point.avg_latency_ms),
+                ),
+                (
+                    "current_peak_latency_ms",
+                    json::number(cur_peak.point.avg_latency_ms),
+                ),
+            ]),
+        ),
+    ]);
+    let previous = std::fs::read_to_string(&out_path).unwrap_or_default();
+    let report = upsert_object(&previous, "sfs_scale", &sfs_scale);
+    std::fs::write(&out_path, report).expect("write report");
+    println!("wrote {out_path}");
+}

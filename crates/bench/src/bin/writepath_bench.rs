@@ -158,9 +158,10 @@ fn main() {
     }
 
     let previous = std::fs::read_to_string(&out_path).unwrap_or_default();
-    // The `scale_sweep` binary merges its results into the same file; carry
-    // them across a rewrite.
+    // The `scale_sweep` and `sfs_sweep` binaries merge their results into the
+    // same file; carry them across a rewrite.
     let scale = extract_object(&previous, "scale");
+    let sfs_scale = extract_object(&previous, "sfs_scale");
     let report = if record_baseline {
         let mut fields = vec![
             ("bench", "\"writepath\"".to_string()),
@@ -170,6 +171,9 @@ fn main() {
         ];
         if let Some(scale) = scale {
             fields.push(("scale", scale));
+        }
+        if let Some(sfs_scale) = sfs_scale {
+            fields.push(("sfs_scale", sfs_scale));
         }
         json::object(&fields)
     } else {
@@ -195,6 +199,9 @@ fn main() {
         ];
         if let Some(scale) = scale {
             fields.push(("scale", scale));
+        }
+        if let Some(sfs_scale) = sfs_scale {
+            fields.push(("sfs_scale", sfs_scale));
         }
         json::object(&fields)
     };

@@ -253,49 +253,122 @@ pub fn render_figure(figure: u8, without: &[SfsPoint], with: &[SfsPoint]) -> Str
 /// a brace-matching scan over their own output is reliable.  Both binaries
 /// share these helpers: one scanner, not two drifting copies.
 pub mod report {
-    /// Extract a top-level `"key":{...}` object (including its braces), if
-    /// present.
-    pub fn extract_object(text: &str, key: &str) -> Option<String> {
-        let marker = format!("\"{key}\":");
-        let at = text.find(&marker)? + marker.len();
-        let rest = &text[at..];
-        let open = rest.find('{')?;
-        let mut depth = 0usize;
-        for (i, b) in rest.bytes().enumerate().skip(open) {
-            match b {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        return Some(rest[open..=i].to_string());
-                    }
-                }
-                _ => {}
+    /// Index just past a JSON string that starts at `at` (which must hold the
+    /// opening quote), honouring backslash escapes.
+    fn skip_string(text: &str, at: usize) -> Option<usize> {
+        let bytes = text.as_bytes();
+        debug_assert_eq!(bytes.get(at), Some(&b'"'));
+        let mut i = at + 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => return Some(i + 1),
+                _ => i += 1,
             }
         }
         None
     }
 
+    /// Index just past the JSON value that starts at `at` — an object or
+    /// array (brace-matched, with strings skipped so braces inside names
+    /// can't unbalance the count), a string, or a scalar.
+    fn skip_value(text: &str, at: usize) -> Option<usize> {
+        let bytes = text.as_bytes();
+        match bytes.get(at)? {
+            b'"' => skip_string(text, at),
+            b'{' | b'[' => {
+                let mut depth = 0usize;
+                let mut i = at;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'"' => {
+                            i = skip_string(text, i)?;
+                            continue;
+                        }
+                        b'{' | b'[' => depth += 1,
+                        b'}' | b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some(i + 1);
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                None
+            }
+            _ => {
+                let mut i = at;
+                while i < bytes.len() && !matches!(bytes[i], b',' | b'}' | b']') {
+                    i += 1;
+                }
+                Some(i)
+            }
+        }
+    }
+
+    /// Walk the *top level* of the report object and return the value span of
+    /// `key` as `(value_start, value_end)`.  Depth-aware on purpose: the
+    /// report nests whole sub-reports (e.g. an `"sfs_scale"` object carrying
+    /// its own `"baseline"`/`"current"` curves), and a naive substring search
+    /// for `"baseline":` would happily land inside one of them.
+    fn top_level_value_span(text: &str, key: &str) -> Option<(usize, usize)> {
+        let bytes = text.as_bytes();
+        let mut i = text.find('{')? + 1;
+        loop {
+            while i < bytes.len() && matches!(bytes[i], b' ' | b'\t' | b'\n' | b'\r' | b',') {
+                i += 1;
+            }
+            if i >= bytes.len() || bytes[i] != b'"' {
+                return None;
+            }
+            let key_start = i;
+            let key_end = skip_string(text, i)?;
+            let this_key = &text[key_start + 1..key_end - 1];
+            i = key_end;
+            while i < bytes.len() && matches!(bytes[i], b' ' | b'\t' | b'\n' | b'\r') {
+                i += 1;
+            }
+            if i >= bytes.len() || bytes[i] != b':' {
+                return None;
+            }
+            i += 1;
+            while i < bytes.len() && matches!(bytes[i], b' ' | b'\t' | b'\n' | b'\r') {
+                i += 1;
+            }
+            let value_start = i;
+            let value_end = skip_value(text, i)?;
+            if this_key == key {
+                return Some((value_start, value_end));
+            }
+            i = value_end;
+        }
+    }
+
+    /// Extract a top-level `"key":{...}` object (including its braces), if
+    /// present.  Only the report's own top level is searched; identically
+    /// named keys nested inside other objects are never matched.
+    pub fn extract_object(text: &str, key: &str) -> Option<String> {
+        let (start, end) = top_level_value_span(text, key)?;
+        if text.as_bytes()[start] == b'{' {
+            Some(text[start..end].to_string())
+        } else {
+            None
+        }
+    }
+
     /// Replace (or insert) a top-level `"key":{...}` object in a report,
     /// returning the new text (newline-terminated).  An empty `text` becomes
-    /// a fresh single-key object.
+    /// a fresh single-key object.  Like [`extract_object`], only genuine
+    /// top-level keys are replaced — a nested namesake stays untouched.
     pub fn upsert_object(text: &str, key: &str, value: &str) -> String {
         let trimmed = text.trim_end();
         if trimmed.is_empty() {
             return format!("{{\"{key}\":{value}}}\n");
         }
-        let marker = format!("\"{key}\":");
-        if let Some(at) = trimmed.find(&marker) {
-            let start = at + marker.len();
-            let rest = &trimmed[start..];
-            let existing = extract_object(trimmed, key).expect("key holds an object");
-            let open = rest.find('{').expect("key holds an object");
-            format!(
-                "{}{}{}\n",
-                &trimmed[..start],
-                value,
-                &rest[open + existing.len()..]
-            )
+        if let Some((start, end)) = top_level_value_span(trimmed, key) {
+            format!("{}{}{}\n", &trimmed[..start], value, &trimmed[end..])
         } else {
             let end = trimmed.rfind('}').expect("report is a JSON object");
             let body = trimmed[..end].trim_end();
@@ -327,6 +400,53 @@ pub mod report {
             // Keys after the replaced one survive.
             let middle = upsert_object("{\"scale\":{\"k\":4},\"z\":{\"w\":5}}", "scale", "{}");
             assert_eq!(middle, "{\"scale\":{},\"z\":{\"w\":5}}\n");
+        }
+
+        #[test]
+        fn nested_namesakes_are_never_matched() {
+            // The sfs_scale sub-report nests its own "baseline" and "current"
+            // curves; extraction of the top-level "baseline" must not land on
+            // them even when sfs_scale comes first.
+            let text = concat!(
+                r#"{"sfs_scale":{"baseline":{"nested":1},"current":{"nested":2}},"#,
+                r#""baseline":{"real":3}}"#
+            );
+            assert_eq!(
+                extract_object(text, "baseline"),
+                Some(r#"{"real":3}"#.into())
+            );
+            assert_eq!(extract_object(text, "nested"), None);
+            // Upserting the top-level key leaves the nested namesake alone.
+            let updated = upsert_object(text, "baseline", r#"{"real":4}"#);
+            assert!(updated.contains(r#""baseline":{"nested":1}"#));
+            assert!(updated.contains(r#""baseline":{"real":4}"#));
+        }
+
+        #[test]
+        fn sfs_scale_and_scale_keys_do_not_collide() {
+            let text = r#"{"sfs_scale":{"baseline":{"p":1}},"scale":{"c2_mb1":{"q":2}}}"#;
+            assert_eq!(
+                extract_object(text, "scale"),
+                Some(r#"{"c2_mb1":{"q":2}}"#.into())
+            );
+            assert_eq!(
+                extract_object(text, "sfs_scale"),
+                Some(r#"{"baseline":{"p":1}}"#.into())
+            );
+            // A scale rewrite keeps the sfs_scale curves verbatim.
+            let updated = upsert_object(text, "scale", r#"{"c2_mb1":{"q":9}}"#);
+            assert!(updated.contains(r#""sfs_scale":{"baseline":{"p":1}}"#));
+            assert!(updated.contains(r#""scale":{"c2_mb1":{"q":9}}"#));
+        }
+
+        #[test]
+        fn braces_inside_strings_do_not_unbalance_the_scan() {
+            let text = r#"{"a":{"label":"odd } text { here"},"b":{"v":1}}"#;
+            assert_eq!(extract_object(text, "b"), Some(r#"{"v":1}"#.into()));
+            assert_eq!(
+                extract_object(text, "a"),
+                Some(r#"{"label":"odd } text { here"}"#.into())
+            );
         }
     }
 }

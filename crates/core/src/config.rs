@@ -151,7 +151,10 @@ pub struct ServerConfig {
     pub max_procrastinations: u32,
     /// Whether the "mbuf hunter" socket-buffer scan is enabled (§6.5).
     pub mbuf_hunter: bool,
-    /// Socket buffer capacity in bytes (OSF/1 default: 256 KB).
+    /// Socket buffer capacity in bytes (OSF/1 default: 256 KB).  This is the
+    /// machine's whole receive-buffer pool: a sharded server partitions it
+    /// evenly across its shards' incoming queues (with a 9 KB per-shard
+    /// floor so every shard can always hold one full write datagram).
     pub socket_buffer_bytes: usize,
     /// CPU cost table.
     pub costs: CostParams,
@@ -165,6 +168,17 @@ pub struct ServerConfig {
     /// raise it so aggregate working sets beyond one spindle's worth fit
     /// (addresses past the physical capacity simply pay full-stroke seeks).
     pub data_capacity: u64,
+    /// Number of FFS-style inode groups the exported filesystem spreads its
+    /// inodes over (see [`wg_ufs::FsParams::inode_groups`]).  `1` (the
+    /// default) is the flat layout the paper's tables imply — every inode
+    /// block of a small working set shares one stripe unit, so one member of
+    /// a stripe set absorbs all metadata writes.  Scaled-out configurations
+    /// raise it so metadata I/O spreads across the whole disk farm.
+    pub inode_groups: usize,
+    /// Whether disk blocks fetched by reads stay resident in the buffer
+    /// cache (see [`wg_ufs::FsParams::read_caching`]).  Off by default: the
+    /// paper's figures measure a cold cache.
+    pub read_caching: bool,
     /// Number of request-path shards.  Each shard owns its own incoming
     /// socket queue, nfsd sub-pool and duplicate-request-cache partition;
     /// requests are routed by `inode % shards`, so per-file state (vnode
@@ -206,6 +220,8 @@ impl ServerConfig {
             cpu_speed: 1.0,
             dupcache_entries: 512,
             data_capacity: wg_ufs::FsParams::default().data_capacity,
+            inode_groups: 1,
+            read_caching: false,
             shards: 1,
             cores: 1,
             io_overlap: false,
@@ -261,6 +277,20 @@ impl ServerConfig {
     /// [`ServerConfig::io_overlap`]).
     pub fn with_io_overlap(mut self, on: bool) -> Self {
         self.io_overlap = on;
+        self
+    }
+
+    /// Spread the filesystem's inodes over `n` FFS-style groups (see
+    /// [`ServerConfig::inode_groups`]).
+    pub fn with_inode_groups(mut self, n: usize) -> Self {
+        self.inode_groups = n.max(1);
+        self
+    }
+
+    /// Keep read-fetched blocks resident in the buffer cache (see
+    /// [`ServerConfig::read_caching`]).
+    pub fn with_read_caching(mut self, on: bool) -> Self {
+        self.read_caching = on;
         self
     }
 }

@@ -198,14 +198,25 @@ impl NfsServer {
         // shard keeps its own incoming queue at the full socket-buffer size
         // (a real sharded server binds one receive queue per shard).
         let dup_entries = config.dupcache_entries.max(1).div_ceil(shard_count);
+        // Like the dupcache, the socket-buffer memory is one machine-wide
+        // pool partitioned across the shards, not multiplied by them: a
+        // sharded server must not buffer (and overload-delay) four times as
+        // much traffic as the monolithic one just because dispatch is split.
+        // The floor keeps each shard able to hold at least one full 8 KB
+        // write datagram (a shard that can't accept any write would livelock
+        // its clients); with extreme shard counts over a tiny pool the floor
+        // wins and the aggregate exceeds the configured total.
+        let sockbuf_bytes = (config.socket_buffer_bytes / shard_count).max(9 * 1024);
         let shards: Vec<Shard> = (0..shard_count)
             .map(|_| Shard {
-                sockbuf: SocketBuffer::with_capacity(config.socket_buffer_bytes),
+                sockbuf: SocketBuffer::with_capacity(sockbuf_bytes),
                 dupcache: DuplicateRequestCache::new(dup_entries),
             })
             .collect();
         let fs_params = wg_ufs::FsParams {
             data_capacity: config.data_capacity,
+            inode_groups: config.inode_groups.max(1) as u64,
+            read_caching: config.read_caching,
             ..wg_ufs::FsParams::default()
         };
         NfsServer {

@@ -156,12 +156,17 @@ impl XdrDecode for SetattrArgs {
 
 /// Arguments naming an entry within a directory (LOOKUP, and the directory
 /// halves of CREATE/REMOVE/MKDIR/RMDIR).
+///
+/// The name is a refcounted `Arc<str>` rather than an owned `String`: load
+/// generators issue millions of LOOKUPs against a fixed namespace, and an
+/// interned name lets them build each call body with a pointer bump instead
+/// of a heap allocation per operation.
 #[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct DirOpArgs {
     /// The directory file handle.
     pub dir: FileHandle,
-    /// The entry name.
-    pub name: String,
+    /// The entry name (shared, clone-without-allocating).
+    pub name: std::sync::Arc<str>,
 }
 
 impl XdrEncode for DirOpArgs {
@@ -175,7 +180,7 @@ impl XdrDecode for DirOpArgs {
     fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
         Ok(DirOpArgs {
             dir: FileHandle::decode(dec)?,
-            name: dec.get_string()?,
+            name: dec.get_string()?.into(),
         })
     }
 }
@@ -532,7 +537,7 @@ mod tests {
     fn dirop_and_create_roundtrip() {
         let lookup = DirOpArgs {
             dir: fh(),
-            name: "data.out".to_string(),
+            name: "data.out".into(),
         };
         let back: DirOpArgs = from_bytes(&to_bytes(&lookup)).unwrap();
         assert_eq!(back, lookup);

@@ -21,6 +21,28 @@ pub struct FsParams {
     pub data_region_start: u64,
     /// Bytes each on-disk inode occupies (128 in FFS).
     pub inode_size: u64,
+    /// Whether blocks fetched from disk by reads stay resident in the buffer
+    /// cache.
+    ///
+    /// `false` (the default) reproduces the cold-cache behaviour the paper's
+    /// figures measure: every read of an uncached block pays a disk trip,
+    /// even if the same block was read a nanosecond earlier.  Real UFS keeps
+    /// read blocks in the buffer cache; scaled-out configurations turn this
+    /// on so a bounded working set stops re-reading the same blocks from a
+    /// saturated disk farm.
+    pub read_caching: bool,
+    /// Number of FFS-style inode groups the inode region is divided into.
+    ///
+    /// `1` (the default) is the flat layout the paper's single-disk server
+    /// implies: consecutive inodes share consecutive inode blocks, so a
+    /// working set of a few hundred files keeps all its inode writes inside
+    /// one or two 8 KB blocks — which, behind a striping driver, all map to
+    /// *one* stripe unit on *one* member spindle.  Real UFS spreads inodes
+    /// across cylinder groups; with `inode_groups > 1` consecutive inodes
+    /// rotate across groups spaced [`FsParams::INODE_GROUP_SPAN`] apart, so a
+    /// hot working set's metadata writes spread across every member of a
+    /// stripe set instead of hammering one.
+    pub inode_groups: u64,
 }
 
 impl Default for FsParams {
@@ -33,6 +55,8 @@ impl Default for FsParams {
             inode_region_start: 16 * 1024 * 1024,
             data_region_start: 64 * 1024 * 1024,
             inode_size: 128,
+            read_caching: false,
+            inode_groups: 1,
         }
     }
 }
@@ -49,9 +73,45 @@ impl FsParams {
         self.block_size / 4
     }
 
+    /// Distance between the starts of two consecutive inode groups: seven
+    /// 64 KB stripe units.  Being coprime to every stripe width up to 13
+    /// (other than 7), consecutive groups walk all members of a stripe set
+    /// instead of aliasing onto a subset.
+    pub const INODE_GROUP_SPAN: u64 = 7 * 64 * 1024;
+
     /// The disk address of the block containing inode `ino`.
+    ///
+    /// With a single inode group this is the flat layout
+    /// `region_start + (ino / inodes_per_block) * block_size`; with more,
+    /// inode `ino` lives in group `ino % inode_groups` at span-sized strides
+    /// (see [`FsParams::inode_groups`]).
     pub fn inode_block_addr(&self, ino: u64) -> u64 {
-        self.inode_region_start + (ino / self.inodes_per_block()) * self.block_size
+        let groups = self.inode_groups.max(1);
+        let group = ino % groups;
+        let slot = ino / groups;
+        let block_offset = (slot / self.inodes_per_block()) * self.block_size;
+        // A group's slots must stay inside its span: letting them run into
+        // the next group's range would silently alias two different inodes
+        // onto one disk address, defeating the spreading this layout models.
+        assert!(
+            groups == 1 || block_offset < Self::INODE_GROUP_SPAN,
+            "inode {ino} overflows its group: {groups} groups hold {} inodes \
+             each; raise inode_groups or shrink the working set",
+            (Self::INODE_GROUP_SPAN / self.block_size) * self.inodes_per_block()
+        );
+        let addr = self.inode_region_start + group * Self::INODE_GROUP_SPAN + block_offset;
+        // Hard assert (the group count comes straight from CLI flags and
+        // release builds strip debug_asserts): an inode block past the data
+        // region start would alias onto addresses the data allocator hands
+        // out, silently corrupting every seek-distance result.
+        assert!(
+            addr < self.data_region_start || groups == 1,
+            "inode {ino} overflows the inode region: {groups} groups need \
+             {} bytes but only {} are reserved; lower inode_groups",
+            groups * Self::INODE_GROUP_SPAN,
+            self.data_region_start - self.inode_region_start
+        );
+        addr
     }
 
     /// Number of whole blocks needed to hold `bytes` bytes.
@@ -69,6 +129,8 @@ impl FsParams {
             inode_region_start: 1024 * 1024,
             data_region_start: 2 * 1024 * 1024,
             inode_size: 128,
+            read_caching: false,
+            inode_groups: 1,
         }
     }
 }
@@ -95,6 +157,34 @@ mod tests {
         assert_eq!(p.inode_block_addr(0), p.inode_block_addr(63));
         assert_ne!(p.inode_block_addr(63), p.inode_block_addr(64));
         assert_eq!(p.inode_block_addr(64) - p.inode_block_addr(0), p.block_size);
+    }
+
+    #[test]
+    fn inode_groups_spread_consecutive_inodes_across_stripe_members() {
+        let flat = FsParams::default();
+        let grouped = FsParams {
+            inode_groups: 64,
+            ..FsParams::default()
+        };
+        // Group 0 keeps the flat layout's first block.
+        assert_eq!(grouped.inode_block_addr(0), flat.inode_block_addr(0));
+        // Consecutive inodes land one group span apart instead of sharing a
+        // block...
+        assert_eq!(
+            grouped.inode_block_addr(1) - grouped.inode_block_addr(0),
+            FsParams::INODE_GROUP_SPAN
+        );
+        // ...and therefore on different members of any stripe (6-wide here).
+        let stripe_unit = 64 * 1024;
+        let member = |ino: u64| (grouped.inode_block_addr(ino) / stripe_unit) % 6;
+        let members: std::collections::BTreeSet<u64> = (0..64).map(member).collect();
+        assert_eq!(members.len(), 6, "all six members carry inode blocks");
+        // The flat layout pins a whole working set onto one member.
+        let flat_member = |ino: u64| (flat.inode_block_addr(ino) / stripe_unit) % 6;
+        let flat_members: std::collections::BTreeSet<u64> = (0..64).map(flat_member).collect();
+        assert_eq!(flat_members.len(), 1);
+        // A group's slots stay inside the inode region.
+        assert!(grouped.inode_block_addr(64 * 63 + 63) < grouped.data_region_start);
     }
 
     #[test]

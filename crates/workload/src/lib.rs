@@ -9,9 +9,12 @@
 //!   wired together through one deterministic event loop.
 //! * [`multi`] — the N-client scale-out system reproducing the paper's
 //!   "several clients" remarks: independent salted write streams sharing one
-//!   medium and server, with per-client, aggregate and fairness results.
+//!   medium (or riding per-client LAN segments) into one server, with
+//!   per-client, aggregate and fairness results.
 //! * [`sfs`] — a SPEC SFS 1.0 (LADDIS)-like mixed-operation load generator
-//!   and the throughput/latency sweep behind Figures 2 and 3.
+//!   and the throughput/latency sweep behind Figures 2 and 3, scalable to N
+//!   independent generator streams over the same per-client LAN topology
+//!   and sweepable in parallel on a thread pool.
 //! * [`results`] — the result records the benchmark harness prints, shaped
 //!   like the rows of the paper's tables.
 //!
@@ -28,5 +31,5 @@ pub mod system;
 
 pub use multi::{MultiClientConfig, MultiClientSystem};
 pub use results::{FileCopyResult, MultiClientResult, SfsPoint, TableRow};
-pub use sfs::{SfsConfig, SfsMix, SfsSweep};
+pub use sfs::{SfsConfig, SfsMix, SfsRunStats, SfsSweep};
 pub use system::{ExperimentConfig, FileCopySystem, NetworkKind};

@@ -30,7 +30,7 @@
 use std::collections::VecDeque;
 
 use wg_client::{ClientAction, ClientConfig, ClientInput, FileWriterClient};
-use wg_net::medium::Direction;
+use wg_net::medium::{Direction, MediumParams};
 use wg_net::{Medium, TransmitOutcome};
 use wg_nfsproto::FileHandle;
 use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, WritePolicy};
@@ -210,6 +210,37 @@ impl MultiClientConfig {
     }
 }
 
+/// The network fan-in of an N-client system: one segment shared by every
+/// client, or one private LAN per client, every segment terminating at the
+/// one server.  Shared by [`MultiClientSystem`] and the SFS scale-out system
+/// ([`crate::sfs::SfsSystem`]) so the two load harnesses model the same
+/// topology.
+pub(crate) struct ClientLans {
+    media: Vec<Medium>,
+}
+
+impl ClientLans {
+    /// Build the fan-in: `clients` private segments when `per_client` is set,
+    /// one shared segment otherwise.
+    pub(crate) fn new(params: &MediumParams, clients: usize, per_client: bool) -> Self {
+        let count = if per_client { clients.max(1) } else { 1 };
+        ClientLans {
+            media: (0..count).map(|_| Medium::new(params.clone())).collect(),
+        }
+    }
+
+    /// The segment a client transmits and receives on.
+    pub(crate) fn medium_mut(&mut self, client: usize) -> &mut Medium {
+        let idx = if self.media.len() > 1 { client } else { 0 };
+        &mut self.media[idx]
+    }
+
+    /// Number of distinct segments.
+    pub(crate) fn segments(&self) -> usize {
+        self.media.len()
+    }
+}
+
 /// Events flowing through the combined system.
 enum Ev {
     Client(usize, ClientInput),
@@ -266,7 +297,7 @@ pub struct MultiClientSystem {
     server: NfsServer,
     /// One shared segment, or one segment per client when
     /// [`MultiClientConfig::per_client_lans`] is set.
-    media: Vec<Medium>,
+    lans: ClientLans,
     queue: EventQueue<Ev>,
     started_at: SimTime,
     events_processed: u64,
@@ -348,16 +379,9 @@ impl MultiClientSystem {
             });
             layouts.push(layout);
         }
-        let segment_count = if config.per_client_lans {
-            config.clients
-        } else {
-            1
-        };
-        let media = (0..segment_count)
-            .map(|_| Medium::new(medium_params.clone()))
-            .collect();
+        let lans = ClientLans::new(&medium_params, config.clients, config.per_client_lans);
         MultiClientSystem {
-            media,
+            lans,
             queue: EventQueue::new(),
             started_at: SimTime::ZERO,
             events_processed: 0,
@@ -365,15 +389,6 @@ impl MultiClientSystem {
             layouts,
             server,
             config,
-        }
-    }
-
-    /// The network segment a client transmits and receives on.
-    fn medium_index(&self, client: usize) -> usize {
-        if self.media.len() > 1 {
-            client
-        } else {
-            0
         }
     }
 
@@ -429,8 +444,7 @@ impl MultiClientSystem {
             match action {
                 ClientAction::Send { at, call } => {
                     let size = call.wire_size();
-                    let idx = self.medium_index(client);
-                    let medium = &mut self.media[idx];
+                    let medium = self.lans.medium_mut(client);
                     let fragments = medium.params().fragments_for(size);
                     match medium.transmit(at, size, Direction::ToServer) {
                         TransmitOutcome::Delivered { arrives_at } => {
@@ -484,8 +498,11 @@ impl MultiClientSystem {
                 }
                 ServerAction::Reply { at, client, reply } => {
                     let size = reply.wire_size();
-                    let idx = self.medium_index(client as usize);
-                    match self.media[idx].transmit(at, size, Direction::ToClient) {
+                    match self.lans.medium_mut(client as usize).transmit(
+                        at,
+                        size,
+                        Direction::ToClient,
+                    ) {
                         TransmitOutcome::Delivered { arrives_at } => {
                             self.queue.schedule_at(
                                 arrives_at,

@@ -10,14 +10,40 @@
 //! * an offered load swept upward until the server saturates,
 //! * the reported curve of achieved ops/sec vs average latency.
 //!
-//! [`SfsSystem`] generates a Poisson stream of operations drawn from the
+//! [`SfsSystem`] generates Poisson streams of operations drawn from the
 //! LADDIS mix against a pre-populated filesystem, and [`SfsSweep`] runs the
 //! load sweep that regenerates the figures.
+//!
+//! # Scale-out
+//!
+//! The real SFS harness drives a server from a *fleet* of load-generating
+//! clients; the single-generator configuration of the original figures
+//! saturates on single-LAN and single-dispatch-queue artifacts long before
+//! the sharded, multi-core, pipelined server of later PRs does.
+//! [`SfsConfig::clients`] grows the harness to N independent generator
+//! streams — per-client RNG salt, xid partition and scratch-file namespace —
+//! optionally over per-client LAN segments
+//! ([`SfsConfig::per_client_lans`], the topology of
+//! [`crate::MultiClientSystem`]), feeding one server configured with the full
+//! shard/core/spindle/overlap stack.  The defaults (`clients = 1`, shared
+//! LAN, one shard, one core, serial driver) reproduce the original
+//! single-generator points exactly.
+//!
+//! # Hot-loop discipline
+//!
+//! Steady-state op generation performs no per-operation heap allocation for
+//! LOOKUP / READ / GETATTR / WRITE-burst traffic: file names are interned
+//! `Arc<str>`s picked by index, write payloads are fill patterns, and the
+//! outstanding-call table is a pre-sized ring keyed by xid offset rather
+//! than a hash map.  Only CREATE mints a fresh name (it has to — every
+//! created file needs a unique name) and scratch-file rotation allocates a
+//! generation name; both are counted in [`SfsSystem::name_mints`] so tests
+//! can pin "nothing else allocates".
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use wg_net::medium::Direction;
-use wg_net::{Medium, TransmitOutcome};
+use wg_net::TransmitOutcome;
 use wg_nfsproto::{
     CreateArgs, DirOpArgs, FileHandle, GetattrArgs, NfsCall, NfsCallBody, NfsReply, ReadArgs,
     ReaddirArgs, Sattr, WriteArgs, Xid,
@@ -25,7 +51,8 @@ use wg_nfsproto::{
 use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, WritePolicy};
 use wg_simcore::{Duration, EventQueue, LatencyStat, SimRng, SimTime};
 
-use crate::results::SfsPoint;
+use crate::multi::ClientLans;
+use crate::results::{MultiClientResult, SfsPoint};
 use crate::system::NetworkKind;
 
 /// The operation mix, as percentages that sum to 100.
@@ -67,6 +94,24 @@ impl SfsMix {
         }
     }
 
+    /// A mix of only the allocation-free steady-state operations (LOOKUP,
+    /// READ, GETATTR and WRITE bursts), in LADDIS proportions.  Used by the
+    /// zero-allocation probes: a generator driven by this mix must perform no
+    /// per-op heap allocation at all.
+    pub fn steady_state() -> Self {
+        SfsMix {
+            lookup: 40.0,
+            read: 26.0,
+            write: 18.0,
+            getattr: 16.0,
+            readdir: 0.0,
+            create: 0.0,
+            remove: 0.0,
+            setattr: 0.0,
+            statfs: 0.0,
+        }
+    }
+
     fn weights(&self) -> [f64; 9] {
         [
             self.lookup,
@@ -82,6 +127,16 @@ impl SfsMix {
     }
 }
 
+/// Number of scratch files each generator's write bursts rotate over.
+const SCRATCH_SLOTS: usize = 32;
+
+/// Size of one write burst chunk (NFS v2 clients write in 8 KB blocks).
+const CHUNK: u64 = 8192;
+
+/// First xid of client 0's window (kept from the single-client harness so
+/// default runs replay identically).
+const XID_ORIGIN: u32 = 0x2000_0000;
+
 /// Configuration of one SFS-style measurement point.
 #[derive(Clone, Debug)]
 pub struct SfsConfig {
@@ -96,11 +151,13 @@ pub struct SfsConfig {
     pub spindles: usize,
     /// Number of nfsds (32 in the figures' configuration).
     pub nfsds: usize,
-    /// Offered load in operations per second.
+    /// *Total* offered load in operations per second, split evenly across the
+    /// generator streams.
     pub offered_ops_per_sec: f64,
     /// Measured interval of simulated time.
     pub duration: Duration,
-    /// Number of files pre-created in the exported filesystem.
+    /// Number of files pre-created in the exported filesystem (shared by
+    /// every client's LOOKUP/READ/GETATTR traffic).
     pub file_count: usize,
     /// Size of each pre-created file.
     pub file_size: u64,
@@ -111,8 +168,41 @@ pub struct SfsConfig {
     /// which is the burstiness write gathering exploits; each write in the
     /// burst still counts as one NFS operation so the mix percentages hold.
     pub write_burst: usize,
-    /// RNG seed (runs are deterministic per seed).
+    /// RNG seed (runs are deterministic per seed; each client stream derives
+    /// its own generator from this).
     pub seed: u64,
+    /// Number of independent load-generator streams (1 = the original
+    /// single-client harness, bit-identical to it).
+    pub clients: usize,
+    /// Give every client stream its own LAN segment into the server instead
+    /// of contending on one shared medium.
+    pub per_client_lans: bool,
+    /// Number of server request-path shards (see
+    /// [`wg_server::ServerConfig::shards`]).
+    pub shards: usize,
+    /// Number of server CPU cores (see [`wg_server::ServerConfig::cores`]).
+    pub cores: usize,
+    /// Pipelined storage-stack execution on the server (see
+    /// [`wg_server::ServerConfig::io_overlap`]).
+    pub io_overlap: bool,
+    /// FFS-style inode groups on the exported filesystem (see
+    /// [`wg_server::ServerConfig::inode_groups`]).  `1` keeps the flat
+    /// layout of the original figures; the scaled harness spreads the
+    /// working set's inode blocks across the stripe so one member spindle
+    /// does not absorb every metadata flush.
+    pub inode_groups: usize,
+    /// Buffer-cache read caching on the server (see
+    /// [`wg_server::ServerConfig::read_caching`]).  Off in the original
+    /// figures (every read of the pre-populated set pays a disk trip); the
+    /// scaled harness turns it on so the bounded working set stops
+    /// re-reading the same blocks from a saturated disk farm.
+    pub read_caching: bool,
+    /// Largest append offset a scratch write file grows to before the
+    /// generator rotates to a fresh file.  UFS caps a file at ≈16 MB
+    /// (12 direct + 2048 single-indirect 8 KB blocks); the rotation keeps
+    /// long, write-hot runs from silently wrapping offsets past the cap the
+    /// way the old `offset as u32` append stream did.
+    pub scratch_file_limit: u64,
 }
 
 impl SfsConfig {
@@ -134,6 +224,14 @@ impl SfsConfig {
             mix: SfsMix::laddis(),
             write_burst: 8,
             seed: 1993,
+            clients: 1,
+            per_client_lans: false,
+            shards: 1,
+            cores: 1,
+            io_overlap: false,
+            inode_groups: 1,
+            read_caching: false,
+            scratch_file_limit: 8 * 1024 * 1024,
         }
     }
 
@@ -143,6 +241,94 @@ impl SfsConfig {
             prestoserve: true,
             ..SfsConfig::figure2(offered_ops_per_sec, policy)
         }
+    }
+
+    /// The scaled-out harness: `clients` generator streams over per-client
+    /// LANs through the sharded (4-way), multi-core (4), pipelined server —
+    /// the full stack of PRs 3–4 under the Figure 2 workload.
+    pub fn scaled(offered_ops_per_sec: f64, policy: WritePolicy, clients: usize) -> Self {
+        SfsConfig::figure2(offered_ops_per_sec, policy)
+            .with_clients(clients)
+            .with_per_client_lans(true)
+            .with_shards(4)
+            .with_cores(4)
+            .with_io_overlap(true)
+            .with_inode_groups(64)
+            .with_read_caching(true)
+    }
+
+    /// Set the number of generator streams.
+    pub fn with_clients(mut self, n: usize) -> Self {
+        self.clients = n.max(1);
+        self
+    }
+
+    /// Give every client stream its own LAN segment.
+    pub fn with_per_client_lans(mut self, on: bool) -> Self {
+        self.per_client_lans = on;
+        self
+    }
+
+    /// Shard the server's request path `n` ways.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Give the server `n` CPU cores.
+    pub fn with_cores(mut self, n: usize) -> Self {
+        self.cores = n.max(1);
+        self
+    }
+
+    /// Enable pipelined storage-stack execution on the server.
+    pub fn with_io_overlap(mut self, on: bool) -> Self {
+        self.io_overlap = on;
+        self
+    }
+
+    /// Spread the exported filesystem's inodes over `n` FFS-style groups.
+    pub fn with_inode_groups(mut self, n: usize) -> Self {
+        self.inode_groups = n.max(1);
+        self
+    }
+
+    /// Keep read-fetched blocks resident in the server's buffer cache.
+    pub fn with_read_caching(mut self, on: bool) -> Self {
+        self.read_caching = on;
+        self
+    }
+
+    /// Use a stripe set of `n` spindles.
+    pub fn with_spindles(mut self, n: usize) -> Self {
+        self.spindles = n.max(1);
+        self
+    }
+
+    /// Set the scratch-file rotation limit (test hook; the default 8 MB
+    /// stays well inside the ≈16 MB UFS single-indirect file cap).
+    pub fn with_scratch_file_limit(mut self, bytes: u64) -> Self {
+        self.scratch_file_limit = bytes;
+        self
+    }
+
+    /// The xid window stride per client: the space above [`XID_ORIGIN`] split
+    /// evenly, so every stream's xids stay globally unique and debuggable
+    /// (duplicate detection is keyed by `(client, xid)` anyway).
+    fn xid_stride(&self) -> u32 {
+        (u32::MAX - XID_ORIGIN) / self.clients.max(1) as u32
+    }
+
+    /// First xid of a client's window.
+    fn xid_base(&self, client: usize) -> u32 {
+        XID_ORIGIN + self.xid_stride() * client as u32
+    }
+
+    /// Expected operations one client stream issues over the run, used to
+    /// size its outstanding-call ring.
+    fn expected_ops_per_client(&self) -> u64 {
+        let per_client = self.offered_ops_per_sec.max(0.0) / self.clients.max(1) as f64;
+        (per_client * self.duration.as_secs_f64()).ceil() as u64
     }
 }
 
@@ -171,41 +357,339 @@ const OP_KINDS: [OpKind; 9] = [
     OpKind::Statfs,
 ];
 
-enum Ev {
-    NextArrival,
-    Server(ServerInput),
-    Reply(NfsReply),
+/// One slot of the outstanding-call ring.
+#[derive(Clone)]
+struct RingSlot {
+    xid: u32,
+    entry: Option<(SimTime, OpKind)>,
 }
 
-/// One SFS-style measurement run.
-pub struct SfsSystem {
-    config: SfsConfig,
-    server: NfsServer,
-    medium: Medium,
-    queue: EventQueue<Ev>,
+/// The outstanding-call table of one generator stream: a pre-sized ring
+/// keyed by xid offset.  Xids are handed out sequentially, so the slot of a
+/// call is simply `(xid - base) mod capacity`; inserting and removing is an
+/// index, not a hash, and the ring never allocates after construction.
+///
+/// A call that never gets a reply (dropped datagram, socket overflow)
+/// leaves its slot occupied until the xid sequence laps the ring — at which
+/// point the stale slot is reclaimed and counted in `stale_overwrites`,
+/// which is exactly the bookkeeping a hash map would have silently leaked.
+struct OutstandingRing {
+    base: u32,
+    mask: usize,
+    slots: Vec<RingSlot>,
+    stale_overwrites: u64,
+}
+
+impl OutstandingRing {
+    fn new(base: u32, expected_ops: u64) -> Self {
+        // Twice the expectation plus slack covers Poisson variance, so a
+        // default-length run never laps the ring and ring semantics stay
+        // identical to the old hash map's; the clamp bounds memory for
+        // extreme offered loads.
+        let capacity = (expected_ops.saturating_mul(2) + 4096)
+            .next_power_of_two()
+            .clamp(1 << 12, 1 << 20) as usize;
+        OutstandingRing {
+            base,
+            mask: capacity - 1,
+            slots: vec![
+                RingSlot {
+                    xid: 0,
+                    entry: None
+                };
+                capacity
+            ],
+            stale_overwrites: 0,
+        }
+    }
+
+    fn slot_index(&self, xid: u32) -> usize {
+        xid.wrapping_sub(self.base) as usize & self.mask
+    }
+
+    fn insert(&mut self, xid: u32, sent: SimTime, kind: OpKind) {
+        let idx = self.slot_index(xid);
+        let slot = &mut self.slots[idx];
+        if slot.entry.is_some() {
+            self.stale_overwrites += 1;
+        }
+        slot.xid = xid;
+        slot.entry = Some((sent, kind));
+    }
+
+    fn take(&mut self, xid: u32) -> Option<(SimTime, OpKind)> {
+        let idx = self.slot_index(xid);
+        let slot = &mut self.slots[idx];
+        if slot.xid == xid {
+            slot.entry.take()
+        } else {
+            None
+        }
+    }
+}
+
+/// One scratch file a generator's write bursts append to.
+#[derive(Clone, Copy)]
+struct ScratchFile {
+    handle: FileHandle,
+    /// Current append offset (always `< scratch_file_limit`).
+    offset: u64,
+    /// Which of the [`SCRATCH_SLOTS`] this is — names the rotation chain.
+    slot: usize,
+    /// How many times this slot has rotated to a fresh file.
+    generation: u32,
+}
+
+/// The namespace every generator stream shares: the exported root and the
+/// pre-populated read/lookup file set, names interned once at construction.
+struct SharedFiles {
+    root: FileHandle,
+    files: Vec<(Arc<str>, FileHandle, u64)>,
+}
+
+/// One independent load-generator stream: its own RNG, xid window,
+/// scratch-file namespace, outstanding-call ring and latency accumulator.
+struct SfsGenerator {
+    client: u32,
     rng: SimRng,
-    root_handle: FileHandle,
-    files: Vec<(String, FileHandle, u64)>,
-    /// Files the write bursts append to, with their current append offset.
-    /// LADDIS writes create and grow files, so every write allocates new
-    /// blocks and dirties metadata — the case write gathering amortises.
-    write_files: Vec<(FileHandle, u64)>,
-    outstanding: HashMap<Xid, (SimTime, OpKind)>,
-    latency: LatencyStat,
-    issued: u64,
-    completed: u64,
-    events_processed: u64,
     next_xid: u32,
-    created_names: Vec<String>,
+    xid_end: u32,
+    mean_gap: f64,
+    write_files: Vec<ScratchFile>,
+    created_names: Vec<Arc<str>>,
     create_counter: u64,
     /// Remaining bodies of an in-progress write burst; drained one per
     /// arrival before a new operation is drawn from the mix.
     burst_queue: Vec<NfsCallBody>,
+    outstanding: OutstandingRing,
+    latency: LatencyStat,
+    issued: u64,
+    completed: u64,
+    /// Name-minting allocations this stream performed (fresh CREATE names and
+    /// scratch rotations) — the *only* events at which steady-state op
+    /// generation is allowed to touch the heap.
+    name_mints: u64,
+}
+
+/// Pre-population name of a scratch write file (generation 0) or of a
+/// rotation successor (generation ≥ 1).  Client 0 keeps the single-client
+/// harness's names so default runs build an identical filesystem.
+fn scratch_file_name(client: usize, slot: usize, generation: u32) -> String {
+    match (client, generation) {
+        (0, 0) => format!("sfs_write_{slot:03}"),
+        (0, g) => format!("sfs_write_{slot:03}_g{g}"),
+        (c, 0) => format!("sfs_c{c:02}_write_{slot:03}"),
+        (c, g) => format!("sfs_c{c:02}_write_{slot:03}_g{g}"),
+    }
+}
+
+impl SfsGenerator {
+    /// Name of the `n`-th CREATE of this stream (client 0 keeps the
+    /// single-client harness's names).
+    fn create_name(&self, n: u64) -> String {
+        if self.client == 0 {
+            format!("sfs_scratch_{n}")
+        } else {
+            format!("sfs_c{:02}_scratch_{n}", self.client)
+        }
+    }
+
+    fn take_xid(&mut self) -> Xid {
+        let xid = self.next_xid;
+        assert!(
+            xid != self.xid_end,
+            "client {} exhausted its xid window; lower the offered load or \
+             the client count",
+            self.client
+        );
+        self.next_xid = self.next_xid.wrapping_add(1);
+        Xid(xid)
+    }
+
+    /// Rotate a scratch slot to a fresh zero-length file, creating it in the
+    /// exported filesystem out-of-band (the same way pre-population does).
+    /// Keeps every append offset inside the UFS file cap no matter how long
+    /// or write-hot the run is.
+    fn rotate_scratch(&mut self, idx: usize, server: &mut NfsServer) {
+        let slot = self.write_files[idx].slot;
+        let generation = self.write_files[idx].generation + 1;
+        let name = scratch_file_name(self.client as usize, slot, generation);
+        self.name_mints += 1;
+        let root = server.fs().root();
+        let ino = server
+            .fs_mut()
+            .create(root, &name, 0o644, 0)
+            .expect("scratch rotation name is fresh");
+        self.write_files[idx] = ScratchFile {
+            handle: server.handle_for_ino(ino).expect("live inode"),
+            offset: 0,
+            slot,
+            generation,
+        };
+    }
+
+    fn pick_file<'a>(&mut self, shared: &'a SharedFiles) -> &'a (Arc<str>, FileHandle, u64) {
+        let idx = self.rng.next_below(shared.files.len() as u64) as usize;
+        &shared.files[idx]
+    }
+
+    /// Produce the next call of this stream, stamping its send time into the
+    /// outstanding ring at insertion (one code path: a call dropped before
+    /// arrival still carries the time it was really sent).
+    fn next_call(
+        &mut self,
+        now: SimTime,
+        shared: &SharedFiles,
+        config: &SfsConfig,
+        server: &mut NfsServer,
+    ) -> NfsCall {
+        // Drain an in-progress write burst first: LADDIS writes whole files
+        // in consecutive 8 KB chunks, so write operations arrive in bursts.
+        if let Some(body) = self.burst_queue.pop() {
+            let xid = self.take_xid();
+            self.outstanding.insert(xid.0, now, OpKind::Write);
+            return NfsCall::new(xid, body);
+        }
+        // Scale the write weight down by the burst length so that writes stay
+        // at their configured share of *operations* even though each burst
+        // start expands into `write_burst` of them.
+        let burst = config.write_burst.max(1);
+        let mut weights = config.mix.weights();
+        weights[2] /= burst as f64;
+        let kind = OP_KINDS[self.rng.pick_weighted(&weights)];
+        let xid = self.take_xid();
+        let body = match kind {
+            OpKind::Lookup => {
+                let (name, _, _) = self.pick_file(shared);
+                NfsCallBody::Lookup(DirOpArgs {
+                    dir: shared.root,
+                    name: name.clone(),
+                })
+            }
+            OpKind::Read => {
+                let &(_, fh, size) = self.pick_file(shared);
+                let blocks = (size / CHUNK).max(1);
+                let offset = self.rng.next_below(blocks) * CHUNK;
+                NfsCallBody::Read(ReadArgs {
+                    file: fh,
+                    offset: offset as u32,
+                    count: CHUNK as u32,
+                    totalcount: 0,
+                })
+            }
+            OpKind::Write => {
+                // Start a burst of sequential appending writes to one of the
+                // scratch files: every chunk allocates fresh blocks, as the
+                // file-writing phases of LADDIS do.
+                let idx = self.rng.next_below(self.write_files.len() as u64) as usize;
+                let burst_len = burst as u64;
+                if self.write_files[idx].offset + burst_len * CHUNK > config.scratch_file_limit {
+                    self.rotate_scratch(idx, server);
+                }
+                let ScratchFile {
+                    handle: fh,
+                    offset: start,
+                    ..
+                } = self.write_files[idx];
+                self.write_files[idx].offset = start + burst_len * CHUNK;
+                debug_assert!(start + burst_len * CHUNK <= u32::MAX as u64);
+                // Queue the follow-on chunks in reverse so popping yields
+                // ascending offsets.
+                for i in (1..burst_len).rev() {
+                    let offset = start + i * CHUNK;
+                    let fill = (offset / CHUNK) as u8;
+                    self.burst_queue.push(NfsCallBody::Write(WriteArgs::fill(
+                        fh,
+                        offset as u32,
+                        fill,
+                        CHUNK as u32,
+                    )));
+                }
+                let fill = (start / CHUNK) as u8;
+                NfsCallBody::Write(WriteArgs::fill(fh, start as u32, fill, CHUNK as u32))
+            }
+            OpKind::Getattr => {
+                let &(_, fh, _) = self.pick_file(shared);
+                NfsCallBody::Getattr(GetattrArgs { file: fh })
+            }
+            OpKind::Readdir => NfsCallBody::Readdir(ReaddirArgs {
+                dir: shared.root,
+                cookie: 0,
+                count: 4096,
+            }),
+            OpKind::Create => {
+                self.create_counter += 1;
+                let name: Arc<str> = self.create_name(self.create_counter).into();
+                self.name_mints += 1;
+                self.created_names.push(name.clone());
+                NfsCallBody::Create(CreateArgs {
+                    where_: DirOpArgs {
+                        dir: shared.root,
+                        name,
+                    },
+                    attributes: Sattr::with_mode(0o644),
+                })
+            }
+            OpKind::Remove => {
+                if let Some(name) = self.created_names.pop() {
+                    NfsCallBody::Remove(DirOpArgs {
+                        dir: shared.root,
+                        name,
+                    })
+                } else {
+                    // Nothing of ours to remove yet: fall back to a getattr so
+                    // the offered load is preserved.
+                    let &(_, fh, _) = self.pick_file(shared);
+                    NfsCallBody::Getattr(GetattrArgs { file: fh })
+                }
+            }
+            OpKind::Setattr => {
+                let &(_, fh, _) = self.pick_file(shared);
+                NfsCallBody::Setattr(wg_nfsproto::SetattrArgs {
+                    file: fh,
+                    attributes: Sattr::with_mode(0o644),
+                })
+            }
+            OpKind::Statfs => NfsCallBody::Statfs(GetattrArgs { file: shared.root }),
+        };
+        self.outstanding.insert(xid.0, now, kind);
+        NfsCall::new(xid, body)
+    }
+}
+
+enum Ev {
+    NextArrival(usize),
+    Server(ServerInput),
+    Reply(u32, NfsReply),
+}
+
+/// One SFS-style measurement run: N generator streams, their LAN fan-in and
+/// the server, wired through one deterministic event loop.
+pub struct SfsSystem {
+    config: SfsConfig,
+    server: NfsServer,
+    lans: ClientLans,
+    queue: EventQueue<Ev>,
+    shared: SharedFiles,
+    generators: Vec<SfsGenerator>,
+    latency: LatencyStat,
+    issued: u64,
+    completed: u64,
+    events_processed: u64,
 }
 
 impl SfsSystem {
     /// Build the system and pre-populate the exported filesystem.
     pub fn new(config: SfsConfig) -> Self {
+        let clients = config.clients.max(1);
+        assert!(
+            config.scratch_file_limit >= config.write_burst.max(1) as u64 * CHUNK,
+            "scratch_file_limit must hold at least one write burst"
+        );
+        assert!(
+            config.scratch_file_limit <= 16 * 1024 * 1024,
+            "scratch_file_limit must stay inside the ≈16 MB UFS file cap"
+        );
         let medium_params = config.network.params();
         let mut server_config = ServerConfig {
             policy: config.policy,
@@ -219,6 +703,11 @@ impl SfsSystem {
         server_config.storage.prestoserve = config.prestoserve;
         server_config.storage.spindles = config.spindles;
         server_config.procrastination = medium_params.procrastination;
+        server_config.shards = config.shards.max(1);
+        server_config.cores = config.cores.max(1);
+        server_config.io_overlap = config.io_overlap;
+        server_config.inode_groups = config.inode_groups.max(1);
+        server_config.read_caching = config.read_caching;
         let mut server = NfsServer::new(server_config);
 
         let root = server.fs().root();
@@ -230,163 +719,90 @@ impl SfsSystem {
                 .create_prefilled(root, &name, config.file_size, 0)
                 .expect("pre-population fits the data region");
             let handle = server.handle_for_ino(ino).expect("live inode");
-            files.push((name, handle, config.file_size));
+            files.push((Arc::<str>::from(name), handle, config.file_size));
         }
-        let mut write_files = Vec::new();
-        for i in 0..32 {
-            let name = format!("sfs_write_{i:03}");
-            let ino = server
-                .fs_mut()
-                .create(root, &name, 0o644, 0)
-                .expect("fresh namespace");
-            write_files.push((server.handle_for_ino(ino).expect("live inode"), 0u64));
+        let stride = config.xid_stride();
+        let expected_ops = config.expected_ops_per_client();
+        let mean_gap = clients as f64 / config.offered_ops_per_sec.max(1e-9);
+        let mut generators = Vec::with_capacity(clients);
+        for client in 0..clients {
+            let mut write_files = Vec::with_capacity(SCRATCH_SLOTS);
+            for slot in 0..SCRATCH_SLOTS {
+                let name = scratch_file_name(client, slot, 0);
+                let ino = server
+                    .fs_mut()
+                    .create(root, &name, 0o644, 0)
+                    .expect("fresh namespace");
+                write_files.push(ScratchFile {
+                    handle: server.handle_for_ino(ino).expect("live inode"),
+                    offset: 0,
+                    slot,
+                    generation: 0,
+                });
+            }
+            let base = config.xid_base(client);
+            generators.push(SfsGenerator {
+                client: client as u32,
+                // Client 0 replays the single-client harness's stream; the
+                // others run independent, salted streams of the same shape.
+                rng: SimRng::seed_from(
+                    config
+                        .seed
+                        .wrapping_add((client as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ),
+                next_xid: base,
+                xid_end: base.wrapping_add(stride),
+                mean_gap,
+                write_files,
+                created_names: Vec::new(),
+                create_counter: 0,
+                burst_queue: Vec::new(),
+                outstanding: OutstandingRing::new(base, expected_ops),
+                latency: LatencyStat::new(),
+                issued: 0,
+                completed: 0,
+                name_mints: 0,
+            });
         }
         let root_handle = server.root_handle();
         SfsSystem {
-            medium: Medium::new(medium_params),
+            lans: ClientLans::new(&medium_params, clients, config.per_client_lans),
             queue: EventQueue::new(),
-            rng: SimRng::seed_from(config.seed),
-            outstanding: HashMap::new(),
+            shared: SharedFiles {
+                root: root_handle,
+                files,
+            },
+            generators,
             latency: LatencyStat::new(),
             issued: 0,
             completed: 0,
             events_processed: 0,
-            next_xid: 0x2000_0000,
-            created_names: Vec::new(),
-            create_counter: 0,
-            burst_queue: Vec::new(),
-            write_files,
-            root_handle,
-            files,
             server,
             config,
         }
     }
 
-    fn pick_file(&mut self) -> (String, FileHandle, u64) {
-        let idx = self.rng.next_below(self.files.len() as u64) as usize;
-        self.files[idx].clone()
-    }
-
-    fn next_call(&mut self) -> NfsCall {
-        // Drain an in-progress write burst first: LADDIS writes whole files
-        // in consecutive 8 KB chunks, so write operations arrive in bursts.
-        if let Some(body) = self.burst_queue.pop() {
-            let xid = Xid(self.next_xid);
-            self.next_xid += 1;
-            self.outstanding.insert(xid, (SimTime::ZERO, OpKind::Write));
-            return NfsCall::new(xid, body);
-        }
-        // Scale the write weight down by the burst length so that writes stay
-        // at their configured share of *operations* even though each burst
-        // start expands into `write_burst` of them.
-        let burst = self.config.write_burst.max(1);
-        let mut weights = self.config.mix.weights();
-        weights[2] /= burst as f64;
-        let kind = OP_KINDS[self.rng.pick_weighted(&weights)];
-        let xid = Xid(self.next_xid);
-        self.next_xid += 1;
-        let chunk = 8192u64;
-        let body = match kind {
-            OpKind::Lookup => {
-                let (name, _, _) = self.pick_file();
-                NfsCallBody::Lookup(DirOpArgs {
-                    dir: self.root_handle,
-                    name,
-                })
-            }
-            OpKind::Read => {
-                let (_, fh, size) = self.pick_file();
-                let blocks = (size / chunk).max(1);
-                let offset = self.rng.next_below(blocks) * chunk;
-                NfsCallBody::Read(ReadArgs {
-                    file: fh,
-                    offset: offset as u32,
-                    count: chunk as u32,
-                    totalcount: 0,
-                })
-            }
-            OpKind::Write => {
-                // Start a burst of sequential appending writes to one of the
-                // scratch files: every chunk allocates fresh blocks, as the
-                // file-writing phases of LADDIS do.
-                let idx = self.rng.next_below(self.write_files.len() as u64) as usize;
-                let (fh, start) = self.write_files[idx];
-                let burst_len = burst as u64;
-                self.write_files[idx].1 = start + burst_len * chunk;
-                // Queue the follow-on chunks in reverse so popping yields
-                // ascending offsets.
-                for i in (1..burst_len).rev() {
-                    let offset = start + i * chunk;
-                    let fill = (offset / chunk) as u8;
-                    self.burst_queue.push(NfsCallBody::Write(WriteArgs::fill(
-                        fh,
-                        offset as u32,
-                        fill,
-                        chunk as u32,
-                    )));
-                }
-                let fill = (start / chunk) as u8;
-                NfsCallBody::Write(WriteArgs::fill(fh, start as u32, fill, chunk as u32))
-            }
-            OpKind::Getattr => {
-                let (_, fh, _) = self.pick_file();
-                NfsCallBody::Getattr(GetattrArgs { file: fh })
-            }
-            OpKind::Readdir => NfsCallBody::Readdir(ReaddirArgs {
-                dir: self.root_handle,
-                cookie: 0,
-                count: 4096,
-            }),
-            OpKind::Create => {
-                self.create_counter += 1;
-                let name = format!("sfs_scratch_{}", self.create_counter);
-                self.created_names.push(name.clone());
-                NfsCallBody::Create(CreateArgs {
-                    where_: DirOpArgs {
-                        dir: self.root_handle,
-                        name,
-                    },
-                    attributes: Sattr::with_mode(0o644),
-                })
-            }
-            OpKind::Remove => {
-                if let Some(name) = self.created_names.pop() {
-                    NfsCallBody::Remove(DirOpArgs {
-                        dir: self.root_handle,
-                        name,
-                    })
-                } else {
-                    // Nothing of ours to remove yet: fall back to a getattr so
-                    // the offered load is preserved.
-                    let (_, fh, _) = self.pick_file();
-                    NfsCallBody::Getattr(GetattrArgs { file: fh })
-                }
-            }
-            OpKind::Setattr => {
-                let (_, fh, _) = self.pick_file();
-                NfsCallBody::Setattr(wg_nfsproto::SetattrArgs {
-                    file: fh,
-                    attributes: Sattr::with_mode(0o644),
-                })
-            }
-            OpKind::Statfs => NfsCallBody::Statfs(GetattrArgs {
-                file: self.root_handle,
-            }),
-        };
-        let call = NfsCall::new(xid, body);
-        self.outstanding.insert(xid, (SimTime::ZERO, kind));
+    /// Generate one call of a client's stream without transmitting it — the
+    /// hook the allocation probes drive the hot loop through.
+    pub fn generate_one(&mut self, now: SimTime, client: usize) -> NfsCall {
+        let call =
+            self.generators[client].next_call(now, &self.shared, &self.config, &mut self.server);
+        self.generators[client].issued += 1;
+        self.issued += 1;
         call
     }
 
     /// Run the measurement and produce one figure point.
     pub fn run(&mut self) -> SfsPoint {
         self.events_processed = 0;
-        let mean_gap = 1.0 / self.config.offered_ops_per_sec.max(1e-9);
-        self.queue.schedule_at(
-            SimTime::ZERO + Duration::from_secs_f64(self.rng.exponential(mean_gap)),
-            Ev::NextArrival,
-        );
+        for client in 0..self.generators.len() {
+            let gap = {
+                let generator = &mut self.generators[client];
+                Duration::from_secs_f64(generator.rng.exponential(generator.mean_gap))
+            };
+            self.queue
+                .schedule_at(SimTime::ZERO + gap, Ev::NextArrival(client));
+        }
         let end = SimTime::ZERO + self.config.duration;
         // Scratch buffer reused across every server event (see
         // `FileCopySystem::run` for the same pattern on the copy loop).
@@ -394,34 +810,33 @@ impl SfsSystem {
         while let Some((t, ev)) = self.queue.pop() {
             self.events_processed += 1;
             assert!(
-                self.events_processed < 100_000_000,
+                self.events_processed < 100_000_000 * self.generators.len() as u64,
                 "runaway SFS simulation"
             );
             match ev {
-                Ev::NextArrival => {
+                Ev::NextArrival(client) => {
                     if t < end {
-                        let call = self.next_call();
-                        if let Some((sent, _)) = self.outstanding.get_mut(&call.xid) {
-                            *sent = t;
-                        }
-                        self.issued += 1;
+                        let call = self.generate_one(t, client);
                         let size = call.wire_size();
-                        let fragments = self.medium.params().fragments_for(size);
+                        let medium = self.lans.medium_mut(client);
+                        let fragments = medium.params().fragments_for(size);
                         if let TransmitOutcome::Delivered { arrives_at } =
-                            self.medium.transmit(t, size, Direction::ToServer)
+                            medium.transmit(t, size, Direction::ToServer)
                         {
                             self.queue.schedule_at(
                                 arrives_at,
                                 Ev::Server(ServerInput::Datagram {
-                                    client: 0,
+                                    client: client as u32,
                                     call,
                                     wire_size: size,
                                     fragments,
                                 }),
                             );
                         }
-                        let gap = Duration::from_secs_f64(self.rng.exponential(mean_gap));
-                        self.queue.schedule_at(t + gap, Ev::NextArrival);
+                        let generator = &mut self.generators[client];
+                        let gap =
+                            Duration::from_secs_f64(generator.rng.exponential(generator.mean_gap));
+                        self.queue.schedule_at(t + gap, Ev::NextArrival(client));
                     }
                 }
                 Ev::Server(input) => {
@@ -432,20 +847,26 @@ impl SfsSystem {
                                 self.queue
                                     .schedule_at(at, Ev::Server(ServerInput::Wakeup { token }));
                             }
-                            ServerAction::Reply { at, reply, .. } => {
+                            ServerAction::Reply { at, client, reply } => {
                                 let size = reply.wire_size();
-                                if let TransmitOutcome::Delivered { arrives_at } =
-                                    self.medium.transmit(at, size, Direction::ToClient)
+                                if let TransmitOutcome::Delivered { arrives_at } = self
+                                    .lans
+                                    .medium_mut(client as usize)
+                                    .transmit(at, size, Direction::ToClient)
                                 {
-                                    self.queue.schedule_at(arrives_at, Ev::Reply(reply));
+                                    self.queue.schedule_at(arrives_at, Ev::Reply(client, reply));
                                 }
                             }
                         }
                     }
                 }
-                Ev::Reply(reply) => {
-                    if let Some((sent, _kind)) = self.outstanding.remove(&reply.xid) {
-                        self.latency.record(t.since(sent));
+                Ev::Reply(client, reply) => {
+                    let generator = &mut self.generators[client as usize];
+                    if let Some((sent, _kind)) = generator.outstanding.take(reply.xid.0) {
+                        let latency = t.since(sent);
+                        self.latency.record(latency);
+                        generator.latency.record(latency);
+                        generator.completed += 1;
                         self.completed += 1;
                     }
                 }
@@ -465,9 +886,73 @@ impl SfsSystem {
         &self.server
     }
 
-    /// Operations issued and completed.
+    /// Operations issued and completed, across all client streams.
     pub fn counts(&self) -> (u64, u64) {
         (self.issued, self.completed)
+    }
+
+    /// Number of generator streams.
+    pub fn clients(&self) -> usize {
+        self.generators.len()
+    }
+
+    /// Number of distinct LAN segments feeding the server.
+    pub fn lan_segments(&self) -> usize {
+        self.lans.segments()
+    }
+
+    /// Achieved operations per second of each client stream.
+    pub fn per_client_achieved_ops(&self) -> Vec<f64> {
+        let secs = self.config.duration.as_secs_f64().max(1e-9);
+        self.generators
+            .iter()
+            .map(|g| g.completed as f64 / secs)
+            .collect()
+    }
+
+    /// Mean response time of each client stream, in milliseconds.
+    pub fn per_client_avg_latency_ms(&self) -> Vec<f64> {
+        self.generators
+            .iter()
+            .map(|g| g.latency.mean().as_millis_f64())
+            .collect()
+    }
+
+    /// Jain's fairness index over per-client achieved throughput.
+    pub fn fairness(&self) -> f64 {
+        MultiClientResult::jain_fairness(&self.per_client_achieved_ops())
+    }
+
+    /// Total name-minting allocations the generators performed (fresh CREATE
+    /// names and scratch-file rotations) — everything else in steady-state op
+    /// generation is allocation-free.
+    pub fn name_mints(&self) -> u64 {
+        self.generators.iter().map(|g| g.name_mints).sum()
+    }
+
+    /// Outstanding-ring slots reclaimed from calls that never got a reply.
+    pub fn stale_overwrites(&self) -> u64 {
+        self.generators
+            .iter()
+            .map(|g| g.outstanding.stale_overwrites)
+            .sum()
+    }
+
+    /// Largest append offset any scratch write file currently holds.
+    pub fn max_scratch_offset(&self) -> u64 {
+        self.generators
+            .iter()
+            .flat_map(|g| g.write_files.iter().map(|f| f.offset))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// How many scratch-file rotations have happened across all streams.
+    pub fn scratch_rotations(&self) -> u64 {
+        self.generators
+            .iter()
+            .flat_map(|g| g.write_files.iter().map(|f| f.generation as u64))
+            .sum()
     }
 
     /// Number of events processed by the most recent [`SfsSystem::run`].
@@ -479,6 +964,29 @@ impl SfsSystem {
     pub fn scheduled_total(&self) -> u64 {
         self.queue.scheduled_total()
     }
+}
+
+/// One executed sweep point with the health counters the scale harness
+/// records alongside the figure numbers.
+#[derive(Clone, Debug)]
+pub struct SfsRunStats {
+    /// The figure point itself.
+    pub point: SfsPoint,
+    /// Achieved ops/sec per client stream.
+    pub per_client_achieved_ops: Vec<f64>,
+    /// Jain's fairness index over the per-client achieved throughput.
+    pub fairness: f64,
+    /// `InProgress` duplicate-cache evictions (must be zero — §6.9).
+    pub evicted_in_progress: u64,
+    /// Payload materialisations during the run (must be zero on the
+    /// zero-copy datapath).
+    pub materializations: u64,
+    /// Name-minting allocations the generators performed.
+    pub name_mints: u64,
+    /// Operations issued.
+    pub issued: u64,
+    /// Operations completed.
+    pub completed: u64,
 }
 
 /// A load sweep producing the curve of Figure 2 or Figure 3.
@@ -494,14 +1002,76 @@ impl SfsSweep {
         SfsSweep { base }
     }
 
-    /// Run the sweep at the given offered loads.
+    fn point_config(&self, load: f64) -> SfsConfig {
+        let mut cfg = self.base.clone();
+        cfg.offered_ops_per_sec = load;
+        cfg
+    }
+
+    /// Run the sweep at the given offered loads, serially.
     pub fn run(&self, loads: &[f64]) -> Vec<SfsPoint> {
         loads
             .iter()
+            .map(|&load| SfsSystem::new(self.point_config(load)).run())
+            .collect()
+    }
+
+    /// Run the sweep serially, collecting the health counters of every point.
+    pub fn run_stats(&self, loads: &[f64]) -> Vec<SfsRunStats> {
+        loads
+            .iter()
             .map(|&load| {
-                let mut cfg = self.base.clone();
-                cfg.offered_ops_per_sec = load;
-                SfsSystem::new(cfg).run()
+                let before = wg_nfsproto::payload::materialize_count();
+                let mut system = SfsSystem::new(self.point_config(load));
+                let point = system.run();
+                let (issued, completed) = system.counts();
+                SfsRunStats {
+                    point,
+                    per_client_achieved_ops: system.per_client_achieved_ops(),
+                    fairness: system.fairness(),
+                    evicted_in_progress: system.server().dupcache_evicted_in_progress(),
+                    materializations: wg_nfsproto::payload::materialize_count() - before,
+                    name_mints: system.name_mints(),
+                    issued,
+                    completed,
+                }
+            })
+            .collect()
+    }
+
+    /// Run the sweep on a pool of `threads` worker threads.
+    ///
+    /// Every load point is an independent, deterministic simulation, so the
+    /// output is bit-identical to [`SfsSweep::run`] regardless of how the
+    /// points land on threads; only the wall clock changes.
+    pub fn run_parallel(&self, loads: &[f64], threads: usize) -> Vec<SfsPoint> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let workers = threads.min(loads.len());
+        if workers <= 1 {
+            return self.run(loads);
+        }
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<SfsPoint>>> =
+            loads.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= loads.len() {
+                        break;
+                    }
+                    let point = SfsSystem::new(self.point_config(loads[i])).run();
+                    *results[i].lock().expect("sweep worker poisoned a point") = Some(point);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("sweep worker poisoned a point")
+                    .expect("every point was claimed by a worker")
             })
             .collect()
     }
@@ -525,6 +1095,8 @@ mod tests {
         let total: f64 = SfsMix::laddis().weights().iter().sum();
         assert!((total - 100.0).abs() < 1e-9);
         assert!((SfsMix::laddis().write - 15.0).abs() < 1e-9);
+        let steady: f64 = SfsMix::steady_state().weights().iter().sum();
+        assert!((steady - 100.0).abs() < 1e-9);
     }
 
     #[test]
@@ -586,5 +1158,137 @@ mod tests {
         let b = SfsSystem::new(quick_config(200.0, WritePolicy::Gathering)).run();
         assert_eq!(a.achieved_ops_per_sec, b.achieved_ops_per_sec);
         assert_eq!(a.avg_latency_ms, b.avg_latency_ms);
+    }
+
+    #[test]
+    fn multi_client_streams_are_deterministic_and_disjoint() {
+        let config = quick_config(400.0, WritePolicy::Gathering)
+            .with_clients(3)
+            .with_per_client_lans(true);
+        let mut a = SfsSystem::new(config.clone());
+        let pa = a.run();
+        let mut b = SfsSystem::new(config);
+        let pb = b.run();
+        assert_eq!(pa.achieved_ops_per_sec, pb.achieved_ops_per_sec);
+        assert_eq!(pa.avg_latency_ms, pb.avg_latency_ms);
+        assert_eq!(a.clients(), 3);
+        assert_eq!(a.lan_segments(), 3);
+        // Every stream carried a share of the load.
+        assert!(a.per_client_achieved_ops().iter().all(|&ops| ops > 0.0));
+        assert!(a.fairness() > 0.8, "fairness {}", a.fairness());
+    }
+
+    #[test]
+    fn xid_windows_are_disjoint_per_client() {
+        let config = quick_config(100.0, WritePolicy::Gathering).with_clients(4);
+        assert_eq!(config.xid_base(0), XID_ORIGIN);
+        for c in 0..3 {
+            assert!(config.xid_base(c + 1) > config.xid_base(c));
+            assert_eq!(
+                config.xid_base(c + 1) - config.xid_base(c),
+                config.xid_stride()
+            );
+        }
+    }
+
+    #[test]
+    fn outstanding_ring_inserts_takes_and_reclaims() {
+        let mut ring = OutstandingRing::new(XID_ORIGIN, 16);
+        let t = SimTime::ZERO + Duration::from_millis(5);
+        ring.insert(XID_ORIGIN, t, OpKind::Read);
+        ring.insert(XID_ORIGIN + 1, t, OpKind::Write);
+        assert_eq!(ring.take(XID_ORIGIN), Some((t, OpKind::Read)));
+        // Double-take and unknown xids miss.
+        assert_eq!(ring.take(XID_ORIGIN), None);
+        assert_eq!(ring.take(XID_ORIGIN + 2), None);
+        // A never-answered call's slot is reclaimed when the ring laps.
+        let capacity = ring.slots.len() as u32;
+        ring.insert(XID_ORIGIN + 1 + capacity, t, OpKind::Lookup);
+        assert_eq!(ring.stale_overwrites, 1);
+        assert_eq!(
+            ring.take(XID_ORIGIN + 1 + capacity),
+            Some((t, OpKind::Lookup))
+        );
+        // The lapped xid no longer matches.
+        assert_eq!(ring.take(XID_ORIGIN + 1), None);
+    }
+
+    #[test]
+    fn scratch_rotation_keeps_offsets_inside_the_file_cap() {
+        // A write-only mix against a tiny rotation limit: the old code would
+        // have grown one append stream far past the limit (and, hot enough,
+        // past the 16 MB UFS cap where `offset as u32` wrapped); the rotated
+        // generator must never let an offset cross it.
+        let limit = 256 * 1024u64;
+        let mut config = quick_config(2000.0, WritePolicy::Gathering)
+            .with_scratch_file_limit(limit)
+            .with_clients(1);
+        config.mix = SfsMix {
+            lookup: 0.0,
+            read: 0.0,
+            write: 100.0,
+            getattr: 0.0,
+            readdir: 0.0,
+            create: 0.0,
+            remove: 0.0,
+            setattr: 0.0,
+            statfs: 0.0,
+        };
+        config.duration = Duration::from_secs(8);
+        let mut system = SfsSystem::new(config);
+        system.run();
+        assert!(
+            system.scratch_rotations() > 0,
+            "the run was hot enough to rotate"
+        );
+        assert!(system.max_scratch_offset() <= limit);
+        // Every scratch file on disk respects the limit too.
+        let mut fs = system.server().fs().clone();
+        let root = fs.root();
+        let mut checked = 0;
+        for slot in 0..SCRATCH_SLOTS {
+            for generation in 0.. {
+                let name = scratch_file_name(0, slot, generation);
+                let Ok(ino) = fs.lookup(root, &name) else {
+                    break;
+                };
+                let size = fs.getattr(ino).expect("live file").size;
+                assert!(size <= limit, "{name} grew to {size} bytes");
+                checked += 1;
+            }
+        }
+        assert!(checked > SCRATCH_SLOTS, "rotation chains exist on disk");
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let sweep = SfsSweep::new(quick_config(0.0, WritePolicy::Gathering));
+        let loads = [100.0, 250.0, 400.0, 550.0];
+        let serial = sweep.run(&loads);
+        let parallel = sweep.run_parallel(&loads, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.offered_ops_per_sec, p.offered_ops_per_sec);
+            assert_eq!(s.achieved_ops_per_sec, p.achieved_ops_per_sec);
+            assert_eq!(s.avg_latency_ms, p.avg_latency_ms);
+            assert_eq!(s.server_cpu_percent, p.server_cpu_percent);
+        }
+    }
+
+    #[test]
+    fn run_stats_reports_clean_counters() {
+        let sweep = SfsSweep::new(
+            quick_config(0.0, WritePolicy::Gathering)
+                .with_clients(2)
+                .with_per_client_lans(true),
+        );
+        let stats = sweep.run_stats(&[300.0]);
+        assert_eq!(stats.len(), 1);
+        let s = &stats[0];
+        assert_eq!(s.evicted_in_progress, 0);
+        assert_eq!(s.materializations, 0);
+        assert_eq!(s.per_client_achieved_ops.len(), 2);
+        assert!(s.fairness > 0.8);
+        assert!(s.completed > 0 && s.issued >= s.completed);
     }
 }

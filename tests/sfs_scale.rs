@@ -1,0 +1,209 @@
+//! Multi-client SFS scale-out: the contracts behind the `"sfs_scale"` bench
+//! cells.
+//!
+//! * per-seed determinism across thread-pool schedules — a parallel sweep is
+//!   bit-identical to the serial runner,
+//! * per-client fairness (Jain's index over per-stream achieved throughput),
+//! * zero payload materialisations across a mixed READ/WRITE sweep point,
+//! * the knee shift itself — the scaled stack (per-client LANs, shards,
+//!   cores, overlapped I/O, inode groups, read caching) beats the
+//!   single-generator baseline at the same offered load,
+//! * and the hot-loop allocation contract: steady-state op generation
+//!   (LOOKUP / READ / GETATTR / WRITE bursts) performs **zero** heap
+//!   allocations, pinned by a counting global allocator, not by eyeball.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use wg_nfsproto::payload::materialize_count;
+use wg_server::WritePolicy;
+use wg_simcore::{Duration, SimTime};
+use wg_workload::sfs::SfsSystem;
+use wg_workload::{SfsConfig, SfsMix, SfsSweep};
+
+/// A pass-through allocator that counts every allocation the process makes.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// The allocation counter is process-global, so the probe below can only
+/// measure its own window if no sibling test is allocating concurrently —
+/// libtest runs this binary's tests on parallel threads.  Every test takes
+/// this lock, serialising the whole file (it runs in well under a second).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialised() -> MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn quick(load: f64) -> SfsConfig {
+    let mut cfg = SfsConfig::figure2(load, WritePolicy::Gathering);
+    cfg.duration = Duration::from_secs(4);
+    cfg.file_count = 40;
+    cfg.file_size = 64 * 1024;
+    cfg
+}
+
+fn quick_scaled(load: f64, clients: usize) -> SfsConfig {
+    let mut cfg = SfsConfig::scaled(load, WritePolicy::Gathering, clients);
+    cfg.duration = Duration::from_secs(4);
+    cfg.file_count = 40;
+    cfg.file_size = 64 * 1024;
+    cfg
+}
+
+#[test]
+fn steady_state_generation_performs_no_heap_allocation() {
+    let _serial = serialised();
+    // A mix of only the allocation-free operations: LOOKUP, READ, GETATTR
+    // and WRITE bursts.  CREATE legitimately mints a name (it must) and is
+    // excluded, exactly as the hot-loop contract states.
+    let mut cfg = quick_scaled(1000.0, 2);
+    cfg.mix = SfsMix::steady_state();
+    let mut system = SfsSystem::new(cfg);
+    let now = SimTime::ZERO + Duration::from_millis(1);
+    // Warm up: first bursts grow the burst queue to its steady capacity.
+    for client in 0..2 {
+        for _ in 0..2000 {
+            let _ = system.generate_one(now, client);
+        }
+    }
+    let mints_before = system.name_mints();
+    let before = allocations();
+    for client in 0..2 {
+        for _ in 0..10_000 {
+            let call = system.generate_one(now, client);
+            std::hint::black_box(&call);
+        }
+    }
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state op generation allocated {delta} times over 20k ops"
+    );
+    // The generator-level counter agrees: nothing was minted either.
+    assert_eq!(system.name_mints(), mints_before);
+}
+
+#[test]
+fn create_heavy_generation_allocates_only_name_mints() {
+    let _serial = serialised();
+    // With CREATEs back in the mix the only allocations are name mints —
+    // the generator-level counter tracks every one of them.
+    let mut system = SfsSystem::new(quick(500.0));
+    let now = SimTime::ZERO + Duration::from_millis(1);
+    for _ in 0..500 {
+        let _ = system.generate_one(now, 0);
+    }
+    assert!(
+        system.name_mints() > 0,
+        "the LADDIS mix draws CREATEs, which mint names"
+    );
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_across_schedules() {
+    let _serial = serialised();
+    let sweep = SfsSweep::new(quick_scaled(0.0, 3));
+    let loads = [150.0, 300.0, 450.0, 600.0, 750.0, 900.0, 1050.0, 1200.0];
+    let serial = sweep.run(&loads);
+    for threads in [2, 4, 8] {
+        let parallel = sweep.run_parallel(&loads, threads);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.offered_ops_per_sec, p.offered_ops_per_sec);
+            assert_eq!(s.achieved_ops_per_sec, p.achieved_ops_per_sec);
+            assert_eq!(s.avg_latency_ms, p.avg_latency_ms);
+            assert_eq!(s.server_cpu_percent, p.server_cpu_percent);
+        }
+    }
+}
+
+#[test]
+fn multi_client_point_is_fair_and_materialisation_free() {
+    let _serial = serialised();
+    let before = materialize_count();
+    let sweep = SfsSweep::new(quick_scaled(0.0, 4));
+    let stats = sweep.run_stats(&[800.0]);
+    assert_eq!(
+        materialize_count() - before,
+        0,
+        "a payload was materialised"
+    );
+    let point = &stats[0];
+    assert_eq!(point.materializations, 0);
+    assert_eq!(point.evicted_in_progress, 0);
+    assert_eq!(point.per_client_achieved_ops.len(), 4);
+    assert!(
+        point.per_client_achieved_ops.iter().all(|&ops| ops > 0.0),
+        "every stream carried load: {:?}",
+        point.per_client_achieved_ops
+    );
+    assert!(
+        point.fairness > 0.9,
+        "per-client fairness {} (Jain)",
+        point.fairness
+    );
+}
+
+#[test]
+fn scaled_stack_beats_the_single_client_baseline_at_heavy_load() {
+    let _serial = serialised();
+    // A reduced-duration rendition of the recorded knee shift: at the same
+    // heavy offered load the full scaled stack completes more operations at
+    // lower average latency than the single-generator baseline.
+    let load = 1600.0;
+    let baseline = SfsSystem::new(quick(load)).run();
+    let scaled = SfsSystem::new(quick_scaled(load, 4)).run();
+    assert!(
+        scaled.achieved_ops_per_sec > baseline.achieved_ops_per_sec * 1.3,
+        "scaled {:.0} ops/s vs baseline {:.0} ops/s",
+        scaled.achieved_ops_per_sec,
+        baseline.achieved_ops_per_sec
+    );
+    assert!(
+        scaled.avg_latency_ms < baseline.avg_latency_ms,
+        "scaled latency {:.1} ms vs baseline {:.1} ms",
+        scaled.avg_latency_ms,
+        baseline.avg_latency_ms
+    );
+}
+
+#[test]
+fn scaled_run_keeps_the_dupcache_and_scratch_contracts() {
+    let _serial = serialised();
+    let mut system = SfsSystem::new(quick_scaled(1200.0, 4));
+    system.run();
+    assert_eq!(system.server().dupcache_evicted_in_progress(), 0);
+    // Scratch offsets never cross the rotation limit (satellite: the old
+    // unbounded append stream wrapped `offset as u32` past the UFS cap).
+    assert!(system.max_scratch_offset() <= 8 * 1024 * 1024);
+    assert_eq!(system.clients(), 4);
+    assert_eq!(system.lan_segments(), 4);
+}
