@@ -17,7 +17,7 @@
 
 use std::time::Instant;
 
-use wg_bench::report::extract_object;
+use wg_bench::report::{carry_unknown_keys, extract_object};
 use wg_server::WritePolicy;
 use wg_workload::results::json;
 use wg_workload::sfs::SfsSystem;
@@ -158,10 +158,14 @@ fn main() {
     }
 
     let previous = std::fs::read_to_string(&out_path).unwrap_or_default();
-    // The `scale_sweep` and `sfs_sweep` binaries merge their results into the
-    // same file; carry them across a rewrite.
-    let scale = extract_object(&previous, "scale");
-    let sfs_scale = extract_object(&previous, "sfs_scale");
+    // Other binaries (`scale_sweep`, `sfs_sweep`, `fault_sweep`, and any
+    // future ones) merge their sections into the same file; carry every
+    // top-level key this binary does not own across the rewrite, by walking
+    // the report rather than naming them.
+    const OWNED: [&str; 6] = [
+        "bench", "file_mb", "sfs_secs", "baseline", "current", "speedup",
+    ];
+    let carried = carry_unknown_keys(&previous, &OWNED);
     let report = if record_baseline {
         let mut fields = vec![
             ("bench", "\"writepath\"".to_string()),
@@ -169,11 +173,8 @@ fn main() {
             ("sfs_secs", sfs_secs.to_string()),
             ("baseline", cells_json(&cells)),
         ];
-        if let Some(scale) = scale {
-            fields.push(("scale", scale));
-        }
-        if let Some(sfs_scale) = sfs_scale {
-            fields.push(("sfs_scale", sfs_scale));
+        for (key, value) in &carried {
+            fields.push((key.as_str(), value.clone()));
         }
         json::object(&fields)
     } else {
@@ -197,11 +198,8 @@ fn main() {
             ("current", cells_json(&cells)),
             ("speedup", json::object(&speedups)),
         ];
-        if let Some(scale) = scale {
-            fields.push(("scale", scale));
-        }
-        if let Some(sfs_scale) = sfs_scale {
-            fields.push(("sfs_scale", sfs_scale));
+        for (key, value) in &carried {
+            fields.push((key.as_str(), value.clone()));
         }
         json::object(&fields)
     };

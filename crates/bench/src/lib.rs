@@ -346,6 +346,61 @@ pub mod report {
         }
     }
 
+    /// Every `(key, value_start, value_end)` entry of the report's top level,
+    /// in file order.  Stops (returning what it has) at the first malformed
+    /// entry, mirroring [`top_level_value_span`]'s bail-out behaviour.
+    fn top_level_entries(text: &str) -> Vec<(String, usize, usize)> {
+        let bytes = text.as_bytes();
+        let mut out = Vec::new();
+        let Some(open) = text.find('{') else {
+            return out;
+        };
+        let mut i = open + 1;
+        loop {
+            while i < bytes.len() && matches!(bytes[i], b' ' | b'\t' | b'\n' | b'\r' | b',') {
+                i += 1;
+            }
+            if i >= bytes.len() || bytes[i] != b'"' {
+                return out;
+            }
+            let key_start = i;
+            let Some(key_end) = skip_string(text, i) else {
+                return out;
+            };
+            let key = text[key_start + 1..key_end - 1].to_string();
+            i = key_end;
+            while i < bytes.len() && matches!(bytes[i], b' ' | b'\t' | b'\n' | b'\r') {
+                i += 1;
+            }
+            if i >= bytes.len() || bytes[i] != b':' {
+                return out;
+            }
+            i += 1;
+            while i < bytes.len() && matches!(bytes[i], b' ' | b'\t' | b'\n' | b'\r') {
+                i += 1;
+            }
+            let value_start = i;
+            let Some(value_end) = skip_value(text, i) else {
+                return out;
+            };
+            out.push((key, value_start, value_end));
+            i = value_end;
+        }
+    }
+
+    /// Every top-level `(key, value)` pair of a report whose key is *not* in
+    /// `known`, values verbatim.  A bench binary rewriting the shared report
+    /// passes the keys it owns and re-emits everything else unchanged — so a
+    /// section written by another (possibly newer) binary survives the
+    /// rewrite even though this binary has never heard its name.
+    pub fn carry_unknown_keys(text: &str, known: &[&str]) -> Vec<(String, String)> {
+        top_level_entries(text)
+            .into_iter()
+            .filter(|(key, _, _)| !known.contains(&key.as_str()))
+            .map(|(key, start, end)| (key, text[start..end].to_string()))
+            .collect()
+    }
+
     /// Extract a top-level `"key":{...}` object (including its braces), if
     /// present.  Only the report's own top level is searched; identically
     /// named keys nested inside other objects are never matched.
@@ -437,6 +492,34 @@ pub mod report {
             let updated = upsert_object(text, "scale", r#"{"c2_mb1":{"q":9}}"#);
             assert!(updated.contains(r#""sfs_scale":{"baseline":{"p":1}}"#));
             assert!(updated.contains(r#""scale":{"c2_mb1":{"q":9}}"#));
+        }
+
+        #[test]
+        fn unknown_keys_are_carried_generically() {
+            // A key this code has never heard of — the way a newer binary's
+            // section (say "faults") looks to an older one — must survive a
+            // rewrite verbatim, whatever its value shape.
+            let text = concat!(
+                r#"{"bench":"writepath","baseline":{"x":1},"#,
+                r#""mystery_section":{"cells":[{"a":1},{"b":2}],"note":"odd } brace"},"#,
+                r#""count":42}"#
+            );
+            let carried = carry_unknown_keys(text, &["bench", "baseline"]);
+            assert_eq!(carried.len(), 2);
+            assert_eq!(carried[0].0, "mystery_section");
+            assert_eq!(
+                carried[0].1,
+                r#"{"cells":[{"a":1},{"b":2}],"note":"odd } brace"}"#
+            );
+            // Non-object values are carried too.
+            assert_eq!(carried[1], ("count".to_string(), "42".to_string()));
+            // Knowing every key means nothing is carried; an empty file the
+            // same.
+            assert!(
+                carry_unknown_keys(text, &["bench", "baseline", "mystery_section", "count"])
+                    .is_empty()
+            );
+            assert!(carry_unknown_keys("", &[]).is_empty());
         }
 
         #[test]

@@ -125,6 +125,10 @@ pub struct ClientStats {
     pub requests_sent: u64,
     /// Retransmissions sent.
     pub retransmissions: u64,
+    /// Requests abandoned after `max_retransmits` went unanswered.  Any
+    /// non-zero value means the copy did NOT complete: the bytes were never
+    /// acknowledged and must not be reported as silently written.
+    pub gave_up: u64,
     /// When the transfer started.
     pub started_at: SimTime,
     /// When the close completed.
@@ -199,6 +203,10 @@ pub struct FileWriterClient {
     next_token: u64,
     stats: ClientStats,
     blocked_since: Option<SimTime>,
+    /// Every `(offset, len)` the server acknowledged, in acknowledgement
+    /// order.  The fault-injection recovery oracle walks this after a crash:
+    /// each acknowledged range must still be readable from stable storage.
+    acked_writes: Vec<(u64, u64)>,
 }
 
 impl FileWriterClient {
@@ -226,6 +234,7 @@ impl FileWriterClient {
             next_token: 0,
             stats: ClientStats::default(),
             blocked_since: None,
+            acked_writes: Vec::with_capacity(blocks as usize),
             handle,
             config,
         }
@@ -245,6 +254,18 @@ impl FileWriterClient {
     /// The client's configuration.
     pub fn config(&self) -> &ClientConfig {
         &self.config
+    }
+
+    /// Every `(offset, len)` range the server has acknowledged so far, in
+    /// acknowledgement order.  Used by the fault-injection recovery oracle.
+    pub fn acked_writes(&self) -> &[(u64, u64)] {
+        &self.acked_writes
+    }
+
+    /// The fill byte this client writes into the block at `offset` (see
+    /// [`FileWriterClient::send_write`]'s payload construction).
+    pub fn fill_byte_for(&self, offset: u64) -> u8 {
+        ((offset / self.config.chunk_size) as u8).wrapping_add(self.config.fill_salt)
     }
 
     /// Process one input, producing actions for the orchestrator.
@@ -388,6 +409,7 @@ impl FileWriterClient {
             return;
         };
         self.stats.bytes_acked += out.len;
+        self.acked_writes.push((out.offset, out.len));
         if let Some(b) = out.biod {
             self.biod_busy[b] = false;
         }
@@ -425,7 +447,9 @@ impl FileWriterClient {
         if out.attempt >= self.config.max_retransmits {
             // Give up: in a real client this surfaces as a hard error or a
             // "server not responding" console message.  Treat the data as
-            // unacknowledged and carry on so the run terminates.
+            // unacknowledged — counted, never silently absorbed — and carry
+            // on so the run terminates.
+            self.stats.gave_up += 1;
             let out = self.outstanding.remove(&xid).expect("present");
             if let Some(b) = out.biod {
                 self.biod_busy[b] = false;
@@ -736,6 +760,9 @@ mod tests {
         let stats = client.stats();
         assert_eq!(stats.retransmissions, 3);
         assert_eq!(stats.bytes_acked, 0);
+        // The abandoned request is a *counted* failure, never silent success.
+        assert_eq!(stats.gave_up, 1);
+        assert!(client.acked_writes().is_empty());
     }
 
     #[test]

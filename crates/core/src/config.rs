@@ -201,6 +201,11 @@ pub struct ServerConfig {
     /// of different shards, overlap on independent spindles of a stripe set.
     /// `false` is bit-identical to the pre-pipeline server.
     pub io_overlap: bool,
+    /// How long a crashed server takes to boot before NVRAM recovery replay
+    /// begins (kernel boot + fsck of a clean journal + mount).  Only
+    /// exercised when a fault plan injects a crash; it has no effect on a
+    /// fault-free run.
+    pub reboot_time: Duration,
 }
 
 impl ServerConfig {
@@ -225,6 +230,7 @@ impl ServerConfig {
             shards: 1,
             cores: 1,
             io_overlap: false,
+            reboot_time: Duration::from_secs(1),
         }
     }
 
@@ -291,6 +297,13 @@ impl ServerConfig {
     /// [`ServerConfig::read_caching`]).
     pub fn with_read_caching(mut self, on: bool) -> Self {
         self.read_caching = on;
+        self
+    }
+
+    /// Set the boot time a crashed server spends before recovery replay (see
+    /// [`ServerConfig::reboot_time`]).
+    pub fn with_reboot_time(mut self, d: Duration) -> Self {
+        self.reboot_time = d;
         self
     }
 }

@@ -26,7 +26,7 @@
 //! procrastination timer of the gathering policy (and the nfsd-free wake-ups
 //! used to pull more work from the socket buffer).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use wg_disk::{BlockDevice, DeviceStats, Disk, DiskRequest, StripeSet};
@@ -144,6 +144,17 @@ struct Shard {
     dupcache: DuplicateRequestCache,
 }
 
+/// An active injected disk-degradation window: transfers submitted inside it
+/// fail `retries` times, each failed attempt stalling the request by `stall`,
+/// before the final attempt succeeds.
+#[derive(Clone, Copy, Debug)]
+struct DiskFault {
+    from: SimTime,
+    until: SimTime,
+    stall: Duration,
+    retries: u32,
+}
+
 /// The NFS server.
 pub struct NfsServer {
     config: ServerConfig,
@@ -163,6 +174,19 @@ pub struct NfsServer {
     /// across plans so the overlapped path stays allocation-free in steady
     /// state, like the rest of the hot loop.
     io_completions: Vec<SimTime>,
+    /// While `now < recovering_until` the server is down (crashed, rebooting
+    /// or replaying NVRAM) and every arriving datagram is dropped.
+    recovering_until: SimTime,
+    /// Logical blocks whose write was *acknowledged* while the data was still
+    /// volatile — only [`WritePolicy::DangerousAsync`] ever populates this.
+    /// The crash oracle walks it to count acknowledged-write loss.
+    acked_volatile: HashMap<InodeNumber, BTreeSet<u64>>,
+    /// Active injected disk-degradation window, if any.
+    disk_fault: Option<DiskFault>,
+    /// `InProgress` dupcache evictions accumulated from shard partitions that
+    /// were discarded by earlier crashes (the live partitions' counts are
+    /// added on top).
+    pre_crash_evicted_in_progress: u64,
 }
 
 impl NfsServer {
@@ -233,6 +257,10 @@ impl NfsServer {
             stats: ServerStats::new(),
             trace: Trace::disabled(),
             io_completions: Vec::new(),
+            recovering_until: SimTime::ZERO,
+            acked_volatile: HashMap::new(),
+            disk_fault: None,
+            pre_crash_evicted_in_progress: 0,
             config,
         }
     }
@@ -318,10 +346,12 @@ impl NfsServer {
     /// deferred gathered-write reply could have been orphaned (§6.9); tests
     /// and the CI bench smoke assert this stays zero.
     pub fn dupcache_evicted_in_progress(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.dupcache.evicted_in_progress())
-            .sum()
+        self.pre_crash_evicted_in_progress
+            + self
+                .shards
+                .iter()
+                .map(|s| s.dupcache.evicted_in_progress())
+                .sum::<u64>()
     }
 
     /// Bytes of dirty, un-committed data currently in server memory.  For the
@@ -414,6 +444,13 @@ impl NfsServer {
         fragments: u32,
         actions: &mut Vec<ServerAction>,
     ) {
+        // A crashed or recovering server hears nothing: the NIC is down and
+        // the socket does not exist yet.  Clients find out via their
+        // retransmission timers, exactly as with a lost datagram.
+        if now < self.recovering_until {
+            self.stats.dropped_during_recovery += 1;
+            return;
+        }
         // The detail strings are only built when tracing is on: the hot loop
         // must not pay a `format!` allocation per datagram.
         if self.trace.is_enabled() {
@@ -761,7 +798,8 @@ impl NfsServer {
         let mut done = start;
         for req in reqs {
             let trip = self.driver_trip_cost(req);
-            let submit_at = self.cpu.run_overlapped(done, trip);
+            let issue_at = self.cpu.run_overlapped(done, trip);
+            let submit_at = self.disk_fault_delay(issue_at);
             let io_done = self.device.submit(submit_at, *req);
             done = self
                 .cpu
@@ -791,9 +829,10 @@ impl NfsServer {
         for req in reqs {
             let trip = self.driver_trip_cost(req);
             submit_clock = self.cpu.run_overlapped(submit_clock, trip);
-            let io_done = self.device.submit_at(submit_clock, *req);
+            let submit_at = self.disk_fault_delay(submit_clock);
+            let io_done = self.device.submit_at(submit_at, *req);
             completions.push(io_done);
-            self.trace_data_to_disk(submit_clock, req);
+            self.trace_data_to_disk(submit_at, req);
         }
         completions.sort_unstable();
         let mut done = submit_clock;
@@ -966,6 +1005,17 @@ impl NfsServer {
             Ok(_) => {
                 self.stats.writes_completed.record(args.data.len() as u64);
                 self.stats.write_residence.record(t1.since(arrived));
+                // The reply about to go out promises stability the data does
+                // not have; remember which blocks the crash oracle must check.
+                if !args.data.is_empty() {
+                    let block_size = self.fs.params().block_size;
+                    let first = args.offset as u64 / block_size;
+                    let last = (args.offset as u64 + args.data.len() as u64 - 1) / block_size;
+                    let blocks = self.acked_volatile.entry(ino).or_default();
+                    for lbn in first..=last {
+                        blocks.insert(lbn);
+                    }
+                }
                 NfsReplyBody::Attr(self.attr_reply(&args.file))
             }
             Err(e) => NfsReplyBody::Attr(StatusReply::Err(fs_error_to_status(e))),
@@ -1260,6 +1310,126 @@ impl NfsServer {
             }
         }
         done.max(self.device.free_at())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection: crash/reboot, battery failure, disk degradation
+    // ------------------------------------------------------------------
+
+    /// The server is unreachable until this time (always in the past unless
+    /// a fault plan crashed it).
+    pub fn recovering_until(&self) -> SimTime {
+        self.recovering_until
+    }
+
+    /// Bytes the storage stack has acknowledged as stable but not yet put on
+    /// the final medium (a battery-backed accelerator's contents; zero for a
+    /// plain disk).
+    pub fn pending_stable_bytes(&self) -> u64 {
+        self.device.pending_stable_bytes()
+    }
+
+    /// Crash the server at `now` and model its reboot.
+    ///
+    /// Everything volatile dies: the shards' socket buffers and duplicate
+    /// request caches, the per-file gather table, vnode locks, pending timer
+    /// continuations and the nfsds' in-flight work.  Before discarding the
+    /// buffer cache, the recovery oracle walks every block a reply promised
+    /// was stable while it was still volatile (dangerous mode's debt) and
+    /// counts the ones that die with the crash into
+    /// [`ServerStats::lost_acked_bytes`].  Battery-backed NVRAM survives and
+    /// is replayed to disk ([`BlockDevice::crash_recover`]) during the boot
+    /// window; the server accepts no traffic until the later of
+    /// `now + reboot_time` and the replay's completion, which is returned.
+    pub fn crash(&mut self, now: SimTime) -> SimTime {
+        self.stats.crashes += 1;
+        // --- Recovery oracle bookkeeping -------------------------------
+        let block_size = self.fs.params().block_size;
+        let mut lost = 0u64;
+        for (&ino, lbns) in self.acked_volatile.iter() {
+            for &lbn in lbns {
+                if self.fs.block_is_dirty(ino, lbn) {
+                    lost += block_size;
+                }
+            }
+        }
+        self.stats.lost_acked_bytes += lost;
+        self.acked_volatile.clear();
+        // --- Discard volatile state ------------------------------------
+        self.stats.discarded_dirty_bytes += self.fs.crash_discard_volatile();
+        self.gathers.clear();
+        self.vnode_locks.clear();
+        // Pending wake-ups (procrastination timers, nfsd-free dispatches)
+        // become stale: the orchestrator will still deliver them, but with
+        // their reasons forgotten they are no-ops.
+        self.wake_reasons.clear();
+        let shard_count = self.shards.len();
+        let dup_entries = self.config.dupcache_entries.max(1).div_ceil(shard_count);
+        let sockbuf_bytes = (self.config.socket_buffer_bytes / shard_count).max(9 * 1024);
+        for shard in self.shards.iter_mut() {
+            // The eviction counter is cumulative across the run; bank it
+            // before the partition dies with the crash.
+            self.pre_crash_evicted_in_progress += shard.dupcache.evicted_in_progress();
+            shard.sockbuf = SocketBuffer::with_capacity(sockbuf_bytes);
+            shard.dupcache = DuplicateRequestCache::new(dup_entries);
+        }
+        // --- Boot + NVRAM recovery replay ------------------------------
+        let replay_done = self.device.crash_recover(now);
+        let recovered = (now + self.config.reboot_time).max(replay_done);
+        debug_assert_eq!(
+            self.device.pending_stable_bytes(),
+            0,
+            "recovery replay left acknowledged data off the medium"
+        );
+        for nfsd in self.nfsds.iter_mut() {
+            nfsd.free_at = recovered;
+        }
+        self.recovering_until = recovered;
+        self.trace
+            .record(now, TraceKind::RequestDropped, 0, "server crash");
+        recovered
+    }
+
+    /// Fail (`healthy = false`) or repair (`healthy = true`) the NVRAM
+    /// battery.  On failure the accelerator drains what it holds and degrades
+    /// to write-through until repaired; a plain disk ignores both.  Returns
+    /// the time the transition completes.
+    pub fn set_battery(&mut self, healthy: bool, now: SimTime) -> SimTime {
+        if !healthy {
+            self.stats.battery_failures += 1;
+        }
+        self.device.set_battery(healthy, now)
+    }
+
+    /// Degrade the disk subsystem between `from` and `from + duration`:
+    /// every transfer submitted inside the window fails `retries` times,
+    /// each failed attempt stalling the request by `stall`, before the final
+    /// attempt succeeds.  A second call replaces the previous window.
+    pub fn inject_disk_fault(
+        &mut self,
+        from: SimTime,
+        duration: Duration,
+        stall: Duration,
+        retries: u32,
+    ) {
+        self.disk_fault = Some(DiskFault {
+            from,
+            until: from + duration,
+            stall,
+            retries,
+        });
+    }
+
+    /// The bounded-retry delay an injected disk fault adds to a transfer
+    /// submitted at `t` (zero outside any window).
+    fn disk_fault_delay(&mut self, t: SimTime) -> SimTime {
+        match self.disk_fault {
+            Some(f) if f.from <= t && t < f.until && f.retries > 0 => {
+                self.stats.disk_retries += f.retries as u64;
+                t + f.stall * f.retries as u64
+            }
+            _ => t,
+        }
     }
 }
 

@@ -36,6 +36,25 @@ pub struct ServerStats {
     pub socket_drops: u64,
     /// Replies sent in total.
     pub replies_sent: u64,
+    /// Injected server crashes survived (fault injection only).
+    pub crashes: u64,
+    /// Bytes of *acknowledged* write data lost to a crash: data a reply
+    /// promised was stable but that was still volatile when the server died.
+    /// The recovery oracle — zero for every policy that honours the NFS
+    /// stable-storage rule, positive only under
+    /// [`crate::WritePolicy::DangerousAsync`].
+    pub lost_acked_bytes: u64,
+    /// Total dirty (volatile) bytes discarded across injected crashes,
+    /// acknowledged or not.
+    pub discarded_dirty_bytes: u64,
+    /// Datagrams dropped because they arrived while the server was down or
+    /// replaying NVRAM during boot recovery.
+    pub dropped_during_recovery: u64,
+    /// Disk transfer attempts that failed and were retried inside an injected
+    /// disk-degradation window.
+    pub disk_retries: u64,
+    /// NVRAM battery failures injected.
+    pub battery_failures: u64,
 }
 
 impl ServerStats {

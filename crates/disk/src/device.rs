@@ -176,6 +176,29 @@ pub trait BlockDevice {
 
     /// A short human-readable description (e.g. `"RZ26"`, `"3 x RZ26 stripe"`).
     fn describe(&self) -> String;
+
+    /// Server crash/reboot recovery hook: replay any battery-backed contents
+    /// to the medium and return the time the replay completes.  Plain disks
+    /// hold nothing volatile (the server discards its own dirty cache), so
+    /// the default recovers instantly.
+    fn crash_recover(&mut self, now: SimTime) -> SimTime {
+        now
+    }
+
+    /// Battery health hook for battery-backed accelerators: `false` degrades
+    /// the device to write-through until re-armed with `true`.  Returns the
+    /// time the transition completes (an emergency drain may take a while).
+    /// Plain disks have no battery; the default is a no-op.
+    fn set_battery(&mut self, _healthy: bool, now: SimTime) -> SimTime {
+        now
+    }
+
+    /// Bytes accepted and acknowledged as stable but not yet on the final
+    /// medium (an accelerator's battery-backed contents).  Zero for plain
+    /// disks — and required to be zero after [`BlockDevice::crash_recover`].
+    fn pending_stable_bytes(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

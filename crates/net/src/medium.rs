@@ -107,6 +107,10 @@ pub struct Medium {
     to_client: Counter,
     busy: Utilization,
     lost: u64,
+    /// Injected loss windows: while `from <= now < until`, datagrams are
+    /// additionally dropped with the window's probability (a probability of
+    /// 1.0 or more is a clean partition).  Empty in every default run.
+    windows: Vec<(SimTime, SimTime, f64)>,
 }
 
 /// Direction of a transfer on the segment.
@@ -131,6 +135,7 @@ impl Medium {
             to_client: Counter::new(),
             busy: Utilization::new(),
             lost: 0,
+            windows: Vec::new(),
         }
     }
 
@@ -153,6 +158,26 @@ impl Medium {
         self.params.procrastination
     }
 
+    /// Inject a loss window: between `from` (inclusive) and `until`
+    /// (exclusive) datagrams are additionally dropped with `probability`.
+    /// A probability of 1.0 or more partitions the segment outright: every
+    /// datagram in the window is dropped, and the partition decision itself
+    /// consumes no randomness, so the base loss stream of the surviving
+    /// traffic is exactly what it would have been without the window.
+    pub fn inject_loss_window(&mut self, from: SimTime, until: SimTime, probability: f64) {
+        self.windows.push((from, until, probability.max(0.0)));
+    }
+
+    /// The injected-window loss probability active at `now` (0.0 outside all
+    /// windows; overlapping windows take the maximum).
+    fn window_probability(&self, now: SimTime) -> f64 {
+        self.windows
+            .iter()
+            .filter(|&&(from, until, _)| from <= now && now < until)
+            .map(|&(_, _, p)| p)
+            .fold(0.0, f64::max)
+    }
+
     /// Transmit a datagram of `bytes` payload bytes in the given direction,
     /// starting no earlier than `now`.
     pub fn transmit(&mut self, now: SimTime, bytes: usize, dir: Direction) -> TransmitOutcome {
@@ -161,9 +186,24 @@ impl Medium {
         let end = start + ser;
         self.busy_until = end;
         self.busy.add_busy(ser);
+        // Base loss draw first, for every datagram, so the base rng stream —
+        // and with it the fate of traffic outside any window — is identical
+        // whether or not loss windows were injected.
         if self.loss_probability > 0.0 && self.rng.chance(self.loss_probability) {
             self.lost += 1;
             return TransmitOutcome::Lost;
+        }
+        if !self.windows.is_empty() {
+            let window_p = self.window_probability(now);
+            if window_p >= 1.0 {
+                // Clean partition: drop without a random draw.
+                self.lost += 1;
+                return TransmitOutcome::Lost;
+            }
+            if window_p > 0.0 && self.rng.chance(window_p) {
+                self.lost += 1;
+                return TransmitOutcome::Lost;
+            }
         }
         match dir {
             Direction::ToServer => self.to_server.record(bytes as u64),
@@ -309,6 +349,64 @@ mod tests {
             ));
         }
         assert_eq!(m.lost_datagrams(), 0);
+    }
+
+    #[test]
+    fn partition_window_drops_everything_inside_and_nothing_outside() {
+        let mut m = Medium::new(MediumParams::fddi());
+        m.inject_loss_window(SimTime::from_millis(100), SimTime::from_millis(200), 1.0);
+        assert!(matches!(
+            m.transmit(SimTime::from_millis(50), 512, Direction::ToServer),
+            TransmitOutcome::Delivered { .. }
+        ));
+        assert_eq!(
+            m.transmit(SimTime::from_millis(150), 512, Direction::ToServer),
+            TransmitOutcome::Lost
+        );
+        assert!(matches!(
+            m.transmit(SimTime::from_millis(250), 512, Direction::ToServer),
+            TransmitOutcome::Delivered { .. }
+        ));
+        assert_eq!(m.lost_datagrams(), 1);
+    }
+
+    #[test]
+    fn partition_window_does_not_perturb_the_base_loss_stream() {
+        // The same seeded lossy medium must make identical base-loss
+        // decisions about the surviving traffic whether or not a partition
+        // window swallowed unrelated datagrams in between.
+        let drops = |partition: bool| {
+            let mut m = Medium::with_loss(MediumParams::ethernet(), 0.3, 1234);
+            if partition {
+                m.inject_loss_window(SimTime::from_millis(400), SimTime::from_millis(600), 1.0);
+            }
+            let mut outcomes = Vec::new();
+            for i in 0..100u64 {
+                let t = SimTime::from_millis(i * 10);
+                let lost = m.transmit(t, 512, Direction::ToServer) == TransmitOutcome::Lost;
+                // Only compare traffic outside the partition.
+                if !(SimTime::from_millis(400) <= t && t < SimTime::from_millis(600)) {
+                    outcomes.push(lost);
+                }
+            }
+            outcomes
+        };
+        assert_eq!(drops(false), drops(true));
+    }
+
+    #[test]
+    fn burst_window_drops_extra_datagrams() {
+        let mut m = Medium::new(MediumParams::fddi());
+        m.inject_loss_window(SimTime::ZERO, SimTime::from_secs(10), 0.5);
+        let mut lost = 0;
+        for i in 0..200u64 {
+            if m.transmit(SimTime::from_millis(i * 10), 512, Direction::ToServer)
+                == TransmitOutcome::Lost
+            {
+                lost += 1;
+            }
+        }
+        assert!(lost > 50 && lost < 150, "lost {lost}");
     }
 
     #[test]

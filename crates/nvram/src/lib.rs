@@ -106,6 +106,14 @@ pub struct Presto<D: BlockDevice> {
     /// Writes (or parts of writes) absorbed because the same bytes were
     /// already dirty in NVRAM.
     absorbed_bytes: u64,
+    /// `false` while the battery is failed: the board can no longer promise
+    /// its contents survive a crash, so Presto degrades to write-through and
+    /// every write goes straight to the underlying device.
+    battery_healthy: bool,
+    /// Writes forwarded to the disk while degraded to write-through.
+    write_through_writes: u64,
+    /// Boot-time recovery replays performed ([`BlockDevice::crash_recover`]).
+    recoveries: u64,
 }
 
 impl<D: BlockDevice> Presto<D> {
@@ -121,6 +129,9 @@ impl<D: BlockDevice> Presto<D> {
             accepted: DeviceStats::new(),
             declined: 0,
             absorbed_bytes: 0,
+            battery_healthy: true,
+            write_through_writes: 0,
+            recoveries: 0,
         }
     }
 
@@ -153,6 +164,23 @@ impl<D: BlockDevice> Presto<D> {
     /// Statistics of requests accepted into NVRAM (not underlying disk I/O).
     pub fn accepted_stats(&self) -> &DeviceStats {
         &self.accepted
+    }
+
+    /// Whether the battery currently backs the board (see
+    /// [`BlockDevice::set_battery`]).
+    pub fn battery_healthy(&self) -> bool {
+        self.battery_healthy
+    }
+
+    /// Writes forwarded straight to the disk while degraded to write-through
+    /// by a battery failure.
+    pub fn write_through_writes(&self) -> u64 {
+        self.write_through_writes
+    }
+
+    /// Boot-time recovery replays performed so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
     }
 
     /// Dirty + in-flight bytes currently occupying NVRAM (after applying
@@ -321,6 +349,12 @@ impl<D: BlockDevice> BlockDevice for Presto<D> {
             }
             return self.disk.submit(now, req);
         }
+        if !self.battery_healthy {
+            // Degraded to write-through: with no battery the board cannot
+            // promise stability, so the write must reach the medium itself.
+            self.write_through_writes += 1;
+            return self.disk.submit(now.max(self.disk.free_at()), req);
+        }
         self.advance(now);
         // Bytes already dirty in NVRAM are overwritten in place and need no
         // new space; only the uncovered remainder might have to wait.
@@ -383,6 +417,39 @@ impl<D: BlockDevice> BlockDevice for Presto<D> {
             self.params.cache_bytes / 1024,
             self.disk.describe()
         )
+    }
+
+    /// Boot-time recovery: the battery preserved the board's contents across
+    /// the crash, so everything dirty or in flight is replayed to the disk
+    /// before the server may accept traffic.  Returns when the replay (and
+    /// any drains the crash interrupted) completes.
+    fn crash_recover(&mut self, now: SimTime) -> SimTime {
+        self.recoveries += 1;
+        let done = self.flush_all(now);
+        self.advance(done);
+        debug_assert_eq!(self.dirty_bytes + self.inflight_bytes, 0);
+        done
+    }
+
+    /// Battery failure / repair.  On failure the board performs an emergency
+    /// drain of everything it holds (while charge remains) and then degrades
+    /// to write-through; on repair it re-arms and accepts writes again.
+    fn set_battery(&mut self, healthy: bool, now: SimTime) -> SimTime {
+        if healthy {
+            self.battery_healthy = true;
+            return now;
+        }
+        if !self.battery_healthy {
+            return now;
+        }
+        self.battery_healthy = false;
+        let done = self.flush_all(now);
+        self.advance(done);
+        done
+    }
+
+    fn pending_stable_bytes(&self) -> u64 {
+        self.dirty_bytes + self.inflight_bytes
     }
 }
 
@@ -609,6 +676,44 @@ mod tests {
                 .count()
                 >= 2
         );
+    }
+
+    #[test]
+    fn crash_recover_replays_everything_to_disk() {
+        let mut p = presto();
+        let mut now = SimTime::ZERO;
+        for i in 0..32u64 {
+            now = p.submit(now, DiskRequest::write(i * 8192, 8192));
+        }
+        assert!(p.pending_stable_bytes() > 0, "nothing held in NVRAM");
+        let recovered = p.crash_recover(now);
+        assert!(recovered > now, "replay should take disk time");
+        assert_eq!(p.pending_stable_bytes(), 0);
+        assert_eq!(p.underlying().stats().transfers.bytes(), 32 * 8192);
+        assert_eq!(p.recoveries(), 1);
+    }
+
+    #[test]
+    fn battery_failure_degrades_to_write_through_until_repaired() {
+        let mut p = presto();
+        let mut now = p.submit(SimTime::ZERO, DiskRequest::write(0, 8192));
+        // Failure: emergency drain empties the board.
+        now = p.set_battery(false, now);
+        assert!(!p.battery_healthy());
+        assert_eq!(p.pending_stable_bytes(), 0);
+        // Degraded writes go to the disk at disk speed.
+        let start = now;
+        now = p.submit(now, DiskRequest::write(100_000_000, 8192));
+        assert!(now > start + Duration::from_millis(5), "not write-through");
+        assert_eq!(p.write_through_writes(), 1);
+        assert_eq!(p.pending_stable_bytes(), 0);
+        // Repair re-arms the accelerator.
+        now = p.set_battery(true, now);
+        assert!(p.battery_healthy());
+        let before = now;
+        let done = p.submit(now, DiskRequest::write(200_000_000, 8192));
+        assert!(done < before + Duration::from_millis(1), "not re-armed");
+        assert!(p.pending_stable_bytes() > 0);
     }
 
     #[test]

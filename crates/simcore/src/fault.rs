@@ -1,0 +1,203 @@
+//! Deterministic fault injection plans.
+//!
+//! A [`FaultPlan`] is a replayable schedule of fault events that a workload
+//! orchestrator delivers to its components as first-class simulation inputs:
+//! server crashes (volatile state lost, NVRAM survives and is replayed during
+//! a boot-recovery window), NVRAM battery failures (the accelerator degrades
+//! to write-through until repaired), transient disk degradation (stalls with
+//! bounded retry in the I/O plan executor) and packet-loss bursts or outright
+//! partitions on network segments.
+//!
+//! Plans are either built explicitly from a schedule
+//! ([`FaultPlan::at`], [`FaultPlan::crash_every`]) or drawn from a seeded
+//! probability process ([`FaultPlan::seeded_crashes`]); both forms are plain
+//! data, so the same plan replays identically run after run.  An empty plan
+//! schedules nothing at all — a system handed `FaultPlan::default()` is
+//! bit-identical to one with no plan wired in, which is what keeps every
+//! fault knob default-off.
+
+use crate::rng::SimRng;
+use crate::time::{Duration, SimTime};
+
+/// One kind of injected fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The server loses all volatile state (socket buffers, duplicate request
+    /// cache, in-flight gathers, nfsd state) and reboots.  Battery-backed
+    /// NVRAM survives and is replayed to disk during the recovery window;
+    /// traffic arriving before recovery completes is dropped.
+    ServerCrash,
+    /// The NVRAM battery fails: the accelerator drains what it holds and
+    /// degrades to write-through until the battery is repaired
+    /// `repair_after` later.
+    BatteryFailure {
+        /// How long after the failure the battery is repaired and the
+        /// accelerator re-arms.
+        repair_after: Duration,
+    },
+    /// The disk subsystem degrades for `duration`: every transfer submitted
+    /// inside the window first fails `retries` times, each attempt stalling
+    /// the request by `stall` before the final attempt succeeds.
+    DiskDegrade {
+        /// How long the degradation window lasts.
+        duration: Duration,
+        /// Extra latency each failed attempt costs.
+        stall: Duration,
+        /// Number of failed attempts before the transfer goes through.
+        retries: u32,
+    },
+    /// A packet-loss burst on a network segment: for `duration`, datagrams
+    /// are additionally dropped with `probability` (a probability of 1.0 or
+    /// more is a clean partition — nothing gets through).
+    LossBurst {
+        /// How long the burst lasts.
+        duration: Duration,
+        /// Per-datagram drop probability inside the window.
+        probability: f64,
+        /// Which LAN segment the burst hits (`None` = every segment).
+        segment: Option<usize>,
+    },
+}
+
+/// One scheduled fault: a kind and the instant it fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A replayable schedule of fault events, ordered by firing time (ties keep
+/// insertion order, matching the event queue's determinism rule).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan: injects nothing and leaves runs bit-identical to
+    /// plan-free ones.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// `true` if the plan schedules no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The scheduled events, ordered by firing time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Add one fault at an explicit instant (builder style).
+    pub fn at(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        // Stable sort: same-instant events keep their insertion order.
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// Crash the server every `interval` until `horizon` (the first crash is
+    /// at `interval`, not at time zero).
+    pub fn crash_every(interval: Duration, horizon: Duration) -> Self {
+        assert!(!interval.is_zero(), "crash_every needs a non-zero interval");
+        let mut plan = FaultPlan::new();
+        let mut t = SimTime::ZERO + interval;
+        while t <= SimTime::ZERO + horizon {
+            plan = plan.at(t, FaultKind::ServerCrash);
+            t += interval;
+        }
+        plan
+    }
+
+    /// A seeded Poisson crash process: crash instants drawn with
+    /// exponentially distributed gaps of the given mean, up to `horizon`.
+    /// The same seed always yields the same plan.
+    pub fn seeded_crashes(seed: u64, mean_interval: Duration, horizon: Duration) -> Self {
+        let mut rng = SimRng::seed_from(seed);
+        let mut plan = FaultPlan::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            let gap = Duration::from_secs_f64(rng.exponential(mean_interval.as_secs_f64()));
+            // A zero gap would schedule two crashes at one instant; nudge.
+            t += gap.max(Duration::from_nanos(1));
+            if t > SimTime::ZERO + horizon {
+                return plan;
+            }
+            plan = plan.at(t, FaultKind::ServerCrash);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_default_and_inert() {
+        assert!(FaultPlan::new().is_empty());
+        assert_eq!(FaultPlan::new(), FaultPlan::default());
+        assert_eq!(FaultPlan::new().len(), 0);
+        assert!(FaultPlan::new().events().is_empty());
+    }
+
+    #[test]
+    fn builder_keeps_events_time_ordered() {
+        let plan = FaultPlan::new()
+            .at(SimTime::from_secs(9), FaultKind::ServerCrash)
+            .at(
+                SimTime::from_secs(3),
+                FaultKind::BatteryFailure {
+                    repair_after: Duration::from_secs(1),
+                },
+            )
+            .at(
+                SimTime::from_secs(6),
+                FaultKind::LossBurst {
+                    duration: Duration::from_secs(1),
+                    probability: 0.5,
+                    segment: None,
+                },
+            );
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
+        assert_eq!(
+            times,
+            vec![
+                SimTime::from_secs(3).as_nanos(),
+                SimTime::from_secs(6).as_nanos(),
+                SimTime::from_secs(9).as_nanos()
+            ]
+        );
+    }
+
+    #[test]
+    fn crash_every_covers_the_horizon() {
+        let plan = FaultPlan::crash_every(Duration::from_secs(30), Duration::from_secs(100));
+        assert_eq!(plan.len(), 3); // 30s, 60s, 90s
+        assert!(plan
+            .events()
+            .iter()
+            .all(|e| e.kind == FaultKind::ServerCrash));
+        assert_eq!(plan.events()[0].at, SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn seeded_crashes_replay_identically() {
+        let a = FaultPlan::seeded_crashes(42, Duration::from_secs(10), Duration::from_secs(120));
+        let b = FaultPlan::seeded_crashes(42, Duration::from_secs(10), Duration::from_secs(120));
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "a 12x-mean horizon should draw some crashes");
+        let c = FaultPlan::seeded_crashes(43, Duration::from_secs(10), Duration::from_secs(120));
+        assert_ne!(a, c, "different seeds should draw different schedules");
+        // Events are in firing order.
+        assert!(a.events().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+}

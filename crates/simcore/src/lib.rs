@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod cpu;
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -35,6 +36,7 @@ pub mod time;
 pub mod trace;
 
 pub use cpu::{Cpu, MultiCpu};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Counter, LatencyStat, Utilization};

@@ -781,6 +781,37 @@ impl Ufs {
         let n = self.inode(ino)?;
         Ok(n.inode_dirty || n.indirect_dirty || n.blocks.values().any(|b| b.dirty))
     }
+
+    /// `true` if the given logical block of the inode is cached dirty (its
+    /// contents exist only in volatile memory and would not survive a crash).
+    pub fn block_is_dirty(&self, ino: InodeNumber, lbn: u64) -> bool {
+        self.inodes
+            .get(&ino)
+            .and_then(|n| n.blocks.get(&lbn))
+            .map(|b| b.dirty)
+            .unwrap_or(false)
+    }
+
+    /// Server crash: discard every volatile (dirty) cached block and all
+    /// dirty-metadata markers, keeping only what had reached stable storage.
+    /// Physical block mappings survive (they model the on-disk inode as of
+    /// the last metadata sync), so a post-crash read of a discarded block
+    /// falls back to the disk and sees its stale contents — modeled as
+    /// zero-fill plus a disk-read miss.  Returns the number of data bytes
+    /// discarded.
+    pub fn crash_discard_volatile(&mut self) -> u64 {
+        let block_size = self.params.block_size;
+        let mut discarded = 0u64;
+        for n in self.inodes.values_mut() {
+            let before = n.blocks.len();
+            n.blocks.retain(|_, b| !b.dirty);
+            discarded += (before - n.blocks.len()) as u64 * block_size;
+            n.inode_dirty = false;
+            n.mtime_only_dirty = false;
+            n.indirect_dirty = false;
+        }
+        discarded
+    }
 }
 
 #[cfg(test)]
@@ -893,6 +924,35 @@ mod tests {
         let meta = u.fsync(f, FsyncFlags::MetadataOnly).unwrap();
         assert_eq!(meta.metadata.len(), 1);
         assert!(!u.is_dirty(f).unwrap());
+    }
+
+    #[test]
+    fn crash_discard_drops_dirty_blocks_and_keeps_clean_ones() {
+        let mut u = fs();
+        let root = u.root();
+        let f = u.create(root, "victim", 0o644, 0).unwrap();
+        // Block 0 reaches stable storage; blocks 1..4 stay volatile.
+        u.write(f, 0, &vec![7u8; BS as usize], WriteFlags::Sync, 1)
+            .unwrap();
+        for i in 1..4u64 {
+            u.write(f, i * BS, &vec![9u8; BS as usize], WriteFlags::DelayData, i)
+                .unwrap();
+        }
+        assert!(u.block_is_dirty(f, 1));
+        assert!(!u.block_is_dirty(f, 0));
+        let discarded = u.crash_discard_volatile();
+        assert_eq!(discarded, 3 * BS);
+        assert_eq!(u.dirty_bytes(), 0);
+        assert!(!u.is_dirty(f).unwrap());
+        // The durable block survives with its contents...
+        let kept = u.read(f, 0, BS).unwrap().to_vec();
+        assert!(kept.iter().all(|&b| b == 7));
+        // ...while a discarded block reads back from the (stale) disk as a
+        // zero-fill miss, not as the acknowledged-but-lost data.
+        let lost = u.read(f, BS, BS).unwrap();
+        assert!(lost.to_vec().iter().all(|&b| b == 0));
+        // A second crash with nothing volatile discards nothing.
+        assert_eq!(u.crash_discard_volatile(), 0);
     }
 
     #[test]

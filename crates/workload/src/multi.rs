@@ -223,9 +223,65 @@ impl ClientLans {
     /// Build the fan-in: `clients` private segments when `per_client` is set,
     /// one shared segment otherwise.
     pub(crate) fn new(params: &MediumParams, clients: usize, per_client: bool) -> Self {
+        Self::with_loss(params, clients, per_client, 0.0, 0)
+    }
+
+    /// Build the fan-in with every segment dropping datagrams at
+    /// `loss_probability`.  Each segment's loss stream is seeded from
+    /// `(seed, segment index)` alone — never from construction order or
+    /// wall-clock — so a sweep cell built on a worker thread draws exactly
+    /// the loss pattern the same cell draws in a serial sweep.
+    pub(crate) fn with_loss(
+        params: &MediumParams,
+        clients: usize,
+        per_client: bool,
+        loss_probability: f64,
+        seed: u64,
+    ) -> Self {
         let count = if per_client { clients.max(1) } else { 1 };
         ClientLans {
-            media: (0..count).map(|_| Medium::new(params.clone())).collect(),
+            media: (0..count)
+                .map(|segment| {
+                    Medium::with_loss(
+                        params.clone(),
+                        loss_probability,
+                        Self::segment_seed(seed, segment),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Per-segment rng seed: a splitmix-style mix of the base seed and the
+    /// segment index, so adjacent segments do not share prefixes.
+    fn segment_seed(seed: u64, segment: usize) -> u64 {
+        let mut z = seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((segment as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Open a loss window on one segment (`Some(idx)`, clamped into range) or
+    /// on every segment (`None`).
+    pub(crate) fn inject_loss_window(
+        &mut self,
+        segment: Option<usize>,
+        from: SimTime,
+        until: SimTime,
+        probability: f64,
+    ) {
+        match segment {
+            Some(idx) => {
+                let idx = idx.min(self.media.len() - 1);
+                self.media[idx].inject_loss_window(from, until, probability);
+            }
+            None => {
+                for medium in &mut self.media {
+                    medium.inject_loss_window(from, until, probability);
+                }
+            }
         }
     }
 
@@ -259,6 +315,7 @@ struct ClientSlot {
     /// its `Completed` action (see [`ClientSlot::bytes_acked`]).
     finished_bytes_acked: u64,
     finished_retransmissions: u64,
+    finished_gave_up: u64,
     completed_at: Option<SimTime>,
 }
 
@@ -286,6 +343,16 @@ impl ClientSlot {
             self.writer.stats().retransmissions
         };
         self.finished_retransmissions + live
+    }
+
+    /// Total abandoned writes, including the live writer's.
+    fn gave_up(&self) -> u64 {
+        let live = if self.completed_at.is_some() {
+            0
+        } else {
+            self.writer.stats().gave_up
+        };
+        self.finished_gave_up + live
     }
 }
 
@@ -375,6 +442,7 @@ impl MultiClientSystem {
                 segment: 0,
                 finished_bytes_acked: 0,
                 finished_retransmissions: 0,
+                finished_gave_up: 0,
                 completed_at: None,
             });
             layouts.push(layout);
@@ -470,6 +538,7 @@ impl MultiClientSystem {
                     let stats = slot.writer.stats();
                     slot.finished_bytes_acked += stats.bytes_acked;
                     slot.finished_retransmissions += stats.retransmissions;
+                    slot.finished_gave_up += stats.gave_up;
                     if let Some((handle, size)) = slot.pending.pop_front() {
                         // Roll to the next segment file: a fresh writer with
                         // the next xid generation, started at this close's
@@ -530,13 +599,20 @@ impl MultiClientSystem {
             elapsed
         };
         let device = self.server.device_stats();
-        let all_completed = self.slots.iter().all(|s| s.completed_at.is_some());
-        debug_assert!(all_completed, "a client never finished its byte budget");
+        let total_gave_up: u64 = self.slots.iter().map(|s| s.gave_up()).sum();
+        let all_completed =
+            self.slots.iter().all(|s| s.completed_at.is_some()) && total_gave_up == 0;
+        // On a loss-free fan-in every client must finish; a lossy or faulted
+        // run may legitimately end with counted give-ups instead.
+        debug_assert!(
+            all_completed || total_gave_up > 0,
+            "a client never finished its byte budget"
+        );
         let clients: Vec<FileCopyResult> = self
             .slots
             .iter()
             .map(|slot| {
-                let completed = slot.completed_at.is_some();
+                let completed = slot.completed_at.is_some() && slot.gave_up() == 0;
                 let client_elapsed = slot
                     .completed_at
                     .unwrap_or(self.queue.now())
@@ -554,6 +630,7 @@ impl MultiClientSystem {
                     elapsed_secs: client_elapsed,
                     mean_batch_size: self.server.stats().mean_batch_size(),
                     retransmissions: slot.retransmissions(),
+                    gave_up: slot.gave_up(),
                     completed,
                 }
             })

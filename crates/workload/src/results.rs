@@ -21,6 +21,10 @@ pub struct FileCopyResult {
     pub mean_batch_size: f64,
     /// Client retransmissions observed (should be 0 on a private network).
     pub retransmissions: u64,
+    /// Writes the client abandoned after exhausting its retransmit budget.
+    /// Always a counted failure: any cell with `gave_up > 0` also reports
+    /// `completed: false`.
+    pub gave_up: u64,
     /// `true` if the copy ran to completion (the client's close returned).
     /// An incomplete run reports elapsed time up to the moment the event
     /// queue drained, which must never be mistaken for a slow-but-finished
@@ -168,6 +172,7 @@ pub mod json {
                 ("elapsed_secs", number(self.elapsed_secs)),
                 ("mean_batch_size", number(self.mean_batch_size)),
                 ("retransmissions", self.retransmissions.to_string()),
+                ("gave_up", self.gave_up.to_string()),
                 ("completed", self.completed.to_string()),
             ])
         }
@@ -229,6 +234,8 @@ pub mod json {
                 ("name_mints", self.name_mints.to_string()),
                 ("issued", self.issued.to_string()),
                 ("completed", self.completed.to_string()),
+                ("retransmissions", self.retransmissions.to_string()),
+                ("gave_up", self.gave_up.to_string()),
             ])
         }
     }
@@ -262,6 +269,7 @@ mod tests {
             elapsed_secs: 20.0,
             mean_batch_size: 6.5,
             retransmissions: 0,
+            gave_up: 0,
             completed: true,
         };
         let json = r.to_json();

@@ -40,6 +40,7 @@
 //! generation name; both are counted in [`SfsSystem::name_mints`] so tests
 //! can pin "nothing else allocates".
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use wg_net::medium::Direction;
@@ -49,7 +50,7 @@ use wg_nfsproto::{
     ReaddirArgs, Sattr, WriteArgs, Xid,
 };
 use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, WritePolicy};
-use wg_simcore::{Duration, EventQueue, LatencyStat, SimRng, SimTime};
+use wg_simcore::{Duration, EventQueue, FaultKind, FaultPlan, LatencyStat, SimRng, SimTime};
 
 use crate::multi::ClientLans;
 use crate::results::{MultiClientResult, SfsPoint};
@@ -203,6 +204,20 @@ pub struct SfsConfig {
     /// long, write-hot runs from silently wrapping offsets past the cap the
     /// way the old `offset as u32` append stream did.
     pub scratch_file_limit: u64,
+    /// Fault-injection schedule.  Empty (the default) keeps the fault layer
+    /// inert and the run bit-identical to a build without it.
+    pub fault_plan: FaultPlan,
+    /// Steady per-datagram loss probability on every LAN segment.  `0.0`
+    /// (the default) consumes no randomness at all; a positive rate seeds
+    /// each segment's loss stream from the cell's `(seed, offered load,
+    /// segment)` alone, so sweep cells draw identical loss patterns whether
+    /// they run serially or on worker threads.
+    pub loss_probability: f64,
+    /// Retransmit timeout of the first retry, when the fault layer is armed.
+    pub retry_initial_timeout: Duration,
+    /// Attempts after which an unanswered call is abandoned and counted in
+    /// `gave_up` — a counted failure, never a silent success.
+    pub max_retransmits: u32,
 }
 
 impl SfsConfig {
@@ -232,6 +247,10 @@ impl SfsConfig {
             inode_groups: 1,
             read_caching: false,
             scratch_file_limit: 8 * 1024 * 1024,
+            fault_plan: FaultPlan::new(),
+            loss_probability: 0.0,
+            retry_initial_timeout: Duration::from_millis(700),
+            max_retransmits: 8,
         }
     }
 
@@ -310,6 +329,40 @@ impl SfsConfig {
     pub fn with_scratch_file_limit(mut self, bytes: u64) -> Self {
         self.scratch_file_limit = bytes;
         self
+    }
+
+    /// Attach a fault-injection schedule to the run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Drop datagrams on every LAN segment with probability `p`.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.loss_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Override the retry knobs (first-retry timeout and attempt cap).
+    pub fn with_retry(mut self, initial_timeout: Duration, max_retransmits: u32) -> Self {
+        self.retry_initial_timeout = initial_timeout;
+        self.max_retransmits = max_retransmits;
+        self
+    }
+
+    /// Whether the fault layer is armed: any injected fault or loss means
+    /// calls can vanish, so the generators track outstanding calls for
+    /// bounded retransmission.  With neither, the retry machinery schedules
+    /// nothing and clones nothing.
+    pub fn faults_enabled(&self) -> bool {
+        !self.fault_plan.is_empty() || self.loss_probability > 0.0
+    }
+
+    /// Loss-stream seed of this measurement cell, derived from the cell's
+    /// own identity (base seed and offered load) so a parallel sweep draws
+    /// the same losses as a serial one.
+    fn loss_seed(&self) -> u64 {
+        self.seed ^ self.offered_ops_per_sec.to_bits().rotate_left(17)
     }
 
     /// The xid window stride per client: the space above [`XID_ORIGIN`] split
@@ -426,6 +479,13 @@ impl OutstandingRing {
             None
         }
     }
+
+    /// Whether a call is still awaiting its reply (used by the retry timer
+    /// to tell "unanswered" from "answered while the timer was in flight").
+    fn contains(&self, xid: u32) -> bool {
+        let slot = &self.slots[self.slot_index(xid)];
+        slot.xid == xid && slot.entry.is_some()
+    }
 }
 
 /// One scratch file a generator's write bursts append to.
@@ -469,6 +529,16 @@ struct SfsGenerator {
     /// scratch rotations) — the *only* events at which steady-state op
     /// generation is allowed to touch the heap.
     name_mints: u64,
+    /// Calls re-sent after an unanswered timeout (fault mode only).
+    retransmissions: u64,
+    /// Calls abandoned after [`SfsConfig::max_retransmits`] attempts — every
+    /// one a counted failure.
+    gave_up: u64,
+    /// Retained copies of unanswered calls, keyed by xid, so a retry timer
+    /// can re-send them.  Populated only when [`SfsConfig::faults_enabled`];
+    /// otherwise never touched, keeping the steady-state loop allocation-free
+    /// and bit-identical to the pre-fault harness.
+    retry_calls: HashMap<u32, NfsCall>,
 }
 
 /// Pre-population name of a scratch write file (generation 0) or of a
@@ -661,6 +731,12 @@ enum Ev {
     NextArrival(usize),
     Server(ServerInput),
     Reply(u32, NfsReply),
+    /// Retry timer of one call: `(client, xid, attempts already made)`.
+    RetryCheck(usize, u32, u32),
+    /// An injected fault fires (scheduled only when the plan is non-empty).
+    Fault(FaultKind),
+    /// The NVRAM battery comes back after a `BatteryFailure`.
+    BatteryRepair,
 }
 
 /// One SFS-style measurement run: N generator streams, their LAN fan-in and
@@ -762,11 +838,20 @@ impl SfsSystem {
                 issued: 0,
                 completed: 0,
                 name_mints: 0,
+                retransmissions: 0,
+                gave_up: 0,
+                retry_calls: HashMap::new(),
             });
         }
         let root_handle = server.root_handle();
         SfsSystem {
-            lans: ClientLans::new(&medium_params, clients, config.per_client_lans),
+            lans: ClientLans::with_loss(
+                &medium_params,
+                clients,
+                config.per_client_lans,
+                config.loss_probability,
+                config.loss_seed(),
+            ),
             queue: EventQueue::new(),
             shared: SharedFiles {
                 root: root_handle,
@@ -792,6 +877,26 @@ impl SfsSystem {
         call
     }
 
+    /// Transmit one call toward the server on the client's LAN segment.
+    fn transmit_call(&mut self, t: SimTime, client: usize, call: NfsCall) {
+        let size = call.wire_size();
+        let medium = self.lans.medium_mut(client);
+        let fragments = medium.params().fragments_for(size);
+        if let TransmitOutcome::Delivered { arrives_at } =
+            medium.transmit(t, size, Direction::ToServer)
+        {
+            self.queue.schedule_at(
+                arrives_at,
+                Ev::Server(ServerInput::Datagram {
+                    client: client as u32,
+                    call,
+                    wire_size: size,
+                    fragments,
+                }),
+            );
+        }
+    }
+
     /// Run the measurement and produce one figure point.
     pub fn run(&mut self) -> SfsPoint {
         self.events_processed = 0;
@@ -802,6 +907,18 @@ impl SfsSystem {
             };
             self.queue
                 .schedule_at(SimTime::ZERO + gap, Ev::NextArrival(client));
+        }
+        // With no injected faults and no loss the retry machinery is fully
+        // disarmed (no cloned calls, no timers, no extra events) and the
+        // plan schedules nothing: the run replays the pre-fault harness
+        // event for event.
+        let faults_armed = self.config.faults_enabled();
+        let retry_timeout = self.config.retry_initial_timeout;
+        if !self.config.fault_plan.is_empty() {
+            let events: Vec<_> = self.config.fault_plan.events().to_vec();
+            for event in events {
+                self.queue.schedule_at(event.at, Ev::Fault(event.kind));
+            }
         }
         let end = SimTime::ZERO + self.config.duration;
         // Scratch buffer reused across every server event (see
@@ -817,22 +934,18 @@ impl SfsSystem {
                 Ev::NextArrival(client) => {
                     if t < end {
                         let call = self.generate_one(t, client);
-                        let size = call.wire_size();
-                        let medium = self.lans.medium_mut(client);
-                        let fragments = medium.params().fragments_for(size);
-                        if let TransmitOutcome::Delivered { arrives_at } =
-                            medium.transmit(t, size, Direction::ToServer)
-                        {
-                            self.queue.schedule_at(
-                                arrives_at,
-                                Ev::Server(ServerInput::Datagram {
-                                    client: client as u32,
-                                    call,
-                                    wire_size: size,
-                                    fragments,
-                                }),
-                            );
+                        if faults_armed {
+                            // Retain a copy so the retry timer can re-send an
+                            // unanswered call; the timer chain always ends in
+                            // a reply or a counted give-up.
+                            let xid = call.xid.0;
+                            self.generators[client]
+                                .retry_calls
+                                .insert(xid, call.clone());
+                            self.queue
+                                .schedule_at(t + retry_timeout, Ev::RetryCheck(client, xid, 0));
                         }
+                        self.transmit_call(t, client, call);
                         let generator = &mut self.generators[client];
                         let gap =
                             Duration::from_secs_f64(generator.rng.exponential(generator.mean_gap));
@@ -868,7 +981,58 @@ impl SfsSystem {
                         generator.latency.record(latency);
                         generator.completed += 1;
                         self.completed += 1;
+                        if faults_armed {
+                            generator.retry_calls.remove(&reply.xid.0);
+                        }
                     }
+                }
+                Ev::RetryCheck(client, xid, attempt) => {
+                    let generator = &mut self.generators[client];
+                    if !generator.outstanding.contains(xid) {
+                        // Answered (or lapped) while the timer was in flight.
+                        generator.retry_calls.remove(&xid);
+                    } else if attempt >= self.config.max_retransmits {
+                        // Exhausted: abandon the call as a counted failure —
+                        // never a silent success.
+                        generator.outstanding.take(xid);
+                        generator.retry_calls.remove(&xid);
+                        generator.gave_up += 1;
+                    } else if let Some(call) = generator.retry_calls.get(&xid).cloned() {
+                        generator.retransmissions += 1;
+                        self.transmit_call(t, client, call);
+                        // Exponential backoff, capped so the shift can't
+                        // overflow on large attempt caps.
+                        let backoff = retry_timeout.saturating_mul(1u64 << (attempt + 1).min(10));
+                        self.queue
+                            .schedule_at(t + backoff, Ev::RetryCheck(client, xid, attempt + 1));
+                    }
+                }
+                Ev::Fault(kind) => match kind {
+                    FaultKind::ServerCrash => {
+                        self.server.crash(t);
+                    }
+                    FaultKind::BatteryFailure { repair_after } => {
+                        self.server.set_battery(false, t);
+                        self.queue.schedule_at(t + repair_after, Ev::BatteryRepair);
+                    }
+                    FaultKind::DiskDegrade {
+                        duration,
+                        stall,
+                        retries,
+                    } => {
+                        self.server.inject_disk_fault(t, duration, stall, retries);
+                    }
+                    FaultKind::LossBurst {
+                        duration,
+                        probability,
+                        segment,
+                    } => {
+                        self.lans
+                            .inject_loss_window(segment, t, t + duration, probability);
+                    }
+                },
+                Ev::BatteryRepair => {
+                    self.server.set_battery(true, t);
                 }
             }
         }
@@ -889,6 +1053,18 @@ impl SfsSystem {
     /// Operations issued and completed, across all client streams.
     pub fn counts(&self) -> (u64, u64) {
         (self.issued, self.completed)
+    }
+
+    /// Calls abandoned after the retransmit budget, across all streams.
+    /// When the fault layer is armed every issued call ends up either
+    /// completed or here: `issued == completed + gave_up`.
+    pub fn gave_up(&self) -> u64 {
+        self.generators.iter().map(|g| g.gave_up).sum()
+    }
+
+    /// Calls re-sent by the retry timers, across all streams.
+    pub fn retransmissions(&self) -> u64 {
+        self.generators.iter().map(|g| g.retransmissions).sum()
     }
 
     /// Number of generator streams.
@@ -987,6 +1163,10 @@ pub struct SfsRunStats {
     pub issued: u64,
     /// Operations completed.
     pub completed: u64,
+    /// Calls re-sent by the retry timers (0 with the fault layer disarmed).
+    pub retransmissions: u64,
+    /// Calls abandoned after the retransmit budget — counted failures.
+    pub gave_up: u64,
 }
 
 /// A load sweep producing the curve of Figure 2 or Figure 3.
@@ -1034,6 +1214,8 @@ impl SfsSweep {
                     name_mints: system.name_mints(),
                     issued,
                     completed,
+                    retransmissions: system.retransmissions(),
+                    gave_up: system.gave_up(),
                 }
             })
             .collect()
@@ -1273,6 +1455,36 @@ mod tests {
             assert_eq!(s.avg_latency_ms, p.avg_latency_ms);
             assert_eq!(s.server_cpu_percent, p.server_cpu_percent);
         }
+    }
+
+    #[test]
+    fn parallel_sweep_stays_bit_identical_with_loss_enabled() {
+        // Each cell's loss streams are seeded from the cell's own identity
+        // (base seed, offered load, segment index), never from thread or
+        // construction order — so a lossy sweep must replay bit-identically
+        // on worker threads, retransmissions and all.
+        let sweep = SfsSweep::new(
+            quick_config(0.0, WritePolicy::Gathering)
+                .with_clients(2)
+                .with_per_client_lans(true)
+                .with_loss(0.05),
+        );
+        let loads = [100.0, 250.0, 400.0, 550.0];
+        let serial = sweep.run(&loads);
+        let parallel = sweep.run_parallel(&loads, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.offered_ops_per_sec, p.offered_ops_per_sec);
+            assert_eq!(s.achieved_ops_per_sec, p.achieved_ops_per_sec);
+            assert_eq!(s.avg_latency_ms, p.avg_latency_ms);
+            assert_eq!(s.server_cpu_percent, p.server_cpu_percent);
+        }
+        // The loss rate actually bit: the retry layer had work to do.
+        let mut system = SfsSystem::new(sweep.point_config(250.0));
+        system.run();
+        assert!(system.retransmissions() > 0);
+        let (issued, completed) = system.counts();
+        assert_eq!(issued, completed + system.gave_up());
     }
 
     #[test]

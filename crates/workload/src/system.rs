@@ -4,7 +4,7 @@ use wg_client::{ClientAction, ClientConfig, ClientInput, FileWriterClient};
 use wg_net::medium::Direction;
 use wg_net::{Medium, MediumParams, TransmitOutcome};
 use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, WritePolicy};
-use wg_simcore::{Duration, EventQueue, SimTime, Trace};
+use wg_simcore::{Duration, EventQueue, FaultKind, FaultPlan, SimTime, Trace};
 
 use crate::results::FileCopyResult;
 
@@ -55,6 +55,14 @@ pub struct ExperimentConfig {
     pub io_overlap: bool,
     /// Record a Figure-1 style event trace on the server.
     pub trace: bool,
+    /// Fault-injection schedule.  Empty (the default) means the fault layer
+    /// is completely inert: no events are scheduled and the run is
+    /// bit-identical to one built before the layer existed.
+    pub fault_plan: FaultPlan,
+    /// Override of the client's `(initial_timeout, max_retransmits)` retry
+    /// knobs, used by fault tests to force a give-up quickly.  `None` keeps
+    /// [`wg_client::ClientConfig::default`].
+    pub client_retry: Option<(Duration, u32)>,
 }
 
 impl ExperimentConfig {
@@ -72,6 +80,8 @@ impl ExperimentConfig {
             cores: 1,
             io_overlap: false,
             trace: false,
+            fault_plan: FaultPlan::new(),
+            client_retry: None,
         }
     }
 
@@ -116,12 +126,29 @@ impl ExperimentConfig {
         self.io_overlap = on;
         self
     }
+
+    /// Attach a fault-injection schedule to the run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Override the client's retry knobs (initial retransmit timeout and the
+    /// attempt cap after which it gives up).
+    pub fn with_client_retry(mut self, initial_timeout: Duration, max_retransmits: u32) -> Self {
+        self.client_retry = Some((initial_timeout, max_retransmits));
+        self
+    }
 }
 
 /// Events flowing through the combined system.
 enum Ev {
     Client(ClientInput),
     Server(ServerInput),
+    /// An injected fault fires (scheduled only when the plan is non-empty).
+    Fault(FaultKind),
+    /// The NVRAM battery comes back after a `BatteryFailure`.
+    BatteryRepair,
 }
 
 /// The assembled single-client system.
@@ -177,11 +204,15 @@ impl FileCopySystem {
             .expect("fresh filesystem");
         let handle = server.handle_for_ino(ino).expect("live inode");
 
-        let client_config = ClientConfig {
+        let mut client_config = ClientConfig {
             biods: config.biods,
             file_size: config.file_size,
             ..ClientConfig::default()
         };
+        if let Some((initial_timeout, max_retransmits)) = config.client_retry {
+            client_config.initial_timeout = initial_timeout;
+            client_config.max_retransmits = max_retransmits;
+        }
         let client = FileWriterClient::new(client_config, handle);
         FileCopySystem {
             medium: Medium::new(medium_params),
@@ -224,6 +255,14 @@ impl FileCopySystem {
         self.events_processed = 0;
         self.queue
             .schedule_at(SimTime::ZERO, Ev::Client(ClientInput::Start));
+        // An empty plan schedules nothing: the queue contents — and therefore
+        // the whole run — are identical to a build without the fault layer.
+        if !self.config.fault_plan.is_empty() {
+            let events: Vec<_> = self.config.fault_plan.events().to_vec();
+            for event in events {
+                self.queue.schedule_at(event.at, Ev::Fault(event.kind));
+            }
+        }
         let mut client_actions: Vec<ClientAction> = Vec::new();
         let mut server_actions: Vec<ServerAction> = Vec::new();
         while let Some((t, ev)) = self.queue.pop() {
@@ -248,9 +287,41 @@ impl FileCopySystem {
                     self.server.handle_into(t, input, &mut server_actions);
                     self.apply_server_actions(&mut server_actions);
                 }
+                Ev::Fault(kind) => self.apply_fault(t, kind),
+                Ev::BatteryRepair => {
+                    self.server.set_battery(true, t);
+                }
             }
         }
         self.result()
+    }
+
+    fn apply_fault(&mut self, t: SimTime, kind: FaultKind) {
+        match kind {
+            FaultKind::ServerCrash => {
+                self.server.crash(t);
+            }
+            FaultKind::BatteryFailure { repair_after } => {
+                self.server.set_battery(false, t);
+                self.queue.schedule_at(t + repair_after, Ev::BatteryRepair);
+            }
+            FaultKind::DiskDegrade {
+                duration,
+                stall,
+                retries,
+            } => {
+                self.server.inject_disk_fault(t, duration, stall, retries);
+            }
+            // The single-client system has one network segment; a burst aimed
+            // at a specific segment index still lands on it.
+            FaultKind::LossBurst {
+                duration,
+                probability,
+                segment: _,
+            } => {
+                self.medium.inject_loss_window(t, t + duration, probability);
+            }
+        }
     }
 
     fn apply_client_actions(&mut self, actions: &mut Vec<ClientAction>) {
@@ -307,14 +378,21 @@ impl FileCopySystem {
     }
 
     fn result(&self) -> FileCopyResult {
-        let completed = self.completed_at.is_some();
+        let gave_up = self.client.stats().gave_up;
+        // A copy only counts as completed when every byte was acknowledged:
+        // a client that abandoned writes after exhausting its retransmits
+        // reports a counted failure, never a silent success.
+        let completed = self.completed_at.is_some() && gave_up == 0;
         // A drained event queue with the client still unfinished means the
         // simulation lost work (a dropped wake-up, an orphaned write): surface
         // it immediately in debug builds, and flag it in the result so sweeps
-        // can't mistake a dead cell for a slow one.
+        // can't mistake a dead cell for a slow one.  Under an injected fault
+        // schedule an incomplete cell is a legitimate outcome (that is what
+        // the chaos sweep measures), so the assert only covers fault-free
+        // runs.
         debug_assert!(
-            completed,
-            "file copy did not complete: {} bytes acked of {}",
+            completed || !self.config.fault_plan.is_empty(),
+            "file copy did not complete: {} bytes acked of {}, {gave_up} writes given up",
             self.client.stats().bytes_acked,
             self.config.file_size
         );
@@ -335,8 +413,28 @@ impl FileCopySystem {
             elapsed_secs: elapsed.as_secs_f64(),
             mean_batch_size: self.server.stats().mean_batch_size(),
             retransmissions: self.client.stats().retransmissions,
+            gave_up,
             completed,
         }
+    }
+
+    /// Recovery oracle: re-read every byte range the client saw acknowledged
+    /// and count the bytes whose content no longer matches the fill pattern
+    /// that was written.  Zero for every policy that honours the NFS
+    /// stable-storage rule, no matter what the fault plan did; positive only
+    /// when an acknowledged write was lost (the
+    /// [`wg_server::WritePolicy::DangerousAsync`] failure mode).
+    pub fn lost_acked_bytes_on_disk(&self) -> u64 {
+        let mut fs = self.server.fs().clone();
+        let root = fs.root();
+        let ino = fs.lookup(root, "copy-target").expect("target file exists");
+        let mut lost = 0u64;
+        for &(offset, len) in self.client.acked_writes() {
+            let fill = self.client.fill_byte_for(offset);
+            let data = fs.read(ino, offset, len).expect("acked range readable");
+            lost += data.to_vec().iter().filter(|&&b| b != fill).count() as u64;
+        }
+        lost
     }
 
     /// The server's event trace (enable with [`ExperimentConfig::with_trace`]).

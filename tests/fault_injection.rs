@@ -1,0 +1,413 @@
+//! The fault-injection contract, end to end.
+//!
+//! A `FaultPlan` crashes the server, fails the NVRAM battery, degrades the
+//! disk and partitions the network — all deterministically — and after every
+//! crash the recovery oracle walks what the server acknowledged: under every
+//! policy that honours the NFS stable-storage rule, **no acknowledged write
+//! is ever lost**, no matter what the schedule did.  Dangerous mode's losses
+//! are counted and reported, never hidden.  And with no faults scheduled,
+//! the entire fault layer must be invisible: a run with an empty plan is
+//! bit-identical to a run that never heard of fault plans.
+
+use wg_nfsproto::{NfsCall, NfsCallBody, WriteArgs, Xid};
+use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, WritePolicy};
+use wg_simcore::{Duration, FaultKind, FaultPlan, SimTime};
+use wg_workload::sfs::{SfsConfig, SfsSystem};
+use wg_workload::{ExperimentConfig, FileCopySystem, NetworkKind};
+
+fn copy_config(policy: WritePolicy) -> ExperimentConfig {
+    ExperimentConfig::new(NetworkKind::Fddi, 8, policy).with_file_size(2 * 1024 * 1024)
+}
+
+/// A crash scheduled mid-copy: early enough that every policy still has the
+/// bulk of the file in flight.
+fn mid_copy_crash() -> FaultPlan {
+    FaultPlan::new().at(
+        SimTime::ZERO + Duration::from_millis(300),
+        FaultKind::ServerCrash,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Defaults-off: the fault layer is invisible until a plan schedules something.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn empty_fault_plan_is_bit_identical_to_no_plan_at_all() {
+    // File copy: the same experiment with and without an (empty) fault plan
+    // must produce the same result, field for field.
+    let mut plain = FileCopySystem::new(copy_config(WritePolicy::Gathering));
+    let mut planned =
+        FileCopySystem::new(copy_config(WritePolicy::Gathering).with_fault_plan(FaultPlan::new()));
+    let a = plain.run();
+    let b = planned.run();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_eq!(plain.events_processed(), planned.events_processed());
+    assert_eq!(plain.scheduled_total(), planned.scheduled_total());
+
+    // SFS: an empty plan plus retry knobs leaves the retry machinery fully
+    // disarmed — no timers, no clones, the identical event stream.
+    let mut config = SfsConfig::figure2(500.0, WritePolicy::Gathering);
+    config.duration = Duration::from_secs(4);
+    let mut plain = SfsSystem::new(config.clone());
+    let mut planned = SfsSystem::new(
+        config
+            .with_fault_plan(FaultPlan::new())
+            .with_loss(0.0)
+            .with_retry(Duration::from_millis(100), 3),
+    );
+    let a = plain.run();
+    let b = planned.run();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    assert_eq!(plain.counts(), planned.counts());
+    assert_eq!(plain.events_processed(), planned.events_processed());
+    assert_eq!(planned.retransmissions(), 0);
+    assert_eq!(planned.gave_up(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// The recovery oracle: crash mid-copy under every safe policy.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn safe_policies_lose_no_acknowledged_write_across_a_crash() {
+    for (label, presto, policy) in [
+        ("standard", false, WritePolicy::Standard),
+        ("gathering", false, WritePolicy::Gathering),
+        ("presto", true, WritePolicy::Gathering),
+    ] {
+        let mut system = FileCopySystem::new(
+            copy_config(policy)
+                .with_presto(presto)
+                .with_fault_plan(mid_copy_crash()),
+        );
+        let result = system.run();
+        let stats = system.server().stats();
+        assert_eq!(stats.crashes, 1, "{label}: the crash did not fire");
+        // Server-side oracle: nothing the server acknowledged was volatile
+        // at the moment it died.
+        assert_eq!(
+            stats.lost_acked_bytes, 0,
+            "{label}: acknowledged write data died with the crash"
+        );
+        // Client-side oracle: every byte the client saw acknowledged is
+        // readable from the recovered file system with the right contents.
+        assert_eq!(
+            system.lost_acked_bytes_on_disk(),
+            0,
+            "{label}: acknowledged data missing from the recovered disk"
+        );
+        // The copy survived: outstanding calls timed out during the outage,
+        // retransmitted through the recovery window and drained.
+        assert!(result.completed, "{label}: the copy never finished");
+        assert_eq!(result.gave_up, 0, "{label}: a write was abandoned");
+        assert!(
+            result.retransmissions > 0,
+            "{label}: the crash was survived without a single retransmit?"
+        );
+        assert_eq!(
+            system.server().dupcache_evicted_in_progress(),
+            0,
+            "{label}: §6.9 hazard across reboot"
+        );
+    }
+}
+
+#[test]
+fn dangerous_mode_losses_are_counted_not_hidden() {
+    let mut system = FileCopySystem::new(
+        copy_config(WritePolicy::DangerousAsync).with_fault_plan(mid_copy_crash()),
+    );
+    let result = system.run();
+    let stats = system.server().stats();
+    assert_eq!(stats.crashes, 1);
+    // The client believes the copy succeeded — that is exactly the danger.
+    assert!(result.completed);
+    // Both oracles agree that acknowledged data is gone, and say how much.
+    assert!(
+        stats.lost_acked_bytes > 0,
+        "dangerous mode crashed without losing anything acknowledged?"
+    );
+    assert!(system.lost_acked_bytes_on_disk() > 0);
+    assert!(stats.discarded_dirty_bytes >= stats.lost_acked_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Battery failure: Prestoserve degrades to write-through, then recovers.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn battery_failure_degrades_but_loses_nothing() {
+    let plan = FaultPlan::new().at(
+        SimTime::ZERO + Duration::from_millis(200),
+        FaultKind::BatteryFailure {
+            repair_after: Duration::from_millis(300),
+        },
+    );
+    let mut system = FileCopySystem::new(
+        copy_config(WritePolicy::Gathering)
+            .with_presto(true)
+            .with_fault_plan(plan),
+    );
+    let result = system.run();
+    let stats = system.server().stats();
+    assert_eq!(stats.battery_failures, 1);
+    assert!(result.completed);
+    assert_eq!(result.gave_up, 0);
+    // Write-through mode honours the stable-storage rule by construction;
+    // the drain on failure keeps everything previously acknowledged safe.
+    assert_eq!(stats.lost_acked_bytes, 0);
+    assert_eq!(system.lost_acked_bytes_on_disk(), 0);
+
+    // A healthy-battery run of the same copy is faster: the failure window
+    // really did degrade service.
+    let mut healthy = FileCopySystem::new(copy_config(WritePolicy::Gathering).with_presto(true));
+    let baseline = healthy.run();
+    assert!(
+        result.elapsed_secs > baseline.elapsed_secs,
+        "write-through window did not slow the copy ({} vs {})",
+        result.elapsed_secs,
+        baseline.elapsed_secs
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Disk degradation: bounded retries, no lost work.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn transient_disk_faults_retry_and_complete() {
+    let plan = FaultPlan::new().at(
+        SimTime::ZERO + Duration::from_millis(200),
+        FaultKind::DiskDegrade {
+            duration: Duration::from_millis(400),
+            stall: Duration::from_millis(15),
+            retries: 2,
+        },
+    );
+    let mut system = FileCopySystem::new(copy_config(WritePolicy::Gathering).with_fault_plan(plan));
+    let result = system.run();
+    let stats = system.server().stats();
+    assert!(result.completed);
+    assert!(
+        stats.disk_retries > 0,
+        "the degradation window saw no transfers"
+    );
+    assert_eq!(stats.lost_acked_bytes, 0);
+    assert_eq!(system.lost_acked_bytes_on_disk(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// The SFS workload under a chaos schedule: every call is accounted for.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sfs_chaos_schedule_accounts_for_every_call() {
+    let secs = 8u64;
+    let horizon = Duration::from_secs(secs);
+    // A seeded Poisson crash process plus a loss burst: replayable chaos.
+    let plan = FaultPlan::seeded_crashes(0xC4A5, Duration::from_secs(3), horizon).at(
+        SimTime::ZERO + Duration::from_secs(5),
+        FaultKind::LossBurst {
+            duration: Duration::from_millis(500),
+            probability: 0.5,
+            segment: None,
+        },
+    );
+    assert!(!plan.is_empty());
+    let mut config = SfsConfig::figure2(400.0, WritePolicy::Gathering)
+        .with_fault_plan(plan.clone())
+        .with_loss(0.02);
+    config.duration = horizon;
+    let mut system = SfsSystem::new(config);
+    let point = system.run();
+    let stats = system.server().stats();
+    let (issued, completed) = system.counts();
+    assert!(stats.crashes >= 1, "the seeded schedule never crashed");
+    assert!(system.retransmissions() > 0);
+    assert_eq!(stats.lost_acked_bytes, 0);
+    assert_eq!(system.server().dupcache_evicted_in_progress(), 0);
+    // Nothing vanishes: every issued call either completed or was counted
+    // as given up — never silently dropped.
+    assert_eq!(issued, completed + system.gave_up());
+    assert!(point.achieved_ops_per_sec > 0.0);
+
+    // The same seed replays to the same run, byte for byte.
+    let mut config = SfsConfig::figure2(400.0, WritePolicy::Gathering)
+        .with_fault_plan(plan)
+        .with_loss(0.02);
+    config.duration = horizon;
+    let mut replay = SfsSystem::new(config);
+    let again = replay.run();
+    assert_eq!(format!("{point:?}"), format!("{again:?}"));
+    assert_eq!(replay.counts(), (issued, completed));
+    assert_eq!(replay.gave_up(), system.gave_up());
+
+    // The Prestoserve figure: a battery failure mid-run, still no loss.
+    let mut config =
+        SfsConfig::figure3(400.0, WritePolicy::Gathering).with_fault_plan(FaultPlan::new().at(
+            SimTime::ZERO + Duration::from_secs(2),
+            FaultKind::BatteryFailure {
+                repair_after: Duration::from_secs(2),
+            },
+        ));
+    config.duration = Duration::from_secs(6);
+    let mut presto = SfsSystem::new(config);
+    presto.run();
+    let stats = presto.server().stats();
+    assert_eq!(stats.battery_failures, 1);
+    assert_eq!(stats.lost_acked_bytes, 0);
+    let (issued, completed) = presto.counts();
+    assert_eq!(issued, completed + presto.gave_up());
+}
+
+// ---------------------------------------------------------------------------
+// Give-up is a counted failure, never a silent success.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn exhausted_retransmits_are_counted_never_silent() {
+    // A clean partition (probability 1.0) that outlasts the client's entire
+    // retransmit budget: 50 ms, then 100, 200, 400 — all inside the 5 s
+    // outage, so the affected biods must give up.
+    let plan = FaultPlan::new().at(
+        SimTime::ZERO + Duration::from_millis(100),
+        FaultKind::LossBurst {
+            duration: Duration::from_secs(5),
+            probability: 1.0,
+            segment: None,
+        },
+    );
+    let mut system = FileCopySystem::new(
+        copy_config(WritePolicy::Gathering)
+            .with_fault_plan(plan)
+            .with_client_retry(Duration::from_millis(50), 3),
+    );
+    let result = system.run();
+    assert!(
+        result.gave_up > 0,
+        "a total partition longer than the whole backoff budget must force give-up"
+    );
+    // The contract: gave_up > 0 can never coexist with completed == true.
+    assert!(
+        !result.completed,
+        "a run that abandoned writes reported success"
+    );
+    assert!(result.retransmissions > 0);
+}
+
+// ---------------------------------------------------------------------------
+// The §6.9 hazard, rebooted: a pre-crash retransmission meets a fresh
+// duplicate request cache.
+// ---------------------------------------------------------------------------
+
+/// Drive a bare server to completion, collecting replies.
+fn drive(server: &mut NfsServer, inputs: Vec<(SimTime, ServerInput)>) -> Vec<SimTime> {
+    let mut queue = wg_simcore::EventQueue::new();
+    for (t, input) in inputs {
+        queue.schedule_at(t, input);
+    }
+    let mut replies = Vec::new();
+    while let Some((t, input)) = queue.pop() {
+        for action in server.handle(t, input) {
+            match action {
+                ServerAction::Wakeup { at, token } => {
+                    queue.schedule_at(at, ServerInput::Wakeup { token });
+                }
+                ServerAction::Reply { at, reply, .. } => {
+                    assert!(reply.body.is_ok());
+                    replies.push(at);
+                }
+            }
+        }
+    }
+    replies
+}
+
+#[test]
+fn retransmission_of_a_pre_crash_gathered_write_re_executes_safely() {
+    // The zero-byte-write family of crash bugs: a write is gathered (in the
+    // dupcache as InProgress, data staged in volatile memory), the server
+    // dies before the flush, and the client's retransmission arrives after
+    // reboot.  The fresh dupcache must treat it as new work and re-execute
+    // it fully — replaying a stale "in progress" answer, or finding a stale
+    // completed entry, would acknowledge a write whose data no longer
+    // exists anywhere.
+    const FILL: u8 = 0xAB;
+    const LEN: u32 = 8192;
+    let mut cfg = ServerConfig::standard();
+    cfg.policy = WritePolicy::Gathering;
+    let mut server = NfsServer::new(cfg);
+    let root = server.fs().root();
+    let ino = server.fs_mut().create(root, "target", 0o644, 0).unwrap();
+    let fh = server.handle_for_ino(ino).unwrap();
+    let call = NfsCall::new(
+        Xid(42),
+        NfsCallBody::Write(WriteArgs::new(fh, 0, vec![FILL; LEN as usize])),
+    );
+
+    // Deliver the write; the gathering window opens (a Wakeup is pending)
+    // but the server crashes before the flush timer fires — the reply was
+    // never sent, the staged data and the dupcache entry are gone.
+    let wire = call.wire_size();
+    let mut stale_wakeups = Vec::new();
+    for action in server.handle(
+        SimTime::ZERO,
+        ServerInput::Datagram {
+            client: 1,
+            call: call.clone(),
+            wire_size: wire,
+            fragments: 6,
+        },
+    ) {
+        match action {
+            ServerAction::Wakeup { at, token } => stale_wakeups.push((at, token)),
+            ServerAction::Reply { .. } => panic!("gathered write replied before its flush"),
+        }
+    }
+    assert!(!stale_wakeups.is_empty(), "gathering never opened a window");
+    let recovered = server.crash(SimTime::from_millis(2));
+    assert!(recovered > SimTime::from_millis(2));
+    assert_eq!(server.stats().crashes, 1);
+    // Nothing was acknowledged, so nothing acknowledged was lost.
+    assert_eq!(server.stats().lost_acked_bytes, 0);
+
+    // The pre-crash flush timer fires into the rebooted server: its token
+    // belongs to a dead incarnation and must be ignored.
+    let mut inputs: Vec<(SimTime, ServerInput)> = stale_wakeups
+        .into_iter()
+        .map(|(at, token)| (at.max(recovered), ServerInput::Wakeup { token }))
+        .collect();
+    // The client's retransmission of the identical call arrives after
+    // recovery.  The dupcache is fresh — this must re-execute, not replay.
+    let retransmit = call.clone();
+    let wire = retransmit.wire_size();
+    inputs.push((
+        recovered + Duration::from_millis(1),
+        ServerInput::Datagram {
+            client: 1,
+            call: retransmit,
+            wire_size: wire,
+            fragments: 6,
+        },
+    ));
+    let replies = drive(&mut server, inputs);
+    assert_eq!(
+        replies.len(),
+        1,
+        "the re-executed write was not acknowledged"
+    );
+    assert_eq!(server.uncommitted_bytes(), 0);
+    assert_eq!(server.dupcache_evicted_in_progress(), 0);
+
+    // The on-disk oracle: the acknowledged range holds exactly the written
+    // pattern — not zeros, not a torn page.
+    let mut fs = server.fs().clone();
+    let data = fs.read(ino, 0, LEN as u64).expect("file readable");
+    let bytes = data.to_vec();
+    assert_eq!(bytes.len(), LEN as usize);
+    assert!(
+        bytes.iter().all(|&b| b == FILL),
+        "re-executed write left wrong bytes on disk"
+    );
+}
