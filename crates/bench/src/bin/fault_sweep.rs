@@ -32,6 +32,14 @@ use wg_workload::results::json;
 use wg_workload::sfs::SfsSystem;
 use wg_workload::{ExperimentConfig, FileCopySystem, NetworkKind, SfsConfig};
 
+/// CPUs the host actually offers the process (1 when unknown) — stamped
+/// into every recorded cell so wall-clock numbers can be read in context.
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// One SFS chaos cell: the workload under a crash schedule and a steady
 /// loss rate, with the oracle and health counters checked.
 #[allow(clippy::too_many_arguments)]
@@ -91,6 +99,11 @@ fn run_sfs_cell(
         materializations, 0,
         "{label}: the zero-copy datapath materialised a payload"
     );
+    assert_eq!(
+        system.clamped_past(),
+        0,
+        "{label}: an event was scheduled into the past and silently clamped"
+    );
     // With the fault layer armed, the client-side retry machinery drives
     // every issued call to a counted outcome.  (Unarmed cells legitimately
     // end with calls still queued at the cutoff.)
@@ -143,6 +156,8 @@ fn run_sfs_cell(
         ("gave_up", gave_up.to_string()),
         ("evicted_in_progress", evicted.to_string()),
         ("materializations", materializations.to_string()),
+        ("clamped_past", system.clamped_past().to_string()),
+        ("host_parallelism", host_parallelism().to_string()),
     ])
 }
 
@@ -161,6 +176,11 @@ fn run_copy_cell(label: &str, policy: WritePolicy, presto: bool, file_mb: u64) -
     );
     let result = system.run();
     let stats = system.server().stats();
+    assert_eq!(
+        system.clamped_past(),
+        0,
+        "{label}: an event was scheduled into the past and silently clamped"
+    );
     let safe = policy != WritePolicy::DangerousAsync;
     if safe {
         assert_eq!(
@@ -208,6 +228,8 @@ fn run_copy_cell(label: &str, policy: WritePolicy, presto: bool, file_mb: u64) -
             "evicted_in_progress",
             system.server().dupcache_evicted_in_progress().to_string(),
         ),
+        ("clamped_past", system.clamped_past().to_string()),
+        ("host_parallelism", host_parallelism().to_string()),
     ])
 }
 

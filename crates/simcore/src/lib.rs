@@ -29,6 +29,7 @@
 
 pub mod cpu;
 pub mod fault;
+pub mod parallel;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -37,6 +38,7 @@ pub mod trace;
 
 pub use cpu::{Cpu, MultiCpu};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use parallel::{BoundCell, Key, KeyedQueue, Mailbox, Monitor, OpWindow};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Counter, LatencyStat, Utilization};

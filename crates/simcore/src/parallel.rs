@@ -1,0 +1,621 @@
+//! Primitives for conservative parallel discrete-event simulation.
+//!
+//! One topology is executed by N cooperating event loops — *partitions* —
+//! instead of one serial [`crate::EventQueue`].  The drive loops in
+//! `wg-workload` split a run into one partition per client LAN segment (the
+//! *spokes*) plus one for the server/disk island (the *hub*), and synchronise
+//! them with conservative lookahead: a partition only executes an event when
+//! every neighbour has promised, via a published [`Key`] bound, that it will
+//! never send anything that sorts earlier.  Idle partitions publish
+//! [`Key::MAX`] — the null-message-style horizon advance that keeps an idle
+//! segment from stalling the others.
+//!
+//! # Deterministic cross-partition ordering
+//!
+//! Bit-identity with the serial loop is the whole contract, so the execution
+//! order cannot depend on thread scheduling.  Every event and every
+//! cross-partition message carries a [`Key`] and all partitions process work
+//! in global `Key` order.  A key is `(time, b1, b2, src_partition, seq)`:
+//!
+//! * `time` — when the event fires;
+//! * `b1` — when its *parent* (the event whose handler scheduled it) fired;
+//! * `b2` — when its grandparent fired;
+//! * `src` — the partition that minted the key (hub ranks last);
+//! * `seq` — the minting partition's monotone counter.
+//!
+//! The serial `EventQueue` breaks time ties by global insertion order, and
+//! insertion order is exactly "parent pop order" — which pops are themselves
+//! time-ordered.  Carrying two generations of parent pop times therefore
+//! reproduces the serial tie-break for every single and double tie without
+//! any global counter; only a *triple* tie (same `time`, `b1` and `b2` from
+//! different sources — a measure-zero coincidence of independent arrival
+//! processes) falls through to the `src` rank.  The parity suites in
+//! `wg-workload` pin that the shipped configurations replay the serial runs
+//! bit-for-bit.
+//!
+//! # Horizon protocol
+//!
+//! Each partition publishes a [`BoundCell`]: a `Key` strictly below every
+//! message it may still send.  A partition pops its next event only while its
+//! key is at or below all neighbour bounds ([`KeyedQueue::pop_below`]) — the
+//! bound itself is already safe because future sends are promised *strictly*
+//! greater; anything above the horizon stays queued until the bound moves.
+//! Bounds are monotone, so the protocol never deadlocks as long as every
+//! client→server path has a positive lookahead (datagram serialisation plus
+//! propagation — exposed by `wg_net::MediumParams::lookahead`) and the hub
+//! re-publishes after each batch.  For inbound-triggered sends (a reply that
+//! makes a client issue its next write) the hub tracks an [`OpWindow`] per
+//! spoke: the ops it has mailed but the spoke has not yet applied, whose
+//! times plus lookahead lower-bound anything those ops can provoke.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::time::{Duration, SimTime};
+
+/// Totally ordered identity of one unit of simulated work (an event or a
+/// cross-partition message).  See the module docs for the field semantics.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Key {
+    /// Instant the event fires.
+    pub time: SimTime,
+    /// Instant the scheduling (parent) event fired.
+    pub b1: SimTime,
+    /// Instant the grandparent event fired.
+    pub b2: SimTime,
+    /// Minting partition (spokes `0..n`, hub `n` — the hub ranks last).
+    pub src: u32,
+    /// Monotone per-partition mint counter (starts at 1).
+    pub seq: u64,
+}
+
+impl Key {
+    /// Sorts before every real key.
+    pub const MIN: Key = Key {
+        time: SimTime::ZERO,
+        b1: SimTime::ZERO,
+        b2: SimTime::ZERO,
+        src: 0,
+        seq: 0,
+    };
+
+    /// Sorts after every real key; the published bound of a partition that
+    /// can never send again.
+    pub const MAX: Key = Key {
+        time: SimTime::MAX,
+        b1: SimTime::MAX,
+        b2: SimTime::MAX,
+        src: u32::MAX,
+        seq: u64::MAX,
+    };
+
+    /// Key of an event scheduled at build time (no parent).
+    pub fn initial(at: SimTime, src: u32, seq: u64) -> Key {
+        Key {
+            time: at,
+            b1: SimTime::ZERO,
+            b2: SimTime::ZERO,
+            src,
+            seq,
+        }
+    }
+
+    /// Key of an event scheduled at `at` from the handler of `self`.
+    pub fn child(&self, at: SimTime, src: u32, seq: u64) -> Key {
+        Key {
+            time: at,
+            b1: self.time,
+            b2: self.b1,
+            src,
+            seq,
+        }
+    }
+
+    /// Key of an operation executed *inline* by the handler of `self` but
+    /// shipped to another partition (a reply transmission, a loss-window
+    /// injection).  It shares the generating event's position, so the
+    /// receiver interleaves it with its own events exactly where the serial
+    /// loop ran it.
+    pub fn op(&self, src: u32, seq: u64) -> Key {
+        Key {
+            time: self.time,
+            b1: self.b1,
+            b2: self.b2,
+            src,
+            seq,
+        }
+    }
+
+    /// The largest key with `time <= t`: a published bound of this form
+    /// promises "nothing I ever send will fire at or before `t`".
+    pub fn time_bound(t: SimTime) -> Key {
+        Key {
+            time: t,
+            b1: SimTime::MAX,
+            b2: SimTime::MAX,
+            src: u32::MAX,
+            seq: u64::MAX,
+        }
+    }
+
+    /// The bound the hub derives from `self` being its next possible unit of
+    /// work: every op the hub may still emit shares a processed event's
+    /// `(time, b1, b2)` and carries the hub's rank, so anything it sends
+    /// sorts strictly after this.
+    pub fn lift(&self, hub_src: u32) -> Key {
+        Key {
+            time: self.time,
+            b1: self.b1,
+            b2: self.b2,
+            src: hub_src,
+            seq: 0,
+        }
+    }
+}
+
+struct KEntry<E> {
+    key: Key,
+    event: E,
+}
+
+impl<E> PartialEq for KEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for KEntry<E> {}
+impl<E> PartialOrd for KEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for KEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap inverted: smallest key pops first.
+        other.key.cmp(&self.key)
+    }
+}
+
+/// One partition's future-event list, ordered by [`Key`].
+pub struct KeyedQueue<E> {
+    heap: BinaryHeap<KEntry<E>>,
+    now: Key,
+    scheduled_total: u64,
+    clamped_past: u64,
+}
+
+impl<E> Default for KeyedQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> KeyedQueue<E> {
+    /// An empty queue with the clock at [`Key::MIN`].
+    pub fn new() -> Self {
+        KeyedQueue {
+            heap: BinaryHeap::new(),
+            now: Key::MIN,
+            scheduled_total: 0,
+            clamped_past: 0,
+        }
+    }
+
+    /// Key of the most recently popped event.
+    pub fn now(&self) -> Key {
+        self.now
+    }
+
+    /// Schedule `event` at `key`.  Scheduling below the partition clock is a
+    /// caller logic error, counted in [`KeyedQueue::clamped_past`] (and a
+    /// debug assertion) exactly like the serial queue.
+    pub fn schedule(&mut self, key: Key, event: E) {
+        debug_assert!(
+            key.time >= self.now.time,
+            "scheduling into the past: {:?} < {:?}",
+            key.time,
+            self.now.time
+        );
+        if key.time < self.now.time {
+            self.clamped_past += 1;
+        }
+        self.scheduled_total += 1;
+        self.heap.push(KEntry { key, event });
+    }
+
+    /// Pop the earliest event if its key is at or below `limit`.  Published
+    /// bounds promise *strictly greater* future sends, so an event exactly at
+    /// the horizon is already safe; everything above it stays queued — that
+    /// is the conservative side of the boundary.
+    pub fn pop_below(&mut self, limit: &Key) -> Option<(Key, E)> {
+        if self.heap.peek()?.key <= *limit {
+            let entry = self.heap.pop()?;
+            self.now = entry.key;
+            Some((entry.key, entry.event))
+        } else {
+            None
+        }
+    }
+
+    /// Pop unconditionally (used for the final drain once the run is done and
+    /// no partition can send anything anymore).
+    pub fn pop_any(&mut self) -> Option<(Key, E)> {
+        self.pop_below(&Key::MAX)
+    }
+
+    /// Key of the earliest queued event.
+    pub fn peek_key(&self) -> Option<Key> {
+        self.heap.peek().map(|e| e.key)
+    }
+
+    /// Iterate over the queued events in no particular order (bound scans).
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &E)> {
+        self.heap.iter().map(|e| (&e.key, &e.event))
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Events scheduled below the partition clock (must stay zero).
+    pub fn clamped_past(&self) -> u64 {
+        self.clamped_past
+    }
+}
+
+/// A keyed cross-partition mailbox (single producer, single consumer).
+///
+/// The producer posts messages in its own key order; the consumer drains them
+/// into its [`KeyedQueue`], which restores the global order against its local
+/// events.
+pub struct Mailbox<M> {
+    queue: Mutex<Vec<(Key, M)>>,
+}
+
+impl<M> Default for Mailbox<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Mailbox<M> {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        Mailbox {
+            queue: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Post one message.
+    pub fn post(&self, key: Key, message: M) {
+        self.queue
+            .lock()
+            .expect("mailbox poisoned")
+            .push((key, message));
+    }
+
+    /// Move every pending message into `into`, preserving post order.
+    pub fn drain_into(&self, into: &mut Vec<(Key, M)>) {
+        let mut q = self.queue.lock().expect("mailbox poisoned");
+        into.append(&mut q);
+    }
+}
+
+/// A partition's published send bound: a [`Key`] strictly below everything it
+/// may still send.  Monotone non-decreasing over the run.
+pub struct BoundCell {
+    bound: Mutex<Key>,
+}
+
+impl Default for BoundCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BoundCell {
+    /// A fresh cell at [`Key::MIN`] (no promise yet).
+    pub fn new() -> Self {
+        BoundCell {
+            bound: Mutex::new(Key::MIN),
+        }
+    }
+
+    /// Publish a new bound.  Bounds never move backwards — the neighbours may
+    /// already have advanced on the strength of the previous promise — so an
+    /// older key is a no-op, not a regression.
+    pub fn publish(&self, key: Key) {
+        let mut bound = self.bound.lock().expect("bound poisoned");
+        if key > *bound {
+            *bound = key;
+        }
+    }
+
+    /// The currently promised bound.
+    pub fn read(&self) -> Key {
+        *self.bound.lock().expect("bound poisoned")
+    }
+
+    /// Store the exact computed bound, even if it sorts below the previous
+    /// one.  Only sound when the reader combines this cell with an
+    /// [`OpWindow`]: a regression can only happen because an op materialised
+    /// new local work, and until that op's applied count moves the window
+    /// still caps the reader's effective horizon below anything the new work
+    /// can send — so the extra promise being withdrawn was never usable.
+    /// Partitions without window tracking must use [`BoundCell::publish`].
+    pub fn store(&self, key: Key) {
+        *self.bound.lock().expect("bound poisoned") = key;
+    }
+}
+
+/// Wakeup fan-out for parked partitions.
+///
+/// Publishing a bound or posting a message bumps the epoch and wakes every
+/// waiter; a partition that finds no admissible work re-checks under the
+/// epoch so a wakeup between "look" and "sleep" is never lost.
+pub struct Monitor {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Monitor {
+    /// A fresh monitor.
+    pub fn new() -> Self {
+        Monitor {
+            epoch: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The current epoch; pass it to [`Monitor::wait_if`] after finding no
+    /// admissible work.
+    pub fn epoch(&self) -> u64 {
+        *self.epoch.lock().expect("monitor poisoned")
+    }
+
+    /// Advance the epoch and wake all waiters (call after publishing a bound
+    /// or posting messages).
+    pub fn bump(&self) {
+        *self.epoch.lock().expect("monitor poisoned") += 1;
+        self.cv.notify_all();
+    }
+
+    /// Block until the epoch moves past `seen`.  Returns immediately if it
+    /// already has.
+    pub fn wait_if(&self, seen: u64) {
+        let mut epoch = self.epoch.lock().expect("monitor poisoned");
+        while *epoch == seen {
+            epoch = self.cv.wait(epoch).expect("monitor poisoned");
+        }
+    }
+}
+
+/// Hub-side tracking of ops mailed to one spoke but not yet applied there.
+///
+/// An op the spoke has not executed can still provoke a send (a reply makes a
+/// writer client issue its next write), so until it is applied the hub's
+/// horizon may not pass `op time + lookahead`.  The spoke publishes a count
+/// of applied ops; ops are applied in post order, so the count prunes this
+/// window exactly.
+pub struct OpWindow {
+    sent: VecDeque<SimTime>,
+    applied: Arc<AtomicU64>,
+    pruned: u64,
+}
+
+impl OpWindow {
+    /// A fresh window; `applied` is the counter the spoke bumps after each op.
+    pub fn new(applied: Arc<AtomicU64>) -> Self {
+        OpWindow {
+            sent: VecDeque::new(),
+            applied,
+            pruned: 0,
+        }
+    }
+
+    /// Record an op posted at key time `t` (call in post order).
+    pub fn note_sent(&mut self, t: SimTime) {
+        self.sent.push_back(t);
+    }
+
+    /// The bound contribution of this window: strictly below anything the
+    /// pending ops can provoke, or [`Key::MAX`] when all ops were applied.
+    pub fn bound(&mut self, lookahead: Duration) -> Key {
+        let applied = self.applied.load(Ordering::Acquire);
+        while self.pruned < applied {
+            self.sent
+                .pop_front()
+                .expect("spoke applied more ops than were sent");
+            self.pruned += 1;
+        }
+        match self.sent.front() {
+            Some(&t) => Key::time_bound(t + lookahead),
+            None => Key::MAX,
+        }
+    }
+
+    /// `true` when every mailed op has been applied.
+    pub fn is_drained(&mut self) -> bool {
+        self.bound(Duration::ZERO) == Key::MAX
+    }
+}
+
+/// A monotone counter of applied ops, shared spoke→hub (see [`OpWindow`]).
+pub fn applied_counter() -> Arc<AtomicU64> {
+    Arc::new(AtomicU64::new(0))
+}
+
+/// Bump an applied-ops counter (release ordering pairs with
+/// [`OpWindow::bound`]'s acquire load).
+pub fn bump_applied(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn child_and_op_keys_sort_like_the_serial_insertion_order() {
+        // Parent pops at 5ms (itself scheduled at build time by partition 0).
+        let parent = Key::initial(t(5), 0, 1);
+        // Its handler runs an inline op and schedules two children at 9ms.
+        let op = parent.op(2, 7);
+        let c1 = parent.child(t(9), 0, 2);
+        let c2 = parent.child(t(9), 0, 3);
+        // The op shares the parent's position; children fire later.
+        assert!(op < c1 && c1 < c2);
+        // A 9ms event whose parent popped earlier (at 3ms) beats both
+        // children — serial scheduled it first.
+        let rival = Key::initial(t(3), 1, 1).child(t(9), 1, 1);
+        assert!(rival < c1);
+        // Same time and parent time: the grandparent decides.
+        let deep_a = Key::initial(t(2), 0, 1).child(t(5), 0, 4).child(t(9), 0, 5);
+        let deep_b = Key::initial(t(4), 1, 1).child(t(5), 1, 2).child(t(9), 1, 3);
+        assert!(deep_a < deep_b);
+    }
+
+    #[test]
+    fn horizon_boundary_event_is_not_popped() {
+        let mut q = KeyedQueue::new();
+        let key = Key::initial(t(10), 0, 1);
+        q.schedule(key, "boundary");
+        // "Nothing at or before 9ms" holds an event at 10ms back.
+        assert!(q.pop_below(&Key::time_bound(t(9))).is_none());
+        // A smaller key at the same instant also holds it: the neighbour may
+        // still send at 10ms with a larger lineage.
+        assert!(q.pop_below(&Key::initial(t(10), 0, 0)).is_none());
+        // A bound exactly at the event's key releases it — the promise is
+        // that future sends are *strictly* greater than the bound.
+        assert_eq!(q.pop_below(&key), Some((key, "boundary")));
+        assert_eq!(q.now(), key);
+    }
+
+    #[test]
+    fn pop_below_merges_mailbox_and_local_keys_deterministically() {
+        let mut q = KeyedQueue::new();
+        let local = Key::initial(t(7), 0, 1);
+        let inbound = Key::initial(t(7), 2, 1); // hub-minted, ranks after
+        q.schedule(inbound, "inbound");
+        q.schedule(local, "local");
+        assert_eq!(q.pop_below(&Key::MAX).unwrap().1, "local");
+        assert_eq!(q.pop_below(&Key::MAX).unwrap().1, "inbound");
+    }
+
+    #[test]
+    fn idle_partition_bound_is_max_and_never_stalls() {
+        // An idle spoke promises Key::MAX; a hub gated on min(bounds) with
+        // one idle and one active spoke only waits for the active one.
+        let idle = BoundCell::new();
+        idle.publish(Key::MAX);
+        let active = BoundCell::new();
+        active.publish(Key::time_bound(t(3)));
+        let gate = idle.read().min(active.read());
+        let mut hub = KeyedQueue::new();
+        hub.schedule(Key::initial(t(3), 2, 1), "early");
+        hub.schedule(Key::initial(t(4), 2, 2), "beyond");
+        assert_eq!(hub.pop_below(&gate).unwrap().1, "early");
+        assert!(hub.pop_below(&gate).is_none());
+        // The active spoke drains: everything is admissible.
+        active.publish(Key::MAX);
+        assert_eq!(
+            hub.pop_below(&idle.read().min(active.read())).unwrap().1,
+            "beyond"
+        );
+    }
+
+    #[test]
+    fn zero_lookahead_window_degenerates_to_lockstep_but_stays_ordered() {
+        // With zero lookahead the op-window bound sits exactly at the op
+        // time: the hub may finish everything strictly earlier, and the
+        // boundary stays conservative (nothing at the op time itself runs
+        // until the spoke applies the op).
+        let applied = applied_counter();
+        let mut win = OpWindow::new(applied.clone());
+        win.note_sent(t(6));
+        let bound = win.bound(Duration::ZERO);
+        assert_eq!(bound, Key::time_bound(t(6)));
+        let mut hub = KeyedQueue::new();
+        hub.schedule(Key::initial(t(7), 1, 1), "after-op");
+        // Zero lookahead promises nothing beyond the op instant: the very
+        // next millisecond is off limits until the spoke applies the op.
+        assert!(hub.pop_below(&bound).is_none());
+        bump_applied(&applied);
+        assert_eq!(win.bound(Duration::ZERO), Key::MAX);
+        assert!(win.is_drained());
+        assert_eq!(
+            hub.pop_below(&win.bound(Duration::ZERO)).unwrap().1,
+            "after-op"
+        );
+    }
+
+    #[test]
+    fn op_window_prunes_by_applied_count_in_order() {
+        let applied = applied_counter();
+        let mut win = OpWindow::new(applied.clone());
+        win.note_sent(t(1));
+        win.note_sent(t(2));
+        let l = Duration::from_millis(10);
+        assert_eq!(win.bound(l), Key::time_bound(t(11)));
+        bump_applied(&applied);
+        assert_eq!(win.bound(l), Key::time_bound(t(12)));
+        bump_applied(&applied);
+        assert_eq!(win.bound(l), Key::MAX);
+    }
+
+    #[test]
+    fn bounds_are_monotone_and_monitor_wakes_waiters() {
+        let cell = BoundCell::new();
+        cell.publish(Key::time_bound(t(5)));
+        // Re-publishing an older bound is a no-op, not a regression.
+        cell.publish(Key::time_bound(t(3)));
+        assert_eq!(cell.read(), Key::time_bound(t(5)));
+        let monitor = Arc::new(Monitor::new());
+        let seen = monitor.epoch();
+        let m2 = monitor.clone();
+        let h = std::thread::spawn(move || m2.wait_if(seen));
+        monitor.bump();
+        h.join().unwrap();
+        assert!(monitor.epoch() > seen);
+    }
+
+    #[test]
+    fn clamped_past_is_counted_on_keyed_queues() {
+        let mut q = KeyedQueue::new();
+        q.schedule(Key::initial(t(5), 0, 1), ());
+        q.pop_any();
+        assert_eq!(q.clamped_past(), 0);
+        let stale = Key::initial(t(2), 0, 2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.schedule(stale, ());
+        }));
+        if cfg!(debug_assertions) {
+            assert!(result.is_err());
+        } else {
+            assert!(result.is_ok());
+            assert_eq!(q.clamped_past(), 1);
+        }
+    }
+}

@@ -50,6 +50,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     scheduled_total: u64,
+    clamped_past: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -66,6 +67,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             scheduled_total: 0,
+            clamped_past: 0,
         }
     }
 
@@ -86,6 +88,9 @@ impl<E> EventQueue<E> {
             "scheduling into the past: {at:?} < {:?}",
             self.now
         );
+        if at < self.now {
+            self.clamped_past += 1;
+        }
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -125,6 +130,14 @@ impl<E> EventQueue<E> {
     /// Total number of events ever scheduled (for run statistics / debugging).
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// Number of events that were scheduled in the past and silently clamped
+    /// to `now`.  Always zero in a healthy model: release builds skip the
+    /// debug assertion in [`EventQueue::schedule_at`], so sweeps assert this
+    /// counter instead (the same pattern as `evicted_in_progress`).
+    pub fn clamped_past(&self) -> u64 {
+        self.clamped_past
     }
 }
 

@@ -39,6 +39,8 @@ use wg_simcore::{Duration, EventQueue, SimTime};
 use crate::results::{FileCopyResult, MultiClientResult};
 use crate::system::NetworkKind;
 
+mod par;
+
 /// Configuration of one multi-client scale-out run.
 #[derive(Clone, Debug)]
 pub struct MultiClientConfig {
@@ -74,6 +76,10 @@ pub struct MultiClientConfig {
     /// Pipelined storage-stack execution on the server (see
     /// [`wg_server::ServerConfig::io_overlap`]).
     pub io_overlap: bool,
+    /// Number of cooperating event loops the run executes on (`0` or `1`
+    /// keeps the serial loop).  Results are bit-identical either way; see
+    /// [`wg_simcore::parallel`].
+    pub sim_threads: usize,
 }
 
 /// Minimum headroom a segment's xid window keeps beyond the writes the
@@ -99,6 +105,7 @@ impl MultiClientConfig {
             cores: 1,
             per_client_lans: false,
             io_overlap: false,
+            sim_threads: 0,
         }
     }
 
@@ -153,6 +160,12 @@ impl MultiClientConfig {
     /// Enable pipelined storage-stack execution on the server.
     pub fn with_io_overlap(mut self, on: bool) -> Self {
         self.io_overlap = on;
+        self
+    }
+
+    /// Run on `n` cooperating event loops (`0` or `1` keeps the serial loop).
+    pub fn with_sim_threads(mut self, n: usize) -> Self {
+        self.sim_threads = n;
         self
     }
 
@@ -285,6 +298,18 @@ impl ClientLans {
         }
     }
 
+    /// Hand the segment media to a partitioned driver, which distributes
+    /// them over its per-segment event loops and returns them via
+    /// [`ClientLans::restore_media`] when the run finishes.
+    pub(crate) fn take_media(&mut self) -> Vec<Medium> {
+        std::mem::take(&mut self.media)
+    }
+
+    /// Put the segment media back after a partitioned run.
+    pub(crate) fn restore_media(&mut self, media: Vec<Medium>) {
+        self.media = media;
+    }
+
     /// The segment a client transmits and receives on.
     pub(crate) fn medium_mut(&mut self, client: usize) -> &mut Medium {
         let idx = if self.media.len() > 1 { client } else { 0 };
@@ -368,6 +393,10 @@ pub struct MultiClientSystem {
     queue: EventQueue<Ev>,
     started_at: SimTime,
     events_processed: u64,
+    /// Events scheduled / clamped by the partitioned executor's keyed queues
+    /// (the serial queue keeps its own counters).
+    par_scheduled_total: u64,
+    par_clamped_past: u64,
 }
 
 impl MultiClientSystem {
@@ -453,6 +482,8 @@ impl MultiClientSystem {
             queue: EventQueue::new(),
             started_at: SimTime::ZERO,
             events_processed: 0,
+            par_scheduled_total: 0,
+            par_clamped_past: 0,
             slots,
             layouts,
             server,
@@ -475,8 +506,18 @@ impl MultiClientSystem {
         }
     }
 
-    /// Run every client to completion and return the scale-out result.
+    /// Run every client to completion and return the scale-out result.  With
+    /// [`MultiClientConfig::sim_threads`] `≥ 2` the topology is partitioned
+    /// into per-segment event loops (see [`wg_simcore::parallel`]); the
+    /// result is bit-identical either way.
     pub fn run(&mut self) -> MultiClientResult {
+        if self.config.sim_threads >= 2 {
+            return par::run_partitioned(self);
+        }
+        self.run_serial()
+    }
+
+    fn run_serial(&mut self) -> MultiClientResult {
         self.events_processed = 0;
         for client in 0..self.slots.len() {
             self.queue
@@ -698,6 +739,18 @@ impl MultiClientSystem {
     /// Number of events processed by the most recent run.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Events ever scheduled, across the serial queue and any partitioned
+    /// run's keyed queues.
+    pub fn scheduled_total(&self) -> u64 {
+        self.queue.scheduled_total() + self.par_scheduled_total
+    }
+
+    /// Events scheduled into the simulated past (must stay zero; see
+    /// [`EventQueue::clamped_past`]).
+    pub fn clamped_past(&self) -> u64 {
+        self.queue.clamped_past() + self.par_clamped_past
     }
 
     /// The configuration the system was built with.

@@ -1,0 +1,644 @@
+//! Partitioned execution of one [`MultiClientSystem`] run.
+//!
+//! Same hub-and-spoke split as the SFS driver (`crate::sfs::par`): each LAN
+//! segment's writers and medium form a spoke, the server/disk island is the
+//! hub, and everything is ordered by [`Key`] lineage so the run replays the
+//! serial loop bit for bit.  Two things differ from SFS:
+//!
+//! * nothing here mutates hub state from a spoke (segment files are created
+//!   at build time), so there is no freeze/resume protocol; but
+//! * a reply *provokes* sends — a [`FileWriterClient`] issues its next write
+//!   from the reply handler — so a spoke's published bound alone cannot cover
+//!   its future traffic.  The hub therefore tracks an [`OpWindow`] per spoke
+//!   (ops mailed but not yet applied) and gates on `min(bound, window)`.
+//!   Spokes store *exact* bounds ([`BoundCell::store`]) and release a mailed
+//!   op's window entry only after storing the bound that covers the local
+//!   events the op materialised — the regression-safety contract described on
+//!   [`BoundCell::store`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use wg_client::{ClientAction, ClientInput, FileWriterClient};
+use wg_net::medium::{Direction, Medium};
+use wg_net::TransmitOutcome;
+use wg_nfsproto::{NfsCall, NfsReply};
+use wg_server::{NfsServer, ServerAction, ServerInput};
+use wg_simcore::parallel::{applied_counter, bump_applied};
+use wg_simcore::{BoundCell, Duration, Key, KeyedQueue, Mailbox, Monitor, OpWindow, SimTime};
+
+use super::{ClientSlot, MultiClientConfig, MultiClientSystem};
+use crate::results::MultiClientResult;
+
+/// Client-island → server-island messages.
+enum UpMsg {
+    Datagram {
+        client: u32,
+        call: NfsCall,
+        wire_size: usize,
+        fragments: u32,
+    },
+}
+
+/// Server-island → spoke operations, executed by the spoke at the carried
+/// key position — exactly where the serial loop ran them inline.
+enum DownOp {
+    Reply {
+        at: SimTime,
+        client: u32,
+        reply: NfsReply,
+    },
+}
+
+/// Events of one spoke's queue.
+enum SpokeEv {
+    Client(usize, ClientInput),
+    Op(DownOp),
+}
+
+/// Events of the hub's queue.
+enum HubEv {
+    Server(ServerInput),
+}
+
+/// The channel fabric of one run.
+struct Channels {
+    up: Vec<Mailbox<UpMsg>>,
+    down: Vec<Mailbox<DownOp>>,
+    spoke_bounds: Vec<BoundCell>,
+    hub_bound: BoundCell,
+    /// Per-spoke applied-ops counters feeding the hub's [`OpWindow`]s.
+    applied: Vec<Arc<AtomicU64>>,
+    monitor: Monitor,
+    done: AtomicBool,
+}
+
+/// Read-only run context shared by every partition.
+#[derive(Clone, Copy)]
+struct Cx<'a> {
+    config: &'a MultiClientConfig,
+    ch: &'a Channels,
+    lookahead: Duration,
+    hub_src: u32,
+    runaway_limit: u64,
+}
+
+fn mint(ctr: &mut u64) -> u64 {
+    *ctr += 1;
+    *ctr
+}
+
+/// The spoke a client's replies are mailed to (mirrors
+/// `ClientLans::medium_mut`).
+fn spoke_of(client: usize, n_spokes: usize) -> usize {
+    if n_spokes > 1 {
+        client
+    } else {
+        0
+    }
+}
+
+/// One client-LAN partition: its writer slots, its medium and its event loop.
+struct Spoke {
+    src: u32,
+    /// Global index of the first local slot (`clients[local] = base + local`).
+    base: usize,
+    slots: Vec<ClientSlot>,
+    medium: Medium,
+    queue: KeyedQueue<SpokeEv>,
+    ctr: u64,
+    last_bound: Key,
+    actions: Vec<ClientAction>,
+    inbound: Vec<(Key, DownOp)>,
+    /// Ops applied this round, released to the hub's window only after the
+    /// bound covering their materialised events is stored.
+    applied_pending: u64,
+    events_processed: u64,
+    finished: bool,
+}
+
+impl Spoke {
+    fn new(src: u32, base: usize, slots: Vec<ClientSlot>, medium: Medium) -> Self {
+        Spoke {
+            src,
+            base,
+            slots,
+            medium,
+            queue: KeyedQueue::new(),
+            ctr: 0,
+            last_bound: Key::MIN,
+            actions: Vec::new(),
+            inbound: Vec::new(),
+            applied_pending: 0,
+            events_processed: 0,
+            finished: false,
+        }
+    }
+
+    /// One scheduling round: drain mail, process everything admissible under
+    /// the hub's bound, store our exact bound, then release applied ops.
+    /// Returns whether any work happened.
+    fn pump(&mut self, cx: &Cx) -> bool {
+        if self.finished {
+            return false;
+        }
+        let mut progressed = false;
+        // Horizon first, then mailbox: a message the hub posted before the
+        // bound we read is guaranteed visible to this drain (both sides go
+        // through mutexes), so the gate is never ahead of an unseen message.
+        let gate = cx.ch.hub_bound.read();
+        cx.ch.down[self.src as usize].drain_into(&mut self.inbound);
+        for (key, op) in self.inbound.drain(..) {
+            progressed = true;
+            self.queue.schedule(key, SpokeEv::Op(op));
+        }
+        while let Some((key, ev)) = self.queue.pop_below(&gate) {
+            progressed = true;
+            self.handle(key, ev, cx);
+        }
+        // Once the hub declares the run drained no partition can send
+        // anything anymore: whatever is left locally runs unconditionally.
+        if cx.ch.done.load(Ordering::Acquire) {
+            cx.ch.down[self.src as usize].drain_into(&mut self.inbound);
+            for (key, op) in self.inbound.drain(..) {
+                self.queue.schedule(key, SpokeEv::Op(op));
+            }
+            while let Some((key, ev)) = self.queue.pop_any() {
+                self.handle(key, ev, cx);
+            }
+            self.finished = true;
+            self.flush_applied(cx);
+            cx.ch.monitor.bump();
+            return true;
+        }
+        let bound = self.compute_bound(cx);
+        let moved = bound != self.last_bound;
+        if moved {
+            self.last_bound = bound;
+            cx.ch.spoke_bounds[self.src as usize].store(bound);
+        }
+        // Only now, with the covering bound visible, may the hub's window
+        // forget the ops this round applied.
+        self.flush_applied(cx);
+        if moved || progressed {
+            cx.ch.monitor.bump();
+        }
+        progressed
+    }
+
+    fn flush_applied(&mut self, cx: &Cx) {
+        for _ in 0..self.applied_pending {
+            bump_applied(&cx.ch.applied[self.src as usize]);
+        }
+        self.applied_pending = 0;
+    }
+
+    fn handle(&mut self, key: Key, ev: SpokeEv, cx: &Cx) {
+        match ev {
+            SpokeEv::Client(client, input) => {
+                self.events_processed += 1;
+                self.slots[client - self.base].writer.handle_into(
+                    key.time,
+                    input,
+                    &mut self.actions,
+                );
+                for action in self.actions.drain(..) {
+                    match action {
+                        ClientAction::Send { at, call } => {
+                            let size = call.wire_size();
+                            let fragments = self.medium.params().fragments_for(size);
+                            match self.medium.transmit(at, size, Direction::ToServer) {
+                                TransmitOutcome::Delivered { arrives_at } => {
+                                    let seq = mint(&mut self.ctr);
+                                    cx.ch.up[self.src as usize].post(
+                                        key.child(arrives_at, self.src, seq),
+                                        UpMsg::Datagram {
+                                            client: client as u32,
+                                            call,
+                                            wire_size: size,
+                                            fragments,
+                                        },
+                                    );
+                                }
+                                TransmitOutcome::Lost => {}
+                            }
+                        }
+                        ClientAction::Wakeup { at, token } => {
+                            let seq = mint(&mut self.ctr);
+                            self.queue.schedule(
+                                key.child(at, self.src, seq),
+                                SpokeEv::Client(client, ClientInput::Wakeup { token }),
+                            );
+                        }
+                        ClientAction::Completed { at } => {
+                            let slot = &mut self.slots[client - self.base];
+                            let stats = slot.writer.stats();
+                            slot.finished_bytes_acked += stats.bytes_acked;
+                            slot.finished_retransmissions += stats.retransmissions;
+                            slot.finished_gave_up += stats.gave_up;
+                            if let Some((handle, size)) = slot.pending.pop_front() {
+                                slot.segment += 1;
+                                slot.writer = FileWriterClient::new(
+                                    MultiClientSystem::client_config(
+                                        cx.config,
+                                        client,
+                                        slot.segment,
+                                        size,
+                                    ),
+                                    handle,
+                                );
+                                let seq = mint(&mut self.ctr);
+                                self.queue.schedule(
+                                    key.child(at, self.src, seq),
+                                    SpokeEv::Client(client, ClientInput::Start),
+                                );
+                            } else {
+                                slot.completed_at = Some(at);
+                            }
+                        }
+                    }
+                }
+            }
+            SpokeEv::Op(DownOp::Reply { at, client, reply }) => {
+                let size = reply.wire_size();
+                if let TransmitOutcome::Delivered { arrives_at } =
+                    self.medium.transmit(at, size, Direction::ToClient)
+                {
+                    let seq = mint(&mut self.ctr);
+                    self.queue.schedule(
+                        key.child(arrives_at, self.src, seq),
+                        SpokeEv::Client(client as usize, ClientInput::Reply(reply)),
+                    );
+                }
+                self.applied_pending += 1;
+            }
+        }
+        assert!(
+            self.events_processed < cx.runaway_limit,
+            "runaway multi-client simulation"
+        );
+    }
+
+    /// A key strictly below everything this spoke may still send on its own.
+    ///
+    /// Every queued event fires at its key time or later, every descendant
+    /// fires no earlier than its ancestor, and any send a descendant makes
+    /// arrives strictly after its own time plus the medium lookahead — so
+    /// `min(time + lookahead)` over the queue covers the whole local closure.
+    /// Traffic provoked by ops still in the hub's mail is *not* covered here;
+    /// that is the hub-side [`OpWindow`]'s job.
+    fn compute_bound(&self, cx: &Cx) -> Key {
+        let mut bound = Key::MAX;
+        for (key, _) in self.queue.iter() {
+            bound = bound.min(Key::time_bound(key.time + cx.lookahead));
+        }
+        bound
+    }
+}
+
+/// The server/disk island.
+struct Hub<'a> {
+    server: &'a mut NfsServer,
+    queue: KeyedQueue<HubEv>,
+    ctr: u64,
+    last_bound: Key,
+    windows: Vec<OpWindow>,
+    actions: Vec<ServerAction>,
+    inbound: Vec<(Key, UpMsg)>,
+    events_processed: u64,
+}
+
+impl Hub<'_> {
+    /// The least key any mailed-but-unapplied op can still provoke traffic
+    /// at; [`Key::MAX`] when every window is drained.
+    fn window_gate(&mut self, lookahead: Duration) -> Key {
+        let mut gate = Key::MAX;
+        for window in &mut self.windows {
+            gate = gate.min(window.bound(lookahead));
+        }
+        gate
+    }
+
+    fn handle(&mut self, key: Key, ev: HubEv, cx: &Cx) {
+        let HubEv::Server(input) = ev;
+        self.events_processed += 1;
+        self.server.handle_into(key.time, input, &mut self.actions);
+        for action in self.actions.drain(..) {
+            match action {
+                ServerAction::Wakeup { at, token } => {
+                    let seq = mint(&mut self.ctr);
+                    self.queue.schedule(
+                        key.child(at, cx.hub_src, seq),
+                        HubEv::Server(ServerInput::Wakeup { token }),
+                    );
+                }
+                ServerAction::Reply { at, client, reply } => {
+                    let spoke = spoke_of(client as usize, cx.ch.down.len());
+                    let seq = mint(&mut self.ctr);
+                    self.windows[spoke].note_sent(key.time);
+                    cx.ch.down[spoke]
+                        .post(key.op(cx.hub_src, seq), DownOp::Reply { at, client, reply });
+                }
+            }
+        }
+        assert!(
+            self.events_processed < cx.runaway_limit,
+            "runaway multi-client simulation"
+        );
+    }
+}
+
+/// The hub's loop: gate on spoke bounds *and* op windows, drain mail,
+/// process, publish.  The window gate is re-derived after every pop because
+/// mailing a reply immediately caps how much further the batch may run —
+/// the reply can provoke a datagram that must interleave with later events.
+fn run_hub(hub: &mut Hub, cx: &Cx) {
+    loop {
+        let epoch = cx.ch.monitor.epoch();
+        let mut progressed = false;
+        // Bounds first, then mail (see `Spoke::pump` for why the order
+        // matters): any message with a key at or below the gate we compute
+        // here is already visible to the drain below.
+        let mut sgate = Key::MAX;
+        for cell in &cx.ch.spoke_bounds {
+            sgate = sgate.min(cell.read());
+        }
+        for mail in &cx.ch.up {
+            mail.drain_into(&mut hub.inbound);
+        }
+        for (key, msg) in hub.inbound.drain(..) {
+            progressed = true;
+            let UpMsg::Datagram {
+                client,
+                call,
+                wire_size,
+                fragments,
+            } = msg;
+            hub.queue.schedule(
+                key,
+                HubEv::Server(ServerInput::Datagram {
+                    client,
+                    call,
+                    wire_size,
+                    fragments,
+                }),
+            );
+        }
+        loop {
+            let limit = sgate.min(hub.window_gate(cx.lookahead));
+            let Some((key, ev)) = hub.queue.pop_below(&limit) else {
+                break;
+            };
+            progressed = true;
+            hub.handle(key, ev, cx);
+        }
+        let wgate = hub.window_gate(cx.lookahead);
+        // Every spoke's queue is empty (exact bounds at MAX), every mailed op
+        // was applied and covered, and our own queue and mail are drained:
+        // nothing is in flight anywhere — the run is done.
+        if hub.queue.is_empty() && sgate == Key::MAX && wgate == Key::MAX {
+            cx.ch.hub_bound.publish(Key::MAX);
+            cx.ch.done.store(true, Ordering::Release);
+            cx.ch.monitor.bump();
+            return;
+        }
+        let horizon = sgate
+            .min(wgate)
+            .min(hub.queue.peek_key().unwrap_or(Key::MAX));
+        let bound = horizon.lift(cx.hub_src);
+        if bound > hub.last_bound {
+            hub.last_bound = bound;
+            cx.ch.hub_bound.publish(bound);
+            cx.ch.monitor.bump();
+            progressed = true;
+        } else if progressed {
+            cx.ch.monitor.bump();
+        }
+        if !progressed {
+            cx.ch.monitor.wait_if(epoch);
+        }
+    }
+}
+
+/// One worker's loop over the spokes it owns.
+fn run_spokes(mut spokes: Vec<Spoke>, cx: &Cx) -> Vec<Spoke> {
+    loop {
+        let epoch = cx.ch.monitor.epoch();
+        let mut progressed = false;
+        let mut all_done = true;
+        for spoke in &mut spokes {
+            progressed |= spoke.pump(cx);
+            all_done &= spoke.finished;
+        }
+        if all_done {
+            return spokes;
+        }
+        if !progressed {
+            cx.ch.monitor.wait_if(epoch);
+        }
+    }
+}
+
+/// Run `system` on `sim_threads` cooperating event loops.  Bit-identical to
+/// the serial loop: same result, same counters, same on-disk filesystem.
+pub(super) fn run_partitioned(system: &mut MultiClientSystem) -> MultiClientResult {
+    system.events_processed = 0;
+    let media = system.lans.take_media();
+    let n_spokes = media.len();
+    let hub_src = n_spokes as u32;
+    let lookahead = system.config.network.params().lookahead();
+    let runaway_limit = system.max_events();
+
+    // Partition the writer slots: one spoke per private LAN segment, or a
+    // single spoke carrying every client on the shared segment.  The layout
+    // depends only on the topology — never on the thread count — so any
+    // thread count yields the same schedule.
+    let mut taken = std::mem::take(&mut system.slots);
+    let mut spokes: Vec<Spoke> = Vec::with_capacity(n_spokes);
+    if n_spokes == 1 {
+        let medium = media.into_iter().next().expect("one shared segment");
+        spokes.push(Spoke::new(0, 0, std::mem::take(&mut taken), medium));
+    } else {
+        debug_assert_eq!(n_spokes, taken.len());
+        for (s, (slot, medium)) in taken.drain(..).zip(media).enumerate() {
+            spokes.push(Spoke::new(s as u32, s, vec![slot], medium));
+        }
+    }
+    for spoke in &mut spokes {
+        // The serial loop seeds one Start per client, in client order; keys
+        // `{ZERO, 0, 0, spoke, seq}` with spoke/seq in client order replicate
+        // the serial queue's insertion-order tie-break exactly.
+        for local in 0..spoke.slots.len() {
+            let seq = mint(&mut spoke.ctr);
+            spoke.queue.schedule(
+                Key::initial(SimTime::ZERO, spoke.src, seq),
+                SpokeEv::Client(spoke.base + local, ClientInput::Start),
+            );
+        }
+    }
+
+    let channels = Channels {
+        up: (0..n_spokes).map(|_| Mailbox::new()).collect(),
+        down: (0..n_spokes).map(|_| Mailbox::new()).collect(),
+        spoke_bounds: (0..n_spokes).map(|_| BoundCell::new()).collect(),
+        hub_bound: BoundCell::new(),
+        applied: (0..n_spokes).map(|_| applied_counter()).collect(),
+        monitor: Monitor::new(),
+        done: AtomicBool::new(false),
+    };
+    let cx = Cx {
+        config: &system.config,
+        ch: &channels,
+        lookahead,
+        hub_src,
+        runaway_limit,
+    };
+    let mut hub = Hub {
+        server: &mut system.server,
+        queue: KeyedQueue::new(),
+        ctr: 0,
+        last_bound: Key::MIN,
+        windows: channels
+            .applied
+            .iter()
+            .map(|counter| OpWindow::new(counter.clone()))
+            .collect(),
+        actions: Vec::new(),
+        inbound: Vec::new(),
+        events_processed: 0,
+    };
+
+    // Worker 0 (the calling thread) drives the hub; the remaining workers
+    // split the spokes round-robin.
+    let spoke_workers = system
+        .config
+        .sim_threads
+        .saturating_sub(1)
+        .clamp(1, n_spokes);
+    let mut batches: Vec<Vec<Spoke>> = (0..spoke_workers).map(|_| Vec::new()).collect();
+    for (s, spoke) in spokes.into_iter().enumerate() {
+        batches[s % spoke_workers].push(spoke);
+    }
+    let mut spokes: Vec<Spoke> = std::thread::scope(|scope| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| scope.spawn(move || run_spokes(batch, &cx)))
+            .collect();
+        run_hub(&mut hub, &cx);
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("spoke worker panicked"))
+            .collect()
+    });
+    spokes.sort_by_key(|s| s.src);
+    for window in &mut hub.windows {
+        debug_assert!(window.is_drained(), "hub exited with unapplied ops");
+    }
+
+    system.events_processed += hub.events_processed;
+    system.par_scheduled_total += hub.queue.scheduled_total();
+    system.par_clamped_past += hub.queue.clamped_past();
+    let mut media_back: Vec<Medium> = Vec::with_capacity(n_spokes);
+    for spoke in spokes {
+        debug_assert!(spoke.queue.is_empty(), "spoke exited with queued events");
+        system.events_processed += spoke.events_processed;
+        system.par_scheduled_total += spoke.queue.scheduled_total();
+        system.par_clamped_past += spoke.queue.clamped_past();
+        system.slots.extend(spoke.slots);
+        media_back.push(spoke.medium);
+    }
+    system.lans.restore_media(media_back);
+    system.result()
+}
+
+#[cfg(test)]
+mod tests {
+    use wg_server::WritePolicy;
+
+    use super::super::{MultiClientConfig, MultiClientSystem};
+    use crate::system::NetworkKind;
+
+    /// Run `config` serially and at every thread count in `threads`, and
+    /// assert every observable — the result rows, the counters, the on-disk
+    /// filesystem — is bit-identical.
+    fn assert_parity(config: MultiClientConfig, threads: &[usize]) {
+        let mut serial = MultiClientSystem::new(config.clone().with_sim_threads(0));
+        let want = serial.run();
+        serial.verify_on_disk().expect("serial data intact");
+        for &n in threads {
+            let mut par = MultiClientSystem::new(config.clone().with_sim_threads(n));
+            let got = par.run();
+            let ctx = format!("sim_threads = {n}");
+            assert_eq!(want.aggregate_kb_per_sec, got.aggregate_kb_per_sec, "{ctx}");
+            assert_eq!(want.total_bytes_acked, got.total_bytes_acked, "{ctx}");
+            assert_eq!(want.elapsed_secs, got.elapsed_secs, "{ctx}");
+            assert_eq!(want.fairness, got.fairness, "{ctx}");
+            assert_eq!(
+                want.min_client_kb_per_sec, got.min_client_kb_per_sec,
+                "{ctx}"
+            );
+            assert_eq!(
+                want.max_client_kb_per_sec, got.max_client_kb_per_sec,
+                "{ctx}"
+            );
+            assert_eq!(want.completed, got.completed, "{ctx}");
+            assert_eq!(want.clients.len(), got.clients.len(), "{ctx}");
+            for (i, (w, g)) in want.clients.iter().zip(&got.clients).enumerate() {
+                let ctx = format!("sim_threads = {n}, client {i}");
+                assert_eq!(
+                    w.client_write_kb_per_sec, g.client_write_kb_per_sec,
+                    "{ctx}"
+                );
+                assert_eq!(w.server_cpu_percent, g.server_cpu_percent, "{ctx}");
+                assert_eq!(w.disk_kb_per_sec, g.disk_kb_per_sec, "{ctx}");
+                assert_eq!(w.disk_trans_per_sec, g.disk_trans_per_sec, "{ctx}");
+                assert_eq!(w.elapsed_secs, g.elapsed_secs, "{ctx}");
+                assert_eq!(w.mean_batch_size, g.mean_batch_size, "{ctx}");
+                assert_eq!(w.retransmissions, g.retransmissions, "{ctx}");
+                assert_eq!(w.gave_up, g.gave_up, "{ctx}");
+                assert_eq!(w.completed, g.completed, "{ctx}");
+            }
+            assert_eq!(serial.events_processed(), par.events_processed(), "{ctx}");
+            assert_eq!(par.clamped_past(), 0, "{ctx}");
+            par.verify_on_disk().expect("partitioned data intact");
+        }
+    }
+
+    #[test]
+    fn partitioned_run_matches_serial_on_a_shared_lan() {
+        assert_parity(
+            MultiClientConfig::new(NetworkKind::Fddi, 3, 4, WritePolicy::Gathering)
+                .with_bytes_per_client(256 * 1024)
+                .with_file_limit(128 * 1024),
+            &[2, 4],
+        );
+    }
+
+    #[test]
+    fn partitioned_run_matches_serial_on_per_client_lans() {
+        assert_parity(
+            MultiClientConfig::new(NetworkKind::Fddi, 4, 4, WritePolicy::Gathering)
+                .with_bytes_per_client(256 * 1024)
+                .with_file_limit(128 * 1024)
+                .with_per_client_lans(true),
+            &[2, 4, 8],
+        );
+    }
+
+    #[test]
+    fn partitioned_run_matches_serial_on_the_scaled_stack() {
+        // Sharded + multi-core + overlapped server, segment rolls, private
+        // LANs: the heaviest reply fan-out the scale-out sweeps exercise.
+        assert_parity(
+            MultiClientConfig::new(NetworkKind::Fddi, 6, 2, WritePolicy::Gathering)
+                .with_bytes_per_client(192 * 1024)
+                .with_file_limit(64 * 1024)
+                .with_per_client_lans(true)
+                .with_shards(4)
+                .with_cores(4)
+                .with_spindles(3)
+                .with_io_overlap(true),
+            &[2, 4],
+        );
+    }
+}

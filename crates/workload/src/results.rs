@@ -236,6 +236,7 @@ pub mod json {
                 ("completed", self.completed.to_string()),
                 ("retransmissions", self.retransmissions.to_string()),
                 ("gave_up", self.gave_up.to_string()),
+                ("clamped_past", self.clamped_past.to_string()),
             ])
         }
     }

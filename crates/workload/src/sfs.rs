@@ -56,6 +56,8 @@ use crate::multi::ClientLans;
 use crate::results::{MultiClientResult, SfsPoint};
 use crate::system::NetworkKind;
 
+mod par;
+
 /// The operation mix, as percentages that sum to 100.
 #[derive(Clone, Copy, Debug, serde::Serialize)]
 pub struct SfsMix {
@@ -218,6 +220,12 @@ pub struct SfsConfig {
     /// Attempts after which an unanswered call is abandoned and counted in
     /// `gave_up` — a counted failure, never a silent success.
     pub max_retransmits: u32,
+    /// Worker threads driving one run's event loops.  `0` or `1` (the
+    /// default) keeps the serial loop; `≥ 2` partitions the topology into
+    /// per-LAN-segment event loops plus a server/disk island synchronised by
+    /// conservative lookahead ([`wg_simcore::parallel`]), bit-identical to
+    /// the serial run.
+    pub sim_threads: usize,
 }
 
 impl SfsConfig {
@@ -251,6 +259,7 @@ impl SfsConfig {
             loss_probability: 0.0,
             retry_initial_timeout: Duration::from_millis(700),
             max_retransmits: 8,
+            sim_threads: 0,
         }
     }
 
@@ -347,6 +356,13 @@ impl SfsConfig {
     pub fn with_retry(mut self, initial_timeout: Duration, max_retransmits: u32) -> Self {
         self.retry_initial_timeout = initial_timeout;
         self.max_retransmits = max_retransmits;
+        self
+    }
+
+    /// Drive the run with `n` cooperating event loops (`≤ 1` keeps the
+    /// serial driver).  Results are bit-identical either way.
+    pub fn with_sim_threads(mut self, n: usize) -> Self {
+        self.sim_threads = n;
         self
     }
 
@@ -576,26 +592,55 @@ impl SfsGenerator {
         Xid(xid)
     }
 
+    /// Mint the successor name of a rotating scratch slot (counted in
+    /// `name_mints`); [`SfsGenerator::install_rotated`] installs the created
+    /// file once the server island has created it.
+    fn mint_rotation_name(&mut self, idx: usize) -> String {
+        let slot = self.write_files[idx].slot;
+        let generation = self.write_files[idx].generation + 1;
+        self.name_mints += 1;
+        scratch_file_name(self.client as usize, slot, generation)
+    }
+
+    /// Point a rotating slot at the freshly created zero-length file.
+    fn install_rotated(&mut self, idx: usize, handle: FileHandle) {
+        let slot = self.write_files[idx].slot;
+        let generation = self.write_files[idx].generation + 1;
+        self.write_files[idx] = ScratchFile {
+            handle,
+            offset: 0,
+            slot,
+            generation,
+        };
+    }
+
     /// Rotate a scratch slot to a fresh zero-length file, creating it in the
     /// exported filesystem out-of-band (the same way pre-population does).
     /// Keeps every append offset inside the UFS file cap no matter how long
     /// or write-hot the run is.
     fn rotate_scratch(&mut self, idx: usize, server: &mut NfsServer) {
-        let slot = self.write_files[idx].slot;
-        let generation = self.write_files[idx].generation + 1;
-        let name = scratch_file_name(self.client as usize, slot, generation);
-        self.name_mints += 1;
+        let name = self.mint_rotation_name(idx);
         let root = server.fs().root();
         let ino = server
             .fs_mut()
             .create(root, &name, 0o644, 0)
             .expect("scratch rotation name is fresh");
-        self.write_files[idx] = ScratchFile {
-            handle: server.handle_for_ino(ino).expect("live inode"),
-            offset: 0,
-            slot,
-            generation,
-        };
+        let handle = server.handle_for_ino(ino).expect("live inode");
+        self.install_rotated(idx, handle);
+    }
+
+    /// Whether the next operation this stream draws *could* have to rotate a
+    /// scratch slot (a server-island filesystem mutation).  Conservative: a
+    /// fresh burst start might pick any slot, so any slot near the cap
+    /// answers yes.  Mid-burst chunks never rotate.
+    fn could_rotate(&self, config: &SfsConfig) -> bool {
+        if !self.burst_queue.is_empty() {
+            return false;
+        }
+        let burst_len = config.write_burst.max(1) as u64;
+        self.write_files
+            .iter()
+            .any(|f| f.offset + burst_len * CHUNK > config.scratch_file_limit)
     }
 
     fn pick_file<'a>(&mut self, shared: &'a SharedFiles) -> &'a (Arc<str>, FileHandle, u64) {
@@ -613,12 +658,61 @@ impl SfsGenerator {
         config: &SfsConfig,
         server: &mut NfsServer,
     ) -> NfsCall {
+        match self.next_call_step(now, shared, config) {
+            CallStep::Ready(call) => call,
+            CallStep::NeedsRotation { xid, idx } => {
+                self.rotate_scratch(idx, server);
+                self.finish_write(now, xid, idx, config.write_burst.max(1))
+            }
+        }
+    }
+
+    /// Build the write-burst head against slot `idx` (post-rotation, if one
+    /// was needed), queueing the follow-on chunks and stamping the ring.
+    fn finish_write(&mut self, now: SimTime, xid: Xid, idx: usize, burst: usize) -> NfsCall {
+        let burst_len = burst as u64;
+        let ScratchFile {
+            handle: fh,
+            offset: start,
+            ..
+        } = self.write_files[idx];
+        self.write_files[idx].offset = start + burst_len * CHUNK;
+        debug_assert!(start + burst_len * CHUNK <= u32::MAX as u64);
+        // Queue the follow-on chunks in reverse so popping yields ascending
+        // offsets.
+        for i in (1..burst_len).rev() {
+            let offset = start + i * CHUNK;
+            let fill = (offset / CHUNK) as u8;
+            self.burst_queue.push(NfsCallBody::Write(WriteArgs::fill(
+                fh,
+                offset as u32,
+                fill,
+                CHUNK as u32,
+            )));
+        }
+        let fill = (start / CHUNK) as u8;
+        let body = NfsCallBody::Write(WriteArgs::fill(fh, start as u32, fill, CHUNK as u32));
+        self.outstanding.insert(xid.0, now, OpKind::Write);
+        NfsCall::new(xid, body)
+    }
+
+    /// Advance the stream to its next call, stopping just before a scratch
+    /// rotation: the serial driver rotates inline ([`SfsGenerator::next_call`]),
+    /// the partitioned driver ships the create to the server island and
+    /// resumes with [`SfsGenerator::finish_write`].  Both paths draw the RNG
+    /// identically.
+    fn next_call_step(
+        &mut self,
+        now: SimTime,
+        shared: &SharedFiles,
+        config: &SfsConfig,
+    ) -> CallStep {
         // Drain an in-progress write burst first: LADDIS writes whole files
         // in consecutive 8 KB chunks, so write operations arrive in bursts.
         if let Some(body) = self.burst_queue.pop() {
             let xid = self.take_xid();
             self.outstanding.insert(xid.0, now, OpKind::Write);
-            return NfsCall::new(xid, body);
+            return CallStep::Ready(NfsCall::new(xid, body));
         }
         // Scale the write weight down by the burst length so that writes stay
         // at their configured share of *operations* even though each burst
@@ -652,31 +746,10 @@ impl SfsGenerator {
                 // scratch files: every chunk allocates fresh blocks, as the
                 // file-writing phases of LADDIS do.
                 let idx = self.rng.next_below(self.write_files.len() as u64) as usize;
-                let burst_len = burst as u64;
-                if self.write_files[idx].offset + burst_len * CHUNK > config.scratch_file_limit {
-                    self.rotate_scratch(idx, server);
+                if self.write_files[idx].offset + burst as u64 * CHUNK > config.scratch_file_limit {
+                    return CallStep::NeedsRotation { xid, idx };
                 }
-                let ScratchFile {
-                    handle: fh,
-                    offset: start,
-                    ..
-                } = self.write_files[idx];
-                self.write_files[idx].offset = start + burst_len * CHUNK;
-                debug_assert!(start + burst_len * CHUNK <= u32::MAX as u64);
-                // Queue the follow-on chunks in reverse so popping yields
-                // ascending offsets.
-                for i in (1..burst_len).rev() {
-                    let offset = start + i * CHUNK;
-                    let fill = (offset / CHUNK) as u8;
-                    self.burst_queue.push(NfsCallBody::Write(WriteArgs::fill(
-                        fh,
-                        offset as u32,
-                        fill,
-                        CHUNK as u32,
-                    )));
-                }
-                let fill = (start / CHUNK) as u8;
-                NfsCallBody::Write(WriteArgs::fill(fh, start as u32, fill, CHUNK as u32))
+                return CallStep::Ready(self.finish_write(now, xid, idx, burst));
             }
             OpKind::Getattr => {
                 let &(_, fh, _) = self.pick_file(shared);
@@ -723,8 +796,17 @@ impl SfsGenerator {
             OpKind::Statfs => NfsCallBody::Statfs(GetattrArgs { file: shared.root }),
         };
         self.outstanding.insert(xid.0, now, kind);
-        NfsCall::new(xid, body)
+        CallStep::Ready(NfsCall::new(xid, body))
     }
+}
+
+/// One step of a generator stream: either the call is ready, or the drawn
+/// write must rotate its scratch slot first — a filesystem mutation the
+/// serial driver performs inline and the partitioned driver ships to the
+/// server island.
+enum CallStep {
+    Ready(NfsCall),
+    NeedsRotation { xid: Xid, idx: usize },
 }
 
 enum Ev {
@@ -752,6 +834,10 @@ pub struct SfsSystem {
     issued: u64,
     completed: u64,
     events_processed: u64,
+    /// Events scheduled / past-clamps accumulated by partitioned runs (the
+    /// serial path's live in `queue`; accessors report the sum).
+    par_scheduled_total: u64,
+    par_clamped_past: u64,
 }
 
 impl SfsSystem {
@@ -862,6 +948,8 @@ impl SfsSystem {
             issued: 0,
             completed: 0,
             events_processed: 0,
+            par_scheduled_total: 0,
+            par_clamped_past: 0,
             server,
             config,
         }
@@ -897,8 +985,19 @@ impl SfsSystem {
         }
     }
 
-    /// Run the measurement and produce one figure point.
+    /// Run the measurement and produce one figure point.  With
+    /// [`SfsConfig::sim_threads`] `≥ 2` the topology is partitioned into
+    /// cooperating event loops ([`par`]); results are bit-identical either
+    /// way.
     pub fn run(&mut self) -> SfsPoint {
+        if self.config.sim_threads >= 2 {
+            return par::run_partitioned(self);
+        }
+        self.run_serial()
+    }
+
+    /// The reference single-threaded event loop.
+    fn run_serial(&mut self) -> SfsPoint {
         self.events_processed = 0;
         for client in 0..self.generators.len() {
             let gap = {
@@ -1036,6 +1135,11 @@ impl SfsSystem {
                 }
             }
         }
+        self.point()
+    }
+
+    /// The figure point of the finished run (shared by both drivers).
+    fn point(&self) -> SfsPoint {
         let measured = self.config.duration;
         SfsPoint {
             offered_ops_per_sec: self.config.offered_ops_per_sec,
@@ -1136,9 +1240,17 @@ impl SfsSystem {
         self.events_processed
     }
 
-    /// Total events ever scheduled on the system's event queue.
+    /// Total events ever scheduled, across the serial queue and any
+    /// partitioned run's per-partition queues.
     pub fn scheduled_total(&self) -> u64 {
-        self.queue.scheduled_total()
+        self.queue.scheduled_total() + self.par_scheduled_total
+    }
+
+    /// Events scheduled into the past and clamped (serial queue plus every
+    /// partitioned queue).  Always zero in a healthy model; sweeps assert it
+    /// per cell the same way they assert `evicted_in_progress`.
+    pub fn clamped_past(&self) -> u64 {
+        self.queue.clamped_past() + self.par_clamped_past
     }
 }
 
@@ -1167,6 +1279,8 @@ pub struct SfsRunStats {
     pub retransmissions: u64,
     /// Calls abandoned after the retransmit budget — counted failures.
     pub gave_up: u64,
+    /// Events scheduled into the past and silently clamped (must be zero).
+    pub clamped_past: u64,
 }
 
 /// A load sweep producing the curve of Figure 2 or Figure 3.
@@ -1216,6 +1330,7 @@ impl SfsSweep {
                     completed,
                     retransmissions: system.retransmissions(),
                     gave_up: system.gave_up(),
+                    clamped_past: system.clamped_past(),
                 }
             })
             .collect()

@@ -1,0 +1,946 @@
+//! Partitioned execution of one [`SfsSystem`] run.
+//!
+//! The topology splits naturally at the LAN segments: each segment's clients,
+//! their media and their retry timers form a *spoke* partition, and the
+//! server, filesystem, disks and fault machinery form the *hub*.  Spokes and
+//! hub run as cooperating event loops over [`wg_simcore::parallel`]
+//! primitives, synchronised by published [`Key`] bounds:
+//!
+//! * a spoke's bound is strictly below every datagram (and scratch-rotation
+//!   request) it may still send — derived per queued event (arrival chains
+//!   are covered by a lineage *guard* key, retry chains by the medium
+//!   lookahead);
+//! * the hub's bound is the [`Key::lift`] of the least work it may still
+//!   process, strictly below every reply or loss op it may still mail.
+//!
+//! Scratch rotation is the one client-side action that mutates hub state
+//! (a filesystem create).  The spoke freezes mid-arrival, mails a keyed
+//! rotation request — publishing the request key itself as its bound, which
+//! the at-or-below pop rule lets the hub admit — and resumes with the handle
+//! the hub mails back.  Every cross-partition effect thus executes at the
+//! exact key position the serial loop ran it, which is what makes the run
+//! bit-identical to [`SfsSystem::run_serial`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use wg_net::medium::{Direction, Medium};
+use wg_net::TransmitOutcome;
+use wg_nfsproto::{FileHandle, NfsCall, NfsReply, Xid};
+use wg_server::{NfsServer, ServerAction, ServerInput};
+use wg_simcore::{BoundCell, Duration, FaultKind, Key, KeyedQueue, Mailbox, Monitor, SimTime};
+
+use super::{CallStep, SfsConfig, SfsGenerator, SfsSystem, SharedFiles};
+use crate::results::SfsPoint;
+
+/// Client-island → server-island messages.
+enum UpMsg {
+    /// A datagram that survived its LAN segment.
+    Datagram {
+        client: u32,
+        call: NfsCall,
+        wire_size: usize,
+        fragments: u32,
+    },
+    /// A scratch-slot rotation: create `name`, answer through the spoke's
+    /// rotation slot.
+    Rotate { spoke: usize, name: String },
+}
+
+/// Server-island → spoke operations, executed by the spoke at the carried
+/// key position — exactly where the serial loop ran them inline.
+enum DownOp {
+    /// Transmit `reply` toward `client` on its segment.
+    Reply {
+        at: SimTime,
+        client: u32,
+        reply: NfsReply,
+    },
+    /// Open a loss window on the segment (from the fault plan).
+    Loss {
+        from: SimTime,
+        until: SimTime,
+        probability: f64,
+    },
+}
+
+/// Events of one spoke's queue.
+enum SpokeEv {
+    NextArrival(usize),
+    Reply(u32, NfsReply),
+    RetryCheck(usize, u32, u32),
+    Op(DownOp),
+}
+
+/// Events of the hub's queue.
+enum HubEv {
+    Server(ServerInput),
+    Fault(FaultKind),
+    BatteryRepair,
+    Rotate { spoke: usize, name: String },
+}
+
+/// The channel fabric of one run.
+struct Channels {
+    up: Vec<Mailbox<UpMsg>>,
+    down: Vec<Mailbox<DownOp>>,
+    spoke_bounds: Vec<BoundCell>,
+    hub_bound: BoundCell,
+    /// Per-spoke answer slot of an in-flight rotation request.
+    rotations: Vec<Mutex<Option<FileHandle>>>,
+    monitor: Monitor,
+    done: AtomicBool,
+}
+
+/// Read-only run context shared by every partition.
+#[derive(Clone, Copy)]
+struct Cx<'a> {
+    config: &'a SfsConfig,
+    shared: &'a SharedFiles,
+    ch: &'a Channels,
+    end: SimTime,
+    lookahead: Duration,
+    hub_src: u32,
+    faults_armed: bool,
+    mix_has_writes: bool,
+    runaway_limit: u64,
+}
+
+fn mint(ctr: &mut u64) -> u64 {
+    *ctr += 1;
+    *ctr
+}
+
+/// The spoke a client's replies are mailed to (mirrors
+/// `ClientLans::medium_mut`).
+fn spoke_of(client: usize, n_spokes: usize) -> usize {
+    if n_spokes > 1 {
+        client
+    } else {
+        0
+    }
+}
+
+/// An arrival frozen mid-step on a scratch rotation: the request is in the
+/// hub's mail under `req`, and nothing on this spoke runs until the handle
+/// comes back.
+struct Frozen {
+    key: Key,
+    req: Key,
+    client: usize,
+    xid: Xid,
+    idx: usize,
+}
+
+/// One client-LAN partition: its generators, its medium and its event loop.
+struct Spoke {
+    src: u32,
+    /// Global index of the first local generator (`clients[local] = base +
+    /// local`).
+    base: usize,
+    generators: Vec<SfsGenerator>,
+    medium: Medium,
+    queue: KeyedQueue<SpokeEv>,
+    ctr: u64,
+    last_bound: Key,
+    frozen: Option<Frozen>,
+    /// Completed-call latencies in pop order, replayed into the global
+    /// accumulator by key order after the run.
+    latency_log: Vec<(Key, Duration)>,
+    inbound: Vec<(Key, DownOp)>,
+    events_processed: u64,
+    issued: u64,
+    completed: u64,
+    finished: bool,
+}
+
+impl Spoke {
+    fn new(src: u32, base: usize, generators: Vec<SfsGenerator>, medium: Medium) -> Self {
+        Spoke {
+            src,
+            base,
+            generators,
+            medium,
+            queue: KeyedQueue::new(),
+            ctr: 0,
+            last_bound: Key::MIN,
+            frozen: None,
+            latency_log: Vec::new(),
+            inbound: Vec::new(),
+            events_processed: 0,
+            issued: 0,
+            completed: 0,
+            finished: false,
+        }
+    }
+
+    /// One scheduling round: drain mail, resume a pending rotation, process
+    /// everything admissible under the hub's bound, re-publish our own.
+    /// Returns whether any work happened.
+    fn pump(&mut self, cx: &Cx) -> bool {
+        if self.finished {
+            return false;
+        }
+        let mut progressed = false;
+        // Horizon first, then mailbox: a message the hub posted before the
+        // bound we read is guaranteed visible to this drain (both sides go
+        // through mutexes), so the gate is never ahead of an unseen message.
+        let gate = cx.ch.hub_bound.read();
+        cx.ch.down[self.src as usize].drain_into(&mut self.inbound);
+        for (key, op) in self.inbound.drain(..) {
+            progressed = true;
+            self.queue.schedule(key, SpokeEv::Op(op));
+        }
+        if self.frozen.is_some() {
+            let handle = cx.ch.rotations[self.src as usize]
+                .lock()
+                .expect("rotation slot poisoned")
+                .take();
+            if let Some(handle) = handle {
+                let f = self.frozen.take().expect("frozen state just checked");
+                progressed = true;
+                self.resume(f, handle, cx);
+            }
+        }
+        if self.frozen.is_none() {
+            while let Some((key, ev)) = self.queue.pop_below(&gate) {
+                progressed = true;
+                self.handle(key, ev, cx);
+                if self.frozen.is_some() {
+                    break;
+                }
+            }
+        }
+        // Once the hub declares the run drained no partition can send
+        // anything anymore: whatever is left locally (reply deliveries,
+        // loss ops) runs unconditionally.
+        if self.frozen.is_none() && cx.ch.done.load(Ordering::Acquire) {
+            cx.ch.down[self.src as usize].drain_into(&mut self.inbound);
+            for (key, op) in self.inbound.drain(..) {
+                self.queue.schedule(key, SpokeEv::Op(op));
+            }
+            while let Some((key, ev)) = self.queue.pop_any() {
+                self.handle(key, ev, cx);
+            }
+            self.finished = true;
+            return true;
+        }
+        let bound = self.compute_bound(cx);
+        if bound > self.last_bound {
+            self.last_bound = bound;
+            cx.ch.spoke_bounds[self.src as usize].publish(bound);
+            cx.ch.monitor.bump();
+            progressed = true;
+        } else if progressed {
+            cx.ch.monitor.bump();
+        }
+        progressed
+    }
+
+    fn handle(&mut self, key: Key, ev: SpokeEv, cx: &Cx) {
+        match ev {
+            SpokeEv::NextArrival(client) => {
+                self.events_processed += 1;
+                if key.time < cx.end {
+                    self.arrival(key, client, cx);
+                }
+            }
+            SpokeEv::Reply(client, reply) => {
+                self.events_processed += 1;
+                let generator = &mut self.generators[client as usize - self.base];
+                if let Some((sent, _kind)) = generator.outstanding.take(reply.xid.0) {
+                    let latency = key.time.since(sent);
+                    self.latency_log.push((key, latency));
+                    generator.latency.record(latency);
+                    generator.completed += 1;
+                    self.completed += 1;
+                    if cx.faults_armed {
+                        generator.retry_calls.remove(&reply.xid.0);
+                    }
+                }
+            }
+            SpokeEv::RetryCheck(client, xid, attempt) => {
+                self.events_processed += 1;
+                let generator = &mut self.generators[client - self.base];
+                if !generator.outstanding.contains(xid) {
+                    generator.retry_calls.remove(&xid);
+                } else if attempt >= cx.config.max_retransmits {
+                    generator.outstanding.take(xid);
+                    generator.retry_calls.remove(&xid);
+                    generator.gave_up += 1;
+                } else if let Some(call) = generator.retry_calls.get(&xid).cloned() {
+                    generator.retransmissions += 1;
+                    self.transmit(key, client, call, cx);
+                    let backoff = cx
+                        .config
+                        .retry_initial_timeout
+                        .saturating_mul(1u64 << (attempt + 1).min(10));
+                    let seq = mint(&mut self.ctr);
+                    self.queue.schedule(
+                        key.child(key.time + backoff, self.src, seq),
+                        SpokeEv::RetryCheck(client, xid, attempt + 1),
+                    );
+                }
+            }
+            SpokeEv::Op(DownOp::Reply { at, client, reply }) => {
+                let size = reply.wire_size();
+                if let TransmitOutcome::Delivered { arrives_at } =
+                    self.medium.transmit(at, size, Direction::ToClient)
+                {
+                    let seq = mint(&mut self.ctr);
+                    self.queue.schedule(
+                        key.child(arrives_at, self.src, seq),
+                        SpokeEv::Reply(client, reply),
+                    );
+                }
+            }
+            SpokeEv::Op(DownOp::Loss {
+                from,
+                until,
+                probability,
+            }) => {
+                self.medium.inject_loss_window(from, until, probability);
+            }
+        }
+        assert!(
+            self.events_processed < cx.runaway_limit,
+            "runaway SFS simulation"
+        );
+    }
+
+    /// The serial `NextArrival` handler up to the rotation decision.
+    fn arrival(&mut self, key: Key, client: usize, cx: &Cx) {
+        let step =
+            self.generators[client - self.base].next_call_step(key.time, cx.shared, cx.config);
+        match step {
+            CallStep::Ready(call) => {
+                self.generators[client - self.base].issued += 1;
+                self.issued += 1;
+                self.issue(key, client, call, cx);
+            }
+            CallStep::NeedsRotation { xid, idx } => {
+                let name = self.generators[client - self.base].mint_rotation_name(idx);
+                let seq = mint(&mut self.ctr);
+                let req = key.op(self.src, seq);
+                cx.ch.up[self.src as usize].post(
+                    req,
+                    UpMsg::Rotate {
+                        spoke: self.src as usize,
+                        name,
+                    },
+                );
+                self.frozen = Some(Frozen {
+                    key,
+                    req,
+                    client,
+                    xid,
+                    idx,
+                });
+            }
+        }
+    }
+
+    /// Finish a rotation-frozen arrival with the handle the hub created.
+    fn resume(&mut self, f: Frozen, handle: FileHandle, cx: &Cx) {
+        let generator = &mut self.generators[f.client - self.base];
+        generator.install_rotated(f.idx, handle);
+        let call = generator.finish_write(f.key.time, f.xid, f.idx, cx.config.write_burst.max(1));
+        generator.issued += 1;
+        self.issued += 1;
+        self.issue(f.key, f.client, call, cx);
+    }
+
+    /// Retry bookkeeping, wire transmit and the next-arrival draw — the tail
+    /// of the serial `NextArrival` handler, shared by the direct and
+    /// post-rotation paths (identical RNG order on both).
+    fn issue(&mut self, key: Key, client: usize, call: NfsCall, cx: &Cx) {
+        if cx.faults_armed {
+            let xid = call.xid.0;
+            self.generators[client - self.base]
+                .retry_calls
+                .insert(xid, call.clone());
+            let seq = mint(&mut self.ctr);
+            self.queue.schedule(
+                key.child(key.time + cx.config.retry_initial_timeout, self.src, seq),
+                SpokeEv::RetryCheck(client, xid, 0),
+            );
+        }
+        self.transmit(key, client, call, cx);
+        let gap = {
+            let generator = &mut self.generators[client - self.base];
+            Duration::from_secs_f64(generator.rng.exponential(generator.mean_gap))
+        };
+        let seq = mint(&mut self.ctr);
+        self.queue.schedule(
+            key.child(key.time + gap, self.src, seq),
+            SpokeEv::NextArrival(client),
+        );
+    }
+
+    fn transmit(&mut self, key: Key, client: usize, call: NfsCall, cx: &Cx) {
+        let size = call.wire_size();
+        let fragments = self.medium.params().fragments_for(size);
+        if let TransmitOutcome::Delivered { arrives_at } =
+            self.medium.transmit(key.time, size, Direction::ToServer)
+        {
+            let seq = mint(&mut self.ctr);
+            cx.ch.up[self.src as usize].post(
+                key.child(arrives_at, self.src, seq),
+                UpMsg::Datagram {
+                    client: client as u32,
+                    call,
+                    wire_size: size,
+                    fragments,
+                },
+            );
+        }
+    }
+
+    /// A key strictly below everything this spoke may still send.
+    ///
+    /// Per queued event: replies and ops emit nothing; a retry chain's
+    /// retransmits all arrive strictly after its own time plus the medium
+    /// lookahead; an arrival chain in a write-free mix likewise.  With
+    /// writes in the mix an arrival's descendants can mint a rotation
+    /// request *at the arrival's own key position* (zero inter-arrival gaps
+    /// collapse the chain), so the bound falls back to a lineage key: the
+    /// request of this arrival would be `{time, b1, b2, src, seq > ctr}`
+    /// (covered by the *pred* form when the generator is near its cap) and
+    /// any descendant's request is `{t' ≥ time, time, b1, src, ·}` (covered
+    /// by the *guard* form).  Both are exact lower bounds with the current
+    /// mint counter as the seq, since future mints are strictly larger.
+    fn compute_bound(&self, cx: &Cx) -> Key {
+        let mut bound = match &self.frozen {
+            Some(f) => f.req,
+            None => Key::MAX,
+        };
+        for (key, ev) in self.queue.iter() {
+            let contribution = match ev {
+                SpokeEv::Reply(..) | SpokeEv::Op(..) => continue,
+                SpokeEv::RetryCheck(..) => Key::time_bound(key.time + cx.lookahead),
+                SpokeEv::NextArrival(client) => {
+                    if key.time >= cx.end {
+                        continue;
+                    }
+                    if !cx.mix_has_writes {
+                        Key::time_bound(key.time + cx.lookahead)
+                    } else if self.generators[client - self.base].could_rotate(cx.config) {
+                        Key {
+                            time: key.time,
+                            b1: key.b1,
+                            b2: key.b2,
+                            src: self.src,
+                            seq: self.ctr,
+                        }
+                    } else {
+                        Key {
+                            time: key.time,
+                            b1: key.time,
+                            b2: key.b1,
+                            src: self.src,
+                            seq: self.ctr,
+                        }
+                    }
+                }
+            };
+            bound = bound.min(contribution);
+        }
+        bound
+    }
+}
+
+/// The server/disk island.
+struct Hub<'a> {
+    server: &'a mut NfsServer,
+    queue: KeyedQueue<HubEv>,
+    ctr: u64,
+    last_bound: Key,
+    actions: Vec<ServerAction>,
+    inbound: Vec<(Key, UpMsg)>,
+    events_processed: u64,
+}
+
+impl Hub<'_> {
+    fn handle(&mut self, key: Key, ev: HubEv, cx: &Cx) {
+        match ev {
+            HubEv::Server(input) => {
+                self.events_processed += 1;
+                self.server.handle_into(key.time, input, &mut self.actions);
+                for action in self.actions.drain(..) {
+                    match action {
+                        ServerAction::Wakeup { at, token } => {
+                            let seq = mint(&mut self.ctr);
+                            self.queue.schedule(
+                                key.child(at, cx.hub_src, seq),
+                                HubEv::Server(ServerInput::Wakeup { token }),
+                            );
+                        }
+                        ServerAction::Reply { at, client, reply } => {
+                            let spoke = spoke_of(client as usize, cx.ch.down.len());
+                            let seq = mint(&mut self.ctr);
+                            cx.ch.down[spoke]
+                                .post(key.op(cx.hub_src, seq), DownOp::Reply { at, client, reply });
+                        }
+                    }
+                }
+            }
+            HubEv::Rotate { spoke, name } => {
+                let root = self.server.fs().root();
+                let ino = self
+                    .server
+                    .fs_mut()
+                    .create(root, &name, 0o644, 0)
+                    .expect("scratch rotation name is fresh");
+                let handle = self.server.handle_for_ino(ino).expect("live inode");
+                *cx.ch.rotations[spoke]
+                    .lock()
+                    .expect("rotation slot poisoned") = Some(handle);
+            }
+            HubEv::Fault(kind) => {
+                self.events_processed += 1;
+                match kind {
+                    FaultKind::ServerCrash => {
+                        self.server.crash(key.time);
+                    }
+                    FaultKind::BatteryFailure { repair_after } => {
+                        self.server.set_battery(false, key.time);
+                        let seq = mint(&mut self.ctr);
+                        self.queue.schedule(
+                            key.child(key.time + repair_after, cx.hub_src, seq),
+                            HubEv::BatteryRepair,
+                        );
+                    }
+                    FaultKind::DiskDegrade {
+                        duration,
+                        stall,
+                        retries,
+                    } => {
+                        self.server
+                            .inject_disk_fault(key.time, duration, stall, retries);
+                    }
+                    FaultKind::LossBurst {
+                        duration,
+                        probability,
+                        segment,
+                    } => {
+                        let from = key.time;
+                        let until = key.time + duration;
+                        match segment {
+                            Some(idx) => {
+                                let s = idx.min(cx.ch.down.len() - 1);
+                                let seq = mint(&mut self.ctr);
+                                cx.ch.down[s].post(
+                                    key.op(cx.hub_src, seq),
+                                    DownOp::Loss {
+                                        from,
+                                        until,
+                                        probability,
+                                    },
+                                );
+                            }
+                            None => {
+                                for s in 0..cx.ch.down.len() {
+                                    let seq = mint(&mut self.ctr);
+                                    cx.ch.down[s].post(
+                                        key.op(cx.hub_src, seq),
+                                        DownOp::Loss {
+                                            from,
+                                            until,
+                                            probability,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            HubEv::BatteryRepair => {
+                self.events_processed += 1;
+                self.server.set_battery(true, key.time);
+            }
+        }
+        assert!(
+            self.events_processed < cx.runaway_limit,
+            "runaway SFS simulation"
+        );
+    }
+}
+
+/// The hub's loop: gate on the spoke bounds, drain mail, process, publish.
+fn run_hub(hub: &mut Hub, cx: &Cx) {
+    loop {
+        let epoch = cx.ch.monitor.epoch();
+        let mut progressed = false;
+        // Bounds first, then mail (see `Spoke::pump` for why the order
+        // matters): any message with a key at or below the gate we compute
+        // here is already visible to the drain below.
+        let mut gate = Key::MAX;
+        for cell in &cx.ch.spoke_bounds {
+            gate = gate.min(cell.read());
+        }
+        for mail in &cx.ch.up {
+            mail.drain_into(&mut hub.inbound);
+        }
+        for (key, msg) in hub.inbound.drain(..) {
+            progressed = true;
+            let ev = match msg {
+                UpMsg::Datagram {
+                    client,
+                    call,
+                    wire_size,
+                    fragments,
+                } => HubEv::Server(ServerInput::Datagram {
+                    client,
+                    call,
+                    wire_size,
+                    fragments,
+                }),
+                UpMsg::Rotate { spoke, name } => HubEv::Rotate { spoke, name },
+            };
+            hub.queue.schedule(key, ev);
+        }
+        while let Some((key, ev)) = hub.queue.pop_below(&gate) {
+            progressed = true;
+            hub.handle(key, ev, cx);
+        }
+        // Every spoke promised Key::MAX and nothing is queued or in flight:
+        // the run is drained.  (Mailboxes were drained above *after* the
+        // bounds read, so a spoke at MAX cannot have mail we missed.)
+        if hub.queue.is_empty() && gate == Key::MAX {
+            cx.ch.hub_bound.publish(Key::MAX);
+            cx.ch.done.store(true, Ordering::Release);
+            cx.ch.monitor.bump();
+            return;
+        }
+        let horizon = gate.min(hub.queue.peek_key().unwrap_or(Key::MAX));
+        let bound = horizon.lift(cx.hub_src);
+        if bound > hub.last_bound {
+            hub.last_bound = bound;
+            cx.ch.hub_bound.publish(bound);
+            cx.ch.monitor.bump();
+            progressed = true;
+        } else if progressed {
+            cx.ch.monitor.bump();
+        }
+        if !progressed {
+            cx.ch.monitor.wait_if(epoch);
+        }
+    }
+}
+
+/// One worker's loop over the spokes it owns.
+fn run_spokes(mut spokes: Vec<Spoke>, cx: &Cx) -> Vec<Spoke> {
+    loop {
+        let epoch = cx.ch.monitor.epoch();
+        let mut progressed = false;
+        let mut all_done = true;
+        for spoke in &mut spokes {
+            progressed |= spoke.pump(cx);
+            all_done &= spoke.finished;
+        }
+        if all_done {
+            return spokes;
+        }
+        if !progressed {
+            cx.ch.monitor.wait_if(epoch);
+        }
+    }
+}
+
+/// Run `system` on `sim_threads` cooperating event loops.  Bit-identical to
+/// [`SfsSystem::run_serial`]: same points, same counters, same filesystem.
+pub(super) fn run_partitioned(system: &mut SfsSystem) -> SfsPoint {
+    system.events_processed = 0;
+    let media = system.lans.take_media();
+    let n_spokes = media.len();
+    let hub_src = n_spokes as u32;
+    let clients = system.generators.len();
+    let lookahead = system.config.network.params().lookahead();
+
+    // Partition the generators: one spoke per private LAN segment, or a
+    // single spoke carrying every stream on the shared segment.  The layout
+    // depends only on the topology — never on the thread count — so any
+    // thread count yields the same schedule.
+    let mut taken = std::mem::take(&mut system.generators);
+    let mut spokes: Vec<Spoke> = Vec::with_capacity(n_spokes);
+    if n_spokes == 1 {
+        let medium = media.into_iter().next().expect("one shared segment");
+        spokes.push(Spoke::new(0, 0, std::mem::take(&mut taken), medium));
+    } else {
+        debug_assert_eq!(n_spokes, clients);
+        for (s, (generator, medium)) in taken.drain(..).zip(media).enumerate() {
+            spokes.push(Spoke::new(s as u32, s, vec![generator], medium));
+        }
+    }
+    // Initial arrivals: the same RNG draws in the same client order as the
+    // serial loop.  Keys are `{gap, 0, 0, spoke, seq}` with spoke/seq in
+    // client order, replicating the serial queue's insertion-order tie-break
+    // exactly (and sorting before the hub-minted fault events below).
+    for spoke in &mut spokes {
+        let gaps: Vec<Duration> = spoke
+            .generators
+            .iter_mut()
+            .map(|g| Duration::from_secs_f64(g.rng.exponential(g.mean_gap)))
+            .collect();
+        for (local, gap) in gaps.into_iter().enumerate() {
+            let seq = mint(&mut spoke.ctr);
+            spoke.queue.schedule(
+                Key::initial(SimTime::ZERO + gap, spoke.src, seq),
+                SpokeEv::NextArrival(spoke.base + local),
+            );
+        }
+    }
+    let mut hub_queue = KeyedQueue::new();
+    let mut hub_ctr = 0u64;
+    for event in system.config.fault_plan.events() {
+        let seq = mint(&mut hub_ctr);
+        hub_queue.schedule(
+            Key::initial(event.at, hub_src, seq),
+            HubEv::Fault(event.kind),
+        );
+    }
+
+    let channels = Channels {
+        up: (0..n_spokes).map(|_| Mailbox::new()).collect(),
+        down: (0..n_spokes).map(|_| Mailbox::new()).collect(),
+        spoke_bounds: (0..n_spokes).map(|_| BoundCell::new()).collect(),
+        hub_bound: BoundCell::new(),
+        rotations: (0..n_spokes).map(|_| Mutex::new(None)).collect(),
+        monitor: Monitor::new(),
+        done: AtomicBool::new(false),
+    };
+    let cx = Cx {
+        config: &system.config,
+        shared: &system.shared,
+        ch: &channels,
+        end: SimTime::ZERO + system.config.duration,
+        lookahead,
+        hub_src,
+        faults_armed: system.config.faults_enabled(),
+        mix_has_writes: system.config.mix.write > 0.0,
+        runaway_limit: 100_000_000 * clients as u64,
+    };
+    let mut hub = Hub {
+        server: &mut system.server,
+        queue: hub_queue,
+        ctr: hub_ctr,
+        last_bound: Key::MIN,
+        actions: Vec::new(),
+        inbound: Vec::new(),
+        events_processed: 0,
+    };
+
+    // Worker 0 (the calling thread) drives the hub; the remaining workers
+    // split the spokes round-robin.
+    let spoke_workers = system
+        .config
+        .sim_threads
+        .saturating_sub(1)
+        .clamp(1, n_spokes);
+    let mut batches: Vec<Vec<Spoke>> = (0..spoke_workers).map(|_| Vec::new()).collect();
+    for (s, spoke) in spokes.into_iter().enumerate() {
+        batches[s % spoke_workers].push(spoke);
+    }
+    let mut spokes: Vec<Spoke> = std::thread::scope(|scope| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| scope.spawn(move || run_spokes(batch, &cx)))
+            .collect();
+        run_hub(&mut hub, &cx);
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("spoke worker panicked"))
+            .collect()
+    });
+    spokes.sort_by_key(|s| s.src);
+
+    let hub_events = hub.events_processed;
+    let hub_scheduled = hub.queue.scheduled_total();
+    let hub_clamped = hub.queue.clamped_past();
+    system.events_processed += hub_events;
+    system.par_scheduled_total += hub_scheduled;
+    system.par_clamped_past += hub_clamped;
+    let mut media_back: Vec<Medium> = Vec::with_capacity(n_spokes);
+    let mut logs: Vec<std::iter::Peekable<std::vec::IntoIter<(Key, Duration)>>> =
+        Vec::with_capacity(n_spokes);
+    for spoke in spokes {
+        debug_assert!(spoke.queue.is_empty(), "spoke exited with queued events");
+        debug_assert!(spoke.frozen.is_none(), "spoke exited mid-rotation");
+        system.events_processed += spoke.events_processed;
+        system.issued += spoke.issued;
+        system.completed += spoke.completed;
+        system.par_scheduled_total += spoke.queue.scheduled_total();
+        system.par_clamped_past += spoke.queue.clamped_past();
+        system.generators.extend(spoke.generators);
+        media_back.push(spoke.medium);
+        logs.push(spoke.latency_log.into_iter().peekable());
+    }
+    system.lans.restore_media(media_back);
+    // Replay per-spoke latency records in global key order so the f64
+    // accumulation order — and with it the reported mean, bit for bit —
+    // matches the serial loop's.
+    loop {
+        let mut best: Option<(usize, Key)> = None;
+        for (i, log) in logs.iter_mut().enumerate() {
+            if let Some(&(key, _)) = log.peek() {
+                if best.map(|(_, b)| key < b).unwrap_or(true) {
+                    best = Some((i, key));
+                }
+            }
+        }
+        let Some((i, _)) = best else { break };
+        let (_, latency) = logs[i].next().expect("peeked entry");
+        system.latency.record(latency);
+    }
+    system.point()
+}
+
+#[cfg(test)]
+mod tests {
+    use wg_server::WritePolicy;
+    use wg_simcore::{Duration, FaultKind, FaultPlan, SimTime};
+
+    use super::super::{SfsConfig, SfsMix, SfsSystem};
+
+    fn quick(load: f64) -> SfsConfig {
+        SfsConfig {
+            duration: Duration::from_secs(3),
+            file_count: 30,
+            file_size: 64 * 1024,
+            ..SfsConfig::figure2(load, WritePolicy::Gathering)
+        }
+    }
+
+    /// Run `config` serially and at every thread count in `threads`, and
+    /// assert every observable — the figure point, the counters, the event
+    /// count, the filesystem — is bit-identical.
+    fn assert_parity(config: SfsConfig, threads: &[usize]) {
+        let mut serial = SfsSystem::new(config.clone().with_sim_threads(0));
+        let want = serial.run();
+        for &n in threads {
+            let mut par = SfsSystem::new(config.clone().with_sim_threads(n));
+            let got = par.run();
+            let ctx = format!("sim_threads = {n}");
+            assert_eq!(want.offered_ops_per_sec, got.offered_ops_per_sec, "{ctx}");
+            assert_eq!(want.achieved_ops_per_sec, got.achieved_ops_per_sec, "{ctx}");
+            assert_eq!(want.avg_latency_ms, got.avg_latency_ms, "{ctx}");
+            assert_eq!(want.server_cpu_percent, got.server_cpu_percent, "{ctx}");
+            assert_eq!(serial.counts(), par.counts(), "{ctx}");
+            assert_eq!(serial.events_processed(), par.events_processed(), "{ctx}");
+            assert_eq!(serial.name_mints(), par.name_mints(), "{ctx}");
+            assert_eq!(serial.retransmissions(), par.retransmissions(), "{ctx}");
+            assert_eq!(serial.gave_up(), par.gave_up(), "{ctx}");
+            assert_eq!(serial.scratch_rotations(), par.scratch_rotations(), "{ctx}");
+            assert_eq!(
+                serial.max_scratch_offset(),
+                par.max_scratch_offset(),
+                "{ctx}"
+            );
+            assert_eq!(
+                serial.per_client_avg_latency_ms(),
+                par.per_client_avg_latency_ms(),
+                "{ctx}"
+            );
+            assert_eq!(
+                serial.per_client_achieved_ops(),
+                par.per_client_achieved_ops(),
+                "{ctx}"
+            );
+            assert_eq!(par.clamped_past(), 0, "{ctx}");
+        }
+    }
+
+    #[test]
+    fn partitioned_run_matches_serial_on_per_client_lans() {
+        assert_parity(
+            quick(400.0).with_clients(4).with_per_client_lans(true),
+            &[2, 4, 8],
+        );
+    }
+
+    #[test]
+    fn partitioned_run_matches_serial_on_a_shared_lan() {
+        // One shared segment means one spoke: the smallest partitioning —
+        // and the default Figure 2 topology (clients = 1) rides through it.
+        assert_parity(quick(300.0), &[2, 4]);
+        assert_parity(quick(350.0).with_clients(3), &[2]);
+    }
+
+    #[test]
+    fn partitioned_run_matches_serial_with_loss_and_faults_armed() {
+        let plan = FaultPlan::new()
+            .at(SimTime::from_millis(700), FaultKind::ServerCrash)
+            .at(
+                SimTime::from_millis(1200),
+                FaultKind::BatteryFailure {
+                    repair_after: Duration::from_millis(400),
+                },
+            )
+            .at(
+                SimTime::from_millis(1600),
+                FaultKind::LossBurst {
+                    duration: Duration::from_millis(300),
+                    probability: 0.6,
+                    segment: Some(1),
+                },
+            )
+            .at(
+                SimTime::from_millis(2100),
+                FaultKind::DiskDegrade {
+                    duration: Duration::from_millis(300),
+                    stall: Duration::from_millis(4),
+                    retries: 2,
+                },
+            );
+        assert_parity(
+            quick(400.0)
+                .with_clients(4)
+                .with_per_client_lans(true)
+                .with_loss(0.03)
+                .with_fault_plan(plan)
+                .with_retry(Duration::from_millis(300), 4),
+            &[2, 4, 8],
+        );
+    }
+
+    #[test]
+    fn partitioned_run_matches_serial_through_scratch_rotations() {
+        // A write-only mix against a tiny rotation limit forces the
+        // freeze/resume rotation protocol (spoke-minted request, hub-side
+        // create, handle mailed back) on every spoke, repeatedly.
+        let mut config = quick(1200.0)
+            .with_clients(2)
+            .with_per_client_lans(true)
+            .with_scratch_file_limit(256 * 1024);
+        config.mix = SfsMix {
+            lookup: 0.0,
+            read: 0.0,
+            write: 100.0,
+            getattr: 0.0,
+            readdir: 0.0,
+            create: 0.0,
+            remove: 0.0,
+            setattr: 0.0,
+            statfs: 0.0,
+        };
+        config.duration = Duration::from_secs(6);
+        let mut serial = SfsSystem::new(config.clone());
+        serial.run();
+        assert!(serial.scratch_rotations() > 0, "hot enough to rotate");
+        assert_parity(config, &[2, 3]);
+    }
+
+    #[test]
+    fn partitioned_run_matches_serial_on_the_scaled_stack() {
+        assert_parity(
+            SfsConfig {
+                duration: Duration::from_secs(2),
+                file_count: 30,
+                file_size: 64 * 1024,
+                ..SfsConfig::scaled(600.0, WritePolicy::Gathering, 8)
+            },
+            &[2, 4, 8],
+        );
+    }
+}

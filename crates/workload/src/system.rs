@@ -8,6 +8,8 @@ use wg_simcore::{Duration, EventQueue, FaultKind, FaultPlan, SimTime, Trace};
 
 use crate::results::FileCopyResult;
 
+mod par;
+
 /// Which network the experiment runs over.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum NetworkKind {
@@ -63,6 +65,10 @@ pub struct ExperimentConfig {
     /// knobs, used by fault tests to force a give-up quickly.  `None` keeps
     /// [`wg_client::ClientConfig::default`].
     pub client_retry: Option<(Duration, u32)>,
+    /// Number of cooperating event loops the run executes on (`0` or `1`
+    /// keeps the serial loop).  Results are bit-identical either way; see
+    /// [`wg_simcore::parallel`].
+    pub sim_threads: usize,
 }
 
 impl ExperimentConfig {
@@ -82,6 +88,7 @@ impl ExperimentConfig {
             trace: false,
             fault_plan: FaultPlan::new(),
             client_retry: None,
+            sim_threads: 0,
         }
     }
 
@@ -139,6 +146,12 @@ impl ExperimentConfig {
         self.client_retry = Some((initial_timeout, max_retransmits));
         self
     }
+
+    /// Run on `n` cooperating event loops (`0` or `1` keeps the serial loop).
+    pub fn with_sim_threads(mut self, n: usize) -> Self {
+        self.sim_threads = n;
+        self
+    }
 }
 
 /// Events flowing through the combined system.
@@ -161,6 +174,13 @@ pub struct FileCopySystem {
     completed_at: Option<SimTime>,
     started_at: SimTime,
     events_processed: u64,
+    /// Time of the last event a partitioned run processed; stands in for the
+    /// serial queue's clock when a faulted cell never completes.
+    par_now: SimTime,
+    /// Events scheduled / clamped by the partitioned executor's keyed queues
+    /// (the serial queue keeps its own counters).
+    par_scheduled_total: u64,
+    par_clamped_past: u64,
 }
 
 impl FileCopySystem {
@@ -220,6 +240,9 @@ impl FileCopySystem {
             completed_at: None,
             started_at: SimTime::ZERO,
             events_processed: 0,
+            par_now: SimTime::ZERO,
+            par_scheduled_total: 0,
+            par_clamped_past: 0,
             client,
             server,
             config,
@@ -231,9 +254,16 @@ impl FileCopySystem {
         self.events_processed
     }
 
-    /// Total events ever scheduled on the system's event queue.
+    /// Total events ever scheduled, across the serial queue and any
+    /// partitioned run's keyed queues.
     pub fn scheduled_total(&self) -> u64 {
-        self.queue.scheduled_total()
+        self.queue.scheduled_total() + self.par_scheduled_total
+    }
+
+    /// Events scheduled into the simulated past (must stay zero; see
+    /// [`EventQueue::clamped_past`]).
+    pub fn clamped_past(&self) -> u64 {
+        self.queue.clamped_past() + self.par_clamped_past
     }
 
     /// Upper bound on events one copy may process before the run is declared
@@ -252,6 +282,13 @@ impl FileCopySystem {
     /// for every event, so the steady-state loop performs no per-event
     /// allocation.
     pub fn run(&mut self) -> FileCopyResult {
+        if self.config.sim_threads >= 2 {
+            return par::run_partitioned(self);
+        }
+        self.run_serial()
+    }
+
+    fn run_serial(&mut self) -> FileCopyResult {
         self.events_processed = 0;
         self.queue
             .schedule_at(SimTime::ZERO, Ev::Client(ClientInput::Start));
@@ -396,7 +433,9 @@ impl FileCopySystem {
             self.client.stats().bytes_acked,
             self.config.file_size
         );
-        let completed_at = self.completed_at.unwrap_or(self.queue.now());
+        let completed_at = self
+            .completed_at
+            .unwrap_or_else(|| self.queue.now().max(self.par_now));
         let elapsed = completed_at.since(self.started_at);
         let elapsed = if elapsed.is_zero() {
             Duration::from_nanos(1)

@@ -1,0 +1,551 @@
+//! Partitioned execution of one [`FileCopySystem`] run.
+//!
+//! The smallest instance of the hub-and-spoke split: one spoke (the client
+//! and its network segment) and the hub (server, disks, fault machinery), so
+//! `sim_threads ≥ 2` always yields exactly two event loops.  Replies provoke
+//! the client's next sends, so the hub gates on an [`OpWindow`] over the ops
+//! it has mailed, exactly like the multi-client driver
+//! (`crate::multi::par`); fault events live on the hub like the SFS driver
+//! (`crate::sfs::par`), with loss bursts shipped to the spoke's medium as
+//! keyed down-ops.  The run is bit-identical to the serial loop.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use wg_client::{ClientAction, ClientInput, FileWriterClient};
+use wg_net::medium::{Direction, Medium};
+use wg_net::TransmitOutcome;
+use wg_nfsproto::{NfsCall, NfsReply};
+use wg_server::{NfsServer, ServerAction, ServerInput};
+use wg_simcore::parallel::{applied_counter, bump_applied};
+use wg_simcore::{
+    BoundCell, Duration, FaultKind, Key, KeyedQueue, Mailbox, Monitor, OpWindow, SimTime,
+};
+
+use super::FileCopySystem;
+use crate::results::FileCopyResult;
+
+/// Client-island → server-island messages.
+enum UpMsg {
+    Datagram {
+        call: NfsCall,
+        wire_size: usize,
+        fragments: u32,
+    },
+}
+
+/// Server-island → spoke operations, executed by the spoke at the carried
+/// key position — exactly where the serial loop ran them inline.
+enum DownOp {
+    Reply {
+        at: SimTime,
+        reply: NfsReply,
+    },
+    Loss {
+        from: SimTime,
+        until: SimTime,
+        probability: f64,
+    },
+}
+
+/// Events of the spoke's queue.
+enum SpokeEv {
+    Client(ClientInput),
+    Op(DownOp),
+}
+
+/// Events of the hub's queue.
+enum HubEv {
+    Server(ServerInput),
+    Fault(FaultKind),
+    BatteryRepair,
+}
+
+/// The channel fabric of one run.
+struct Channels {
+    up: Mailbox<UpMsg>,
+    down: Mailbox<DownOp>,
+    spoke_bound: BoundCell,
+    hub_bound: BoundCell,
+    monitor: Monitor,
+    done: AtomicBool,
+}
+
+const SPOKE_SRC: u32 = 0;
+const HUB_SRC: u32 = 1;
+
+fn mint(ctr: &mut u64) -> u64 {
+    *ctr += 1;
+    *ctr
+}
+
+/// The client partition.
+struct Spoke<'a> {
+    client: &'a mut FileWriterClient,
+    medium: &'a mut Medium,
+    queue: KeyedQueue<SpokeEv>,
+    ctr: u64,
+    last_bound: Key,
+    actions: Vec<ClientAction>,
+    inbound: Vec<(Key, DownOp)>,
+    applied: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    applied_pending: u64,
+    completed_at: Option<SimTime>,
+    events_processed: u64,
+    finished: bool,
+}
+
+impl Spoke<'_> {
+    /// One scheduling round; see `crate::multi::par::Spoke::pump` — exact
+    /// bound stores and bump-after-store op release, same protocol.
+    fn pump(&mut self, lookahead: Duration, ch: &Channels) -> bool {
+        if self.finished {
+            return false;
+        }
+        let mut progressed = false;
+        let gate = ch.hub_bound.read();
+        ch.down.drain_into(&mut self.inbound);
+        for (key, op) in self.inbound.drain(..) {
+            progressed = true;
+            self.queue.schedule(key, SpokeEv::Op(op));
+        }
+        while let Some((key, ev)) = self.queue.pop_below(&gate) {
+            progressed = true;
+            self.handle(key, ev, ch);
+        }
+        if ch.done.load(Ordering::Acquire) {
+            ch.down.drain_into(&mut self.inbound);
+            for (key, op) in self.inbound.drain(..) {
+                self.queue.schedule(key, SpokeEv::Op(op));
+            }
+            while let Some((key, ev)) = self.queue.pop_any() {
+                self.handle(key, ev, ch);
+            }
+            self.finished = true;
+            self.flush_applied();
+            ch.monitor.bump();
+            return true;
+        }
+        let mut bound = Key::MAX;
+        for (key, _) in self.queue.iter() {
+            bound = bound.min(Key::time_bound(key.time + lookahead));
+        }
+        let moved = bound != self.last_bound;
+        if moved {
+            self.last_bound = bound;
+            ch.spoke_bound.store(bound);
+        }
+        self.flush_applied();
+        if moved || progressed {
+            ch.monitor.bump();
+        }
+        progressed
+    }
+
+    fn flush_applied(&mut self) {
+        for _ in 0..self.applied_pending {
+            bump_applied(&self.applied);
+        }
+        self.applied_pending = 0;
+    }
+
+    fn handle(&mut self, key: Key, ev: SpokeEv, ch: &Channels) {
+        match ev {
+            SpokeEv::Client(input) => {
+                self.events_processed += 1;
+                self.client.handle_into(key.time, input, &mut self.actions);
+                for action in self.actions.drain(..) {
+                    match action {
+                        ClientAction::Send { at, call } => {
+                            let size = call.wire_size();
+                            let fragments = self.medium.params().fragments_for(size);
+                            if let TransmitOutcome::Delivered { arrives_at } =
+                                self.medium.transmit(at, size, Direction::ToServer)
+                            {
+                                let seq = mint(&mut self.ctr);
+                                ch.up.post(
+                                    key.child(arrives_at, SPOKE_SRC, seq),
+                                    UpMsg::Datagram {
+                                        call,
+                                        wire_size: size,
+                                        fragments,
+                                    },
+                                );
+                            }
+                        }
+                        ClientAction::Wakeup { at, token } => {
+                            let seq = mint(&mut self.ctr);
+                            self.queue.schedule(
+                                key.child(at, SPOKE_SRC, seq),
+                                SpokeEv::Client(ClientInput::Wakeup { token }),
+                            );
+                        }
+                        ClientAction::Completed { at } => {
+                            self.completed_at = Some(at);
+                        }
+                    }
+                }
+            }
+            SpokeEv::Op(DownOp::Reply { at, reply }) => {
+                let size = reply.wire_size();
+                if let TransmitOutcome::Delivered { arrives_at } =
+                    self.medium.transmit(at, size, Direction::ToClient)
+                {
+                    let seq = mint(&mut self.ctr);
+                    self.queue.schedule(
+                        key.child(arrives_at, SPOKE_SRC, seq),
+                        SpokeEv::Client(ClientInput::Reply(reply)),
+                    );
+                }
+                self.applied_pending += 1;
+            }
+            SpokeEv::Op(DownOp::Loss {
+                from,
+                until,
+                probability,
+            }) => {
+                self.medium.inject_loss_window(from, until, probability);
+                self.applied_pending += 1;
+            }
+        }
+        assert!(
+            self.events_processed < FileCopySystem::MAX_EVENTS,
+            "runaway simulation"
+        );
+    }
+}
+
+/// The server/disk island.
+struct Hub<'a> {
+    server: &'a mut NfsServer,
+    queue: KeyedQueue<HubEv>,
+    ctr: u64,
+    last_bound: Key,
+    window: OpWindow,
+    actions: Vec<ServerAction>,
+    inbound: Vec<(Key, UpMsg)>,
+    events_processed: u64,
+}
+
+impl Hub<'_> {
+    /// Mail one op to the spoke and hold the window open until it is applied
+    /// and covered by the spoke's bound.  Every op is noted — a loss window
+    /// provokes nothing, but noting it keeps the applied count aligned with
+    /// the sent queue (ops are pruned strictly in post order).
+    fn post_op(&mut self, key: Key, op: DownOp, ch: &Channels) {
+        let seq = mint(&mut self.ctr);
+        self.window.note_sent(key.time);
+        ch.down.post(key.op(HUB_SRC, seq), op);
+    }
+
+    fn handle(&mut self, key: Key, ev: HubEv, ch: &Channels) {
+        match ev {
+            HubEv::Server(input) => {
+                self.events_processed += 1;
+                self.server.handle_into(key.time, input, &mut self.actions);
+                let mut actions = std::mem::take(&mut self.actions);
+                for action in actions.drain(..) {
+                    match action {
+                        ServerAction::Wakeup { at, token } => {
+                            let seq = mint(&mut self.ctr);
+                            self.queue.schedule(
+                                key.child(at, HUB_SRC, seq),
+                                HubEv::Server(ServerInput::Wakeup { token }),
+                            );
+                        }
+                        ServerAction::Reply { at, reply, .. } => {
+                            self.post_op(key, DownOp::Reply { at, reply }, ch);
+                        }
+                    }
+                }
+                self.actions = actions;
+            }
+            HubEv::Fault(kind) => {
+                self.events_processed += 1;
+                match kind {
+                    FaultKind::ServerCrash => {
+                        self.server.crash(key.time);
+                    }
+                    FaultKind::BatteryFailure { repair_after } => {
+                        self.server.set_battery(false, key.time);
+                        let seq = mint(&mut self.ctr);
+                        self.queue.schedule(
+                            key.child(key.time + repair_after, HUB_SRC, seq),
+                            HubEv::BatteryRepair,
+                        );
+                    }
+                    FaultKind::DiskDegrade {
+                        duration,
+                        stall,
+                        retries,
+                    } => {
+                        self.server
+                            .inject_disk_fault(key.time, duration, stall, retries);
+                    }
+                    // One segment: a burst aimed anywhere lands on it, same
+                    // as the serial loop.
+                    FaultKind::LossBurst {
+                        duration,
+                        probability,
+                        segment: _,
+                    } => {
+                        self.post_op(
+                            key,
+                            DownOp::Loss {
+                                from: key.time,
+                                until: key.time + duration,
+                                probability,
+                            },
+                            ch,
+                        );
+                    }
+                }
+            }
+            HubEv::BatteryRepair => {
+                self.events_processed += 1;
+                self.server.set_battery(true, key.time);
+            }
+        }
+        assert!(
+            self.events_processed < FileCopySystem::MAX_EVENTS,
+            "runaway simulation"
+        );
+    }
+}
+
+/// The hub's loop; see `crate::multi::par::run_hub` — the window gate is
+/// re-derived after every pop because mailing a reply immediately caps the
+/// batch.
+fn run_hub(hub: &mut Hub, lookahead: Duration, ch: &Channels) {
+    loop {
+        let epoch = ch.monitor.epoch();
+        let mut progressed = false;
+        let sgate = ch.spoke_bound.read();
+        ch.up.drain_into(&mut hub.inbound);
+        for (key, msg) in hub.inbound.drain(..) {
+            progressed = true;
+            let UpMsg::Datagram {
+                call,
+                wire_size,
+                fragments,
+            } = msg;
+            hub.queue.schedule(
+                key,
+                HubEv::Server(ServerInput::Datagram {
+                    client: 0,
+                    call,
+                    wire_size,
+                    fragments,
+                }),
+            );
+        }
+        loop {
+            let limit = sgate.min(hub.window.bound(lookahead));
+            let Some((key, ev)) = hub.queue.pop_below(&limit) else {
+                break;
+            };
+            progressed = true;
+            hub.handle(key, ev, ch);
+        }
+        let wgate = hub.window.bound(lookahead);
+        if hub.queue.is_empty() && sgate == Key::MAX && wgate == Key::MAX {
+            ch.hub_bound.publish(Key::MAX);
+            ch.done.store(true, Ordering::Release);
+            ch.monitor.bump();
+            return;
+        }
+        let horizon = sgate
+            .min(wgate)
+            .min(hub.queue.peek_key().unwrap_or(Key::MAX));
+        let bound = horizon.lift(HUB_SRC);
+        if bound > hub.last_bound {
+            hub.last_bound = bound;
+            ch.hub_bound.publish(bound);
+            ch.monitor.bump();
+            progressed = true;
+        } else if progressed {
+            ch.monitor.bump();
+        }
+        if !progressed {
+            ch.monitor.wait_if(epoch);
+        }
+    }
+}
+
+/// Run `system` as two cooperating event loops (any `sim_threads ≥ 2` maps
+/// to hub + one spoke).  Bit-identical to the serial loop.
+pub(super) fn run_partitioned(system: &mut FileCopySystem) -> FileCopyResult {
+    system.events_processed = 0;
+    system.par_now = SimTime::ZERO;
+    system.completed_at = None;
+    let lookahead = system.config.network.params().lookahead();
+
+    let channels = Channels {
+        up: Mailbox::new(),
+        down: Mailbox::new(),
+        spoke_bound: BoundCell::new(),
+        hub_bound: BoundCell::new(),
+        monitor: Monitor::new(),
+        done: AtomicBool::new(false),
+    };
+    let applied = applied_counter();
+    let mut spoke = Spoke {
+        client: &mut system.client,
+        medium: &mut system.medium,
+        queue: KeyedQueue::new(),
+        ctr: 0,
+        last_bound: Key::MIN,
+        actions: Vec::new(),
+        inbound: Vec::new(),
+        applied: applied.clone(),
+        applied_pending: 0,
+        completed_at: None,
+        events_processed: 0,
+        finished: false,
+    };
+    let mut hub = Hub {
+        server: &mut system.server,
+        queue: KeyedQueue::new(),
+        ctr: 0,
+        last_bound: Key::MIN,
+        window: OpWindow::new(applied),
+        actions: Vec::new(),
+        inbound: Vec::new(),
+        events_processed: 0,
+    };
+    // Same seeds in the same order as the serial loop: the client's Start
+    // first, then the fault plan (hub-minted keys rank after spoke keys on
+    // time ties, preserving the serial insertion order).
+    {
+        let seq = mint(&mut spoke.ctr);
+        spoke.queue.schedule(
+            Key::initial(SimTime::ZERO, SPOKE_SRC, seq),
+            SpokeEv::Client(ClientInput::Start),
+        );
+    }
+    for event in system.config.fault_plan.events() {
+        let seq = mint(&mut hub.ctr);
+        hub.queue.schedule(
+            Key::initial(event.at, HUB_SRC, seq),
+            HubEv::Fault(event.kind),
+        );
+    }
+
+    let ch = &channels;
+    std::thread::scope(|scope| {
+        let spoke = &mut spoke;
+        scope.spawn(move || loop {
+            let epoch = ch.monitor.epoch();
+            let progressed = spoke.pump(lookahead, ch);
+            if spoke.finished {
+                return;
+            }
+            if !progressed {
+                ch.monitor.wait_if(epoch);
+            }
+        });
+        run_hub(&mut hub, lookahead, ch);
+    });
+    debug_assert!(hub.window.is_drained(), "hub exited with unapplied ops");
+    debug_assert!(spoke.queue.is_empty(), "spoke exited with queued events");
+
+    system.events_processed = hub.events_processed + spoke.events_processed;
+    system.par_scheduled_total += hub.queue.scheduled_total() + spoke.queue.scheduled_total();
+    system.par_clamped_past += hub.queue.clamped_past() + spoke.queue.clamped_past();
+    system.par_now = hub.queue.now().time.max(spoke.queue.now().time);
+    system.completed_at = spoke.completed_at;
+    system.result()
+}
+
+#[cfg(test)]
+mod tests {
+    use wg_server::WritePolicy;
+    use wg_simcore::{Duration, FaultKind, FaultPlan, SimTime};
+
+    use super::super::{ExperimentConfig, FileCopySystem, NetworkKind};
+
+    /// Run `config` serially and partitioned, asserting the table cell, the
+    /// counters and the recovery oracle are bit-identical.
+    fn assert_parity(config: ExperimentConfig, threads: &[usize]) {
+        let mut serial = FileCopySystem::new(config.clone().with_sim_threads(0));
+        let want = serial.run();
+        for &n in threads {
+            let mut par = FileCopySystem::new(config.clone().with_sim_threads(n));
+            let got = par.run();
+            let ctx = format!("sim_threads = {n}");
+            assert_eq!(
+                want.client_write_kb_per_sec, got.client_write_kb_per_sec,
+                "{ctx}"
+            );
+            assert_eq!(want.server_cpu_percent, got.server_cpu_percent, "{ctx}");
+            assert_eq!(want.disk_kb_per_sec, got.disk_kb_per_sec, "{ctx}");
+            assert_eq!(want.disk_trans_per_sec, got.disk_trans_per_sec, "{ctx}");
+            assert_eq!(want.elapsed_secs, got.elapsed_secs, "{ctx}");
+            assert_eq!(want.mean_batch_size, got.mean_batch_size, "{ctx}");
+            assert_eq!(want.retransmissions, got.retransmissions, "{ctx}");
+            assert_eq!(want.gave_up, got.gave_up, "{ctx}");
+            assert_eq!(want.completed, got.completed, "{ctx}");
+            assert_eq!(serial.events_processed(), par.events_processed(), "{ctx}");
+            // `scheduled_total` is intentionally not compared: the
+            // partitioned executor schedules mailed ops as queue events
+            // that the serial loop executes inline.
+            assert_eq!(par.clamped_past(), 0, "{ctx}");
+            assert_eq!(
+                serial.lost_acked_bytes_on_disk(),
+                par.lost_acked_bytes_on_disk(),
+                "{ctx}"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_copy_matches_serial() {
+        assert_parity(
+            ExperimentConfig::new(NetworkKind::Fddi, 4, WritePolicy::Gathering)
+                .with_file_size(512 * 1024),
+            &[2, 4],
+        );
+        assert_parity(
+            ExperimentConfig::new(NetworkKind::Ethernet, 2, WritePolicy::Standard)
+                .with_file_size(256 * 1024),
+            &[2],
+        );
+    }
+
+    #[test]
+    fn partitioned_copy_matches_serial_under_faults() {
+        // A crash, a battery failure and a loss burst mid-copy: the faulted
+        // (possibly incomplete) cell must replay identically, including the
+        // elapsed-time fallback for a client that never completes.
+        let plan = FaultPlan::new()
+            .at(SimTime::from_millis(200), FaultKind::ServerCrash)
+            .at(
+                SimTime::from_millis(500),
+                FaultKind::BatteryFailure {
+                    repair_after: Duration::from_millis(300),
+                },
+            )
+            .at(
+                SimTime::from_millis(900),
+                FaultKind::LossBurst {
+                    duration: Duration::from_millis(400),
+                    probability: 0.7,
+                    segment: None,
+                },
+            )
+            .at(
+                SimTime::from_millis(1500),
+                FaultKind::DiskDegrade {
+                    duration: Duration::from_millis(200),
+                    stall: Duration::from_millis(3),
+                    retries: 2,
+                },
+            );
+        assert_parity(
+            ExperimentConfig::new(NetworkKind::Fddi, 4, WritePolicy::Gathering)
+                .with_file_size(512 * 1024)
+                .with_fault_plan(plan)
+                .with_client_retry(Duration::from_millis(150), 3),
+            &[2, 3],
+        );
+    }
+}

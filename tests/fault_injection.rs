@@ -262,6 +262,82 @@ fn sfs_chaos_schedule_accounts_for_every_call() {
 }
 
 // ---------------------------------------------------------------------------
+// The partitioned simulation core replays fault schedules bit for bit.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn partitioned_loops_replay_the_chaos_schedule_bit_for_bit() {
+    // The seeded chaos schedule from above, re-run on 2 and 4 cooperating
+    // event loops: crashes, the loss burst, steady datagram loss and every
+    // retransmission must replay identically to the serial event loop.
+    let secs = 8u64;
+    let horizon = Duration::from_secs(secs);
+    let plan = FaultPlan::seeded_crashes(0xC4A5, Duration::from_secs(3), horizon).at(
+        SimTime::ZERO + Duration::from_secs(5),
+        FaultKind::LossBurst {
+            duration: Duration::from_millis(500),
+            probability: 0.5,
+            segment: None,
+        },
+    );
+    let make = |threads: usize| {
+        let mut config = SfsConfig::figure2(400.0, WritePolicy::Gathering)
+            .with_fault_plan(plan.clone())
+            .with_loss(0.02)
+            .with_sim_threads(threads);
+        config.duration = horizon;
+        config
+    };
+    let mut serial = SfsSystem::new(make(0));
+    let point = serial.run();
+    assert!(serial.server().stats().crashes >= 1);
+    for threads in [2, 4] {
+        let mut par = SfsSystem::new(make(threads));
+        let again = par.run();
+        assert_eq!(
+            format!("{point:?}"),
+            format!("{again:?}"),
+            "sim_threads={threads} diverged from the serial chaos run"
+        );
+        assert_eq!(par.counts(), serial.counts());
+        assert_eq!(par.events_processed(), serial.events_processed());
+        assert_eq!(par.retransmissions(), serial.retransmissions());
+        assert_eq!(par.gave_up(), serial.gave_up());
+        assert_eq!(par.clamped_past(), 0);
+        assert_eq!(
+            par.server().stats().crashes,
+            serial.server().stats().crashes
+        );
+        assert_eq!(par.server().stats().lost_acked_bytes, 0);
+    }
+}
+
+#[test]
+fn partitioned_copy_survives_the_crash_identically() {
+    // The mid-copy crash under the partitioned core: the reboot, the
+    // retransmission storm and the recovery oracle all replay exactly.
+    let mut serial =
+        FileCopySystem::new(copy_config(WritePolicy::Gathering).with_fault_plan(mid_copy_crash()));
+    let a = serial.run();
+    for threads in [2, 4] {
+        let mut par = FileCopySystem::new(
+            copy_config(WritePolicy::Gathering)
+                .with_fault_plan(mid_copy_crash())
+                .with_sim_threads(threads),
+        );
+        let b = par.run();
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "sim_threads={threads} diverged from the serial crash-recovery run"
+        );
+        assert_eq!(par.events_processed(), serial.events_processed());
+        assert_eq!(par.clamped_past(), 0);
+        assert_eq!(par.lost_acked_bytes_on_disk(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Give-up is a counted failure, never a silent success.
 // ---------------------------------------------------------------------------
 

@@ -196,6 +196,46 @@ fn scaled_stack_beats_the_single_client_baseline_at_heavy_load() {
 }
 
 #[test]
+fn partitioned_event_loops_are_bit_identical_to_serial() {
+    let _serial = serialised();
+    // The partitioned simulation core re-runs the scaled stack on 2/4/8
+    // cooperating event loops; every recorded field — the figure point, the
+    // per-client breakdown, the health counters — must match the serial run
+    // bit for bit, and nothing may be clamped into the past.
+    let config = quick_scaled(0.0, 4);
+    let serial = SfsSweep::new(config.clone()).run_stats(&[900.0]);
+    for threads in [2, 4, 8] {
+        let par = SfsSweep::new(config.clone().with_sim_threads(threads)).run_stats(&[900.0]);
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{par:?}"),
+            "sim_threads={threads} diverged from the serial event loop"
+        );
+        assert_eq!(par[0].clamped_past, 0);
+    }
+}
+
+#[test]
+fn partitioned_idle_segments_reach_the_horizon_without_stalling() {
+    let _serial = serialised();
+    // A trickle load over per-client LANs: spokes sit idle (bound at
+    // infinity) for most of the run and the last arrivals land against the
+    // duration boundary — the degenerate horizon cases of the conservative
+    // protocol.  The run must terminate and still match the serial loop.
+    let config = quick_scaled(0.0, 4);
+    let serial = SfsSweep::new(config.clone()).run_stats(&[8.0]);
+    for threads in [2, 4] {
+        let par = SfsSweep::new(config.clone().with_sim_threads(threads)).run_stats(&[8.0]);
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{par:?}"),
+            "sim_threads={threads} diverged on the near-idle topology"
+        );
+        assert_eq!(par[0].clamped_past, 0);
+    }
+}
+
+#[test]
 fn scaled_run_keeps_the_dupcache_and_scratch_contracts() {
     let _serial = serialised();
     let mut system = SfsSystem::new(quick_scaled(1200.0, 4));
