@@ -21,9 +21,10 @@
 //! serial event loop and again on 2/4/8 cooperating event loops
 //! (`SfsConfig::sim_threads`), every partitioned run asserted bit-identical
 //! to the serial one and the wall clock recorded per thread count.  The
-//! ≥ 2× speedup assert only arms on hosts that actually offer ≥ 4 CPUs;
-//! on smaller hosts the cell records the assert as skipped instead of
-//! silently passing.  `--sim-threads N` additionally runs every curve
+//! ≥ 2× speedup assert only arms in the full run on hosts that actually
+//! offer ≥ 4 CPUs; a smoke cell (or a smaller host) records the measured
+//! ratio as skipped instead of silently passing — or flakily failing on a
+//! noisy shared runner.  `--sim-threads N` additionally runs every curve
 //! point on N event loops (the points stay bit-identical by construction,
 //! which the parity suites pin).
 //!
@@ -188,9 +189,18 @@ fn run_curve(label: &str, config: SfsConfig, loads: &[f64], threads: usize) -> C
 /// event loops, every partitioned run asserted bit-identical to the serial
 /// one, with the wall clock recorded per thread count.
 ///
-/// The ≥ 2× speedup assert is only armed when the host offers ≥ 4 CPUs;
-/// otherwise the cell records the assert as skipped — never as passed.
-fn run_parallel_core_cell(clients: usize, secs: u64, load: f64, thread_counts: &[usize]) -> String {
+/// The ≥ 2× speedup assert is only armed when `assert_speedup` is set (the
+/// full run) *and* the host offers ≥ 4 CPUs; otherwise the cell records the
+/// assert as skipped, with the measured ratio — never as passed.  A smoke
+/// cell is too small to measure wall clock reliably on a shared runner, so
+/// it always records instead of asserting.
+fn run_parallel_core_cell(
+    clients: usize,
+    secs: u64,
+    load: f64,
+    thread_counts: &[usize],
+    assert_speedup: bool,
+) -> String {
     let mut config = SfsConfig::scaled(load, WritePolicy::Gathering, clients);
     config.duration = wg_simcore::Duration::from_secs(secs);
 
@@ -246,19 +256,25 @@ fn run_parallel_core_cell(clients: usize, secs: u64, load: f64, thread_counts: &
     }
 
     let host = host_parallelism();
-    let speedup_assert = if host >= 4 {
+    let speedup_assert = if host < 4 {
+        println!(
+            "parallel_core: host offers {host} CPU(s); recording the wall \
+             clocks without asserting the >=2x speedup"
+        );
+        format!("skipped: host offers {host} CPU(s)")
+    } else if !assert_speedup {
+        println!(
+            "parallel_core: smoke cell; recording {best_speedup:.2}x without \
+             asserting the >=2x speedup"
+        );
+        format!("skipped: smoke cell ({best_speedup:.2}x)")
+    } else {
         assert!(
             best_speedup >= 2.0,
             "partitioned big-topology speedup {best_speedup:.2}x < 2x on a \
              {host}-CPU host"
         );
         "passed".to_string()
-    } else {
-        println!(
-            "parallel_core: host offers {host} CPU(s); recording the wall \
-             clocks without asserting the >=2x speedup"
-        );
-        format!("skipped: host offers {host} CPU(s)")
     };
     json::object(&[
         ("clients", clients.to_string()),
@@ -460,9 +476,9 @@ fn main() {
     // The partitioned-core cell: big topology in the full run, scaled down
     // in smoke so CI still exercises the serial-vs-partitioned race.
     let parallel_core = if smoke {
-        run_parallel_core_cell(32, 2, 600.0, &[2, 4])
+        run_parallel_core_cell(32, 2, 600.0, &[2, 4], false)
     } else {
-        run_parallel_core_cell(256, 5, 2000.0, &[2, 4, 8])
+        run_parallel_core_cell(256, 5, 2000.0, &[2, 4, 8], true)
     };
 
     let sfs_scale = json::object(&[

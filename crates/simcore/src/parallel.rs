@@ -350,11 +350,16 @@ impl BoundCell {
 
     /// Store the exact computed bound, even if it sorts below the previous
     /// one.  Only sound when the reader combines this cell with an
-    /// [`OpWindow`]: a regression can only happen because an op materialised
-    /// new local work, and until that op's applied count moves the window
-    /// still caps the reader's effective horizon below anything the new work
-    /// can send — so the extra promise being withdrawn was never usable.
-    /// Partitions without window tracking must use [`BoundCell::publish`].
+    /// [`OpWindow`] *and observes the window before the bound*: a regression
+    /// can only happen because an op materialised new local work, and until
+    /// that op's applied count moves the window still caps the reader's
+    /// effective horizon below anything the new work can send — so the extra
+    /// promise being withdrawn was never usable.  The storer must make the
+    /// regressed bound visible *before* bumping the applied count, and the
+    /// reader must discard any cached bound once it observes the window
+    /// prune (the bump un-caps the horizon, so a bound read before the
+    /// prune is no longer trustworthy).  Partitions without window tracking
+    /// must use [`BoundCell::publish`].
     pub fn store(&self, key: Key) {
         *self.bound.lock().expect("bound poisoned") = key;
     }

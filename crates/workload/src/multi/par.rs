@@ -349,20 +349,34 @@ impl Hub<'_> {
 }
 
 /// The hub's loop: gate on spoke bounds *and* op windows, drain mail,
-/// process, publish.  The window gate is re-derived after every pop because
-/// mailing a reply immediately caps how much further the batch may run —
-/// the reply can provoke a datagram that must interleave with later events.
+/// process, publish.
+///
+/// Observation order is the heart of the protocol.  A spoke that applies a
+/// mailed op posts its provoked sends, stores the (possibly *regressed*)
+/// covering bound, and only then bumps the applied count — so the hub looks
+/// at the op windows *before* the spoke bounds: a window seen unpruned still
+/// caps the effective gate below anything its op can provoke, and a window
+/// seen pruned guarantees the regressed bound and the posted mail are
+/// visible to the reads that follow.  The window gate is re-derived per pop
+/// (mailing a reply immediately caps how much further the batch may run),
+/// and whenever it *rises* — a spoke pruned mid-round — the cached `sgate`
+/// and the mail drain are both potentially stale, so the round restarts to
+/// re-read them before popping anything else or publishing a horizon.
 fn run_hub(hub: &mut Hub, cx: &Cx) {
     loop {
         let epoch = cx.ch.monitor.epoch();
         let mut progressed = false;
-        // Bounds first, then mail (see `Spoke::pump` for why the order
-        // matters): any message with a key at or below the gate we compute
-        // here is already visible to the drain below.
-        let mut sgate = Key::MAX;
-        for cell in &cx.ch.spoke_bounds {
-            sgate = sgate.min(cell.read());
-        }
+        // Windows first, then bounds, then mail (see above): any message with
+        // a key at or below the gates we read here is already visible to the
+        // drain below.
+        let mut wgate = hub.window_gate(cx.lookahead);
+        let sgate = {
+            let mut gate = Key::MAX;
+            for cell in &cx.ch.spoke_bounds {
+                gate = gate.min(cell.read());
+            }
+            gate
+        };
         for mail in &cx.ch.up {
             mail.drain_into(&mut hub.inbound);
         }
@@ -384,15 +398,41 @@ fn run_hub(hub: &mut Hub, cx: &Cx) {
                 }),
             );
         }
+        let mut stale = false;
         loop {
-            let limit = sgate.min(hub.window_gate(cx.lookahead));
+            let fresh = hub.window_gate(cx.lookahead);
+            if fresh > wgate {
+                stale = true;
+                break;
+            }
+            wgate = fresh;
+            let limit = sgate.min(wgate);
             let Some((key, ev)) = hub.queue.pop_below(&limit) else {
                 break;
             };
             progressed = true;
             hub.handle(key, ev, cx);
         }
-        let wgate = hub.window_gate(cx.lookahead);
+        if !stale {
+            // One last look before trusting the pair for the done check and
+            // the published horizon: a prune after the final pop invalidates
+            // `sgate` just the same.
+            let fresh = hub.window_gate(cx.lookahead);
+            if fresh > wgate {
+                stale = true;
+            } else {
+                wgate = fresh;
+            }
+        }
+        if stale {
+            // A spoke applied a mailed op mid-round: its bound may have
+            // regressed below `sgate` and its provoked mail may be undrained.
+            // Wake anyone waiting on ops we mailed, then start the round over.
+            if progressed {
+                cx.ch.monitor.bump();
+            }
+            continue;
+        }
         // Every spoke's queue is empty (exact bounds at MAX), every mailed op
         // was applied and covered, and our own queue and mail are drained:
         // nothing is in flight anywhere — the run is done.

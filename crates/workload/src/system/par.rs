@@ -312,13 +312,15 @@ impl Hub<'_> {
     }
 }
 
-/// The hub's loop; see `crate::multi::par::run_hub` — the window gate is
-/// re-derived after every pop because mailing a reply immediately caps the
-/// batch.
+/// The hub's loop; see `crate::multi::par::run_hub` for the observation-order
+/// rule this follows: op window first, then the spoke bound, then mail, with
+/// the round restarted whenever the window gate rises mid-round (the spoke
+/// pruned, so the cached bound and the mail drain may both be stale).
 fn run_hub(hub: &mut Hub, lookahead: Duration, ch: &Channels) {
     loop {
         let epoch = ch.monitor.epoch();
         let mut progressed = false;
+        let mut wgate = hub.window.bound(lookahead);
         let sgate = ch.spoke_bound.read();
         ch.up.drain_into(&mut hub.inbound);
         for (key, msg) in hub.inbound.drain(..) {
@@ -338,15 +340,35 @@ fn run_hub(hub: &mut Hub, lookahead: Duration, ch: &Channels) {
                 }),
             );
         }
+        let mut stale = false;
         loop {
-            let limit = sgate.min(hub.window.bound(lookahead));
+            let fresh = hub.window.bound(lookahead);
+            if fresh > wgate {
+                stale = true;
+                break;
+            }
+            wgate = fresh;
+            let limit = sgate.min(wgate);
             let Some((key, ev)) = hub.queue.pop_below(&limit) else {
                 break;
             };
             progressed = true;
             hub.handle(key, ev, ch);
         }
-        let wgate = hub.window.bound(lookahead);
+        if !stale {
+            let fresh = hub.window.bound(lookahead);
+            if fresh > wgate {
+                stale = true;
+            } else {
+                wgate = fresh;
+            }
+        }
+        if stale {
+            if progressed {
+                ch.monitor.bump();
+            }
+            continue;
+        }
         if hub.queue.is_empty() && sgate == Key::MAX && wgate == Key::MAX {
             ch.hub_bound.publish(Key::MAX);
             ch.done.store(true, Ordering::Release);
