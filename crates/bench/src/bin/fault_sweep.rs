@@ -26,7 +26,7 @@
 //! ```
 
 use wg_bench::report::upsert_object;
-use wg_server::WritePolicy;
+use wg_server::{StabilityMode, WritePolicy};
 use wg_simcore::{Duration, FaultKind, FaultPlan, SimTime};
 use wg_workload::results::json;
 use wg_workload::sfs::SfsSystem;
@@ -161,6 +161,106 @@ fn run_sfs_cell(
     ])
 }
 
+/// The battery-failure × unstable-mode cell: the Prestoserve configuration
+/// speaking `WRITE(UNSTABLE)` + `COMMIT` over the unified cache while the
+/// NVRAM battery dies mid-run.  A dead battery leaves unstable data with no
+/// stable destination, so the server must force `FILE_SYNC` semantics for
+/// the outage — counted in `forced_file_sync` — rather than silently acking
+/// unstable writes it could lose.  The oracle still demands zero lost
+/// acknowledged bytes and zero bytes left uncommitted after the quiesce.
+fn run_unstable_battery_cell(label: &str, load: f64, secs: u64) -> String {
+    let mut config = SfsConfig::figure3(load, WritePolicy::Gathering);
+    config.duration = Duration::from_secs(secs);
+    let plan = FaultPlan::new().at(
+        SimTime::ZERO + Duration::from_secs(secs / 3),
+        FaultKind::BatteryFailure {
+            repair_after: Duration::from_secs(secs / 3),
+        },
+    );
+    let config = config
+        .with_fault_plan(plan)
+        .with_unified_cache(4096)
+        .with_stability(StabilityMode::Unstable);
+    let before = wg_nfsproto::payload::materialize_count();
+    let mut system = SfsSystem::new(config);
+    let point = system.run();
+    let materializations = wg_nfsproto::payload::materialize_count() - before;
+    system.quiesce_server();
+    let evicted = system.server().dupcache_evicted_in_progress();
+    let uncommitted = system.server().uncommitted_bytes();
+    let stats = system.server().stats();
+
+    assert!(
+        stats.battery_failures > 0,
+        "{label}: the battery-failure fault never fired"
+    );
+    assert!(
+        stats.forced_file_sync > 0,
+        "{label}: a dead battery must downgrade unstable writes to FILE_SYNC, \
+         not ack them with no stable destination"
+    );
+    assert!(
+        stats.unstable_writes > 0 && stats.commits > 0,
+        "{label}: the healthy-battery phases never spoke WRITE(UNSTABLE)+COMMIT"
+    );
+    assert_eq!(
+        stats.lost_acked_bytes, 0,
+        "{label}: acknowledged write data was lost across the battery outage"
+    );
+    assert_eq!(
+        uncommitted, 0,
+        "{label}: the quiesce left acknowledged-unstable bytes uncommitted"
+    );
+    assert_eq!(
+        evicted, 0,
+        "{label}: dupcache evicted an InProgress entry (§6.9 hazard)"
+    );
+    assert_eq!(
+        materializations, 0,
+        "{label}: the zero-copy datapath materialised a payload"
+    );
+    assert_eq!(
+        system.clamped_past(),
+        0,
+        "{label}: an event was scheduled into the past and silently clamped"
+    );
+
+    println!(
+        "{label:<26} achieved {:>7.1} ops/s  latency {:>8.2} ms  unstable {:>6}  \
+         forced_sync {:>5}  commits {:>4}  lost_acked {}",
+        point.achieved_ops_per_sec,
+        point.avg_latency_ms,
+        stats.unstable_writes,
+        stats.forced_file_sync,
+        stats.commits,
+        stats.lost_acked_bytes,
+    );
+    json::object(&[
+        (
+            "offered_ops_per_sec",
+            json::number(point.offered_ops_per_sec),
+        ),
+        (
+            "achieved_ops_per_sec",
+            json::number(point.achieved_ops_per_sec),
+        ),
+        ("avg_latency_ms", json::number(point.avg_latency_ms)),
+        ("prestoserve", "true".to_string()),
+        ("stability", json::string("unstable")),
+        ("battery_failures", stats.battery_failures.to_string()),
+        ("unstable_writes", stats.unstable_writes.to_string()),
+        ("forced_file_sync", stats.forced_file_sync.to_string()),
+        ("commits", stats.commits.to_string()),
+        ("lost_acked_bytes", stats.lost_acked_bytes.to_string()),
+        ("lost_unstable_bytes", stats.lost_unstable_bytes.to_string()),
+        ("uncommitted_after_quiesce", uncommitted.to_string()),
+        ("evicted_in_progress", evicted.to_string()),
+        ("materializations", materializations.to_string()),
+        ("clamped_past", system.clamped_past().to_string()),
+        ("host_parallelism", host_parallelism().to_string()),
+    ])
+}
+
 /// One file-copy chaos cell: a mid-copy crash under a given policy, the
 /// client retransmitting through the reboot.  Safe policies must finish the
 /// copy with zero acknowledged loss; `DangerousAsync` reports its counted
@@ -288,6 +388,10 @@ fn main() {
     // Battery failure mid-run on the Prestoserve configuration: NVRAM
     // drains, degrades to write-through, recovers on repair.
     let battery = run_sfs_cell("presto_battery_failure", true, load, secs, 0.0, 0.0, true);
+    // The same outage with the v3 unstable-write protocol armed: the dead
+    // battery must force FILE_SYNC semantics, never ack unstable data with
+    // no stable destination.
+    let battery_unstable = run_unstable_battery_cell("presto_battery_unstable", load, secs);
     // Mid-copy crash under each policy: the copy survives on the safe
     // policies; the dangerous one's losses are counted, never hidden.
     let copy_standard = run_copy_cell("copy_crash_standard", WritePolicy::Standard, false, 2);
@@ -311,6 +415,7 @@ fn main() {
         ("grid", json::object(&grid_fields)),
         ("reference_no_fault", reference),
         ("presto_battery_failure", battery),
+        ("presto_battery_unstable", battery_unstable),
         ("copy_crash_standard", copy_standard),
         ("copy_crash_gathering", copy_gathering),
         ("copy_crash_presto", copy_presto),

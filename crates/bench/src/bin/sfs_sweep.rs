@@ -28,13 +28,27 @@
 //! point on N event loops (the points stay bit-identical by construction,
 //! which the parity suites pin).
 //!
+//! The sweep also records the **stability ablation** — the three ways the
+//! write path can promise durability, measured over the SFS mix and the file
+//! copy: `sync` (the paper's synchronous FILE_SYNC writes), `nvram`
+//! (Prestoserve absorbing the sync writes), and `unstable` (the NFSv3-style
+//! `WRITE(UNSTABLE)` + `COMMIT` protocol over the bounded unified buffer
+//! cache — the experiment the paper could not run).  A fourth SFS cell runs
+//! the unstable mode in the **memory-pressure regime** (cache smaller than
+//! the working set) and asserts the bounded cache actually evicts and
+//! throttles instead of silently behaving like the old infinite store.
+//! Every cell ends with an unmount-style quiesce and asserts zero
+//! acknowledged-and-lost bytes and zero bytes left uncommitted.
+//!
 //! Results are merged into `BENCH_writepath.json` under the `"sfs_scale"`
-//! key (the other bench binaries preserve it when they rewrite the file).
+//! and `"stability"` keys (the other bench binaries preserve them when they
+//! rewrite the file).
 //!
 //! ```text
 //! cargo run --release -p wg-bench --bin sfs_sweep                   # full sweep
 //! cargo run --release -p wg-bench --bin sfs_sweep -- --smoke --clients 4 --shards 4 --spindles 6 --overlap
 //! cargo run --release -p wg-bench --bin sfs_sweep -- --smoke --sim-threads 2 --clients 8 --shards 4
+//! cargo run --release -p wg-bench --bin sfs_sweep -- --smoke --stability all --unified-cache
 //! cargo run --release -p wg-bench --bin sfs_sweep -- --clients 8 --lans --threads 8
 //! cargo run --release -p wg-bench --bin sfs_sweep -- --out other.json
 //! ```
@@ -42,9 +56,12 @@
 use std::time::Instant;
 
 use wg_bench::report::upsert_object;
-use wg_server::WritePolicy;
+use wg_server::{StabilityMode, WritePolicy};
 use wg_workload::results::json;
-use wg_workload::{SfsConfig, SfsRunStats, SfsSweep};
+use wg_workload::sfs::SfsSystem;
+use wg_workload::{
+    ExperimentConfig, FileCopySystem, NetworkKind, SfsConfig, SfsRunStats, SfsSweep,
+};
 
 /// Offered loads of the full sweep: the figure range plus enough headroom to
 /// find the scaled configuration's knee.
@@ -292,6 +309,346 @@ fn run_parallel_core_cell(
     ])
 }
 
+/// One stability-ablation cell over the SFS mix: the workload run to
+/// completion, the server quiesced (an unmount-style drain of the
+/// write-behind cache), and the durability ledger asserted clean.
+#[allow(clippy::too_many_arguments)]
+fn run_stability_sfs_cell(
+    label: &str,
+    presto: bool,
+    stability: StabilityMode,
+    cache_pages: u64,
+    dirty_ratio: f64,
+    load: f64,
+    secs: u64,
+    expect_pressure: bool,
+) -> String {
+    let mut config = if presto {
+        SfsConfig::figure3(load, WritePolicy::Gathering)
+    } else {
+        SfsConfig::figure2(load, WritePolicy::Gathering)
+    };
+    config.duration = wg_simcore::Duration::from_secs(secs);
+    let config = config
+        .with_unified_cache(cache_pages)
+        .with_dirty_ratio(dirty_ratio)
+        .with_stability(stability);
+    let before = wg_nfsproto::payload::materialize_count();
+    let mut system = SfsSystem::new(config);
+    let point = system.run();
+    let materializations = wg_nfsproto::payload::materialize_count() - before;
+    system.quiesce_server();
+    let evicted = system.server().dupcache_evicted_in_progress();
+    let uncommitted = system.server().uncommitted_bytes();
+    let stats = system.server().stats();
+    let fs = system.server().fs().counters();
+
+    assert_eq!(
+        stats.lost_acked_bytes, 0,
+        "{label}: acknowledged write data was lost without a crash"
+    );
+    assert_eq!(
+        uncommitted, 0,
+        "{label}: the quiesce left acknowledged-unstable bytes uncommitted"
+    );
+    assert_eq!(
+        stats.forced_file_sync, 0,
+        "{label}: the server downgraded an unstable write with a healthy battery"
+    );
+    assert_eq!(evicted, 0, "{label}: dupcache evicted an InProgress entry");
+    assert_eq!(
+        materializations, 0,
+        "{label}: the zero-copy datapath materialised a payload"
+    );
+    assert_eq!(
+        system.clamped_past(),
+        0,
+        "{label}: an event was scheduled into the past and silently clamped"
+    );
+    match stability {
+        StabilityMode::Unstable => {
+            assert!(
+                stats.unstable_writes > 0 && stats.commits > 0,
+                "{label}: the unstable cell never spoke WRITE(UNSTABLE)+COMMIT"
+            );
+        }
+        StabilityMode::Stable => {
+            assert_eq!(
+                stats.unstable_writes + stats.commits,
+                0,
+                "{label}: a FILE_SYNC cell spoke the v3 protocol"
+            );
+        }
+    }
+    if expect_pressure {
+        // The whole point of the memory-pressure cell: a cache smaller than
+        // the working set must evict and throttle, not silently behave like
+        // the old infinite store.
+        assert!(
+            fs.cache_evictions > 0,
+            "{label}: cache smaller than the working set never evicted"
+        );
+        assert!(
+            fs.throttle_stalls > 0,
+            "{label}: dirty ratio over threshold never throttled a writer"
+        );
+    }
+
+    println!(
+        "{label:<18} achieved {:>7.1} ops/s  latency {:>8.2} ms  unstable {:>6}  \
+         commits {:>4}  evictions {:>6}  throttle {:>5}  writeback {:>6}  \
+         lost_acked {}  uncommitted {}",
+        point.achieved_ops_per_sec,
+        point.avg_latency_ms,
+        stats.unstable_writes,
+        stats.commits,
+        fs.cache_evictions,
+        fs.throttle_stalls,
+        fs.writeback_blocks,
+        stats.lost_acked_bytes,
+        uncommitted,
+    );
+    json::object(&[
+        (
+            "stability",
+            json::string(match stability {
+                StabilityMode::Stable => "file_sync",
+                StabilityMode::Unstable => "unstable",
+            }),
+        ),
+        ("prestoserve", presto.to_string()),
+        ("cache_pages", cache_pages.to_string()),
+        ("dirty_ratio", json::number(dirty_ratio)),
+        (
+            "offered_ops_per_sec",
+            json::number(point.offered_ops_per_sec),
+        ),
+        (
+            "achieved_ops_per_sec",
+            json::number(point.achieved_ops_per_sec),
+        ),
+        ("avg_latency_ms", json::number(point.avg_latency_ms)),
+        ("unstable_writes", stats.unstable_writes.to_string()),
+        ("commits", stats.commits.to_string()),
+        ("forced_file_sync", stats.forced_file_sync.to_string()),
+        ("cache_evictions", fs.cache_evictions.to_string()),
+        ("throttle_stalls", fs.throttle_stalls.to_string()),
+        ("writeback_blocks", fs.writeback_blocks.to_string()),
+        ("lost_acked_bytes", stats.lost_acked_bytes.to_string()),
+        ("lost_unstable_bytes", stats.lost_unstable_bytes.to_string()),
+        ("uncommitted_after_quiesce", uncommitted.to_string()),
+        ("evicted_in_progress", evicted.to_string()),
+        ("materializations", materializations.to_string()),
+        ("clamped_past", system.clamped_past().to_string()),
+        ("host_parallelism", host_parallelism().to_string()),
+    ])
+}
+
+/// One stability-ablation cell over the file copy: the 4-biod FDDI copy in
+/// each durability mode, the client committing its unstable ranges at close.
+fn run_stability_copy_cell(
+    label: &str,
+    presto: bool,
+    stability: StabilityMode,
+    cache_pages: u64,
+    file_mb: u64,
+) -> String {
+    let config = ExperimentConfig::new(NetworkKind::Fddi, 4, WritePolicy::Gathering)
+        .with_presto(presto)
+        .with_file_size(file_mb * 1024 * 1024)
+        .with_unified_cache(cache_pages)
+        .with_stability(stability);
+    let mut system = FileCopySystem::new(config);
+    let result = system.run();
+    let stats = system.server().stats();
+    let client = system.client().stats();
+
+    assert!(result.completed, "{label}: the copy did not complete");
+    assert_eq!(
+        stats.lost_acked_bytes, 0,
+        "{label}: acknowledged write data was lost without a crash"
+    );
+    assert_eq!(
+        system.lost_acked_bytes_on_disk(),
+        0,
+        "{label}: acknowledged data missing from the on-disk file"
+    );
+    assert_eq!(
+        system.server().uncommitted_bytes(),
+        0,
+        "{label}: the client closed with acknowledged-unstable bytes uncommitted"
+    );
+    assert!(
+        system.client().uncommitted_ranges().is_empty(),
+        "{label}: the client still tracks uncommitted ranges after close"
+    );
+    assert_eq!(
+        system.clamped_past(),
+        0,
+        "{label}: an event was scheduled into the past and silently clamped"
+    );
+    if stability == StabilityMode::Unstable {
+        assert!(
+            stats.unstable_writes > 0 && client.commits_sent > 0,
+            "{label}: the unstable copy never spoke WRITE(UNSTABLE)+COMMIT"
+        );
+    }
+
+    println!(
+        "{label:<18} {:>7.0} KB/s  unstable {:>6}  commits {:>3}  \
+         mismatches {}  lost_acked {}  completed {}",
+        result.client_write_kb_per_sec,
+        stats.unstable_writes,
+        client.commits_sent,
+        client.verifier_mismatches,
+        stats.lost_acked_bytes,
+        result.completed,
+    );
+    json::object(&[
+        (
+            "stability",
+            json::string(match stability {
+                StabilityMode::Stable => "file_sync",
+                StabilityMode::Unstable => "unstable",
+            }),
+        ),
+        ("prestoserve", presto.to_string()),
+        ("cache_pages", cache_pages.to_string()),
+        ("file_mb", file_mb.to_string()),
+        (
+            "client_write_kb_per_sec",
+            json::number(result.client_write_kb_per_sec),
+        ),
+        ("unstable_writes", stats.unstable_writes.to_string()),
+        ("commits_sent", client.commits_sent.to_string()),
+        (
+            "verifier_mismatches",
+            client.verifier_mismatches.to_string(),
+        ),
+        ("lost_acked_bytes", stats.lost_acked_bytes.to_string()),
+        ("completed", result.completed.to_string()),
+        ("clamped_past", system.clamped_past().to_string()),
+        ("host_parallelism", host_parallelism().to_string()),
+    ])
+}
+
+/// Dirty-ratio threshold of the memory-pressure cell: tight enough that the
+/// tiny cache's writers must stall on writeback instead of dirtying freely.
+const PRESSURE_DIRTY_RATIO: f64 = 0.05;
+
+/// The three-way stability ablation (sync vs NVRAM vs unstable+COMMIT) over
+/// the SFS mix and the file copy, plus the memory-pressure cell.  `modes`
+/// filters which durability modes run; the recorded object carries only the
+/// cells that ran.
+fn run_stability_ablation(
+    modes: &str,
+    cache_pages: u64,
+    sync_cache_pages: u64,
+    dirty_ratio: f64,
+    smoke: bool,
+) -> String {
+    let (load, secs, file_mb, pressure_pages) = if smoke {
+        (300.0, 3, 1, 64)
+    } else {
+        (800.0, 10, 4, 128)
+    };
+    let stable = modes == "all" || modes == "stable";
+    let unstable = modes == "all" || modes == "unstable";
+
+    let mut sfs_cells: Vec<(&str, String)> = Vec::new();
+    let mut copy_cells: Vec<(&str, String)> = Vec::new();
+    if stable {
+        sfs_cells.push((
+            "sync",
+            run_stability_sfs_cell(
+                "sfs_sync",
+                false,
+                StabilityMode::Stable,
+                sync_cache_pages,
+                dirty_ratio,
+                load,
+                secs,
+                false,
+            ),
+        ));
+        sfs_cells.push((
+            "nvram",
+            run_stability_sfs_cell(
+                "sfs_nvram",
+                true,
+                StabilityMode::Stable,
+                0,
+                dirty_ratio,
+                load,
+                secs,
+                false,
+            ),
+        ));
+        copy_cells.push((
+            "sync",
+            run_stability_copy_cell("copy_sync", false, StabilityMode::Stable, 0, file_mb),
+        ));
+        copy_cells.push((
+            "nvram",
+            run_stability_copy_cell("copy_nvram", true, StabilityMode::Stable, 0, file_mb),
+        ));
+    }
+    if unstable {
+        sfs_cells.push((
+            "unstable",
+            run_stability_sfs_cell(
+                "sfs_unstable",
+                false,
+                StabilityMode::Unstable,
+                cache_pages,
+                dirty_ratio,
+                load,
+                secs,
+                false,
+            ),
+        ));
+        // The memory-pressure regime: a cache far smaller than the working
+        // set, with a correspondingly tight dirty threshold — a handful of
+        // dirty pages is all the tiny cache can absorb before writers must
+        // wait on the flush.
+        sfs_cells.push((
+            "unstable_pressure",
+            run_stability_sfs_cell(
+                "sfs_unstable_mp",
+                false,
+                StabilityMode::Unstable,
+                pressure_pages,
+                PRESSURE_DIRTY_RATIO,
+                load,
+                secs,
+                true,
+            ),
+        ));
+        copy_cells.push((
+            "unstable",
+            run_stability_copy_cell(
+                "copy_unstable",
+                false,
+                StabilityMode::Unstable,
+                cache_pages,
+                file_mb,
+            ),
+        ));
+    }
+
+    json::object(&[
+        ("modes", json::string(modes)),
+        ("smoke", smoke.to_string()),
+        ("secs", secs.to_string()),
+        ("offered_ops_per_sec", json::number(load)),
+        ("cache_pages", cache_pages.to_string()),
+        ("pressure_cache_pages", pressure_pages.to_string()),
+        ("dirty_ratio", json::number(dirty_ratio)),
+        ("sfs", json::object(&sfs_cells)),
+        ("copy", json::object(&copy_cells)),
+    ])
+}
+
 fn parse_list(s: &str) -> Vec<f64> {
     s.split(',')
         .map(|v| v.trim().parse().expect("comma-separated numbers"))
@@ -317,6 +674,10 @@ fn main() {
     let mut secs: Option<u64> = None;
     let mut loads: Option<Vec<f64>> = None;
     let mut smoke = false;
+    let mut stability = "all".to_string();
+    let mut unified_cache = false;
+    let mut cache_pages = 4096u64;
+    let mut dirty_ratio = 0.5f64;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -391,12 +752,35 @@ fn main() {
             "--no-lans" => lans = false,
             "--read-caching" => read_caching = true,
             "--no-read-caching" => read_caching = false,
+            "--stability" => {
+                stability = iter.next().expect("--stability needs stable|unstable|all");
+                assert!(
+                    matches!(stability.as_str(), "stable" | "unstable" | "all"),
+                    "--stability needs stable|unstable|all, got {stability}"
+                );
+            }
+            "--unified-cache" => unified_cache = true,
+            "--cache-pages" => {
+                cache_pages = iter
+                    .next()
+                    .expect("--cache-pages needs a count")
+                    .parse()
+                    .expect("--cache-pages needs a number");
+            }
+            "--dirty-ratio" => {
+                dirty_ratio = iter
+                    .next()
+                    .expect("--dirty-ratio needs a ratio")
+                    .parse()
+                    .expect("--dirty-ratio needs a number");
+            }
             other => panic!(
                 "unknown argument {other}; use --smoke, --out PATH, --clients N, \
                  --shards N, --cores N, --spindles N, --inode-groups N, \
                  --threads N, --sim-threads N, --secs N, --loads A,B,C, \
                  --overlap/--no-overlap, --lans/--no-lans, \
-                 --read-caching/--no-read-caching"
+                 --read-caching/--no-read-caching, --stability MODE, \
+                 --unified-cache, --cache-pages N, --dirty-ratio X"
             ),
         }
     }
@@ -508,8 +892,22 @@ fn main() {
             ]),
         ),
     ]);
+    // The three-way durability ablation: sync vs NVRAM vs unstable+COMMIT,
+    // over the SFS mix and the file copy, plus the memory-pressure cell.
+    // `--unified-cache` additionally bounds the sync cell's page cache (the
+    // default sync cell keeps the paper's write path untouched).
+    let sync_cache_pages = if unified_cache { cache_pages } else { 0 };
+    let stability_cells = run_stability_ablation(
+        &stability,
+        cache_pages,
+        sync_cache_pages,
+        dirty_ratio,
+        smoke,
+    );
+
     let previous = std::fs::read_to_string(&out_path).unwrap_or_default();
     let report = upsert_object(&previous, "sfs_scale", &sfs_scale);
+    let report = upsert_object(&report, "stability", &stability_cells);
     std::fs::write(&out_path, report).expect("write report");
     println!("wrote {out_path}");
 }

@@ -523,6 +523,34 @@ pub mod report {
         }
 
         #[test]
+        fn stability_key_rides_alongside_the_existing_sections() {
+            // sfs_sweep writes both "sfs_scale" and "stability"; a binary
+            // that owns neither must carry both verbatim, and upserting
+            // "stability" must leave its neighbours untouched.
+            let text = concat!(
+                r#"{"bench":"writepath","faults":{"grid":{"c":1}},"#,
+                r#""stability":{"sfs":{"sync":{"lost_acked_bytes":0},"#,
+                r#""unstable":{"commits":17}},"copy":{"unstable":{"kb":1637}}},"#,
+                r#""sfs_scale":{"baseline":{"p":1}}}"#
+            );
+            let carried = carry_unknown_keys(text, &["bench", "faults"]);
+            assert_eq!(carried.len(), 2);
+            assert_eq!(carried[0].0, "stability");
+            assert!(carried[0].1.contains(r#""commits":17"#));
+            assert_eq!(carried[1].0, "sfs_scale");
+            assert_eq!(
+                extract_object(text, "stability").as_deref(),
+                Some(&carried[0].1[..])
+            );
+            // The nested "sync" cell is not a top-level key.
+            assert_eq!(extract_object(text, "sync"), None);
+            let updated = upsert_object(text, "stability", r#"{"sfs":{}}"#);
+            assert!(updated.contains(r#""stability":{"sfs":{}}"#));
+            assert!(updated.contains(r#""faults":{"grid":{"c":1}}"#));
+            assert!(updated.contains(r#""sfs_scale":{"baseline":{"p":1}}"#));
+        }
+
+        #[test]
         fn braces_inside_strings_do_not_unbalance_the_scan() {
             let text = r#"{"a":{"label":"odd } text { here"},"b":{"v":1}}"#;
             assert_eq!(extract_object(text, "b"), Some(r#"{"v":1}"#.into()));

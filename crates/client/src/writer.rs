@@ -2,7 +2,10 @@
 
 use std::collections::HashMap;
 
-use wg_nfsproto::{FileHandle, NfsCall, NfsCallBody, NfsReply, WriteArgs, Xid};
+use wg_nfsproto::{
+    CommitArgs, FileHandle, NfsCall, NfsCallBody, NfsReply, NfsReplyBody, StableHow, StatusReply,
+    WriteArgs, Xid,
+};
 use wg_simcore::{Duration, SimRng, SimTime};
 
 /// In what order the client writes the file's blocks.
@@ -48,6 +51,15 @@ pub struct ClientConfig {
     /// can tell whose data landed in a block; 0 preserves the single-client
     /// pattern (block index modulo 256).
     pub fill_salt: u8,
+    /// Stability the client requests on every WRITE.  The default
+    /// [`StableHow::FileSync`] is the v2 behaviour of the paper's clients.
+    /// With [`StableHow::Unstable`] the client runs the NFSv3-style
+    /// async-write protocol: replies marked `UNSTABLE` are tracked as
+    /// uncommitted alongside their write verifier, a COMMIT is issued at
+    /// close, and a verifier mismatch in the COMMIT reply (the server
+    /// rebooted and lost the cache) makes the client re-send the affected
+    /// ranges and commit again.
+    pub stability: StableHow,
 }
 
 impl Default for ClientConfig {
@@ -63,6 +75,7 @@ impl Default for ClientConfig {
             pattern: AccessPattern::Sequential,
             xid_base: 0x0001_0000,
             fill_salt: 0,
+            stability: StableHow::FileSync,
         }
     }
 }
@@ -136,6 +149,14 @@ pub struct ClientStats {
     /// Total time the application process spent blocked waiting for a reply
     /// (directly or in close).
     pub blocked_time: Duration,
+    /// COMMIT requests sent (unstable mode only; excludes retransmissions).
+    pub commits_sent: u64,
+    /// COMMIT replies whose verifier did not match the one some uncommitted
+    /// write was acknowledged under — each one means the server rebooted with
+    /// the client's data in its cache.
+    pub verifier_mismatches: u64,
+    /// Bytes re-sent because a verifier mismatch voided their acknowledgement.
+    pub resent_bytes: u64,
 }
 
 impl ClientStats {
@@ -159,8 +180,16 @@ enum TimerKind {
     Retransmit { xid: Xid, attempt: u32 },
 }
 
+/// What an outstanding request is (drives reply handling and retransmission).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ReqKind {
+    Write,
+    Commit,
+}
+
 #[derive(Clone, Debug)]
 struct Outstanding {
+    kind: ReqKind,
     offset: u64,
     len: u64,
     attempt: u32,
@@ -206,7 +235,17 @@ pub struct FileWriterClient {
     /// Every `(offset, len)` the server acknowledged, in acknowledgement
     /// order.  The fault-injection recovery oracle walks this after a crash:
     /// each acknowledged range must still be readable from stable storage.
+    /// In unstable mode a range only lands here once a COMMIT whose verifier
+    /// matches its write verifier succeeds (or the server promoted the write
+    /// to FILE_SYNC) — so the oracle's promise stays exactly "this data is
+    /// on stable storage".
     acked_writes: Vec<(u64, u64)>,
+    /// Unstable-acknowledged ranges not yet covered by a matching COMMIT:
+    /// `(offset, len, verifier the WRITE reply carried)`.
+    uncommitted: Vec<(u64, u64, u64)>,
+    /// Set when a COMMIT exhausted its retransmissions: stop trying (the
+    /// uncommitted data stays un-acked, a counted failure).
+    commit_gave_up: bool,
 }
 
 impl FileWriterClient {
@@ -235,6 +274,8 @@ impl FileWriterClient {
             stats: ClientStats::default(),
             blocked_since: None,
             acked_writes: Vec::with_capacity(blocks as usize),
+            uncommitted: Vec::new(),
+            commit_gave_up: false,
             handle,
             config,
         }
@@ -258,8 +299,15 @@ impl FileWriterClient {
 
     /// Every `(offset, len)` range the server has acknowledged so far, in
     /// acknowledgement order.  Used by the fault-injection recovery oracle.
+    /// In unstable mode, only ranges a successful COMMIT covered.
     pub fn acked_writes(&self) -> &[(u64, u64)] {
         &self.acked_writes
+    }
+
+    /// Ranges acknowledged with `UNSTABLE` semantics and not yet covered by a
+    /// matching COMMIT (empty for v2-mode clients and after a clean close).
+    pub fn uncommitted_ranges(&self) -> &[(u64, u64, u64)] {
+        &self.uncommitted
     }
 
     /// The fill byte this client writes into the block at `offset` (see
@@ -346,6 +394,7 @@ impl FileWriterClient {
         self.outstanding.insert(
             xid,
             Outstanding {
+                kind: ReqKind::Write,
                 offset,
                 len,
                 attempt: 0,
@@ -355,7 +404,7 @@ impl FileWriterClient {
             },
         );
         self.stats.requests_sent += 1;
-        self.send_write(now, xid, offset, len, 0, actions);
+        self.send_request(now, xid, actions);
 
         if app_blocking {
             self.app = AppState::BlockedOnRequest(xid);
@@ -366,38 +415,46 @@ impl FileWriterClient {
         }
     }
 
-    fn send_write(
-        &mut self,
-        now: SimTime,
-        xid: Xid,
-        offset: u64,
-        len: u64,
-        attempt: u32,
-        actions: &mut Vec<ClientAction>,
-    ) {
-        // Deterministic, recognisable payload: the low byte of the block
-        // index (salted per client in multi-client runs), so end-to-end tests
-        // can verify data integrity at the server.  Carried as a fill pattern
-        // — no payload bytes are allocated anywhere on the simulated datapath.
-        let fill = ((offset / self.config.chunk_size) as u8).wrapping_add(self.config.fill_salt);
-        let call = NfsCall::new(
-            xid,
-            NfsCallBody::Write(WriteArgs::fill(
-                self.handle,
-                offset as u32,
-                fill,
-                len as u32,
-            )),
-        );
+    /// (Re-)send the request `xid`.  Its [`Outstanding`] entry must already
+    /// be in the table: the entry's kind/offset/len drive the wire body and
+    /// its current `attempt` drives the retransmission backoff.
+    fn send_request(&mut self, now: SimTime, xid: Xid, actions: &mut Vec<ClientAction>) {
+        let out = self.outstanding[&xid].clone();
+        let body = match out.kind {
+            ReqKind::Write => {
+                // Deterministic, recognisable payload: the low byte of the
+                // block index (salted per client in multi-client runs), so
+                // end-to-end tests can verify data integrity at the server.
+                // Carried as a fill pattern — no payload bytes are allocated
+                // anywhere on the simulated datapath.
+                let fill = ((out.offset / self.config.chunk_size) as u8)
+                    .wrapping_add(self.config.fill_salt);
+                NfsCallBody::Write(
+                    WriteArgs::fill(self.handle, out.offset as u32, fill, out.len as u32)
+                        .with_stability(self.config.stability),
+                )
+            }
+            // Commit the whole file (count = 0 = to EOF): this client's close
+            // wants everything stable, not a range.
+            ReqKind::Commit => NfsCallBody::Commit(CommitArgs {
+                file: self.handle,
+                offset: 0,
+                count: 0,
+            }),
+        };
+        let call = NfsCall::new(xid, body);
         actions.push(ClientAction::Send { at: now, call });
         // Arm the retransmission timer for this attempt.
         let mut timeout = self.config.initial_timeout.as_secs_f64();
-        for _ in 0..attempt {
+        for _ in 0..out.attempt {
             timeout *= self.config.backoff_factor;
         }
         self.schedule(
             now + Duration::from_secs_f64(timeout),
-            TimerKind::Retransmit { xid, attempt },
+            TimerKind::Retransmit {
+                xid,
+                attempt: out.attempt,
+            },
             actions,
         );
     }
@@ -408,8 +465,30 @@ impl FileWriterClient {
             // retransmission we had given up on): ignore.
             return;
         };
-        self.stats.bytes_acked += out.len;
-        self.acked_writes.push((out.offset, out.len));
+        match out.kind {
+            ReqKind::Write => {
+                self.stats.bytes_acked += out.len;
+                match &reply.body {
+                    // Acknowledged volatile: remember the range and the
+                    // verifier; only a matching COMMIT makes it "acked".
+                    NfsReplyBody::WriteVerf(StatusReply::Ok(ok))
+                        if ok.committed == StableHow::Unstable =>
+                    {
+                        self.uncommitted.push((out.offset, out.len, ok.verf));
+                    }
+                    // FILE_SYNC semantics (v2 reply, or a promoted unstable
+                    // write whose WriteVerf says FILE_SYNC): stable now.
+                    _ => self.acked_writes.push((out.offset, out.len)),
+                }
+            }
+            ReqKind::Commit => {
+                if let NfsReplyBody::Commit(StatusReply::Ok(ok)) = &reply.body {
+                    self.on_commit_ok(ok.verf);
+                }
+                // An error reply leaves everything uncommitted (never acked);
+                // the close path below decides whether to try again.
+            }
+        }
         if let Some(b) = out.biod {
             self.biod_busy[b] = false;
         }
@@ -420,15 +499,43 @@ impl FileWriterClient {
         }
         match self.app {
             AppState::BlockedOnRequest(xid) if xid == reply.xid => {
-                // The application wakes up and keeps writing.
+                // The application wakes up and keeps writing (after a
+                // verifier mismatch, `start_generating` picks up the
+                // re-queued blocks; after a clean commit it falls through to
+                // the close path and finishes).
                 self.start_generating(now, actions);
             }
             AppState::Closing if self.outstanding.is_empty() => {
-                self.finish(now, actions);
+                self.enter_close(now, actions);
             }
             _ => {}
         }
         let _ = out.first_sent;
+    }
+
+    /// A COMMIT succeeded with verifier `verf`: uncommitted ranges whose
+    /// write verifier matches are stable now; ranges acknowledged under a
+    /// different boot's verifier were lost to a reboot and must be re-sent.
+    fn on_commit_ok(&mut self, verf: u64) {
+        let mut mismatched = false;
+        let mut requeue: Vec<u64> = Vec::new();
+        for &(offset, len, wverf) in &self.uncommitted {
+            if wverf == verf {
+                self.acked_writes.push((offset, len));
+            } else {
+                mismatched = true;
+                // The acknowledgement was voided along with the data; the
+                // re-sent write will count these bytes again.
+                self.stats.bytes_acked -= len;
+                self.stats.resent_bytes += len;
+                requeue.push(offset / self.config.chunk_size);
+            }
+        }
+        self.uncommitted.clear();
+        if mismatched {
+            self.stats.verifier_mismatches += 1;
+            self.remaining.extend(requeue);
+        }
     }
 
     fn on_retransmit_timer(
@@ -451,6 +558,9 @@ impl FileWriterClient {
             // on so the run terminates.
             self.stats.gave_up += 1;
             let out = self.outstanding.remove(&xid).expect("present");
+            if out.kind == ReqKind::Commit {
+                self.commit_gave_up = true;
+            }
             if let Some(b) = out.biod {
                 self.biod_busy[b] = false;
             }
@@ -462,19 +572,44 @@ impl FileWriterClient {
             return;
         }
         out.attempt += 1;
-        let (offset, len, attempt) = (out.offset, out.len, out.attempt);
         self.stats.retransmissions += 1;
-        self.send_write(now, xid, offset, len, attempt, actions);
+        self.send_request(now, xid, actions);
     }
 
     fn enter_close(&mut self, now: SimTime, actions: &mut Vec<ClientAction>) {
-        if self.outstanding.is_empty() {
-            self.finish(now, actions);
-        } else {
-            // sync-on-close: block until every outstanding write is answered.
+        if !self.outstanding.is_empty() {
+            // sync-on-close: block until every outstanding request is
+            // answered (the blocked clock may already be running if we got
+            // here from a reply in the Closing state).
             self.app = AppState::Closing;
-            self.blocked_since = Some(now);
+            self.blocked_since.get_or_insert(now);
+            return;
         }
+        // Everything answered.  An unstable-mode close owes the server a
+        // COMMIT for whatever is still volatile; the application blocks on
+        // it like on any request it sends itself.
+        if !self.uncommitted.is_empty() && !self.commit_gave_up {
+            let xid = Xid(self.next_xid);
+            self.next_xid += 1;
+            self.outstanding.insert(
+                xid,
+                Outstanding {
+                    kind: ReqKind::Commit,
+                    offset: 0,
+                    len: 0,
+                    attempt: 0,
+                    app_blocking: true,
+                    biod: None,
+                    first_sent: now,
+                },
+            );
+            self.stats.commits_sent += 1;
+            self.app = AppState::BlockedOnRequest(xid);
+            self.blocked_since.get_or_insert(now);
+            self.send_request(now, xid, actions);
+            return;
+        }
+        self.finish(now, actions);
     }
 
     fn finish(&mut self, now: SimTime, actions: &mut Vec<ClientAction>) {
@@ -763,6 +898,157 @@ mod tests {
         // The abandoned request is a *counted* failure, never silent success.
         assert_eq!(stats.gave_up, 1);
         assert!(client.acked_writes().is_empty());
+    }
+
+    /// A toy unstable-mode server: acknowledges writes `UNSTABLE` under the
+    /// current verifier, answers COMMIT with the current verifier, and can be
+    /// "crashed" (verifier bump) at a scheduled time.
+    fn run_unstable_client(
+        mut client: FileWriterClient,
+        crash_after_writes: Option<u64>,
+    ) -> FileWriterClient {
+        let mut queue = wg_simcore::EventQueue::new();
+        queue.schedule_at(SimTime::ZERO, ClientInput::Start);
+        let mut verf = 100u64;
+        let mut writes_seen = 0u64;
+        let mut guard = 0u64;
+        while let Some((t, input)) = queue.pop() {
+            guard += 1;
+            assert!(guard < 100_000, "runaway unstable client simulation");
+            for action in client.handle(t, input) {
+                match action {
+                    ClientAction::Send { at, call } => {
+                        let body = match &call.body {
+                            NfsCallBody::Write(_) => {
+                                writes_seen += 1;
+                                if Some(writes_seen) == crash_after_writes {
+                                    // The server reboots: cached data dies,
+                                    // the next boot mints a new verifier.
+                                    verf += 1;
+                                }
+                                NfsReplyBody::WriteVerf(StatusReply::Ok(wg_nfsproto::WriteVerfOk {
+                                    attributes: Fattr::default(),
+                                    committed: StableHow::Unstable,
+                                    verf,
+                                }))
+                            }
+                            NfsCallBody::Commit(_) => {
+                                NfsReplyBody::Commit(StatusReply::Ok(wg_nfsproto::CommitOk {
+                                    attributes: Fattr::default(),
+                                    verf,
+                                }))
+                            }
+                            other => panic!("unexpected call {other:?}"),
+                        };
+                        queue.schedule_at(
+                            at + Duration::from_millis(1),
+                            ClientInput::Reply(NfsReply::new(call.xid, body)),
+                        );
+                    }
+                    ClientAction::Wakeup { at, token } => {
+                        queue.schedule_at(at, ClientInput::Wakeup { token });
+                    }
+                    ClientAction::Completed { .. } => {}
+                }
+            }
+            if client.is_done() {
+                break;
+            }
+        }
+        assert!(client.is_done());
+        client
+    }
+
+    #[test]
+    fn unstable_close_commits_and_only_then_reports_acked() {
+        let cfg = ClientConfig {
+            file_size: 64 * 1024, // 8 chunks
+            biods: 4,
+            stability: StableHow::Unstable,
+            ..ClientConfig::default()
+        };
+        let client = run_unstable_client(FileWriterClient::new(cfg, handle()), None);
+        let stats = client.stats();
+        assert_eq!(stats.commits_sent, 1);
+        assert_eq!(stats.verifier_mismatches, 0);
+        assert_eq!(stats.bytes_acked, 64 * 1024);
+        // Every range moved from uncommitted to acked via the COMMIT.
+        assert!(client.uncommitted_ranges().is_empty());
+        let total: u64 = client.acked_writes().iter().map(|(_, l)| l).sum();
+        assert_eq!(total, 64 * 1024);
+    }
+
+    #[test]
+    fn verifier_mismatch_resends_lost_ranges_and_recommits() {
+        let cfg = ClientConfig {
+            file_size: 64 * 1024, // 8 chunks
+            biods: 0,             // serialise so "crash after 5 writes" is exact
+            stability: StableHow::Unstable,
+            ..ClientConfig::default()
+        };
+        // The server "reboots" before acknowledging the 6th write: writes
+        // 1–5 carry the old verifier, 6–8 the new one.  The close-time
+        // COMMIT returns the new verifier, voiding writes 1–5.
+        let client = run_unstable_client(FileWriterClient::new(cfg, handle()), Some(6));
+        let stats = client.stats();
+        assert_eq!(stats.verifier_mismatches, 1);
+        assert_eq!(stats.resent_bytes, 5 * 8192);
+        assert_eq!(stats.commits_sent, 2, "a second COMMIT covers the re-send");
+        // After recovery everything is acked exactly once.
+        assert_eq!(stats.bytes_acked, 64 * 1024);
+        assert!(client.uncommitted_ranges().is_empty());
+        let mut offsets: Vec<u64> = client.acked_writes().iter().map(|(o, _)| *o).collect();
+        offsets.sort_unstable();
+        assert_eq!(offsets, (0..8u64).map(|b| b * 8192).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn promoted_file_sync_replies_need_no_commit() {
+        // A server with no stable lazy destination answers UNSTABLE requests
+        // with committed = FILE_SYNC; the client must not track them as
+        // uncommitted nor send a COMMIT.
+        let cfg = ClientConfig {
+            file_size: 32 * 1024,
+            biods: 4,
+            stability: StableHow::Unstable,
+            ..ClientConfig::default()
+        };
+        let mut client = FileWriterClient::new(cfg, handle());
+        let mut queue = wg_simcore::EventQueue::new();
+        queue.schedule_at(SimTime::ZERO, ClientInput::Start);
+        while let Some((t, input)) = queue.pop() {
+            for action in client.handle(t, input) {
+                match action {
+                    ClientAction::Send { at, call } => {
+                        let body = match &call.body {
+                            NfsCallBody::Write(_) => {
+                                NfsReplyBody::WriteVerf(StatusReply::Ok(wg_nfsproto::WriteVerfOk {
+                                    attributes: Fattr::default(),
+                                    committed: StableHow::FileSync,
+                                    verf: 7,
+                                }))
+                            }
+                            other => panic!("no COMMIT expected, got {other:?}"),
+                        };
+                        queue.schedule_at(
+                            at + Duration::from_millis(1),
+                            ClientInput::Reply(NfsReply::new(call.xid, body)),
+                        );
+                    }
+                    ClientAction::Wakeup { at, token } => {
+                        queue.schedule_at(at, ClientInput::Wakeup { token });
+                    }
+                    ClientAction::Completed { .. } => {}
+                }
+            }
+            if client.is_done() {
+                break;
+            }
+        }
+        assert!(client.is_done());
+        assert_eq!(client.stats().commits_sent, 0);
+        assert_eq!(client.stats().bytes_acked, 32 * 1024);
+        assert_eq!(client.acked_writes().len(), 4);
     }
 
     #[test]

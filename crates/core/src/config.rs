@@ -19,6 +19,24 @@ pub enum WritePolicy {
     DangerousAsync,
 }
 
+/// Which stability semantics the write path offers clients.
+///
+/// [`StabilityMode::Stable`] is the NFS v2 contract the paper measures: every
+/// WRITE is on stable storage before its reply.  [`StabilityMode::Unstable`]
+/// is the NFSv3-style path the industry replaced it with: clients mark writes
+/// `UNSTABLE`, the server acknowledges them from the unified buffer cache
+/// with a boot verifier, and a later COMMIT makes a range stable.  The mode
+/// is primarily a client/workload knob (the server always honours whatever
+/// `stable_how` a request carries), recorded here so one configuration value
+/// describes a whole experiment cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum StabilityMode {
+    /// Fully stable per-write commit (NFS v2; the default).
+    Stable,
+    /// `WRITE(UNSTABLE)` + `COMMIT` against the unified buffer cache.
+    Unstable,
+}
+
 /// The order in which a gathering server releases a batch of pending replies.
 ///
 /// §6.7: LIFO was tried first ("wake up the blocked client process sooner")
@@ -206,6 +224,28 @@ pub struct ServerConfig {
     /// exercised when a fault plan injects a crash; it has no effect on a
     /// fault-free run.
     pub reboot_time: Duration,
+    /// Arm the bounded unified buffer cache (see
+    /// [`wg_ufs::FsParams::cache_pages`]).  Off by default: the paper's
+    /// server has an effectively unbounded cache and no write-behind, which
+    /// is exactly what the golden tables pin.  Required for
+    /// `WRITE(UNSTABLE)` to be honoured — without a managed cache there is
+    /// no write-behind machinery to make unstable data stable later.
+    pub unified_cache: bool,
+    /// Capacity of the unified cache in 8 KB pages, used only when
+    /// [`ServerConfig::unified_cache`] is set.
+    pub cache_pages: u64,
+    /// Fraction of the unified cache that may be dirty before writers are
+    /// throttled (see [`wg_ufs::FsParams::dirty_ratio`]).
+    pub dirty_ratio: f64,
+    /// The stability semantics this experiment cell runs under (recorded on
+    /// the server config so benches can label cells; the server itself
+    /// honours the `stable_how` of each arriving WRITE).
+    pub stability: StabilityMode,
+    /// Interval between background write-behind passes over the unified
+    /// cache's dirty pages.  Each pass drains one batch through the storage
+    /// stack (NVRAM first when Presto is configured) and reschedules itself
+    /// while dirty pages remain.
+    pub writeback_interval: Duration,
 }
 
 impl ServerConfig {
@@ -231,6 +271,11 @@ impl ServerConfig {
             cores: 1,
             io_overlap: false,
             reboot_time: Duration::from_secs(1),
+            unified_cache: false,
+            cache_pages: 4096,
+            dirty_ratio: 0.5,
+            stability: StabilityMode::Stable,
+            writeback_interval: Duration::from_millis(100),
         }
     }
 
@@ -306,6 +351,37 @@ impl ServerConfig {
         self.reboot_time = d;
         self
     }
+
+    /// Arm the bounded unified buffer cache with `pages` 8 KB pages (see
+    /// [`ServerConfig::unified_cache`]).  `pages == 0` disarms it.
+    pub fn with_unified_cache(mut self, pages: u64) -> Self {
+        self.unified_cache = pages > 0;
+        if pages > 0 {
+            self.cache_pages = pages;
+        }
+        self
+    }
+
+    /// Set the dirty-ratio writer throttle of the unified cache (see
+    /// [`ServerConfig::dirty_ratio`]).
+    pub fn with_dirty_ratio(mut self, ratio: f64) -> Self {
+        self.dirty_ratio = ratio;
+        self
+    }
+
+    /// Select the stability semantics of the experiment cell (see
+    /// [`StabilityMode`]).
+    pub fn with_stability(mut self, mode: StabilityMode) -> Self {
+        self.stability = mode;
+        self
+    }
+
+    /// Set the background write-behind interval of the unified cache (see
+    /// [`ServerConfig::writeback_interval`]).
+    pub fn with_writeback_interval(mut self, d: Duration) -> Self {
+        self.writeback_interval = d;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -324,6 +400,10 @@ mod tests {
         assert_eq!(std.shards, 1);
         assert_eq!(std.cores, 1);
         assert!(!std.io_overlap);
+        // The unified cache and unstable writes post-date the paper: off by
+        // default so every golden table keeps its original write path.
+        assert!(!std.unified_cache);
+        assert_eq!(std.stability, StabilityMode::Stable);
         let g = ServerConfig::gathering();
         assert_eq!(g.policy, WritePolicy::Gathering);
     }
@@ -345,6 +425,17 @@ mod tests {
         assert_eq!(cfg.cores, 2);
         assert!(cfg.io_overlap);
         assert_eq!(cfg.procrastination, Duration::from_millis(5));
+        let cell = ServerConfig::standard()
+            .with_unified_cache(512)
+            .with_dirty_ratio(0.25)
+            .with_stability(StabilityMode::Unstable)
+            .with_writeback_interval(Duration::from_millis(40));
+        assert!(cell.unified_cache);
+        assert_eq!(cell.cache_pages, 512);
+        assert_eq!(cell.dirty_ratio, 0.25);
+        assert_eq!(cell.stability, StabilityMode::Unstable);
+        assert_eq!(cell.writeback_interval, Duration::from_millis(40));
+        assert!(!ServerConfig::standard().with_unified_cache(0).unified_cache);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod handles;
 pub mod server;
 pub mod stats;
 
-pub use config::{CostParams, ReplyOrder, ServerConfig, StorageConfig, WritePolicy};
+pub use config::{CostParams, ReplyOrder, ServerConfig, StabilityMode, StorageConfig, WritePolicy};
 pub use dupcache::DuplicateRequestCache;
 pub use gather::{FileGather, GatherPhase, PendingWrite};
 pub use handles::{attributes_to_fattr, fs_error_to_status, handle_for, ino_from_handle};

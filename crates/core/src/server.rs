@@ -32,8 +32,8 @@ use std::sync::Arc;
 use wg_disk::{BlockDevice, DeviceStats, Disk, DiskRequest, StripeSet};
 use wg_net::SocketBuffer;
 use wg_nfsproto::{
-    DirOpOk, NfsCall, NfsCallBody, NfsReply, NfsReplyBody, NfsStatus, Payload, ReadOk, StatfsOk,
-    StatusReply, WriteArgs, Xid,
+    CommitOk, DirOpOk, NfsCall, NfsCallBody, NfsReply, NfsReplyBody, NfsStatus, Payload, ReadOk,
+    StableHow, StatfsOk, StatusReply, WriteArgs, WriteVerfOk, Xid,
 };
 use wg_nvram::{Presto, PrestoParams};
 use wg_simcore::{Duration, MultiCpu, SimTime, Trace, TraceKind};
@@ -55,6 +55,15 @@ fn write_source(payload: &Payload) -> WriteSource<'_> {
 fn saturate_u32(v: u64) -> u32 {
     v.min(u32::MAX as u64) as u32
 }
+
+/// Seed of the write/commit boot-instance verifier.  The live verifier is
+/// this seed plus the crash count — a pure function of observable server
+/// history, so serial and partitioned drivers mint bit-identical verifiers.
+const BOOT_VERIFIER_SEED: u64 = 0x1994_0606;
+
+/// Pages one background write-behind pass drains from the unified cache
+/// (64 × 8 KB = 512 KB, a few clustered transfers per pass).
+const WRITEBACK_BATCH_PAGES: u64 = 64;
 
 use crate::config::{ReplyOrder, ServerConfig, WritePolicy};
 use crate::dupcache::{DupState, DuplicateRequestCache};
@@ -117,6 +126,10 @@ enum WakeReason {
     /// A gathering nfsd's procrastination interval (or first-write latency
     /// window) expired for the given file.
     GatherContinue { nfsd: usize, ino: InodeNumber },
+    /// The unified cache's background write-behind pass is due: drain one
+    /// batch of dirty pages to stable storage and reschedule while dirty
+    /// pages remain.
+    Writeback,
 }
 
 /// A request sitting in the socket buffer.
@@ -181,6 +194,22 @@ pub struct NfsServer {
     /// volatile — only [`WritePolicy::DangerousAsync`] ever populates this.
     /// The crash oracle walks it to count acknowledged-write loss.
     acked_volatile: HashMap<InodeNumber, BTreeSet<u64>>,
+    /// Logical blocks acknowledged with `UNSTABLE` semantics and not yet
+    /// covered by a COMMIT.  The crash oracle walks it to count the loss the
+    /// NFSv3 contract *permits* ([`ServerStats::lost_unstable_bytes`]) —
+    /// clients holding a mismatching verifier re-send this data.
+    unstable_acked: HashMap<InodeNumber, BTreeSet<u64>>,
+    /// The current boot instance's write verifier (changes on every crash).
+    boot_verifier: u64,
+    /// Whether the NVRAM battery is healthy (always true for plain disks).
+    /// With Presto on a dead battery the server stops accepting `UNSTABLE`
+    /// writes — like the real board it degrades to synchronous write-through
+    /// rather than promising lazy stability it cannot deliver cheaply.
+    battery_ok: bool,
+    /// Whether a [`WakeReason::Writeback`] pass is already on the timer
+    /// wheel (one pass in flight at a time keeps the drain rate equal to the
+    /// configured interval).
+    writeback_scheduled: bool,
     /// Active injected disk-degradation window, if any.
     disk_fault: Option<DiskFault>,
     /// `InProgress` dupcache evictions accumulated from shard partitions that
@@ -241,6 +270,12 @@ impl NfsServer {
             data_capacity: config.data_capacity,
             inode_groups: config.inode_groups.max(1) as u64,
             read_caching: config.read_caching,
+            cache_pages: if config.unified_cache {
+                config.cache_pages
+            } else {
+                0
+            },
+            dirty_ratio: config.dirty_ratio,
             ..wg_ufs::FsParams::default()
         };
         NfsServer {
@@ -259,6 +294,10 @@ impl NfsServer {
             io_completions: Vec::new(),
             recovering_until: SimTime::ZERO,
             acked_volatile: HashMap::new(),
+            unstable_acked: HashMap::new(),
+            boot_verifier: BOOT_VERIFIER_SEED,
+            battery_ok: true,
+            writeback_scheduled: false,
             disk_fault: None,
             pre_crash_evicted_in_progress: 0,
             config,
@@ -406,6 +445,9 @@ impl NfsServer {
                         WakeReason::GatherContinue { nfsd, ino } => {
                             self.continue_gather(now, nfsd, ino, actions);
                         }
+                        WakeReason::Writeback => {
+                            self.background_writeback(now, actions);
+                        }
                     }
                 }
             }
@@ -424,6 +466,7 @@ impl NfsServer {
     fn shard_of_call(&self, call: &NfsCall) -> usize {
         let handle = match &call.body {
             NfsCallBody::Write(a) => &a.file,
+            NfsCallBody::Commit(a) => &a.file,
             NfsCallBody::Read(a) => &a.file,
             NfsCallBody::Getattr(a) | NfsCallBody::Statfs(a) => &a.file,
             NfsCallBody::Setattr(a) => &a.file,
@@ -729,6 +772,45 @@ impl NfsServer {
                 }
                 Err(e) => NfsReplyBody::Read(StatusReply::Err(fs_error_to_status(e))),
             },
+            // COMMIT: make a previously `UNSTABLE`-acknowledged range stable.
+            // VOP_SYNCDATA over the range, one metadata flush, and the reply
+            // carries the boot verifier the client compares against its
+            // remembered write verifiers.  Committing already-stable data
+            // (e.g. after write-behind drained it) finds nothing dirty and
+            // replies at CPU speed.
+            NfsCallBody::Commit(a) => match ino_from_handle(&self.fs, &a.file) {
+                Ok(ino) => {
+                    let from = a.offset as u64;
+                    let to = if a.count == 0 {
+                        u64::MAX
+                    } else {
+                        from + a.count as u64
+                    };
+                    done = done.max(self.vnode_free(ino));
+                    done = self.cpu.run(done, self.config.costs.ufs_trip);
+                    let data_plan = self.fs.sync_data(ino, from, to).unwrap_or_default();
+                    let meta_plan = self
+                        .fs
+                        .fsync(ino, FsyncFlags::MetadataOnly)
+                        .unwrap_or_default();
+                    done = self.run_io_plan(done, data_plan.data.iter());
+                    if !meta_plan.metadata.is_empty() {
+                        done = self.run_io_plan(done, meta_plan.metadata.iter());
+                        self.stats.metadata_flushes += 1;
+                    }
+                    self.vnode_locks.insert(ino, done);
+                    self.stats.commits += 1;
+                    self.commit_clears_unstable(ino, from, to);
+                    match self.fs.getattr(ino) {
+                        Ok(attrs) => NfsReplyBody::Commit(StatusReply::Ok(CommitOk {
+                            attributes: attributes_to_fattr(self.fs.fsid(), &attrs),
+                            verf: self.boot_verifier,
+                        })),
+                        Err(e) => NfsReplyBody::Commit(StatusReply::Err(fs_error_to_status(e))),
+                    }
+                }
+                Err(e) => NfsReplyBody::Commit(StatusReply::Err(fs_error_to_status(e))),
+            },
             NfsCallBody::Write(_) => unreachable!("writes are handled by handle_write"),
         };
         self.stats.other_ops_completed.record(0);
@@ -910,9 +992,25 @@ impl NfsServer {
                 return;
             }
         };
+        // NFSv3-style stability routing rides in front of the paper's policy
+        // dispatch: a WRITE marked `UNSTABLE` goes to the unified cache and
+        // is acknowledged with a verifier — unless the server has no cheap
+        // stable destination to lazily drain it to, in which case it promotes
+        // the request to FILE_SYNC (the reply says so via `committed`).
+        // Clients that never mark writes unstable (the default, and all of
+        // the paper's experiments) take the original paths untouched.
+        if args.stable_how() == StableHow::Unstable {
+            if self.unstable_write_allowed() {
+                self.unstable_write(t, nfsd, client, xid, arrived, ino, &args, actions);
+            } else {
+                self.stats.forced_file_sync += 1;
+                self.standard_write(t, nfsd, client, xid, arrived, ino, &args, true, actions);
+            }
+            return;
+        }
         match self.config.policy {
             WritePolicy::Standard => {
-                self.standard_write(t, nfsd, client, xid, arrived, ino, &args, actions)
+                self.standard_write(t, nfsd, client, xid, arrived, ino, &args, false, actions)
             }
             WritePolicy::DangerousAsync => {
                 self.dangerous_write(t, nfsd, client, xid, arrived, ino, &args, actions)
@@ -923,13 +1021,25 @@ impl NfsServer {
         }
     }
 
+    /// Whether the server will honour `UNSTABLE` semantics right now.  Needs
+    /// the unified cache (the write-behind machinery) and, when an NVRAM
+    /// board is the drain target, a healthy battery — a dead battery leaves
+    /// write-through as the only stable path, so the server degrades to
+    /// synchronous FILE_SYNC exactly as the real board does.
+    fn unstable_write_allowed(&self) -> bool {
+        self.config.unified_cache && (self.battery_ok || !self.config.storage.prestoserve)
+    }
+
     fn write_copy_cost(&self, len: usize) -> Duration {
         self.config.costs.ufs_trip
             + Duration::from_nanos(self.config.costs.copy_per_byte.as_nanos() * len as u64)
     }
 
     /// The baseline path: commit data and metadata synchronously under the
-    /// vnode lock, then reply.
+    /// vnode lock, then reply.  With `verf_reply` the reply is the v3-style
+    /// [`NfsReplyBody::WriteVerf`] carrying `committed = FILE_SYNC` — used
+    /// when an `UNSTABLE` request was promoted, so the client learns no
+    /// COMMIT is needed.
     #[allow(clippy::too_many_arguments)]
     fn standard_write(
         &mut self,
@@ -940,6 +1050,7 @@ impl NfsServer {
         arrived: SimTime,
         ino: InodeNumber,
         args: &WriteArgs,
+        verf_reply: bool,
         actions: &mut Vec<ServerAction>,
     ) {
         let lock_at = t.max(self.vnode_free(ino));
@@ -960,11 +1071,93 @@ impl NfsServer {
                     self.stats.metadata_flushes += 1;
                 }
                 self.vnode_locks.insert(ino, done);
-                let body = NfsReplyBody::Attr(self.attr_reply(&args.file));
+                let body = if verf_reply {
+                    NfsReplyBody::WriteVerf(match self.attr_reply(&args.file) {
+                        StatusReply::Ok(attributes) => StatusReply::Ok(WriteVerfOk {
+                            attributes,
+                            committed: StableHow::FileSync,
+                            verf: self.boot_verifier,
+                        }),
+                        StatusReply::Err(e) => StatusReply::Err(e),
+                    })
+                } else {
+                    NfsReplyBody::Attr(self.attr_reply(&args.file))
+                };
                 self.stats.writes_completed.record(args.data.len() as u64);
                 self.stats.write_residence.record(done.since(arrived));
                 let reply_at = self.finish_reply(done, nfsd, client, xid, arrived, body, actions);
                 self.occupy_nfsd(nfsd, reply_at, actions);
+            }
+            Err(e) => {
+                let status = fs_error_to_status(e);
+                let body = if verf_reply {
+                    NfsReplyBody::WriteVerf(StatusReply::Err(status))
+                } else {
+                    NfsReplyBody::Attr(StatusReply::Err(status))
+                };
+                let reply_at = self.finish_reply(t1, nfsd, client, xid, arrived, body, actions);
+                self.occupy_nfsd(nfsd, reply_at, actions);
+            }
+        }
+    }
+
+    /// The NFSv3-style unstable path: land the data in the unified cache,
+    /// acknowledge immediately with this boot's verifier, and let write-behind
+    /// (or the client's COMMIT) make it stable.  The only I/O an unstable
+    /// write ever pays inline is the dirty-ratio throttle's forced writeback
+    /// — the writer drains part of the backlog it helped create, which *is*
+    /// the memory-pressure stall the bench measures.
+    #[allow(clippy::too_many_arguments)]
+    fn unstable_write(
+        &mut self,
+        t: SimTime,
+        nfsd: usize,
+        client: ClientId,
+        xid: Xid,
+        arrived: SimTime,
+        ino: InodeNumber,
+        args: &WriteArgs,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        let lock_at = t.max(self.vnode_free(ino));
+        let t1 = self.cpu.run(lock_at, self.write_copy_cost(args.data.len()));
+        match self.fs.write(
+            ino,
+            args.offset as u64,
+            write_source(&args.data),
+            WriteFlags::DelayData,
+            t1.as_nanos(),
+        ) {
+            Ok(out) => {
+                let done = if out.io.data.is_empty() {
+                    t1
+                } else {
+                    self.run_io_plan(t1, out.io.data.iter())
+                };
+                self.vnode_locks.insert(ino, done);
+                if !args.data.is_empty() {
+                    let block_size = self.fs.params().block_size;
+                    let first = args.offset as u64 / block_size;
+                    let last = (args.offset as u64 + args.data.len() as u64 - 1) / block_size;
+                    let blocks = self.unstable_acked.entry(ino).or_default();
+                    for lbn in first..=last {
+                        blocks.insert(lbn);
+                    }
+                }
+                self.stats.unstable_writes += 1;
+                self.stats.writes_completed.record(args.data.len() as u64);
+                self.stats.write_residence.record(done.since(arrived));
+                let body = NfsReplyBody::WriteVerf(match self.fs.getattr(ino) {
+                    Ok(attrs) => StatusReply::Ok(WriteVerfOk {
+                        attributes: attributes_to_fattr(self.fs.fsid(), &attrs),
+                        committed: StableHow::Unstable,
+                        verf: self.boot_verifier,
+                    }),
+                    Err(e) => StatusReply::Err(fs_error_to_status(e)),
+                });
+                let reply_at = self.finish_reply(done, nfsd, client, xid, arrived, body, actions);
+                self.occupy_nfsd(nfsd, reply_at, actions);
+                self.ensure_writeback_scheduled(done, actions);
             }
             Err(e) => {
                 let reply_at = self.finish_reply(
@@ -973,12 +1166,58 @@ impl NfsServer {
                     client,
                     xid,
                     arrived,
-                    NfsReplyBody::Attr(StatusReply::Err(fs_error_to_status(e))),
+                    NfsReplyBody::WriteVerf(StatusReply::Err(fs_error_to_status(e))),
                     actions,
                 );
                 self.occupy_nfsd(nfsd, reply_at, actions);
             }
         }
+    }
+
+    /// Drop unstable-acked tracking for blocks a COMMIT just made stable.
+    fn commit_clears_unstable(&mut self, ino: InodeNumber, from: u64, to: u64) {
+        let Some(blocks) = self.unstable_acked.get_mut(&ino) else {
+            return;
+        };
+        let block_size = self.fs.params().block_size;
+        let first = from / block_size;
+        let last = to.div_ceil(block_size);
+        blocks.retain(|&lbn| lbn < first || lbn >= last);
+        if blocks.is_empty() {
+            self.unstable_acked.remove(&ino);
+        }
+    }
+
+    /// Put a write-behind pass on the timer wheel unless one is already
+    /// pending or there is nothing dirty to drain.
+    fn ensure_writeback_scheduled(&mut self, now: SimTime, actions: &mut Vec<ServerAction>) {
+        if !self.config.unified_cache
+            || self.writeback_scheduled
+            || self.fs.dirty_resident_pages() == 0
+        {
+            return;
+        }
+        self.writeback_scheduled = true;
+        self.schedule_wakeup(
+            now + self.config.writeback_interval,
+            WakeReason::Writeback,
+            actions,
+        );
+    }
+
+    /// One background write-behind pass: drain a batch of the oldest dirty
+    /// pages through the storage stack (NVRAM first when Presto is
+    /// configured) and reschedule while dirty pages remain.
+    fn background_writeback(&mut self, now: SimTime, actions: &mut Vec<ServerAction>) {
+        self.writeback_scheduled = false;
+        if !self.config.unified_cache {
+            return;
+        }
+        let reqs = self.fs.writeback_batch(WRITEBACK_BATCH_PAGES);
+        if !reqs.is_empty() {
+            self.run_io_plan(now, reqs.iter());
+        }
+        self.ensure_writeback_scheduled(now, actions);
     }
 
     /// "Dangerous mode": reply as soon as the data is in volatile memory.
@@ -1002,7 +1241,13 @@ impl NfsServer {
             WriteFlags::DelayData,
             t1.as_nanos(),
         ) {
-            Ok(_) => {
+            Ok(out) => {
+                // Only a dirty-ratio throttle (unified cache armed) ever puts
+                // I/O on a delayed write's plan; run it so blocks the cache
+                // marked clean really reached the device.
+                if !out.io.data.is_empty() {
+                    self.run_io_plan(t1, out.io.data.iter());
+                }
                 self.stats.writes_completed.record(args.data.len() as u64);
                 self.stats.write_residence.record(t1.since(arrived));
                 // The reply about to go out promises stability the data does
@@ -1309,7 +1554,21 @@ impl NfsServer {
                 done = done.max(self.nfsds[nfsd].free_at);
             }
         }
+        // Drain whatever the unified cache still holds dirty (unstable data
+        // no COMMIT covered); with the cache disarmed the batch is empty.
+        if self.config.unified_cache {
+            let reqs = self.fs.writeback_batch(u64::MAX);
+            if !reqs.is_empty() {
+                done = done.max(self.run_io_plan(now, reqs.iter()));
+            }
+        }
         done.max(self.device.free_at())
+    }
+
+    /// The current boot instance's write/commit verifier (tests and clients
+    /// obtain the live value from replies; this accessor is for assertions).
+    pub fn boot_verifier(&self) -> u64 {
+        self.boot_verifier
     }
 
     // ------------------------------------------------------------------
@@ -1355,6 +1614,21 @@ impl NfsServer {
         }
         self.stats.lost_acked_bytes += lost;
         self.acked_volatile.clear();
+        // Unstable-acked data dying with the crash is loss the protocol
+        // *permits*: counted separately, and the verifier change below is
+        // what tells clients to re-send it.
+        let mut lost_unstable = 0u64;
+        for (&ino, lbns) in self.unstable_acked.iter() {
+            for &lbn in lbns {
+                if self.fs.block_is_dirty(ino, lbn) {
+                    lost_unstable += block_size;
+                }
+            }
+        }
+        self.stats.lost_unstable_bytes += lost_unstable;
+        self.unstable_acked.clear();
+        self.boot_verifier = BOOT_VERIFIER_SEED.wrapping_add(self.stats.crashes);
+        self.writeback_scheduled = false;
         // --- Discard volatile state ------------------------------------
         self.stats.discarded_dirty_bytes += self.fs.crash_discard_volatile();
         self.gathers.clear();
@@ -1398,6 +1672,7 @@ impl NfsServer {
         if !healthy {
             self.stats.battery_failures += 1;
         }
+        self.battery_ok = healthy;
         self.device.set_battery(healthy, now)
     }
 
@@ -2010,6 +2285,183 @@ mod tests {
         // With NVRAM the data writes complete quickly and the metadata was
         // amortised across the batch.
         assert!(server.stats().metadata_flushes <= 2);
+        assert_eq!(server.uncommitted_bytes(), 0);
+    }
+
+    // --- the unstable-write / COMMIT path -----------------------------
+
+    fn make_unstable_server(presto: bool) -> (NfsServer, InodeNumber) {
+        let cfg = ServerConfig::standard()
+            .with_presto(presto)
+            .with_unified_cache(1024)
+            .with_stability(crate::config::StabilityMode::Unstable);
+        let mut server = NfsServer::new(cfg);
+        let root = server.fs().root();
+        let ino = server.fs_mut().create(root, "target", 0o644, 0).unwrap();
+        (server, ino)
+    }
+
+    fn unstable_write_call(
+        server: &NfsServer,
+        ino: InodeNumber,
+        xid: u32,
+        offset: u64,
+        len: usize,
+    ) -> NfsCall {
+        let fh = server.handle_for_ino(ino).unwrap();
+        NfsCall::new(
+            Xid(xid),
+            NfsCallBody::Write(
+                WriteArgs::new(fh, offset as u32, vec![7u8; len])
+                    .with_stability(StableHow::Unstable),
+            ),
+        )
+    }
+
+    fn commit_call(server: &NfsServer, ino: InodeNumber, xid: u32) -> NfsCall {
+        let fh = server.handle_for_ino(ino).unwrap();
+        NfsCall::new(
+            Xid(xid),
+            NfsCallBody::Commit(wg_nfsproto::CommitArgs {
+                file: fh,
+                offset: 0,
+                count: 0,
+            }),
+        )
+    }
+
+    #[test]
+    fn unstable_write_replies_fast_and_commit_makes_it_stable() {
+        let (mut server, ino) = make_unstable_server(false);
+        let call = unstable_write_call(&server, ino, 1, 0, 8192);
+        let replies = run_to_completion(&mut server, vec![(SimTime::ZERO, datagram(call))]);
+        // The write reply is the v3-style verifier reply, well before any
+        // disk I/O could have finished, and marked UNSTABLE.
+        let (at, reply) = &replies[0];
+        match &reply.body {
+            NfsReplyBody::WriteVerf(StatusReply::Ok(ok)) => {
+                assert_eq!(ok.committed, StableHow::Unstable);
+                assert_eq!(ok.verf, server.boot_verifier());
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+        assert!(*at < SimTime::from_millis(5), "reply at {at:?}");
+        assert_eq!(server.stats().unstable_writes, 1);
+        // run_to_completion drives the write-behind wake-ups too, so by the
+        // time the queue drains the data is on disk even without a COMMIT.
+        assert_eq!(server.uncommitted_bytes(), 0);
+        // A COMMIT over stable data is cheap and echoes the same verifier.
+        let commit = commit_call(&server, ino, 2);
+        let replies =
+            run_to_completion(&mut server, vec![(SimTime::from_secs(1), datagram(commit))]);
+        match &replies[0].1.body {
+            NfsReplyBody::Commit(StatusReply::Ok(ok)) => {
+                assert_eq!(ok.verf, server.boot_verifier());
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+        assert_eq!(server.stats().commits, 1);
+        assert_eq!(server.stats().lost_unstable_bytes, 0);
+    }
+
+    #[test]
+    fn crash_counts_uncommitted_unstable_data_and_changes_the_verifier() {
+        let (mut server, ino) = make_unstable_server(false);
+        // Hand the datagrams straight to the server without driving the
+        // wake-up queue, so the write-behind pass never runs and the data is
+        // still volatile when the crash lands.
+        for i in 0..4u64 {
+            let call = unstable_write_call(&server, ino, 10 + i as u32, i * 8192, 8192);
+            server.handle(SimTime::from_micros(i * 10), datagram(call));
+        }
+        assert!(server.uncommitted_bytes() > 0);
+        let verf_before = server.boot_verifier();
+        server.crash(SimTime::from_millis(1));
+        assert_ne!(server.boot_verifier(), verf_before);
+        // All four blocks died acknowledged-but-uncommitted: permitted loss,
+        // counted separately from the dangerous-mode oracle.
+        assert_eq!(server.stats().lost_unstable_bytes, 4 * 8192);
+        assert_eq!(server.stats().lost_acked_bytes, 0);
+    }
+
+    #[test]
+    fn committed_data_survives_a_crash_uncounted() {
+        let (mut server, ino) = make_unstable_server(false);
+        let write = unstable_write_call(&server, ino, 1, 0, 8192);
+        let commit = commit_call(&server, ino, 2);
+        run_to_completion(
+            &mut server,
+            vec![
+                (SimTime::ZERO, datagram(write)),
+                (SimTime::from_millis(1), datagram(commit)),
+            ],
+        );
+        server.crash(SimTime::from_secs(1));
+        assert_eq!(server.stats().lost_unstable_bytes, 0);
+        assert_eq!(server.stats().lost_acked_bytes, 0);
+    }
+
+    #[test]
+    fn dead_battery_promotes_unstable_writes_to_file_sync() {
+        let (mut server, ino) = make_unstable_server(true);
+        server.set_battery(false, SimTime::ZERO);
+        let call = unstable_write_call(&server, ino, 1, 0, 8192);
+        let replies =
+            run_to_completion(&mut server, vec![(SimTime::from_millis(1), datagram(call))]);
+        // The reply still speaks v3 (the client asked UNSTABLE) but reports
+        // FILE_SYNC: the data went synchronously through the write-through
+        // board, so no COMMIT is owed and a crash loses nothing.
+        match &replies[0].1.body {
+            NfsReplyBody::WriteVerf(StatusReply::Ok(ok)) => {
+                assert_eq!(ok.committed, StableHow::FileSync);
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+        assert_eq!(server.stats().forced_file_sync, 1);
+        assert_eq!(server.stats().unstable_writes, 0);
+        assert_eq!(server.uncommitted_bytes(), 0);
+        server.crash(SimTime::from_secs(1));
+        assert_eq!(server.stats().lost_unstable_bytes, 0);
+        assert_eq!(server.stats().lost_acked_bytes, 0);
+        // A repaired battery restores unstable service.
+        let recovered = server.recovering_until();
+        server.set_battery(true, recovered);
+        let call = unstable_write_call(&server, ino, 2, 0, 8192);
+        run_to_completion(&mut server, vec![(recovered, datagram(call))]);
+        assert_eq!(server.stats().unstable_writes, 1);
+    }
+
+    #[test]
+    fn throttled_unstable_writer_pays_forced_writeback_inline() {
+        // A 8-page cache with a 0.25 dirty ratio: the third dirty page
+        // forces the writer to drain the oldest dirty page itself.
+        let cfg = ServerConfig::standard()
+            .with_unified_cache(8)
+            .with_dirty_ratio(0.25)
+            .with_stability(crate::config::StabilityMode::Unstable)
+            // Keep write-behind out of the picture for the whole burst.
+            .with_writeback_interval(Duration::from_secs(100));
+        let mut server = NfsServer::new(cfg);
+        let root = server.fs().root();
+        let ino = server.fs_mut().create(root, "t", 0o644, 0).unwrap();
+        for i in 0..6u64 {
+            let call = unstable_write_call(&server, ino, 20 + i as u32, i * 8192, 8192);
+            server.handle(SimTime::from_micros(i), datagram(call));
+        }
+        assert!(server.fs().counters().throttle_stalls > 0);
+        assert!(server.fs().counters().writeback_blocks > 0);
+        // Throttled pages reached the device, not the floor.
+        assert!(server.device_stats().transfers.events() > 0);
+    }
+
+    #[test]
+    fn quiesce_drains_the_unified_cache() {
+        let (mut server, ino) = make_unstable_server(false);
+        let call = unstable_write_call(&server, ino, 1, 0, 8192);
+        server.handle(SimTime::ZERO, datagram(call));
+        assert!(server.uncommitted_bytes() > 0);
+        let mut actions = Vec::new();
+        server.quiesce(SimTime::from_millis(1), &mut actions);
         assert_eq!(server.uncommitted_bytes(), 0);
     }
 }

@@ -55,6 +55,21 @@ pub struct ServerStats {
     pub disk_retries: u64,
     /// NVRAM battery failures injected.
     pub battery_failures: u64,
+    /// WRITE requests accepted with `UNSTABLE` semantics: acknowledged from
+    /// the unified buffer cache, made stable later by write-behind or COMMIT.
+    pub unstable_writes: u64,
+    /// COMMIT requests completed.
+    pub commits: u64,
+    /// Bytes of *unstable* (acknowledged-uncommitted) write data discarded by
+    /// a crash.  Unlike [`ServerStats::lost_acked_bytes`] this is loss the
+    /// NFSv3 contract permits: the reply's verifier told the client the data
+    /// was volatile, and a verifier mismatch after reboot makes the client
+    /// re-send it.
+    pub lost_unstable_bytes: u64,
+    /// WRITE(UNSTABLE) requests the server promoted to FILE_SYNC because it
+    /// had no stable destination to lazily drain them to (unified cache
+    /// disarmed, or an NVRAM board running write-through on a dead battery).
+    pub forced_file_sync: u64,
 }
 
 impl ServerStats {

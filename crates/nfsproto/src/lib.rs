@@ -35,8 +35,9 @@ pub use handle::FileHandle;
 pub use message::{NfsCall, NfsCallBody, NfsReply, NfsReplyBody, WireMessage};
 pub use payload::Payload;
 pub use procs::{
-    CreateArgs, DirOpArgs, DirOpOk, GetattrArgs, LookupArgs, ProcNumber, ReadArgs, ReadOk,
-    ReaddirArgs, RemoveArgs, SetattrArgs, StatfsOk, StatusReply, WriteArgs,
+    CommitArgs, CommitOk, CreateArgs, DirOpArgs, DirOpOk, GetattrArgs, LookupArgs, ProcNumber,
+    ReadArgs, ReadOk, ReaddirArgs, RemoveArgs, SetattrArgs, StableHow, StatfsOk, StatusReply,
+    WriteArgs, WriteVerf, WriteVerfOk,
 };
 pub use rpc::{AuthFlavor, RejectReason, RpcCallHeader, RpcReplyHeader, RpcReplyStatus, Xid};
 

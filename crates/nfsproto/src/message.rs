@@ -13,8 +13,8 @@ use std::sync::OnceLock;
 
 use crate::attr::{Fattr, NfsStatus, Sattr};
 use crate::procs::{
-    CreateArgs, DirOpArgs, DirOpOk, GetattrArgs, ProcNumber, ReadArgs, ReadOk, ReaddirArgs,
-    SetattrArgs, StatfsOk, StatusReply, WriteArgs,
+    CommitArgs, CommitOk, CreateArgs, DirOpArgs, DirOpOk, GetattrArgs, ProcNumber, ReadArgs,
+    ReadOk, ReaddirArgs, SetattrArgs, StatfsOk, StatusReply, WriteArgs, WriteVerfOk,
 };
 use crate::rpc::{RpcCallHeader, RpcReplyHeader, Xid};
 use crate::NFS_FHSIZE;
@@ -94,6 +94,8 @@ pub enum NfsCallBody {
     Readdir(ReaddirArgs),
     /// STATFS.
     Statfs(GetattrArgs),
+    /// COMMIT (only issued by clients running the unstable-write protocol).
+    Commit(CommitArgs),
 }
 
 impl NfsCallBody {
@@ -110,6 +112,7 @@ impl NfsCallBody {
             NfsCallBody::Remove(_) => ProcNumber::Remove,
             NfsCallBody::Readdir(_) => ProcNumber::Readdir,
             NfsCallBody::Statfs(_) => ProcNumber::Statfs,
+            NfsCallBody::Commit(_) => ProcNumber::Commit,
         }
     }
 
@@ -123,6 +126,7 @@ impl NfsCallBody {
             NfsCallBody::Write(a) => a.encode(enc),
             NfsCallBody::Create(a) => a.encode(enc),
             NfsCallBody::Readdir(a) => a.encode(enc),
+            NfsCallBody::Commit(a) => a.encode(enc),
         }
     }
 
@@ -146,6 +150,7 @@ impl NfsCallBody {
                 FH + opaque_wire_size(a.where_.name.len()) + sattr_wire_size()
             }
             NfsCallBody::Readdir(_) => FH + 8,
+            NfsCallBody::Commit(_) => FH + 8,
         }
     }
 
@@ -161,6 +166,7 @@ impl NfsCallBody {
             ProcNumber::Remove => NfsCallBody::Remove(DirOpArgs::decode(dec)?),
             ProcNumber::Readdir => NfsCallBody::Readdir(ReaddirArgs::decode(dec)?),
             ProcNumber::Statfs => NfsCallBody::Statfs(GetattrArgs::decode(dec)?),
+            ProcNumber::Commit => NfsCallBody::Commit(CommitArgs::decode(dec)?),
             other => {
                 return Err(XdrError::InvalidEnum {
                     type_name: "NfsCallBody(procedure)",
@@ -241,6 +247,13 @@ pub enum NfsReplyBody {
     Readdir(StatusReply<std::sync::Arc<Vec<String>>>),
     /// STATFS reply.
     Statfs(StatusReply<StatfsOk>),
+    /// WRITE reply carrying stability + boot verifier, emitted only by a
+    /// server running the unstable-write protocol (a plain v2 server answers
+    /// writes with [`NfsReplyBody::Attr`], keeping the default wire format
+    /// untouched).
+    WriteVerf(StatusReply<WriteVerfOk>),
+    /// COMMIT reply.
+    Commit(StatusReply<CommitOk>),
 }
 
 impl NfsReplyBody {
@@ -254,6 +267,8 @@ impl NfsReplyBody {
             NfsReplyBody::Status(s) => *s,
             NfsReplyBody::Readdir(r) => r.status(),
             NfsReplyBody::Statfs(r) => r.status(),
+            NfsReplyBody::WriteVerf(r) => r.status(),
+            NfsReplyBody::Commit(r) => r.status(),
         }
     }
 
@@ -271,6 +286,8 @@ impl NfsReplyBody {
             NfsReplyBody::Status(_) => 4,
             NfsReplyBody::Readdir(_) => 5,
             NfsReplyBody::Statfs(_) => 6,
+            NfsReplyBody::WriteVerf(_) => 7,
+            NfsReplyBody::Commit(_) => 8,
         }
     }
 
@@ -291,11 +308,17 @@ impl NfsReplyBody {
                         .sum::<usize>()
             }
             NfsReplyBody::Statfs(StatusReply::Ok(_)) => 4 + 20,
+            // status + fattr + stable_how word + 8-byte verifier.
+            NfsReplyBody::WriteVerf(StatusReply::Ok(_)) => 4 + fattr_wire_size() + 4 + 8,
+            // status + fattr + 8-byte verifier.
+            NfsReplyBody::Commit(StatusReply::Ok(_)) => 4 + fattr_wire_size() + 8,
             NfsReplyBody::Attr(StatusReply::Err(_))
             | NfsReplyBody::DirOp(StatusReply::Err(_))
             | NfsReplyBody::Read(StatusReply::Err(_))
             | NfsReplyBody::Readdir(StatusReply::Err(_))
             | NfsReplyBody::Statfs(StatusReply::Err(_))
+            | NfsReplyBody::WriteVerf(StatusReply::Err(_))
+            | NfsReplyBody::Commit(StatusReply::Err(_))
             | NfsReplyBody::Status(_) => 4,
         }
     }
@@ -335,6 +358,8 @@ impl NfsReply {
             NfsReplyBody::Status(s) => s.encode(&mut enc),
             NfsReplyBody::Readdir(r) => r.encode(&mut enc),
             NfsReplyBody::Statfs(r) => r.encode(&mut enc),
+            NfsReplyBody::WriteVerf(r) => r.encode(&mut enc),
+            NfsReplyBody::Commit(r) => r.encode(&mut enc),
         }
         WireMessage {
             bytes: enc.into_bytes(),
@@ -354,6 +379,8 @@ impl NfsReply {
             4 => NfsReplyBody::Status(NfsStatus::decode(&mut dec)?),
             5 => NfsReplyBody::Readdir(StatusReply::decode(&mut dec)?),
             6 => NfsReplyBody::Statfs(StatusReply::decode(&mut dec)?),
+            7 => NfsReplyBody::WriteVerf(StatusReply::decode(&mut dec)?),
+            8 => NfsReplyBody::Commit(StatusReply::decode(&mut dec)?),
             other => {
                 return Err(XdrError::InvalidEnum {
                     type_name: "NfsReplyBody(tag)",
@@ -460,6 +487,15 @@ mod tests {
                 count: 1024,
             }),
             NfsCallBody::Statfs(GetattrArgs { file: fh() }),
+            NfsCallBody::Commit(CommitArgs {
+                file: fh(),
+                offset: 0,
+                count: 65536,
+            }),
+            NfsCallBody::Write(
+                WriteArgs::new(fh(), 0, vec![4, 5, 6])
+                    .with_stability(crate::procs::StableHow::Unstable),
+            ),
         ];
         for (i, body) in bodies.into_iter().enumerate() {
             let call = NfsCall::new(Xid(i as u32), body);
@@ -495,6 +531,17 @@ mod tests {
                 bfree: 1,
                 bavail: 1,
             })),
+            NfsReplyBody::WriteVerf(StatusReply::Ok(WriteVerfOk {
+                attributes: Fattr::default(),
+                committed: crate::procs::StableHow::Unstable,
+                verf: 0x1122_3344_5566_7788,
+            })),
+            NfsReplyBody::WriteVerf(StatusReply::Err(NfsStatus::NoSpc)),
+            NfsReplyBody::Commit(StatusReply::Ok(CommitOk {
+                attributes: Fattr::default(),
+                verf: 42,
+            })),
+            NfsReplyBody::Commit(StatusReply::Err(NfsStatus::Io)),
         ];
         for (i, body) in replies.into_iter().enumerate() {
             let reply = NfsReply::new(Xid(i as u32), body);
@@ -550,6 +597,15 @@ mod tests {
                 cookie: 0,
                 count: 4096,
             }),
+            NfsCallBody::Commit(CommitArgs {
+                file: fh(),
+                offset: 8192,
+                count: 0,
+            }),
+            NfsCallBody::Write(
+                WriteArgs::new(fh(), 0, Payload::fill(7, 8192))
+                    .with_stability(crate::procs::StableHow::Unstable),
+            ),
         ];
         for body in calls {
             let call = NfsCall::new(Xid(9), body);
@@ -592,6 +648,17 @@ mod tests {
                 bavail: 1,
             })),
             NfsReplyBody::Statfs(StatusReply::Err(NfsStatus::Io)),
+            NfsReplyBody::WriteVerf(StatusReply::Ok(WriteVerfOk {
+                attributes: Fattr::default(),
+                committed: crate::procs::StableHow::FileSync,
+                verf: u64::MAX,
+            })),
+            NfsReplyBody::WriteVerf(StatusReply::Err(NfsStatus::NoSpc)),
+            NfsReplyBody::Commit(StatusReply::Ok(CommitOk {
+                attributes: Fattr::default(),
+                verf: 7,
+            })),
+            NfsReplyBody::Commit(StatusReply::Err(NfsStatus::Stale)),
         ];
         for body in replies {
             let reply = NfsReply::new(Xid(9), body);

@@ -50,6 +50,10 @@ pub enum ProcNumber {
     Readdir,
     /// Get filesystem statistics.
     Statfs,
+    /// Commit cached unstable writes to stable storage (the NFSv3 procedure
+    /// this reproduction grafts onto the v2 table as number 18, one past the
+    /// v2 range, so the paper's procedures keep their original numbers).
+    Commit,
 }
 
 impl ProcNumber {
@@ -74,6 +78,7 @@ impl ProcNumber {
             ProcNumber::Rmdir => 15,
             ProcNumber::Readdir => 16,
             ProcNumber::Statfs => 17,
+            ProcNumber::Commit => 18,
         }
     }
 
@@ -98,6 +103,7 @@ impl ProcNumber {
             15 => ProcNumber::Rmdir,
             16 => ProcNumber::Readdir,
             17 => ProcNumber::Statfs,
+            18 => ProcNumber::Commit,
             other => {
                 return Err(XdrError::InvalidEnum {
                     type_name: "ProcNumber",
@@ -276,6 +282,55 @@ impl XdrDecode for ReadOk {
     }
 }
 
+/// How stable a WRITE must be before the server may reply — the NFSv3
+/// `stable_how` argument, carried in the v2 message's obsolete `beginoffset`
+/// field so the default (`FileSync`, encoded as 0) keeps every v2 write
+/// byte-identical on the wire.
+///
+/// The wire values therefore differ from RFC 1813 (which puts UNSTABLE at 0):
+/// here 0 must mean "fully synchronous" because that is what a zeroed
+/// obsolete field has always meant to this server.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum StableHow {
+    /// Data and metadata must be on stable storage before the reply (the v2
+    /// semantics; the default).
+    #[default]
+    FileSync,
+    /// The server may reply once the data is cached in volatile memory; the
+    /// client must hold its copy until a matching COMMIT succeeds.
+    Unstable,
+    /// Data must be stable but metadata may be deferred.
+    DataSync,
+}
+
+impl StableHow {
+    /// The wire encoding (the value carried in `beginoffset`).
+    pub fn to_wire(self) -> u32 {
+        match self {
+            StableHow::FileSync => 0,
+            StableHow::Unstable => 1,
+            StableHow::DataSync => 2,
+        }
+    }
+
+    /// Decode a wire value; anything unknown is treated as the conservative
+    /// `FileSync` (an old client writing garbage into an obsolete field gets
+    /// the strongest guarantee, never a weaker one).
+    pub fn from_wire(v: u32) -> Self {
+        match v {
+            1 => StableHow::Unstable,
+            2 => StableHow::DataSync,
+            _ => StableHow::FileSync,
+        }
+    }
+}
+
+/// A server boot instance verifier: changes on every reboot so clients can
+/// detect that cached unstable writes died with a crash and must be re-sent.
+pub type WriteVerf = u64;
+
 /// Arguments of WRITE — the request at the heart of the paper.
 #[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct WriteArgs {
@@ -311,6 +366,19 @@ impl WriteArgs {
         WriteArgs::new(file, offset, Payload::fill(byte, len))
     }
 
+    /// Request a different stability level (see [`StableHow`]); the default
+    /// constructors produce `FileSync`, whose encoding is the all-zero
+    /// obsolete field of a v2 write.
+    pub fn with_stability(mut self, stable: StableHow) -> Self {
+        self.beginoffset = stable.to_wire();
+        self
+    }
+
+    /// The stability this write requests.
+    pub fn stable_how(&self) -> StableHow {
+        StableHow::from_wire(self.beginoffset)
+    }
+
     /// Number of data bytes carried.
     pub fn len(&self) -> usize {
         self.data.len()
@@ -340,6 +408,95 @@ impl XdrDecode for WriteArgs {
             offset: dec.get_u32()?,
             totalcount: dec.get_u32()?,
             data: Payload::decode(dec)?,
+        })
+    }
+}
+
+/// Arguments of COMMIT: flush the given byte range (count = 0 means "to the
+/// end of the file") of previously-unstable writes to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CommitArgs {
+    /// Target file.
+    pub file: FileHandle,
+    /// Start of the range to commit.
+    pub offset: u32,
+    /// Length of the range (0 = everything from `offset` on).
+    pub count: u32,
+}
+
+impl XdrEncode for CommitArgs {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.file.encode(enc);
+        enc.put_u32(self.offset);
+        enc.put_u32(self.count);
+    }
+}
+
+impl XdrDecode for CommitArgs {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(CommitArgs {
+            file: FileHandle::decode(dec)?,
+            offset: dec.get_u32()?,
+            count: dec.get_u32()?,
+        })
+    }
+}
+
+/// The successful result of a WRITE answered by a server running the
+/// unstable-write protocol: post-write attributes, how far the data actually
+/// got, and the boot verifier the client checks at COMMIT time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WriteVerfOk {
+    /// File attributes after the write.
+    pub attributes: Fattr,
+    /// The stability the server actually provided (it may promote an
+    /// UNSTABLE request to `FileSync`, e.g. while NVRAM runs degraded).
+    pub committed: StableHow,
+    /// The server's boot instance verifier.
+    pub verf: WriteVerf,
+}
+
+impl XdrEncode for WriteVerfOk {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.attributes.encode(enc);
+        enc.put_u32(self.committed.to_wire());
+        enc.put_u64(self.verf);
+    }
+}
+
+impl XdrDecode for WriteVerfOk {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(WriteVerfOk {
+            attributes: Fattr::decode(dec)?,
+            committed: StableHow::from_wire(dec.get_u32()?),
+            verf: dec.get_u64()?,
+        })
+    }
+}
+
+/// The successful result of COMMIT: post-flush attributes plus the boot
+/// verifier (a mismatch against the one seen at write time tells the client
+/// the server rebooted and its cached writes must be re-sent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CommitOk {
+    /// File attributes after the flush.
+    pub attributes: Fattr,
+    /// The server's boot instance verifier.
+    pub verf: WriteVerf,
+}
+
+impl XdrEncode for CommitOk {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.attributes.encode(enc);
+        enc.put_u64(self.verf);
+    }
+}
+
+impl XdrDecode for CommitOk {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(CommitOk {
+            attributes: Fattr::decode(dec)?,
+            verf: dec.get_u64()?,
         })
     }
 }
@@ -494,12 +651,63 @@ mod tests {
 
     #[test]
     fn proc_numbers_roundtrip() {
-        for n in 0..=17u32 {
+        for n in 0..=18u32 {
             let p = ProcNumber::from_number(n).unwrap();
             assert_eq!(p.number(), n);
         }
-        assert!(ProcNumber::from_number(18).is_err());
+        assert!(ProcNumber::from_number(19).is_err());
         assert_eq!(ProcNumber::Write.number(), 8);
+        assert_eq!(ProcNumber::Commit.number(), 18);
+    }
+
+    #[test]
+    fn stable_how_rides_the_obsolete_beginoffset_unchanged_by_default() {
+        // The default constructors keep the field at zero, so a FileSync
+        // write is bit-for-bit the v2 message the golden tables were
+        // recorded against.
+        let args = WriteArgs::fill(fh(), 0, 7, 8192);
+        assert_eq!(args.stable_how(), StableHow::FileSync);
+        assert_eq!(args.beginoffset, 0);
+        let unstable = WriteArgs::fill(fh(), 0, 7, 8192).with_stability(StableHow::Unstable);
+        assert_eq!(unstable.stable_how(), StableHow::Unstable);
+        let back: WriteArgs = from_bytes(&to_bytes(&unstable)).unwrap();
+        assert_eq!(back.stable_how(), StableHow::Unstable);
+        // Unknown junk in the obsolete field degrades to the strongest
+        // guarantee, never a weaker one.
+        assert_eq!(StableHow::from_wire(99), StableHow::FileSync);
+        for s in [
+            StableHow::FileSync,
+            StableHow::Unstable,
+            StableHow::DataSync,
+        ] {
+            assert_eq!(StableHow::from_wire(s.to_wire()), s);
+        }
+    }
+
+    #[test]
+    fn commit_args_and_results_roundtrip() {
+        let args = CommitArgs {
+            file: fh(),
+            offset: 8192,
+            count: 0,
+        };
+        let back: CommitArgs = from_bytes(&to_bytes(&args)).unwrap();
+        assert_eq!(back, args);
+
+        let wok = WriteVerfOk {
+            attributes: Fattr::default(),
+            committed: StableHow::Unstable,
+            verf: 0xDEAD_BEEF_0000_0001,
+        };
+        let back: WriteVerfOk = from_bytes(&to_bytes(&wok)).unwrap();
+        assert_eq!(back, wok);
+
+        let cok = CommitOk {
+            attributes: Fattr::default(),
+            verf: 2,
+        };
+        let back: CommitOk = from_bytes(&to_bytes(&cok)).unwrap();
+        assert_eq!(back, cok);
     }
 
     #[test]

@@ -49,7 +49,7 @@
 //! times plus lookahead lower-bound anything those ops can provoke.
 
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use crate::time::{Duration, SimTime};
@@ -460,6 +460,142 @@ impl OpWindow {
     /// `true` when every mailed op has been applied.
     pub fn is_drained(&mut self) -> bool {
         self.bound(Duration::ZERO) == Key::MAX
+    }
+}
+
+/// One drive loop's view of its hub partition, consumed by [`run_hub`].
+///
+/// The hub's scheduling round is the same for every partitioned driver —
+/// only the shape of its state differs (one op window or a `Vec` of them,
+/// one up-mailbox or many, how a datagram becomes a queue event, what an
+/// event does).  Implementations supply those pieces; [`run_hub`] supplies
+/// the round protocol and its ordering rules.
+pub trait HubPartition {
+    /// Event type of the hub's [`KeyedQueue`].
+    type Ev;
+
+    /// The least key any mailed-but-unapplied op can still provoke traffic
+    /// at; [`Key::MAX`] when every window is drained (or when the driver
+    /// tracks no op windows at all — open-loop arrivals never provoke
+    /// sends, so the gate never binds).
+    fn window_gate(&mut self, lookahead: Duration) -> Key;
+
+    /// The combined spoke promise: the minimum over every spoke's published
+    /// bound cell.
+    fn spoke_gate(&self) -> Key;
+
+    /// Drain every up-mailbox into the hub's queue, converting messages to
+    /// events.  Returns whether anything arrived.
+    fn drain_mail(&mut self) -> bool;
+
+    /// Pop the earliest queued event at or below `limit`
+    /// ([`KeyedQueue::pop_below`]).
+    fn pop_below(&mut self, limit: &Key) -> Option<(Key, Self::Ev)>;
+
+    /// Execute one event (and mail whatever it provokes).
+    fn handle(&mut self, key: Key, ev: Self::Ev);
+
+    /// `true` when the hub's queue is empty.
+    fn queue_is_empty(&self) -> bool;
+
+    /// Key of the earliest queued event, if any.
+    fn peek_key(&self) -> Option<Key>;
+}
+
+/// The hub's scheduling loop: gate on spoke bounds *and* op windows, drain
+/// mail, process, publish — shared by every partitioned driver.
+///
+/// Observation order is the heart of the protocol.  A spoke that applies a
+/// mailed op posts its provoked sends, stores the (possibly *regressed*)
+/// covering bound, and only then bumps the applied count — so the hub looks
+/// at the op windows *before* the spoke bounds: a window seen unpruned still
+/// caps the effective gate below anything its op can provoke, and a window
+/// seen pruned guarantees the regressed bound and the posted mail are
+/// visible to the reads that follow.  The window gate is re-derived per pop
+/// (mailing a reply immediately caps how much further the batch may run),
+/// and whenever it *rises* — a spoke pruned mid-round — the cached `sgate`
+/// and the mail drain are both potentially stale, so the round restarts to
+/// re-read them before popping anything else or publishing a horizon.
+///
+/// Returns once the run is drained everywhere: hub queue empty, every spoke
+/// bound at [`Key::MAX`] and every window drained.  `done` is flipped (and
+/// [`Key::MAX`] published) before returning so the spokes run their final
+/// unconditional drains.
+pub fn run_hub<P: HubPartition>(
+    hub: &mut P,
+    lookahead: Duration,
+    hub_src: u32,
+    hub_bound: &BoundCell,
+    monitor: &Monitor,
+    done: &AtomicBool,
+) {
+    let mut last_bound = Key::MIN;
+    loop {
+        let epoch = monitor.epoch();
+        let mut progressed = false;
+        // Windows first, then bounds, then mail (see above): any message with
+        // a key at or below the gates we read here is already visible to the
+        // drain below.
+        let mut wgate = hub.window_gate(lookahead);
+        let sgate = hub.spoke_gate();
+        progressed |= hub.drain_mail();
+        let mut stale = false;
+        loop {
+            let fresh = hub.window_gate(lookahead);
+            if fresh > wgate {
+                stale = true;
+                break;
+            }
+            wgate = fresh;
+            let limit = sgate.min(wgate);
+            let Some((key, ev)) = hub.pop_below(&limit) else {
+                break;
+            };
+            progressed = true;
+            hub.handle(key, ev);
+        }
+        if !stale {
+            // One last look before trusting the pair for the done check and
+            // the published horizon: a prune after the final pop invalidates
+            // `sgate` just the same.
+            let fresh = hub.window_gate(lookahead);
+            if fresh > wgate {
+                stale = true;
+            } else {
+                wgate = fresh;
+            }
+        }
+        if stale {
+            // A spoke applied a mailed op mid-round: its bound may have
+            // regressed below `sgate` and its provoked mail may be undrained.
+            // Wake anyone waiting on ops we mailed, then start the round over.
+            if progressed {
+                monitor.bump();
+            }
+            continue;
+        }
+        // Every spoke's queue is empty (exact bounds at MAX), every mailed op
+        // was applied and covered, and our own queue and mail are drained:
+        // nothing is in flight anywhere — the run is done.
+        if hub.queue_is_empty() && sgate == Key::MAX && wgate == Key::MAX {
+            hub_bound.publish(Key::MAX);
+            done.store(true, Ordering::Release);
+            monitor.bump();
+            return;
+        }
+        let horizon = sgate.min(wgate).min(hub.peek_key().unwrap_or(Key::MAX));
+        let bound = horizon.lift(hub_src);
+        if bound > last_bound {
+            last_bound = bound;
+            hub_bound.publish(bound);
+            monitor.bump();
+            progressed = true;
+        } else if progressed {
+            monitor.bump();
+        }
+        if !progressed {
+            monitor.wait_if(epoch);
+        }
     }
 }
 

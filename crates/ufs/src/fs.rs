@@ -1,7 +1,7 @@
 //! The filesystem proper: allocation, namespace, buffer cache and the
 //! vnode operations.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use wg_disk::DiskRequest;
@@ -63,6 +63,15 @@ pub struct UfsCounters {
     pub syncdatas: u64,
     /// Namespace operations (create/lookup/remove/mkdir/readdir/setattr).
     pub namespace_ops: u64,
+    /// Clean pages evicted by the bounded unified cache (0 while the cache is
+    /// unbounded).
+    pub cache_evictions: u64,
+    /// Times a writer was forced into an inline writeback because the dirty
+    /// ratio crossed the configured threshold.
+    pub throttle_stalls: u64,
+    /// Dirty pages cleaned through [`Ufs::writeback_batch`] — the unified
+    /// cache's write-behind path (both background and throttle-forced).
+    pub writeback_blocks: u64,
 }
 
 /// A UFS-like filesystem instance.
@@ -78,6 +87,17 @@ pub struct Ufs {
     /// Physical addresses of freed blocks available for reuse.
     free_blocks: Vec<u64>,
     counters: UfsCounters,
+    /// Unified-cache LRU order: monotone tick -> resident page.  Empty (and
+    /// never touched) while `params.cache_pages == 0`, so the unbounded
+    /// default pays no bookkeeping at all.
+    lru: BTreeMap<u64, (InodeNumber, u64)>,
+    /// Reverse index of `lru`: resident page -> its current tick.
+    lru_index: HashMap<(InodeNumber, u64), u64>,
+    /// Next LRU tick (deterministic recency stamp; no wall clock involved).
+    lru_tick: u64,
+    /// Number of resident pages currently dirty (tracked incrementally so the
+    /// dirty-ratio throttle is O(1) per write).
+    cache_dirty: u64,
 }
 
 impl Ufs {
@@ -93,6 +113,10 @@ impl Ufs {
             alloc_cursor: 0,
             free_blocks: Vec::new(),
             counters: UfsCounters::default(),
+            lru: BTreeMap::new(),
+            lru_index: HashMap::new(),
+            lru_tick: 0,
+            cache_dirty: 0,
         };
         let root = Inode::new(ROOT_INO, 1, FileKind::Directory, 0o755, 0);
         fs.inodes.insert(ROOT_INO, root);
@@ -159,6 +183,144 @@ impl Ufs {
         let addr = self.params.data_region_start + self.alloc_cursor;
         self.alloc_cursor += self.params.block_size;
         Ok(addr)
+    }
+
+    // ------------------------------------------------------------------
+    // Unified buffer cache
+    //
+    // One bounded pool accounts for every resident file page — pages made
+    // resident by writes and pages kept resident by read caching alike.
+    // Armed by `params.cache_pages > 0`; the unbounded default (the paper's
+    // configuration) skips every hook below.
+    // ------------------------------------------------------------------
+
+    fn cache_armed(&self) -> bool {
+        self.params.cache_pages > 0
+    }
+
+    /// Move `(ino, lbn)` to the most-recently-used end of the LRU order,
+    /// inserting it if it was not yet tracked.
+    fn cache_touch(&mut self, ino: InodeNumber, lbn: u64) {
+        let key = (ino, lbn);
+        if let Some(old) = self.lru_index.get(&key).copied() {
+            self.lru.remove(&old);
+        }
+        self.lru_tick += 1;
+        self.lru.insert(self.lru_tick, key);
+        self.lru_index.insert(key, self.lru_tick);
+    }
+
+    /// Drop `(ino, lbn)` from the accounting (the page is no longer
+    /// resident).  `was_dirty` keeps the incremental dirty count honest.
+    fn cache_forget(&mut self, ino: InodeNumber, lbn: u64, was_dirty: bool) {
+        if let Some(tick) = self.lru_index.remove(&(ino, lbn)) {
+            self.lru.remove(&tick);
+            if was_dirty {
+                self.cache_dirty -= 1;
+            }
+        }
+    }
+
+    /// Evict clean pages in LRU order until residency fits `cache_pages`.
+    /// Dirty pages are skipped — they are cleaned by writeback, never
+    /// discarded.
+    fn cache_evict_clean(&mut self) {
+        let capacity = self.params.cache_pages;
+        if self.lru_index.len() as u64 <= capacity {
+            return;
+        }
+        let mut over = self.lru_index.len() as u64 - capacity;
+        let mut to_evict = Vec::new();
+        for (&tick, &(ino, lbn)) in self.lru.iter() {
+            if over == 0 {
+                break;
+            }
+            let dirty = self
+                .inodes
+                .get(&ino)
+                .and_then(|n| n.blocks.get(&lbn))
+                .map(|b| b.dirty)
+                .unwrap_or(false);
+            if !dirty {
+                to_evict.push((tick, ino, lbn));
+                over -= 1;
+            }
+        }
+        for (tick, ino, lbn) in to_evict {
+            if let Some(n) = self.inodes.get_mut(&ino) {
+                n.blocks.remove(&lbn);
+            }
+            self.lru.remove(&tick);
+            self.lru_index.remove(&(ino, lbn));
+            self.counters.cache_evictions += 1;
+        }
+    }
+
+    /// Clean up to `max_blocks` of the oldest dirty resident pages and return
+    /// the clustered disk writes that make them stable.  This is the unified
+    /// cache's write-behind path: the server's background writeback events
+    /// and the dirty-ratio throttle both drain through here.  The pages stay
+    /// resident (now clean, hence evictable).
+    pub fn writeback_batch(&mut self, max_blocks: u64) -> Vec<DiskRequest> {
+        if !self.cache_armed() || max_blocks == 0 {
+            return Vec::new();
+        }
+        let mut picked: Vec<(InodeNumber, u64)> = Vec::new();
+        for &(ino, lbn) in self.lru.values() {
+            if picked.len() as u64 >= max_blocks {
+                break;
+            }
+            let dirty = self
+                .inodes
+                .get(&ino)
+                .and_then(|n| n.blocks.get(&lbn))
+                .map(|b| b.dirty)
+                .unwrap_or(false);
+            if dirty {
+                picked.push((ino, lbn));
+            }
+        }
+        let block_size = self.params.block_size;
+        let mut extents = Vec::new();
+        for (ino, lbn) in picked {
+            if let Some(block) = self
+                .inodes
+                .get_mut(&ino)
+                .and_then(|n| n.blocks.get_mut(&lbn))
+            {
+                block.dirty = false;
+                extents.push((block.phys, block_size));
+                self.cache_dirty -= 1;
+                self.counters.writeback_blocks += 1;
+            }
+        }
+        extents.sort_unstable();
+        cluster_requests(extents, self.params.cluster_size)
+    }
+
+    /// Enforce the dirty-ratio throttle and the residency bound after a
+    /// mutation.  Returns the forced-writeback requests the caller must issue
+    /// synchronously (empty unless the dirty threshold was crossed).
+    fn cache_enforce(&mut self) -> Vec<DiskRequest> {
+        let mut forced = Vec::new();
+        let threshold = self.params.dirty_page_threshold();
+        if self.cache_dirty > threshold {
+            forced = self.writeback_batch(self.cache_dirty - threshold);
+            self.counters.throttle_stalls += 1;
+        }
+        self.cache_evict_clean();
+        forced
+    }
+
+    /// Resident pages currently tracked by the unified cache (0 while
+    /// unbounded — the default does no accounting).
+    pub fn resident_pages(&self) -> u64 {
+        self.lru_index.len() as u64
+    }
+
+    /// Dirty resident pages as tracked by the unified cache accounting.
+    pub fn dirty_resident_pages(&self) -> u64 {
+        self.cache_dirty
     }
 
     // ------------------------------------------------------------------
@@ -261,6 +423,11 @@ impl Ufs {
             if let Some(addr) = t.indirect {
                 self.free_blocks.push(addr);
             }
+            if self.cache_armed() {
+                for (lbn, b) in &t.blocks {
+                    self.cache_forget(target, *lbn, b.dirty);
+                }
+            }
         }
         let d = self.inode_mut(dir)?;
         d.entries.remove(name);
@@ -324,6 +491,7 @@ impl Ufs {
         let params_block = self.params.block_size;
         let max_lbn = Inode::max_lbn(&self.params);
         let mut freed: Vec<u64> = Vec::new();
+        let mut dropped: Vec<(u64, bool)> = Vec::new();
         {
             let n = self.inode_mut(ino)?;
             if let Some(mode) = new_mode {
@@ -345,7 +513,9 @@ impl Ufs {
                                 n.indirect_map.remove(&lbn);
                                 n.indirect_dirty = true;
                             }
-                            n.blocks.remove(&lbn);
+                            if let Some(b) = n.blocks.remove(&lbn) {
+                                dropped.push((lbn, b.dirty));
+                            }
                         }
                     }
                 }
@@ -357,6 +527,11 @@ impl Ufs {
             n.ctime_nanos = now_nanos;
         }
         self.free_blocks.extend(freed);
+        if self.cache_armed() {
+            for (lbn, was_dirty) in dropped {
+                self.cache_forget(ino, lbn, was_dirty);
+            }
+        }
         let plan = self.fsync(ino, FsyncFlags::MetadataOnly)?;
         Ok((self.getattr(ino)?, plan))
     }
@@ -383,6 +558,7 @@ impl Ufs {
     ) -> Result<WriteOutcome, FsError> {
         let source = data.into();
         self.counters.writes += 1;
+        let cache_armed = self.cache_armed();
         let block_size = self.params.block_size;
         let max_lbn = Inode::max_lbn(&self.params);
         let data_len = source.len() as u64;
@@ -450,6 +626,7 @@ impl Ufs {
             let whole_block = dst_from == 0 && dst_to == block_size as usize;
 
             let n = self.inode_mut(ino)?;
+            let was_dirty = n.blocks.get(&lbn).map(|b| b.dirty).unwrap_or(false);
             match (source, whole_block) {
                 (WriteSource::Fill { byte, .. }, true) => {
                     // A fill pattern covering the whole block: store the
@@ -487,6 +664,12 @@ impl Ufs {
                     block.dirty = true;
                 }
             }
+            if cache_armed {
+                if !was_dirty {
+                    self.cache_dirty += 1;
+                }
+                self.cache_touch(ino, lbn);
+            }
         }
 
         // Update size and times.
@@ -513,7 +696,7 @@ impl Ufs {
         };
 
         // Build the I/O plan the flags require.
-        let io = match flags {
+        let mut io = match flags {
             WriteFlags::DelayData => IoPlan::empty(),
             WriteFlags::SyncDataOnly => {
                 let data_reqs = self.flush_extents(ino, first_lbn, last_lbn)?;
@@ -536,6 +719,14 @@ impl Ufs {
             }
         };
 
+        // Bounded-cache enforcement: a writer that pushes the dirty count
+        // over the threshold pays for the forced writeback inline (the
+        // throttle stall), and clean pages beyond capacity are evicted.
+        if cache_armed {
+            let forced = self.cache_enforce();
+            io.data.extend(forced);
+        }
+
         Ok(WriteOutcome {
             io,
             new_size,
@@ -556,13 +747,18 @@ impl Ufs {
         let cluster = self.params.cluster_size;
         let n = self.inode_mut(ino)?;
         let mut extents = Vec::new();
+        let mut cleaned = 0u64;
         for lbn in first_lbn..=last_lbn {
             if let Some(block) = n.blocks.get_mut(&lbn) {
                 if block.dirty {
                     block.dirty = false;
+                    cleaned += 1;
                     extents.push((block.phys, block_size));
                 }
             }
+        }
+        if self.cache_armed() {
+            self.cache_dirty -= cleaned;
         }
         Ok(cluster_requests(extents, cluster))
     }
@@ -577,13 +773,18 @@ impl Ufs {
         let cluster = self.params.cluster_size;
         let n = self.inode_mut(ino)?;
         let mut extents = Vec::new();
+        let mut cleaned = 0u64;
         for (lbn, block) in n.blocks.iter_mut() {
             let start = lbn * block_size;
             let end = start + block_size;
             if block.dirty && start < to && end > from {
                 block.dirty = false;
+                cleaned += 1;
                 extents.push((block.phys, block_size));
             }
+        }
+        if self.cache_armed() {
+            self.cache_dirty -= cleaned;
         }
         Ok(IoPlan {
             data: cluster_requests(extents, cluster),
@@ -667,11 +868,15 @@ impl Ufs {
         }
         let end = (offset + len).min(n.size);
         let cache_reads = self.params.read_caching;
+        let cache_armed = self.params.cache_pages > 0;
         let mut acc = ReadAccumulator::new();
         let mut misses = Vec::new();
         // Only tracked when read caching is on; the default cold-cache read
         // path stays free of this bookkeeping.
         let mut missed_blocks: Vec<(u64, u64)> = Vec::new();
+        // Resident blocks this read hit — with the bounded cache armed their
+        // LRU recency must advance, or a scan would evict the hot set.
+        let mut hits: Vec<u64> = Vec::new();
         let first_lbn = offset / block_size;
         let last_lbn = (end - 1) / block_size;
         for lbn in first_lbn..=last_lbn {
@@ -680,6 +885,9 @@ impl Ufs {
             let to = end.min(block_start + block_size);
             let seg_len = to - from;
             if let Some(block) = n.blocks.get(&lbn) {
+                if cache_armed {
+                    hits.push(lbn);
+                }
                 match &block.data {
                     BlockData::Fill(byte) => acc.push_fill(*byte, seg_len),
                     BlockData::Bytes(buf) => {
@@ -716,7 +924,7 @@ impl Ufs {
         // better with) and vanishes once the working set has been touched.
         if !missed_blocks.is_empty() {
             let n = self.inode_mut(ino)?;
-            for (lbn, phys) in missed_blocks {
+            for &(lbn, phys) in &missed_blocks {
                 n.blocks.insert(
                     lbn,
                     CachedBlock {
@@ -726,6 +934,17 @@ impl Ufs {
                     },
                 );
             }
+        }
+        if cache_armed {
+            for lbn in hits {
+                self.cache_touch(ino, lbn);
+            }
+            for (lbn, _) in missed_blocks {
+                self.cache_touch(ino, lbn);
+            }
+            // Read-inserted pages count against the same bound as written
+            // ones — that is the "unified" in unified buffer cache.
+            self.cache_evict_clean();
         }
         Ok(ReadOutcome {
             data: acc.finish(),
@@ -809,6 +1028,22 @@ impl Ufs {
             n.inode_dirty = false;
             n.mtime_only_dirty = false;
             n.indirect_dirty = false;
+        }
+        if self.cache_armed() {
+            // Rebuild the cache accounting from the surviving (all clean)
+            // pages.  Recency is re-seeded in (ino, lbn) order — arbitrary
+            // but deterministic, so partitioned replays stay bit-identical.
+            self.lru.clear();
+            self.lru_index.clear();
+            self.cache_dirty = 0;
+            let mut inos: Vec<InodeNumber> = self.inodes.keys().copied().collect();
+            inos.sort_unstable();
+            for ino in inos {
+                let lbns: Vec<u64> = self.inodes[&ino].blocks.keys().copied().collect();
+                for lbn in lbns {
+                    self.cache_touch(ino, lbn);
+                }
+            }
         }
         discarded
     }
@@ -1268,6 +1503,164 @@ mod tests {
         assert_eq!(plan.data[0].len, 4 * BS);
         assert_eq!(plan.metadata.len(), 1);
         assert!(!u.is_dirty(f).unwrap());
+    }
+
+    fn bounded(cache_pages: u64, dirty_ratio: f64, read_caching: bool) -> Ufs {
+        Ufs::new(
+            1,
+            FsParams {
+                cache_pages,
+                dirty_ratio,
+                read_caching,
+                ..FsParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn unbounded_default_does_no_cache_accounting() {
+        let mut u = fs();
+        let root = u.root();
+        let f = u.create(root, "f", 0o644, 0).unwrap();
+        for i in 0..32u64 {
+            u.write(f, i * BS, &vec![1u8; BS as usize], WriteFlags::DelayData, i)
+                .unwrap();
+        }
+        assert_eq!(u.resident_pages(), 0, "unbounded cache tracks nothing");
+        assert_eq!(u.dirty_resident_pages(), 0);
+        let c = u.counters();
+        assert_eq!(c.cache_evictions, 0);
+        assert_eq!(c.throttle_stalls, 0);
+        assert_eq!(c.writeback_blocks, 0);
+        assert!(u.writeback_batch(100).is_empty());
+    }
+
+    #[test]
+    fn bounded_cache_evicts_clean_lru_pages() {
+        let mut u = bounded(4, 0.5, false);
+        let root = u.root();
+        let f = u.create(root, "f", 0o644, 0).unwrap();
+        // Sync writes leave every block clean, so eviction alone bounds
+        // residency.
+        for i in 0..6u64 {
+            u.write(f, i * BS, &vec![1u8; BS as usize], WriteFlags::Sync, i)
+                .unwrap();
+        }
+        assert_eq!(u.resident_pages(), 4);
+        assert_eq!(u.counters().cache_evictions, 2);
+        // The two oldest blocks were dropped: reading them misses the disk.
+        assert_eq!(u.read(f, 0, BS).unwrap().misses.len(), 1);
+        assert_eq!(u.read(f, BS, BS).unwrap().misses.len(), 1);
+        // A recent block is still resident.
+        assert!(u.read(f, 5 * BS, BS).unwrap().misses.is_empty());
+    }
+
+    #[test]
+    fn dirty_ratio_throttle_forces_inline_writeback() {
+        let mut u = bounded(8, 0.5, false);
+        let root = u.root();
+        let f = u.create(root, "f", 0o644, 0).unwrap();
+        // Threshold = 4 dirty pages.  The first four delayed writes issue no
+        // I/O...
+        for i in 0..4u64 {
+            let out = u
+                .write(f, i * BS, &vec![2u8; BS as usize], WriteFlags::DelayData, i)
+                .unwrap();
+            assert!(out.io.is_empty(), "write {i} under threshold issued I/O");
+        }
+        // ...the fifth crosses the threshold and pays for the forced
+        // writeback of the oldest dirty page inline.
+        let out = u
+            .write(f, 4 * BS, &vec![2u8; BS as usize], WriteFlags::DelayData, 4)
+            .unwrap();
+        assert_eq!(out.io.data.len(), 1, "throttled write carries the flush");
+        let c = u.counters();
+        assert_eq!(c.throttle_stalls, 1);
+        assert_eq!(c.writeback_blocks, 1);
+        assert_eq!(u.dirty_resident_pages(), 4);
+        assert_eq!(u.dirty_bytes(), 4 * BS);
+        // The cleaned page is block 0 (oldest): it is now evictable but
+        // still resident with its contents.
+        assert!(!u.block_is_dirty(f, 0));
+        assert!(u.block_is_dirty(f, 4));
+    }
+
+    #[test]
+    fn writeback_batch_cleans_oldest_dirty_and_clusters() {
+        let mut u = bounded(16, 1.0, false);
+        let root = u.root();
+        let f = u.create(root, "f", 0o644, 0).unwrap();
+        for i in 0..8u64 {
+            u.write(f, i * BS, &vec![3u8; BS as usize], WriteFlags::DelayData, i)
+                .unwrap();
+        }
+        assert_eq!(u.dirty_resident_pages(), 8);
+        // A partial batch drains the oldest pages first.
+        let reqs = u.writeback_batch(3);
+        assert_eq!(reqs.iter().map(|r| r.len).sum::<u64>(), 3 * BS);
+        assert!(!u.block_is_dirty(f, 0));
+        assert!(!u.block_is_dirty(f, 2));
+        assert!(u.block_is_dirty(f, 3));
+        assert_eq!(u.dirty_resident_pages(), 5);
+        // The rest clusters into one contiguous transfer.
+        let reqs = u.writeback_batch(100);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].len, 5 * BS);
+        assert_eq!(u.dirty_resident_pages(), 0);
+        assert_eq!(u.dirty_bytes(), 0);
+        assert_eq!(u.counters().writeback_blocks, 8);
+        // Pages stay resident (clean) after writeback.
+        assert_eq!(u.resident_pages(), 8);
+    }
+
+    #[test]
+    fn bounded_read_cache_evicts_beyond_capacity_and_tracks_recency() {
+        let mut u = bounded(2, 0.5, true);
+        let root = u.root();
+        let f = u.create_prefilled(root, "cold", 4 * BS, 0).unwrap();
+        // Fill the two slots with blocks 0 and 1.
+        assert_eq!(u.read(f, 0, BS).unwrap().misses.len(), 1);
+        assert_eq!(u.read(f, BS, BS).unwrap().misses.len(), 1);
+        assert_eq!(u.resident_pages(), 2);
+        // Touch block 0 so block 1 is the LRU victim...
+        assert!(u.read(f, 0, BS).unwrap().misses.is_empty());
+        // ...then pull in block 2: block 1 is evicted, block 0 survives.
+        assert_eq!(u.read(f, 2 * BS, BS).unwrap().misses.len(), 1);
+        assert_eq!(u.resident_pages(), 2);
+        assert!(u.read(f, 0, BS).unwrap().misses.is_empty());
+        assert_eq!(u.read(f, BS, BS).unwrap().misses.len(), 1, "1 was evicted");
+    }
+
+    #[test]
+    fn cache_accounting_survives_truncate_remove_and_crash() {
+        let mut u = bounded(32, 0.5, false);
+        let root = u.root();
+        let f = u.create(root, "f", 0o644, 0).unwrap();
+        for i in 0..8u64 {
+            let flags = if i < 4 {
+                WriteFlags::Sync
+            } else {
+                WriteFlags::DelayData
+            };
+            u.write(f, i * BS, &vec![4u8; BS as usize], flags, i)
+                .unwrap();
+        }
+        assert_eq!(u.resident_pages(), 8);
+        assert_eq!(u.dirty_resident_pages(), 4);
+        // Truncate away the two newest (dirty) blocks.
+        u.setattr(f, None, Some(6 * BS), 100).unwrap();
+        assert_eq!(u.resident_pages(), 6);
+        assert_eq!(u.dirty_resident_pages(), 2);
+        // Crash: dirty pages vanish, accounting is rebuilt over the clean
+        // survivors.
+        let discarded = u.crash_discard_volatile();
+        assert_eq!(discarded, 2 * BS);
+        assert_eq!(u.resident_pages(), 4);
+        assert_eq!(u.dirty_resident_pages(), 0);
+        // Remove drops the file's pages from the accounting entirely.
+        u.remove(root, "f", 200).unwrap();
+        assert_eq!(u.resident_pages(), 0);
+        assert_eq!(u.dirty_resident_pages(), 0);
     }
 
     #[test]

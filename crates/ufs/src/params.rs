@@ -31,6 +31,19 @@ pub struct FsParams {
     /// on so a bounded working set stops re-reading the same blocks from a
     /// saturated disk farm.
     pub read_caching: bool,
+    /// Capacity of the unified buffer cache in pages (filesystem blocks).
+    ///
+    /// `0` (the default) leaves the cache unbounded — the paper-identical
+    /// behaviour every golden table pins: blocks stay resident forever and no
+    /// accounting is done at all.  A non-zero value arms the bounded unified
+    /// cache: resident pages are tracked in LRU order, clean pages are
+    /// evicted when residency exceeds the capacity, and dirty pages are
+    /// subject to the [`FsParams::dirty_ratio`] writeback throttle.
+    pub cache_pages: u64,
+    /// Fraction of [`FsParams::cache_pages`] that may be dirty before a
+    /// writer is throttled into a forced inline writeback (CAWL-style
+    /// dirty-ratio control).  Only meaningful when `cache_pages > 0`.
+    pub dirty_ratio: f64,
     /// Number of FFS-style inode groups the inode region is divided into.
     ///
     /// `1` (the default) is the flat layout the paper's single-disk server
@@ -56,6 +69,8 @@ impl Default for FsParams {
             data_region_start: 64 * 1024 * 1024,
             inode_size: 128,
             read_caching: false,
+            cache_pages: 0,
+            dirty_ratio: 0.5,
             inode_groups: 1,
         }
     }
@@ -130,8 +145,22 @@ impl FsParams {
             data_region_start: 2 * 1024 * 1024,
             inode_size: 128,
             read_caching: false,
+            cache_pages: 0,
+            dirty_ratio: 0.5,
             inode_groups: 1,
         }
+    }
+
+    /// The number of dirty pages the cache tolerates before throttling
+    /// writers, derived from `cache_pages * dirty_ratio` and clamped to
+    /// `[1, cache_pages]`.  Meaningless (returns `u64::MAX`) when the cache
+    /// is unbounded.
+    pub fn dirty_page_threshold(&self) -> u64 {
+        if self.cache_pages == 0 {
+            return u64::MAX;
+        }
+        let raw = (self.cache_pages as f64 * self.dirty_ratio) as u64;
+        raw.clamp(1, self.cache_pages)
     }
 }
 
@@ -185,6 +214,31 @@ mod tests {
         assert_eq!(flat_members.len(), 1);
         // A group's slots stay inside the inode region.
         assert!(grouped.inode_block_addr(64 * 63 + 63) < grouped.data_region_start);
+    }
+
+    #[test]
+    fn dirty_threshold_clamps_and_defaults_unbounded() {
+        let p = FsParams::default();
+        assert_eq!(p.cache_pages, 0, "default cache is unbounded");
+        assert_eq!(p.dirty_page_threshold(), u64::MAX);
+        let bounded = FsParams {
+            cache_pages: 100,
+            dirty_ratio: 0.5,
+            ..FsParams::default()
+        };
+        assert_eq!(bounded.dirty_page_threshold(), 50);
+        let tiny = FsParams {
+            cache_pages: 4,
+            dirty_ratio: 0.0,
+            ..FsParams::default()
+        };
+        assert_eq!(tiny.dirty_page_threshold(), 1, "threshold floors at 1");
+        let over = FsParams {
+            cache_pages: 4,
+            dirty_ratio: 9.0,
+            ..FsParams::default()
+        };
+        assert_eq!(over.dirty_page_threshold(), 4, "threshold caps at capacity");
     }
 
     #[test]

@@ -32,8 +32,8 @@ use std::collections::VecDeque;
 use wg_client::{ClientAction, ClientConfig, ClientInput, FileWriterClient};
 use wg_net::medium::{Direction, MediumParams};
 use wg_net::{Medium, TransmitOutcome};
-use wg_nfsproto::FileHandle;
-use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, WritePolicy};
+use wg_nfsproto::{FileHandle, StableHow};
+use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, StabilityMode, WritePolicy};
 use wg_simcore::{Duration, EventQueue, SimTime};
 
 use crate::results::{FileCopyResult, MultiClientResult};
@@ -80,6 +80,14 @@ pub struct MultiClientConfig {
     /// keeps the serial loop).  Results are bit-identical either way; see
     /// [`wg_simcore::parallel`].
     pub sim_threads: usize,
+    /// Pages of the server's bounded unified buffer cache (`0`, the default,
+    /// keeps the paper's unbounded delayed-write pool).
+    pub cache_pages: u64,
+    /// Dirty-page throttle fraction of the unified cache.
+    pub dirty_ratio: f64,
+    /// Write-stability regime: [`StabilityMode::Unstable`] makes every client
+    /// issue `WRITE(UNSTABLE)` and `COMMIT` each segment at its close.
+    pub stability: StabilityMode,
 }
 
 /// Minimum headroom a segment's xid window keeps beyond the writes the
@@ -106,6 +114,9 @@ impl MultiClientConfig {
             per_client_lans: false,
             io_overlap: false,
             sim_threads: 0,
+            cache_pages: 0,
+            dirty_ratio: 0.5,
+            stability: StabilityMode::Stable,
         }
     }
 
@@ -166,6 +177,24 @@ impl MultiClientConfig {
     /// Run on `n` cooperating event loops (`0` or `1` keeps the serial loop).
     pub fn with_sim_threads(mut self, n: usize) -> Self {
         self.sim_threads = n;
+        self
+    }
+
+    /// Arm the server's bounded unified buffer cache with `pages` pages.
+    pub fn with_unified_cache(mut self, pages: u64) -> Self {
+        self.cache_pages = pages;
+        self
+    }
+
+    /// Set the dirty-page throttle fraction of the unified cache.
+    pub fn with_dirty_ratio(mut self, ratio: f64) -> Self {
+        self.dirty_ratio = ratio;
+        self
+    }
+
+    /// Select the write-stability regime of the run.
+    pub fn with_stability(mut self, mode: StabilityMode) -> Self {
+        self.stability = mode;
         self
     }
 
@@ -436,6 +465,10 @@ impl MultiClientSystem {
         server_config.shards = config.shards.max(1);
         server_config.cores = config.cores.max(1);
         server_config.io_overlap = config.io_overlap;
+        server_config = server_config
+            .with_unified_cache(config.cache_pages)
+            .with_dirty_ratio(config.dirty_ratio)
+            .with_stability(config.stability);
         // GB-scale aggregates must fit the data region; keep the default
         // geometry unless the sweep actually needs more.
         let aggregate = config.clients as u64 * config.bytes_per_client;
@@ -502,6 +535,10 @@ impl MultiClientSystem {
             file_size,
             xid_base: config.xid_base(client, segment),
             fill_salt: MultiClientConfig::fill_salt(client),
+            stability: match config.stability {
+                StabilityMode::Stable => StableHow::FileSync,
+                StabilityMode::Unstable => StableHow::Unstable,
+            },
             ..ClientConfig::default()
         }
     }
@@ -885,6 +922,27 @@ mod tests {
         assert!(result.aggregate_kb_per_sec > 0.0);
         system.verify_on_disk().expect("per-client data intact");
         assert_eq!(system.server().uncommitted_bytes(), 0);
+    }
+
+    #[test]
+    fn unstable_clients_commit_every_segment_and_verify_on_disk() {
+        let mut system = MultiClientSystem::new(
+            MultiClientConfig::new(NetworkKind::Fddi, 3, 4, WritePolicy::Gathering)
+                .with_bytes_per_client(MB)
+                .with_file_limit(512 * 1024)
+                .with_unified_cache(4096)
+                .with_stability(StabilityMode::Unstable),
+        );
+        let result = system.run();
+        assert!(result.completed);
+        assert_eq!(result.total_bytes_acked, 3 * MB);
+        let stats = system.server().stats();
+        assert!(stats.unstable_writes > 0);
+        // Each client COMMITs every one of its two segments at close.
+        assert!(stats.commits >= 6, "commits {}", stats.commits);
+        assert_eq!(stats.forced_file_sync, 0);
+        assert_eq!(system.server().uncommitted_bytes(), 0);
+        system.verify_on_disk().expect("per-client data intact");
     }
 
     #[test]

@@ -24,7 +24,7 @@ use wg_net::medium::{Direction, Medium};
 use wg_net::TransmitOutcome;
 use wg_nfsproto::{NfsCall, NfsReply};
 use wg_server::{NfsServer, ServerAction, ServerInput};
-use wg_simcore::parallel::{applied_counter, bump_applied};
+use wg_simcore::parallel::{applied_counter, bump_applied, run_hub, HubPartition};
 use wg_simcore::{BoundCell, Duration, Key, KeyedQueue, Mailbox, Monitor, OpWindow, SimTime};
 
 use super::{ClientSlot, MultiClientConfig, MultiClientSystem};
@@ -301,7 +301,6 @@ struct Hub<'a> {
     server: &'a mut NfsServer,
     queue: KeyedQueue<HubEv>,
     ctr: u64,
-    last_bound: Key,
     windows: Vec<OpWindow>,
     actions: Vec<ServerAction>,
     inbound: Vec<(Key, UpMsg)>,
@@ -348,39 +347,35 @@ impl Hub<'_> {
     }
 }
 
-/// The hub's loop: gate on spoke bounds *and* op windows, drain mail,
-/// process, publish.
-///
-/// Observation order is the heart of the protocol.  A spoke that applies a
-/// mailed op posts its provoked sends, stores the (possibly *regressed*)
-/// covering bound, and only then bumps the applied count — so the hub looks
-/// at the op windows *before* the spoke bounds: a window seen unpruned still
-/// caps the effective gate below anything its op can provoke, and a window
-/// seen pruned guarantees the regressed bound and the posted mail are
-/// visible to the reads that follow.  The window gate is re-derived per pop
-/// (mailing a reply immediately caps how much further the batch may run),
-/// and whenever it *rises* — a spoke pruned mid-round — the cached `sgate`
-/// and the mail drain are both potentially stale, so the round restarts to
-/// re-read them before popping anything else or publishing a horizon.
-fn run_hub(hub: &mut Hub, cx: &Cx) {
-    loop {
-        let epoch = cx.ch.monitor.epoch();
-        let mut progressed = false;
-        // Windows first, then bounds, then mail (see above): any message with
-        // a key at or below the gates we read here is already visible to the
-        // drain below.
-        let mut wgate = hub.window_gate(cx.lookahead);
-        let sgate = {
-            let mut gate = Key::MAX;
-            for cell in &cx.ch.spoke_bounds {
-                gate = gate.min(cell.read());
-            }
-            gate
-        };
-        for mail in &cx.ch.up {
-            mail.drain_into(&mut hub.inbound);
+/// [`HubPartition`] view of the hub for the shared
+/// [`wg_simcore::parallel::run_hub`] driver: one op window, bound cell and
+/// up-mailbox per spoke, with datagrams carrying their client id.
+struct HubLoop<'h, 'a, 'c> {
+    hub: &'h mut Hub<'a>,
+    cx: &'c Cx<'c>,
+}
+
+impl HubPartition for HubLoop<'_, '_, '_> {
+    type Ev = HubEv;
+
+    fn window_gate(&mut self, lookahead: Duration) -> Key {
+        self.hub.window_gate(lookahead)
+    }
+
+    fn spoke_gate(&self) -> Key {
+        let mut gate = Key::MAX;
+        for cell in &self.cx.ch.spoke_bounds {
+            gate = gate.min(cell.read());
         }
-        for (key, msg) in hub.inbound.drain(..) {
+        gate
+    }
+
+    fn drain_mail(&mut self) -> bool {
+        for mail in &self.cx.ch.up {
+            mail.drain_into(&mut self.hub.inbound);
+        }
+        let mut progressed = false;
+        for (key, msg) in self.hub.inbound.drain(..) {
             progressed = true;
             let UpMsg::Datagram {
                 client,
@@ -388,7 +383,7 @@ fn run_hub(hub: &mut Hub, cx: &Cx) {
                 wire_size,
                 fragments,
             } = msg;
-            hub.queue.schedule(
+            self.hub.queue.schedule(
                 key,
                 HubEv::Server(ServerInput::Datagram {
                     client,
@@ -398,65 +393,23 @@ fn run_hub(hub: &mut Hub, cx: &Cx) {
                 }),
             );
         }
-        let mut stale = false;
-        loop {
-            let fresh = hub.window_gate(cx.lookahead);
-            if fresh > wgate {
-                stale = true;
-                break;
-            }
-            wgate = fresh;
-            let limit = sgate.min(wgate);
-            let Some((key, ev)) = hub.queue.pop_below(&limit) else {
-                break;
-            };
-            progressed = true;
-            hub.handle(key, ev, cx);
-        }
-        if !stale {
-            // One last look before trusting the pair for the done check and
-            // the published horizon: a prune after the final pop invalidates
-            // `sgate` just the same.
-            let fresh = hub.window_gate(cx.lookahead);
-            if fresh > wgate {
-                stale = true;
-            } else {
-                wgate = fresh;
-            }
-        }
-        if stale {
-            // A spoke applied a mailed op mid-round: its bound may have
-            // regressed below `sgate` and its provoked mail may be undrained.
-            // Wake anyone waiting on ops we mailed, then start the round over.
-            if progressed {
-                cx.ch.monitor.bump();
-            }
-            continue;
-        }
-        // Every spoke's queue is empty (exact bounds at MAX), every mailed op
-        // was applied and covered, and our own queue and mail are drained:
-        // nothing is in flight anywhere — the run is done.
-        if hub.queue.is_empty() && sgate == Key::MAX && wgate == Key::MAX {
-            cx.ch.hub_bound.publish(Key::MAX);
-            cx.ch.done.store(true, Ordering::Release);
-            cx.ch.monitor.bump();
-            return;
-        }
-        let horizon = sgate
-            .min(wgate)
-            .min(hub.queue.peek_key().unwrap_or(Key::MAX));
-        let bound = horizon.lift(cx.hub_src);
-        if bound > hub.last_bound {
-            hub.last_bound = bound;
-            cx.ch.hub_bound.publish(bound);
-            cx.ch.monitor.bump();
-            progressed = true;
-        } else if progressed {
-            cx.ch.monitor.bump();
-        }
-        if !progressed {
-            cx.ch.monitor.wait_if(epoch);
-        }
+        progressed
+    }
+
+    fn pop_below(&mut self, limit: &Key) -> Option<(Key, HubEv)> {
+        self.hub.queue.pop_below(limit)
+    }
+
+    fn handle(&mut self, key: Key, ev: HubEv) {
+        self.hub.handle(key, ev, self.cx);
+    }
+
+    fn queue_is_empty(&self) -> bool {
+        self.hub.queue.is_empty()
+    }
+
+    fn peek_key(&self) -> Option<Key> {
+        self.hub.queue.peek_key()
     }
 }
 
@@ -537,7 +490,6 @@ pub(super) fn run_partitioned(system: &mut MultiClientSystem) -> MultiClientResu
         server: &mut system.server,
         queue: KeyedQueue::new(),
         ctr: 0,
-        last_bound: Key::MIN,
         windows: channels
             .applied
             .iter()
@@ -564,7 +516,17 @@ pub(super) fn run_partitioned(system: &mut MultiClientSystem) -> MultiClientResu
             .into_iter()
             .map(|batch| scope.spawn(move || run_spokes(batch, &cx)))
             .collect();
-        run_hub(&mut hub, &cx);
+        run_hub(
+            &mut HubLoop {
+                hub: &mut hub,
+                cx: &cx,
+            },
+            cx.lookahead,
+            cx.hub_src,
+            &cx.ch.hub_bound,
+            &cx.ch.monitor,
+            &cx.ch.done,
+        );
         handles
             .into_iter()
             .flat_map(|h| h.join().expect("spoke worker panicked"))
@@ -593,7 +555,7 @@ pub(super) fn run_partitioned(system: &mut MultiClientSystem) -> MultiClientResu
 
 #[cfg(test)]
 mod tests {
-    use wg_server::WritePolicy;
+    use wg_server::{StabilityMode, WritePolicy};
 
     use super::super::{MultiClientConfig, MultiClientSystem};
     use crate::system::NetworkKind;
@@ -679,6 +641,22 @@ mod tests {
                 .with_spindles(3)
                 .with_io_overlap(true),
             &[2, 4],
+        );
+    }
+
+    #[test]
+    fn partitioned_run_matches_serial_with_the_unified_cache_armed() {
+        // Every client writes through the bounded unified cache with
+        // UNSTABLE semantics and commits at close; the shared dirty pool,
+        // the background writeback and the COMMIT flushes must schedule
+        // identically on 2, 4 and 8 cooperating loops.
+        assert_parity(
+            MultiClientConfig::new(NetworkKind::Fddi, 3, 4, WritePolicy::Gathering)
+                .with_bytes_per_client(256 * 1024)
+                .with_file_limit(128 * 1024)
+                .with_unified_cache(512)
+                .with_stability(StabilityMode::Unstable),
+            &[2, 4, 8],
         );
     }
 }

@@ -46,10 +46,10 @@ use std::sync::Arc;
 use wg_net::medium::Direction;
 use wg_net::TransmitOutcome;
 use wg_nfsproto::{
-    CreateArgs, DirOpArgs, FileHandle, GetattrArgs, NfsCall, NfsCallBody, NfsReply, ReadArgs,
-    ReaddirArgs, Sattr, WriteArgs, Xid,
+    CommitArgs, CreateArgs, DirOpArgs, FileHandle, GetattrArgs, NfsCall, NfsCallBody, NfsReply,
+    ReadArgs, ReaddirArgs, Sattr, StableHow, WriteArgs, Xid,
 };
-use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, WritePolicy};
+use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, StabilityMode, WritePolicy};
 use wg_simcore::{Duration, EventQueue, FaultKind, FaultPlan, LatencyStat, SimRng, SimTime};
 
 use crate::multi::ClientLans;
@@ -226,6 +226,18 @@ pub struct SfsConfig {
     /// conservative lookahead ([`wg_simcore::parallel`]), bit-identical to
     /// the serial run.
     pub sim_threads: usize,
+    /// Pages of the server's bounded unified buffer cache (`0`, the default,
+    /// keeps the paper's unbounded delayed-write pool and replays every
+    /// original figure point byte-for-byte).
+    pub cache_pages: u64,
+    /// Dirty-page throttle fraction of the unified cache (see
+    /// [`wg_server::ServerConfig::dirty_ratio`]).
+    pub dirty_ratio: f64,
+    /// Write-stability regime of the cell.  Under
+    /// [`StabilityMode::Unstable`] every write burst is issued as
+    /// `WRITE(UNSTABLE)` and chased by one whole-file `COMMIT` — the NFSv3
+    /// write path — instead of the v2 per-write synchronous commit.
+    pub stability: StabilityMode,
 }
 
 impl SfsConfig {
@@ -260,6 +272,9 @@ impl SfsConfig {
             retry_initial_timeout: Duration::from_millis(700),
             max_retransmits: 8,
             sim_threads: 0,
+            cache_pages: 0,
+            dirty_ratio: 0.5,
+            stability: StabilityMode::Stable,
         }
     }
 
@@ -366,6 +381,25 @@ impl SfsConfig {
         self
     }
 
+    /// Arm the server's bounded unified buffer cache with `pages` pages
+    /// (`0` disarms it).
+    pub fn with_unified_cache(mut self, pages: u64) -> Self {
+        self.cache_pages = pages;
+        self
+    }
+
+    /// Set the dirty-page throttle fraction of the unified cache.
+    pub fn with_dirty_ratio(mut self, ratio: f64) -> Self {
+        self.dirty_ratio = ratio;
+        self
+    }
+
+    /// Select the write-stability regime of the cell.
+    pub fn with_stability(mut self, mode: StabilityMode) -> Self {
+        self.stability = mode;
+        self
+    }
+
     /// Whether the fault layer is armed: any injected fault or loss means
     /// calls can vanish, so the generators track outstanding calls for
     /// bounded retransmission.  With neither, the retry machinery schedules
@@ -412,6 +446,10 @@ enum OpKind {
     Remove,
     Setattr,
     Statfs,
+    /// COMMIT chasing an unstable write burst (never drawn from the mix;
+    /// queued by [`SfsGenerator::finish_write`] under
+    /// [`StabilityMode::Unstable`]).
+    Commit,
 }
 
 const OP_KINDS: [OpKind; 9] = [
@@ -662,14 +700,25 @@ impl SfsGenerator {
             CallStep::Ready(call) => call,
             CallStep::NeedsRotation { xid, idx } => {
                 self.rotate_scratch(idx, server);
-                self.finish_write(now, xid, idx, config.write_burst.max(1))
+                self.finish_write(now, xid, idx, config.write_burst.max(1), config.stability)
             }
         }
     }
 
     /// Build the write-burst head against slot `idx` (post-rotation, if one
     /// was needed), queueing the follow-on chunks and stamping the ring.
-    fn finish_write(&mut self, now: SimTime, xid: Xid, idx: usize, burst: usize) -> NfsCall {
+    /// Under [`StabilityMode::Unstable`] every chunk is tagged
+    /// `WRITE(UNSTABLE)` and one whole-file `COMMIT` is queued behind the
+    /// burst, making the burst's durability one batched flush — the NFSv3
+    /// shape — instead of `burst` synchronous commits.
+    fn finish_write(
+        &mut self,
+        now: SimTime,
+        xid: Xid,
+        idx: usize,
+        burst: usize,
+        stability: StabilityMode,
+    ) -> NfsCall {
         let burst_len = burst as u64;
         let ScratchFile {
             handle: fh,
@@ -678,20 +727,32 @@ impl SfsGenerator {
         } = self.write_files[idx];
         self.write_files[idx].offset = start + burst_len * CHUNK;
         debug_assert!(start + burst_len * CHUNK <= u32::MAX as u64);
+        let stable_how = match stability {
+            StabilityMode::Stable => StableHow::FileSync,
+            StabilityMode::Unstable => StableHow::Unstable,
+        };
+        // The COMMIT pops after the last chunk of the burst (the queue pops
+        // from the back, so it is pushed first).
+        if stability == StabilityMode::Unstable {
+            self.burst_queue.push(NfsCallBody::Commit(CommitArgs {
+                file: fh,
+                offset: 0,
+                count: 0,
+            }));
+        }
         // Queue the follow-on chunks in reverse so popping yields ascending
         // offsets.
         for i in (1..burst_len).rev() {
             let offset = start + i * CHUNK;
             let fill = (offset / CHUNK) as u8;
-            self.burst_queue.push(NfsCallBody::Write(WriteArgs::fill(
-                fh,
-                offset as u32,
-                fill,
-                CHUNK as u32,
-            )));
+            self.burst_queue.push(NfsCallBody::Write(
+                WriteArgs::fill(fh, offset as u32, fill, CHUNK as u32).with_stability(stable_how),
+            ));
         }
         let fill = (start / CHUNK) as u8;
-        let body = NfsCallBody::Write(WriteArgs::fill(fh, start as u32, fill, CHUNK as u32));
+        let body = NfsCallBody::Write(
+            WriteArgs::fill(fh, start as u32, fill, CHUNK as u32).with_stability(stable_how),
+        );
         self.outstanding.insert(xid.0, now, OpKind::Write);
         NfsCall::new(xid, body)
     }
@@ -708,10 +769,17 @@ impl SfsGenerator {
         config: &SfsConfig,
     ) -> CallStep {
         // Drain an in-progress write burst first: LADDIS writes whole files
-        // in consecutive 8 KB chunks, so write operations arrive in bursts.
+        // in consecutive 8 KB chunks, so write operations arrive in bursts
+        // (under unstable stability the burst's trailing COMMIT rides the
+        // same queue).
         if let Some(body) = self.burst_queue.pop() {
             let xid = self.take_xid();
-            self.outstanding.insert(xid.0, now, OpKind::Write);
+            let kind = if matches!(body, NfsCallBody::Commit(_)) {
+                OpKind::Commit
+            } else {
+                OpKind::Write
+            };
+            self.outstanding.insert(xid.0, now, kind);
             return CallStep::Ready(NfsCall::new(xid, body));
         }
         // Scale the write weight down by the burst length so that writes stay
@@ -749,7 +817,7 @@ impl SfsGenerator {
                 if self.write_files[idx].offset + burst as u64 * CHUNK > config.scratch_file_limit {
                     return CallStep::NeedsRotation { xid, idx };
                 }
-                return CallStep::Ready(self.finish_write(now, xid, idx, burst));
+                return CallStep::Ready(self.finish_write(now, xid, idx, burst, config.stability));
             }
             OpKind::Getattr => {
                 let &(_, fh, _) = self.pick_file(shared);
@@ -794,6 +862,9 @@ impl SfsGenerator {
                 })
             }
             OpKind::Statfs => NfsCallBody::Statfs(GetattrArgs { file: shared.root }),
+            // COMMIT is never drawn from the mix; it only ever rides the
+            // burst queue behind an unstable write burst.
+            OpKind::Commit => unreachable!("COMMIT is not a mix operation"),
         };
         self.outstanding.insert(xid.0, now, kind);
         CallStep::Ready(NfsCall::new(xid, body))
@@ -870,6 +941,10 @@ impl SfsSystem {
         server_config.io_overlap = config.io_overlap;
         server_config.inode_groups = config.inode_groups.max(1);
         server_config.read_caching = config.read_caching;
+        server_config = server_config
+            .with_unified_cache(config.cache_pages)
+            .with_dirty_ratio(config.dirty_ratio)
+            .with_stability(config.stability);
         let mut server = NfsServer::new(server_config);
 
         let root = server.fs().root();
@@ -1152,6 +1227,16 @@ impl SfsSystem {
     /// The server, for post-run inspection.
     pub fn server(&self) -> &NfsServer {
         &self.server
+    }
+
+    /// Drain the server after the measured window: flush the unified cache
+    /// (and any gathered batches) to stable storage, as an unmount would.
+    /// With the cache disarmed this changes nothing; with it armed it is how
+    /// a sweep cell proves no acknowledged data was left volatile.
+    pub fn quiesce_server(&mut self) {
+        let at = self.queue.now().max(SimTime::ZERO + self.config.duration);
+        let mut actions = Vec::new();
+        self.server.quiesce(at, &mut actions);
     }
 
     /// Operations issued and completed, across all client streams.
@@ -1555,6 +1640,51 @@ mod tests {
             }
         }
         assert!(checked > SCRATCH_SLOTS, "rotation chains exist on disk");
+    }
+
+    #[test]
+    fn unstable_cells_commit_their_bursts_and_lose_nothing() {
+        let config = quick_config(400.0, WritePolicy::Gathering)
+            .with_unified_cache(4096)
+            .with_stability(StabilityMode::Unstable);
+        let mut system = SfsSystem::new(config);
+        let point = system.run();
+        assert!(point.achieved_ops_per_sec > 0.0);
+        let (unstable_writes, commits, forced) = {
+            let stats = system.server().stats();
+            (stats.unstable_writes, stats.commits, stats.forced_file_sync)
+        };
+        assert!(unstable_writes > 0, "no WRITE(UNSTABLE) was issued");
+        assert!(commits > 0, "no burst was chased by a COMMIT");
+        assert_eq!(forced, 0);
+        // An unmount-style drain leaves nothing volatile and nothing lost.
+        system.quiesce_server();
+        assert_eq!(system.server().uncommitted_bytes(), 0);
+        assert_eq!(system.server().stats().lost_acked_bytes, 0);
+    }
+
+    #[test]
+    fn default_cells_never_speak_v3() {
+        let mut system = SfsSystem::new(quick_config(200.0, WritePolicy::Gathering));
+        system.run();
+        let stats = system.server().stats();
+        assert_eq!(stats.unstable_writes, 0);
+        assert_eq!(stats.commits, 0);
+        assert_eq!(stats.forced_file_sync, 0);
+    }
+
+    #[test]
+    fn unstable_partitioned_run_is_bit_identical_to_serial() {
+        let config = quick_config(300.0, WritePolicy::Gathering)
+            .with_clients(2)
+            .with_per_client_lans(true)
+            .with_unified_cache(2048)
+            .with_stability(StabilityMode::Unstable);
+        let serial = SfsSystem::new(config.clone()).run();
+        let parallel = SfsSystem::new(config.with_sim_threads(2)).run();
+        assert_eq!(serial.achieved_ops_per_sec, parallel.achieved_ops_per_sec);
+        assert_eq!(serial.avg_latency_ms, parallel.avg_latency_ms);
+        assert_eq!(serial.server_cpu_percent, parallel.server_cpu_percent);
     }
 
     #[test]

@@ -344,7 +344,13 @@ impl Spoke {
     fn resume(&mut self, f: Frozen, handle: FileHandle, cx: &Cx) {
         let generator = &mut self.generators[f.client - self.base];
         generator.install_rotated(f.idx, handle);
-        let call = generator.finish_write(f.key.time, f.xid, f.idx, cx.config.write_burst.max(1));
+        let call = generator.finish_write(
+            f.key.time,
+            f.xid,
+            f.idx,
+            cx.config.write_burst.max(1),
+            cx.config.stability,
+        );
         generator.issued += 1;
         self.issued += 1;
         self.issue(f.key, f.client, call, cx);

@@ -3,7 +3,8 @@
 use wg_client::{ClientAction, ClientConfig, ClientInput, FileWriterClient};
 use wg_net::medium::Direction;
 use wg_net::{Medium, MediumParams, TransmitOutcome};
-use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, WritePolicy};
+use wg_nfsproto::StableHow;
+use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, StabilityMode, WritePolicy};
 use wg_simcore::{Duration, EventQueue, FaultKind, FaultPlan, SimTime, Trace};
 
 use crate::results::FileCopyResult;
@@ -69,6 +70,18 @@ pub struct ExperimentConfig {
     /// keeps the serial loop).  Results are bit-identical either way; see
     /// [`wg_simcore::parallel`].
     pub sim_threads: usize,
+    /// Pages of the server's bounded unified buffer cache (`0`, the default,
+    /// keeps the paper's unbounded delayed-write pool — every table cell is
+    /// byte-identical to a build without the cache).
+    pub cache_pages: u64,
+    /// Fraction of the unified cache allowed to sit dirty before writers are
+    /// throttled (only meaningful with [`ExperimentConfig::cache_pages`] set).
+    pub dirty_ratio: f64,
+    /// The write-stability regime of the cell: [`StabilityMode::Stable`] is
+    /// the paper's world (every WRITE durable before its reply);
+    /// [`StabilityMode::Unstable`] issues NFSv3-style `WRITE(UNSTABLE)` from
+    /// the client and `COMMIT` at close.
+    pub stability: StabilityMode,
 }
 
 impl ExperimentConfig {
@@ -89,6 +102,9 @@ impl ExperimentConfig {
             fault_plan: FaultPlan::new(),
             client_retry: None,
             sim_threads: 0,
+            cache_pages: 0,
+            dirty_ratio: 0.5,
+            stability: StabilityMode::Stable,
         }
     }
 
@@ -152,6 +168,25 @@ impl ExperimentConfig {
         self.sim_threads = n;
         self
     }
+
+    /// Arm the server's bounded unified buffer cache with `pages` pages
+    /// (`0` disarms it and restores the paper's unbounded pool).
+    pub fn with_unified_cache(mut self, pages: u64) -> Self {
+        self.cache_pages = pages;
+        self
+    }
+
+    /// Set the dirty-page throttle fraction of the unified cache.
+    pub fn with_dirty_ratio(mut self, ratio: f64) -> Self {
+        self.dirty_ratio = ratio;
+        self
+    }
+
+    /// Select the write-stability regime of the cell.
+    pub fn with_stability(mut self, mode: StabilityMode) -> Self {
+        self.stability = mode;
+        self
+    }
 }
 
 /// Events flowing through the combined system.
@@ -210,6 +245,10 @@ impl FileCopySystem {
         server_config.shards = config.shards;
         server_config.cores = config.cores;
         server_config.io_overlap = config.io_overlap;
+        server_config = server_config
+            .with_unified_cache(config.cache_pages)
+            .with_dirty_ratio(config.dirty_ratio)
+            .with_stability(config.stability);
         customize(&mut server_config);
         let mut server = NfsServer::new(server_config);
         if config.trace {
@@ -227,6 +266,10 @@ impl FileCopySystem {
         let mut client_config = ClientConfig {
             biods: config.biods,
             file_size: config.file_size,
+            stability: match config.stability {
+                StabilityMode::Stable => StableHow::FileSync,
+                StabilityMode::Unstable => StableHow::Unstable,
+            },
             ..ClientConfig::default()
         };
         if let Some((initial_timeout, max_retransmits)) = config.client_retry {
@@ -541,6 +584,56 @@ mod tests {
         // Spot-check the block fill pattern written by the client.
         let block7 = fs.read(ino, 7 * 8192, 8192).unwrap().to_vec();
         assert!(block7.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn unstable_copy_commits_at_close_and_lands_the_same_file() {
+        let mut system = FileCopySystem::new(
+            ExperimentConfig::new(NetworkKind::Fddi, 4, WritePolicy::Gathering)
+                .with_file_size(SMALL)
+                .with_unified_cache(4096)
+                .with_stability(StabilityMode::Unstable),
+        );
+        let result = system.run();
+        assert!(result.completed);
+        let stats = system.server().stats();
+        assert!(stats.unstable_writes > 0, "no WRITE(UNSTABLE) reached disk");
+        assert!(stats.commits > 0, "the close never issued a COMMIT");
+        assert_eq!(stats.forced_file_sync, 0);
+        // COMMIT made everything durable before close(2) returned...
+        assert_eq!(system.server().uncommitted_bytes(), 0);
+        assert_eq!(system.client().uncommitted_ranges().len(), 0);
+        assert_eq!(system.client().stats().verifier_mismatches, 0);
+        // ...and the bytes on disk are the bytes the client wrote.
+        assert_eq!(system.lost_acked_bytes_on_disk(), 0);
+        let mut fs = system.server().fs().clone();
+        let root = fs.root();
+        let ino = fs.lookup(root, "copy-target").unwrap();
+        assert_eq!(fs.getattr(ino).unwrap().size, SMALL);
+    }
+
+    #[test]
+    fn unstable_copy_is_never_slower_than_file_sync() {
+        let run = |stability| {
+            FileCopySystem::new(
+                ExperimentConfig::new(NetworkKind::Fddi, 4, WritePolicy::Standard)
+                    .with_file_size(SMALL)
+                    .with_unified_cache(4096)
+                    .with_stability(stability),
+            )
+            .run()
+        };
+        let stable = run(StabilityMode::Stable);
+        let unstable = run(StabilityMode::Unstable);
+        assert!(stable.completed && unstable.completed);
+        // Acking from the cache and batching durability into one COMMIT must
+        // beat per-write synchronous commits on a standard-policy server.
+        assert!(
+            unstable.client_write_kb_per_sec > stable.client_write_kb_per_sec,
+            "unstable {:.0} KB/s vs stable {:.0} KB/s",
+            unstable.client_write_kb_per_sec,
+            stable.client_write_kb_per_sec
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use wg_net::medium::{Direction, Medium};
 use wg_net::TransmitOutcome;
 use wg_nfsproto::{NfsCall, NfsReply};
 use wg_server::{NfsServer, ServerAction, ServerInput};
-use wg_simcore::parallel::{applied_counter, bump_applied};
+use wg_simcore::parallel::{applied_counter, bump_applied, run_hub, HubPartition};
 use wg_simcore::{
     BoundCell, Duration, FaultKind, Key, KeyedQueue, Mailbox, Monitor, OpWindow, SimTime,
 };
@@ -219,7 +219,6 @@ struct Hub<'a> {
     server: &'a mut NfsServer,
     queue: KeyedQueue<HubEv>,
     ctr: u64,
-    last_bound: Key,
     window: OpWindow,
     actions: Vec<ServerAction>,
     inbound: Vec<(Key, UpMsg)>,
@@ -312,25 +311,36 @@ impl Hub<'_> {
     }
 }
 
-/// The hub's loop; see `crate::multi::par::run_hub` for the observation-order
-/// rule this follows: op window first, then the spoke bound, then mail, with
-/// the round restarted whenever the window gate rises mid-round (the spoke
-/// pruned, so the cached bound and the mail drain may both be stale).
-fn run_hub(hub: &mut Hub, lookahead: Duration, ch: &Channels) {
-    loop {
-        let epoch = ch.monitor.epoch();
+/// [`HubPartition`] view of the hub for the shared
+/// [`wg_simcore::parallel::run_hub`] driver: one op window, one spoke bound
+/// cell, one up-mailbox, and every datagram addressed to client 0.
+struct HubLoop<'h, 'a, 'c> {
+    hub: &'h mut Hub<'a>,
+    ch: &'c Channels,
+}
+
+impl HubPartition for HubLoop<'_, '_, '_> {
+    type Ev = HubEv;
+
+    fn window_gate(&mut self, lookahead: Duration) -> Key {
+        self.hub.window.bound(lookahead)
+    }
+
+    fn spoke_gate(&self) -> Key {
+        self.ch.spoke_bound.read()
+    }
+
+    fn drain_mail(&mut self) -> bool {
+        self.ch.up.drain_into(&mut self.hub.inbound);
         let mut progressed = false;
-        let mut wgate = hub.window.bound(lookahead);
-        let sgate = ch.spoke_bound.read();
-        ch.up.drain_into(&mut hub.inbound);
-        for (key, msg) in hub.inbound.drain(..) {
+        for (key, msg) in self.hub.inbound.drain(..) {
             progressed = true;
             let UpMsg::Datagram {
                 call,
                 wire_size,
                 fragments,
             } = msg;
-            hub.queue.schedule(
+            self.hub.queue.schedule(
                 key,
                 HubEv::Server(ServerInput::Datagram {
                     client: 0,
@@ -340,56 +350,23 @@ fn run_hub(hub: &mut Hub, lookahead: Duration, ch: &Channels) {
                 }),
             );
         }
-        let mut stale = false;
-        loop {
-            let fresh = hub.window.bound(lookahead);
-            if fresh > wgate {
-                stale = true;
-                break;
-            }
-            wgate = fresh;
-            let limit = sgate.min(wgate);
-            let Some((key, ev)) = hub.queue.pop_below(&limit) else {
-                break;
-            };
-            progressed = true;
-            hub.handle(key, ev, ch);
-        }
-        if !stale {
-            let fresh = hub.window.bound(lookahead);
-            if fresh > wgate {
-                stale = true;
-            } else {
-                wgate = fresh;
-            }
-        }
-        if stale {
-            if progressed {
-                ch.monitor.bump();
-            }
-            continue;
-        }
-        if hub.queue.is_empty() && sgate == Key::MAX && wgate == Key::MAX {
-            ch.hub_bound.publish(Key::MAX);
-            ch.done.store(true, Ordering::Release);
-            ch.monitor.bump();
-            return;
-        }
-        let horizon = sgate
-            .min(wgate)
-            .min(hub.queue.peek_key().unwrap_or(Key::MAX));
-        let bound = horizon.lift(HUB_SRC);
-        if bound > hub.last_bound {
-            hub.last_bound = bound;
-            ch.hub_bound.publish(bound);
-            ch.monitor.bump();
-            progressed = true;
-        } else if progressed {
-            ch.monitor.bump();
-        }
-        if !progressed {
-            ch.monitor.wait_if(epoch);
-        }
+        progressed
+    }
+
+    fn pop_below(&mut self, limit: &Key) -> Option<(Key, HubEv)> {
+        self.hub.queue.pop_below(limit)
+    }
+
+    fn handle(&mut self, key: Key, ev: HubEv) {
+        self.hub.handle(key, ev, self.ch);
+    }
+
+    fn queue_is_empty(&self) -> bool {
+        self.hub.queue.is_empty()
+    }
+
+    fn peek_key(&self) -> Option<Key> {
+        self.hub.queue.peek_key()
     }
 }
 
@@ -428,7 +405,6 @@ pub(super) fn run_partitioned(system: &mut FileCopySystem) -> FileCopyResult {
         server: &mut system.server,
         queue: KeyedQueue::new(),
         ctr: 0,
-        last_bound: Key::MIN,
         window: OpWindow::new(applied),
         actions: Vec::new(),
         inbound: Vec::new(),
@@ -465,7 +441,14 @@ pub(super) fn run_partitioned(system: &mut FileCopySystem) -> FileCopyResult {
                 ch.monitor.wait_if(epoch);
             }
         });
-        run_hub(&mut hub, lookahead, ch);
+        run_hub(
+            &mut HubLoop { hub: &mut hub, ch },
+            lookahead,
+            HUB_SRC,
+            &ch.hub_bound,
+            &ch.monitor,
+            &ch.done,
+        );
     });
     debug_assert!(hub.window.is_drained(), "hub exited with unapplied ops");
     debug_assert!(spoke.queue.is_empty(), "spoke exited with queued events");
@@ -480,7 +463,7 @@ pub(super) fn run_partitioned(system: &mut FileCopySystem) -> FileCopyResult {
 
 #[cfg(test)]
 mod tests {
-    use wg_server::WritePolicy;
+    use wg_server::{StabilityMode, WritePolicy};
     use wg_simcore::{Duration, FaultKind, FaultPlan, SimTime};
 
     use super::super::{ExperimentConfig, FileCopySystem, NetworkKind};
@@ -569,5 +552,33 @@ mod tests {
                 .with_client_retry(Duration::from_millis(150), 3),
             &[2, 3],
         );
+    }
+
+    #[test]
+    fn partitioned_copy_matches_serial_with_unstable_cache_and_crash() {
+        // The unified-cache write path under the partitioned core: bounded
+        // cache armed, WRITE(UNSTABLE) + COMMIT, and a crash mid-writeback
+        // that voids the boot verifier.  The whole recovery dance —
+        // discarded dirty pages, the COMMIT verifier mismatch, the re-send
+        // of voided ranges and the second COMMIT — must replay
+        // bit-identically on 2, 4 and 8 cooperating loops.
+        let config = ExperimentConfig::new(NetworkKind::Fddi, 4, WritePolicy::Gathering)
+            .with_file_size(512 * 1024)
+            .with_unified_cache(1024)
+            .with_stability(StabilityMode::Unstable)
+            .with_fault_plan(FaultPlan::new().at(SimTime::from_millis(50), FaultKind::ServerCrash));
+        // The schedule must really exercise the recovery dance on this
+        // config, or the parity below proves nothing.
+        let mut probe = FileCopySystem::new(config.clone().with_sim_threads(0));
+        probe.run();
+        assert!(
+            probe.server().stats().lost_unstable_bytes > 0,
+            "the crash missed the writeback window"
+        );
+        assert!(
+            probe.client().stats().verifier_mismatches > 0,
+            "the client never noticed the reboot"
+        );
+        assert_parity(config, &[2, 4, 8]);
     }
 }

@@ -10,7 +10,7 @@
 //! bit-identical to a run that never heard of fault plans.
 
 use wg_nfsproto::{NfsCall, NfsCallBody, WriteArgs, Xid};
-use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, WritePolicy};
+use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, StabilityMode, WritePolicy};
 use wg_simcore::{Duration, FaultKind, FaultPlan, SimTime};
 use wg_workload::sfs::{SfsConfig, SfsSystem};
 use wg_workload::{ExperimentConfig, FileCopySystem, NetworkKind};
@@ -130,6 +130,117 @@ fn dangerous_mode_losses_are_counted_not_hidden() {
     );
     assert!(system.lost_acked_bytes_on_disk() > 0);
     assert!(stats.discarded_dirty_bytes >= stats.lost_acked_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Crash during writeback: the three durable write paths all hold the line,
+// and uncommitted UNSTABLE data is a counted, client-recovered loss.
+// ---------------------------------------------------------------------------
+
+/// A crash early enough to catch the unstable write path with
+/// UNSTABLE-acknowledged dirty pages still in the bounded cache (the
+/// instant-ack cache absorbs the whole copy much faster than the synchronous
+/// paths, so this fires earlier than [`mid_copy_crash`]).
+fn mid_writeback_crash() -> FaultPlan {
+    FaultPlan::new().at(
+        SimTime::ZERO + Duration::from_millis(200),
+        FaultKind::ServerCrash,
+    )
+}
+
+#[test]
+fn crash_during_writeback_loses_nothing_acknowledged_in_any_durable_mode() {
+    // The same mid-copy crash lands while dirty data is in flight under all
+    // three durability regimes of the write-path ablation: synchronous
+    // writes straight to disk, NVRAM (Prestoserve) staging, and the unified
+    // bounded cache with WRITE(UNSTABLE)+COMMIT.  In the unstable cell only
+    // COMMIT-covered ranges count as acknowledged — and none of them may be
+    // lost, because COMMIT replies only after the covered pages are clean.
+    for (label, presto, cache_pages, stability) in [
+        ("sync", false, 0u64, StabilityMode::Stable),
+        ("nvram", true, 0, StabilityMode::Stable),
+        ("unstable", false, 4096, StabilityMode::Unstable),
+    ] {
+        let mut system = FileCopySystem::new(
+            copy_config(WritePolicy::Gathering)
+                .with_presto(presto)
+                .with_unified_cache(cache_pages)
+                .with_stability(stability)
+                .with_fault_plan(mid_writeback_crash()),
+        );
+        let result = system.run();
+        let stats = system.server().stats();
+        assert_eq!(stats.crashes, 1, "{label}: the crash did not fire");
+        assert_eq!(
+            stats.lost_acked_bytes, 0,
+            "{label}: acknowledged write data died with the crash"
+        );
+        assert_eq!(
+            system.lost_acked_bytes_on_disk(),
+            0,
+            "{label}: acknowledged data missing from the recovered disk"
+        );
+        assert!(result.completed, "{label}: the copy never finished");
+        assert_eq!(result.gave_up, 0, "{label}: a write was abandoned");
+        assert!(
+            result.retransmissions > 0,
+            "{label}: the crash was survived without a single retransmit?"
+        );
+        assert_eq!(
+            system.server().uncommitted_bytes(),
+            0,
+            "{label}: volatile data survived the close"
+        );
+        assert_eq!(system.server().dupcache_evicted_in_progress(), 0, "{label}");
+    }
+}
+
+#[test]
+fn uncommitted_unstable_data_is_counted_and_recovered_by_the_client() {
+    // The NFSv3 bargain, exercised end to end: the crash catches the
+    // bounded cache with UNSTABLE-acknowledged dirty pages that no COMMIT
+    // covers yet.  The server is *allowed* to drop them — but must count
+    // every byte — and the client must notice via the COMMIT verifier
+    // mismatch after reboot, re-send the voided ranges, and commit again,
+    // so the finished file carries the full fill pattern on disk.
+    let mut system = FileCopySystem::new(
+        copy_config(WritePolicy::Gathering)
+            .with_unified_cache(4096)
+            .with_stability(StabilityMode::Unstable)
+            .with_fault_plan(mid_writeback_crash()),
+    );
+    let result = system.run();
+    let stats = system.server().stats();
+    assert_eq!(stats.crashes, 1);
+    assert!(stats.unstable_writes > 0, "no write ever went UNSTABLE");
+    assert!(
+        stats.lost_unstable_bytes > 0,
+        "the crash found no uncommitted unstable data — it missed the writeback window"
+    );
+    // The permitted loss is never an acknowledged loss.
+    assert_eq!(stats.lost_acked_bytes, 0);
+
+    // Client-side recovery: the post-reboot COMMIT came back with a fresh
+    // boot verifier, voiding the pre-crash acknowledgements.
+    let client = system.client().stats();
+    assert!(
+        client.verifier_mismatches > 0,
+        "the client never noticed the reboot"
+    );
+    assert!(
+        client.resent_bytes > 0,
+        "a verifier mismatch must re-send the voided ranges"
+    );
+    assert!(client.commits_sent >= 2, "recovery needs a second COMMIT");
+
+    // And the recovery converged: the copy finished, nothing stayed
+    // volatile or uncommitted, and every acknowledged range reads back
+    // with the exact fill pattern.
+    assert!(result.completed);
+    assert_eq!(result.gave_up, 0);
+    assert!(system.client().uncommitted_ranges().is_empty());
+    assert_eq!(system.server().uncommitted_bytes(), 0);
+    assert_eq!(system.lost_acked_bytes_on_disk(), 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -334,6 +445,55 @@ fn partitioned_copy_survives_the_crash_identically() {
         assert_eq!(par.events_processed(), serial.events_processed());
         assert_eq!(par.clamped_past(), 0);
         assert_eq!(par.lost_acked_bytes_on_disk(), 0);
+    }
+}
+
+#[test]
+fn partitioned_unstable_sfs_replays_the_crash_schedule_bit_for_bit() {
+    // The acceptance sweep for the unified-cache write path: the SFS mix
+    // with the bounded cache armed and WRITE(UNSTABLE)+COMMIT semantics,
+    // under a seeded crash schedule, on 2, 4 and 8 cooperating event loops.
+    // Background writeback, COMMIT flushes, the boot-verifier bump and the
+    // post-reboot retransmission storm must all replay bit for bit.
+    let secs = 8u64;
+    let horizon = Duration::from_secs(secs);
+    let plan = FaultPlan::seeded_crashes(0xC4A5, Duration::from_secs(3), horizon);
+    let make = |threads: usize| {
+        let mut config = SfsConfig::figure2(400.0, WritePolicy::Gathering)
+            .with_fault_plan(plan.clone())
+            .with_loss(0.02)
+            .with_unified_cache(4096)
+            .with_stability(StabilityMode::Unstable)
+            .with_sim_threads(threads);
+        config.duration = horizon;
+        config
+    };
+    let mut serial = SfsSystem::new(make(0));
+    let point = serial.run();
+    let stats = serial.server().stats();
+    assert!(stats.crashes >= 1, "the seeded schedule never crashed");
+    assert!(stats.unstable_writes > 0, "no write ever went UNSTABLE");
+    assert!(stats.commits > 0, "no COMMIT was ever processed");
+    assert_eq!(stats.lost_acked_bytes, 0);
+    for threads in [2, 4, 8] {
+        let mut par = SfsSystem::new(make(threads));
+        let again = par.run();
+        assert_eq!(
+            format!("{point:?}"),
+            format!("{again:?}"),
+            "sim_threads={threads} diverged from the serial unstable-cache run"
+        );
+        assert_eq!(par.counts(), serial.counts());
+        assert_eq!(par.events_processed(), serial.events_processed());
+        assert_eq!(par.retransmissions(), serial.retransmissions());
+        assert_eq!(par.gave_up(), serial.gave_up());
+        assert_eq!(par.clamped_past(), 0);
+        let pstats = par.server().stats();
+        assert_eq!(pstats.crashes, stats.crashes);
+        assert_eq!(pstats.unstable_writes, stats.unstable_writes);
+        assert_eq!(pstats.commits, stats.commits);
+        assert_eq!(pstats.lost_unstable_bytes, stats.lost_unstable_bytes);
+        assert_eq!(pstats.lost_acked_bytes, 0);
     }
 }
 
