@@ -25,20 +25,12 @@
 //! cargo run --release -p wg-bench --bin fault_sweep -- --out other.json
 //! ```
 
-use wg_bench::report::upsert_object;
+use wg_bench::report::{host_parallelism, upsert_object};
 use wg_server::{StabilityMode, WritePolicy};
 use wg_simcore::{Duration, FaultKind, FaultPlan, SimTime};
 use wg_workload::results::json;
 use wg_workload::sfs::SfsSystem;
 use wg_workload::{ExperimentConfig, FileCopySystem, NetworkKind, SfsConfig};
-
-/// CPUs the host actually offers the process (1 when unknown) — stamped
-/// into every recorded cell so wall-clock numbers can be read in context.
-fn host_parallelism() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
 
 /// One SFS chaos cell: the workload under a crash schedule and a steady
 /// loss rate, with the oracle and health counters checked.

@@ -55,12 +55,13 @@
 
 use std::time::Instant;
 
-use wg_bench::report::upsert_object;
+use wg_bench::report::{host_parallelism, stamp_cell, upsert_object};
 use wg_server::{StabilityMode, WritePolicy};
 use wg_workload::results::json;
 use wg_workload::sfs::SfsSystem;
 use wg_workload::{
-    ExperimentConfig, FileCopySystem, NetworkKind, SfsConfig, SfsRunStats, SfsSweep,
+    ExperimentConfig, FileCopySystem, MultiClientConfig, MultiClientSystem, NetworkKind, SfsConfig,
+    SfsRunStats, SfsSweep,
 };
 
 /// Offered loads of the full sweep: the figure range plus enough headroom to
@@ -129,13 +130,6 @@ impl Curve {
             ("points", json::array(&points)),
         ])
     }
-}
-
-/// CPUs the host actually offers the process (1 when unknown).
-fn host_parallelism() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
 }
 
 /// Run one curve: a timed serial pass collecting health counters, then a
@@ -408,7 +402,7 @@ fn run_stability_sfs_cell(
         stats.lost_acked_bytes,
         uncommitted,
     );
-    json::object(&[
+    let mut fields = vec![
         (
             "stability",
             json::string(match stability {
@@ -439,9 +433,9 @@ fn run_stability_sfs_cell(
         ("uncommitted_after_quiesce", uncommitted.to_string()),
         ("evicted_in_progress", evicted.to_string()),
         ("materializations", materializations.to_string()),
-        ("clamped_past", system.clamped_past().to_string()),
-        ("host_parallelism", host_parallelism().to_string()),
-    ])
+    ];
+    stamp_cell(&mut fields, system.clamped_past());
+    json::object(&fields)
 }
 
 /// One stability-ablation cell over the file copy: the 4-biod FDDI copy in
@@ -504,7 +498,7 @@ fn run_stability_copy_cell(
         stats.lost_acked_bytes,
         result.completed,
     );
-    json::object(&[
+    let mut fields = vec![
         (
             "stability",
             json::string(match stability {
@@ -527,9 +521,84 @@ fn run_stability_copy_cell(
         ),
         ("lost_acked_bytes", stats.lost_acked_bytes.to_string()),
         ("completed", result.completed.to_string()),
-        ("clamped_past", system.clamped_past().to_string()),
-        ("host_parallelism", host_parallelism().to_string()),
-    ])
+    ];
+    stamp_cell(&mut fields, system.clamped_past());
+    json::object(&fields)
+}
+
+/// One commit-pacing cell: the unstable multi-client fan-in with the client
+/// either batching its whole file behind one close-time COMMIT
+/// (`commit_interval = 0`, the default) or paying a COMMIT every
+/// `commit_interval` acknowledged bytes.  Pacing trades commit traffic for a
+/// bounded unstable backlog; either way the run must end fully committed,
+/// verified on disk, with zero acknowledged loss.
+fn run_commit_pacing_cell(
+    label: &str,
+    commit_interval: u64,
+    cache_pages: u64,
+    file_mb: u64,
+) -> String {
+    let config = MultiClientConfig::new(NetworkKind::Fddi, 4, 4, WritePolicy::Gathering)
+        .with_bytes_per_client(file_mb * 1024 * 1024)
+        .with_unified_cache(cache_pages)
+        .with_stability(StabilityMode::Unstable)
+        .with_commit_interval(commit_interval);
+    let mut system = MultiClientSystem::new(config);
+    let result = system.run();
+    let stats = system.server().stats();
+    let paced = system.paced_commits();
+
+    assert!(result.completed, "{label}: a client never finished");
+    system
+        .verify_on_disk()
+        .unwrap_or_else(|e| panic!("{label}: on-disk verification failed: {e}"));
+    assert_eq!(
+        stats.lost_acked_bytes, 0,
+        "{label}: acknowledged write data was lost without a crash"
+    );
+    assert_eq!(
+        system.server().uncommitted_bytes(),
+        0,
+        "{label}: the run ended with acknowledged-unstable bytes uncommitted"
+    );
+    assert_eq!(
+        system.clamped_past(),
+        0,
+        "{label}: an event was scheduled into the past and silently clamped"
+    );
+    if commit_interval == 0 {
+        assert_eq!(paced, 0, "{label}: pacing fired with the knob off");
+    } else {
+        // Each client writes file_mb MB: pacing at `commit_interval` bytes
+        // must fire well before close.
+        assert!(paced > 0, "{label}: the pacing knob never issued a COMMIT");
+    }
+
+    println!(
+        "{label:<18} {:>7.0} KB/s  commits {:>4}  paced {:>4}  unstable {:>6}  \
+         lost_acked {}",
+        result.aggregate_kb_per_sec,
+        stats.commits,
+        paced,
+        stats.unstable_writes,
+        stats.lost_acked_bytes,
+    );
+    let mut fields = vec![
+        ("commit_interval_bytes", commit_interval.to_string()),
+        ("file_mb", file_mb.to_string()),
+        ("cache_pages", cache_pages.to_string()),
+        (
+            "aggregate_kb_per_sec",
+            json::number(result.aggregate_kb_per_sec),
+        ),
+        ("commits", stats.commits.to_string()),
+        ("paced_commits", paced.to_string()),
+        ("unstable_writes", stats.unstable_writes.to_string()),
+        ("lost_acked_bytes", stats.lost_acked_bytes.to_string()),
+        ("completed", result.completed.to_string()),
+    ];
+    stamp_cell(&mut fields, system.clamped_past());
+    json::object(&fields)
 }
 
 /// Dirty-ratio threshold of the memory-pressure cell: tight enough that the
@@ -636,6 +705,21 @@ fn run_stability_ablation(
         ));
     }
 
+    // The commit-pacing comparison rides on the unstable modes: the same
+    // fan-in with close-only COMMITs vs a COMMIT every 256 KiB of
+    // acknowledged data.
+    let mut pacing_cells: Vec<(&str, String)> = Vec::new();
+    if unstable {
+        pacing_cells.push((
+            "close_only",
+            run_commit_pacing_cell("pace_close_only", 0, cache_pages, file_mb),
+        ));
+        pacing_cells.push((
+            "paced_256k",
+            run_commit_pacing_cell("pace_256k", 256 * 1024, cache_pages, file_mb),
+        ));
+    }
+
     json::object(&[
         ("modes", json::string(modes)),
         ("smoke", smoke.to_string()),
@@ -646,6 +730,7 @@ fn run_stability_ablation(
         ("dirty_ratio", json::number(dirty_ratio)),
         ("sfs", json::object(&sfs_cells)),
         ("copy", json::object(&copy_cells)),
+        ("commit_pacing", json::object(&pacing_cells)),
     ])
 }
 

@@ -253,6 +253,25 @@ pub fn render_figure(figure: u8, without: &[SfsPoint], with: &[SfsPoint]) -> Str
 /// a brace-matching scan over their own output is reliable.  Both binaries
 /// share these helpers: one scanner, not two drifting copies.
 pub mod report {
+    /// CPUs the host actually offers the process (1 when unknown).  Stamped
+    /// into every recorded cell so wall-clock numbers can be read in context.
+    pub fn host_parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// The provenance pair every recorded bench cell must carry, spelled the
+    /// same way everywhere: the run's `clamped_past` count (events silently
+    /// clamped into the past — always asserted zero, recorded anyway) and the
+    /// host parallelism the wall-clock numbers were measured under.  The
+    /// sweep binaries append this to each cell's fields instead of hand-rolling
+    /// the two entries, so the stamps can't drift apart.
+    pub fn stamp_cell(fields: &mut Vec<(&'static str, String)>, clamped_past: u64) {
+        fields.push(("clamped_past", clamped_past.to_string()));
+        fields.push(("host_parallelism", host_parallelism().to_string()));
+    }
+
     /// Index just past a JSON string that starts at `at` (which must hold the
     /// opening quote), honouring backslash escapes.
     fn skip_string(text: &str, at: usize) -> Option<usize> {

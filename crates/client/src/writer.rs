@@ -60,6 +60,12 @@ pub struct ClientConfig {
     /// rebooted and lost the cache) makes the client re-send the affected
     /// ranges and commit again.
     pub stability: StableHow,
+    /// Periodic COMMIT pacing for unstable mode: once this many bytes have
+    /// been acknowledged `UNSTABLE` since the last COMMIT, issue one
+    /// immediately (without blocking the application) instead of letting the
+    /// whole file pile up until close.  `0` (the default) keeps the
+    /// close-only behaviour; v2-mode clients never commit either way.
+    pub commit_interval: u64,
 }
 
 impl Default for ClientConfig {
@@ -76,6 +82,7 @@ impl Default for ClientConfig {
             xid_base: 0x0001_0000,
             fill_salt: 0,
             stability: StableHow::FileSync,
+            commit_interval: 0,
         }
     }
 }
@@ -157,6 +164,8 @@ pub struct ClientStats {
     pub verifier_mismatches: u64,
     /// Bytes re-sent because a verifier mismatch voided their acknowledgement.
     pub resent_bytes: u64,
+    /// COMMITs issued by interval pacing (a subset of `commits_sent`).
+    pub paced_commits: u64,
 }
 
 impl ClientStats {
@@ -246,6 +255,9 @@ pub struct FileWriterClient {
     /// Set when a COMMIT exhausted its retransmissions: stop trying (the
     /// uncommitted data stays un-acked, a counted failure).
     commit_gave_up: bool,
+    /// A paced (interval-triggered) COMMIT is outstanding; pacing never
+    /// stacks a second one behind it.
+    paced_commit_inflight: bool,
 }
 
 impl FileWriterClient {
@@ -276,6 +288,7 @@ impl FileWriterClient {
             acked_writes: Vec::with_capacity(blocks as usize),
             uncommitted: Vec::new(),
             commit_gave_up: false,
+            paced_commit_inflight: false,
             handle,
             config,
         }
@@ -475,6 +488,7 @@ impl FileWriterClient {
                         if ok.committed == StableHow::Unstable =>
                     {
                         self.uncommitted.push((out.offset, out.len, ok.verf));
+                        self.maybe_paced_commit(now, actions);
                     }
                     // FILE_SYNC semantics (v2 reply, or a promoted unstable
                     // write whose WriteVerf says FILE_SYNC): stable now.
@@ -482,6 +496,7 @@ impl FileWriterClient {
                 }
             }
             ReqKind::Commit => {
+                self.paced_commit_inflight = false;
                 if let NfsReplyBody::Commit(StatusReply::Ok(ok)) = &reply.body {
                     self.on_commit_ok(ok.verf);
                 }
@@ -511,6 +526,38 @@ impl FileWriterClient {
             _ => {}
         }
         let _ = out.first_sent;
+    }
+
+    /// Interval pacing: once `commit_interval` bytes sit uncommitted, issue
+    /// a COMMIT now — carried by nobody (no biod, no blocked application),
+    /// just an outstanding request the close path will wait on like any
+    /// other.  At most one paced COMMIT is in flight at a time.
+    fn maybe_paced_commit(&mut self, now: SimTime, actions: &mut Vec<ClientAction>) {
+        if self.config.commit_interval == 0 || self.paced_commit_inflight || self.commit_gave_up {
+            return;
+        }
+        let pending: u64 = self.uncommitted.iter().map(|&(_, len, _)| len).sum();
+        if pending < self.config.commit_interval {
+            return;
+        }
+        let xid = Xid(self.next_xid);
+        self.next_xid += 1;
+        self.outstanding.insert(
+            xid,
+            Outstanding {
+                kind: ReqKind::Commit,
+                offset: 0,
+                len: 0,
+                attempt: 0,
+                app_blocking: false,
+                biod: None,
+                first_sent: now,
+            },
+        );
+        self.stats.commits_sent += 1;
+        self.stats.paced_commits += 1;
+        self.paced_commit_inflight = true;
+        self.send_request(now, xid, actions);
     }
 
     /// A COMMIT succeeded with verifier `verf`: uncommitted ranges whose
@@ -560,6 +607,7 @@ impl FileWriterClient {
             let out = self.outstanding.remove(&xid).expect("present");
             if out.kind == ReqKind::Commit {
                 self.commit_gave_up = true;
+                self.paced_commit_inflight = false;
             }
             if let Some(b) = out.biod {
                 self.biod_busy[b] = false;
@@ -976,6 +1024,40 @@ mod tests {
         assert!(client.uncommitted_ranges().is_empty());
         let total: u64 = client.acked_writes().iter().map(|(_, l)| l).sum();
         assert_eq!(total, 64 * 1024);
+    }
+
+    #[test]
+    fn commit_interval_paces_commits_through_the_transfer() {
+        // 64 KB file, COMMIT every 16 KB: pacing fires repeatedly instead of
+        // one close-time COMMIT over the whole file.
+        let cfg = ClientConfig {
+            file_size: 64 * 1024,
+            biods: 0, // serialise so the pacing points are exact
+            stability: StableHow::Unstable,
+            commit_interval: 16 * 1024,
+            ..ClientConfig::default()
+        };
+        let client = run_unstable_client(FileWriterClient::new(cfg, handle()), None);
+        let stats = client.stats();
+        assert!(
+            stats.paced_commits >= 3,
+            "expected repeated paced COMMITs, got {}",
+            stats.paced_commits
+        );
+        assert!(stats.commits_sent >= stats.paced_commits);
+        assert_eq!(stats.verifier_mismatches, 0);
+        assert_eq!(stats.bytes_acked, 64 * 1024);
+        assert!(client.uncommitted_ranges().is_empty());
+        // Pacing off: exactly the single close-time COMMIT as before.
+        let cfg_off = ClientConfig {
+            file_size: 64 * 1024,
+            biods: 0,
+            stability: StableHow::Unstable,
+            ..ClientConfig::default()
+        };
+        let baseline = run_unstable_client(FileWriterClient::new(cfg_off, handle()), None);
+        assert_eq!(baseline.stats().commits_sent, 1);
+        assert_eq!(baseline.stats().paced_commits, 0);
     }
 
     #[test]

@@ -246,6 +246,18 @@ pub struct ServerConfig {
     /// stack (NVRAM first when Presto is configured) and reschedules itself
     /// while dirty pages remain.
     pub writeback_interval: Duration,
+    /// Arm the client-state layer (leases, byte-range locks, grace-period
+    /// recovery; see [`crate::ClientStateTable`]).  Off by default: the
+    /// paper's v2 server is stateless and every golden table pins that —
+    /// with the knob off no state op arrives and the write path takes a
+    /// single untaken branch.
+    pub leases: bool,
+    /// How long a granted lease lives without renewal, used only when
+    /// [`ServerConfig::leases`] is set.
+    pub lease_duration: Duration,
+    /// Length of the post-crash grace window during which only reclaims are
+    /// admitted, used only when [`ServerConfig::leases`] is set.
+    pub grace_period: Duration,
 }
 
 impl ServerConfig {
@@ -276,6 +288,9 @@ impl ServerConfig {
             dirty_ratio: 0.5,
             stability: StabilityMode::Stable,
             writeback_interval: Duration::from_millis(100),
+            leases: false,
+            lease_duration: Duration::from_secs(30),
+            grace_period: Duration::from_secs(15),
         }
     }
 
@@ -382,6 +397,24 @@ impl ServerConfig {
         self.writeback_interval = d;
         self
     }
+
+    /// Arm the client-state layer (see [`ServerConfig::leases`]).
+    pub fn with_leases(mut self, on: bool) -> Self {
+        self.leases = on;
+        self
+    }
+
+    /// Set the lease duration (see [`ServerConfig::lease_duration`]).
+    pub fn with_lease_duration(mut self, d: Duration) -> Self {
+        self.lease_duration = d;
+        self
+    }
+
+    /// Set the post-crash grace period (see [`ServerConfig::grace_period`]).
+    pub fn with_grace_period(mut self, d: Duration) -> Self {
+        self.grace_period = d;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -404,6 +437,10 @@ mod tests {
         // default so every golden table keeps its original write path.
         assert!(!std.unified_cache);
         assert_eq!(std.stability, StabilityMode::Stable);
+        // Likewise the client-state layer: the paper's server is stateless.
+        assert!(!std.leases);
+        assert_eq!(std.lease_duration, Duration::from_secs(30));
+        assert_eq!(std.grace_period, Duration::from_secs(15));
         let g = ServerConfig::gathering();
         assert_eq!(g.policy, WritePolicy::Gathering);
     }
@@ -436,6 +473,13 @@ mod tests {
         assert_eq!(cell.stability, StabilityMode::Unstable);
         assert_eq!(cell.writeback_interval, Duration::from_millis(40));
         assert!(!ServerConfig::standard().with_unified_cache(0).unified_cache);
+        let leased = ServerConfig::standard()
+            .with_leases(true)
+            .with_lease_duration(Duration::from_millis(750))
+            .with_grace_period(Duration::from_millis(400));
+        assert!(leased.leases);
+        assert_eq!(leased.lease_duration, Duration::from_millis(750));
+        assert_eq!(leased.grace_period, Duration::from_millis(400));
     }
 
     #[test]

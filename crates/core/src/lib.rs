@@ -47,6 +47,7 @@ pub mod dupcache;
 pub mod gather;
 pub mod handles;
 pub mod server;
+pub mod state;
 pub mod stats;
 
 pub use config::{CostParams, ReplyOrder, ServerConfig, StabilityMode, StorageConfig, WritePolicy};
@@ -54,4 +55,5 @@ pub use dupcache::DuplicateRequestCache;
 pub use gather::{FileGather, GatherPhase, PendingWrite};
 pub use handles::{attributes_to_fattr, fs_error_to_status, handle_for, ino_from_handle};
 pub use server::{ClientId, NfsServer, ServerAction, ServerInput};
+pub use state::{ClientStateTable, StateStats};
 pub use stats::ServerStats;

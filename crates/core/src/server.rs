@@ -33,7 +33,7 @@ use wg_disk::{BlockDevice, DeviceStats, Disk, DiskRequest, StripeSet};
 use wg_net::SocketBuffer;
 use wg_nfsproto::{
     CommitOk, DirOpOk, NfsCall, NfsCallBody, NfsReply, NfsReplyBody, NfsStatus, Payload, ReadOk,
-    StableHow, StatfsOk, StatusReply, WriteArgs, WriteVerfOk, Xid,
+    RenewOk, StableHow, StatfsOk, StatusReply, WriteArgs, WriteVerfOk, Xid,
 };
 use wg_nvram::{Presto, PrestoParams};
 use wg_simcore::{Duration, MultiCpu, SimTime, Trace, TraceKind};
@@ -69,6 +69,7 @@ use crate::config::{ReplyOrder, ServerConfig, WritePolicy};
 use crate::dupcache::{DupState, DuplicateRequestCache};
 use crate::gather::{FileGather, GatherPhase, PendingWrite};
 use crate::handles::{attributes_to_fattr, fs_error_to_status, handle_for, ino_from_handle};
+use crate::state::{ClientStateTable, StateStats};
 use crate::stats::ServerStats;
 
 /// Identifies a client host (index into the orchestrator's client table).
@@ -216,6 +217,9 @@ pub struct NfsServer {
     /// were discarded by earlier crashes (the live partitions' counts are
     /// added on top).
     pre_crash_evicted_in_progress: u64,
+    /// Per-client leases, locks and grace-period recovery; only consulted
+    /// when [`ServerConfig::leases`] is set (one untaken branch otherwise).
+    state: ClientStateTable,
 }
 
 impl NfsServer {
@@ -300,6 +304,7 @@ impl NfsServer {
             writeback_scheduled: false,
             disk_fault: None,
             pre_crash_evicted_in_progress: 0,
+            state: ClientStateTable::new(shard_count, config.lease_duration, config.grace_period),
             config,
         }
     }
@@ -473,6 +478,13 @@ impl NfsServer {
             NfsCallBody::Lookup(a) | NfsCallBody::Remove(a) => &a.dir,
             NfsCallBody::Readdir(a) => &a.dir,
             NfsCallBody::Create(a) => &a.where_.dir,
+            // State ops are routed by client, not inode: a client's lease,
+            // locks and seqids live in the state-table shard `client_id %
+            // shards`, and keeping its RENEW/LOCK stream on one dupcache
+            // partition preserves the retransmission guarantees.
+            NfsCallBody::Renew(a) => return a.client_id as usize % self.shards.len(),
+            NfsCallBody::Lock(a) => return a.client_id as usize % self.shards.len(),
+            NfsCallBody::Unlock(a) => return a.client_id as usize % self.shards.len(),
             NfsCallBody::Null => return 0,
         };
         self.shard_of_ino(handle.inode())
@@ -626,6 +638,25 @@ impl NfsServer {
         match call.body {
             NfsCallBody::Write(args) => {
                 self.handle_write(t, nfsd, client, xid, arrived, args, actions);
+            }
+            // A state op against a disarmed state layer is refused outright
+            // (a v2 server with no lockd): the table must stay empty so the
+            // default configuration remains stateless.
+            body @ (NfsCallBody::Renew(_) | NfsCallBody::Lock(_) | NfsCallBody::Unlock(_))
+                if !self.config.leases =>
+            {
+                let reply_body = match body {
+                    NfsCallBody::Renew(_) => {
+                        NfsReplyBody::Renew(StatusReply::Err(NfsStatus::Denied))
+                    }
+                    NfsCallBody::Lock(_) => NfsReplyBody::Lock(StatusReply::Err(NfsStatus::Denied)),
+                    _ => NfsReplyBody::Status(NfsStatus::Denied),
+                };
+                let done = self.cpu.run(t, self.config.costs.lightweight_op);
+                self.stats.other_ops_completed.record(0);
+                let reply_at =
+                    self.finish_reply(done, nfsd, client, xid, arrived, reply_body, actions);
+                self.occupy_nfsd(nfsd, reply_at, actions);
             }
             other => {
                 self.handle_simple(t, nfsd, client, xid, arrived, other, actions);
@@ -811,6 +842,23 @@ impl NfsServer {
                 }
                 Err(e) => NfsReplyBody::Commit(StatusReply::Err(fs_error_to_status(e))),
             },
+            // Client-state ops (lease renewal and byte-range locks).  All
+            // three are pure table operations at lightweight-op CPU cost —
+            // no storage I/O, matching lockd/statd behaviour.
+            // `process_request` bounces them with `Denied` before we get
+            // here when the state layer is disarmed.
+            NfsCallBody::Renew(a) => {
+                let in_grace = self.state.renew(a.client_id, a.verifier, t);
+                NfsReplyBody::Renew(StatusReply::Ok(RenewOk {
+                    verf: self.boot_verifier,
+                    in_grace,
+                }))
+            }
+            NfsCallBody::Lock(a) => match self.state.lock(&a, t) {
+                Ok(ok) => NfsReplyBody::Lock(StatusReply::Ok(ok)),
+                Err(status) => NfsReplyBody::Lock(StatusReply::Err(status)),
+            },
+            NfsCallBody::Unlock(a) => NfsReplyBody::Status(self.state.unlock(&a, t)),
             NfsCallBody::Write(_) => unreachable!("writes are handled by handle_write"),
         };
         self.stats.other_ops_completed.record(0);
@@ -992,6 +1040,23 @@ impl NfsServer {
                 return;
             }
         };
+        // Lease gate: a *registered* client whose lease has expired had its
+        // state revoked, and its writes are refused with `Expired` until it
+        // re-registers (unregistered clients keep writing statelessly, as in
+        // plain v2).  One untaken branch when the state layer is disarmed.
+        if self.config.leases && !self.state.write_admitted(client, t) {
+            let reply_at = self.finish_reply(
+                t,
+                nfsd,
+                client,
+                xid,
+                arrived,
+                NfsReplyBody::Attr(StatusReply::Err(NfsStatus::Expired)),
+                actions,
+            );
+            self.occupy_nfsd(nfsd, reply_at, actions);
+            return;
+        }
         // NFSv3-style stability routing rides in front of the paper's policy
         // dispatch: a WRITE marked `UNSTABLE` goes to the unified cache and
         // is acknowledged with a verifier — unless the server has no cheap
@@ -1659,9 +1724,45 @@ impl NfsServer {
             nfsd.free_at = recovered;
         }
         self.recovering_until = recovered;
+        // Client state is volatile too: held locks move into the reclaimable
+        // image, records die, and the grace window opens once the server is
+        // back.  A no-op on the empty table of a disarmed state layer.
+        self.state.crash(recovered);
         self.trace
             .record(now, TraceKind::RequestDropped, 0, "server crash");
         recovered
+    }
+
+    /// Expire every lease older than `now` (see [`ClientStateTable::sweep`]).
+    /// Drivers call this at end of run so leases abandoned mid-run (e.g. by
+    /// clients that gave up retransmitting) are reclaimed deterministically.
+    pub fn expire_leases(&mut self, now: SimTime) {
+        self.state.sweep(now);
+    }
+
+    /// Counters of the client-state layer.
+    pub fn state_stats(&self) -> &StateStats {
+        self.state.stats()
+    }
+
+    /// Bytes of memory the client-state table currently pins.
+    pub fn state_table_bytes(&self) -> u64 {
+        self.state.table_bytes()
+    }
+
+    /// Registered clients with live leases.
+    pub fn active_lease_clients(&self) -> usize {
+        self.state.active_clients()
+    }
+
+    /// Byte-range locks currently held across all clients.
+    pub fn held_locks(&self) -> usize {
+        self.state.held_locks()
+    }
+
+    /// Whether the post-crash grace window is open at `now`.
+    pub fn in_grace(&self, now: SimTime) -> bool {
+        self.state.in_grace(now)
     }
 
     /// Fail (`healthy = false`) or repair (`healthy = true`) the NVRAM

@@ -42,6 +42,16 @@ pub enum NfsStatus {
     Dquot,
     /// Invalid (stale) file handle: the file referred to no longer exists.
     Stale,
+    /// Lock conflict or bad seqid — the state operation was refused (the
+    /// NFSv4 NFS4ERR_DENIED code, grafted onto the v2 table like COMMIT is).
+    Denied,
+    /// The client's lease has expired; its state was revoked and it must
+    /// re-register (NFS4ERR_EXPIRED).
+    Expired,
+    /// The server is in its post-crash grace period: only reclaims are
+    /// admitted, new state requests must be retried after it ends
+    /// (NFS4ERR_GRACE).
+    Grace,
 }
 
 impl NfsStatus {
@@ -63,6 +73,9 @@ impl NfsStatus {
             NfsStatus::NotEmpty => 66,
             NfsStatus::Dquot => 69,
             NfsStatus::Stale => 70,
+            NfsStatus::Denied => 10010,
+            NfsStatus::Expired => 10011,
+            NfsStatus::Grace => 10013,
         }
     }
 
@@ -84,6 +97,9 @@ impl NfsStatus {
             66 => NfsStatus::NotEmpty,
             69 => NfsStatus::Dquot,
             70 => NfsStatus::Stale,
+            10010 => NfsStatus::Denied,
+            10011 => NfsStatus::Expired,
+            10013 => NfsStatus::Grace,
             other => {
                 return Err(XdrError::InvalidEnum {
                     type_name: "NfsStatus",
@@ -412,6 +428,9 @@ mod tests {
             NfsStatus::NotEmpty,
             NfsStatus::Dquot,
             NfsStatus::Stale,
+            NfsStatus::Denied,
+            NfsStatus::Expired,
+            NfsStatus::Grace,
         ] {
             assert_eq!(NfsStatus::from_code(s.code()).unwrap(), s);
             let bytes = to_bytes(&s);

@@ -35,9 +35,9 @@ pub use handle::FileHandle;
 pub use message::{NfsCall, NfsCallBody, NfsReply, NfsReplyBody, WireMessage};
 pub use payload::Payload;
 pub use procs::{
-    CommitArgs, CommitOk, CreateArgs, DirOpArgs, DirOpOk, GetattrArgs, LookupArgs, ProcNumber,
-    ReadArgs, ReadOk, ReaddirArgs, RemoveArgs, SetattrArgs, StableHow, StatfsOk, StatusReply,
-    WriteArgs, WriteVerf, WriteVerfOk,
+    CommitArgs, CommitOk, CreateArgs, DirOpArgs, DirOpOk, GetattrArgs, LockArgs, LockOk,
+    LookupArgs, ProcNumber, ReadArgs, ReadOk, ReaddirArgs, RemoveArgs, RenewArgs, RenewOk,
+    SetattrArgs, StableHow, StatfsOk, StatusReply, UnlockArgs, WriteArgs, WriteVerf, WriteVerfOk,
 };
 pub use rpc::{AuthFlavor, RejectReason, RpcCallHeader, RpcReplyHeader, RpcReplyStatus, Xid};
 

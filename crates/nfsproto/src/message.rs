@@ -13,8 +13,9 @@ use std::sync::OnceLock;
 
 use crate::attr::{Fattr, NfsStatus, Sattr};
 use crate::procs::{
-    CommitArgs, CommitOk, CreateArgs, DirOpArgs, DirOpOk, GetattrArgs, ProcNumber, ReadArgs,
-    ReadOk, ReaddirArgs, SetattrArgs, StatfsOk, StatusReply, WriteArgs, WriteVerfOk,
+    CommitArgs, CommitOk, CreateArgs, DirOpArgs, DirOpOk, GetattrArgs, LockArgs, LockOk,
+    ProcNumber, ReadArgs, ReadOk, ReaddirArgs, RenewArgs, RenewOk, SetattrArgs, StatfsOk,
+    StatusReply, UnlockArgs, WriteArgs, WriteVerfOk,
 };
 use crate::rpc::{RpcCallHeader, RpcReplyHeader, Xid};
 use crate::NFS_FHSIZE;
@@ -96,6 +97,12 @@ pub enum NfsCallBody {
     Statfs(GetattrArgs),
     /// COMMIT (only issued by clients running the unstable-write protocol).
     Commit(CommitArgs),
+    /// RENEW (only issued by clients running the lease protocol).
+    Renew(RenewArgs),
+    /// LOCK (lease protocol).
+    Lock(LockArgs),
+    /// UNLOCK (lease protocol).
+    Unlock(UnlockArgs),
 }
 
 impl NfsCallBody {
@@ -113,6 +120,9 @@ impl NfsCallBody {
             NfsCallBody::Readdir(_) => ProcNumber::Readdir,
             NfsCallBody::Statfs(_) => ProcNumber::Statfs,
             NfsCallBody::Commit(_) => ProcNumber::Commit,
+            NfsCallBody::Renew(_) => ProcNumber::Renew,
+            NfsCallBody::Lock(_) => ProcNumber::Lock,
+            NfsCallBody::Unlock(_) => ProcNumber::Unlock,
         }
     }
 
@@ -127,6 +137,9 @@ impl NfsCallBody {
             NfsCallBody::Create(a) => a.encode(enc),
             NfsCallBody::Readdir(a) => a.encode(enc),
             NfsCallBody::Commit(a) => a.encode(enc),
+            NfsCallBody::Renew(a) => a.encode(enc),
+            NfsCallBody::Lock(a) => a.encode(enc),
+            NfsCallBody::Unlock(a) => a.encode(enc),
         }
     }
 
@@ -151,6 +164,12 @@ impl NfsCallBody {
             }
             NfsCallBody::Readdir(_) => FH + 8,
             NfsCallBody::Commit(_) => FH + 8,
+            // client_id word + 8-byte verifier.
+            NfsCallBody::Renew(_) => 12,
+            // client_id, stateid, seqid, offset, count, reclaim words.
+            NfsCallBody::Lock(_) => FH + 24,
+            // client_id, stateid, seqid, offset, count words.
+            NfsCallBody::Unlock(_) => FH + 20,
         }
     }
 
@@ -167,6 +186,9 @@ impl NfsCallBody {
             ProcNumber::Readdir => NfsCallBody::Readdir(ReaddirArgs::decode(dec)?),
             ProcNumber::Statfs => NfsCallBody::Statfs(GetattrArgs::decode(dec)?),
             ProcNumber::Commit => NfsCallBody::Commit(CommitArgs::decode(dec)?),
+            ProcNumber::Renew => NfsCallBody::Renew(RenewArgs::decode(dec)?),
+            ProcNumber::Lock => NfsCallBody::Lock(LockArgs::decode(dec)?),
+            ProcNumber::Unlock => NfsCallBody::Unlock(UnlockArgs::decode(dec)?),
             other => {
                 return Err(XdrError::InvalidEnum {
                     type_name: "NfsCallBody(procedure)",
@@ -254,6 +276,11 @@ pub enum NfsReplyBody {
     WriteVerf(StatusReply<WriteVerfOk>),
     /// COMMIT reply.
     Commit(StatusReply<CommitOk>),
+    /// RENEW reply (lease protocol).
+    Renew(StatusReply<RenewOk>),
+    /// LOCK reply (lease protocol; UNLOCK answers with
+    /// [`NfsReplyBody::Status`]).
+    Lock(StatusReply<LockOk>),
 }
 
 impl NfsReplyBody {
@@ -269,6 +296,8 @@ impl NfsReplyBody {
             NfsReplyBody::Statfs(r) => r.status(),
             NfsReplyBody::WriteVerf(r) => r.status(),
             NfsReplyBody::Commit(r) => r.status(),
+            NfsReplyBody::Renew(r) => r.status(),
+            NfsReplyBody::Lock(r) => r.status(),
         }
     }
 
@@ -288,6 +317,8 @@ impl NfsReplyBody {
             NfsReplyBody::Statfs(_) => 6,
             NfsReplyBody::WriteVerf(_) => 7,
             NfsReplyBody::Commit(_) => 8,
+            NfsReplyBody::Renew(_) => 9,
+            NfsReplyBody::Lock(_) => 10,
         }
     }
 
@@ -312,6 +343,10 @@ impl NfsReplyBody {
             NfsReplyBody::WriteVerf(StatusReply::Ok(_)) => 4 + fattr_wire_size() + 4 + 8,
             // status + fattr + 8-byte verifier.
             NfsReplyBody::Commit(StatusReply::Ok(_)) => 4 + fattr_wire_size() + 8,
+            // status + 8-byte verifier + in_grace word.
+            NfsReplyBody::Renew(StatusReply::Ok(_)) => 4 + 12,
+            // status + stateid + seqid words.
+            NfsReplyBody::Lock(StatusReply::Ok(_)) => 4 + 8,
             NfsReplyBody::Attr(StatusReply::Err(_))
             | NfsReplyBody::DirOp(StatusReply::Err(_))
             | NfsReplyBody::Read(StatusReply::Err(_))
@@ -319,6 +354,8 @@ impl NfsReplyBody {
             | NfsReplyBody::Statfs(StatusReply::Err(_))
             | NfsReplyBody::WriteVerf(StatusReply::Err(_))
             | NfsReplyBody::Commit(StatusReply::Err(_))
+            | NfsReplyBody::Renew(StatusReply::Err(_))
+            | NfsReplyBody::Lock(StatusReply::Err(_))
             | NfsReplyBody::Status(_) => 4,
         }
     }
@@ -360,6 +397,8 @@ impl NfsReply {
             NfsReplyBody::Statfs(r) => r.encode(&mut enc),
             NfsReplyBody::WriteVerf(r) => r.encode(&mut enc),
             NfsReplyBody::Commit(r) => r.encode(&mut enc),
+            NfsReplyBody::Renew(r) => r.encode(&mut enc),
+            NfsReplyBody::Lock(r) => r.encode(&mut enc),
         }
         WireMessage {
             bytes: enc.into_bytes(),
@@ -381,6 +420,8 @@ impl NfsReply {
             6 => NfsReplyBody::Statfs(StatusReply::decode(&mut dec)?),
             7 => NfsReplyBody::WriteVerf(StatusReply::decode(&mut dec)?),
             8 => NfsReplyBody::Commit(StatusReply::decode(&mut dec)?),
+            9 => NfsReplyBody::Renew(StatusReply::decode(&mut dec)?),
+            10 => NfsReplyBody::Lock(StatusReply::decode(&mut dec)?),
             other => {
                 return Err(XdrError::InvalidEnum {
                     type_name: "NfsReplyBody(tag)",
@@ -496,6 +537,27 @@ mod tests {
                 WriteArgs::new(fh(), 0, vec![4, 5, 6])
                     .with_stability(crate::procs::StableHow::Unstable),
             ),
+            NfsCallBody::Renew(RenewArgs {
+                client_id: 3,
+                verifier: 0xFEED_F00D,
+            }),
+            NfsCallBody::Lock(LockArgs {
+                file: fh(),
+                client_id: 3,
+                stateid: 3,
+                seqid: 1,
+                offset: 0,
+                count: 8192,
+                reclaim: false,
+            }),
+            NfsCallBody::Unlock(UnlockArgs {
+                file: fh(),
+                client_id: 3,
+                stateid: 3,
+                seqid: 2,
+                offset: 0,
+                count: 8192,
+            }),
         ];
         for (i, body) in bodies.into_iter().enumerate() {
             let call = NfsCall::new(Xid(i as u32), body);
@@ -542,6 +604,17 @@ mod tests {
                 verf: 42,
             })),
             NfsReplyBody::Commit(StatusReply::Err(NfsStatus::Io)),
+            NfsReplyBody::Renew(StatusReply::Ok(RenewOk {
+                verf: 0x1994_0606,
+                in_grace: true,
+            })),
+            NfsReplyBody::Renew(StatusReply::Err(NfsStatus::Expired)),
+            NfsReplyBody::Lock(StatusReply::Ok(LockOk {
+                stateid: 3,
+                seqid: 1,
+            })),
+            NfsReplyBody::Lock(StatusReply::Err(NfsStatus::Grace)),
+            NfsReplyBody::Lock(StatusReply::Err(NfsStatus::Denied)),
         ];
         for (i, body) in replies.into_iter().enumerate() {
             let reply = NfsReply::new(Xid(i as u32), body);
@@ -606,6 +679,27 @@ mod tests {
                 WriteArgs::new(fh(), 0, Payload::fill(7, 8192))
                     .with_stability(crate::procs::StableHow::Unstable),
             ),
+            NfsCallBody::Renew(RenewArgs {
+                client_id: 7,
+                verifier: u64::MAX,
+            }),
+            NfsCallBody::Lock(LockArgs {
+                file: fh(),
+                client_id: 7,
+                stateid: 7,
+                seqid: 9,
+                offset: 4096,
+                count: 0,
+                reclaim: true,
+            }),
+            NfsCallBody::Unlock(UnlockArgs {
+                file: fh(),
+                client_id: 7,
+                stateid: 7,
+                seqid: 10,
+                offset: 4096,
+                count: 0,
+            }),
         ];
         for body in calls {
             let call = NfsCall::new(Xid(9), body);
@@ -659,6 +753,16 @@ mod tests {
                 verf: 7,
             })),
             NfsReplyBody::Commit(StatusReply::Err(NfsStatus::Stale)),
+            NfsReplyBody::Renew(StatusReply::Ok(RenewOk {
+                verf: 1,
+                in_grace: false,
+            })),
+            NfsReplyBody::Renew(StatusReply::Err(NfsStatus::Expired)),
+            NfsReplyBody::Lock(StatusReply::Ok(LockOk {
+                stateid: 1,
+                seqid: 2,
+            })),
+            NfsReplyBody::Lock(StatusReply::Err(NfsStatus::Grace)),
         ];
         for body in replies {
             let reply = NfsReply::new(Xid(9), body);

@@ -54,6 +54,15 @@ pub enum ProcNumber {
     /// this reproduction grafts onto the v2 table as number 18, one past the
     /// v2 range, so the paper's procedures keep their original numbers).
     Commit,
+    /// Register a client and renew its lease (the NFSv4 RENEW/SETCLIENTID
+    /// pair collapsed into one procedure, grafted past the v2 range like
+    /// COMMIT; carries the client's boot verifier so a changed verifier
+    /// doubles as re-registration after a client reboot).
+    Renew,
+    /// Acquire or reclaim a byte-range lock under the client's lease.
+    Lock,
+    /// Release a byte-range lock.
+    Unlock,
 }
 
 impl ProcNumber {
@@ -79,6 +88,9 @@ impl ProcNumber {
             ProcNumber::Readdir => 16,
             ProcNumber::Statfs => 17,
             ProcNumber::Commit => 18,
+            ProcNumber::Renew => 19,
+            ProcNumber::Lock => 20,
+            ProcNumber::Unlock => 21,
         }
     }
 
@@ -104,6 +116,9 @@ impl ProcNumber {
             16 => ProcNumber::Readdir,
             17 => ProcNumber::Statfs,
             18 => ProcNumber::Commit,
+            19 => ProcNumber::Renew,
+            20 => ProcNumber::Lock,
+            21 => ProcNumber::Unlock,
             other => {
                 return Err(XdrError::InvalidEnum {
                     type_name: "ProcNumber",
@@ -501,6 +516,175 @@ impl XdrDecode for CommitOk {
     }
 }
 
+/// Arguments of RENEW: register (or re-register) the client and renew its
+/// lease.  A verifier that differs from the one on record means the client
+/// rebooted: the server discards the old incarnation's state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RenewArgs {
+    /// The client's stable identity.
+    pub client_id: u32,
+    /// The client's boot instance verifier.
+    pub verifier: u64,
+}
+
+impl XdrEncode for RenewArgs {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(self.client_id);
+        enc.put_u64(self.verifier);
+    }
+}
+
+impl XdrDecode for RenewArgs {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(RenewArgs {
+            client_id: dec.get_u32()?,
+            verifier: dec.get_u64()?,
+        })
+    }
+}
+
+/// The successful result of RENEW: the server's boot verifier (a change
+/// tells the client the server rebooted and held locks must be reclaimed)
+/// and whether the server is currently in its grace period.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RenewOk {
+    /// The server's boot instance verifier.
+    pub verf: WriteVerf,
+    /// `true` while the post-crash grace period is open.
+    pub in_grace: bool,
+}
+
+impl XdrEncode for RenewOk {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u64(self.verf);
+        enc.put_u32(self.in_grace as u32);
+    }
+}
+
+impl XdrDecode for RenewOk {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(RenewOk {
+            verf: dec.get_u64()?,
+            in_grace: dec.get_u32()? != 0,
+        })
+    }
+}
+
+/// Arguments of LOCK: acquire (or, during grace, reclaim) a byte-range lock
+/// keyed by `(client_id, stateid, seqid)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LockArgs {
+    /// Target file.
+    pub file: FileHandle,
+    /// The owning client.
+    pub client_id: u32,
+    /// The lock-owner state identifier chosen by the client.
+    pub stateid: u32,
+    /// Per-owner sequence number; the server rejects replays and reordering
+    /// by requiring strict monotonicity.
+    pub seqid: u32,
+    /// Start of the locked range.
+    pub offset: u32,
+    /// Length of the locked range (0 = to end of file).
+    pub count: u32,
+    /// `true` when re-asserting a lock held before a server crash; only
+    /// admitted during the grace period.
+    pub reclaim: bool,
+}
+
+impl XdrEncode for LockArgs {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.file.encode(enc);
+        enc.put_u32(self.client_id);
+        enc.put_u32(self.stateid);
+        enc.put_u32(self.seqid);
+        enc.put_u32(self.offset);
+        enc.put_u32(self.count);
+        enc.put_u32(self.reclaim as u32);
+    }
+}
+
+impl XdrDecode for LockArgs {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(LockArgs {
+            file: FileHandle::decode(dec)?,
+            client_id: dec.get_u32()?,
+            stateid: dec.get_u32()?,
+            seqid: dec.get_u32()?,
+            offset: dec.get_u32()?,
+            count: dec.get_u32()?,
+            reclaim: dec.get_u32()? != 0,
+        })
+    }
+}
+
+/// The successful result of LOCK: the granted state identity echoed back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LockOk {
+    /// The lock-owner state identifier.
+    pub stateid: u32,
+    /// The sequence number the grant consumed.
+    pub seqid: u32,
+}
+
+impl XdrEncode for LockOk {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_u32(self.stateid);
+        enc.put_u32(self.seqid);
+    }
+}
+
+impl XdrDecode for LockOk {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(LockOk {
+            stateid: dec.get_u32()?,
+            seqid: dec.get_u32()?,
+        })
+    }
+}
+
+/// Arguments of UNLOCK: release a byte-range lock.  The reply is a bare
+/// status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct UnlockArgs {
+    /// Target file.
+    pub file: FileHandle,
+    /// The owning client.
+    pub client_id: u32,
+    /// The lock-owner state identifier.
+    pub stateid: u32,
+    /// Per-owner sequence number (same monotonicity rule as LOCK).
+    pub seqid: u32,
+    /// Start of the range to release.
+    pub offset: u32,
+    /// Length of the range to release.
+    pub count: u32,
+}
+
+impl XdrEncode for UnlockArgs {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        self.file.encode(enc);
+        enc.put_u32(self.client_id);
+        enc.put_u32(self.stateid);
+        enc.put_u32(self.seqid);
+        enc.put_u32(self.offset);
+        enc.put_u32(self.count);
+    }
+}
+
+impl XdrDecode for UnlockArgs {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(UnlockArgs {
+            file: FileHandle::decode(dec)?,
+            client_id: dec.get_u32()?,
+            stateid: dec.get_u32()?,
+            seqid: dec.get_u32()?,
+            offset: dec.get_u32()?,
+            count: dec.get_u32()?,
+        })
+    }
+}
+
 /// Arguments of CREATE / MKDIR.
 #[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CreateArgs {
@@ -651,13 +835,61 @@ mod tests {
 
     #[test]
     fn proc_numbers_roundtrip() {
-        for n in 0..=18u32 {
+        for n in 0..=21u32 {
             let p = ProcNumber::from_number(n).unwrap();
             assert_eq!(p.number(), n);
         }
-        assert!(ProcNumber::from_number(19).is_err());
+        assert!(ProcNumber::from_number(22).is_err());
         assert_eq!(ProcNumber::Write.number(), 8);
         assert_eq!(ProcNumber::Commit.number(), 18);
+        assert_eq!(ProcNumber::Renew.number(), 19);
+        assert_eq!(ProcNumber::Lock.number(), 20);
+        assert_eq!(ProcNumber::Unlock.number(), 21);
+    }
+
+    #[test]
+    fn state_args_and_results_roundtrip() {
+        let renew = RenewArgs {
+            client_id: 42,
+            verifier: 0x1994_0606_0000_0001,
+        };
+        assert_eq!(from_bytes::<RenewArgs>(&to_bytes(&renew)).unwrap(), renew);
+
+        let rok = RenewOk {
+            verf: 0xDEAD_BEEF,
+            in_grace: true,
+        };
+        assert_eq!(from_bytes::<RenewOk>(&to_bytes(&rok)).unwrap(), rok);
+
+        let lock = LockArgs {
+            file: fh(),
+            client_id: 42,
+            stateid: 7,
+            seqid: 3,
+            offset: 8192,
+            count: 4096,
+            reclaim: true,
+        };
+        assert_eq!(from_bytes::<LockArgs>(&to_bytes(&lock)).unwrap(), lock);
+
+        let lok = LockOk {
+            stateid: 7,
+            seqid: 3,
+        };
+        assert_eq!(from_bytes::<LockOk>(&to_bytes(&lok)).unwrap(), lok);
+
+        let unlock = UnlockArgs {
+            file: fh(),
+            client_id: 42,
+            stateid: 7,
+            seqid: 4,
+            offset: 8192,
+            count: 4096,
+        };
+        assert_eq!(
+            from_bytes::<UnlockArgs>(&to_bytes(&unlock)).unwrap(),
+            unlock
+        );
     }
 
     #[test]

@@ -88,6 +88,10 @@ pub struct MultiClientConfig {
     /// Write-stability regime: [`StabilityMode::Unstable`] makes every client
     /// issue `WRITE(UNSTABLE)` and `COMMIT` each segment at its close.
     pub stability: StabilityMode,
+    /// Periodic COMMIT pacing (unstable mode): each client COMMITs once this
+    /// many bytes sit uncommitted instead of only at segment close.  `0`
+    /// (the default) keeps close-only commits.
+    pub commit_interval: u64,
 }
 
 /// Minimum headroom a segment's xid window keeps beyond the writes the
@@ -117,6 +121,7 @@ impl MultiClientConfig {
             cache_pages: 0,
             dirty_ratio: 0.5,
             stability: StabilityMode::Stable,
+            commit_interval: 0,
         }
     }
 
@@ -195,6 +200,13 @@ impl MultiClientConfig {
     /// Select the write-stability regime of the run.
     pub fn with_stability(mut self, mode: StabilityMode) -> Self {
         self.stability = mode;
+        self
+    }
+
+    /// Pace COMMITs every `bytes` of uncommitted data (see
+    /// [`MultiClientConfig::commit_interval`]; `0` keeps close-only).
+    pub fn with_commit_interval(mut self, bytes: u64) -> Self {
+        self.commit_interval = bytes;
         self
     }
 
@@ -370,6 +382,7 @@ struct ClientSlot {
     finished_bytes_acked: u64,
     finished_retransmissions: u64,
     finished_gave_up: u64,
+    finished_paced_commits: u64,
     completed_at: Option<SimTime>,
 }
 
@@ -407,6 +420,16 @@ impl ClientSlot {
             self.writer.stats().gave_up
         };
         self.finished_gave_up + live
+    }
+
+    /// Total interval-paced COMMITs, including the live writer's.
+    fn paced_commits(&self) -> u64 {
+        let live = if self.completed_at.is_some() {
+            0
+        } else {
+            self.writer.stats().paced_commits
+        };
+        self.finished_paced_commits + live
     }
 }
 
@@ -505,6 +528,7 @@ impl MultiClientSystem {
                 finished_bytes_acked: 0,
                 finished_retransmissions: 0,
                 finished_gave_up: 0,
+                finished_paced_commits: 0,
                 completed_at: None,
             });
             layouts.push(layout);
@@ -539,6 +563,7 @@ impl MultiClientSystem {
                 StabilityMode::Stable => StableHow::FileSync,
                 StabilityMode::Unstable => StableHow::Unstable,
             },
+            commit_interval: config.commit_interval,
             ..ClientConfig::default()
         }
     }
@@ -617,6 +642,7 @@ impl MultiClientSystem {
                     slot.finished_bytes_acked += stats.bytes_acked;
                     slot.finished_retransmissions += stats.retransmissions;
                     slot.finished_gave_up += stats.gave_up;
+                    slot.finished_paced_commits += stats.paced_commits;
                     if let Some((handle, size)) = slot.pending.pop_front() {
                         // Roll to the next segment file: a fresh writer with
                         // the next xid generation, started at this close's
@@ -771,6 +797,12 @@ impl MultiClientSystem {
     /// The server, for post-run inspection.
     pub fn server(&self) -> &NfsServer {
         &self.server
+    }
+
+    /// Interval-paced COMMITs sent across all clients (zero unless
+    /// [`MultiClientConfig::commit_interval`] is armed).
+    pub fn paced_commits(&self) -> u64 {
+        self.slots.iter().map(|s| s.paced_commits()).sum()
     }
 
     /// Number of events processed by the most recent run.

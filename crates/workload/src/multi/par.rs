@@ -236,6 +236,7 @@ impl Spoke {
                             slot.finished_bytes_acked += stats.bytes_acked;
                             slot.finished_retransmissions += stats.retransmissions;
                             slot.finished_gave_up += stats.gave_up;
+                            slot.finished_paced_commits += stats.paced_commits;
                             if let Some((handle, size)) = slot.pending.pop_front() {
                                 slot.segment += 1;
                                 slot.writer = FileWriterClient::new(

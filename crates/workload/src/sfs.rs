@@ -46,8 +46,9 @@ use std::sync::Arc;
 use wg_net::medium::Direction;
 use wg_net::TransmitOutcome;
 use wg_nfsproto::{
-    CommitArgs, CreateArgs, DirOpArgs, FileHandle, GetattrArgs, NfsCall, NfsCallBody, NfsReply,
-    ReadArgs, ReaddirArgs, Sattr, StableHow, WriteArgs, Xid,
+    CommitArgs, CreateArgs, DirOpArgs, FileHandle, GetattrArgs, LockArgs, NfsCall, NfsCallBody,
+    NfsReply, NfsReplyBody, NfsStatus, ReadArgs, ReaddirArgs, RenewArgs, Sattr, StableHow,
+    StatusReply, WriteArgs, Xid,
 };
 use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, StabilityMode, WritePolicy};
 use wg_simcore::{Duration, EventQueue, FaultKind, FaultPlan, LatencyStat, SimRng, SimTime};
@@ -238,6 +239,24 @@ pub struct SfsConfig {
     /// `WRITE(UNSTABLE)` and chased by one whole-file `COMMIT` — the NFSv3
     /// write path — instead of the v2 per-write synchronous commit.
     pub stability: StabilityMode,
+    /// Arm the client-state layer: every stream registers a lease, renews it
+    /// each [`SfsConfig::lease_renew_interval`], acquires one byte-range
+    /// lock, and runs the grace-period reclaim protocol after server
+    /// crashes.  Off (the default) keeps the stateless harness bit-identical
+    /// to the pre-lease build.
+    pub leases: bool,
+    /// How often each stream renews its lease (every stream ticks in the
+    /// same interval window — at scale that *is* the renewal storm).
+    pub lease_renew_interval: Duration,
+    /// Server-side lease lifetime (must exceed the renew interval or every
+    /// client expires between renewals).
+    pub lease_duration: Duration,
+    /// Server-side post-crash grace window.
+    pub grace_period: Duration,
+    /// Client-reboot churn: each stream reboots (new boot verifier, all
+    /// state forgotten) once per this interval, staggered across streams.
+    /// [`Duration::ZERO`] (the default) disables churn.
+    pub churn_interval: Duration,
 }
 
 impl SfsConfig {
@@ -275,6 +294,11 @@ impl SfsConfig {
             cache_pages: 0,
             dirty_ratio: 0.5,
             stability: StabilityMode::Stable,
+            leases: false,
+            lease_renew_interval: Duration::from_secs(1),
+            lease_duration: Duration::from_secs(3),
+            grace_period: Duration::from_millis(500),
+            churn_interval: Duration::ZERO,
         }
     }
 
@@ -400,6 +424,28 @@ impl SfsConfig {
         self
     }
 
+    /// Arm the client-state layer (leases, locks, grace-period recovery).
+    pub fn with_leases(mut self, on: bool) -> Self {
+        self.leases = on;
+        self
+    }
+
+    /// Override the lease timing knobs: client renew interval, server lease
+    /// lifetime and post-crash grace window.
+    pub fn with_lease_timing(mut self, renew: Duration, lease: Duration, grace: Duration) -> Self {
+        self.lease_renew_interval = renew;
+        self.lease_duration = lease;
+        self.grace_period = grace;
+        self
+    }
+
+    /// Reboot each client stream once per `interval` ([`Duration::ZERO`]
+    /// disables churn).
+    pub fn with_churn(mut self, interval: Duration) -> Self {
+        self.churn_interval = interval;
+        self
+    }
+
     /// Whether the fault layer is armed: any injected fault or loss means
     /// calls can vanish, so the generators track outstanding calls for
     /// bounded retransmission.  With neither, the retry machinery schedules
@@ -450,6 +496,12 @@ enum OpKind {
     /// queued by [`SfsGenerator::finish_write`] under
     /// [`StabilityMode::Unstable`]).
     Commit,
+    /// Lease registration/renewal (never drawn from the mix; issued by the
+    /// lease ticks when [`SfsConfig::leases`] is armed).
+    Renew,
+    /// Byte-range lock acquisition or grace-period reclaim (lease ticks
+    /// only, like RENEW).
+    Lock,
 }
 
 const OP_KINDS: [OpKind; 9] = [
@@ -488,14 +540,23 @@ struct OutstandingRing {
 }
 
 impl OutstandingRing {
-    fn new(base: u32, expected_ops: u64) -> Self {
+    fn new(base: u32, expected_ops: u64, compact: bool) -> Self {
         // Twice the expectation plus slack covers Poisson variance, so a
         // default-length run never laps the ring and ring semantics stay
         // identical to the old hash map's; the clamp bounds memory for
-        // extreme offered loads.
-        let capacity = (expected_ops.saturating_mul(2) + 4096)
+        // extreme offered loads.  `compact` (huge fleets: ≥ 1024 streams)
+        // shrinks the slack and floor so a 10 000-client storm cell costs
+        // kilobytes per stream instead of the default 4096-slot floor —
+        // per-stream expectations are tiny there, so the ring still never
+        // laps.
+        let (slack, floor) = if compact {
+            (256, 1 << 8)
+        } else {
+            (4096, 1 << 12)
+        };
+        let capacity = (expected_ops.saturating_mul(2) + slack)
             .next_power_of_two()
-            .clamp(1 << 12, 1 << 20) as usize;
+            .clamp(floor, 1 << 20) as usize;
         OutstandingRing {
             base,
             mask: capacity - 1,
@@ -561,6 +622,77 @@ struct SharedFiles {
     files: Vec<(Arc<str>, FileHandle, u64)>,
 }
 
+/// Where one stream's lease state machine stands (armed by
+/// [`SfsConfig::leases`]; inert otherwise).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LeasePhase {
+    /// No lease: the next tick sends a registering RENEW.
+    Unregistered,
+    /// RENEW sent, confirmation pending (re-sent each tick until one lands).
+    Registering,
+    /// Lease held: ticks renew it, or acquire the lock if not yet held.
+    Active,
+    /// The server rebooted into its grace window: the next tick reclaims
+    /// the lock.
+    Reclaiming,
+}
+
+/// Client-side lease/lock state of one generator stream, driven entirely by
+/// the per-client lease tick chain and by replies — never by the op mix.
+struct LeaseState {
+    phase: LeasePhase,
+    /// This incarnation's boot verifier (bumped by churn reboots).
+    verifier: u64,
+    /// Server boot verifier last seen in a RENEW reply (0 = none yet); a
+    /// change means the server rebooted and its volatile state is gone.
+    server_verifier: u64,
+    /// Whether this stream believes it holds its byte-range lock.
+    lock_held: bool,
+    /// Next lock sequence id (strictly monotonic per stateid server-side).
+    next_seqid: u32,
+    /// Set once the stream abandons a call (`gave_up`): it stops renewing,
+    /// so the server's expiry sweep orphans and reclaims its records — the
+    /// abandoned-lease path the orphan counters watch.
+    dead: bool,
+    /// Lease-protocol calls sent / replies applied (kept out of the
+    /// throughput counters so state traffic never inflates achieved ops).
+    issued: u64,
+    completed: u64,
+    /// Soft rejections observed while the server was in grace.
+    grace_denied: u64,
+    /// Hard lock denials (conflict, stale seqid, refused reclaim, expiry).
+    lock_denied: u64,
+    /// Fresh lock grants / grace-window reclaims confirmed by replies.
+    locks_granted: u64,
+    reclaims_granted: u64,
+    /// Server reboots this stream observed through verifier changes.
+    server_reboots: u64,
+    /// Churn reboots this stream performed.
+    churns: u64,
+}
+
+impl LeaseState {
+    fn new(client: u32) -> Self {
+        LeaseState {
+            phase: LeasePhase::Unregistered,
+            // Per-client verifier space; the low word counts incarnations.
+            verifier: ((client as u64) << 32) | 1,
+            server_verifier: 0,
+            lock_held: false,
+            next_seqid: 1,
+            dead: false,
+            issued: 0,
+            completed: 0,
+            grace_denied: 0,
+            lock_denied: 0,
+            locks_granted: 0,
+            reclaims_granted: 0,
+            server_reboots: 0,
+            churns: 0,
+        }
+    }
+}
+
 /// One independent load-generator stream: its own RNG, xid window,
 /// scratch-file namespace, outstanding-call ring and latency accumulator.
 struct SfsGenerator {
@@ -593,6 +725,8 @@ struct SfsGenerator {
     /// otherwise never touched, keeping the steady-state loop allocation-free
     /// and bit-identical to the pre-fault harness.
     retry_calls: HashMap<u32, NfsCall>,
+    /// Lease/lock client state (inert unless [`SfsConfig::leases`]).
+    lease: LeaseState,
 }
 
 /// Pre-population name of a scratch write file (generation 0) or of a
@@ -862,13 +996,159 @@ impl SfsGenerator {
                 })
             }
             OpKind::Statfs => NfsCallBody::Statfs(GetattrArgs { file: shared.root }),
-            // COMMIT is never drawn from the mix; it only ever rides the
-            // burst queue behind an unstable write burst.
-            OpKind::Commit => unreachable!("COMMIT is not a mix operation"),
+            // COMMIT only ever rides the burst queue behind an unstable
+            // write burst; RENEW/LOCK only ever ride the lease ticks.  None
+            // of them is drawn from the mix.
+            OpKind::Commit | OpKind::Renew | OpKind::Lock => {
+                unreachable!("not a mix operation")
+            }
         };
         self.outstanding.insert(xid.0, now, kind);
         CallStep::Ready(NfsCall::new(xid, body))
     }
+
+    /// The client-state call of one lease tick, if the stream still runs its
+    /// lease machine: RENEW to register or renew, LOCK to acquire or reclaim.
+    /// Streams that abandoned a call (`gave_up`) go lease-dead and return
+    /// [`None`] — they stop renewing, so the server's expiry sweep reclaims
+    /// their records as orphans.  Draws no RNG: the workload stream is
+    /// untouched by the state machine.
+    fn lease_tick_call(&mut self, now: SimTime, shared: &SharedFiles) -> Option<NfsCall> {
+        if self.gave_up > 0 {
+            self.lease.dead = true;
+        }
+        if self.lease.dead {
+            return None;
+        }
+        let renew = NfsCallBody::Renew(RenewArgs {
+            client_id: self.client,
+            verifier: self.lease.verifier,
+        });
+        let body = match self.lease.phase {
+            LeasePhase::Unregistered | LeasePhase::Registering => {
+                self.lease.phase = LeasePhase::Registering;
+                renew
+            }
+            LeasePhase::Active if self.lease.lock_held => renew,
+            phase @ (LeasePhase::Active | LeasePhase::Reclaiming) => {
+                // Every stream locks a disjoint chunk of the first shared
+                // file (or the export root when the cell has none): lock
+                // traffic at scale without cross-client conflicts, so any
+                // conflict the oracle sees is a real grace-period leak.
+                let file = shared
+                    .files
+                    .first()
+                    .map(|&(_, fh, _)| fh)
+                    .unwrap_or(shared.root);
+                let seqid = self.lease.next_seqid;
+                self.lease.next_seqid += 1;
+                NfsCallBody::Lock(LockArgs {
+                    file,
+                    client_id: self.client,
+                    stateid: 1,
+                    seqid,
+                    offset: self.client * CHUNK as u32,
+                    count: CHUNK as u32,
+                    reclaim: phase == LeasePhase::Reclaiming,
+                })
+            }
+        };
+        let kind = if matches!(body, NfsCallBody::Lock(_)) {
+            OpKind::Lock
+        } else {
+            OpKind::Renew
+        };
+        let xid = self.take_xid();
+        self.outstanding.insert(xid.0, now, kind);
+        self.lease.issued += 1;
+        Some(NfsCall::new(xid, body))
+    }
+
+    /// Apply a lease-protocol reply to the client state machine.  Pure local
+    /// mutation — never transmits — so both drivers call it inline from
+    /// their reply arms without affecting partitioned lookahead.
+    fn on_state_reply(&mut self, body: &NfsReplyBody) {
+        match body {
+            NfsReplyBody::Renew(StatusReply::Ok(ok)) => {
+                let rebooted =
+                    self.lease.server_verifier != 0 && self.lease.server_verifier != ok.verf;
+                self.lease.server_verifier = ok.verf;
+                if rebooted {
+                    self.lease.server_reboots += 1;
+                    if self.lease.lock_held && ok.in_grace {
+                        // Our lock died with the server's volatile state;
+                        // the next tick reclaims it inside the grace window.
+                        self.lease.phase = LeasePhase::Reclaiming;
+                    } else {
+                        // Grace already over (or nothing to reclaim): any
+                        // old lock is forfeit; re-acquire fresh.
+                        self.lease.lock_held = false;
+                        self.lease.phase = LeasePhase::Active;
+                    }
+                } else if self.lease.phase == LeasePhase::Registering {
+                    self.lease.phase = LeasePhase::Active;
+                }
+            }
+            NfsReplyBody::Lock(StatusReply::Ok(_)) => {
+                if self.lease.phase == LeasePhase::Reclaiming {
+                    self.lease.reclaims_granted += 1;
+                } else {
+                    self.lease.locks_granted += 1;
+                }
+                self.lease.lock_held = true;
+                self.lease.phase = LeasePhase::Active;
+            }
+            NfsReplyBody::Lock(StatusReply::Err(status)) => match status {
+                NfsStatus::Grace => self.lease.grace_denied += 1,
+                NfsStatus::Expired => {
+                    // Lease lapsed server-side: drop everything and
+                    // re-register from scratch.
+                    self.lease.lock_denied += 1;
+                    self.lease.lock_held = false;
+                    self.lease.phase = LeasePhase::Unregistered;
+                }
+                _ => {
+                    self.lease.lock_denied += 1;
+                    if self.lease.phase == LeasePhase::Reclaiming {
+                        // Reclaim refused (window closed, image forfeited):
+                        // the old lock is gone; re-acquire fresh.
+                        self.lease.lock_held = false;
+                        self.lease.phase = LeasePhase::Active;
+                    }
+                }
+            },
+            // RENEW errors (a lease-disarmed server answers Denied) leave
+            // the phase untouched; the next tick simply tries again.
+            _ => {}
+        }
+    }
+
+    /// Churn: this stream reboots — new boot verifier, all lease and lock
+    /// state forgotten.  The server learns of the reboot at the next
+    /// registering RENEW and wipes the previous incarnation's records.
+    fn lease_reboot(&mut self) {
+        self.lease.verifier += 1;
+        self.lease.phase = LeasePhase::Unregistered;
+        self.lease.lock_held = false;
+        self.lease.next_seqid = 1;
+        self.lease.churns += 1;
+    }
+}
+
+/// First lease tick of `client`: one renew interval in, plus a per-client
+/// nanosecond skew.  The skew keeps tick keys distinct (deterministic order
+/// in both drivers, no measure-zero tie against the continuous arrival
+/// draws) while still landing the whole fleet's renewals inside a window
+/// that is microseconds wide — which at 10 000 clients *is* the storm.
+fn lease_tick_origin(renew: Duration, client: usize) -> SimTime {
+    SimTime::ZERO + renew + Duration::from_nanos(client as u64 + 1)
+}
+
+/// First churn reboot of `client`: staggered evenly across one churn
+/// interval so the fleet reboots as a rolling wave, not en masse.
+fn churn_origin(churn: Duration, client: usize, clients: usize) -> SimTime {
+    let stagger = churn.as_nanos() / clients.max(1) as u64 * client as u64;
+    SimTime::ZERO + churn + Duration::from_nanos(stagger + client as u64 + 1)
 }
 
 /// One step of a generator stream: either the call is ready, or the drawn
@@ -890,6 +1170,12 @@ enum Ev {
     Fault(FaultKind),
     /// The NVRAM battery comes back after a `BatteryFailure`.
     BatteryRepair,
+    /// One client's lease tick: register/renew/lock/reclaim, then
+    /// self-reschedule (scheduled only when [`SfsConfig::leases`]).
+    LeaseTick(usize),
+    /// One client's churn reboot, self-rescheduling (scheduled only when
+    /// [`SfsConfig::churn_interval`] is non-zero).
+    ChurnTick(usize),
 }
 
 /// One SFS-style measurement run: N generator streams, their LAN fan-in and
@@ -941,10 +1227,17 @@ impl SfsSystem {
         server_config.io_overlap = config.io_overlap;
         server_config.inode_groups = config.inode_groups.max(1);
         server_config.read_caching = config.read_caching;
+        assert!(
+            !config.leases || config.lease_renew_interval > Duration::ZERO,
+            "lease_renew_interval must be non-zero when leases are armed"
+        );
         server_config = server_config
             .with_unified_cache(config.cache_pages)
             .with_dirty_ratio(config.dirty_ratio)
-            .with_stability(config.stability);
+            .with_stability(config.stability)
+            .with_leases(config.leases)
+            .with_lease_duration(config.lease_duration)
+            .with_grace_period(config.grace_period);
         let mut server = NfsServer::new(server_config);
 
         let root = server.fs().root();
@@ -994,7 +1287,7 @@ impl SfsSystem {
                 created_names: Vec::new(),
                 create_counter: 0,
                 burst_queue: Vec::new(),
-                outstanding: OutstandingRing::new(base, expected_ops),
+                outstanding: OutstandingRing::new(base, expected_ops, clients >= 1024),
                 latency: LatencyStat::new(),
                 issued: 0,
                 completed: 0,
@@ -1002,6 +1295,7 @@ impl SfsSystem {
                 retransmissions: 0,
                 gave_up: 0,
                 retry_calls: HashMap::new(),
+                lease: LeaseState::new(client as u32),
             });
         }
         let root_handle = server.root_handle();
@@ -1065,10 +1359,20 @@ impl SfsSystem {
     /// cooperating event loops ([`par`]); results are bit-identical either
     /// way.
     pub fn run(&mut self) -> SfsPoint {
-        if self.config.sim_threads >= 2 {
-            return par::run_partitioned(self);
+        let point = if self.config.sim_threads >= 2 {
+            par::run_partitioned(self)
+        } else {
+            self.run_serial()
+        };
+        if self.config.leases {
+            // Deterministic post-run expiry sweep (identical after either
+            // driver): any stream that stopped renewing — lease-dead after a
+            // give-up, or churn-killed — has its lease expire here and its
+            // state reclaimed as orphans.
+            self.server
+                .expire_leases(SimTime::ZERO + self.config.duration);
         }
-        self.run_serial()
+        point
     }
 
     /// The reference single-threaded event loop.
@@ -1088,6 +1392,26 @@ impl SfsSystem {
         // event for event.
         let faults_armed = self.config.faults_enabled();
         let retry_timeout = self.config.retry_initial_timeout;
+        // Lease machinery is armed the same way: off (the default) schedules
+        // no ticks, touches no state and replays the stateless harness event
+        // for event.
+        if self.config.leases {
+            for client in 0..self.generators.len() {
+                self.queue.schedule_at(
+                    lease_tick_origin(self.config.lease_renew_interval, client),
+                    Ev::LeaseTick(client),
+                );
+            }
+            if self.config.churn_interval > Duration::ZERO {
+                let clients = self.generators.len();
+                for client in 0..clients {
+                    self.queue.schedule_at(
+                        churn_origin(self.config.churn_interval, client, clients),
+                        Ev::ChurnTick(client),
+                    );
+                }
+            }
+        }
         if !self.config.fault_plan.is_empty() {
             let events: Vec<_> = self.config.fault_plan.events().to_vec();
             for event in events {
@@ -1149,12 +1473,19 @@ impl SfsSystem {
                 }
                 Ev::Reply(client, reply) => {
                     let generator = &mut self.generators[client as usize];
-                    if let Some((sent, _kind)) = generator.outstanding.take(reply.xid.0) {
-                        let latency = t.since(sent);
-                        self.latency.record(latency);
-                        generator.latency.record(latency);
-                        generator.completed += 1;
-                        self.completed += 1;
+                    if let Some((sent, kind)) = generator.outstanding.take(reply.xid.0) {
+                        if matches!(kind, OpKind::Renew | OpKind::Lock) {
+                            // Lease-protocol traffic: drive the client state
+                            // machine, never the throughput counters.
+                            generator.lease.completed += 1;
+                            generator.on_state_reply(&reply.body);
+                        } else {
+                            let latency = t.since(sent);
+                            self.latency.record(latency);
+                            generator.latency.record(latency);
+                            generator.completed += 1;
+                            self.completed += 1;
+                        }
                         if faults_armed {
                             generator.retry_calls.remove(&reply.xid.0);
                         }
@@ -1208,6 +1539,37 @@ impl SfsSystem {
                 Ev::BatteryRepair => {
                     self.server.set_battery(true, t);
                 }
+                Ev::LeaseTick(client) => {
+                    if t < end {
+                        let call = self.generators[client].lease_tick_call(t, &self.shared);
+                        if let Some(call) = call {
+                            if faults_armed {
+                                let xid = call.xid.0;
+                                self.generators[client]
+                                    .retry_calls
+                                    .insert(xid, call.clone());
+                                self.queue
+                                    .schedule_at(t + retry_timeout, Ev::RetryCheck(client, xid, 0));
+                            }
+                            self.transmit_call(t, client, call);
+                        }
+                        // A lease-dead stream stops ticking; the server's
+                        // expiry sweep reclaims its records.
+                        if !self.generators[client].lease.dead {
+                            self.queue.schedule_at(
+                                t + self.config.lease_renew_interval,
+                                Ev::LeaseTick(client),
+                            );
+                        }
+                    }
+                }
+                Ev::ChurnTick(client) => {
+                    if t < end {
+                        self.generators[client].lease_reboot();
+                        self.queue
+                            .schedule_at(t + self.config.churn_interval, Ev::ChurnTick(client));
+                    }
+                }
             }
         }
         self.point()
@@ -1227,6 +1589,11 @@ impl SfsSystem {
     /// The server, for post-run inspection.
     pub fn server(&self) -> &NfsServer {
         &self.server
+    }
+
+    /// The configuration the system was built with.
+    pub fn config(&self) -> &SfsConfig {
+        &self.config
     }
 
     /// Drain the server after the measured window: flush the unified cache
@@ -1293,6 +1660,54 @@ impl SfsSystem {
     /// generation is allocation-free.
     pub fn name_mints(&self) -> u64 {
         self.generators.iter().map(|g| g.name_mints).sum()
+    }
+
+    /// Lease-protocol calls issued and replies applied, across all streams
+    /// (kept out of [`SfsSystem::counts`] so state traffic never inflates
+    /// achieved ops).
+    pub fn lease_counts(&self) -> (u64, u64) {
+        (
+            self.generators.iter().map(|g| g.lease.issued).sum(),
+            self.generators.iter().map(|g| g.lease.completed).sum(),
+        )
+    }
+
+    /// Soft rejections clients observed while the server was in grace.
+    pub fn grace_denials(&self) -> u64 {
+        self.generators.iter().map(|g| g.lease.grace_denied).sum()
+    }
+
+    /// Hard lock denials clients observed (conflict, seqid, refused reclaim,
+    /// expiry).
+    pub fn lock_denials(&self) -> u64 {
+        self.generators.iter().map(|g| g.lease.lock_denied).sum()
+    }
+
+    /// Fresh lock grants and grace-window reclaims confirmed by replies,
+    /// across all streams.
+    pub fn lock_grants(&self) -> (u64, u64) {
+        (
+            self.generators.iter().map(|g| g.lease.locks_granted).sum(),
+            self.generators
+                .iter()
+                .map(|g| g.lease.reclaims_granted)
+                .sum(),
+        )
+    }
+
+    /// Server reboots observed by clients through RENEW verifier changes.
+    pub fn observed_server_reboots(&self) -> u64 {
+        self.generators.iter().map(|g| g.lease.server_reboots).sum()
+    }
+
+    /// Churn reboots the client fleet performed.
+    pub fn churn_reboots(&self) -> u64 {
+        self.generators.iter().map(|g| g.lease.churns).sum()
+    }
+
+    /// Streams that went lease-dead (stopped renewing after a give-up).
+    pub fn lease_dead_streams(&self) -> usize {
+        self.generators.iter().filter(|g| g.lease.dead).count()
     }
 
     /// Outstanding-ring slots reclaimed from calls that never got a reply.
@@ -1575,7 +1990,7 @@ mod tests {
 
     #[test]
     fn outstanding_ring_inserts_takes_and_reclaims() {
-        let mut ring = OutstandingRing::new(XID_ORIGIN, 16);
+        let mut ring = OutstandingRing::new(XID_ORIGIN, 16, false);
         let t = SimTime::ZERO + Duration::from_millis(5);
         ring.insert(XID_ORIGIN, t, OpKind::Read);
         ring.insert(XID_ORIGIN + 1, t, OpKind::Write);
@@ -1593,6 +2008,118 @@ mod tests {
         );
         // The lapped xid no longer matches.
         assert_eq!(ring.take(XID_ORIGIN + 1), None);
+    }
+
+    #[test]
+    fn leases_off_keeps_the_server_stateless() {
+        let mut system = SfsSystem::new(quick_config(200.0, WritePolicy::Gathering));
+        system.run();
+        assert_eq!(system.lease_counts(), (0, 0));
+        assert_eq!(
+            system.server().state_stats(),
+            &wg_server::StateStats::default()
+        );
+        assert_eq!(system.server().active_lease_clients(), 0);
+        assert_eq!(system.server().held_locks(), 0);
+    }
+
+    #[test]
+    fn lease_storm_registers_renews_and_locks_every_stream() {
+        let clients = 4;
+        let config = quick_config(300.0, WritePolicy::Gathering)
+            .with_clients(clients)
+            .with_leases(true)
+            .with_lease_timing(
+                Duration::from_millis(400),
+                Duration::from_millis(1500),
+                Duration::from_millis(800),
+            );
+        let mut system = SfsSystem::new(config);
+        system.run();
+        let stats = system.server().state_stats().clone();
+        // Every stream registered once, renewed repeatedly and acquired its
+        // disjoint byte-range lock exactly once.
+        assert_eq!(stats.leases_granted, clients as u64);
+        assert!(
+            stats.renewals > clients as u64,
+            "renewals {}",
+            stats.renewals
+        );
+        assert_eq!(stats.locks_granted, clients as u64);
+        assert_eq!(system.lock_grants(), (clients as u64, 0));
+        // Healthy streams renew to the end: nothing expired, nothing held
+        // back, and the post-run sweep leaves every lease and lock standing.
+        assert_eq!(stats.leases_expired, 0);
+        assert_eq!(system.server().active_lease_clients(), clients);
+        assert_eq!(system.server().held_locks(), clients);
+        assert!(system.server().state_table_bytes() > 0);
+        // State oracle: no conflicts, no write past an expired lease.
+        assert_eq!(stats.lock_conflicts, 0);
+        assert_eq!(stats.grace_conflicts, 0);
+        assert_eq!(stats.expired_lease_writes, 0);
+        let (issued, applied) = system.lease_counts();
+        assert!(issued > 0 && applied > 0);
+    }
+
+    #[test]
+    fn crash_opens_grace_and_streams_reclaim_their_locks() {
+        let clients = 3;
+        let plan = FaultPlan::new().at(SimTime::from_millis(1200), FaultKind::ServerCrash);
+        let config = quick_config(300.0, WritePolicy::Gathering)
+            .with_clients(clients)
+            .with_fault_plan(plan)
+            .with_retry(Duration::from_millis(300), 6)
+            .with_leases(true)
+            .with_lease_timing(
+                Duration::from_millis(400),
+                Duration::from_secs(2),
+                Duration::from_millis(1500),
+            );
+        let mut system = SfsSystem::new(config);
+        system.run();
+        let stats = system.server().state_stats().clone();
+        // Streams held locks before the crash, observed the reboot through
+        // the RENEW verifier change, and reclaimed inside the grace window.
+        assert!(system.observed_server_reboots() >= 1);
+        assert!(stats.locks_reclaimed >= 1, "no reclaim landed: {stats:?}");
+        assert_eq!(system.lock_grants().1, stats.locks_reclaimed);
+        // State oracle: no lock admitted during grace conflicted with a
+        // reclaimable pre-crash lock, no write slipped past an expired
+        // lease.
+        assert_eq!(stats.grace_conflicts, 0);
+        assert_eq!(stats.expired_lease_writes, 0);
+    }
+
+    #[test]
+    fn churn_reboots_reregister_and_revoke_stale_incarnations() {
+        let clients = 2;
+        let config = quick_config(200.0, WritePolicy::Gathering)
+            .with_clients(clients)
+            .with_leases(true)
+            .with_lease_timing(
+                Duration::from_millis(300),
+                Duration::from_millis(1200),
+                Duration::from_millis(600),
+            )
+            .with_churn(Duration::from_millis(1100));
+        let mut system = SfsSystem::new(config);
+        system.run();
+        let stats = system.server().state_stats().clone();
+        assert!(system.churn_reboots() >= clients as u64);
+        // The server saw rebooted incarnations re-register (wiping the old
+        // records) and re-grant their locks.
+        assert!(
+            stats.client_reboots >= 1,
+            "reboots {}",
+            stats.client_reboots
+        );
+        assert!(
+            stats.locks_granted > clients as u64,
+            "locks {}",
+            stats.locks_granted
+        );
+        assert_eq!(stats.grace_conflicts, 0);
+        assert_eq!(stats.expired_lease_writes, 0);
     }
 
     #[test]

@@ -30,7 +30,10 @@ use wg_nfsproto::{FileHandle, NfsCall, NfsReply, Xid};
 use wg_server::{NfsServer, ServerAction, ServerInput};
 use wg_simcore::{BoundCell, Duration, FaultKind, Key, KeyedQueue, Mailbox, Monitor, SimTime};
 
-use super::{CallStep, SfsConfig, SfsGenerator, SfsSystem, SharedFiles};
+use super::{
+    churn_origin, lease_tick_origin, CallStep, OpKind, SfsConfig, SfsGenerator, SfsSystem,
+    SharedFiles,
+};
 use crate::results::SfsPoint;
 
 /// Client-island → server-island messages.
@@ -70,6 +73,10 @@ enum SpokeEv {
     Reply(u32, NfsReply),
     RetryCheck(usize, u32, u32),
     Op(DownOp),
+    /// One client's lease tick (mirrors the serial `Ev::LeaseTick`).
+    LeaseTick(usize),
+    /// One client's churn reboot (mirrors the serial `Ev::ChurnTick`).
+    ChurnTick(usize),
 }
 
 /// Events of the hub's queue.
@@ -248,12 +255,20 @@ impl Spoke {
             SpokeEv::Reply(client, reply) => {
                 self.events_processed += 1;
                 let generator = &mut self.generators[client as usize - self.base];
-                if let Some((sent, _kind)) = generator.outstanding.take(reply.xid.0) {
-                    let latency = key.time.since(sent);
-                    self.latency_log.push((key, latency));
-                    generator.latency.record(latency);
-                    generator.completed += 1;
-                    self.completed += 1;
+                if let Some((sent, kind)) = generator.outstanding.take(reply.xid.0) {
+                    if matches!(kind, OpKind::Renew | OpKind::Lock) {
+                        // Lease-protocol traffic: drive the client state
+                        // machine (pure local mutation — never transmits),
+                        // never the throughput counters.
+                        generator.lease.completed += 1;
+                        generator.on_state_reply(&reply.body);
+                    } else {
+                        let latency = key.time.since(sent);
+                        self.latency_log.push((key, latency));
+                        generator.latency.record(latency);
+                        generator.completed += 1;
+                        self.completed += 1;
+                    }
                     if cx.faults_armed {
                         generator.retry_calls.remove(&reply.xid.0);
                     }
@@ -300,6 +315,49 @@ impl Spoke {
                 probability,
             }) => {
                 self.medium.inject_loss_window(from, until, probability);
+            }
+            SpokeEv::LeaseTick(client) => {
+                self.events_processed += 1;
+                if key.time < cx.end {
+                    let call =
+                        self.generators[client - self.base].lease_tick_call(key.time, cx.shared);
+                    if let Some(call) = call {
+                        if cx.faults_armed {
+                            let xid = call.xid.0;
+                            self.generators[client - self.base]
+                                .retry_calls
+                                .insert(xid, call.clone());
+                            let seq = mint(&mut self.ctr);
+                            self.queue.schedule(
+                                key.child(
+                                    key.time + cx.config.retry_initial_timeout,
+                                    self.src,
+                                    seq,
+                                ),
+                                SpokeEv::RetryCheck(client, xid, 0),
+                            );
+                        }
+                        self.transmit(key, client, call, cx);
+                    }
+                    if !self.generators[client - self.base].lease.dead {
+                        let seq = mint(&mut self.ctr);
+                        self.queue.schedule(
+                            key.child(key.time + cx.config.lease_renew_interval, self.src, seq),
+                            SpokeEv::LeaseTick(client),
+                        );
+                    }
+                }
+            }
+            SpokeEv::ChurnTick(client) => {
+                self.events_processed += 1;
+                if key.time < cx.end {
+                    self.generators[client - self.base].lease_reboot();
+                    let seq = mint(&mut self.ctr);
+                    self.queue.schedule(
+                        key.child(key.time + cx.config.churn_interval, self.src, seq),
+                        SpokeEv::ChurnTick(client),
+                    );
+                }
             }
         }
         assert!(
@@ -423,7 +481,20 @@ impl Spoke {
         for (key, ev) in self.queue.iter() {
             let contribution = match ev {
                 SpokeEv::Reply(..) | SpokeEv::Op(..) => continue,
+                // A churn reboot mutates only local client state; neither it
+                // nor any descendant reboot ever sends — no contribution.
+                SpokeEv::ChurnTick(..) => continue,
                 SpokeEv::RetryCheck(..) => Key::time_bound(key.time + cx.lookahead),
+                // A lease tick transmits at its own time (no gap draw), so
+                // its datagram — and every later tick's, one non-zero renew
+                // interval on — arrives no earlier than the medium
+                // lookahead, exactly the retry-chain argument.
+                SpokeEv::LeaseTick(..) => {
+                    if key.time >= cx.end {
+                        continue;
+                    }
+                    Key::time_bound(key.time + cx.lookahead)
+                }
                 SpokeEv::NextArrival(client) => {
                     if key.time >= cx.end {
                         continue;
@@ -697,6 +768,34 @@ pub(super) fn run_partitioned(system: &mut SfsSystem) -> SfsPoint {
             );
         }
     }
+    // Lease and churn tick chains mirror the serial loop's: same per-client
+    // origin times (skewed, so every tick key is distinct), seeded as
+    // initial keys per spoke.  Tick times never collide with the continuous
+    // arrival draws, so heap order — and the schedule — matches serial.
+    if system.config.leases {
+        let renew = system.config.lease_renew_interval;
+        let churn = system.config.churn_interval;
+        for spoke in &mut spokes {
+            for local in 0..spoke.generators.len() {
+                let client = spoke.base + local;
+                let seq = mint(&mut spoke.ctr);
+                spoke.queue.schedule(
+                    Key::initial(lease_tick_origin(renew, client), spoke.src, seq),
+                    SpokeEv::LeaseTick(client),
+                );
+            }
+            if churn > Duration::ZERO {
+                for local in 0..spoke.generators.len() {
+                    let client = spoke.base + local;
+                    let seq = mint(&mut spoke.ctr);
+                    spoke.queue.schedule(
+                        Key::initial(churn_origin(churn, client, clients), spoke.src, seq),
+                        SpokeEv::ChurnTick(client),
+                    );
+                }
+            }
+        }
+    }
     let mut hub_queue = KeyedQueue::new();
     let mut hub_ctr = 0u64;
     for event in system.config.fault_plan.events() {
@@ -853,6 +952,25 @@ mod tests {
                 par.per_client_achieved_ops(),
                 "{ctx}"
             );
+            assert_eq!(serial.lease_counts(), par.lease_counts(), "{ctx}");
+            assert_eq!(serial.grace_denials(), par.grace_denials(), "{ctx}");
+            assert_eq!(serial.lock_grants(), par.lock_grants(), "{ctx}");
+            assert_eq!(serial.churn_reboots(), par.churn_reboots(), "{ctx}");
+            assert_eq!(
+                serial.observed_server_reboots(),
+                par.observed_server_reboots(),
+                "{ctx}"
+            );
+            assert_eq!(
+                serial.server().state_stats(),
+                par.server().state_stats(),
+                "{ctx}"
+            );
+            assert_eq!(
+                serial.server().state_table_bytes(),
+                par.server().state_table_bytes(),
+                "{ctx}"
+            );
             assert_eq!(par.clamped_past(), 0, "{ctx}");
         }
     }
@@ -906,6 +1024,62 @@ mod tests {
                 .with_loss(0.03)
                 .with_fault_plan(plan)
                 .with_retry(Duration::from_millis(300), 4),
+            &[2, 4, 8],
+        );
+    }
+
+    #[test]
+    fn partitioned_run_matches_serial_with_leases_armed() {
+        // Lease ticks on a shared segment and on per-client segments: the
+        // renewal storm, lock acquisition and the client state machine must
+        // replay bit-identically through the partitioned core.
+        assert_parity(
+            quick(300.0)
+                .with_clients(3)
+                .with_leases(true)
+                .with_lease_timing(
+                    Duration::from_millis(400),
+                    Duration::from_millis(1500),
+                    Duration::from_millis(800),
+                ),
+            &[2, 4],
+        );
+        assert_parity(
+            quick(400.0)
+                .with_clients(4)
+                .with_per_client_lans(true)
+                .with_leases(true)
+                .with_lease_timing(
+                    Duration::from_millis(400),
+                    Duration::from_millis(1500),
+                    Duration::from_millis(800),
+                )
+                .with_churn(Duration::from_millis(1300)),
+            &[2, 4, 8],
+        );
+    }
+
+    #[test]
+    fn partitioned_run_matches_serial_with_leases_and_crash_armed() {
+        // The adversarial composition: a crash wipes the state table and
+        // opens the grace window while retransmit timers and lease ticks are
+        // in flight; reclaims, soft grace rejections and the post-crash
+        // re-registration storm must all be bit-identical to serial.
+        let plan = FaultPlan::new().at(SimTime::from_millis(1200), FaultKind::ServerCrash);
+        assert_parity(
+            quick(400.0)
+                .with_clients(4)
+                .with_per_client_lans(true)
+                .with_loss(0.02)
+                .with_fault_plan(plan)
+                .with_retry(Duration::from_millis(300), 6)
+                .with_leases(true)
+                .with_lease_timing(
+                    Duration::from_millis(400),
+                    Duration::from_secs(2),
+                    Duration::from_millis(1500),
+                )
+                .with_churn(Duration::from_millis(1700)),
             &[2, 4, 8],
         );
     }

@@ -647,3 +647,95 @@ fn retransmission_of_a_pre_crash_gathered_write_re_executes_safely() {
         "re-executed write left wrong bytes on disk"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Crashes under an armed client-state layer: the state oracle stays clean.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn leases_survive_crashes_with_a_clean_state_oracle() {
+    // Repeated crashes under leased load: every reboot wipes the volatile
+    // state table and opens a grace window; clients re-register, reclaim
+    // their locks, and the state oracle must find no write admitted on an
+    // expired lease and no lock granted over an unreclaimed pre-crash hold.
+    let secs = 8u64;
+    let horizon = Duration::from_secs(secs);
+    let mut config = SfsConfig::figure2(400.0, WritePolicy::Gathering)
+        .with_shards(4)
+        .with_leases(true)
+        .with_lease_timing(
+            Duration::from_millis(200),
+            Duration::from_secs(2),
+            Duration::from_millis(1500),
+        )
+        .with_fault_plan(FaultPlan::crash_every(Duration::from_secs(2), horizon))
+        .with_retry(Duration::from_millis(300), 6);
+    config.duration = horizon;
+    let mut system = SfsSystem::new(config);
+    system.run();
+
+    let stats = system.server().stats();
+    assert!(stats.crashes >= 2, "the schedule never crashed");
+    assert!(system.observed_server_reboots() > 0);
+    // The durability contract holds with state traffic in the mix.
+    assert_eq!(stats.lost_acked_bytes, 0);
+    assert_eq!(system.server().dupcache_evicted_in_progress(), 0);
+    let (issued, completed) = system.counts();
+    assert_eq!(issued, completed + system.gave_up());
+
+    // The state oracle: zero violations across every crash and grace window.
+    let st = system.server().state_stats();
+    assert_eq!(
+        st.grace_conflicts, 0,
+        "lock granted over an unreclaimed hold"
+    );
+    assert_eq!(st.expired_lease_writes, 0, "write admitted on a dead lease");
+    // Recovery actually happened: leases re-registered after reboots and at
+    // least one lock made it through a grace-window reclaim.
+    assert!(st.leases_granted > 0);
+    assert!(st.locks_reclaimed > 0, "no grace-period reclaim ever ran");
+    let (_, reclaims_seen) = system.lock_grants();
+    assert!(reclaims_seen > 0, "no client observed a reclaim grant");
+    // Table invariant: no lock outlives its owner's lease.
+    assert!(system.server().held_locks() <= system.server().active_lease_clients());
+}
+
+#[test]
+fn abandoned_leases_expire_and_their_locks_are_orphaned() {
+    // Streams that exhaust their retransmission budget give up and go
+    // lease-dead: they stop renewing.  The server-side expiry sweep must
+    // collect every such lease and orphan its locks — nothing may leak.
+    let secs = 8u64;
+    let mut config = SfsConfig::figure2(300.0, WritePolicy::Gathering)
+        .with_shards(4)
+        .with_leases(true)
+        .with_lease_timing(
+            Duration::from_millis(300),
+            Duration::from_millis(900),
+            Duration::from_millis(300),
+        )
+        .with_loss(0.08)
+        .with_retry(Duration::from_millis(150), 2);
+    config.duration = Duration::from_secs(secs);
+    let mut system = SfsSystem::new(config);
+    system.run();
+
+    assert!(
+        system.gave_up() > 0,
+        "the loss schedule never broke a stream"
+    );
+    let dead = system.lease_dead_streams();
+    assert!(dead > 0, "no stream went lease-dead despite give-ups");
+    let st = system.server().state_stats();
+    // Every abandoned lease was swept, and sweeping orphaned its state.
+    assert!(
+        st.leases_expired > 0,
+        "{dead} dead streams but the expiry sweep never fired"
+    );
+    assert!(st.state_orphaned > 0, "expired leases left no orphan trail");
+    // The oracle and the table invariant hold through the churn.
+    assert_eq!(st.grace_conflicts, 0);
+    assert_eq!(st.expired_lease_writes, 0);
+    assert_eq!(system.server().stats().lost_acked_bytes, 0);
+    assert!(system.server().held_locks() <= system.server().active_lease_clients());
+}

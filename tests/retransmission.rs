@@ -249,3 +249,129 @@ fn tiny_socket_buffer_forces_drops_and_recovery() {
     assert_eq!(client.stats().bytes_acked, 256 * 1024);
     assert_eq!(server.uncommitted_bytes(), 0);
 }
+
+#[test]
+fn retransmitted_state_ops_hit_the_dupcache_not_the_state_table() {
+    // Lock and renew traffic rides the same duplicate-request cache as
+    // writes, sharded by client id rather than by file.  A retransmitted
+    // LOCK must be absorbed by the cache (in-progress drop or cached
+    // replay), never re-executed against the state table — and even if one
+    // slipped past, strict seqid monotonicity would refuse it.
+    use wg_nfsproto::{LockArgs, NfsCall, NfsCallBody, RenewArgs, WriteArgs, Xid};
+
+    let cfg = ServerConfig::gathering()
+        .with_nfsds(4)
+        .with_shards(4)
+        .with_leases(true);
+    let mut server = NfsServer::new(cfg);
+    let root = server.fs().root();
+    // Pad the inode allocator so the locked file's inode does not hash to
+    // the same shard as the client's state ops: the write must gather on a
+    // different nfsd or it would serialise behind the LOCK stream.
+    server.fs_mut().create(root, "pad", 0o644, 0).unwrap();
+    let ino = server.fs_mut().create(root, "locked", 0o644, 0).unwrap();
+    let fh = server.handle_for_ino(ino).unwrap();
+
+    const CLIENT: u32 = 7;
+    assert_ne!(
+        ino % 4,
+        u64::from(CLIENT) % 4,
+        "test precondition: write and state ops on distinct shards"
+    );
+    let dg = |call: NfsCall| {
+        let wire = call.wire_size();
+        ServerInput::Datagram {
+            client: CLIENT,
+            call,
+            wire_size: wire,
+            fragments: 2,
+        }
+    };
+    let renew = NfsCall::new(
+        Xid(10),
+        NfsCallBody::Renew(RenewArgs {
+            client_id: CLIENT,
+            verifier: 0xBEEF,
+        }),
+    );
+    let write = NfsCall::new(
+        Xid(42),
+        NfsCallBody::Write(WriteArgs::new(fh, 0, vec![3u8; 8192])),
+    );
+    let lock = |xid: u32, seqid: u32| {
+        NfsCall::new(
+            Xid(xid),
+            NfsCallBody::Lock(LockArgs {
+                file: fh,
+                client_id: CLIENT,
+                stateid: 1,
+                seqid,
+                offset: 0,
+                count: 8192,
+                reclaim: false,
+            }),
+        )
+    };
+    let ms = wg_simcore::SimTime::from_millis;
+    let inputs = vec![
+        // Register the lease, then park a gathered WRITE whose reply is
+        // deferred through the procrastination window.
+        (ms(0), dg(renew)),
+        (ms(1), dg(write.clone())),
+        // Retransmitted while still gathered: the InProgress entry eats it.
+        (ms(3), dg(write)),
+        // First LOCK, then a same-xid retransmission long after the reply
+        // went out: the cached reply is replayed verbatim.
+        (ms(4), dg(lock(100, 1))),
+        (ms(40), dg(lock(100, 1))),
+        // A stale seqid under a fresh xid slips past the dupcache; the
+        // state table's monotonicity check refuses it.
+        (ms(41), dg(lock(101, 1))),
+        // The client's genuine next lock proceeds normally.
+        (ms(42), dg(lock(102, 2))),
+    ];
+
+    let mut queue: EventQueue<ServerInput> = EventQueue::new();
+    for (t, input) in inputs {
+        queue.schedule_at(t, input);
+    }
+    let mut replies = Vec::new();
+    while let Some((t, input)) = queue.pop() {
+        for action in server.handle(t, input) {
+            match action {
+                ServerAction::Wakeup { at, token } => {
+                    queue.schedule_at(at, ServerInput::Wakeup { token });
+                }
+                ServerAction::Reply { at, reply, .. } => replies.push((at, reply)),
+            }
+        }
+    }
+
+    let by_xid = |x: u32| replies.iter().filter(|(_, r)| r.xid == Xid(x)).count();
+    // The gathered write answered once; its in-window retransmit was dropped.
+    assert_eq!(by_xid(42), 1, "retransmitted gathered write re-executed");
+    // The first lock answered twice (original + cached replay), and the two
+    // replies are byte-for-byte identical.
+    assert_eq!(by_xid(100), 2);
+    let bodies: Vec<_> = replies
+        .iter()
+        .filter(|(_, r)| r.xid == Xid(100))
+        .map(|(_, r)| r.body.clone())
+        .collect();
+    assert_eq!(bodies[0], bodies[1], "cached lock replay diverged");
+    assert_eq!(by_xid(101), 1);
+    assert_eq!(by_xid(102), 1);
+
+    // One in-progress drop (the write) + one cached replay (the lock).
+    assert_eq!(server.stats().duplicate_requests, 2);
+    assert_eq!(server.dupcache_evicted_in_progress(), 0);
+    // The state table saw exactly two grants and refused the stale seqid;
+    // the retransmissions never touched it.
+    let st = server.state_stats();
+    assert_eq!(st.leases_granted, 1);
+    assert_eq!(st.locks_granted, 2);
+    assert_eq!(st.seqid_rejections, 1);
+    assert_eq!(st.grace_conflicts, 0);
+    assert_eq!(st.expired_lease_writes, 0);
+    assert_eq!(server.uncommitted_bytes(), 0);
+}
