@@ -25,7 +25,7 @@
 //! cargo run --release -p wg-bench --bin fault_sweep -- --out other.json
 //! ```
 
-use wg_bench::report::{host_parallelism, upsert_object};
+use wg_bench::report::{stamp_cell, upsert_object};
 use wg_server::{StabilityMode, WritePolicy};
 use wg_simcore::{Duration, FaultKind, FaultPlan, SimTime};
 use wg_workload::results::json;
@@ -117,7 +117,7 @@ fn run_sfs_cell(
         gave_up,
         stats.dropped_during_recovery,
     );
-    json::object(&[
+    let mut fields = vec![
         (
             "offered_ops_per_sec",
             json::number(point.offered_ops_per_sec),
@@ -148,9 +148,9 @@ fn run_sfs_cell(
         ("gave_up", gave_up.to_string()),
         ("evicted_in_progress", evicted.to_string()),
         ("materializations", materializations.to_string()),
-        ("clamped_past", system.clamped_past().to_string()),
-        ("host_parallelism", host_parallelism().to_string()),
-    ])
+    ];
+    stamp_cell(&mut fields, system.clamped_past(), &system.sched_stats());
+    json::object(&fields)
 }
 
 /// The battery-failure × unstable-mode cell: the Prestoserve configuration
@@ -227,7 +227,7 @@ fn run_unstable_battery_cell(label: &str, load: f64, secs: u64) -> String {
         stats.commits,
         stats.lost_acked_bytes,
     );
-    json::object(&[
+    let mut fields = vec![
         (
             "offered_ops_per_sec",
             json::number(point.offered_ops_per_sec),
@@ -248,9 +248,9 @@ fn run_unstable_battery_cell(label: &str, load: f64, secs: u64) -> String {
         ("uncommitted_after_quiesce", uncommitted.to_string()),
         ("evicted_in_progress", evicted.to_string()),
         ("materializations", materializations.to_string()),
-        ("clamped_past", system.clamped_past().to_string()),
-        ("host_parallelism", host_parallelism().to_string()),
-    ])
+    ];
+    stamp_cell(&mut fields, system.clamped_past(), &system.sched_stats());
+    json::object(&fields)
 }
 
 /// One file-copy chaos cell: a mid-copy crash under a given policy, the
@@ -299,7 +299,7 @@ fn run_copy_cell(label: &str, policy: WritePolicy, presto: bool, file_mb: u64) -
         stats.lost_acked_bytes,
         result.completed,
     );
-    json::object(&[
+    let mut fields = vec![
         (
             "client_write_kb_per_sec",
             json::number(result.client_write_kb_per_sec),
@@ -320,9 +320,9 @@ fn run_copy_cell(label: &str, policy: WritePolicy, presto: bool, file_mb: u64) -
             "evicted_in_progress",
             system.server().dupcache_evicted_in_progress().to_string(),
         ),
-        ("clamped_past", system.clamped_past().to_string()),
-        ("host_parallelism", host_parallelism().to_string()),
-    ])
+    ];
+    stamp_cell(&mut fields, system.clamped_past(), &system.sched_stats());
+    json::object(&fields)
 }
 
 fn main() {

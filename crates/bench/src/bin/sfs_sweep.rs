@@ -434,7 +434,7 @@ fn run_stability_sfs_cell(
         ("evicted_in_progress", evicted.to_string()),
         ("materializations", materializations.to_string()),
     ];
-    stamp_cell(&mut fields, system.clamped_past());
+    stamp_cell(&mut fields, system.clamped_past(), &system.sched_stats());
     json::object(&fields)
 }
 
@@ -522,7 +522,7 @@ fn run_stability_copy_cell(
         ("lost_acked_bytes", stats.lost_acked_bytes.to_string()),
         ("completed", result.completed.to_string()),
     ];
-    stamp_cell(&mut fields, system.clamped_past());
+    stamp_cell(&mut fields, system.clamped_past(), &system.sched_stats());
     json::object(&fields)
 }
 
@@ -597,7 +597,7 @@ fn run_commit_pacing_cell(
         ("lost_acked_bytes", stats.lost_acked_bytes.to_string()),
         ("completed", result.completed.to_string()),
     ];
-    stamp_cell(&mut fields, system.clamped_past());
+    stamp_cell(&mut fields, system.clamped_past(), &system.sched_stats());
     json::object(&fields)
 }
 

@@ -217,7 +217,7 @@ fn run_state_cell(
         ("retransmissions", system.retransmissions().to_string()),
     ];
     fields.extend(state_fields(&system));
-    stamp_cell(&mut fields, system.clamped_past());
+    stamp_cell(&mut fields, system.clamped_past(), &system.sched_stats());
     json::object(&fields)
 }
 
@@ -279,7 +279,7 @@ fn run_abandoned_cell(label: &str, clients: usize, load: f64, secs: u64) -> Stri
         ("lease_dead_streams", dead.to_string()),
     ];
     fields.extend(state_fields(&system));
-    stamp_cell(&mut fields, system.clamped_past());
+    stamp_cell(&mut fields, system.clamped_past(), &system.sched_stats());
     json::object(&fields)
 }
 
@@ -392,7 +392,9 @@ fn run_storm_cell(label: &str, clients: usize, load: f64, secs: u64) -> String {
         ),
     ];
     fields.extend(state_fields(&on));
-    stamp_cell(&mut fields, on.clamped_past() + off.clamped_past());
+    let mut sched = on.sched_stats();
+    sched.absorb(&off.sched_stats());
+    stamp_cell(&mut fields, on.clamped_past() + off.clamped_past(), &sched);
     json::object(&fields)
 }
 

@@ -17,8 +17,9 @@
 
 use std::time::Instant;
 
-use wg_bench::report::{carry_unknown_keys, extract_object};
+use wg_bench::report::{carry_unknown_keys, extract_object, stamp_cell};
 use wg_server::WritePolicy;
+use wg_simcore::CalStats;
 use wg_workload::results::json;
 use wg_workload::sfs::SfsSystem;
 use wg_workload::{ExperimentConfig, FileCopySystem, NetworkKind, SfsConfig};
@@ -33,23 +34,27 @@ struct CellMeasurement {
     /// A stable scalar from the simulated result, so a run that got faster by
     /// simulating something different is caught immediately.
     sim_client_kb_per_sec: f64,
+    /// Past-time clamps observed by the cell's queue(s); recorded via the
+    /// shared provenance stamp and always expected to be zero.
+    clamped_past: u64,
+    /// The calendar queue's health counters for the cell's run(s).
+    sched: CalStats,
 }
 
 impl CellMeasurement {
     fn to_json(&self) -> (&'static str, String) {
-        (
-            self.name,
-            json::object(&[
-                ("wall_ms", json::number(self.wall_ms)),
-                ("events_processed", self.events_processed.to_string()),
-                ("scheduled_total", self.scheduled_total.to_string()),
-                ("events_per_sec", json::number(self.events_per_sec)),
-                (
-                    "sim_client_kb_per_sec",
-                    json::number(self.sim_client_kb_per_sec),
-                ),
-            ]),
-        )
+        let mut fields = vec![
+            ("wall_ms", json::number(self.wall_ms)),
+            ("events_processed", self.events_processed.to_string()),
+            ("scheduled_total", self.scheduled_total.to_string()),
+            ("events_per_sec", json::number(self.events_per_sec)),
+            (
+                "sim_client_kb_per_sec",
+                json::number(self.sim_client_kb_per_sec),
+            ),
+        ];
+        stamp_cell(&mut fields, self.clamped_past, &self.sched);
+        (self.name, json::object(&fields))
     }
 }
 
@@ -65,6 +70,8 @@ fn time_copy_cell(
     let mut events = 0u64;
     let mut scheduled = 0u64;
     let mut kb_per_sec = 0.0;
+    let mut clamped = 0u64;
+    let mut sched = CalStats::default();
     for policy in [WritePolicy::Standard, WritePolicy::Gathering] {
         let mut system = FileCopySystem::new(
             ExperimentConfig::new(network, biods, policy).with_file_size(file_size),
@@ -73,6 +80,8 @@ fn time_copy_cell(
         events += system.events_processed();
         scheduled += system.scheduled_total();
         kb_per_sec += result.client_write_kb_per_sec;
+        clamped += system.clamped_past();
+        sched.absorb(&system.sched_stats());
     }
     let wall = start.elapsed();
     CellMeasurement {
@@ -82,6 +91,8 @@ fn time_copy_cell(
         scheduled_total: scheduled,
         events_per_sec: events as f64 / wall.as_secs_f64().max(1e-9),
         sim_client_kb_per_sec: kb_per_sec,
+        clamped_past: clamped,
+        sched,
     }
 }
 
@@ -100,6 +111,8 @@ fn time_sfs_point(name: &'static str, secs: u64) -> CellMeasurement {
         scheduled_total: system.scheduled_total(),
         events_per_sec: system.events_processed() as f64 / wall.as_secs_f64().max(1e-9),
         sim_client_kb_per_sec: point.achieved_ops_per_sec,
+        clamped_past: system.clamped_past(),
+        sched: system.sched_stats(),
     }
 }
 
@@ -189,6 +202,27 @@ fn main() {
             .collect();
         for (name, speedup) in &speedups {
             println!("{name:<20} speedup vs baseline: {speedup}x");
+        }
+        // A full-size run must never be slower than the recorded baseline: a
+        // scheduler regression should fail the bench loudly instead of
+        // silently re-recording a slower "current".  Smoke runs (shrunken
+        // --file-mb / --sfs-secs) are exempt — their wall times are too short
+        // to compare against the full-size baseline at all.
+        if file_mb >= 10 && sfs_secs >= 10 {
+            for c in &cells {
+                if let Some(base) = baseline_wall_ms(&baseline, c.name) {
+                    let speedup = base / c.wall_ms.max(1e-9);
+                    assert!(
+                        speedup >= 1.0,
+                        "{}: wall {:.1} ms is slower than the recorded baseline \
+                         {:.1} ms (speedup {:.2}x < 1.0)",
+                        c.name,
+                        c.wall_ms,
+                        base,
+                        speedup
+                    );
+                }
+            }
         }
         let mut fields = vec![
             ("bench", "\"writepath\"".to_string()),

@@ -1,6 +1,6 @@
 //! The sequential / random file-writer client.
 
-use std::collections::HashMap;
+use wg_simcore::FxHashMap;
 
 use wg_nfsproto::{
     CommitArgs, FileHandle, NfsCall, NfsCallBody, NfsReply, NfsReplyBody, StableHow, StatusReply,
@@ -234,10 +234,10 @@ pub struct FileWriterClient {
     remaining: Vec<u64>,
     next_block_cursor: usize,
     biod_busy: Vec<bool>,
-    outstanding: HashMap<Xid, Outstanding>,
+    outstanding: FxHashMap<Xid, Outstanding>,
     app: AppState,
     next_xid: u32,
-    timers: HashMap<u64, TimerKind>,
+    timers: FxHashMap<u64, TimerKind>,
     next_token: u64,
     stats: ClientStats,
     blocked_since: Option<SimTime>,
@@ -278,10 +278,10 @@ impl FileWriterClient {
             biod_busy: vec![false; config.biods],
             remaining: order,
             next_block_cursor: 0,
-            outstanding: HashMap::new(),
+            outstanding: FxHashMap::default(),
             app: AppState::Idle,
             next_xid: config.xid_base,
-            timers: HashMap::new(),
+            timers: FxHashMap::default(),
             next_token: 0,
             stats: ClientStats::default(),
             blocked_since: None,

@@ -11,8 +11,9 @@
 //! re-executed — the paper's §6.9 notes that being too hasty about discarding
 //! these is exactly how one orphans writes on the active write queue.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
+use wg_simcore::FxHashMap;
 
 use wg_nfsproto::{NfsReply, Xid};
 
@@ -50,7 +51,7 @@ pub type DupKey = (u32, Xid);
 #[derive(Clone, Debug)]
 pub struct DuplicateRequestCache {
     capacity: usize,
-    entries: HashMap<DupKey, DupState>,
+    entries: FxHashMap<DupKey, DupState>,
     order: VecDeque<DupKey>,
     hits: u64,
     misses: u64,
@@ -62,7 +63,7 @@ impl DuplicateRequestCache {
     pub fn new(capacity: usize) -> Self {
         DuplicateRequestCache {
             capacity: capacity.max(1),
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             order: VecDeque::new(),
             hits: 0,
             misses: 0,

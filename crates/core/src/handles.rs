@@ -97,7 +97,7 @@ mod tests {
         // stale because the generation moved on.
         let ino2 = fs.create(root, "f", 0o644, 2).unwrap();
         let fh2 = handle_for(&fs, ino2).unwrap();
-        assert_ne!(fh.as_bytes(), fh2.as_bytes());
+        assert_ne!(fh.to_wire_bytes(), fh2.to_wire_bytes());
         // Wrong filesystem id is also stale.
         let other = Ufs::with_defaults(2);
         assert_eq!(ino_from_handle(&other, &fh2), Err(FsError::StaleInode));

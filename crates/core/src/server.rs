@@ -26,8 +26,9 @@
 //! procrastination timer of the gathering policy (and the nfsd-free wake-ups
 //! used to pull more work from the socket buffer).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::sync::Arc;
+use wg_simcore::FxHashMap;
 
 use wg_disk::{BlockDevice, DeviceStats, Disk, DiskRequest, StripeSet};
 use wg_net::SocketBuffer;
@@ -178,9 +179,9 @@ pub struct NfsServer {
     cpu: MultiCpu,
     shards: Vec<Shard>,
     nfsds: Vec<Nfsd>,
-    gathers: HashMap<InodeNumber, FileGather>,
-    vnode_locks: HashMap<InodeNumber, SimTime>,
-    wake_reasons: HashMap<u64, WakeReason>,
+    gathers: FxHashMap<InodeNumber, FileGather>,
+    vnode_locks: FxHashMap<InodeNumber, SimTime>,
+    wake_reasons: FxHashMap<u64, WakeReason>,
     next_token: u64,
     stats: ServerStats,
     trace: Trace,
@@ -194,12 +195,12 @@ pub struct NfsServer {
     /// Logical blocks whose write was *acknowledged* while the data was still
     /// volatile — only [`WritePolicy::DangerousAsync`] ever populates this.
     /// The crash oracle walks it to count acknowledged-write loss.
-    acked_volatile: HashMap<InodeNumber, BTreeSet<u64>>,
+    acked_volatile: FxHashMap<InodeNumber, BTreeSet<u64>>,
     /// Logical blocks acknowledged with `UNSTABLE` semantics and not yet
     /// covered by a COMMIT.  The crash oracle walks it to count the loss the
     /// NFSv3 contract *permits* ([`ServerStats::lost_unstable_bytes`]) —
     /// clients holding a mismatching verifier re-send this data.
-    unstable_acked: HashMap<InodeNumber, BTreeSet<u64>>,
+    unstable_acked: FxHashMap<InodeNumber, BTreeSet<u64>>,
     /// The current boot instance's write verifier (changes on every crash).
     boot_verifier: u64,
     /// Whether the NVRAM battery is healthy (always true for plain disks).
@@ -289,16 +290,16 @@ impl NfsServer {
             accelerated,
             shards,
             nfsds,
-            gathers: HashMap::new(),
-            vnode_locks: HashMap::new(),
-            wake_reasons: HashMap::new(),
+            gathers: FxHashMap::default(),
+            vnode_locks: FxHashMap::default(),
+            wake_reasons: FxHashMap::default(),
             next_token: 0,
             stats: ServerStats::new(),
             trace: Trace::disabled(),
             io_completions: Vec::new(),
             recovering_until: SimTime::ZERO,
-            acked_volatile: HashMap::new(),
-            unstable_acked: HashMap::new(),
+            acked_volatile: FxHashMap::default(),
+            unstable_acked: FxHashMap::default(),
             boot_verifier: BOOT_VERIFIER_SEED,
             battery_ok: true,
             writeback_scheduled: false,
@@ -446,13 +447,13 @@ impl NfsServer {
             ServerInput::Wakeup { token } => {
                 if let Some(reason) = self.wake_reasons.remove(&token) {
                     match reason {
-                        WakeReason::NfsdFree { shard } => self.dispatch(now, shard, actions),
+                        WakeReason::NfsdFree { shard } => {
+                            self.dispatch(now, shard, actions);
+                        }
                         WakeReason::GatherContinue { nfsd, ino } => {
                             self.continue_gather(now, nfsd, ino, actions);
                         }
-                        WakeReason::Writeback => {
-                            self.background_writeback(now, actions);
-                        }
+                        WakeReason::Writeback => self.background_writeback(now, actions),
                     }
                 }
             }
@@ -520,7 +521,8 @@ impl NfsServer {
         // Duplicate request handling happens before queueing, as the real
         // server does it in the dispatch path: drop in-progress duplicates,
         // answer completed ones from the cache.
-        match self.shards[shard].dupcache.lookup(client, call.xid) {
+        let dup = self.shards[shard].dupcache.lookup(client, call.xid);
+        match dup {
             DupState::InProgress => {
                 self.stats.duplicate_requests += 1;
                 return;
@@ -637,7 +639,7 @@ impl NfsServer {
         let xid = call.xid;
         match call.body {
             NfsCallBody::Write(args) => {
-                self.handle_write(t, nfsd, client, xid, arrived, args, actions);
+                self.handle_write(t, nfsd, client, xid, arrived, args, actions)
             }
             // A state op against a disarmed state layer is refused outright
             // (a v2 server with no lockd): the table must stay empty so the
@@ -658,9 +660,7 @@ impl NfsServer {
                     self.finish_reply(done, nfsd, client, xid, arrived, reply_body, actions);
                 self.occupy_nfsd(nfsd, reply_at, actions);
             }
-            other => {
-                self.handle_simple(t, nfsd, client, xid, arrived, other, actions);
-            }
+            other => self.handle_simple(t, nfsd, client, xid, arrived, other, actions),
         }
     }
 

@@ -14,51 +14,62 @@ use crate::NFS_FHSIZE;
 use wg_xdr::{XdrDecode, XdrDecoder, XdrEncode, XdrEncoder, XdrError};
 
 /// A 32-byte opaque NFS v2 file handle.
+///
+/// In memory only the three meaningful fields are stored (16 bytes — half
+/// the wire size).  Handles are embedded in almost every call and reply
+/// body, and those bodies ride inside every scheduled event, so the
+/// in-memory size is pure hot-path bytes; the zero padding exists only on
+/// the wire and is reconstructed at encode time.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct FileHandle {
-    bytes: [u8; NFS_FHSIZE],
+    fsid: u32,
+    generation: u32,
+    inode: u64,
 }
 
 impl FileHandle {
     /// Construct a handle from its components.
     pub fn new(fsid: u32, inode: u64, generation: u32) -> Self {
-        let mut bytes = [0u8; NFS_FHSIZE];
-        bytes[0..4].copy_from_slice(&fsid.to_be_bytes());
-        bytes[4..12].copy_from_slice(&inode.to_be_bytes());
-        bytes[12..16].copy_from_slice(&generation.to_be_bytes());
-        FileHandle { bytes }
+        FileHandle {
+            fsid,
+            generation,
+            inode,
+        }
     }
 
-    /// Construct a handle from raw bytes received off the wire.
+    /// Construct a handle from raw bytes received off the wire.  The
+    /// padding bytes (16..32) are not preserved; every handle this server
+    /// mints has them zeroed, and re-encoding zero-fills them again.
     pub fn from_bytes(bytes: [u8; NFS_FHSIZE]) -> Self {
-        FileHandle { bytes }
+        FileHandle {
+            fsid: u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]),
+            inode: u64::from_be_bytes(bytes[4..12].try_into().unwrap()),
+            generation: u32::from_be_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]),
+        }
     }
 
     /// The filesystem id encoded in the handle.
     pub fn fsid(&self) -> u32 {
-        u32::from_be_bytes([self.bytes[0], self.bytes[1], self.bytes[2], self.bytes[3]])
+        self.fsid
     }
 
     /// The inode number encoded in the handle.
     pub fn inode(&self) -> u64 {
-        let mut b = [0u8; 8];
-        b.copy_from_slice(&self.bytes[4..12]);
-        u64::from_be_bytes(b)
+        self.inode
     }
 
     /// The inode generation encoded in the handle.
     pub fn generation(&self) -> u32 {
-        u32::from_be_bytes([
-            self.bytes[12],
-            self.bytes[13],
-            self.bytes[14],
-            self.bytes[15],
-        ])
+        self.generation
     }
 
-    /// The raw 32 bytes.
-    pub fn as_bytes(&self) -> &[u8; NFS_FHSIZE] {
-        &self.bytes
+    /// The raw 32 wire bytes: the packed fields plus zero padding.
+    pub fn to_wire_bytes(&self) -> [u8; NFS_FHSIZE] {
+        let mut bytes = [0u8; NFS_FHSIZE];
+        bytes[0..4].copy_from_slice(&self.fsid.to_be_bytes());
+        bytes[4..12].copy_from_slice(&self.inode.to_be_bytes());
+        bytes[12..16].copy_from_slice(&self.generation.to_be_bytes());
+        bytes
     }
 }
 
@@ -76,7 +87,7 @@ impl std::fmt::Debug for FileHandle {
 
 impl XdrEncode for FileHandle {
     fn encode(&self, enc: &mut XdrEncoder) {
-        enc.put_opaque_fixed(&self.bytes);
+        enc.put_opaque_fixed(&self.to_wire_bytes());
     }
 }
 
@@ -85,7 +96,7 @@ impl XdrDecode for FileHandle {
         let raw = dec.get_opaque_fixed(NFS_FHSIZE)?;
         let mut bytes = [0u8; NFS_FHSIZE];
         bytes.copy_from_slice(&raw);
-        Ok(FileHandle { bytes })
+        Ok(FileHandle::from_bytes(bytes))
     }
 }
 

@@ -266,7 +266,7 @@ pub enum NfsReplyBody {
     /// this reproduction; cookies and eof handling live in the server model).
     /// The list is shared so caching or replaying the reply never clones the
     /// names.
-    Readdir(StatusReply<std::sync::Arc<Vec<String>>>),
+    Readdir(StatusReply<std::sync::Arc<Vec<std::sync::Arc<str>>>>),
     /// STATFS reply.
     Statfs(StatusReply<StatfsOk>),
     /// WRITE reply carrying stability + boot verifier, emitted only by a
@@ -583,9 +583,7 @@ mod tests {
             })),
             NfsReplyBody::Status(NfsStatus::Ok),
             NfsReplyBody::Status(NfsStatus::Stale),
-            NfsReplyBody::Readdir(StatusReply::Ok(
-                vec!["a".to_string(), "b".to_string()].into(),
-            )),
+            NfsReplyBody::Readdir(StatusReply::Ok(vec!["a".into(), "b".into()].into())),
             NfsReplyBody::Statfs(StatusReply::Ok(StatfsOk {
                 tsize: 8192,
                 bsize: 8192,
@@ -731,7 +729,7 @@ mod tests {
             NfsReplyBody::Read(StatusReply::Err(NfsStatus::Io)),
             NfsReplyBody::Status(NfsStatus::Stale),
             NfsReplyBody::Readdir(StatusReply::Ok(
-                vec!["a".to_string(), "file_with_longer_name".to_string()].into(),
+                vec!["a".into(), "file_with_longer_name".into()].into(),
             )),
             NfsReplyBody::Readdir(StatusReply::Err(NfsStatus::NotDir)),
             NfsReplyBody::Statfs(StatusReply::Ok(StatfsOk {

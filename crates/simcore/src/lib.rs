@@ -27,8 +27,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calq;
 pub mod cpu;
 pub mod fault;
+pub mod fxmap;
 pub mod parallel;
 pub mod queue;
 pub mod rng;
@@ -36,8 +38,10 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use calq::{CalKey, CalStats, CalendarQueue};
 pub use cpu::{Cpu, MultiCpu};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use fxmap::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use parallel::{BoundCell, Key, KeyedQueue, Mailbox, Monitor, OpWindow};
 pub use queue::EventQueue;
 pub use rng::SimRng;

@@ -48,10 +48,11 @@
 //! spoke: the ops it has mailed but the spoke has not yet applied, whose
 //! times plus lookahead lower-bound anything those ops can provoke.
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use crate::calq::{CalKey, CalStats, CalendarQueue};
 use crate::time::{Duration, SimTime};
 
 /// Totally ordered identity of one unit of simulated work (an event or a
@@ -154,32 +155,35 @@ impl Key {
     }
 }
 
-struct KEntry<E> {
-    key: Key,
-    event: E,
+impl CalKey for Key {
+    fn time_ns(&self) -> u64 {
+        self.time.as_nanos()
+    }
 }
 
-impl<E> PartialEq for KEntry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<E> Eq for KEntry<E> {}
-impl<E> PartialOrd for KEntry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for KEntry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Max-heap inverted: smallest key pops first.
-        other.key.cmp(&self.key)
-    }
+/// Mint the next value of a per-partition sequence counter.
+///
+/// Tie-break invariant: within one partition the minted `seq` is strictly
+/// monotone over the whole run — a key's lineage fields separate events
+/// from different parents, and `seq` separates same-parent siblings *by
+/// mint order*.  A u64 cannot wrap in practice, but a counter reset would
+/// silently reorder siblings, so the mint is asserted monotone in debug
+/// builds.  Every partitioned driver mints through this helper.
+pub fn mint_seq(counter: &mut u64) -> u64 {
+    *counter = counter.wrapping_add(1);
+    debug_assert!(*counter != 0, "partition sequence counter wrapped");
+    *counter
 }
 
 /// One partition's future-event list, ordered by [`Key`].
+///
+/// The pending set is the same adaptive calendar queue as the serial
+/// [`crate::EventQueue`] ([`crate::calq`]); the full five-field lineage
+/// key orders the buckets, so partitioned pop order is bit-identical to
+/// the old `BinaryHeap` implementation (pinned by the differential fuzz
+/// suite below).
 pub struct KeyedQueue<E> {
-    heap: BinaryHeap<KEntry<E>>,
+    cal: CalendarQueue<Key, E>,
     now: Key,
     scheduled_total: u64,
     clamped_past: u64,
@@ -195,7 +199,7 @@ impl<E> KeyedQueue<E> {
     /// An empty queue with the clock at [`Key::MIN`].
     pub fn new() -> Self {
         KeyedQueue {
-            heap: BinaryHeap::new(),
+            cal: CalendarQueue::new(),
             now: Key::MIN,
             scheduled_total: 0,
             clamped_past: 0,
@@ -221,7 +225,7 @@ impl<E> KeyedQueue<E> {
             self.clamped_past += 1;
         }
         self.scheduled_total += 1;
-        self.heap.push(KEntry { key, event });
+        self.cal.schedule(key, event);
     }
 
     /// Pop the earliest event if its key is at or below `limit`.  Published
@@ -229,10 +233,10 @@ impl<E> KeyedQueue<E> {
     /// the horizon is already safe; everything above it stays queued — that
     /// is the conservative side of the boundary.
     pub fn pop_below(&mut self, limit: &Key) -> Option<(Key, E)> {
-        if self.heap.peek()?.key <= *limit {
-            let entry = self.heap.pop()?;
-            self.now = entry.key;
-            Some((entry.key, entry.event))
+        if self.cal.peek_key()? <= *limit {
+            let (key, event) = self.cal.pop()?;
+            self.now = key;
+            Some((key, event))
         } else {
             None
         }
@@ -246,22 +250,22 @@ impl<E> KeyedQueue<E> {
 
     /// Key of the earliest queued event.
     pub fn peek_key(&self) -> Option<Key> {
-        self.heap.peek().map(|e| e.key)
+        self.cal.peek_key()
     }
 
     /// Iterate over the queued events in no particular order (bound scans).
     pub fn iter(&self) -> impl Iterator<Item = (&Key, &E)> {
-        self.heap.iter().map(|e| (&e.key, &e.event))
+        self.cal.iter()
     }
 
     /// Number of queued events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.cal.len()
     }
 
     /// `true` when nothing is queued.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.cal.is_empty()
     }
 
     /// Total events ever scheduled.
@@ -272,6 +276,12 @@ impl<E> KeyedQueue<E> {
     /// Events scheduled below the partition clock (must stay zero).
     pub fn clamped_past(&self) -> u64 {
         self.clamped_past
+    }
+
+    /// The pending set's scheduler-health counters (bucket count, resizes,
+    /// depth high-water, direct-search fallbacks).
+    pub fn sched_stats(&self) -> CalStats {
+        self.cal.stats()
     }
 }
 
@@ -740,6 +750,88 @@ mod tests {
         monitor.bump();
         h.join().unwrap();
         assert!(monitor.epoch() > seen);
+    }
+
+    #[test]
+    fn differential_fuzz_matches_the_heap_oracle_on_lineage_keys() {
+        // Seeded random lineage streams — duplicate times, identical
+        // (time, b1, b2) triples separated only by src/seq, interleaved
+        // pop_below/schedule with moving horizons — must pop identically
+        // to the retained BinaryHeap oracle (the old implementation).
+        use crate::calq::heap_oracle::HeapQueue;
+        use crate::calq::tests::Rng;
+        for seed in 1..=10u64 {
+            let mut rng = Rng::new(seed * 0xC0FF_EE11);
+            let mut q = KeyedQueue::new();
+            let mut oracle: HeapQueue<Key, u64> = HeapQueue::new();
+            let mut seq = 0u64;
+            let mut payload = 0u64;
+            let mut parents: Vec<Key> = Vec::new();
+            for _ in 0..4_000 {
+                match rng.below(10) {
+                    0..=5 => {
+                        let at = q.now().time + Duration::from_nanos(rng.below(1 << 20));
+                        let src = rng.below(4) as u32;
+                        // Mix initial, child and inline-op keys so ties
+                        // exercise every lineage field.
+                        let key = match parents.last() {
+                            Some(p) if rng.below(3) > 0 => {
+                                if rng.below(4) == 0 {
+                                    p.op(src, mint_seq(&mut seq))
+                                } else {
+                                    p.child(at.max(p.time), src, mint_seq(&mut seq))
+                                }
+                            }
+                            _ => Key::initial(at, src, mint_seq(&mut seq)),
+                        };
+                        if key.time >= q.now().time {
+                            q.schedule(key, payload);
+                            oracle.schedule(key, payload);
+                            payload += 1;
+                        }
+                    }
+                    6 => {
+                        assert_eq!(q.peek_key(), oracle.peek_key().copied());
+                    }
+                    _ => {
+                        // A horizon a little past the oracle's head: some
+                        // pops admit, some hold at the boundary.
+                        let limit = match oracle.peek_key() {
+                            Some(k) if rng.below(4) == 0 => {
+                                Key::time_bound(k.time + Duration::from_nanos(rng.below(1 << 12)))
+                            }
+                            _ => Key::MAX,
+                        };
+                        let want = match oracle.peek_key() {
+                            Some(k) if *k <= limit => oracle.pop(),
+                            _ => None,
+                        };
+                        let got = q.pop_below(&limit);
+                        assert_eq!(got, want, "seed {seed} diverged");
+                        if let Some((k, _)) = got {
+                            parents.push(k);
+                            if parents.len() > 8 {
+                                parents.remove(0);
+                            }
+                        }
+                    }
+                }
+            }
+            while let Some(got) = q.pop_any() {
+                assert_eq!(Some(got), oracle.pop(), "seed {seed} diverged on drain");
+            }
+            assert_eq!(oracle.len(), 0);
+        }
+    }
+
+    #[test]
+    fn mint_seq_is_strictly_monotone() {
+        let mut ctr = 0u64;
+        let a = mint_seq(&mut ctr);
+        let b = mint_seq(&mut ctr);
+        let c = mint_seq(&mut ctr);
+        assert!(a < b && b < c);
+        assert_eq!(a, 1, "mint counters start at 1 (0 is reserved for MIN)");
     }
 
     #[test]

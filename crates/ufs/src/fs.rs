@@ -1,8 +1,9 @@
 //! The filesystem proper: allocation, namespace, buffer cache and the
 //! vnode operations.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
+use wg_simcore::FxHashMap;
 
 use wg_disk::DiskRequest;
 
@@ -79,7 +80,7 @@ pub struct UfsCounters {
 pub struct Ufs {
     params: FsParams,
     fsid: u32,
-    inodes: HashMap<InodeNumber, Inode>,
+    inodes: FxHashMap<InodeNumber, Inode>,
     next_ino: InodeNumber,
     generation_counter: u32,
     /// Next unallocated offset within the data region, in bytes.
@@ -92,7 +93,7 @@ pub struct Ufs {
     /// default pays no bookkeeping at all.
     lru: BTreeMap<u64, (InodeNumber, u64)>,
     /// Reverse index of `lru`: resident page -> its current tick.
-    lru_index: HashMap<(InodeNumber, u64), u64>,
+    lru_index: FxHashMap<(InodeNumber, u64), u64>,
     /// Next LRU tick (deterministic recency stamp; no wall clock involved).
     lru_tick: u64,
     /// Number of resident pages currently dirty (tracked incrementally so the
@@ -107,14 +108,14 @@ impl Ufs {
         let mut fs = Ufs {
             params,
             fsid,
-            inodes: HashMap::new(),
+            inodes: FxHashMap::default(),
             next_ino: ROOT_INO + 1,
             generation_counter: 1,
             alloc_cursor: 0,
             free_blocks: Vec::new(),
             counters: UfsCounters::default(),
             lru: BTreeMap::new(),
-            lru_index: HashMap::new(),
+            lru_index: FxHashMap::default(),
             lru_tick: 0,
             cache_dirty: 0,
         };
@@ -238,7 +239,7 @@ impl Ufs {
             let dirty = self
                 .inodes
                 .get(&ino)
-                .and_then(|n| n.blocks.get(&lbn))
+                .and_then(|n| n.blocks.get(lbn))
                 .map(|b| b.dirty)
                 .unwrap_or(false);
             if !dirty {
@@ -248,7 +249,7 @@ impl Ufs {
         }
         for (tick, ino, lbn) in to_evict {
             if let Some(n) = self.inodes.get_mut(&ino) {
-                n.blocks.remove(&lbn);
+                n.blocks.remove(lbn);
             }
             self.lru.remove(&tick);
             self.lru_index.remove(&(ino, lbn));
@@ -273,7 +274,7 @@ impl Ufs {
             let dirty = self
                 .inodes
                 .get(&ino)
-                .and_then(|n| n.blocks.get(&lbn))
+                .and_then(|n| n.blocks.get(lbn))
                 .map(|b| b.dirty)
                 .unwrap_or(false);
             if dirty {
@@ -286,7 +287,7 @@ impl Ufs {
             if let Some(block) = self
                 .inodes
                 .get_mut(&ino)
-                .and_then(|n| n.blocks.get_mut(&lbn))
+                .and_then(|n| n.blocks.get_mut(lbn))
             {
                 block.dirty = false;
                 extents.push((block.phys, block_size));
@@ -387,7 +388,7 @@ impl Ufs {
         let node = Inode::new(ino, generation, kind, mode, now_nanos);
         self.inodes.insert(ino, node);
         let d = self.inode_mut(dir)?;
-        d.entries.insert(name.to_string(), ino);
+        d.entries.insert(Arc::from(name), ino);
         d.listing = None;
         d.mtime_nanos = now_nanos;
         d.inode_dirty = true;
@@ -418,14 +419,14 @@ impl Ufs {
                 self.free_blocks.push(*addr);
             }
             for addr in t.indirect_map.values() {
-                self.free_blocks.push(*addr);
+                self.free_blocks.push(addr);
             }
             if let Some(addr) = t.indirect {
                 self.free_blocks.push(addr);
             }
             if self.cache_armed() {
-                for (lbn, b) in &t.blocks {
-                    self.cache_forget(target, *lbn, b.dirty);
+                for (lbn, b) in t.blocks.iter() {
+                    self.cache_forget(target, lbn, b.dirty);
                 }
             }
         }
@@ -444,8 +445,9 @@ impl Ufs {
     /// repeated READDIRs of an unchanged directory (the common SFS-mix case)
     /// return the same `Arc` instead of cloning every name, and the proto
     /// layer's READDIR reply carries it onward without another copy.  Any
-    /// entry change invalidates the cache.
-    pub fn readdir(&mut self, dir: InodeNumber) -> Result<Arc<Vec<String>>, FsError> {
+    /// entry change invalidates the cache.  Names are `Arc<str>` end to end,
+    /// so even a rebuild after an invalidation only bumps refcounts.
+    pub fn readdir(&mut self, dir: InodeNumber) -> Result<Arc<Vec<Arc<str>>>, FsError> {
         self.counters.namespace_ops += 1;
         let d = self.inode_mut(dir)?;
         if d.kind != FileKind::Directory {
@@ -454,7 +456,7 @@ impl Ufs {
         if let Some(listing) = &d.listing {
             return Ok(Arc::clone(listing));
         }
-        let listing = Arc::new(d.entries.keys().cloned().collect::<Vec<String>>());
+        let listing = Arc::new(d.entries.keys().cloned().collect::<Vec<Arc<str>>>());
         d.listing = Some(Arc::clone(&listing));
         Ok(listing)
     }
@@ -510,10 +512,10 @@ impl Ufs {
                             if (lbn as usize) < crate::inode::NDADDR {
                                 n.direct[lbn as usize] = None;
                             } else {
-                                n.indirect_map.remove(&lbn);
+                                n.indirect_map.remove(lbn);
                                 n.indirect_dirty = true;
                             }
-                            if let Some(b) = n.blocks.remove(&lbn) {
+                            if let Some(b) = n.blocks.remove(lbn) {
                                 dropped.push((lbn, b.dirty));
                             }
                         }
@@ -626,29 +628,22 @@ impl Ufs {
             let whole_block = dst_from == 0 && dst_to == block_size as usize;
 
             let n = self.inode_mut(ino)?;
-            let was_dirty = n.blocks.get(&lbn).map(|b| b.dirty).unwrap_or(false);
+            let was_dirty = n.blocks.get(lbn).map(|b| b.dirty).unwrap_or(false);
             match (source, whole_block) {
                 (WriteSource::Fill { byte, .. }, true) => {
                     // A fill pattern covering the whole block: store the
                     // pattern itself — no allocation, no copy.
-                    match n.blocks.entry(lbn) {
-                        std::collections::btree_map::Entry::Occupied(mut e) => {
-                            let block = e.get_mut();
-                            block.phys = phys;
-                            block.data = BlockData::Fill(byte);
-                            block.dirty = true;
-                        }
-                        std::collections::btree_map::Entry::Vacant(e) => {
-                            e.insert(CachedBlock {
-                                phys,
-                                data: BlockData::Fill(byte),
-                                dirty: true,
-                            });
-                        }
-                    }
+                    n.blocks.insert(
+                        lbn,
+                        CachedBlock {
+                            phys,
+                            data: BlockData::Fill(byte),
+                            dirty: true,
+                        },
+                    );
                 }
                 _ => {
-                    let block = n.blocks.entry(lbn).or_insert_with(|| CachedBlock {
+                    let block = n.blocks.get_or_insert_with(lbn, || CachedBlock {
                         phys,
                         data: BlockData::Fill(0),
                         dirty: false,
@@ -749,7 +744,7 @@ impl Ufs {
         let mut extents = Vec::new();
         let mut cleaned = 0u64;
         for lbn in first_lbn..=last_lbn {
-            if let Some(block) = n.blocks.get_mut(&lbn) {
+            if let Some(block) = n.blocks.get_mut(lbn) {
                 if block.dirty {
                     block.dirty = false;
                     cleaned += 1;
@@ -774,13 +769,20 @@ impl Ufs {
         let n = self.inode_mut(ino)?;
         let mut extents = Vec::new();
         let mut cleaned = 0u64;
-        for (lbn, block) in n.blocks.iter_mut() {
-            let start = lbn * block_size;
-            let end = start + block_size;
-            if block.dirty && start < to && end > from {
-                block.dirty = false;
-                cleaned += 1;
-                extents.push((block.phys, block_size));
+        // Only blocks whose [start, end) span overlaps [from, to) can match,
+        // i.e. lbns in [from/bs, (to-1)/bs]; walking just that range keeps a
+        // flush of a small gathered span O(span), not O(file blocks).
+        if to > from {
+            let first_lbn = from / block_size;
+            let last_lbn = (to - 1) / block_size;
+            for (lbn, block) in n.blocks.range_mut(first_lbn, last_lbn) {
+                let start = lbn * block_size;
+                let end = start + block_size;
+                if block.dirty && start < to && end > from {
+                    block.dirty = false;
+                    cleaned += 1;
+                    extents.push((block.phys, block_size));
+                }
             }
         }
         if self.cache_armed() {
@@ -884,7 +886,7 @@ impl Ufs {
             let from = offset.max(block_start);
             let to = end.min(block_start + block_size);
             let seg_len = to - from;
-            if let Some(block) = n.blocks.get(&lbn) {
+            if let Some(block) = n.blocks.get(lbn) {
                 if cache_armed {
                     hits.push(lbn);
                 }
@@ -1006,7 +1008,7 @@ impl Ufs {
     pub fn block_is_dirty(&self, ino: InodeNumber, lbn: u64) -> bool {
         self.inodes
             .get(&ino)
-            .and_then(|n| n.blocks.get(&lbn))
+            .and_then(|n| n.blocks.get(lbn))
             .map(|b| b.dirty)
             .unwrap_or(false)
     }
@@ -1039,7 +1041,7 @@ impl Ufs {
             let mut inos: Vec<InodeNumber> = self.inodes.keys().copied().collect();
             inos.sort_unstable();
             for ino in inos {
-                let lbns: Vec<u64> = self.inodes[&ino].blocks.keys().copied().collect();
+                let lbns: Vec<u64> = self.inodes[&ino].blocks.keys().collect();
                 for lbn in lbns {
                     self.cache_touch(ino, lbn);
                 }
@@ -1300,7 +1302,7 @@ mod tests {
         match &got.data {
             wg_nfsproto::Payload::Shared(out) => {
                 let n = u.inodes.get(&f).unwrap();
-                let cached = n.blocks.get(&1).unwrap().data.shared_bytes().unwrap();
+                let cached = n.blocks.get(1).unwrap().data.shared_bytes().unwrap();
                 assert!(Arc::ptr_eq(out, cached), "aligned read copied the block");
             }
             other => panic!("unexpected {other:?}"),
@@ -1409,7 +1411,7 @@ mod tests {
         ));
         assert!(matches!(u.read(d, 0, 10), Err(FsError::IsADirectory)));
         u.create(d, "inner", 0o644, 1).unwrap();
-        assert_eq!(*u.readdir(d).unwrap(), vec!["inner".to_string()]);
+        assert_eq!(*u.readdir(d).unwrap(), vec![Arc::<str>::from("inner")]);
         assert_eq!(u.remove(root, "dir", 2), Err(FsError::NotEmpty));
         u.remove(d, "inner", 3).unwrap();
         u.remove(root, "dir", 4).unwrap();
@@ -1429,13 +1431,13 @@ mod tests {
         u.create(root, "b", 0o644, 1).unwrap();
         let third = u.readdir(root).unwrap();
         assert!(!Arc::ptr_eq(&second, &third), "create must invalidate");
-        assert_eq!(*third, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(*third, vec![Arc::<str>::from("a"), Arc::<str>::from("b")]);
         // The old Arc still holds the snapshot the earlier reply carried.
-        assert_eq!(*second, vec!["a".to_string()]);
+        assert_eq!(*second, vec![Arc::<str>::from("a")]);
         u.remove(root, "a", 2).unwrap();
         let fourth = u.readdir(root).unwrap();
         assert!(!Arc::ptr_eq(&third, &fourth), "remove must invalidate");
-        assert_eq!(*fourth, vec!["b".to_string()]);
+        assert_eq!(*fourth, vec![Arc::<str>::from("b")]);
     }
 
     #[test]

@@ -102,6 +102,192 @@ pub struct CachedBlock {
     pub dirty: bool,
 }
 
+/// Cached data blocks keyed by logical block index.
+///
+/// A file addressable through one single-indirect block spans at most
+/// `NDADDR + pointers_per_block` logical blocks (~2060 under the default
+/// geometry), so the cache is a dense slot vector indexed by lbn: every
+/// lookup on the write datapath is one bounds check and one `Option`
+/// discriminant away from the block, where a `BTreeMap` costs a pointer
+/// chase per tree level.  Iteration walks the slots in index order, so
+/// every traversal is ascending-lbn exactly like the map it replaced —
+/// flush ordering, and with it the simulated event order, is unchanged.
+#[derive(Clone, Debug, Default)]
+pub struct BlockMap {
+    slots: Vec<Option<CachedBlock>>,
+    present: usize,
+}
+
+impl BlockMap {
+    /// An empty map (no slots allocated until the first insert).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached blocks.
+    pub fn len(&self) -> usize {
+        self.present
+    }
+
+    /// `true` if no blocks are cached.
+    pub fn is_empty(&self) -> bool {
+        self.present == 0
+    }
+
+    /// The cached block at `lbn`, if any.
+    pub fn get(&self, lbn: u64) -> Option<&CachedBlock> {
+        self.slots.get(lbn as usize)?.as_ref()
+    }
+
+    /// Mutable access to the cached block at `lbn`, if any.
+    pub fn get_mut(&mut self, lbn: u64) -> Option<&mut CachedBlock> {
+        self.slots.get_mut(lbn as usize)?.as_mut()
+    }
+
+    /// Insert a block at `lbn`, returning the one it displaced.
+    pub fn insert(&mut self, lbn: u64, block: CachedBlock) -> Option<CachedBlock> {
+        let slot = self.slot_mut(lbn);
+        let old = slot.replace(block);
+        if old.is_none() {
+            self.present += 1;
+        }
+        old
+    }
+
+    /// The block at `lbn`, inserting `make()` first if the slot is empty.
+    pub fn get_or_insert_with(
+        &mut self,
+        lbn: u64,
+        make: impl FnOnce() -> CachedBlock,
+    ) -> &mut CachedBlock {
+        if self.get(lbn).is_none() {
+            self.insert(lbn, make());
+        }
+        self.get_mut(lbn).expect("just filled")
+    }
+
+    /// Remove and return the block at `lbn`.
+    pub fn remove(&mut self, lbn: u64) -> Option<CachedBlock> {
+        let old = self.slots.get_mut(lbn as usize)?.take();
+        if old.is_some() {
+            self.present -= 1;
+        }
+        old
+    }
+
+    /// Drop every block for which `keep` returns `false`.
+    pub fn retain(&mut self, mut keep: impl FnMut(u64, &mut CachedBlock) -> bool) {
+        for (lbn, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(block) = slot {
+                if !keep(lbn as u64, block) {
+                    *slot = None;
+                    self.present -= 1;
+                }
+            }
+        }
+    }
+
+    /// Iterate `(lbn, block)` in ascending lbn order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &CachedBlock)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(lbn, slot)| slot.as_ref().map(|b| (lbn as u64, b)))
+    }
+
+    /// Iterate `(lbn, block)` mutably over `first..=last`, ascending.
+    pub fn range_mut(
+        &mut self,
+        first: u64,
+        last: u64,
+    ) -> impl Iterator<Item = (u64, &mut CachedBlock)> {
+        let lo = (first as usize).min(self.slots.len());
+        let hi = ((last as usize).saturating_add(1)).min(self.slots.len());
+        self.slots[lo..hi]
+            .iter_mut()
+            .enumerate()
+            .filter_map(move |(off, slot)| slot.as_mut().map(|b| ((lo + off) as u64, b)))
+    }
+
+    /// Iterate the cached lbns in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.iter().map(|(lbn, _)| lbn)
+    }
+
+    /// Iterate the cached blocks in ascending lbn order.
+    pub fn values(&self) -> impl Iterator<Item = &CachedBlock> {
+        self.iter().map(|(_, b)| b)
+    }
+
+    fn slot_mut(&mut self, lbn: u64) -> &mut Option<CachedBlock> {
+        let at = lbn as usize;
+        if at >= self.slots.len() {
+            self.slots.resize_with(at + 1, || None);
+        }
+        &mut self.slots[at]
+    }
+}
+
+/// Pointers held by the single indirect block (logical index -> physical
+/// address).  Slot `i` holds the pointer for lbn `NDADDR + i`, densely, so
+/// the per-write `block_addr` probe is an array load and `sectors()` stays
+/// O(1) off the maintained count.
+#[derive(Clone, Debug, Default)]
+pub struct IndirectMap {
+    slots: Vec<Option<u64>>,
+    present: usize,
+}
+
+impl IndirectMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of mapped indirect pointers.
+    pub fn len(&self) -> usize {
+        self.present
+    }
+
+    /// `true` if no indirect pointers are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.present == 0
+    }
+
+    /// The physical address mapped at `lbn`, if any.
+    pub fn get(&self, lbn: u64) -> Option<u64> {
+        debug_assert!(lbn as usize >= NDADDR);
+        *self.slots.get(lbn as usize - NDADDR)?
+    }
+
+    /// Map `lbn` to `phys`.
+    pub fn insert(&mut self, lbn: u64, phys: u64) {
+        debug_assert!(lbn as usize >= NDADDR);
+        let at = lbn as usize - NDADDR;
+        if at >= self.slots.len() {
+            self.slots.resize(at + 1, None);
+        }
+        if self.slots[at].replace(phys).is_none() {
+            self.present += 1;
+        }
+    }
+
+    /// Unmap `lbn`, returning the physical address it pointed at.
+    pub fn remove(&mut self, lbn: u64) -> Option<u64> {
+        debug_assert!(lbn as usize >= NDADDR);
+        let old = self.slots.get_mut(lbn as usize - NDADDR)?.take();
+        if old.is_some() {
+            self.present -= 1;
+        }
+        old
+    }
+
+    /// Iterate the mapped physical addresses in ascending lbn order.
+    pub fn values(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots.iter().filter_map(|slot| *slot)
+    }
+}
+
 /// An in-memory inode with its block map and cached blocks.
 #[derive(Clone, Debug)]
 pub struct Inode {
@@ -133,16 +319,18 @@ pub struct Inode {
     /// Physical address of the single indirect block, if allocated.
     pub indirect: Option<u64>,
     /// Pointers held by the indirect block (logical index -> physical
-    /// address), kept sparse.
-    pub indirect_map: BTreeMap<u64, u64>,
+    /// address), stored densely by `lbn - NDADDR`.
+    pub indirect_map: IndirectMap,
     /// Directory entries (name -> inode), present only for directories.
-    pub entries: BTreeMap<String, InodeNumber>,
+    /// Names are refcounted so rebuilding the memoised listing clones
+    /// pointers, not string bytes.
+    pub entries: BTreeMap<Arc<str>, InodeNumber>,
     /// Memoised READDIR listing, shared with every reply that carries it and
     /// invalidated whenever `entries` changes.  `None` until the first
     /// readdir after a change.
-    pub listing: Option<Arc<Vec<String>>>,
+    pub listing: Option<Arc<Vec<Arc<str>>>>,
     /// Cached data blocks keyed by logical block index.
-    pub blocks: BTreeMap<u64, CachedBlock>,
+    pub blocks: BlockMap,
     /// `true` if the on-disk inode no longer matches this in-memory copy
     /// (size, block pointers or times changed).
     pub inode_dirty: bool,
@@ -176,10 +364,10 @@ impl Inode {
             ctime_nanos: now_nanos,
             direct: [None; NDADDR],
             indirect: None,
-            indirect_map: BTreeMap::new(),
+            indirect_map: IndirectMap::new(),
             entries: BTreeMap::new(),
             listing: None,
-            blocks: BTreeMap::new(),
+            blocks: BlockMap::new(),
             inode_dirty: true,
             mtime_only_dirty: false,
             indirect_dirty: false,
@@ -191,7 +379,7 @@ impl Inode {
         if (lbn as usize) < NDADDR {
             self.direct[lbn as usize]
         } else {
-            self.indirect_map.get(&lbn).copied()
+            self.indirect_map.get(lbn)
         }
     }
 
@@ -233,7 +421,7 @@ impl Inode {
         self.blocks
             .iter()
             .filter(|(_, b)| b.dirty)
-            .map(|(lbn, _)| *lbn)
+            .map(|(lbn, _)| lbn)
             .collect()
     }
 

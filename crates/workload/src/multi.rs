@@ -34,7 +34,7 @@ use wg_net::medium::{Direction, MediumParams};
 use wg_net::{Medium, TransmitOutcome};
 use wg_nfsproto::{FileHandle, StableHow};
 use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, StabilityMode, WritePolicy};
-use wg_simcore::{Duration, EventQueue, SimTime};
+use wg_simcore::{CalStats, Duration, EventQueue, SimTime};
 
 use crate::results::{FileCopyResult, MultiClientResult};
 use crate::system::NetworkKind;
@@ -449,6 +449,8 @@ pub struct MultiClientSystem {
     /// (the serial queue keeps its own counters).
     par_scheduled_total: u64,
     par_clamped_past: u64,
+    /// Scheduler-health counters banked from partitioned runs' queues.
+    par_sched: CalStats,
 }
 
 impl MultiClientSystem {
@@ -541,6 +543,7 @@ impl MultiClientSystem {
             events_processed: 0,
             par_scheduled_total: 0,
             par_clamped_past: 0,
+            par_sched: CalStats::default(),
             slots,
             layouts,
             server,
@@ -822,6 +825,15 @@ impl MultiClientSystem {
         self.queue.clamped_past() + self.par_clamped_past
     }
 
+    /// Scheduler-health counters of the pending-event set: the serial
+    /// queue's calendar geometry folded with any partitioned run's queues
+    /// (counts add, high-water marks take the maximum).
+    pub fn sched_stats(&self) -> CalStats {
+        let mut stats = self.queue.sched_stats();
+        stats.absorb(&self.par_sched);
+        stats
+    }
+
     /// The configuration the system was built with.
     pub fn config(&self) -> &MultiClientConfig {
         &self.config
@@ -831,6 +843,20 @@ impl MultiClientSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pin the driver event's footprint.  Every schedule moves one `Ev` by
+    /// value into the calendar queue and every pop moves it back out, so a
+    /// grown variant taxes the whole event loop.  The size is set by the
+    /// largest payload (a `ServerInput` carrying an `NfsCall`); box a new
+    /// large variant instead of raising this pin.
+    #[test]
+    fn driver_event_stays_within_its_pinned_footprint() {
+        assert!(
+            std::mem::size_of::<Ev>() <= 112,
+            "Ev grew to {} bytes; box the large variant",
+            std::mem::size_of::<Ev>()
+        );
+    }
 
     const MB: u64 = 1024 * 1024;
 

@@ -83,10 +83,7 @@ struct Cx<'a> {
     runaway_limit: u64,
 }
 
-fn mint(ctr: &mut u64) -> u64 {
-    *ctr += 1;
-    *ctr
-}
+use wg_simcore::parallel::mint_seq as mint;
 
 /// The spoke a client's replies are mailed to (mirrors
 /// `ClientLans::medium_mut`).
@@ -541,12 +538,14 @@ pub(super) fn run_partitioned(system: &mut MultiClientSystem) -> MultiClientResu
     system.events_processed += hub.events_processed;
     system.par_scheduled_total += hub.queue.scheduled_total();
     system.par_clamped_past += hub.queue.clamped_past();
+    system.par_sched.absorb(&hub.queue.sched_stats());
     let mut media_back: Vec<Medium> = Vec::with_capacity(n_spokes);
     for spoke in spokes {
         debug_assert!(spoke.queue.is_empty(), "spoke exited with queued events");
         system.events_processed += spoke.events_processed;
         system.par_scheduled_total += spoke.queue.scheduled_total();
         system.par_clamped_past += spoke.queue.clamped_past();
+        system.par_sched.absorb(&spoke.queue.sched_stats());
         system.slots.extend(spoke.slots);
         media_back.push(spoke.medium);
     }

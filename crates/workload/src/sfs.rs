@@ -40,8 +40,8 @@
 //! generation name; both are counted in [`SfsSystem::name_mints`] so tests
 //! can pin "nothing else allocates".
 
-use std::collections::HashMap;
 use std::sync::Arc;
+use wg_simcore::FxHashMap;
 
 use wg_net::medium::Direction;
 use wg_net::TransmitOutcome;
@@ -51,7 +51,9 @@ use wg_nfsproto::{
     StatusReply, WriteArgs, Xid,
 };
 use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, StabilityMode, WritePolicy};
-use wg_simcore::{Duration, EventQueue, FaultKind, FaultPlan, LatencyStat, SimRng, SimTime};
+use wg_simcore::{
+    CalStats, Duration, EventQueue, FaultKind, FaultPlan, LatencyStat, SimRng, SimTime,
+};
 
 use crate::multi::ClientLans;
 use crate::results::{MultiClientResult, SfsPoint};
@@ -724,7 +726,7 @@ struct SfsGenerator {
     /// can re-send them.  Populated only when [`SfsConfig::faults_enabled`];
     /// otherwise never touched, keeping the steady-state loop allocation-free
     /// and bit-identical to the pre-fault harness.
-    retry_calls: HashMap<u32, NfsCall>,
+    retry_calls: FxHashMap<u32, NfsCall>,
     /// Lease/lock client state (inert unless [`SfsConfig::leases`]).
     lease: LeaseState,
 }
@@ -1195,6 +1197,8 @@ pub struct SfsSystem {
     /// serial path's live in `queue`; accessors report the sum).
     par_scheduled_total: u64,
     par_clamped_past: u64,
+    /// Scheduler-health counters banked from partitioned runs' queues.
+    par_sched: CalStats,
 }
 
 impl SfsSystem {
@@ -1294,7 +1298,7 @@ impl SfsSystem {
                 name_mints: 0,
                 retransmissions: 0,
                 gave_up: 0,
-                retry_calls: HashMap::new(),
+                retry_calls: FxHashMap::default(),
                 lease: LeaseState::new(client as u32),
             });
         }
@@ -1319,6 +1323,7 @@ impl SfsSystem {
             events_processed: 0,
             par_scheduled_total: 0,
             par_clamped_past: 0,
+            par_sched: CalStats::default(),
             server,
             config,
         }
@@ -1752,6 +1757,15 @@ impl SfsSystem {
     pub fn clamped_past(&self) -> u64 {
         self.queue.clamped_past() + self.par_clamped_past
     }
+
+    /// Scheduler-health counters of the pending-event set: the serial
+    /// queue's calendar geometry folded with any partitioned run's queues
+    /// (counts add, high-water marks take the maximum).
+    pub fn sched_stats(&self) -> CalStats {
+        let mut stats = self.queue.sched_stats();
+        stats.absorb(&self.par_sched);
+        stats
+    }
 }
 
 /// One executed sweep point with the health counters the scale harness
@@ -1877,6 +1891,20 @@ impl SfsSweep {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pin the driver event's footprint.  Every schedule moves one `Ev` by
+    /// value into the calendar queue and every pop moves it back out, so a
+    /// grown variant taxes the whole event loop.  The size is set by the
+    /// largest payload (a `ServerInput` carrying an `NfsCall` or a reply-bearing `Ev::Reply`); box a new
+    /// large variant instead of raising this pin.
+    #[test]
+    fn driver_event_stays_within_its_pinned_footprint() {
+        assert!(
+            std::mem::size_of::<Ev>() <= 112,
+            "Ev grew to {} bytes; box the large variant",
+            std::mem::size_of::<Ev>()
+        );
+    }
 
     fn quick_config(load: f64, policy: WritePolicy) -> SfsConfig {
         SfsConfig {

@@ -113,10 +113,7 @@ struct Cx<'a> {
     runaway_limit: u64,
 }
 
-fn mint(ctr: &mut u64) -> u64 {
-    *ctr += 1;
-    *ctr
-}
+use wg_simcore::parallel::mint_seq as mint;
 
 /// The spoke a client's replies are mailed to (mirrors
 /// `ClientLans::medium_mut`).
@@ -866,6 +863,7 @@ pub(super) fn run_partitioned(system: &mut SfsSystem) -> SfsPoint {
     system.events_processed += hub_events;
     system.par_scheduled_total += hub_scheduled;
     system.par_clamped_past += hub_clamped;
+    system.par_sched.absorb(&hub.queue.sched_stats());
     let mut media_back: Vec<Medium> = Vec::with_capacity(n_spokes);
     let mut logs: Vec<std::iter::Peekable<std::vec::IntoIter<(Key, Duration)>>> =
         Vec::with_capacity(n_spokes);
@@ -877,6 +875,7 @@ pub(super) fn run_partitioned(system: &mut SfsSystem) -> SfsPoint {
         system.completed += spoke.completed;
         system.par_scheduled_total += spoke.queue.scheduled_total();
         system.par_clamped_past += spoke.queue.clamped_past();
+        system.par_sched.absorb(&spoke.queue.sched_stats());
         system.generators.extend(spoke.generators);
         media_back.push(spoke.medium);
         logs.push(spoke.latency_log.into_iter().peekable());

@@ -5,7 +5,7 @@ use wg_net::medium::Direction;
 use wg_net::{Medium, MediumParams, TransmitOutcome};
 use wg_nfsproto::StableHow;
 use wg_server::{NfsServer, ServerAction, ServerConfig, ServerInput, StabilityMode, WritePolicy};
-use wg_simcore::{Duration, EventQueue, FaultKind, FaultPlan, SimTime, Trace};
+use wg_simcore::{CalStats, Duration, EventQueue, FaultKind, FaultPlan, SimTime, Trace};
 
 use crate::results::FileCopyResult;
 
@@ -216,6 +216,8 @@ pub struct FileCopySystem {
     /// (the serial queue keeps its own counters).
     par_scheduled_total: u64,
     par_clamped_past: u64,
+    /// Scheduler-health counters banked from partitioned runs' queues.
+    par_sched: CalStats,
 }
 
 impl FileCopySystem {
@@ -286,6 +288,7 @@ impl FileCopySystem {
             par_now: SimTime::ZERO,
             par_scheduled_total: 0,
             par_clamped_past: 0,
+            par_sched: CalStats::default(),
             client,
             server,
             config,
@@ -307,6 +310,15 @@ impl FileCopySystem {
     /// [`EventQueue::clamped_past`]).
     pub fn clamped_past(&self) -> u64 {
         self.queue.clamped_past() + self.par_clamped_past
+    }
+
+    /// Scheduler-health counters of the pending-event set: the serial
+    /// queue's calendar geometry folded with any partitioned run's queues
+    /// (counts add, high-water marks take the maximum).
+    pub fn sched_stats(&self) -> CalStats {
+        let mut stats = self.queue.sched_stats();
+        stats.absorb(&self.par_sched);
+        stats
     }
 
     /// Upper bound on events one copy may process before the run is declared
@@ -548,6 +560,20 @@ pub fn run_cell(config: ExperimentConfig) -> FileCopyResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pin the driver event's footprint.  Every schedule moves one `Ev` by
+    /// value into the calendar queue and every pop moves it back out, so a
+    /// grown variant taxes the whole event loop.  The size is set by the
+    /// largest payload (a `ServerInput` carrying an `NfsCall`); box a new
+    /// large variant instead of raising this pin.
+    #[test]
+    fn driver_event_stays_within_its_pinned_footprint() {
+        assert!(
+            std::mem::size_of::<Ev>() <= 104,
+            "Ev grew to {} bytes; box the large variant",
+            std::mem::size_of::<Ev>()
+        );
+    }
 
     const SMALL: u64 = 1024 * 1024; // 1 MB keeps unit tests quick
 

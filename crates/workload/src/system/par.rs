@@ -73,10 +73,7 @@ struct Channels {
 const SPOKE_SRC: u32 = 0;
 const HUB_SRC: u32 = 1;
 
-fn mint(ctr: &mut u64) -> u64 {
-    *ctr += 1;
-    *ctr
-}
+use wg_simcore::parallel::mint_seq as mint;
 
 /// The client partition.
 struct Spoke<'a> {
@@ -456,6 +453,8 @@ pub(super) fn run_partitioned(system: &mut FileCopySystem) -> FileCopyResult {
     system.events_processed = hub.events_processed + spoke.events_processed;
     system.par_scheduled_total += hub.queue.scheduled_total() + spoke.queue.scheduled_total();
     system.par_clamped_past += hub.queue.clamped_past() + spoke.queue.clamped_past();
+    system.par_sched.absorb(&hub.queue.sched_stats());
+    system.par_sched.absorb(&spoke.queue.sched_stats());
     system.par_now = hub.queue.now().time.max(spoke.queue.now().time);
     system.completed_at = spoke.completed_at;
     system.result()

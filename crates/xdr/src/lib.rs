@@ -161,6 +161,20 @@ impl<T: XdrDecode> XdrDecode for std::sync::Arc<T> {
     }
 }
 
+// `Arc<str>` is not covered by the blanket `Arc<T>` impls (`str` is
+// unsized); on the wire it is an ordinary XDR string.
+impl XdrEncode for std::sync::Arc<str> {
+    fn encode(&self, enc: &mut XdrEncoder) {
+        enc.put_string(self);
+    }
+}
+
+impl XdrDecode for std::sync::Arc<str> {
+    fn decode(dec: &mut XdrDecoder<'_>) -> Result<Self, XdrError> {
+        Ok(dec.get_string()?.into())
+    }
+}
+
 /// Encode any [`XdrEncode`] value into a fresh byte vector.
 pub fn to_bytes<T: XdrEncode>(value: &T) -> Vec<u8> {
     let mut enc = XdrEncoder::new();
